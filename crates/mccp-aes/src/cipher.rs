@@ -1,0 +1,74 @@
+//! The 128-bit block cipher abstraction.
+//!
+//! The paper stresses that the MCCP's "modular and reconfigurable design …
+//! allows to use any 128-bit block cipher algorithm (e.g. AES, Twofish,
+//! Serpent)". [`BlockCipher128`] is that seam: the mode implementations in
+//! [`crate::modes`] and the Cryptographic Unit simulator are generic over
+//! it, and [`crate::twofish::Twofish`] is a second implementor proving the
+//! claim.
+
+/// A block cipher with a 128-bit block.
+pub trait BlockCipher128 {
+    /// Encrypts one 16-byte block in place.
+    fn encrypt_block(&self, block: &mut [u8; 16]);
+
+    /// Decrypts one 16-byte block in place.
+    fn decrypt_block(&self, block: &mut [u8; 16]);
+
+    /// Human-readable algorithm name (for reports and traces).
+    fn name(&self) -> &'static str;
+
+    /// Convenience: encrypt a copy of `block` and return it.
+    fn encrypt_copy(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+
+    /// Convenience: decrypt a copy of `block` and return it.
+    fn decrypt_copy(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut out = *block;
+        self.decrypt_block(&mut out);
+        out
+    }
+}
+
+impl<T: BlockCipher128 + ?Sized> BlockCipher128 for &T {
+    fn encrypt_block(&self, block: &mut [u8; 16]) {
+        (**self).encrypt_block(block)
+    }
+    fn decrypt_block(&self, block: &mut [u8; 16]) {
+        (**self).decrypt_block(block)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aes;
+
+    #[test]
+    fn copy_helpers_match_in_place() {
+        let aes = Aes::new_128(&[7u8; 16]);
+        let pt = [0x11u8; 16];
+        let ct = aes.encrypt_copy(&pt);
+        let mut inplace = pt;
+        aes.encrypt_block(&mut inplace);
+        assert_eq!(ct, inplace);
+        assert_eq!(aes.decrypt_copy(&ct), pt);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let aes = Aes::new_128(&[0u8; 16]);
+        let dyn_cipher: &dyn BlockCipher128 = &aes;
+        let mut b = [0u8; 16];
+        dyn_cipher.encrypt_block(&mut b);
+        assert_eq!(dyn_cipher.name(), "AES-128");
+        dyn_cipher.decrypt_block(&mut b);
+        assert_eq!(b, [0u8; 16]);
+    }
+}

@@ -1,0 +1,112 @@
+//! # mccp-aes — AES and the MCCP's block-cipher modes, from scratch
+//!
+//! This crate is the cryptographic substrate of the MCCP reproduction:
+//!
+//! * [`Aes`] — AES-128/192/256 (FIPS-197): key schedule, encryption and
+//!   decryption, validated against the FIPS-197 appendix vectors.
+//! * [`column_serial`] — a functional model of the 32-bit column-serial
+//!   iterative AES datapath of Chodowiec & Gaj (CHES 2003, reference \[19\]
+//!   of the paper), which the MCCP's Cryptographic Unit instantiates. It
+//!   reports the hardware cycle count: **44 / 52 / 60 cycles** per block for
+//!   128 / 192 / 256-bit keys.
+//! * [`modes`] — the block-cipher modes of operation the MCCP supports:
+//!   ECB, CBC, CTR (SP 800-38A), CBC-MAC, CCM (SP 800-38C) and GCM
+//!   (SP 800-38D), all generic over any [`BlockCipher128`].
+//! * [`whirlpool`] — the Whirlpool hash (ISO/IEC 10118-3), the alternative
+//!   algorithm the paper loads into the reconfigurable Cryptographic Unit
+//!   region (Table IV).
+//! * [`twofish`] — Twofish, the paper's example of "any other 128-bit block
+//!   cipher" that can replace AES through partial reconfiguration.
+//!
+//! These are *reference* implementations: clarity and testability over raw
+//! speed. The cycle-accurate MCCP simulator uses them as functional oracles
+//! while charging the hardware's latencies.
+//!
+//! ```
+//! use mccp_aes::{Aes, BlockCipher128};
+//!
+//! let key = [0u8; 16];
+//! let aes = Aes::new_128(&key);
+//! let mut block = [0u8; 16];
+//! aes.encrypt_block(&mut block);
+//! aes.decrypt_block(&mut block);
+//! assert_eq!(block, [0u8; 16]);
+//! ```
+
+pub mod block;
+pub mod cipher;
+pub mod column_serial;
+pub mod key_schedule;
+pub mod modes;
+pub mod sbox;
+pub mod tables;
+pub mod twofish;
+pub mod whirlpool;
+
+pub use cipher::BlockCipher128;
+pub use key_schedule::{KeySize, RoundKeys};
+
+use block::decrypt_with_round_keys;
+
+/// An AES cipher instance with a pre-expanded key schedule.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: RoundKeys,
+}
+
+impl Aes {
+    /// Expands `key` (16, 24 or 32 bytes) and builds a cipher instance.
+    ///
+    /// # Panics
+    /// Panics if the key length is not 16, 24 or 32 bytes.
+    pub fn new(key: &[u8]) -> Self {
+        Aes {
+            round_keys: RoundKeys::expand(key),
+        }
+    }
+
+    /// AES-128 constructor with a compile-time-checked key length.
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::new(key)
+    }
+
+    /// AES-192 constructor with a compile-time-checked key length.
+    pub fn new_192(key: &[u8; 24]) -> Self {
+        Self::new(key)
+    }
+
+    /// AES-256 constructor with a compile-time-checked key length.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::new(key)
+    }
+
+    /// The key size of this instance.
+    pub fn key_size(&self) -> KeySize {
+        self.round_keys.key_size()
+    }
+
+    /// Access to the expanded round keys (the MCCP's Key Scheduler output).
+    pub fn round_keys(&self) -> &RoundKeys {
+        &self.round_keys
+    }
+}
+
+impl BlockCipher128 for Aes {
+    fn encrypt_block(&self, block: &mut [u8; 16]) {
+        // Software fast path (T-tables); equivalence with the byte-wise
+        // datapath formulation is property-tested.
+        crate::tables::encrypt_block_ttable(&self.round_keys, block);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8; 16]) {
+        decrypt_with_round_keys(&self.round_keys, block);
+    }
+
+    fn name(&self) -> &'static str {
+        match self.key_size() {
+            KeySize::Aes128 => "AES-128",
+            KeySize::Aes192 => "AES-192",
+            KeySize::Aes256 => "AES-256",
+        }
+    }
+}

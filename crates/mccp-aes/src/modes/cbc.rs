@@ -1,0 +1,98 @@
+//! Cipher Block Chaining mode (SP 800-38A §6.2).
+//!
+//! Substrate for CBC-MAC and the Celator comparison point in Table III.
+
+use super::{xor_in_place, ModeError};
+use crate::cipher::BlockCipher128;
+
+/// Encrypts `data` in place under `iv`. Length must be a multiple of 16.
+pub fn cbc_encrypt<C: BlockCipher128>(
+    cipher: &C,
+    iv: &[u8; 16],
+    data: &mut [u8],
+) -> Result<(), ModeError> {
+    if !data.len().is_multiple_of(16) {
+        return Err(ModeError::InvalidParams("CBC requires full blocks"));
+    }
+    let mut chain = *iv;
+    for chunk in data.chunks_exact_mut(16) {
+        xor_in_place(chunk, &chain);
+        let block: &mut [u8; 16] = chunk.try_into().expect("exact chunk");
+        cipher.encrypt_block(block);
+        chain = *block;
+    }
+    Ok(())
+}
+
+/// Decrypts `data` in place under `iv`. Length must be a multiple of 16.
+pub fn cbc_decrypt<C: BlockCipher128>(
+    cipher: &C,
+    iv: &[u8; 16],
+    data: &mut [u8],
+) -> Result<(), ModeError> {
+    if !data.len().is_multiple_of(16) {
+        return Err(ModeError::InvalidParams("CBC requires full blocks"));
+    }
+    let mut chain = *iv;
+    for chunk in data.chunks_exact_mut(16) {
+        let ct: [u8; 16] = (*chunk).try_into().expect("exact chunk");
+        let block: &mut [u8; 16] = chunk.try_into().expect("exact chunk");
+        cipher.decrypt_block(block);
+        xor_in_place(block, &chain);
+        chain = ct;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::testutil::{hex, hex16};
+    use crate::Aes;
+
+    #[test]
+    fn sp800_38a_cbc_aes128() {
+        // SP 800-38A F.2.1.
+        let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let iv = hex16("000102030405060708090a0b0c0d0e0f");
+        let mut data = hex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        let pt = data.clone();
+        cbc_encrypt(&aes, &iv, &mut data).unwrap();
+        assert_eq!(
+            data,
+            hex(
+                "7649abac8119b246cee98e9b12e9197d\
+                 5086cb9b507219ee95db113a917678b2\
+                 73bed6b8e3c1743b7116e69e22229516\
+                 3ff1caa1681fac09120eca307586e1a7"
+            )
+        );
+        cbc_decrypt(&aes, &iv, &mut data).unwrap();
+        assert_eq!(data, pt);
+    }
+
+    #[test]
+    fn sp800_38a_cbc_aes256() {
+        // SP 800-38A F.2.5 (first block).
+        let aes = Aes::new(&hex(
+            "603deb1015ca71be2b73aef0857d7781\
+             1f352c073b6108d72d9810a30914dff4",
+        ));
+        let iv = hex16("000102030405060708090a0b0c0d0e0f");
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
+        cbc_encrypt(&aes, &iv, &mut data).unwrap();
+        assert_eq!(data, hex("f58c4c04d6e5f1ba779eabfb5f7bfbd6"));
+    }
+
+    #[test]
+    fn rejects_partial_block() {
+        let aes = Aes::new_128(&[0u8; 16]);
+        let mut data = vec![0u8; 20];
+        assert!(cbc_encrypt(&aes, &[0u8; 16], &mut data).is_err());
+    }
+}

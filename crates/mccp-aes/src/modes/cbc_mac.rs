@@ -1,0 +1,100 @@
+//! CBC-MAC (FIPS 113 style) — the authentication half of CCM and one of the
+//! four modes the MCCP firmware implements directly.
+//!
+//! The raw variant requires full blocks (as CCM's formatting guarantees);
+//! the padded variant zero-pads the final partial block, which is how the
+//! paper's communication controller is required to pre-format packets
+//! before they reach a cryptographic core.
+
+use super::{xor_in_place, ModeError};
+use crate::cipher::BlockCipher128;
+
+/// Computes the raw CBC-MAC over full 16-byte blocks with a zero IV.
+/// Returns the final 16-byte chaining value.
+pub fn cbc_mac_raw<C: BlockCipher128>(cipher: &C, data: &[u8]) -> Result<[u8; 16], ModeError> {
+    if !data.len().is_multiple_of(16) {
+        return Err(ModeError::InvalidParams("CBC-MAC requires full blocks"));
+    }
+    let mut mac = [0u8; 16];
+    for chunk in data.chunks_exact(16) {
+        xor_in_place(&mut mac, chunk);
+        cipher.encrypt_block(&mut mac);
+    }
+    Ok(mac)
+}
+
+/// Computes a CBC-MAC with zero-padding of the final partial block,
+/// truncated to `tag_len` bytes (`1..=16`).
+pub fn cbc_mac<C: BlockCipher128>(
+    cipher: &C,
+    data: &[u8],
+    tag_len: usize,
+) -> Result<Vec<u8>, ModeError> {
+    if tag_len == 0 || tag_len > 16 {
+        return Err(ModeError::InvalidParams("tag length must be 1..=16"));
+    }
+    let mut mac = [0u8; 16];
+    let mut chunks = data.chunks_exact(16);
+    for chunk in &mut chunks {
+        xor_in_place(&mut mac, chunk);
+        cipher.encrypt_block(&mut mac);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        xor_in_place(&mut mac, rem);
+        cipher.encrypt_block(&mut mac);
+    }
+    Ok(mac[..tag_len].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::cbc::cbc_encrypt;
+    use crate::Aes;
+
+    #[test]
+    fn raw_mac_equals_last_cbc_block() {
+        let aes = Aes::new_128(&[9u8; 16]);
+        let data: Vec<u8> = (0..64u8).collect();
+        let mac = cbc_mac_raw(&aes, &data).unwrap();
+        let mut cbc = data.clone();
+        cbc_encrypt(&aes, &[0u8; 16], &mut cbc).unwrap();
+        assert_eq!(mac.as_slice(), &cbc[48..64]);
+    }
+
+    #[test]
+    fn raw_rejects_partial() {
+        let aes = Aes::new_128(&[0u8; 16]);
+        assert!(cbc_mac_raw(&aes, &[0u8; 15]).is_err());
+    }
+
+    #[test]
+    fn padded_matches_manual_padding() {
+        let aes = Aes::new_128(&[1u8; 16]);
+        let data = [0xABu8; 20];
+        let tag = cbc_mac(&aes, &data, 16).unwrap();
+        let mut padded = data.to_vec();
+        padded.resize(32, 0);
+        let manual = cbc_mac_raw(&aes, &padded).unwrap();
+        assert_eq!(tag, manual.to_vec());
+    }
+
+    #[test]
+    fn truncation() {
+        let aes = Aes::new_128(&[1u8; 16]);
+        let full = cbc_mac(&aes, b"hello world MAC!", 16).unwrap();
+        let short = cbc_mac(&aes, b"hello world MAC!", 8).unwrap();
+        assert_eq!(short, full[..8]);
+        assert!(cbc_mac(&aes, b"x", 0).is_err());
+        assert!(cbc_mac(&aes, b"x", 17).is_err());
+    }
+
+    #[test]
+    fn mac_detects_change() {
+        let aes = Aes::new_128(&[1u8; 16]);
+        let a = cbc_mac(&aes, b"message one.....", 16).unwrap();
+        let b = cbc_mac(&aes, b"message two.....", 16).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,318 @@
+//! CCM — Counter with CBC-MAC (NIST SP 800-38C).
+//!
+//! The mode whose *data dependency* motivates the paper's multi-core
+//! design: CBC-MAC is strictly serial, so unrolled/pipelined cores gain
+//! nothing, while the MCCP can either run a whole CCM packet on one core
+//! (`T_loop = T_CTR + T_CBC = 104` cycles/block) or split CBC-MAC and CTR
+//! across two cores chained by the inter-core port
+//! (`T_loop = 55` cycles/block).
+//!
+//! The formatting of `B0`, the AAD length encoding and the counter blocks
+//! follow SP 800-38C Appendix A — in the real system this formatting is the
+//! communication controller's job (paper §VI.B); `mccp-sdr` reuses the
+//! functions exposed here.
+
+use super::{tags_equal, xor_in_place, xor_keystream, ModeError};
+use crate::cipher::BlockCipher128;
+
+/// CCM parameters: nonce and tag lengths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CcmParams {
+    /// Nonce length in bytes, 7..=13. The counter field gets `q = 15 - n`.
+    pub nonce_len: usize,
+    /// Tag length in bytes: 4, 6, 8, 10, 12, 14 or 16.
+    pub tag_len: usize,
+}
+
+impl CcmParams {
+    /// Validates the parameter combination per SP 800-38C §5.3/5.4.
+    pub fn validate(&self) -> Result<(), ModeError> {
+        if !(7..=13).contains(&self.nonce_len) {
+            return Err(ModeError::InvalidParams("CCM nonce must be 7..=13 bytes"));
+        }
+        if self.tag_len < 4 || self.tag_len > 16 || !self.tag_len.is_multiple_of(2) {
+            return Err(ModeError::InvalidParams(
+                "CCM tag must be an even length in 4..=16",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The byte width of the counter field, `q = 15 - n`.
+    pub fn q(&self) -> usize {
+        15 - self.nonce_len
+    }
+
+    /// Maximum payload length representable: `2^(8q) - 1` (saturated).
+    pub fn max_payload(&self) -> u64 {
+        let bits = 8 * self.q() as u32;
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+}
+
+/// Builds the `B0` block (SP 800-38C A.2.1).
+pub fn format_b0(params: &CcmParams, nonce: &[u8], aad_len: usize, payload_len: usize) -> [u8; 16] {
+    let q = params.q();
+    let mut b0 = [0u8; 16];
+    let adata = if aad_len > 0 { 1u8 } else { 0 };
+    let t_enc = ((params.tag_len - 2) / 2) as u8;
+    b0[0] = (adata << 6) | (t_enc << 3) | ((q - 1) as u8);
+    b0[1..1 + nonce.len()].copy_from_slice(nonce);
+    let plen = payload_len as u64;
+    let qbytes = plen.to_be_bytes();
+    b0[16 - q..].copy_from_slice(&qbytes[8 - q..]);
+    b0
+}
+
+/// Encodes the AAD length prefix (SP 800-38C A.2.2): 2, 6 or 10 bytes.
+pub fn encode_aad_len(aad_len: usize) -> Vec<u8> {
+    let a = aad_len as u64;
+    if a == 0 {
+        Vec::new()
+    } else if a < 0xFF00 {
+        (a as u16).to_be_bytes().to_vec()
+    } else if a <= u32::MAX as u64 {
+        let mut v = vec![0xFF, 0xFE];
+        v.extend_from_slice(&(a as u32).to_be_bytes());
+        v
+    } else {
+        let mut v = vec![0xFF, 0xFF];
+        v.extend_from_slice(&a.to_be_bytes());
+        v
+    }
+}
+
+/// Builds the counter block `Ctr_i` (SP 800-38C A.3).
+pub fn format_counter(params: &CcmParams, nonce: &[u8], i: u64) -> [u8; 16] {
+    let q = params.q();
+    let mut ctr = [0u8; 16];
+    ctr[0] = (q - 1) as u8;
+    ctr[1..1 + nonce.len()].copy_from_slice(nonce);
+    let ibytes = i.to_be_bytes();
+    ctr[16 - q..].copy_from_slice(&ibytes[8 - q..]);
+    ctr
+}
+
+/// Assembles the full CBC-MAC input `B0 || encoded(AAD) || padded AAD ||
+/// padded payload` — exactly the byte stream the paper's communication
+/// controller must push into a core's input FIFO.
+pub fn format_mac_input(
+    params: &CcmParams,
+    nonce: &[u8],
+    aad: &[u8],
+    payload: &[u8],
+) -> Vec<u8> {
+    let b0 = format_b0(params, nonce, aad.len(), payload.len());
+    let mut blocks = Vec::with_capacity(16 + aad.len() + payload.len() + 48);
+    blocks.extend_from_slice(&b0);
+    if !aad.is_empty() {
+        blocks.extend_from_slice(&encode_aad_len(aad.len()));
+        blocks.extend_from_slice(aad);
+        let pad = (16 - blocks.len() % 16) % 16;
+        blocks.extend(std::iter::repeat_n(0u8, pad));
+    }
+    blocks.extend_from_slice(payload);
+    let pad = (16 - blocks.len() % 16) % 16;
+    blocks.extend(std::iter::repeat_n(0u8, pad));
+    blocks
+}
+
+fn raw_cbc_mac_tag<C: BlockCipher128>(
+    cipher: &C,
+    params: &CcmParams,
+    nonce: &[u8],
+    aad: &[u8],
+    payload: &[u8],
+) -> [u8; 16] {
+    let input = format_mac_input(params, nonce, aad, payload);
+    let mut mac = [0u8; 16];
+    for chunk in input.chunks_exact(16) {
+        xor_in_place(&mut mac, chunk);
+        cipher.encrypt_block(&mut mac);
+    }
+    mac
+}
+
+/// CCM authenticated encryption. Returns `ciphertext || tag`.
+pub fn ccm_seal<C: BlockCipher128>(
+    cipher: &C,
+    params: &CcmParams,
+    nonce: &[u8],
+    aad: &[u8],
+    payload: &[u8],
+) -> Result<Vec<u8>, ModeError> {
+    params.validate()?;
+    if nonce.len() != params.nonce_len {
+        return Err(ModeError::InvalidParams("nonce length mismatch"));
+    }
+    if payload.len() as u64 > params.max_payload() {
+        return Err(ModeError::InvalidParams("payload too long for q"));
+    }
+
+    let t = raw_cbc_mac_tag(cipher, params, nonce, aad, payload);
+
+    let mut out = payload.to_vec();
+    // CTR over the payload starts at Ctr_1.
+    for (i, chunk) in out.chunks_mut(16).enumerate() {
+        let ctr = format_counter(params, nonce, (i + 1) as u64);
+        xor_keystream(cipher, &ctr, chunk);
+    }
+    // The tag is masked with Ctr_0.
+    let ctr0 = format_counter(params, nonce, 0);
+    let s0 = cipher.encrypt_copy(&ctr0);
+    let mut tag = [0u8; 16];
+    for i in 0..16 {
+        tag[i] = t[i] ^ s0[i];
+    }
+    out.extend_from_slice(&tag[..params.tag_len]);
+    Ok(out)
+}
+
+/// CCM authenticated decryption of `ciphertext || tag`. Returns the
+/// plaintext, or — like the MCCP, which wipes the output FIFO and raises
+/// `AUTH_FAIL` — releases nothing on tag mismatch.
+pub fn ccm_open<C: BlockCipher128>(
+    cipher: &C,
+    params: &CcmParams,
+    nonce: &[u8],
+    aad: &[u8],
+    ct_and_tag: &[u8],
+) -> Result<Vec<u8>, ModeError> {
+    params.validate()?;
+    if nonce.len() != params.nonce_len {
+        return Err(ModeError::InvalidParams("nonce length mismatch"));
+    }
+    if ct_and_tag.len() < params.tag_len {
+        return Err(ModeError::InvalidParams("ciphertext shorter than tag"));
+    }
+    let (ct, tag) = ct_and_tag.split_at(ct_and_tag.len() - params.tag_len);
+
+    let mut pt = ct.to_vec();
+    for (i, chunk) in pt.chunks_mut(16).enumerate() {
+        let ctr = format_counter(params, nonce, (i + 1) as u64);
+        xor_keystream(cipher, &ctr, chunk);
+    }
+
+    let t = raw_cbc_mac_tag(cipher, params, nonce, aad, &pt);
+    let ctr0 = format_counter(params, nonce, 0);
+    let s0 = cipher.encrypt_copy(&ctr0);
+    let mut expect = [0u8; 16];
+    for i in 0..16 {
+        expect[i] = t[i] ^ s0[i];
+    }
+    if !tags_equal(tag, &expect[..params.tag_len]) {
+        return Err(ModeError::AuthFail);
+    }
+    Ok(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::testutil::hex;
+    use crate::Aes;
+
+    fn k() -> Aes {
+        Aes::new(&hex("404142434445464748494a4b4c4d4e4f"))
+    }
+
+    #[test]
+    fn sp800_38c_example_1() {
+        let params = CcmParams { nonce_len: 7, tag_len: 4 };
+        let nonce = hex("10111213141516");
+        let aad = hex("0001020304050607");
+        let payload = hex("20212223");
+        let ct = ccm_seal(&k(), &params, &nonce, &aad, &payload).unwrap();
+        assert_eq!(ct, hex("7162015b4dac255d"));
+        let pt = ccm_open(&k(), &params, &nonce, &aad, &ct).unwrap();
+        assert_eq!(pt, payload);
+    }
+
+    #[test]
+    fn sp800_38c_example_2() {
+        let params = CcmParams { nonce_len: 8, tag_len: 6 };
+        let nonce = hex("1011121314151617");
+        let aad = hex("000102030405060708090a0b0c0d0e0f");
+        let payload = hex("202122232425262728292a2b2c2d2e2f");
+        let ct = ccm_seal(&k(), &params, &nonce, &aad, &payload).unwrap();
+        assert_eq!(
+            ct,
+            hex("d2a1f0e051ea5f62081a7792073d593d1fc64fbfaccd")
+        );
+    }
+
+    #[test]
+    fn sp800_38c_example_3() {
+        let params = CcmParams { nonce_len: 12, tag_len: 8 };
+        let nonce = hex("101112131415161718191a1b");
+        let aad = hex("000102030405060708090a0b0c0d0e0f10111213");
+        let payload = hex("202122232425262728292a2b2c2d2e2f3031323334353637");
+        let ct = ccm_seal(&k(), &params, &nonce, &aad, &payload).unwrap();
+        assert_eq!(
+            ct,
+            hex("e3b201a9f5b71a7a9b1ceaeccd97e70b6176aad9a4428aa5484392fbc1b09951")
+        );
+        assert_eq!(
+            ccm_open(&k(), &params, &nonce, &aad, &ct).unwrap(),
+            payload
+        );
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let params = CcmParams { nonce_len: 7, tag_len: 8 };
+        let nonce = [1u8; 7];
+        let mut ct = ccm_seal(&k(), &params, &nonce, b"aad", b"payload bytes").unwrap();
+        ct[0] ^= 1;
+        assert_eq!(
+            ccm_open(&k(), &params, &nonce, b"aad", &ct),
+            Err(ModeError::AuthFail)
+        );
+        // Wrong AAD also fails.
+        ct[0] ^= 1;
+        assert_eq!(
+            ccm_open(&k(), &params, &nonce, b"dad", &ct),
+            Err(ModeError::AuthFail)
+        );
+    }
+
+    #[test]
+    fn empty_payload_and_aad() {
+        let params = CcmParams { nonce_len: 13, tag_len: 16 };
+        let nonce = [5u8; 13];
+        let ct = ccm_seal(&k(), &params, &nonce, &[], &[]).unwrap();
+        assert_eq!(ct.len(), 16);
+        assert_eq!(ccm_open(&k(), &params, &nonce, &[], &ct).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(CcmParams { nonce_len: 6, tag_len: 8 }.validate().is_err());
+        assert!(CcmParams { nonce_len: 14, tag_len: 8 }.validate().is_err());
+        assert!(CcmParams { nonce_len: 7, tag_len: 5 }.validate().is_err());
+        assert!(CcmParams { nonce_len: 7, tag_len: 2 }.validate().is_err());
+        assert!(CcmParams { nonce_len: 7, tag_len: 4 }.validate().is_ok());
+    }
+
+    #[test]
+    fn aad_length_encoding_tiers() {
+        assert!(encode_aad_len(0).is_empty());
+        assert_eq!(encode_aad_len(8), vec![0, 8]);
+        assert_eq!(encode_aad_len(0xFEFF), vec![0xFE, 0xFF]);
+        let big = encode_aad_len(0xFF00);
+        assert_eq!(&big[..2], &[0xFF, 0xFE]);
+        assert_eq!(big.len(), 6);
+    }
+
+    #[test]
+    fn b0_layout_example1() {
+        // From SP 800-38C example 1: B0 = 4f101112131415160000000000000004.
+        let params = CcmParams { nonce_len: 7, tag_len: 4 };
+        let b0 = format_b0(&params, &hex("10111213141516"), 8, 4);
+        assert_eq!(b0.to_vec(), hex("4f101112131415160000000000000004"));
+    }
+}

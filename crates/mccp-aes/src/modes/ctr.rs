@@ -1,0 +1,143 @@
+//! Counter mode (SP 800-38A §6.5).
+//!
+//! One of the four modes the MCCP firmware implements directly, and the
+//! confidentiality half of both CCM and GCM. Encryption and decryption are
+//! the same keystream XOR, so a single [`ctr_xcrypt`] covers both — this is
+//! also why the MCCP's Cryptographic Unit only needs the *forward* AES
+//! datapath.
+
+use super::{xor_keystream, ModeError};
+use crate::cipher::BlockCipher128;
+
+/// Increments a 128-bit big-endian counter block by one.
+#[inline]
+pub fn inc128(block: &mut [u8; 16]) {
+    for b in block.iter_mut().rev() {
+        let (v, carry) = b.overflowing_add(1);
+        *b = v;
+        if !carry {
+            break;
+        }
+    }
+}
+
+/// Increments only the low 32 bits (big-endian) — GCM's `inc32`.
+#[inline]
+pub fn inc32(block: &mut [u8; 16]) {
+    let mut ctr = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes"));
+    ctr = ctr.wrapping_add(1);
+    block[12..16].copy_from_slice(&ctr.to_be_bytes());
+}
+
+/// Increments only the low 16 bits (big-endian) by `i` — the operation of
+/// the MCCP Cryptographic Unit's **INC core** (paper §V.A: "allows 16-bit
+/// incrementation by 1, 2, 3 or 4 of a 128-bit word").
+#[inline]
+pub fn inc16(block: &mut [u8; 16], i: u16) {
+    let mut ctr = u16::from_be_bytes(block[14..16].try_into().expect("2 bytes"));
+    ctr = ctr.wrapping_add(i);
+    block[14..16].copy_from_slice(&ctr.to_be_bytes());
+}
+
+/// Encrypts or decrypts `data` in place with CTR mode starting from
+/// `initial_counter`, using the full 128-bit increment of SP 800-38A.
+/// The final partial block uses only the leading keystream bytes.
+pub fn ctr_xcrypt<C: BlockCipher128>(
+    cipher: &C,
+    initial_counter: &[u8; 16],
+    data: &mut [u8],
+) -> Result<(), ModeError> {
+    let mut counter = *initial_counter;
+    for chunk in data.chunks_mut(16) {
+        xor_keystream(cipher, &counter, chunk);
+        inc128(&mut counter);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::testutil::{hex, hex16};
+    use crate::Aes;
+
+    #[test]
+    fn sp800_38a_ctr_aes128() {
+        // SP 800-38A F.5.1.
+        let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let ctr0 = hex16("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+        let mut data = hex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        let pt = data.clone();
+        ctr_xcrypt(&aes, &ctr0, &mut data).unwrap();
+        assert_eq!(
+            data,
+            hex(
+                "874d6191b620e3261bef6864990db6ce\
+                 9806f66b7970fdff8617187bb9fffdff\
+                 5ae4df3edbd5d35e5b4f09020db03eab\
+                 1e031dda2fbe03d1792170a0f3009cee"
+            )
+        );
+        // CTR is an involution.
+        ctr_xcrypt(&aes, &ctr0, &mut data).unwrap();
+        assert_eq!(data, pt);
+    }
+
+    #[test]
+    fn sp800_38a_ctr_aes192() {
+        // SP 800-38A F.5.3 (first block).
+        let aes = Aes::new(&hex("8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b"));
+        let ctr0 = hex16("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
+        ctr_xcrypt(&aes, &ctr0, &mut data).unwrap();
+        assert_eq!(data, hex("1abc932417521ca24f2b0459fe7e6e0b"));
+    }
+
+    #[test]
+    fn partial_final_block() {
+        let aes = Aes::new_128(&[3u8; 16]);
+        let ctr0 = [0u8; 16];
+        let mut data = vec![0xAAu8; 21];
+        let orig = data.clone();
+        ctr_xcrypt(&aes, &ctr0, &mut data).unwrap();
+        assert_ne!(data, orig);
+        ctr_xcrypt(&aes, &ctr0, &mut data).unwrap();
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn inc128_carries() {
+        let mut b = [0xFFu8; 16];
+        inc128(&mut b);
+        assert_eq!(b, [0u8; 16]);
+        let mut b = [0u8; 16];
+        b[15] = 0xFF;
+        inc128(&mut b);
+        assert_eq!(b[14], 1);
+        assert_eq!(b[15], 0);
+    }
+
+    #[test]
+    fn inc32_wraps_within_low_word() {
+        let mut b = [0xFFu8; 16];
+        inc32(&mut b);
+        assert_eq!(&b[12..16], &[0, 0, 0, 0]);
+        assert_eq!(b[11], 0xFF); // no carry past bit 32
+    }
+
+    #[test]
+    fn inc16_variants() {
+        let mut b = [0u8; 16];
+        inc16(&mut b, 4);
+        assert_eq!(b[15], 4);
+        let mut b = [0xFFu8; 16];
+        inc16(&mut b, 1);
+        assert_eq!(&b[14..16], &[0, 0]);
+        assert_eq!(b[13], 0xFF); // no carry past bit 16
+    }
+}

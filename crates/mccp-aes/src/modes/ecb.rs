@@ -1,0 +1,72 @@
+//! Electronic Codebook mode (SP 800-38A §6.1).
+//!
+//! Not offered by the MCCP's firmware (it has no confidentiality guarantees
+//! for structured data) but required as the Table III comparison point for
+//! Cryptonite and Cryptomaniac, and as the primitive under the other modes'
+//! tests.
+
+use super::ModeError;
+use crate::cipher::BlockCipher128;
+
+/// Encrypts `data` in place. Length must be a multiple of 16.
+pub fn ecb_encrypt<C: BlockCipher128>(cipher: &C, data: &mut [u8]) -> Result<(), ModeError> {
+    if !data.len().is_multiple_of(16) {
+        return Err(ModeError::InvalidParams("ECB requires full blocks"));
+    }
+    for chunk in data.chunks_exact_mut(16) {
+        let block: &mut [u8; 16] = chunk.try_into().expect("exact chunk");
+        cipher.encrypt_block(block);
+    }
+    Ok(())
+}
+
+/// Decrypts `data` in place. Length must be a multiple of 16.
+pub fn ecb_decrypt<C: BlockCipher128>(cipher: &C, data: &mut [u8]) -> Result<(), ModeError> {
+    if !data.len().is_multiple_of(16) {
+        return Err(ModeError::InvalidParams("ECB requires full blocks"));
+    }
+    for chunk in data.chunks_exact_mut(16) {
+        let block: &mut [u8; 16] = chunk.try_into().expect("exact chunk");
+        cipher.decrypt_block(block);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::testutil::hex;
+    use crate::Aes;
+
+    #[test]
+    fn sp800_38a_ecb_aes128() {
+        // SP 800-38A F.1.1.
+        let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
+        let mut data = hex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        ecb_encrypt(&aes, &mut data).unwrap();
+        assert_eq!(
+            data,
+            hex(
+                "3ad77bb40d7a3660a89ecaf32466ef97\
+                 f5d3d58503b9699de785895a96fdbaaf\
+                 43b1cd7f598ece23881b00e3ed030688\
+                 7b0c785e27e8ad3f8223207104725dd4"
+            )
+        );
+        ecb_decrypt(&aes, &mut data).unwrap();
+        assert_eq!(data[..16], hex("6bc1bee22e409f96e93d7e117393172a"));
+    }
+
+    #[test]
+    fn rejects_partial_block() {
+        let aes = Aes::new_128(&[0u8; 16]);
+        let mut data = vec![0u8; 17];
+        assert!(ecb_encrypt(&aes, &mut data).is_err());
+        assert!(ecb_decrypt(&aes, &mut data).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! T-table AES encryption — the classic 32-bit software formulation
+//! (four 1 KB lookup tables combining SubBytes, ShiftRows and MixColumns).
+//!
+//! This is the *software* fast path used by the functional (thread-
+//! parallel) MCCP mode and the reference oracles; the hardware model keeps
+//! the byte-wise formulation in [`crate::block`], which mirrors the
+//! datapath. Both are tested for equivalence (unit tests here, proptests
+//! in `tests/proptests.rs`).
+//!
+//! Tables are computed at compile time from the same first-principles
+//! S-box as everything else — no opaque constants.
+
+use crate::key_schedule::RoundKeys;
+use crate::sbox::{gf256_mul, SBOX};
+
+const fn build_t0() -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = gf256_mul(s, 2);
+        let s3 = gf256_mul(s, 3);
+        // Column (2s, s, s, 3s) packed big-endian.
+        t[i] = ((s2 as u32) << 24) | ((s as u32) << 16) | ((s as u32) << 8) | s3 as u32;
+        i += 1;
+    }
+    t
+}
+
+/// T0; T1..T3 are byte rotations of T0.
+pub const T0: [u32; 256] = build_t0();
+
+#[inline(always)]
+fn t0(b: u8) -> u32 {
+    T0[b as usize]
+}
+#[inline(always)]
+fn t1(b: u8) -> u32 {
+    T0[b as usize].rotate_right(8)
+}
+#[inline(always)]
+fn t2(b: u8) -> u32 {
+    T0[b as usize].rotate_right(16)
+}
+#[inline(always)]
+fn t3(b: u8) -> u32 {
+    T0[b as usize].rotate_right(24)
+}
+
+#[inline(always)]
+fn word(rk: &[u8; 16], c: usize) -> u32 {
+    u32::from_be_bytes([rk[4 * c], rk[4 * c + 1], rk[4 * c + 2], rk[4 * c + 3]])
+}
+
+/// Encrypts one block with the T-table formulation.
+pub fn encrypt_block_ttable(rk: &RoundKeys, block: &mut [u8; 16]) {
+    let nr = rk.rounds();
+    let rk0 = rk.round_key(0);
+    let mut s0 = u32::from_be_bytes(block[0..4].try_into().expect("4")) ^ word(rk0, 0);
+    let mut s1 = u32::from_be_bytes(block[4..8].try_into().expect("4")) ^ word(rk0, 1);
+    let mut s2 = u32::from_be_bytes(block[8..12].try_into().expect("4")) ^ word(rk0, 2);
+    let mut s3 = u32::from_be_bytes(block[12..16].try_into().expect("4")) ^ word(rk0, 3);
+
+    for round in 1..nr {
+        let k = rk.round_key(round);
+        let n0 = t0((s0 >> 24) as u8)
+            ^ t1((s1 >> 16) as u8)
+            ^ t2((s2 >> 8) as u8)
+            ^ t3(s3 as u8)
+            ^ word(k, 0);
+        let n1 = t0((s1 >> 24) as u8)
+            ^ t1((s2 >> 16) as u8)
+            ^ t2((s3 >> 8) as u8)
+            ^ t3(s0 as u8)
+            ^ word(k, 1);
+        let n2 = t0((s2 >> 24) as u8)
+            ^ t1((s3 >> 16) as u8)
+            ^ t2((s0 >> 8) as u8)
+            ^ t3(s1 as u8)
+            ^ word(k, 2);
+        let n3 = t0((s3 >> 24) as u8)
+            ^ t1((s0 >> 16) as u8)
+            ^ t2((s1 >> 8) as u8)
+            ^ t3(s2 as u8)
+            ^ word(k, 3);
+        (s0, s1, s2, s3) = (n0, n1, n2, n3);
+    }
+
+    // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+    let k = rk.round_key(nr);
+    let f = |a: u32, b: u32, c: u32, d: u32| {
+        ((SBOX[(a >> 24) as usize] as u32) << 24)
+            | ((SBOX[((b >> 16) & 0xFF) as usize] as u32) << 16)
+            | ((SBOX[((c >> 8) & 0xFF) as usize] as u32) << 8)
+            | SBOX[(d & 0xFF) as usize] as u32
+    };
+    let o0 = f(s0, s1, s2, s3) ^ word(k, 0);
+    let o1 = f(s1, s2, s3, s0) ^ word(k, 1);
+    let o2 = f(s2, s3, s0, s1) ^ word(k, 2);
+    let o3 = f(s3, s0, s1, s2) ^ word(k, 3);
+    block[0..4].copy_from_slice(&o0.to_be_bytes());
+    block[4..8].copy_from_slice(&o1.to_be_bytes());
+    block[8..12].copy_from_slice(&o2.to_be_bytes());
+    block[12..16].copy_from_slice(&o3.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::encrypt_with_round_keys;
+
+    #[test]
+    fn matches_bytewise_reference_all_key_sizes() {
+        for len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(13)).collect();
+            let rk = RoundKeys::expand(&key);
+            for seed in 0..32u8 {
+                let mut a: [u8; 16] =
+                    core::array::from_fn(|i| (i as u8).wrapping_mul(seed).wrapping_add(7));
+                let mut b = a;
+                encrypt_block_ttable(&rk, &mut a);
+                encrypt_with_round_keys(&rk, &mut b);
+                assert_eq!(a, b, "key len {len}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c1_via_ttables() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let rk = RoundKeys::expand(&key);
+        let mut block: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        encrypt_block_ttable(&rk, &mut block);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn table_structure() {
+        // T0[s] columns relate by rotation; spot-check the packing.
+        let s = SBOX[0x53] as u32;
+        let s2 = gf256_mul(SBOX[0x53], 2) as u32;
+        let s3 = gf256_mul(SBOX[0x53], 3) as u32;
+        assert_eq!(T0[0x53], (s2 << 24) | (s << 16) | (s << 8) | s3);
+    }
+}

@@ -1,0 +1,307 @@
+//! The Whirlpool hash function (ISO/IEC 10118-3).
+//!
+//! Whirlpool is the second algorithm the paper loads into the MCCP's
+//! reconfigurable Cryptographic Unit region (Table IV: 1153 slices, 4 BRAM,
+//! 97 kB bitstream). Implementing it functionally lets the reconfiguration
+//! model actually *swap algorithms* rather than merely pretend to.
+//!
+//! The 512-bit W block cipher is built like a big AES: an 8×8 byte state,
+//! SubBytes from a mini-box construction, a cyclical column shift, a
+//! circulant MDS row mix over GF(2^8) mod `x^8+x^4+x^3+x^2+1` (0x11D), and
+//! a Miyaguchi–Preneel compression wrapper.
+
+/// Number of rounds of the W cipher.
+pub const ROUNDS: usize = 10;
+
+/// GF(2^8) multiplication modulo 0x11D (Whirlpool's polynomial).
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1D;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    acc
+}
+
+/// The Whirlpool S-box, generated from the specification's mini-boxes
+/// (E, E^-1, R) rather than embedded as literals.
+const fn build_sbox() -> [u8; 256] {
+    const E: [u8; 16] = [
+        0x1, 0xB, 0x9, 0xC, 0xD, 0x6, 0xF, 0x3, 0xE, 0x8, 0x7, 0x4, 0xA, 0x2, 0x5, 0x0,
+    ];
+    const R: [u8; 16] = [
+        0x7, 0xC, 0xB, 0xD, 0xE, 0x4, 0x9, 0xF, 0x6, 0x3, 0x8, 0xA, 0x2, 0x5, 0x1, 0x0,
+    ];
+    // E^-1
+    let mut einv = [0u8; 16];
+    let mut i = 0;
+    while i < 16 {
+        einv[E[i] as usize] = i as u8;
+        i += 1;
+    }
+    let mut sbox = [0u8; 256];
+    let mut x = 0usize;
+    while x < 256 {
+        let u = (x >> 4) as u8;
+        let l = (x & 0xF) as u8;
+        let u1 = E[u as usize];
+        let l1 = einv[l as usize];
+        let r = R[(u1 ^ l1) as usize];
+        let hi = E[(u1 ^ r) as usize];
+        let lo = einv[(l1 ^ r) as usize];
+        sbox[x] = (hi << 4) | lo;
+        x += 1;
+    }
+    sbox
+}
+
+/// The Whirlpool SubBytes table.
+pub const SBOX: [u8; 256] = build_sbox();
+
+/// Circulant MDS row of the diffusion matrix.
+const CIR: [u8; 8] = [1, 1, 4, 1, 8, 5, 2, 9];
+
+type State = [u8; 64]; // row-major 8x8: state[8*r + c]
+
+fn gamma(s: &mut State) {
+    for b in s.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// ShiftColumns: column j rotates down by j positions.
+fn pi(s: &State) -> State {
+    let mut out = [0u8; 64];
+    for c in 0..8 {
+        for r in 0..8 {
+            out[8 * ((r + c) % 8) + c] = s[8 * r + c];
+        }
+    }
+    out
+}
+
+/// MixRows: state ← state × C, C[k][j] = cir[(j - k) mod 8].
+fn theta(s: &State) -> State {
+    let mut out = [0u8; 64];
+    for r in 0..8 {
+        for j in 0..8 {
+            let mut acc = 0u8;
+            for k in 0..8 {
+                acc ^= gf_mul(s[8 * r + k], CIR[(j + 8 - k) % 8]);
+            }
+            out[8 * r + j] = acc;
+        }
+    }
+    out
+}
+
+fn add(s: &mut State, k: &State) {
+    for (a, b) in s.iter_mut().zip(k.iter()) {
+        *a ^= b;
+    }
+}
+
+fn round_constant(r: usize) -> State {
+    let mut rc = [0u8; 64];
+    for j in 0..8 {
+        rc[j] = SBOX[8 * (r - 1) + j];
+    }
+    rc
+}
+
+/// The W block cipher: encrypts `block` under `key` (both 512-bit).
+pub fn w_cipher(key: &State, block: &State) -> State {
+    let mut k = *key;
+    let mut s = *block;
+    add(&mut s, &k);
+    for r in 1..=ROUNDS {
+        // Key schedule round.
+        gamma(&mut k);
+        k = theta(&pi(&k));
+        add(&mut k, &round_constant(r));
+        // State round.
+        gamma(&mut s);
+        s = theta(&pi(&s));
+        add(&mut s, &k);
+    }
+    s
+}
+
+/// Streaming Whirlpool hasher.
+#[derive(Clone)]
+pub struct Whirlpool {
+    state: State,
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message length in bits (the spec allows 256-bit lengths; u128
+    /// is plenty for any realistic input).
+    bit_len: u128,
+}
+
+impl Default for Whirlpool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Whirlpool {
+    /// Starts a fresh hash computation.
+    pub fn new() -> Self {
+        Whirlpool {
+            state: [0u8; 64],
+            buf: [0u8; 64],
+            buf_len: 0,
+            bit_len: 0,
+        }
+    }
+
+    fn compress(&mut self, block: &State) {
+        // Miyaguchi–Preneel: H = E_H(m) ^ m ^ H.
+        let e = w_cipher(&self.state, block);
+        for i in 0..64 {
+            self.state[i] ^= e[i] ^ block[i];
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.bit_len += (data.len() as u128) * 8;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let block: State = chunk.try_into().expect("exact chunk");
+            self.compress(&block);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            self.buf[..rem.len()].copy_from_slice(rem);
+            self.buf_len = rem.len();
+        }
+    }
+
+    /// Pads and returns the 512-bit digest.
+    pub fn finalize(mut self) -> [u8; 64] {
+        // Append 0x80, zero-fill to 32 mod 64, then the 256-bit bit length.
+        let bit_len = self.bit_len;
+        self.update(&[0x80]);
+        self.bit_len -= 8; // padding doesn't count
+        while self.buf_len != 32 {
+            self.update(&[0x00]);
+            self.bit_len -= 8;
+        }
+        let mut len_bytes = [0u8; 32];
+        len_bytes[16..].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&len_bytes);
+        debug_assert_eq!(self.buf_len, 0);
+        self.state
+    }
+}
+
+/// One-shot Whirlpool digest.
+pub fn whirlpool(data: &[u8]) -> [u8; 64] {
+    let mut h = Whirlpool::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex64(s: &str) -> [u8; 64] {
+        let clean: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        let v: Vec<u8> = (0..64)
+            .map(|i| u8::from_str_radix(&clean[2 * i..2 * i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        assert_eq!(SBOX[0x00], 0x18);
+        assert_eq!(SBOX[0x01], 0x23);
+        assert_eq!(SBOX[0x02], 0xC6);
+    }
+
+    #[test]
+    fn iso_vector_empty() {
+        assert_eq!(
+            whirlpool(b""),
+            hex64(
+                "19FA61D75522A4669B44E39C1D2E1726C530232130D407F89AFEE0964997F7A7\
+                 3E83BE698B288FEBCF88E3E03C4F0757EA8964E59B63D93708B138CC42A66EB3"
+            )
+        );
+    }
+
+    #[test]
+    fn iso_vector_a() {
+        assert_eq!(
+            whirlpool(b"a"),
+            hex64(
+                "8ACA2602792AEC6F11A67206531FB7D7F0DFF59413145E6973C45001D0087B42\
+                 D11BC645413AEFF63A42391A39145A591A92200D560195E53B478584FDAE231A"
+            )
+        );
+    }
+
+    #[test]
+    fn iso_vector_abc() {
+        assert_eq!(
+            whirlpool(b"abc"),
+            hex64(
+                "4E2448A4C6F486BB16B6562C73B4020BF3043E3A731BCE721AE1B303D97E6D4C\
+                 7181EEBDB6C57E277D0E34957114CBD6C797FC9D95D8B582D225292076D4EEF5"
+            )
+        );
+    }
+
+    #[test]
+    fn iso_vector_message_digest() {
+        assert_eq!(
+            whirlpool(b"message digest"),
+            hex64(
+                "378C84A4126E2DC6E56DCC7458377AAC838D00032230F53CE1F5700C0FFB4D3B\
+                 8421557659EF55C106B4B52AC5A4AAA692ED920052838F3362E86DBD37A8903E"
+            )
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        let oneshot = whirlpool(&data);
+        let mut h = Whirlpool::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn long_message_crosses_blocks() {
+        // Length exactly one block and one block + 1.
+        let a = whirlpool(&[0xABu8; 64]);
+        let b = whirlpool(&[0xABu8; 65]);
+        assert_ne!(a, b);
+    }
+}

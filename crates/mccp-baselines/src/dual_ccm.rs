@@ -1,0 +1,141 @@
+//! A tightly coupled dual-AES CCM accelerator in the style of Aziz & Ikram
+//! (reference \[3\] of the paper: an 802.11i AES-CCM core, 487 slices /
+//! 4 BRAM on a Spartan-3, 2.78 Mbps/MHz at 247 MHz).
+//!
+//! Two iterative AES sub-cores run in lockstep: one encrypts the CTR
+//! block while the other advances the CBC-MAC chain, so CCM costs one
+//! block per iterative-AES latency instead of two. The sub-cores *cannot*
+//! operate independently (the paper's contrast with the MCCP's loosely
+//! coupled cores): the engine processes exactly one CCM packet at a time
+//! and supports nothing else.
+
+use mccp_aes::modes::ccm::CcmParams;
+use mccp_aes::modes::{ccm_open, ccm_seal, ModeError};
+use mccp_aes::Aes;
+use mccp_sim::resources::Resources;
+
+/// Cycle-annotated output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedOutput {
+    pub bytes: Vec<u8>,
+    pub cycles: u64,
+}
+
+/// The dual-core CCM engine.
+pub struct DualCoreCcm {
+    aes: Aes,
+}
+
+impl DualCoreCcm {
+    /// Cycles per 128-bit block: both AES sub-cores run concurrently, so
+    /// one block costs one iterative AES pass (46 cycles ≈ the published
+    /// 2.78 Mbps/MHz = 128 / 46).
+    pub const CYCLES_PER_BLOCK: u64 = 46;
+
+    /// Published implementation cost (Table III row).
+    pub const AREA: Resources = Resources::new(487, 4);
+
+    pub fn new(key: &[u8]) -> Self {
+        DualCoreCcm { aes: Aes::new(key) }
+    }
+
+    fn packet_cycles(aad: &[u8], payload_len: usize) -> u64 {
+        let auth_blocks = 1
+            + if aad.is_empty() {
+                0
+            } else {
+                (2 + aad.len()).div_ceil(16) as u64
+            };
+        let payload_blocks = payload_len.div_ceil(16) as u64;
+        // Auth-prefix blocks only feed the MAC core; payload blocks feed
+        // both lockstep cores; plus one pass for the tag mask E(Ctr0).
+        (auth_blocks + payload_blocks + 1) * Self::CYCLES_PER_BLOCK
+    }
+
+    /// CCM seal with the lockstep cycle model.
+    pub fn seal(
+        &self,
+        params: &CcmParams,
+        nonce: &[u8],
+        aad: &[u8],
+        payload: &[u8],
+    ) -> Result<TimedOutput, ModeError> {
+        let bytes = ccm_seal(&self.aes, params, nonce, aad, payload)?;
+        Ok(TimedOutput {
+            bytes,
+            cycles: Self::packet_cycles(aad, payload.len()),
+        })
+    }
+
+    /// CCM open with the lockstep cycle model.
+    pub fn open(
+        &self,
+        params: &CcmParams,
+        nonce: &[u8],
+        aad: &[u8],
+        ct_and_tag: &[u8],
+    ) -> Result<TimedOutput, ModeError> {
+        let bytes = ccm_open(&self.aes, params, nonce, aad, ct_and_tag)?;
+        let payload_len = ct_and_tag.len() - params.tag_len;
+        Ok(TimedOutput {
+            bytes,
+            cycles: Self::packet_cycles(aad, payload_len),
+        })
+    }
+
+    /// Steady-state Mbps/MHz.
+    pub fn mbps_per_mhz() -> f64 {
+        128.0 / Self::CYCLES_PER_BLOCK as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_published_throughput() {
+        // 128 / 46 = 2.78 Mbps/MHz.
+        assert!((DualCoreCcm::mbps_per_mhz() - 2.78).abs() < 0.01);
+    }
+
+    #[test]
+    fn seal_open_roundtrip_bit_exact() {
+        let key = [5u8; 16];
+        let engine = DualCoreCcm::new(&key);
+        let params = CcmParams { nonce_len: 13, tag_len: 8 };
+        let nonce = [1u8; 13];
+        let sealed = engine.seal(&params, &nonce, b"hdr", b"wlan frame body").unwrap();
+        let aes = Aes::new(&key);
+        let expect = ccm_seal(&aes, &params, &nonce, b"hdr", b"wlan frame body").unwrap();
+        assert_eq!(sealed.bytes, expect);
+        let opened = engine.open(&params, &nonce, b"hdr", &sealed.bytes).unwrap();
+        assert_eq!(opened.bytes, b"wlan frame body");
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let engine = DualCoreCcm::new(&[5u8; 16]);
+        let params = CcmParams { nonce_len: 13, tag_len: 8 };
+        let nonce = [1u8; 13];
+        let mut sealed = engine.seal(&params, &nonce, &[], b"data").unwrap().bytes;
+        sealed[0] ^= 1;
+        assert_eq!(
+            engine.open(&params, &nonce, &[], &sealed).unwrap_err(),
+            ModeError::AuthFail
+        );
+    }
+
+    #[test]
+    fn faster_than_single_core_mccp_slower_than_pair_aggregate() {
+        // Shape check: one lockstep dual-core packet beats the MCCP's
+        // single-core CCM (104 cycles/block) on per-packet latency, but a
+        // 4-core MCCP processing 4 packets at 104 each still moves more
+        // aggregate blocks.
+        let per_block = DualCoreCcm::CYCLES_PER_BLOCK as f64;
+        assert!(per_block < 104.0);
+        let mccp_aggregate = 4.0 * 128.0 / 104.0;
+        let dual = 128.0 / per_block;
+        assert!(mccp_aggregate > dual);
+    }
+}

@@ -1,0 +1,28 @@
+//! # mccp-baselines — the comparison architectures of Table III
+//!
+//! The paper positions the MCCP between two kinds of prior art:
+//!
+//! * **Non-programmable accelerators** — best throughput, no flexibility:
+//!   [`pipelined_gcm::PipelinedGcmCore`] (Lemsitzer et al., CHES'07 — a
+//!   fully unrolled, pipelined AES-GCM engine) and
+//!   [`dual_ccm::DualCoreCcm`] (Aziz & Ikram — two tightly coupled AES
+//!   sub-cores for 802.11i CCM).
+//! * **Programmable crypto-processors** — flexible, slow: Cryptonite,
+//!   Celator, Cryptomaniac, represented by their published Mbps/MHz
+//!   figures (ASICs we cannot re-synthesize; constants live in
+//!   `mccp_core::model::PAPER_TABLE3`).
+//!
+//! The two FPGA baselines are implemented *functionally* (bit-exact
+//! against the NIST reference modes) with cycle models calibrated to the
+//! published per-MHz throughputs, so Table III's qualitative shape —
+//! pipelined GCM ≫ MCCP ≫ programmable ASICs, and the pipeline's collapse
+//! on CCM's serial MAC — reproduces from executable code, not copied
+//! numbers.
+
+pub mod dual_ccm;
+pub mod mono;
+pub mod pipelined_gcm;
+pub mod table3;
+
+pub use dual_ccm::DualCoreCcm;
+pub use pipelined_gcm::PipelinedGcmCore;

@@ -1,0 +1,54 @@
+//! The mono-core ablation: the same Cryptographic Core, alone.
+//!
+//! The paper's central design argument (§II) is that a single iterative
+//! core cannot serve multi-channel traffic and a pipelined core cannot
+//! serve multi-standard traffic. This module provides the single-core
+//! MCCP configuration used as the ablation baseline in the scaling
+//! experiments.
+
+use mccp_core::{Mccp, MccpConfig};
+
+/// Builds a single-core MCCP (all other parameters default).
+pub fn mono_core_mccp() -> Mccp {
+    Mccp::new(MccpConfig {
+        n_cores: 1,
+        ..MccpConfig::default()
+    })
+}
+
+/// Builds an `n`-core MCCP for scaling sweeps.
+pub fn n_core_mccp(n: usize) -> Mccp {
+    Mccp::new(MccpConfig {
+        n_cores: n,
+        ..MccpConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccp_core::protocol::{Algorithm, KeyId, MccpError};
+    use mccp_core::Direction;
+
+    #[test]
+    fn mono_core_serializes_packets() {
+        let mut m = mono_core_mccp();
+        m.key_memory_mut().store(KeyId(1), &[1u8; 16]);
+        let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+        let _first = m
+            .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 64], None)
+            .unwrap();
+        // The single core is taken: a second packet is refused — the
+        // multi-channel failure mode of mono-core designs.
+        let second = m.submit(ch, Direction::Encrypt, &[2u8; 12], &[], &[0u8; 64], None);
+        assert_eq!(second.unwrap_err(), MccpError::NoResource);
+    }
+
+    #[test]
+    fn scaling_constructor() {
+        for n in 1..=8 {
+            let m = n_core_mccp(n);
+            assert_eq!(m.config().n_cores, n);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Assembly of Table III: the literature rows (published constants) plus
+//! the rows our executable baselines and the MCCP itself regenerate.
+
+use crate::dual_ccm::DualCoreCcm;
+use crate::pipelined_gcm::PipelinedGcmCore;
+use mccp_core::model::{ComparisonRow, PAPER_TABLE3};
+use mccp_sim::resources::ResourceReport;
+
+/// A complete Table III: literature rows followed by the reproduced rows.
+#[derive(Clone, Debug)]
+pub struct Table3 {
+    pub rows: Vec<ComparisonRow>,
+}
+
+impl Table3 {
+    /// Builds the table. `mccp_gcm_mbps` / `mccp_ccm_mbps` are the
+    /// measured 4-core aggregate throughputs from the cycle-accurate
+    /// simulator (2 KB packets at 190 MHz).
+    pub fn build(mccp_gcm_mbps: f64, mccp_ccm_mbps: f64) -> Table3 {
+        let mut rows: Vec<ComparisonRow> = PAPER_TABLE3.to_vec();
+        let mccp_area = ResourceReport::mccp(4).total();
+        rows.push(ComparisonRow {
+            name: "Pipelined GCM (reproduced)",
+            platform: "simulated FPGA",
+            programmable: false,
+            algorithm: "GCM",
+            mbps_per_mhz: PipelinedGcmCore::gcm_mbps_per_mhz(),
+            frequency_mhz: 140,
+            slices: Some(PipelinedGcmCore::AREA.slices),
+            brams: Some(PipelinedGcmCore::AREA.brams),
+        });
+        rows.push(ComparisonRow {
+            name: "Dual-core CCM (reproduced)",
+            platform: "simulated FPGA",
+            programmable: false,
+            algorithm: "CCM",
+            mbps_per_mhz: DualCoreCcm::mbps_per_mhz(),
+            frequency_mhz: 247,
+            slices: Some(DualCoreCcm::AREA.slices),
+            brams: Some(DualCoreCcm::AREA.brams),
+        });
+        rows.push(ComparisonRow {
+            name: "MCCP GCM (this reproduction)",
+            platform: "simulated v4-SX35",
+            programmable: true,
+            algorithm: "GCM",
+            mbps_per_mhz: mccp_gcm_mbps / 190.0,
+            frequency_mhz: 190,
+            slices: Some(mccp_area.slices),
+            brams: Some(mccp_area.brams),
+        });
+        rows.push(ComparisonRow {
+            name: "MCCP CCM (this reproduction)",
+            platform: "simulated v4-SX35",
+            programmable: true,
+            algorithm: "CCM",
+            mbps_per_mhz: mccp_ccm_mbps / 190.0,
+            frequency_mhz: 190,
+            slices: Some(mccp_area.slices),
+            brams: Some(mccp_area.brams),
+        });
+        Table3 { rows }
+    }
+
+    /// The paper's qualitative ordering claims, checked against the rows.
+    pub fn shape_holds(&self) -> bool {
+        let get = |needle: &str| {
+            self.rows
+                .iter()
+                .find(|r| r.name.contains(needle))
+                .map(|r| r.mbps_per_mhz)
+        };
+        let (Some(pipe), Some(mccp_gcm), Some(crypton), Some(celator), Some(maniac)) = (
+            get("Pipelined GCM (reproduced)"),
+            get("MCCP GCM (this"),
+            get("Cryptonite"),
+            get("Celator"),
+            get("Cryptomaniac"),
+        ) else {
+            return false;
+        };
+        // Pipelined dedicated core beats the MCCP; the MCCP beats every
+        // programmable competitor.
+        pipe > mccp_gcm
+            && mccp_gcm > crypton
+            && mccp_gcm > celator
+            && mccp_gcm > maniac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_rows() {
+        let t = Table3::build(1748.0, 856.0);
+        assert_eq!(t.rows.len(), PAPER_TABLE3.len() + 4);
+    }
+
+    #[test]
+    fn shape_holds_with_paper_numbers() {
+        // Plugging the paper's own measured 2 KB numbers, the ordering
+        // claims of §VII.A hold.
+        let t = Table3::build(1748.0, 856.0);
+        assert!(t.shape_holds());
+    }
+
+    #[test]
+    fn mccp_mbps_per_mhz_matches_paper_scale() {
+        let t = Table3::build(1748.0, 856.0);
+        let gcm = t
+            .rows
+            .iter()
+            .find(|r| r.name.contains("MCCP GCM"))
+            .unwrap()
+            .mbps_per_mhz;
+        // Paper reports 9.91 (GCM); 1748/190 = 9.2 — same scale.
+        assert!((gcm - 9.2).abs() < 0.1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Soak run: continuous multi-standard traffic through the cycle-accurate
+//! MCCP with end-to-end verification of every packet — the "leave it
+//! running" confidence tool. Defaults to 200 packets; pass a count.
+//!
+//! ```sh
+//! cargo run --release -p mccp-bench --bin soak -- 1000
+//! ```
+
+use mccp_core::MccpConfig;
+use mccp_sdr::qos::DispatchPolicy;
+use mccp_sdr::workload::{Workload, WorkloadSpec};
+use mccp_sdr::{RadioDriver, Standard};
+
+fn main() {
+    let packets: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let standards = vec![
+        Standard::Wifi,
+        Standard::Wimax,
+        Standard::Umts,
+        Standard::SecureVoice,
+    ];
+    println!(
+        "soak: {packets} packets across {} standards on a 4-core MCCP",
+        standards.len()
+    );
+
+    let mut total_bits = 0u64;
+    let mut total_cycles = 0u64;
+    let mut verified = 0usize;
+    // Several rounds with fresh seeds: every run is generated, encrypted,
+    // verified against the NIST references, then decrypted back through
+    // the hardware (receiver role).
+    let rounds = packets.div_ceil(50);
+    for round in 0..rounds {
+        let spec = WorkloadSpec {
+            standards: standards.clone(),
+            packets: packets.min(50),
+            seed: 0xBEEF + round as u64,
+            fixed_payload_len: None,
+        mean_interarrival_cycles: None,
+    };
+        let workload = Workload::generate(spec.clone());
+        let mut tx = RadioDriver::new(MccpConfig::default(), &spec.standards, round as u64);
+        let report = tx.run(&workload, DispatchPolicy::Fifo);
+        verified += tx.verify(&workload, &report).expect("verify");
+        let mut rx = RadioDriver::new(MccpConfig::default(), &spec.standards, round as u64);
+        let rx_cycles = rx.run_receive(&workload, &report);
+        total_bits += report.payload_bits;
+        total_cycles += report.cycles + rx_cycles;
+        println!(
+            "  round {round}: {} packets tx+rx OK, {:.0} Mbps tx, p95 latency {} cyc",
+            report.packets,
+            report.throughput_mbps(),
+            report.latency_percentile(0.95)
+        );
+    }
+    println!(
+        "\nsoak PASSED: {verified} packets verified both directions; \
+         {:.1} Mbit moved in {:.1} Mcycles (duplex)",
+        total_bits as f64 / 1e6,
+        total_cycles as f64 / 1e6
+    );
+}

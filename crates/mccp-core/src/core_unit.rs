@@ -1,0 +1,409 @@
+//! A Cryptographic Core: the 8-bit controller, the Cryptographic Unit, the
+//! packet FIFO pair and the parameter/result registers (paper Fig. 2),
+//! glued together in lock step.
+
+use crate::firmware::{in_port, out_port, FirmwareId};
+use crate::key::KeyCache;
+use mccp_aes::key_schedule::RoundKeys;
+use mccp_cryptounit::{CipherEngine, CryptoUnit, CuIo};
+use mccp_picoblaze::{PicoBlaze, PortIo};
+use mccp_sim::HwFifo;
+
+/// Firmware parameter bank: one byte per input port 0x01..=0x08
+/// (`[np_lo, np_hi, na_lo, na_hi, pm_lo, pm_hi, tm_lo, tm_hi]`).
+pub type ParamBank = [u8; 8];
+
+/// What the reconfigurable Cryptographic Unit region currently contains
+/// (paper §VII.B / Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Personality {
+    /// The AES + GHASH unit running the block-cipher-mode firmware.
+    AesUnit,
+    /// The Twofish + GHASH unit (paper §IX: "AES core may be easily
+    /// replaced by any other 128-bit block cipher (such as Twofish)").
+    /// Runs the *same* firmware — the CU ISA is cipher-agnostic.
+    TwofishUnit,
+    /// The Whirlpool hash core (alternative bitstream).
+    WhirlpoolUnit,
+}
+
+impl Personality {
+    /// True if this personality executes the block-cipher-mode firmware.
+    pub fn runs_mode_firmware(self) -> bool {
+        matches!(self, Personality::AesUnit | Personality::TwofishUnit)
+    }
+}
+
+/// One Cryptographic Core.
+pub struct CryptoCore {
+    pub id: usize,
+    cpu: PicoBlaze,
+    cu: CryptoUnit,
+    pub input: HwFifo,
+    pub output: HwFifo,
+    pub key_cache: KeyCache,
+    params: ParamBank,
+    result: Option<u8>,
+    running: bool,
+    /// Claimed by the Task Scheduler for a request whose key expansion is
+    /// still in flight (allocated but not yet started).
+    reserved: bool,
+    firmware: Option<FirmwareId>,
+    personality: Personality,
+    wipes: u64,
+    busy_cycles: u64,
+}
+
+impl CryptoCore {
+    /// A fresh core with FIFOs of `fifo_depth` 32-bit words (512 in the
+    /// paper's configuration).
+    pub fn new(id: usize, fifo_depth: usize) -> Self {
+        CryptoCore {
+            id,
+            cpu: PicoBlaze::new(&[]),
+            cu: CryptoUnit::new(),
+            input: HwFifo::new(fifo_depth),
+            output: HwFifo::new(fifo_depth),
+            key_cache: KeyCache::default(),
+            params: [0; 8],
+            result: None,
+            running: false,
+            reserved: false,
+            firmware: None,
+            personality: Personality::AesUnit,
+            wipes: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// True when the core can accept a new task.
+    pub fn is_idle(&self) -> bool {
+        !self.running && !self.reserved
+    }
+
+    /// Claims the core for a request before its firmware starts (the Task
+    /// Scheduler allocates at ENCRYPT/DECRYPT time, §III.C).
+    pub fn reserve(&mut self) {
+        self.reserved = true;
+    }
+
+    /// The firmware currently loaded.
+    pub fn firmware(&self) -> Option<FirmwareId> {
+        self.firmware
+    }
+
+    /// The reconfigurable region's current contents.
+    pub fn personality(&self) -> Personality {
+        self.personality
+    }
+
+    /// Swaps the reconfigurable region (partial reconfiguration). Wipes
+    /// all datapath state — a reconfiguration must never leak key material
+    /// between personalities.
+    pub fn set_personality(&mut self, p: Personality) {
+        self.personality = p;
+        self.cu.reset();
+        self.key_cache.wipe();
+        self.running = false;
+        self.result = None;
+        self.firmware = None;
+    }
+
+    /// Installs round keys into the Cryptographic Unit (from the Key
+    /// Scheduler via the Key Cache).
+    pub fn load_round_keys(&mut self, keys: RoundKeys) {
+        self.cu.load_round_keys(keys);
+    }
+
+    /// Installs an arbitrary cipher engine (AES or Twofish) into the CU.
+    pub fn load_engine(&mut self, engine: CipherEngine) {
+        self.cu.load_engine(engine);
+    }
+
+    /// Loads a firmware image and task parameters, then starts the
+    /// controller (the Task Scheduler's per-task setup, §VI.B).
+    ///
+    /// # Panics
+    /// Panics if the core is reconfigured to a non-block-cipher personality.
+    pub fn start(&mut self, firmware: FirmwareId, image: &[u32], params: ParamBank) {
+        assert!(
+            self.personality.runs_mode_firmware(),
+            "core {} is reconfigured to {:?}; cannot run block-cipher firmware",
+            self.id,
+            self.personality
+        );
+        self.cpu.load_program(image);
+        self.params = params;
+        self.result = None;
+        self.running = true;
+        self.reserved = false;
+        self.firmware = Some(firmware);
+    }
+
+    /// The latched result code, once the firmware reports.
+    pub fn result(&self) -> Option<u8> {
+        self.result
+    }
+
+    /// Acknowledges a finished task and returns the core to idle.
+    pub fn finish(&mut self) -> Option<u8> {
+        let r = self.result.take();
+        self.running = false;
+        self.reserved = false;
+        self.firmware = None;
+        r
+    }
+
+    /// Times the output FIFO was wiped by the auth-failure defense.
+    pub fn wipes(&self) -> u64 {
+        self.wipes
+    }
+
+    /// Cycles spent with a task loaded.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// True if either the controller or the CU flagged a fault.
+    pub fn is_faulted(&self) -> bool {
+        self.cpu.is_faulted() || self.cu.is_faulted()
+    }
+
+    /// Cryptographic Unit status (profiling/waveform introspection).
+    pub fn cu_status(&self) -> mccp_cryptounit::CuStatus {
+        self.cu.status()
+    }
+
+    /// Controller program counter (profiling/debug introspection).
+    pub fn controller_pc(&self) -> u16 {
+        self.cpu.pc()
+    }
+
+    /// Controller instructions retired (profiling/debug introspection).
+    pub fn controller_retired(&self) -> u64 {
+        self.cpu.retired()
+    }
+
+    /// True while the controller sleeps in a HALT (waiting on the CU).
+    pub fn controller_sleeping(&self) -> bool {
+        self.cpu.is_sleeping()
+    }
+
+    /// Advances the core one clock cycle. `from_left` / `to_right` are the
+    /// inter-core mailboxes this core is wired to.
+    pub fn tick(&mut self, from_left: &mut Option<[u8; 16]>, to_right: &mut Option<[u8; 16]>) {
+        // 1. Cryptographic Unit.
+        {
+            let mut io = CuIo {
+                input: &mut self.input,
+                output: &mut self.output,
+                to_right,
+                from_left,
+            };
+            self.cu.tick(&mut io);
+        }
+        if !self.running {
+            return;
+        }
+        self.busy_cycles += 1;
+
+        // 2. Controller wake line: level = "instruction port free".
+        self.cpu.set_wake(self.cu.can_strobe());
+
+        // 3. Controller step with the port adapter.
+        let mut ports = CorePorts {
+            cu: &mut self.cu,
+            output_fifo: &mut self.output,
+            params: &self.params,
+            result: &mut self.result,
+            wipes: &mut self.wipes,
+        };
+        self.cpu.tick(&mut ports);
+    }
+}
+
+/// The controller's port fabric (Fig. 2's dashed control connections).
+struct CorePorts<'a> {
+    cu: &'a mut CryptoUnit,
+    output_fifo: &'a mut HwFifo,
+    params: &'a ParamBank,
+    result: &'a mut Option<u8>,
+    wipes: &'a mut u64,
+}
+
+impl PortIo for CorePorts<'_> {
+    fn input(&mut self, port: u8) -> u8 {
+        match port {
+            in_port::CU_STATUS => self.cu.status().0,
+            p @ 0x01..=0x08 => self.params[(p - 1) as usize],
+            _ => 0,
+        }
+    }
+
+    fn output(&mut self, port: u8, value: u8) {
+        match port {
+            out_port::CU_INSTR => self.cu.strobe(value),
+            out_port::RESULT => *self.result = Some(value),
+            out_port::WIPE => {
+                self.output_fifo.wipe();
+                *self.wipes += 1;
+            }
+            out_port::MASK_LO => {
+                let m = self.cu.mask();
+                self.cu.set_mask((m & 0xFF00) | value as u16);
+            }
+            out_port::MASK_HI => {
+                let m = self.cu.mask();
+                self.cu.set_mask((m & 0x00FF) | ((value as u16) << 8));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firmware::{result_code, FirmwareLibrary};
+
+    fn params(np: u16, na: u16, pm: u16, tm: u16) -> ParamBank {
+        [
+            (np & 0xFF) as u8,
+            (np >> 8) as u8,
+            (na & 0xFF) as u8,
+            (na >> 8) as u8,
+            (pm & 0xFF) as u8,
+            (pm >> 8) as u8,
+            (tm & 0xFF) as u8,
+            (tm >> 8) as u8,
+        ]
+    }
+
+    /// Runs a single core to completion on the CBC-MAC firmware and checks
+    /// the MAC against the reference implementation.
+    #[test]
+    fn cbc_mac_firmware_end_to_end() {
+        let lib = FirmwareLibrary::new();
+        let mut core = CryptoCore::new(0, 512);
+        let key = [0x11u8; 16];
+        core.load_round_keys(RoundKeys::expand(&key));
+
+        let data: Vec<u8> = (0..64u8).collect();
+        assert!(core.input.push_bytes(&data));
+        core.start(
+            FirmwareId::CbcMac,
+            lib.image(FirmwareId::CbcMac),
+            params(4, 0, 0xFFFF, 0xFFFF),
+        );
+
+        let mut left = None;
+        let mut right = None;
+        for _ in 0..20_000 {
+            core.tick(&mut left, &mut right);
+            if core.result().is_some() {
+                break;
+            }
+        }
+        assert!(!core.is_faulted(), "core faulted");
+        assert_eq!(core.result(), Some(result_code::OK));
+
+        let aes = mccp_aes::Aes::new_128(&key);
+        let expect = mccp_aes::modes::cbc_mac::cbc_mac_raw(&aes, &data).unwrap();
+        let got = core.output.pop_bytes(16).unwrap();
+        assert_eq!(got, expect.to_vec());
+    }
+
+    #[test]
+    fn ctr_firmware_end_to_end() {
+        let lib = FirmwareLibrary::new();
+        let mut core = CryptoCore::new(0, 512);
+        let key = [0x22u8; 16];
+        core.load_round_keys(RoundKeys::expand(&key));
+
+        let ctr0 = {
+            let mut c = [0u8; 16];
+            c[0] = 0xF0;
+            c
+        };
+        let pt: Vec<u8> = (0..48u8).collect();
+        assert!(core.input.push_bytes(&ctr0));
+        assert!(core.input.push_bytes(&pt));
+        // Trailing pad block for the firmware's pipelined final prefetch.
+        assert!(core.input.push_bytes(&[0u8; 16]));
+        core.start(
+            FirmwareId::Ctr,
+            lib.image(FirmwareId::Ctr),
+            params(3, 0, 0xFFFF, 0xFFFF),
+        );
+
+        let (mut l, mut r) = (None, None);
+        for _ in 0..20_000 {
+            core.tick(&mut l, &mut r);
+            if core.result().is_some() {
+                break;
+            }
+        }
+        assert!(!core.is_faulted());
+        assert_eq!(core.result(), Some(result_code::OK));
+
+        let aes = mccp_aes::Aes::new_128(&key);
+        let mut expect = pt.clone();
+        mccp_aes::modes::ctr::ctr_xcrypt(&aes, &ctr0, &mut expect).unwrap();
+        let got = core.output.pop_bytes(48).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reconfiguration_wipes_state() {
+        let mut core = CryptoCore::new(1, 512);
+        core.load_round_keys(RoundKeys::expand(&[1u8; 16]));
+        core.set_personality(Personality::WhirlpoolUnit);
+        assert_eq!(core.personality(), Personality::WhirlpoolUnit);
+        assert!(core.is_idle());
+        assert!(core.key_cache.cached_id().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run block-cipher firmware")]
+    fn start_on_whirlpool_personality_panics() {
+        let lib = FirmwareLibrary::new();
+        let mut core = CryptoCore::new(0, 512);
+        core.set_personality(Personality::WhirlpoolUnit);
+        core.start(
+            FirmwareId::Ctr,
+            lib.image(FirmwareId::Ctr),
+            params(1, 0, 0xFFFF, 0xFFFF),
+        );
+    }
+
+    /// The whole CBC-MAC firmware on a Twofish engine: the ISA really is
+    /// cipher-agnostic (paper §IX).
+    #[test]
+    fn cbc_mac_firmware_runs_on_twofish() {
+        use mccp_aes::twofish::Twofish;
+        let lib = FirmwareLibrary::new();
+        let mut core = CryptoCore::new(0, 512);
+        core.set_personality(Personality::TwofishUnit);
+        let key = [0x5Au8; 16];
+        core.load_engine(CipherEngine::Twofish(Box::new(Twofish::new(&key))));
+
+        let data: Vec<u8> = (0..64u8).collect();
+        assert!(core.input.push_bytes(&data));
+        core.start(
+            FirmwareId::CbcMac,
+            lib.image(FirmwareId::CbcMac),
+            params(4, 0, 0xFFFF, 0xFFFF),
+        );
+        let (mut l, mut r) = (None, None);
+        for _ in 0..30_000 {
+            core.tick(&mut l, &mut r);
+            if core.result().is_some() {
+                break;
+            }
+        }
+        assert!(!core.is_faulted());
+        let tf = Twofish::new(&key);
+        let expect = mccp_aes::modes::cbc_mac::cbc_mac_raw(&tf, &data).unwrap();
+        assert_eq!(core.output.pop_bytes(16).unwrap(), expect.to_vec());
+    }
+}

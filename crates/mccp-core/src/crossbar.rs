@@ -1,0 +1,65 @@
+//! The Cross Bar (paper §III.A): connects the communication controller's
+//! single 32-bit data port to the FIFOs of one selected Cryptographic
+//! Core at a time. The Task Scheduler programs the selection as part of
+//! ENCRYPT/DECRYPT (write side) and RETRIEVE_DATA (read side).
+
+/// Which core (and direction) the external data port is routed to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Data port writes into core `n`'s input FIFO.
+    WriteTo(usize),
+    /// Data port reads from core `n`'s output FIFO.
+    ReadFrom(usize),
+}
+
+/// The crossbar state.
+#[derive(Clone, Debug, Default)]
+pub struct CrossBar {
+    route: Option<Route>,
+    switches: u64,
+}
+
+impl CrossBar {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Programs the route (Task Scheduler action).
+    pub fn select(&mut self, route: Route) {
+        self.route = Some(route);
+        self.switches += 1;
+    }
+
+    /// Disconnects the data port (TRANSFER_DONE).
+    pub fn release(&mut self) {
+        self.route = None;
+    }
+
+    /// The current route.
+    pub fn route(&self) -> Option<Route> {
+        self.route
+    }
+
+    /// Total reprogramming operations (for the architecture report).
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_lifecycle() {
+        let mut xb = CrossBar::new();
+        assert_eq!(xb.route(), None);
+        xb.select(Route::WriteTo(2));
+        assert_eq!(xb.route(), Some(Route::WriteTo(2)));
+        xb.select(Route::ReadFrom(2));
+        assert_eq!(xb.route(), Some(Route::ReadFrom(2)));
+        xb.release();
+        assert_eq!(xb.route(), None);
+        assert_eq!(xb.switches(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Partial reconfiguration of the Cryptographic Unit region (paper §VII.B,
+//! Table IV).
+//!
+//! The paper reserves a 1280-slice / 16-BRAM reconfigurable region per
+//! Cryptographic Unit and measures two configurations — the AES encryption
+//! core (with key schedule) and the Whirlpool hash core — loading their
+//! partial bitstreams either from CompactFlash or from RAM:
+//!
+//! | Core | Slices (BRAM) | Bitstream | CF load | RAM load |
+//! |------|---------------|-----------|---------|----------|
+//! | AES + KS  | 351 (4)  | 89 kB | 380 ms | 63 ms |
+//! | Whirlpool | 1153 (4) | 97 kB | 416 ms | 69 ms |
+//!
+//! We model bitstream size as a linear function of the region (frames
+//! cover the whole reconfigurable area, so size varies only with the
+//! constant-overhead difference the paper measured), and the load time as
+//! `size / bandwidth` with the bandwidths the paper's numbers imply:
+//! CompactFlash ≈ 234 kB/s, RAM ≈ 1.41 MB/s.
+
+use crate::core_unit::Personality;
+use mccp_sim::resources::{costs, Resources};
+use mccp_sim::CLOCK_HZ;
+
+/// The bitstream source (paper Table IV rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BitstreamSource {
+    CompactFlash,
+    Ram,
+}
+
+impl BitstreamSource {
+    /// Sustained load bandwidth in bytes/second, derived from the paper's
+    /// measurements (89 kB / 380 ms and 89 kB / 63 ms).
+    pub fn bandwidth_bytes_per_s(self) -> f64 {
+        match self {
+            BitstreamSource::CompactFlash => 89_000.0 / 0.380,
+            BitstreamSource::Ram => 89_000.0 / 0.063,
+        }
+    }
+}
+
+/// A partial bitstream for the reconfigurable CU region.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bitstream {
+    pub personality: Personality,
+    /// Logic actually instantiated inside the region.
+    pub resources: Resources,
+    /// Bitstream size in kilobytes.
+    pub size_kb: u32,
+}
+
+/// The reconfigurable region itself (1280 slices, 16 BRAM — §VII.B).
+pub const REGION: Resources = Resources::new(1280, 16);
+
+/// The AES-with-key-schedule configuration (Table IV column 1).
+pub const AES_BITSTREAM: Bitstream = Bitstream {
+    personality: Personality::AesUnit,
+    resources: costs::RECONF_AES_WITH_KS,
+    size_kb: 89,
+};
+
+/// The Whirlpool configuration (Table IV column 2).
+pub const WHIRLPOOL_BITSTREAM: Bitstream = Bitstream {
+    personality: Personality::WhirlpoolUnit,
+    resources: costs::RECONF_WHIRLPOOL,
+    size_kb: 97,
+};
+
+/// A Twofish configuration — the paper's §IX example of replacing AES
+/// with another 128-bit block cipher. The paper never synthesized one;
+/// the area is an estimate for an iterative 32-bit Twofish with
+/// key-dependent S-boxes in BRAM, and the bitstream size tracks the
+/// (region-dominated) AES/Whirlpool sizes.
+pub const TWOFISH_BITSTREAM: Bitstream = Bitstream {
+    personality: Personality::TwofishUnit,
+    resources: Resources::new(520, 4),
+    size_kb: 91,
+};
+
+impl Bitstream {
+    /// Reconfiguration time in milliseconds from a given source.
+    pub fn load_time_ms(&self, source: BitstreamSource) -> f64 {
+        (self.size_kb as f64 * 1000.0) / source.bandwidth_bytes_per_s() * 1000.0
+    }
+
+    /// Reconfiguration time in MCCP clock cycles — the budget during which
+    /// the *other* cores keep processing (the paper's key observation that
+    /// "the reconfiguration of one part of the FPGA does not prevent
+    /// others parts to work").
+    pub fn load_time_cycles(&self, source: BitstreamSource) -> u64 {
+        (self.load_time_ms(source) / 1000.0 * CLOCK_HZ as f64) as u64
+    }
+
+    /// True if the configuration fits the reserved region.
+    pub fn fits_region(&self) -> bool {
+        self.resources.slices <= REGION.slices && self.resources.brams <= REGION.brams
+    }
+}
+
+/// A reconfiguration controller for one core's CU region: tracks an
+/// in-flight partial reconfiguration and applies the personality swap on
+/// completion.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconfigController {
+    current: Personality,
+    in_flight: Option<(Bitstream, u64)>,
+    completed: u64,
+}
+
+impl Default for ReconfigController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReconfigController {
+    pub fn new() -> Self {
+        ReconfigController {
+            current: Personality::AesUnit,
+            in_flight: None,
+            completed: 0,
+        }
+    }
+
+    /// The personality currently configured (the old one remains active
+    /// until the new bitstream finishes loading).
+    pub fn current(&self) -> Personality {
+        self.current
+    }
+
+    /// True while a partial bitstream is streaming in.
+    pub fn is_reconfiguring(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Starts a reconfiguration. Returns the cycle budget, or `None` if
+    /// one is already in flight.
+    pub fn begin(&mut self, bitstream: Bitstream, source: BitstreamSource) -> Option<u64> {
+        if self.in_flight.is_some() {
+            return None;
+        }
+        assert!(bitstream.fits_region(), "bitstream exceeds the region");
+        let cycles = bitstream.load_time_cycles(source);
+        self.in_flight = Some((bitstream, cycles));
+        Some(cycles)
+    }
+
+    /// Advances one clock cycle; returns the new personality on the cycle
+    /// the reconfiguration completes.
+    pub fn tick(&mut self) -> Option<Personality> {
+        let (bs, left) = self.in_flight.as_mut()?;
+        if *left > 0 {
+            *left -= 1;
+            return None;
+        }
+        let p = bs.personality;
+        self.current = p;
+        self.in_flight = None;
+        self.completed += 1;
+        Some(p)
+    }
+
+    /// Completed reconfigurations.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_times_reproduce() {
+        // CF: 380 ms (AES) / 416 ms (Whirlpool); RAM: 63 / 69 ms.
+        let aes_cf = AES_BITSTREAM.load_time_ms(BitstreamSource::CompactFlash);
+        let wp_cf = WHIRLPOOL_BITSTREAM.load_time_ms(BitstreamSource::CompactFlash);
+        let aes_ram = AES_BITSTREAM.load_time_ms(BitstreamSource::Ram);
+        let wp_ram = WHIRLPOOL_BITSTREAM.load_time_ms(BitstreamSource::Ram);
+        assert!((aes_cf - 380.0).abs() < 2.0, "{aes_cf}");
+        assert!((wp_cf - 416.0).abs() < 5.0, "{wp_cf}");
+        assert!((aes_ram - 63.0).abs() < 1.0, "{aes_ram}");
+        assert!((wp_ram - 69.0).abs() < 1.5, "{wp_ram}");
+    }
+
+    #[test]
+    fn all_configurations_fit_the_region() {
+        assert!(AES_BITSTREAM.fits_region());
+        assert!(WHIRLPOOL_BITSTREAM.fits_region());
+        assert!(TWOFISH_BITSTREAM.fits_region());
+    }
+
+    #[test]
+    fn reconfiguration_takes_millions_of_cycles() {
+        // 63 ms at 190 MHz ≈ 12M cycles — the paper's conclusion that
+        // real-time (per-packet) reconfiguration is out of reach, but
+        // occasional reconfiguration is fine.
+        let cycles = AES_BITSTREAM.load_time_cycles(BitstreamSource::Ram);
+        assert!(cycles > 10_000_000);
+        let packet_cycles = 128 * 49; // one 2 KB GCM packet
+        assert!(cycles / packet_cycles > 1000);
+    }
+
+    #[test]
+    fn controller_lifecycle() {
+        let mut rc = ReconfigController::new();
+        assert_eq!(rc.current(), Personality::AesUnit);
+        let budget = rc.begin(WHIRLPOOL_BITSTREAM, BitstreamSource::Ram).unwrap();
+        assert!(rc.is_reconfiguring());
+        // A second begin is refused while in flight.
+        assert!(rc.begin(AES_BITSTREAM, BitstreamSource::Ram).is_none());
+        let mut done = None;
+        for _ in 0..=budget + 1 {
+            if let Some(p) = rc.tick() {
+                done = Some(p);
+                break;
+            }
+        }
+        assert_eq!(done, Some(Personality::WhirlpoolUnit));
+        assert_eq!(rc.current(), Personality::WhirlpoolUnit);
+        assert_eq!(rc.completed(), 1);
+        assert!(!rc.is_reconfiguring());
+    }
+}

@@ -1,0 +1,160 @@
+//! The Cryptographic Unit instruction set (paper Table I).
+//!
+//! 8-bit instructions: a 4-bit operation code and two 2-bit bank-register
+//! addresses (`@A` in bits `[3:2]`, `@B` / immediate in bits `[1:0]`):
+//!
+//! ```text
+//! [7:4] opcode   [3:2] @A   [1:0] @B or I
+//! ```
+//!
+//! Table I's nine instructions plus the three the paper uses but does not
+//! tabulate: `STORE` (Listing 1 writes ciphertext to the output FIFO),
+//! and `XPUT`/`XGET` — our concrete realization of the *inter-core port*
+//! (§IV.A) that forwards the CBC-MAC value to the CTR core in two-core CCM.
+
+use std::fmt;
+
+/// A decoded Cryptographic Unit instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CuInstruction {
+    /// Loads a 128-bit word from the input FIFO into bank `a`.
+    Load { a: u8 },
+    /// Stores bank `a` into the output FIFO.
+    Store { a: u8 },
+    /// Loads the computed H constant (bank `a`) into the GHASH core and
+    /// resets the GHASH accumulator.
+    LoadH { a: u8 },
+    /// Starts one background GHASH iteration absorbing bank `a`.
+    Sgfm { a: u8 },
+    /// Waits for the GHASH core and stores the accumulator into bank `a`.
+    Fgfm { a: u8 },
+    /// Starts a background AES encryption of bank `a`.
+    Saes { a: u8 },
+    /// Waits for the AES core and stores the ciphertext into bank `a`.
+    Faes { a: u8 },
+    /// Increments the 16 LSBs of bank `a` by `amount` (1..=4).
+    Inc { a: u8, amount: u8 },
+    /// `bank[b] = (bank[a] XOR bank[b]) AND mask`.
+    Xor { a: u8, b: u8 },
+    /// Sets `equ_flag` to 1 if `bank[a] == bank[b]`, else 0.
+    Equ { a: u8, b: u8 },
+    /// Sends bank `a` to the right-neighbour inter-core port.
+    Xput { a: u8 },
+    /// Receives a 128-bit word from the left-neighbour inter-core port
+    /// into bank `a` (blocks until one is available).
+    Xget { a: u8 },
+}
+
+impl CuInstruction {
+    /// Encodes to the 8-bit instruction format.
+    pub fn encode(self) -> u8 {
+        use CuInstruction::*;
+        let (op, a, b) = match self {
+            Load { a } => (0x0, a, 0),
+            Store { a } => (0x1, a, 0),
+            LoadH { a } => (0x2, a, 0),
+            Sgfm { a } => (0x3, a, 0),
+            Fgfm { a } => (0x4, a, 0),
+            Saes { a } => (0x5, a, 0),
+            Faes { a } => (0x6, a, 0),
+            Inc { a, amount } => {
+                debug_assert!((1..=4).contains(&amount));
+                (0x7, a, amount - 1)
+            }
+            Xor { a, b } => (0x8, a, b),
+            Equ { a, b } => (0x9, a, b),
+            Xput { a } => (0xA, a, 0),
+            Xget { a } => (0xB, a, 0),
+        };
+        (op << 4) | ((a & 0x3) << 2) | (b & 0x3)
+    }
+
+    /// Decodes an 8-bit instruction; `None` for the unused opcodes.
+    pub fn decode(byte: u8) -> Option<CuInstruction> {
+        use CuInstruction::*;
+        let op = byte >> 4;
+        let a = (byte >> 2) & 0x3;
+        let b = byte & 0x3;
+        Some(match op {
+            0x0 => Load { a },
+            0x1 => Store { a },
+            0x2 => LoadH { a },
+            0x3 => Sgfm { a },
+            0x4 => Fgfm { a },
+            0x5 => Saes { a },
+            0x6 => Faes { a },
+            0x7 => Inc { a, amount: b + 1 },
+            0x8 => Xor { a, b },
+            0x9 => Equ { a, b },
+            0xA => Xput { a },
+            0xB => Xget { a },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for CuInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use CuInstruction::*;
+        match self {
+            Load { a } => write!(f, "LOAD @{a}"),
+            Store { a } => write!(f, "STORE @{a}"),
+            LoadH { a } => write!(f, "LOADH @{a}"),
+            Sgfm { a } => write!(f, "SGFM @{a}"),
+            Fgfm { a } => write!(f, "FGFM @{a}"),
+            Saes { a } => write!(f, "SAES @{a}"),
+            Faes { a } => write!(f, "FAES @{a}"),
+            Inc { a, amount } => write!(f, "INC @{a}, {amount}"),
+            Xor { a, b } => write!(f, "XOR @{a}, @{b}"),
+            Equ { a, b } => write!(f, "EQU @{a}, @{b}"),
+            Xput { a } => write!(f, "XPUT @{a}"),
+            Xget { a } => write!(f, "XGET @{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CuInstruction::{self, *};
+
+    #[test]
+    fn roundtrip_all() {
+        let mut samples = Vec::new();
+        for a in 0..4u8 {
+            samples.extend([
+                Load { a },
+                Store { a },
+                LoadH { a },
+                Sgfm { a },
+                Fgfm { a },
+                Saes { a },
+                Faes { a },
+                Xput { a },
+                Xget { a },
+            ]);
+            for amount in 1..=4u8 {
+                samples.push(Inc { a, amount });
+            }
+            for b in 0..4u8 {
+                samples.push(Xor { a, b });
+                samples.push(Equ { a, b });
+            }
+        }
+        for ins in samples {
+            assert_eq!(CuInstruction::decode(ins.encode()), Some(ins), "{ins}");
+        }
+    }
+
+    #[test]
+    fn unused_opcodes_are_none() {
+        for op in 0xC..=0xF_u8 {
+            assert_eq!(CuInstruction::decode(op << 4), None);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Inc { a: 0, amount: 4 }.to_string(), "INC @0, 4");
+        assert_eq!(Xor { a: 1, b: 2 }.to_string(), "XOR @1, @2");
+    }
+}

@@ -1,0 +1,45 @@
+//! # mccp-cryptounit — the reconfigurable Cryptographic Unit
+//!
+//! The paper's Cryptographic Unit (§V, Fig. 3) is the hardware heart of
+//! each Cryptographic Core: a 32-bit datapath over 128-bit words with
+//!
+//! * a **4 × 128-bit bank register** addressed by the two 2-bit fields of
+//!   each 8-bit instruction,
+//! * an iterative 32-bit **AES encryption core** (44/52/60 cycles per block
+//!   for 128/192/256-bit keys — Chodowiec–Gaj style, forward direction
+//!   only),
+//! * a **digit-serial GHASH core** (3-bit digits, 43 cycles per block),
+//! * a 32-bit **XOR/comparator** with a 16-bit byte mask, a 16-bit **INC**
+//!   core, and a 32-bit **I/O core** bridging the bank register and the
+//!   packet FIFOs,
+//! * an **instruction decoder**, an *S* (start) register and a 2-bit
+//!   sub-word counter.
+//!
+//! The defining trick of the ISA (Table I) is the **start / finalize
+//! split**: `SAES`/`SGFM` kick the AES/GHASH engines off in the background
+//! and complete as ordinary 6-cycle foreground instructions, while
+//! `FAES`/`FGFM` block until the engine is done and then drain the result
+//! in 5 cycles. That overlap is what yields the paper's loop budgets:
+//!
+//! ```text
+//! T_GCMloop = T_CTR = T_SAES + T_FAES         = 44 + 5     = 49 cycles
+//! T_CBC     = T_SAES + T_FAES + T_XOR         = 44 + 5 + 6 = 55 cycles
+//! T_CCM(1 core) = T_CTR + T_CBC               = 49 + 55    = 104 cycles
+//! ```
+//!
+//! (+8 per loop for 192-bit keys, +16 for 256 — the AES core latency is the
+//! only key-size-dependent term.)
+//!
+//! [`unit::CryptoUnit`] is cycle-accurate: instructions are strobed in by
+//! the 8-bit controller's `OUTPUT` port writes, a 1-deep pending register
+//! models the instruction-port sampling, and a `done` pulse per retired
+//! instruction drives the controller's custom `HALT` wake-up.
+
+pub mod engine;
+pub mod isa;
+pub mod timing;
+pub mod unit;
+
+pub use engine::CipherEngine;
+pub use isa::CuInstruction;
+pub use unit::{CryptoUnit, CuIo, CuStatus};

@@ -1,0 +1,99 @@
+//! The single source of truth for the Cryptographic Unit's cycle costs and
+//! the loop budgets derived from them (paper §V.B and §VII.A).
+
+use mccp_aes::KeySize;
+
+/// Extra cycle consumed sampling a *fresh* instruction-port strobe into the
+/// decoder (paper §V.B step 1). An instruction already waiting in the
+/// pending register when the foreground frees skips this — that is the one
+/// cycle the paper's "replace HALT by two NOPs" trick saves (§VI.A).
+pub const T_SAMPLE: u32 = 1;
+
+/// Foreground execution cycles of every fixed-time instruction (LOAD,
+/// STORE, LOADH, SGFM, SAES, INC, XOR, EQU, XPUT, XGET), measured from
+/// acceptance. With the sampling cycle this is the paper's "seven clock
+/// cycles from start signal rising edge to done signal falling edge".
+pub const T_FOREGROUND: u32 = 6;
+
+/// Cycles for a finalize instruction (FAES / FGFM) to drain the background
+/// engine's 128-bit result into the bank register, once the engine is done.
+pub const T_FINALIZE: u32 = 5;
+
+/// Background AES latency per block (44 / 52 / 60 for 128/192/256-bit
+/// keys): one 32-bit column per cycle, `4 + 4·Nr` (§V.A).
+pub fn aes_cycles(key: KeySize) -> u32 {
+    key.aes_core_cycles()
+}
+
+/// Background GHASH latency per block: digit-serial multiplication with
+/// 3-bit digits, `ceil(128/3)` = 43 cycles (§V.A).
+pub const GHASH_CYCLES: u32 = mccp_gf128::digit_serial::MUL_CYCLES;
+
+/// Steady-state cycles per 128-bit block of the GCM (and plain CTR) main
+/// loop: `T_SAES + T_FAES` in the paper's notation — the AES engine is
+/// saturated, everything else hides behind it.
+pub fn t_gcm_loop(key: KeySize) -> u32 {
+    aes_cycles(key) + T_FINALIZE
+}
+
+/// Steady-state cycles per block of the CBC-MAC loop: the serial
+/// dependency forces `XOR → SAES → FAES` onto the critical path.
+pub fn t_cbc_loop(key: KeySize) -> u32 {
+    aes_cycles(key) + T_FINALIZE + T_FOREGROUND
+}
+
+/// Steady-state cycles per block of single-core CCM: the one AES engine
+/// serves both the CTR and the CBC-MAC chain.
+pub fn t_ccm_loop_1core(key: KeySize) -> u32 {
+    t_gcm_loop(key) + t_cbc_loop(key)
+}
+
+/// Steady-state cycles per block of two-core CCM: CBC-MAC and CTR run on
+/// different cores; the CBC-MAC chain (the longer one) is the bottleneck.
+pub fn t_ccm_loop_2core(key: KeySize) -> u32 {
+    t_cbc_loop(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_loop_budgets_128() {
+        assert_eq!(t_gcm_loop(KeySize::Aes128), 49);
+        assert_eq!(t_cbc_loop(KeySize::Aes128), 55);
+        assert_eq!(t_ccm_loop_1core(KeySize::Aes128), 104);
+        assert_eq!(t_ccm_loop_2core(KeySize::Aes128), 55);
+    }
+
+    #[test]
+    fn key_size_penalties() {
+        // Paper: "Height cycles must be added to these values for 192-bit
+        // keys and height more cycles must be added for 256-bit keys."
+        for (f, _name) in [
+            (t_gcm_loop as fn(KeySize) -> u32, "gcm"),
+            (t_cbc_loop, "cbc"),
+            (t_ccm_loop_2core, "ccm2"),
+        ] {
+            assert_eq!(f(KeySize::Aes192), f(KeySize::Aes128) + 8);
+            assert_eq!(f(KeySize::Aes256), f(KeySize::Aes128) + 16);
+        }
+        // The single-core CCM loop contains two AES computations, so it
+        // gains 16/32.
+        assert_eq!(t_ccm_loop_1core(KeySize::Aes192), 120);
+        assert_eq!(t_ccm_loop_1core(KeySize::Aes256), 136);
+    }
+
+    #[test]
+    fn ghash_never_limits_gcm() {
+        // GHASH (43) finishes inside every AES window (>= 44), so the GCM
+        // loop is AES-bound for all key sizes.
+        assert!(GHASH_CYCLES < aes_cycles(KeySize::Aes128));
+    }
+
+    #[test]
+    fn seven_cycle_instruction_contract() {
+        // Fresh strobe: 1 sampling + 6 execute = the paper's 7 cycles.
+        assert_eq!(T_SAMPLE + T_FOREGROUND, 7);
+    }
+}

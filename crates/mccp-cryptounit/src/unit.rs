@@ -1,0 +1,894 @@
+//! The cycle-accurate Cryptographic Unit model.
+//!
+//! ## Execution model (paper §V.B)
+//!
+//! 1. The controller's `OUTPUT` write strobes an 8-bit instruction into the
+//!    **pending register** (the instruction-port input register).
+//! 2. When the foreground datapath is idle, the decoder samples the pending
+//!    instruction — one cycle ([`crate::timing::T_SAMPLE`]) — unless the
+//!    foreground was already busy, in which case acceptance happens for
+//!    free on the completion edge (the cycle the paper's NOP trick saves).
+//! 3. The instruction *waits* until its resources are ready (FIFO words,
+//!    a free AES/GHASH engine, an inter-core mailbox), then *runs* for its
+//!    fixed duration (6 cycles foreground / 5 cycles finalize-drain).
+//! 4. Completion pulses `done` — wired to the controller's HALT wake — and
+//!    immediately accepts any pending instruction.
+//!
+//! Background engines (AES: 44/52/60 cycles, GHASH: 43) run concurrently
+//! with the foreground, which is exactly what the start/finalize ISA split
+//! exploits.
+
+use crate::engine::CipherEngine;
+use crate::isa::CuInstruction;
+use crate::timing::{GHASH_CYCLES, T_FINALIZE, T_FOREGROUND};
+use mccp_aes::key_schedule::RoundKeys;
+use mccp_aes::modes::ctr::inc16;
+use mccp_gf128::digit_serial::DigitSerialMultiplier;
+use mccp_gf128::Gf128;
+use mccp_sim::HwFifo;
+
+/// Per-tick I/O environment: the core's FIFOs and inter-core mailboxes.
+///
+/// The mailboxes are single-entry (`Option<[u8; 16]>`): one 128-bit word in
+/// flight per direction, matching a 4 × 32-bit inter-core shift register.
+pub struct CuIo<'a> {
+    pub input: &'a mut HwFifo,
+    pub output: &'a mut HwFifo,
+    /// Outgoing mailbox to the right neighbour (`XPUT` writes it).
+    pub to_right: &'a mut Option<[u8; 16]>,
+    /// Incoming mailbox from the left neighbour (`XGET` drains it).
+    pub from_left: &'a mut Option<[u8; 16]>,
+}
+
+/// Status register bits, readable by the controller through its status
+/// input port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CuStatus(pub u8);
+
+impl CuStatus {
+    pub const EQU: u8 = 1 << 0;
+    pub const AES_BUSY: u8 = 1 << 1;
+    pub const GHASH_BUSY: u8 = 1 << 2;
+    pub const FG_BUSY: u8 = 1 << 3;
+    pub const PENDING: u8 = 1 << 4;
+    pub const FAULT: u8 = 1 << 5;
+    pub const AES_READY: u8 = 1 << 6;
+
+    pub fn equ(self) -> bool {
+        self.0 & Self::EQU != 0
+    }
+    pub fn busy(self) -> bool {
+        self.0 & (Self::FG_BUSY | Self::PENDING | Self::AES_BUSY | Self::GHASH_BUSY) != 0
+    }
+    pub fn fault(self) -> bool {
+        self.0 & Self::FAULT != 0
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Accepted, waiting on resources (or in its first-run transition).
+    Staged(CuInstruction),
+    /// Executing with `left` cycles remaining.
+    Run(CuInstruction, u32),
+}
+
+/// The Cryptographic Unit.
+#[derive(Clone)]
+pub struct CryptoUnit {
+    bank: [[u8; 16]; 4],
+    mask: u16,
+    equ_flag: bool,
+    engine: Option<CipherEngine>,
+
+    aes_busy: u32,
+    aes_input: [u8; 16],
+    aes_result: Option<[u8; 16]>,
+
+    ghash_mult: Option<DigitSerialMultiplier>,
+    ghash_acc: Gf128,
+    ghash_block: [u8; 16],
+    ghash_busy: u32,
+
+    pending: Option<u8>,
+    phase: Phase,
+    done_pulse: bool,
+    fault: bool,
+
+    retired: u64,
+    dropped_strobes: u64,
+    cycles: u64,
+}
+
+impl Default for CryptoUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CryptoUnit {
+    /// A fresh unit with no key loaded and an all-ones XOR mask.
+    pub fn new() -> Self {
+        CryptoUnit {
+            bank: [[0u8; 16]; 4],
+            mask: 0xFFFF,
+            equ_flag: false,
+            engine: None,
+            aes_busy: 0,
+            aes_input: [0u8; 16],
+            aes_result: None,
+            ghash_mult: None,
+            ghash_acc: Gf128::ZERO,
+            ghash_block: [0u8; 16],
+            ghash_busy: 0,
+            pending: None,
+            phase: Phase::Idle,
+            done_pulse: false,
+            fault: false,
+            retired: 0,
+            dropped_strobes: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Loads pre-expanded round keys from the core's Key Cache. There is no
+    /// read-back path: keys can only be *used*, preserving the paper's
+    /// "no way to get the secret session key from the MCCP data port".
+    pub fn load_round_keys(&mut self, keys: RoundKeys) {
+        self.engine = Some(CipherEngine::Aes(Box::new(keys)));
+    }
+
+    /// Installs an arbitrary block-cipher engine — the partial-
+    /// reconfiguration seam of paper §IX (e.g. Twofish replacing AES).
+    pub fn load_engine(&mut self, engine: CipherEngine) {
+        self.engine = Some(engine);
+    }
+
+    /// True once a key schedule / engine is resident.
+    pub fn has_key(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// The configured engine's name (trace/report), if any.
+    pub fn engine_name(&self) -> Option<&'static str> {
+        self.engine.as_ref().map(|e| e.name())
+    }
+
+    /// Sets the 16-bit XOR byte mask (bit `15 - j` gates byte `j`; 0xFFFF
+    /// keeps all 16 bytes). Written by the controller through a port.
+    pub fn set_mask(&mut self, mask: u16) {
+        self.mask = mask;
+    }
+
+    /// Current mask.
+    pub fn mask(&self) -> u16 {
+        self.mask
+    }
+
+    /// Bank register read (test/debug visibility; the hardware exposes the
+    /// bank only through the datapath).
+    pub fn bank(&self, i: usize) -> &[u8; 16] {
+        &self.bank[i & 3]
+    }
+
+    /// Bank register write (test scaffolding and the core's parameter
+    /// injection path).
+    pub fn set_bank(&mut self, i: usize, value: [u8; 16]) {
+        self.bank[i & 3] = value;
+    }
+
+    /// The comparator flag (EQU result).
+    pub fn equ_flag(&self) -> bool {
+        self.equ_flag
+    }
+
+    /// One-cycle `done` pulse from the last tick.
+    pub fn done_pulse(&self) -> bool {
+        self.done_pulse
+    }
+
+    /// True when an instruction strobe would be accepted (pending empty).
+    pub fn can_strobe(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Strobes an instruction byte into the pending register. A strobe
+    /// while the register is full is lost (the firmware must pace itself
+    /// with HALT/NOPs); lost strobes are counted and flagged as a fault.
+    pub fn strobe(&mut self, byte: u8) {
+        if self.pending.is_some() {
+            self.dropped_strobes += 1;
+            self.fault = true;
+            return;
+        }
+        self.pending = Some(byte);
+    }
+
+    /// Status byte for the controller's INPUT port.
+    pub fn status(&self) -> CuStatus {
+        let mut s = 0u8;
+        if self.equ_flag {
+            s |= CuStatus::EQU;
+        }
+        if self.aes_busy > 0 {
+            s |= CuStatus::AES_BUSY;
+        }
+        if self.ghash_busy > 0 {
+            s |= CuStatus::GHASH_BUSY;
+        }
+        if !matches!(self.phase, Phase::Idle) {
+            s |= CuStatus::FG_BUSY;
+        }
+        if self.pending.is_some() {
+            s |= CuStatus::PENDING;
+        }
+        if self.fault {
+            s |= CuStatus::FAULT;
+        }
+        if self.aes_result.is_some() {
+            s |= CuStatus::AES_READY;
+        }
+        CuStatus(s)
+    }
+
+    /// True when the whole unit is quiescent.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle)
+            && self.pending.is_none()
+            && self.aes_busy == 0
+            && self.ghash_busy == 0
+    }
+
+    /// True after an illegal strobe, a dropped strobe, or a datapath
+    /// protocol violation (e.g. SGFM before LOADH).
+    pub fn is_faulted(&self) -> bool {
+        self.fault
+    }
+
+    /// Instructions retired.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Strobes lost to a full pending register.
+    pub fn dropped_strobes(&self) -> u64 {
+        self.dropped_strobes
+    }
+
+    /// Cycles ticked.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Security wipe: clears bank registers, engines, flags and pending
+    /// state. Round keys are cleared too (a closed channel must not leave
+    /// key material in the unit).
+    pub fn reset(&mut self) {
+        *self = CryptoUnit {
+            cycles: self.cycles,
+            retired: self.retired,
+            dropped_strobes: self.dropped_strobes,
+            ..CryptoUnit::new()
+        };
+    }
+
+    fn ready(&self, instr: CuInstruction, io: &CuIo<'_>) -> bool {
+        use CuInstruction::*;
+        match instr {
+            Load { .. } => io.input.len() >= 4,
+            Store { .. } => io.output.free() >= 4,
+            LoadH { .. } | Inc { .. } | Xor { .. } | Equ { .. } | Fgfm { .. } => {
+                // FGFM only needs the accumulate pipeline drained.
+                !matches!(instr, Fgfm { .. }) || self.ghash_busy == 0
+            }
+            Sgfm { .. } => self.ghash_busy == 0,
+            Saes { .. } => self.aes_busy == 0,
+            Faes { .. } => self.aes_result.is_some(),
+            Xput { .. } => io.to_right.is_none(),
+            Xget { .. } => io.from_left.is_some(),
+        }
+    }
+
+    fn duration(instr: CuInstruction) -> u32 {
+        use CuInstruction::*;
+        match instr {
+            Faes { .. } | Fgfm { .. } => T_FINALIZE,
+            _ => T_FOREGROUND,
+        }
+    }
+
+    /// Effects applied the cycle an instruction starts running.
+    fn on_start(&mut self, instr: CuInstruction) {
+        use CuInstruction::*;
+        match instr {
+            Saes { a } => {
+                let Some(engine) = &self.engine else {
+                    self.fault = true;
+                    return;
+                };
+                self.aes_input = self.bank[a as usize];
+                self.aes_busy = engine.block_cycles();
+                self.aes_result = None;
+            }
+            Sgfm { a } => {
+                if self.ghash_mult.is_none() {
+                    self.fault = true;
+                    return;
+                }
+                self.ghash_block = self.bank[a as usize];
+                self.ghash_busy = GHASH_CYCLES;
+            }
+            _ => {}
+        }
+    }
+
+    /// Effects applied the cycle an instruction completes.
+    fn on_finish(&mut self, instr: CuInstruction, io: &mut CuIo<'_>) {
+        use CuInstruction::*;
+        match instr {
+            Load { a } => {
+                let bytes = io.input.pop_bytes(16).expect("readiness guaranteed 4 words");
+                self.bank[a as usize].copy_from_slice(&bytes);
+            }
+            Store { a } => {
+                let ok = io.output.push_bytes(&self.bank[a as usize]);
+                debug_assert!(ok, "readiness guaranteed 4 free slots");
+            }
+            LoadH { a } => {
+                let h = Gf128::from_bytes(&self.bank[a as usize]);
+                self.ghash_mult = Some(DigitSerialMultiplier::new(h));
+                self.ghash_acc = Gf128::ZERO;
+            }
+            Sgfm { .. } | Saes { .. } => {
+                // Background engines were armed at start; nothing to do.
+            }
+            Fgfm { a } => {
+                self.bank[a as usize] = self.ghash_acc.to_bytes();
+            }
+            Faes { a } => {
+                self.bank[a as usize] = self
+                    .aes_result
+                    .take()
+                    .expect("readiness guaranteed a latched result");
+            }
+            Inc { a, amount } => {
+                inc16(&mut self.bank[a as usize], amount as u16);
+            }
+            Xor { a, b } => {
+                let av = self.bank[a as usize];
+                let bv = &mut self.bank[b as usize];
+                for j in 0..16 {
+                    let keep = (self.mask >> (15 - j)) & 1 == 1;
+                    bv[j] = if keep { av[j] ^ bv[j] } else { 0 };
+                }
+            }
+            Equ { a, b } => {
+                self.equ_flag = self.bank[a as usize] == self.bank[b as usize];
+            }
+            Xput { a } => {
+                debug_assert!(io.to_right.is_none());
+                *io.to_right = Some(self.bank[a as usize]);
+            }
+            Xget { a } => {
+                self.bank[a as usize] = io.from_left.take().expect("readiness guaranteed");
+            }
+        }
+        self.retired += 1;
+    }
+
+    /// Advances one clock cycle.
+    pub fn tick(&mut self, io: &mut CuIo<'_>) {
+        self.cycles += 1;
+        self.done_pulse = false;
+
+        // 1. Background engines.
+        if self.aes_busy > 0 {
+            self.aes_busy -= 1;
+            if self.aes_busy == 0 {
+                let engine = self.engine.as_ref().expect("armed with a key");
+                let mut block = self.aes_input;
+                engine.encrypt(&mut block);
+                self.aes_result = Some(block);
+            }
+        }
+        if self.ghash_busy > 0 {
+            self.ghash_busy -= 1;
+            if self.ghash_busy == 0 {
+                let m = self.ghash_mult.as_ref().expect("armed with H");
+                let x = self.ghash_acc + Gf128::from_bytes(&self.ghash_block);
+                self.ghash_acc = m.mul(x).product;
+            }
+        }
+
+        // 2. Foreground datapath.
+        match self.phase {
+            Phase::Idle => {
+                // Sampling cycle for a fresh strobe.
+                if let Some(byte) = self.pending.take() {
+                    match CuInstruction::decode(byte) {
+                        Some(instr) => self.phase = Phase::Staged(instr),
+                        None => self.fault = true,
+                    }
+                }
+            }
+            Phase::Staged(instr) => {
+                if self.ready(instr, io) {
+                    self.on_start(instr);
+                    if self.fault {
+                        self.phase = Phase::Idle;
+                        return;
+                    }
+                    let left = Self::duration(instr) - 1;
+                    if left == 0 {
+                        self.finish(instr, io);
+                    } else {
+                        self.phase = Phase::Run(instr, left);
+                    }
+                }
+            }
+            Phase::Run(instr, left) => {
+                let left = left - 1;
+                if left == 0 {
+                    self.finish(instr, io);
+                } else {
+                    self.phase = Phase::Run(instr, left);
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, instr: CuInstruction, io: &mut CuIo<'_>) {
+        self.on_finish(instr, io);
+        self.done_pulse = true;
+        self.phase = Phase::Idle;
+        // Completion-edge acceptance: a pending instruction is decoded now,
+        // skipping the sampling cycle (the NOP-trick saving).
+        if let Some(byte) = self.pending.take() {
+            match CuInstruction::decode(byte) {
+                Some(next) => self.phase = Phase::Staged(next),
+                None => self.fault = true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::{t_cbc_loop, t_gcm_loop};
+    use mccp_aes::modes::ctr::inc128;
+    use mccp_aes::{Aes, BlockCipher128, KeySize};
+    use mccp_gf128::{ghash, GhashKey};
+
+    /// Drives a CU with a cyclic instruction schedule, strobing each next
+    /// instruction as soon as the pending register frees — an idealized
+    /// controller (the real PicoBlaze is tested in mccp-core).
+    struct Driver {
+        cu: CryptoUnit,
+        input: HwFifo,
+        output: HwFifo,
+        right: Option<[u8; 16]>,
+        left: Option<[u8; 16]>,
+    }
+
+    impl Driver {
+        fn new(cu: CryptoUnit) -> Self {
+            Driver {
+                cu,
+                input: HwFifo::new(4096),
+                output: HwFifo::new(4096),
+                right: None,
+                left: None,
+            }
+        }
+
+        fn tick(&mut self) {
+            let mut io = CuIo {
+                input: &mut self.input,
+                output: &mut self.output,
+                to_right: &mut self.right,
+                from_left: &mut self.left,
+            };
+            self.cu.tick(&mut io);
+        }
+
+        /// Runs `schedule` cyclically for `n_instr` total instructions,
+        /// returning the cycle numbers at which each instruction retired.
+        fn run_schedule(&mut self, schedule: &[CuInstruction], n_instr: usize) -> Vec<u64> {
+            let mut issued = 0usize;
+            let mut retire_cycles = Vec::new();
+            let mut guard = 0u64;
+            while retire_cycles.len() < n_instr {
+                if issued < n_instr && self.cu.can_strobe() {
+                    self.cu.strobe(schedule[issued % schedule.len()].encode());
+                    issued += 1;
+                }
+                self.tick();
+                if self.cu.done_pulse() {
+                    retire_cycles.push(self.cu.cycles());
+                }
+                guard += 1;
+                assert!(guard < 2_000_000, "schedule wedged");
+                assert!(!self.cu.is_faulted(), "CU faulted");
+            }
+            retire_cycles
+        }
+
+        /// Runs a one-shot instruction sequence to completion.
+        fn run_seq(&mut self, seq: &[CuInstruction]) {
+            self.run_schedule(seq, seq.len());
+            // Drain any background work.
+            let mut guard = 0;
+            while !self.cu.is_idle() {
+                self.tick();
+                guard += 1;
+                assert!(guard < 10_000);
+            }
+        }
+    }
+
+    fn cu_with_key(key: &[u8]) -> CryptoUnit {
+        let mut cu = CryptoUnit::new();
+        cu.load_round_keys(RoundKeys::expand(key));
+        cu
+    }
+
+    #[test]
+    fn fresh_strobe_takes_seven_cycles() {
+        let mut d = Driver::new(CryptoUnit::new());
+        // Let the CU idle a few cycles first.
+        for _ in 0..3 {
+            d.tick();
+        }
+        let start = d.cu.cycles();
+        d.cu.strobe(CuInstruction::Inc { a: 0, amount: 1 }.encode());
+        let mut done_at = 0;
+        for _ in 0..20 {
+            d.tick();
+            if d.cu.done_pulse() {
+                done_at = d.cu.cycles();
+                break;
+            }
+        }
+        assert_eq!(done_at - start, 7, "1 sampling + 6 execute");
+    }
+
+    #[test]
+    fn back_to_back_costs_six() {
+        let mut d = Driver::new(CryptoUnit::new());
+        let sched = [CuInstruction::Inc { a: 0, amount: 1 }];
+        let retires = d.run_schedule(&sched, 5);
+        for w in retires.windows(2) {
+            assert_eq!(w[1] - w[0], 6, "completion-edge acceptance saves a cycle");
+        }
+    }
+
+    #[test]
+    fn saes_faes_computes_aes_with_correct_latency() {
+        let key = [7u8; 16];
+        let mut cu = cu_with_key(&key);
+        let pt: [u8; 16] = core::array::from_fn(|i| i as u8);
+        cu.set_bank(0, pt);
+        let mut d = Driver::new(cu);
+        let retires = d.run_schedule(
+            &[CuInstruction::Saes { a: 0 }, CuInstruction::Faes { a: 0 }],
+            2,
+        );
+        // SAES retires 7 cycles after strobe; FAES must wait out the 44.
+        let aes = Aes::new_128(&key);
+        assert_eq!(*d.cu.bank(0), aes.encrypt_copy(&pt));
+        // FAES retire - SAES start: the full chain is 44 + 5 measured from
+        // SAES acceptance; retire delta covers the overlap.
+        assert!(retires[1] - retires[0] >= (44 - 6) as u64);
+    }
+
+    #[test]
+    fn gcm_steady_state_loop_is_49_cycles() {
+        let key = [0x42u8; 16];
+        let mut cu = cu_with_key(&key);
+        // Preamble state: counter in @0, AES already started.
+        let ctr0: [u8; 16] = {
+            let mut c = [0u8; 16];
+            c[15] = 1;
+            c
+        };
+        cu.set_bank(0, ctr0);
+        // H into @3 then LOADH.
+        let aes = Aes::new_128(&key);
+        cu.set_bank(3, aes.encrypt_copy(&[0u8; 16]));
+        let mut d = Driver::new(cu);
+        let blocks = 20usize;
+        let pt: Vec<u8> = (0..16 * blocks).map(|i| (i * 13 % 251) as u8).collect();
+        assert!(d.input.push_bytes(&pt));
+
+        // Preamble: LOADH @3, LOAD first plaintext into @2, start E(ctr_0)
+        // and pre-increment the counter for iteration 2's SAES.
+        d.run_schedule(
+            &[
+                CuInstruction::LoadH { a: 3 },
+                CuInstruction::Load { a: 2 },
+                CuInstruction::Saes { a: 0 },
+                CuInstruction::Inc { a: 0, amount: 1 },
+            ],
+            4,
+        );
+        // The preamble consumed one block; the final iteration's LOAD needs
+        // one pad block to keep the schedule uniform.
+        assert!(d.input.push_bytes(&[0u8; 16]));
+        // The paper's GCMloop body (Listing 1), in its exact order: FAES
+        // first, SAES restarted *immediately* so the next AES computation
+        // hides every other instruction of the iteration.
+        // @0 counter, @1 keystream/ciphertext, @2 plaintext, @3 scratch.
+        let body = [
+            CuInstruction::Faes { a: 1 },      // keystream_i
+            CuInstruction::Saes { a: 0 },      // start E(ctr_{i+1})
+            CuInstruction::Xor { a: 2, b: 1 }, // ct_i = pt_i ^ ks_i
+            CuInstruction::Sgfm { a: 1 },      // absorb ct_i
+            CuInstruction::Store { a: 1 },     // emit ct_i
+            CuInstruction::Inc { a: 0, amount: 1 },
+            CuInstruction::Load { a: 2 },      // pt_{i+1}
+        ];
+        let retires = d.run_schedule(&body, body.len() * blocks);
+
+        // Steady-state period between consecutive FAES retirements = 49.
+        let faes_idx: Vec<u64> = retires
+            .chunks(body.len())
+            .map(|c| c[0])
+            .collect();
+        let deltas: Vec<u64> = faes_idx.windows(2).map(|w| w[1] - w[0]).collect();
+        // Skip pipeline warm-up; all later iterations must hit the budget.
+        for &dlt in &deltas[2..] {
+            assert_eq!(
+                dlt,
+                t_gcm_loop(KeySize::Aes128) as u64,
+                "GCM loop must sustain one block per 49 cycles; deltas={deltas:?}"
+            );
+        }
+
+        // Functional check: output = CTR keystream XOR plaintext.
+        let mut expect = pt.clone();
+        let mut ctr = ctr0;
+        for chunk in expect.chunks_mut(16) {
+            let ks = aes.encrypt_copy(&ctr);
+            for (c, k) in chunk.iter_mut().zip(ks.iter()) {
+                *c ^= k;
+            }
+            // INC is 16-bit; equivalent to inc128 for small counts.
+            inc128(&mut ctr);
+        }
+        // Drain in-flight background work before reading the FIFO.
+        for _ in 0..200 {
+            d.tick();
+        }
+        let got = d.output.pop_bytes(16 * blocks).expect("all blocks emitted");
+        assert_eq!(got, expect);
+
+        // And GHASH accumulated over the ciphertext blocks.
+        let hkey = GhashKey::new(mccp_gf128::Gf128::from_bytes(
+            &aes.encrypt_copy(&[0u8; 16]),
+        ));
+        // Raw accumulator (no length block): fold blocks manually.
+        let mut acc = mccp_gf128::Gf128::ZERO;
+        for chunk in expect.chunks(16) {
+            let b: [u8; 16] = chunk.try_into().unwrap();
+            acc = hkey.mul_h(acc + mccp_gf128::Gf128::from_bytes(&b));
+        }
+        assert_eq!(d.cu.ghash_acc, acc);
+    }
+
+    #[test]
+    fn cbc_mac_steady_state_loop_is_55_cycles() {
+        let key = [0x24u8; 16];
+        let cu = cu_with_key(&key);
+        let mut d = Driver::new(cu);
+        let blocks = 16usize;
+        let pt: Vec<u8> = (0..16 * blocks).map(|i| (i * 7 % 253) as u8).collect();
+        assert!(d.input.push_bytes(&pt));
+
+        // @0 = MAC chain, @1 = plaintext. Load first block, then loop:
+        // XOR @1,@0 ; SAES @0 ; LOAD @1 (overlapped) ; FAES @0.
+        d.run_schedule(&[CuInstruction::Load { a: 1 }], 1);
+        let body = [
+            CuInstruction::Xor { a: 1, b: 0 },
+            CuInstruction::Saes { a: 0 },
+            CuInstruction::Load { a: 1 },
+            CuInstruction::Faes { a: 0 },
+        ];
+        // Final iteration's LOAD would underflow the FIFO; feed one pad
+        // block so the schedule stays uniform.
+        assert!(d.input.push_bytes(&[0u8; 16]));
+        let retires = d.run_schedule(&body, body.len() * blocks);
+
+        let faes: Vec<u64> = retires.chunks(body.len()).map(|c| c[3]).collect();
+        let deltas: Vec<u64> = faes.windows(2).map(|w| w[1] - w[0]).collect();
+        for &dlt in &deltas[2..] {
+            assert_eq!(
+                dlt,
+                t_cbc_loop(KeySize::Aes128) as u64,
+                "CBC-MAC loop must take 55 cycles/block; deltas={deltas:?}"
+            );
+        }
+
+        // Functional check vs the reference CBC-MAC.
+        let aes = Aes::new_128(&key);
+        let expect = mccp_aes::modes::cbc_mac::cbc_mac_raw(&aes, &pt).unwrap();
+        assert_eq!(*d.cu.bank(0), expect);
+    }
+
+    #[test]
+    fn key_size_shifts_aes_latency() {
+        for (key_len, loop_cycles) in [(16usize, 49u64), (24, 57), (32, 65)] {
+            let key: Vec<u8> = (0..key_len as u8).collect();
+            let mut cu = cu_with_key(&key);
+            cu.set_bank(0, [5u8; 16]);
+            let mut d = Driver::new(cu);
+            let body = [CuInstruction::Saes { a: 0 }, CuInstruction::Faes { a: 1 }];
+            let retires = d.run_schedule(&body, body.len() * 6);
+            let faes: Vec<u64> = retires.chunks(2).map(|c| c[1]).collect();
+            let deltas: Vec<u64> = faes.windows(2).map(|w| w[1] - w[0]).collect();
+            for &dlt in &deltas[1..] {
+                assert_eq!(dlt, loop_cycles, "key_len={key_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_respects_mask() {
+        let mut cu = CryptoUnit::new();
+        cu.set_bank(0, [0xFFu8; 16]);
+        cu.set_bank(1, [0x0Fu8; 16]);
+        cu.set_mask(0xFF00); // keep bytes 0..8, zero bytes 8..16
+        let mut d = Driver::new(cu);
+        d.run_seq(&[CuInstruction::Xor { a: 0, b: 1 }]);
+        let out = d.cu.bank(1);
+        assert_eq!(&out[..8], &[0xF0u8; 8]);
+        assert_eq!(&out[8..], &[0x00u8; 8]);
+    }
+
+    #[test]
+    fn equ_sets_and_clears_flag() {
+        let mut cu = CryptoUnit::new();
+        cu.set_bank(0, [1u8; 16]);
+        cu.set_bank(1, [1u8; 16]);
+        cu.set_bank(2, [2u8; 16]);
+        let mut d = Driver::new(cu);
+        d.run_seq(&[CuInstruction::Equ { a: 0, b: 1 }]);
+        assert!(d.cu.equ_flag());
+        d.run_seq(&[CuInstruction::Equ { a: 0, b: 2 }]);
+        assert!(!d.cu.equ_flag());
+    }
+
+    #[test]
+    fn inc_amounts() {
+        let mut cu = CryptoUnit::new();
+        let mut blk = [0u8; 16];
+        blk[15] = 0xFE;
+        cu.set_bank(0, blk);
+        let mut d = Driver::new(cu);
+        d.run_seq(&[CuInstruction::Inc { a: 0, amount: 4 }]);
+        let out = d.cu.bank(0);
+        assert_eq!(out[15], 0x02);
+        assert_eq!(out[14], 0x01);
+    }
+
+    #[test]
+    fn load_waits_for_fifo_data() {
+        let mut d = Driver::new(CryptoUnit::new());
+        d.cu.strobe(CuInstruction::Load { a: 0 }.encode());
+        for _ in 0..50 {
+            d.tick();
+        }
+        assert!(!d.cu.done_pulse());
+        assert!(!d.cu.is_idle());
+        // Supply the words; the LOAD completes.
+        assert!(d.input.push_bytes(&[0xAB; 16]));
+        let mut done = false;
+        for _ in 0..10 {
+            d.tick();
+            done |= d.cu.done_pulse();
+        }
+        assert!(done);
+        assert_eq!(*d.cu.bank(0), [0xAB; 16]);
+    }
+
+    #[test]
+    fn inter_core_mailboxes() {
+        let mut cu = CryptoUnit::new();
+        cu.set_bank(2, [0x77u8; 16]);
+        let mut d = Driver::new(cu);
+        d.run_seq(&[CuInstruction::Xput { a: 2 }]);
+        assert_eq!(d.right, Some([0x77u8; 16]));
+        // XGET blocks until the left mailbox fills.
+        d.cu.strobe(CuInstruction::Xget { a: 3 }.encode());
+        for _ in 0..30 {
+            d.tick();
+        }
+        assert!(!d.cu.is_idle());
+        d.left = Some([0x99u8; 16]);
+        for _ in 0..10 {
+            d.tick();
+        }
+        assert_eq!(*d.cu.bank(3), [0x99u8; 16]);
+        assert_eq!(d.left, None);
+    }
+
+    #[test]
+    fn ghash_matches_reference_with_length_block() {
+        let key = [3u8; 16];
+        let aes = Aes::new_128(&key);
+        let h = aes.encrypt_copy(&[0u8; 16]);
+        let mut cu = cu_with_key(&key);
+        cu.set_bank(3, h);
+        let mut d = Driver::new(cu);
+        let ct: Vec<u8> = (0..48).map(|i| i as u8).collect();
+        let mut len_block = [0u8; 16];
+        len_block[8..].copy_from_slice(&((48u64 * 8).to_be_bytes()));
+        assert!(d.input.push_bytes(&ct));
+        assert!(d.input.push_bytes(&len_block));
+        let mut seq = vec![CuInstruction::LoadH { a: 3 }];
+        for _ in 0..4 {
+            seq.push(CuInstruction::Load { a: 0 });
+            seq.push(CuInstruction::Sgfm { a: 0 });
+        }
+        seq.push(CuInstruction::Fgfm { a: 1 });
+        d.run_seq(&seq);
+        let expect = ghash(&GhashKey::new(mccp_gf128::Gf128::from_bytes(&h)), &[], &ct);
+        assert_eq!(*d.cu.bank(1), expect.to_bytes());
+    }
+
+    #[test]
+    fn sgfm_without_loadh_faults() {
+        let mut d = Driver::new(CryptoUnit::new());
+        d.cu.strobe(CuInstruction::Sgfm { a: 0 }.encode());
+        for _ in 0..10 {
+            d.tick();
+        }
+        assert!(d.cu.is_faulted());
+    }
+
+    #[test]
+    fn saes_without_key_faults() {
+        let mut d = Driver::new(CryptoUnit::new());
+        d.cu.strobe(CuInstruction::Saes { a: 0 }.encode());
+        for _ in 0..10 {
+            d.tick();
+        }
+        assert!(d.cu.is_faulted());
+    }
+
+    #[test]
+    fn dropped_strobe_is_counted_and_faults() {
+        let mut cu = CryptoUnit::new();
+        cu.strobe(CuInstruction::Inc { a: 0, amount: 1 }.encode());
+        cu.strobe(CuInstruction::Inc { a: 0, amount: 1 }.encode());
+        assert_eq!(cu.dropped_strobes(), 1);
+        assert!(cu.is_faulted());
+    }
+
+    #[test]
+    fn reset_wipes_state_and_keys() {
+        let mut cu = cu_with_key(&[1u8; 16]);
+        cu.set_bank(0, [0xAA; 16]);
+        cu.set_mask(0x1234);
+        cu.reset();
+        assert_eq!(*cu.bank(0), [0u8; 16]);
+        assert_eq!(cu.mask(), 0xFFFF);
+        assert!(!cu.has_key());
+        assert!(cu.is_idle());
+    }
+
+    #[test]
+    fn status_bits() {
+        let mut cu = cu_with_key(&[1u8; 16]);
+        assert!(!cu.status().busy());
+        cu.strobe(CuInstruction::Saes { a: 0 }.encode());
+        assert!(cu.status().0 & CuStatus::PENDING != 0);
+        let mut d = Driver::new(cu);
+        for _ in 0..3 {
+            d.tick();
+        }
+        assert!(d.cu.status().0 & CuStatus::AES_BUSY != 0);
+        assert!(d.cu.status().busy());
+    }
+}

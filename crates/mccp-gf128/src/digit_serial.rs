@@ -1,0 +1,144 @@
+//! Cycle-counted model of the digit-serial GF(2^128) multiplier.
+//!
+//! The paper's GHASH core uses the digit-serial multiplier architecture of
+//! Lemsitzer et al. (CHES'07, reference \[1\] of the paper) with **3-bit
+//! digits**, completing one multiplication in **43 clock cycles**
+//! (`ceil(128 / 3) = 43`).
+//!
+//! This module models that datapath: each "cycle" consumes one 3-bit digit
+//! of the multiplier operand and performs the shift/accumulate step the
+//! hardware would. The result is bit-exact with [`Gf128::mul_bitwise`] and
+//! the cycle count is exposed so the Cryptographic Unit simulator can charge
+//! the correct latency.
+
+use crate::element::Gf128;
+
+/// Digit width in bits (the paper's design point).
+pub const DIGIT_BITS: u32 = 3;
+
+/// Cycles per 128-bit multiplication: `ceil(128 / DIGIT_BITS)` = 43.
+pub const MUL_CYCLES: u32 = 128u32.div_ceil(DIGIT_BITS);
+
+/// A digit-serial multiplier with a fixed operand `H` (the GHASH subkey).
+///
+/// The hardware keeps `H` in a register and streams the other operand in
+/// most-significant digit first, Horner style:
+/// `Z <- Z * x^D + digit(X) * H`.
+#[derive(Clone, Debug)]
+pub struct DigitSerialMultiplier {
+    h: Gf128,
+    /// Precomputed `d * H` for each of the 8 possible 3-bit digits, as the
+    /// hardware's partial-product network would produce combinationally.
+    partials: [Gf128; 1 << DIGIT_BITS as usize],
+}
+
+/// The outcome of one modeled multiplication: the product and the number of
+/// clock cycles the hardware datapath spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MulResult {
+    pub product: Gf128,
+    pub cycles: u32,
+}
+
+impl DigitSerialMultiplier {
+    /// Builds a multiplier for subkey `h` (the hardware's `LOADH`).
+    pub fn new(h: Gf128) -> Self {
+        let mut partials = [Gf128::ZERO; 1 << DIGIT_BITS as usize];
+        for (d, p) in partials.iter_mut().enumerate() {
+            // Digit bits are taken most-significant-power-last: bit j of the
+            // digit is the coefficient of x^j within the digit window.
+            let mut acc = Gf128::ZERO;
+            for j in 0..DIGIT_BITS {
+                if (d >> j) & 1 == 1 {
+                    // x^j * H
+                    let mut t = h;
+                    for _ in 0..j {
+                        t = t.mul_x();
+                    }
+                    acc += t;
+                }
+            }
+            *p = acc;
+        }
+        DigitSerialMultiplier { h, partials }
+    }
+
+    /// The fixed operand.
+    pub fn h(&self) -> Gf128 {
+        self.h
+    }
+
+    /// Multiplies `x * H`, returning the product and modeled cycle count.
+    ///
+    /// Digits are consumed from the *highest* power group down (Horner).
+    /// 128 = 42 * 3 + 2, so the final (43rd) digit carries only 2 bits.
+    pub fn mul(&self, x: Gf128) -> MulResult {
+        let mut z = Gf128::ZERO;
+        let mut cycles = 0u32;
+        // Power windows, highest first: [126..128) has 2 bits, then
+        // [123..126), ..., [0..3).
+        let mut hi = 128u32;
+        while hi > 0 {
+            let lo = hi.saturating_sub(DIGIT_BITS);
+            let width = hi - lo;
+            // Extract digit bits: coefficient of x^p lives at u128 bit 127-p.
+            let mut digit = 0usize;
+            for j in 0..width {
+                let p = lo + j;
+                if (x.0 >> (127 - p)) & 1 == 1 {
+                    digit |= 1 << j;
+                }
+            }
+            // Horner step: shift accumulator by the digit width, add partial.
+            for _ in 0..width {
+                z = z.mul_x();
+            }
+            // z currently holds sum of higher digits times x^(p-lo); adding
+            // digit*H here and shifting on later iterations reproduces
+            // sum(digit_k * x^{lo_k}) * H.
+            z += self.partials[digit];
+            cycles += 1;
+            hi = lo;
+        }
+        MulResult { product: z, cycles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_constant_is_43() {
+        assert_eq!(MUL_CYCLES, 43);
+    }
+
+    #[test]
+    fn matches_bitwise_on_known_values() {
+        let h = Gf128(0x66e9_4bd4_ef8a_2c3b_884c_fa59_ca34_2b2e);
+        let m = DigitSerialMultiplier::new(h);
+        for x in [
+            Gf128::ZERO,
+            Gf128::ONE,
+            Gf128(1),
+            Gf128(u128::MAX),
+            Gf128(0x0123_4567_89ab_cdef_0011_2233_4455_6677),
+        ] {
+            let r = m.mul(x);
+            assert_eq!(r.product, x.mul_bitwise(h), "x = {x:?}");
+            assert_eq!(r.cycles, MUL_CYCLES);
+        }
+    }
+
+    #[test]
+    fn partials_cover_all_digits() {
+        let h = Gf128(0xdead_beef_0000_0000_0000_0000_0000_1234);
+        let m = DigitSerialMultiplier::new(h);
+        // digit 1 = x^0 * H = H; digit 2 = x^1 * H; digit 4 = x^2 * H.
+        assert_eq!(m.partials[0], Gf128::ZERO);
+        assert_eq!(m.partials[1], h);
+        assert_eq!(m.partials[2], h.mul_x());
+        assert_eq!(m.partials[4], h.mul_x().mul_x());
+        assert_eq!(m.partials[7], h + h.mul_x() + h.mul_x().mul_x());
+    }
+}

@@ -1,0 +1,239 @@
+//! The [`Gf128`] field element type.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign};
+
+/// Reduction constant for the GCM polynomial `x^128 + x^7 + x^2 + x + 1`
+/// in the right-shift (bit-reflected) representation.
+pub const R: u128 = 0xE1 << 120;
+
+/// An element of GF(2^128) in the GCM bit ordering.
+///
+/// Bit 127 of the inner `u128` is the coefficient of `x^0`; bit 0 is the
+/// coefficient of `x^127`. Addition is XOR; multiplication is polynomial
+/// multiplication modulo `x^128 + x^7 + x^2 + x + 1`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Gf128(pub u128);
+
+impl Gf128 {
+    /// The additive identity (zero polynomial).
+    pub const ZERO: Gf128 = Gf128(0);
+
+    /// The multiplicative identity: the polynomial `1`, whose single set
+    /// coefficient is `x^0`, i.e. the most-significant bit of the block.
+    pub const ONE: Gf128 = Gf128(1 << 127);
+
+    /// Builds an element from a 16-byte block, GCM (big-endian) order.
+    #[inline]
+    pub fn from_bytes(bytes: &[u8; 16]) -> Self {
+        Gf128(u128::from_be_bytes(*bytes))
+    }
+
+    /// Serializes the element back to a 16-byte block.
+    #[inline]
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_be_bytes()
+    }
+
+    /// Multiplies the element by `x` (one right shift + conditional
+    /// reduction). This is the primitive step of every serial multiplier.
+    #[inline]
+    pub fn mul_x(self) -> Self {
+        let carry = self.0 & 1;
+        let shifted = self.0 >> 1;
+        Gf128(if carry == 1 { shifted ^ R } else { shifted })
+    }
+
+    /// Multiplies the element by `x^4` (used by the 4-bit table method).
+    #[inline]
+    pub fn mul_x4(self) -> Self {
+        self.mul_x().mul_x().mul_x().mul_x()
+    }
+
+    /// Schoolbook (bit-serial) multiplication, exactly the algorithm of
+    /// NIST SP 800-38D §6.3. 128 iterations; used as the correctness oracle
+    /// for the faster table and digit-serial variants.
+    pub fn mul_bitwise(self, rhs: Gf128) -> Gf128 {
+        let mut z = 0u128;
+        let mut v = rhs.0;
+        let x = self.0;
+        for i in 0..128 {
+            if (x >> (127 - i)) & 1 == 1 {
+                z ^= v;
+            }
+            let lsb = v & 1;
+            v >>= 1;
+            if lsb == 1 {
+                v ^= R;
+            }
+        }
+        Gf128(z)
+    }
+
+    /// Squares the element.
+    #[inline]
+    pub fn square(self) -> Gf128 {
+        self.mul_bitwise(self)
+    }
+
+    /// Raises the element to an arbitrary power via square-and-multiply.
+    /// The exponent is a plain `u128` (big enough for all callers here).
+    pub fn pow(self, mut exp: u128) -> Gf128 {
+        let mut base = self;
+        let mut acc = Gf128::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_bitwise(base);
+            }
+            base = base.square();
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse, `self^(2^128 - 2)`.
+    ///
+    /// Uses the identity `2^128 - 2 = 2 + 4 + ... + 2^127`, so the inverse is
+    /// the product of `self^(2^i)` for `i = 1..=127`.
+    ///
+    /// # Panics
+    /// Panics if the element is zero.
+    pub fn inverse(self) -> Gf128 {
+        assert_ne!(self, Gf128::ZERO, "zero has no multiplicative inverse");
+        let mut t = self;
+        let mut acc = Gf128::ONE;
+        for _ in 1..=127 {
+            t = t.square();
+            acc = acc.mul_bitwise(t);
+        }
+        acc
+    }
+
+    /// True if the element is the zero polynomial.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Gf128 {
+    type Output = Gf128;
+    // In GF(2^128), addition *is* XOR — this is the mathematics, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    #[inline]
+    fn add(self, rhs: Gf128) -> Gf128 {
+        Gf128(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf128 {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf128) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Mul for Gf128 {
+    type Output = Gf128;
+    #[inline]
+    fn mul(self, rhs: Gf128) -> Gf128 {
+        self.mul_bitwise(rhs)
+    }
+}
+
+impl MulAssign for Gf128 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf128) {
+        *self = self.mul_bitwise(rhs);
+    }
+}
+
+impl fmt::Debug for Gf128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf128({:032x})", self.0)
+    }
+}
+
+impl From<u128> for Gf128 {
+    fn from(v: u128) -> Self {
+        Gf128(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_is_identity() {
+        let a = Gf128(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        assert_eq!(a * Gf128::ONE, a);
+        assert_eq!(Gf128::ONE * a, a);
+    }
+
+    #[test]
+    fn zero_annihilates() {
+        let a = Gf128(0xdead_beef_dead_beef_dead_beef_dead_beef);
+        assert_eq!(a * Gf128::ZERO, Gf128::ZERO);
+    }
+
+    #[test]
+    fn addition_is_xor() {
+        let a = Gf128(0xff00);
+        let b = Gf128(0x0ff0);
+        assert_eq!(a + b, Gf128(0xf0f0));
+        assert_eq!(a + a, Gf128::ZERO);
+    }
+
+    #[test]
+    fn mul_x_matches_mul_by_x_element() {
+        // x = coefficient of x^1 = bit 126.
+        let x = Gf128(1 << 126);
+        let a = Gf128(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        assert_eq!(a.mul_x(), a * x);
+    }
+
+    #[test]
+    fn known_gcm_product() {
+        // From the GCM spec test case 2: H = E(K, 0^128) with zero key,
+        // and GHASH of a single zero-plaintext ciphertext block.
+        let h = Gf128::from_bytes(&[
+            0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34,
+            0x2b, 0x2e,
+        ]);
+        let c = Gf128::from_bytes(&[
+            0x03, 0x88, 0xda, 0xce, 0x60, 0xb6, 0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9, 0x71, 0xb2,
+            0xfe, 0x78,
+        ]);
+        // GHASH = ((C*H) + len) * H, with len block = 0...0 || 0x80 (128 bits).
+        let len_block = Gf128(128u128);
+        let tag = (c.mul_bitwise(h) + len_block).mul_bitwise(h);
+        let expect = Gf128::from_bytes(&[
+            0xf3, 0x8c, 0xbb, 0x1a, 0xd6, 0x92, 0x23, 0xdc, 0xc3, 0x45, 0x7a, 0xe5, 0xb6, 0xb0,
+            0xf8, 0x85,
+        ]);
+        assert_eq!(tag, expect);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Gf128(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        assert_eq!(a * a.inverse(), Gf128::ONE);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let a = Gf128(0xabcdef);
+        assert_eq!(a.pow(0), Gf128::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(2), a.square());
+        assert_eq!(a.pow(3), a.square() * a);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no multiplicative inverse")]
+    fn inverse_of_zero_panics() {
+        let _ = Gf128::ZERO.inverse();
+    }
+}

@@ -1,0 +1,247 @@
+//! GHASH — the universal hash of GCM (NIST SP 800-38D §6.4).
+//!
+//! [`GhashKey`] precomputes Shoup's 4-bit multiplication table for a fixed
+//! hash subkey `H`, making per-block multiplication 32 table lookups instead
+//! of 128 shift/XOR steps. [`Ghash`] is the incremental hasher built on top,
+//! and [`ghash`] is the one-shot convenience over an AAD / ciphertext pair.
+
+use crate::element::Gf128;
+
+/// A GHASH subkey with its precomputed 4-bit (16-entry) multiple table.
+///
+/// Entry `M[n]` holds `E(n) * H`, where `E(n)` places the 4 bits of `n` at
+/// the top of the block (powers `x^0..x^3`). A full product is then a Horner
+/// evaluation over the 32 nibbles of the other operand.
+#[derive(Clone)]
+pub struct GhashKey {
+    h: Gf128,
+    table: [Gf128; 16],
+}
+
+impl GhashKey {
+    /// Precomputes the table for hash subkey `h`.
+    pub fn new(h: Gf128) -> Self {
+        let mut table = [Gf128::ZERO; 16];
+        for (n, entry) in table.iter_mut().enumerate() {
+            *entry = Gf128((n as u128) << 124).mul_bitwise(h);
+        }
+        GhashKey { h, table }
+    }
+
+    /// The raw hash subkey.
+    pub fn h(&self) -> Gf128 {
+        self.h
+    }
+
+    /// Multiplies `x` by the subkey using the 4-bit table (Shoup's method).
+    pub fn mul_h(&self, x: Gf128) -> Gf128 {
+        let mut z = Gf128::ZERO;
+        // Nibble k covers powers x^{4k}..x^{4k+3}, stored at u128 bits
+        // (124-4k)..(127-4k). Horner from the highest power group down.
+        for k in (0..32).rev() {
+            z = z.mul_x4();
+            let nib = ((x.0 >> (124 - 4 * k)) & 0xF) as usize;
+            z += self.table[nib];
+        }
+        z
+    }
+}
+
+/// Incremental GHASH state.
+///
+/// Feed AAD first, then ciphertext, then call [`Ghash::finalize`]; the
+/// length block is appended automatically. Partial final blocks of either
+/// section are zero-padded, per the specification.
+#[derive(Clone)]
+pub struct Ghash {
+    key: GhashKey,
+    y: Gf128,
+    aad_bits: u64,
+    ct_bits: u64,
+    /// Buffered partial block for the section currently being absorbed.
+    buf: [u8; 16],
+    buf_len: usize,
+    in_ciphertext: bool,
+}
+
+impl Ghash {
+    /// Starts a fresh GHASH computation under `key`.
+    pub fn new(key: GhashKey) -> Self {
+        Ghash {
+            key,
+            y: Gf128::ZERO,
+            aad_bits: 0,
+            ct_bits: 0,
+            buf: [0u8; 16],
+            buf_len: 0,
+            in_ciphertext: false,
+        }
+    }
+
+    fn absorb_block(&mut self, block: &[u8; 16]) {
+        self.y = self.key.mul_h(self.y + Gf128::from_bytes(block));
+    }
+
+    fn flush_partial(&mut self) {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            self.absorb_block(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn absorb(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.absorb_block(&block);
+                self.buf_len = 0;
+            }
+        }
+        let mut chunks = data.chunks_exact(16);
+        for chunk in &mut chunks {
+            let block: &[u8; 16] = chunk.try_into().expect("exact chunk");
+            self.absorb_block(block);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            self.buf[..rem.len()].copy_from_slice(rem);
+            self.buf_len = rem.len();
+        }
+    }
+
+    /// Absorbs additional authenticated data. Must precede all ciphertext.
+    ///
+    /// # Panics
+    /// Panics if ciphertext has already been absorbed.
+    pub fn update_aad(&mut self, aad: &[u8]) {
+        assert!(!self.in_ciphertext, "AAD must be absorbed before ciphertext");
+        self.aad_bits += (aad.len() as u64) * 8;
+        self.absorb(aad);
+    }
+
+    /// Absorbs ciphertext. The first call zero-pads and closes the AAD
+    /// section.
+    pub fn update_ciphertext(&mut self, ct: &[u8]) {
+        if !self.in_ciphertext {
+            self.flush_partial();
+            self.in_ciphertext = true;
+        }
+        self.ct_bits += (ct.len() as u64) * 8;
+        self.absorb(ct);
+    }
+
+    /// Pads the final section, absorbs the 128-bit length block
+    /// `len(AAD) || len(C)` and returns the hash value.
+    pub fn finalize(mut self) -> Gf128 {
+        self.flush_partial();
+        let len_block = ((self.aad_bits as u128) << 64) | self.ct_bits as u128;
+        self.y = self.key.mul_h(self.y + Gf128(len_block));
+        self.y
+    }
+}
+
+/// One-shot GHASH over an (AAD, ciphertext) pair.
+pub fn ghash(key: &GhashKey, aad: &[u8], ciphertext: &[u8]) -> Gf128 {
+    let mut g = Ghash::new(key.clone());
+    g.update_aad(aad);
+    g.update_ciphertext(ciphertext);
+    g.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h_case2() -> Gf128 {
+        Gf128::from_bytes(&[
+            0x66, 0xe9, 0x4b, 0xd4, 0xef, 0x8a, 0x2c, 0x3b, 0x88, 0x4c, 0xfa, 0x59, 0xca, 0x34,
+            0x2b, 0x2e,
+        ])
+    }
+
+    #[test]
+    fn table_mul_matches_bitwise() {
+        let key = GhashKey::new(h_case2());
+        let xs = [
+            Gf128::ZERO,
+            Gf128::ONE,
+            Gf128(0x0123_4567_89ab_cdef_0011_2233_4455_6677),
+            Gf128(u128::MAX),
+            Gf128(1),
+        ];
+        for x in xs {
+            assert_eq!(key.mul_h(x), x.mul_bitwise(h_case2()), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn ghash_gcm_test_case_2() {
+        // GCM spec test case 2: zero key, single zero plaintext block.
+        let key = GhashKey::new(h_case2());
+        let ct = [
+            0x03, 0x88, 0xda, 0xce, 0x60, 0xb6, 0xa3, 0x92, 0xf3, 0x28, 0xc2, 0xb9, 0x71, 0xb2,
+            0xfe, 0x78,
+        ];
+        let out = ghash(&key, &[], &ct);
+        let expect = Gf128::from_bytes(&[
+            0xf3, 0x8c, 0xbb, 0x1a, 0xd6, 0x92, 0x23, 0xdc, 0xc3, 0x45, 0x7a, 0xe5, 0xb6, 0xb0,
+            0xf8, 0x85,
+        ]);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input_hashes_length_block_only() {
+        let key = GhashKey::new(h_case2());
+        let out = ghash(&key, &[], &[]);
+        // GHASH of nothing = 0 + len-block(0) multiplied by H = 0.
+        assert_eq!(out, Gf128::ZERO);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = GhashKey::new(h_case2());
+        let aad: Vec<u8> = (0u8..37).collect();
+        let ct: Vec<u8> = (0u8..100).map(|i| i.wrapping_mul(7)).collect();
+        let oneshot = ghash(&key, &aad, &ct);
+
+        let mut inc = Ghash::new(key.clone());
+        inc.update_aad(&aad[..10]);
+        inc.update_aad(&aad[10..]);
+        inc.update_ciphertext(&ct[..1]);
+        inc.update_ciphertext(&ct[1..50]);
+        inc.update_ciphertext(&ct[50..]);
+        assert_eq!(inc.finalize(), oneshot);
+    }
+
+    #[test]
+    fn partial_blocks_are_zero_padded() {
+        let key = GhashKey::new(h_case2());
+        // 3-byte AAD should hash identically to itself padded into a block
+        // computed by hand.
+        let aad = [0xAA, 0xBB, 0xCC];
+        let mut block = [0u8; 16];
+        block[..3].copy_from_slice(&aad);
+        let manual = {
+            let y1 = key.mul_h(Gf128::from_bytes(&block));
+            let len_block = Gf128((24u128) << 64);
+            key.mul_h(y1 + len_block)
+        };
+        assert_eq!(ghash(&key, &aad, &[]), manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "AAD must be absorbed before ciphertext")]
+    fn aad_after_ciphertext_panics() {
+        let key = GhashKey::new(h_case2());
+        let mut g = Ghash::new(key);
+        g.update_ciphertext(&[1, 2, 3]);
+        g.update_aad(&[4]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests: GF(2^128) must actually be a field, and every
+//! multiplier implementation (bitwise oracle, Shoup table, digit-serial
+//! hardware model) must agree.
+
+use mccp_gf128::digit_serial::{DigitSerialMultiplier, MUL_CYCLES};
+use mccp_gf128::{ghash, Gf128, Ghash, GhashKey};
+use proptest::prelude::*;
+
+fn elem() -> impl Strategy<Value = Gf128> {
+    any::<u128>().prop_map(Gf128)
+}
+
+proptest! {
+    #[test]
+    fn addition_laws(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + Gf128::ZERO, a);
+        prop_assert_eq!(a + a, Gf128::ZERO); // characteristic 2
+    }
+
+    #[test]
+    fn multiplication_laws(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!((a * b) * c, a * (b * c));
+        prop_assert_eq!(a * Gf128::ONE, a);
+        prop_assert_eq!(a * Gf128::ZERO, Gf128::ZERO);
+    }
+
+    #[test]
+    fn distributivity(a in elem(), b in elem(), c in elem()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn inverses(a in elem()) {
+        prop_assume!(!a.is_zero());
+        let inv = a.inverse();
+        prop_assert_eq!(a * inv, Gf128::ONE);
+        prop_assert_eq!(inv.inverse(), a);
+    }
+
+    #[test]
+    fn multipliers_agree(h in elem(), x in elem()) {
+        let oracle = x.mul_bitwise(h);
+        let table = GhashKey::new(h).mul_h(x);
+        let serial = DigitSerialMultiplier::new(h).mul(x);
+        prop_assert_eq!(table, oracle);
+        prop_assert_eq!(serial.product, oracle);
+        prop_assert_eq!(serial.cycles, MUL_CYCLES);
+    }
+
+    #[test]
+    fn square_matches_self_multiplication(a in elem()) {
+        prop_assert_eq!(a.square(), a * a);
+    }
+
+    #[test]
+    fn pow_is_repeated_multiplication(a in elem(), e in 0u32..32) {
+        let mut acc = Gf128::ONE;
+        for _ in 0..e {
+            acc *= a;
+        }
+        prop_assert_eq!(a.pow(e as u128), acc);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in elem()) {
+        prop_assert_eq!(Gf128::from_bytes(&a.to_bytes()), a);
+    }
+
+    #[test]
+    fn ghash_incremental_chunking_invariance(
+        h in elem(),
+        aad in proptest::collection::vec(any::<u8>(), 0..100),
+        ct in proptest::collection::vec(any::<u8>(), 0..200),
+        split in any::<usize>(),
+    ) {
+        let key = GhashKey::new(h);
+        let oneshot = ghash(&key, &aad, &ct);
+        let mut inc = Ghash::new(key.clone());
+        let a_split = if aad.is_empty() { 0 } else { split % aad.len() };
+        inc.update_aad(&aad[..a_split]);
+        inc.update_aad(&aad[a_split..]);
+        let c_split = if ct.is_empty() { 0 } else { (split / 7) % ct.len() };
+        inc.update_ciphertext(&ct[..c_split]);
+        inc.update_ciphertext(&ct[c_split..]);
+        prop_assert_eq!(inc.finalize(), oneshot);
+    }
+
+    #[test]
+    fn ghash_is_linear_in_single_block(h in elem(), a in elem(), b in elem()) {
+        // GHASH of one block X (no AAD, no length contribution difference):
+        // hash(a) + hash(b) == hash(a+b) + hash(0) over the same lengths.
+        let key = GhashKey::new(h);
+        let one = |x: Gf128| ghash(&key, &[], &x.to_bytes());
+        let lhs = one(a) + one(b);
+        let rhs = one(a + b) + one(Gf128::ZERO);
+        prop_assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,525 @@
+//! A two-pass assembler for controller firmware.
+//!
+//! The paper's mode firmware is written "with Xilinx PicoBlaze assembler
+//! language" (§VI.A); this assembler accepts that dialect:
+//!
+//! ```text
+//! ; comment
+//! CONSTANT SAES, 0x40          ; named 8-bit constants
+//! ADDRESS 0x3FF                ; set the location counter
+//! label:  LOAD    s0, SAES
+//!         OUTPUT  s0, (s1)     ; indirect port addressing
+//!         HALT    DISABLE      ; the paper's custom sleep instruction
+//!         JUMP    NZ, label
+//! ```
+//!
+//! Numbers may be written `0x2A`, `2A` (KCPSM hex style only when they
+//! parse as hex *and* contain a letter or leading zero is ambiguous — to
+//! avoid surprises we require `0x` for hex), or decimal.
+
+use crate::isa::{Cond, Instruction, Operand, ShiftOp};
+use crate::IMEM_DEPTH;
+use std::collections::HashMap;
+
+/// An assembled program: instruction words plus symbol metadata.
+#[derive(Clone, Debug)]
+pub struct Program {
+    image: Vec<u32>,
+    labels: HashMap<String, u16>,
+    /// Source line (1-based) for each instruction address that was emitted.
+    line_map: HashMap<u16, usize>,
+}
+
+impl Program {
+    /// The 18-bit instruction words, index = address.
+    pub fn image(&self) -> &[u32] {
+        &self.image
+    }
+
+    /// Address of a label, if defined.
+    pub fn label(&self, name: &str) -> Option<u16> {
+        self.labels.get(&name.to_ascii_uppercase()).copied()
+    }
+
+    /// Source line that produced the instruction at `addr`.
+    pub fn source_line(&self, addr: u16) -> Option<usize> {
+        self.line_map.get(&addr).copied()
+    }
+
+    /// Disassembles the occupied part of the image.
+    pub fn disassemble(&self) -> Vec<(u16, String)> {
+        self.image
+            .iter()
+            .enumerate()
+            .filter_map(|(a, &w)| {
+                Instruction::decode(w).map(|i| (a as u16, i.to_string()))
+            })
+            .collect()
+    }
+}
+
+/// Assembly errors with line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_number(tok: &str, line: usize) -> Result<u16, AsmError> {
+    let t = tok.trim();
+    let parsed = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u16::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse::<u16>().ok()
+    };
+    match parsed {
+        Some(v) => Ok(v),
+        None => err(line, format!("cannot parse number `{t}`")),
+    }
+}
+
+fn parse_reg(tok: &str) -> Option<u8> {
+    let t = tok.trim();
+    let rest = t.strip_prefix('s').or_else(|| t.strip_prefix('S'))?;
+    if rest.len() != 1 {
+        return None;
+    }
+    u8::from_str_radix(rest, 16).ok().filter(|&r| r < 16)
+}
+
+struct Parser<'a> {
+    constants: &'a HashMap<String, u16>,
+    labels: Option<&'a HashMap<String, u16>>,
+}
+
+impl Parser<'_> {
+    /// Resolves a token to a value: register constants are not allowed
+    /// here; named constants and labels are looked up case-insensitively.
+    fn value(&self, tok: &str, line: usize) -> Result<u16, AsmError> {
+        let t = tok.trim();
+        if t.is_empty() {
+            return err(line, "missing operand");
+        }
+        if t.starts_with(|c: char| c.is_ascii_digit()) {
+            return parse_number(t, line);
+        }
+        let key = t.to_ascii_uppercase();
+        if let Some(&v) = self.constants.get(&key) {
+            return Ok(v);
+        }
+        if let Some(labels) = self.labels {
+            if let Some(&v) = labels.get(&key) {
+                return Ok(v);
+            }
+            err(line, format!("undefined symbol `{t}`"))
+        } else {
+            // First pass: unresolved labels placeholder.
+            Ok(0)
+        }
+    }
+
+    /// Parses a second operand: register, indirect `(sY)`, or constant.
+    fn operand(&self, tok: &str, line: usize) -> Result<Operand, AsmError> {
+        let t = tok.trim();
+        if let Some(inner) = t.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
+            match parse_reg(inner) {
+                Some(r) => return Ok(Operand::Reg(r)),
+                None => return err(line, format!("bad indirect operand `{t}`")),
+            }
+        }
+        if let Some(r) = parse_reg(t) {
+            return Ok(Operand::Reg(r));
+        }
+        let v = self.value(t, line)?;
+        if v > 0xFF {
+            return err(line, format!("constant `{t}` (=0x{v:X}) exceeds 8 bits"));
+        }
+        Ok(Operand::Imm(v as u8))
+    }
+}
+
+fn split_label(line: &str) -> (Option<&str>, &str) {
+    if let Some(idx) = line.find(':') {
+        let (l, rest) = line.split_at(idx);
+        // Guard against `(s1):` style false positives — labels are single
+        // identifiers at line start.
+        if l.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') && !l.is_empty() {
+            return (Some(l), &rest[1..]);
+        }
+    }
+    (None, line)
+}
+
+/// Assembles source text to a [`Program`].
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pass 0: strip comments, collect constants, labels and addresses.
+    let mut constants: HashMap<String, u16> = HashMap::new();
+    let mut labels: HashMap<String, u16> = HashMap::new();
+
+    struct Item<'a> {
+        line_no: usize,
+        addr: u16,
+        text: &'a str,
+    }
+    let mut items: Vec<Item> = Vec::new();
+
+    // First pass: layout.
+    let mut lc: u16 = 0;
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let (label, rest) = split_label(code);
+        if let Some(l) = label {
+            let key = l.trim().to_ascii_uppercase();
+            if labels.insert(key.clone(), lc).is_some() {
+                return err(line_no, format!("duplicate label `{l}`"));
+            }
+        }
+        let rest = rest.trim();
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.splitn(2, char::is_whitespace);
+        let mnemonic = parts.next().unwrap_or("").to_ascii_uppercase();
+        let args = parts.next().unwrap_or("").trim();
+        match mnemonic.as_str() {
+            "CONSTANT" => {
+                let mut it = args.splitn(2, ',');
+                let name = it.next().unwrap_or("").trim().to_ascii_uppercase();
+                let val_tok = it.next().unwrap_or("").trim();
+                if name.is_empty() || val_tok.is_empty() {
+                    return err(line_no, "CONSTANT needs `name, value`");
+                }
+                let v = parse_number(val_tok, line_no)?;
+                constants.insert(name, v);
+            }
+            "ADDRESS" => {
+                lc = parse_number(args, line_no)?;
+                if lc as usize >= IMEM_DEPTH {
+                    return err(line_no, "ADDRESS beyond instruction memory");
+                }
+            }
+            _ => {
+                if lc as usize >= IMEM_DEPTH {
+                    return err(line_no, "program exceeds instruction memory");
+                }
+                items.push(Item {
+                    line_no,
+                    addr: lc,
+                    text: rest,
+                });
+                lc += 1;
+            }
+        }
+    }
+
+    // Second pass: encode.
+    let mut image = vec![0u32; IMEM_DEPTH];
+    let mut occupied = vec![false; IMEM_DEPTH];
+    // Unoccupied words hold an illegal encoding so runaway execution faults.
+    for w in image.iter_mut() {
+        *w = 0x3F << 12;
+    }
+    let mut line_map = HashMap::new();
+    let p = Parser {
+        constants: &constants,
+        labels: Some(&labels),
+    };
+
+    for item in &items {
+        let mut parts = item.text.splitn(2, char::is_whitespace);
+        let mnemonic = parts.next().unwrap_or("").to_ascii_uppercase();
+        let args: Vec<String> = parts
+            .next()
+            .unwrap_or("")
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let line = item.line_no;
+
+        let need = |n: usize| -> Result<(), AsmError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                err(line, format!("{mnemonic} expects {n} operand(s), got {}", args.len()))
+            }
+        };
+        let reg0 = |a: &[String]| -> Result<u8, AsmError> {
+            parse_reg(&a[0]).ok_or(AsmError {
+                line,
+                message: format!("`{}` is not a register", a[0]),
+            })
+        };
+
+        let two_op = |ctor: fn(u8, Operand) -> Instruction| -> Result<Instruction, AsmError> {
+            need(2)?;
+            Ok(ctor(reg0(&args)?, p.operand(&args[1], line)?))
+        };
+
+        let branch = |a: &[String]| -> Result<(Cond, u16), AsmError> {
+            match a.len() {
+                1 => Ok((Cond::Always, p.value(&a[0], line)?)),
+                2 => {
+                    let cond = match a[0].to_ascii_uppercase().as_str() {
+                        "Z" => Cond::Zero,
+                        "NZ" => Cond::NotZero,
+                        "C" => Cond::Carry,
+                        "NC" => Cond::NotCarry,
+                        other => return err(line, format!("unknown condition `{other}`")),
+                    };
+                    Ok((cond, p.value(&a[1], line)?))
+                }
+                n => err(line, format!("branch expects 1-2 operands, got {n}")),
+            }
+        };
+
+        let enable_flag = |a: &[String], what: &str| -> Result<bool, AsmError> {
+            if a.len() != 1 {
+                return err(line, format!("{what} expects ENABLE or DISABLE"));
+            }
+            match a[0].to_ascii_uppercase().as_str() {
+                "ENABLE" => Ok(true),
+                "DISABLE" => Ok(false),
+                other => err(line, format!("expected ENABLE/DISABLE, got `{other}`")),
+            }
+        };
+
+        let shift = |op: ShiftOp| -> Result<Instruction, AsmError> {
+            need(1)?;
+            Ok(Instruction::Shift(reg0(&args)?, op))
+        };
+
+        let ins = match mnemonic.as_str() {
+            "LOAD" => two_op(Instruction::Load)?,
+            "AND" => two_op(Instruction::And)?,
+            "OR" => two_op(Instruction::Or)?,
+            "XOR" => two_op(Instruction::Xor)?,
+            "ADD" => two_op(Instruction::Add)?,
+            "ADDCY" => two_op(Instruction::AddCy)?,
+            "SUB" => two_op(Instruction::Sub)?,
+            "SUBCY" => two_op(Instruction::SubCy)?,
+            "COMPARE" => two_op(Instruction::Compare)?,
+            "TEST" => two_op(Instruction::Test)?,
+            "INPUT" => two_op(Instruction::Input)?,
+            "OUTPUT" => two_op(Instruction::Output)?,
+            "STORE" => two_op(Instruction::Store)?,
+            "FETCH" => two_op(Instruction::Fetch)?,
+            "SL0" => shift(ShiftOp::Sl0)?,
+            "SL1" => shift(ShiftOp::Sl1)?,
+            "SLX" => shift(ShiftOp::Slx)?,
+            "SLA" => shift(ShiftOp::Sla)?,
+            "RL" => shift(ShiftOp::Rl)?,
+            "SR0" => shift(ShiftOp::Sr0)?,
+            "SR1" => shift(ShiftOp::Sr1)?,
+            "SRX" => shift(ShiftOp::Srx)?,
+            "SRA" => shift(ShiftOp::Sra)?,
+            "RR" => shift(ShiftOp::Rr)?,
+            "JUMP" => {
+                let (c, a) = branch(&args)?;
+                Instruction::Jump(c, a)
+            }
+            "CALL" => {
+                let (c, a) = branch(&args)?;
+                Instruction::Call(c, a)
+            }
+            "RETURN" => match args.len() {
+                0 => Instruction::Return(Cond::Always),
+                1 => {
+                    let cond = match args[0].to_ascii_uppercase().as_str() {
+                        "Z" => Cond::Zero,
+                        "NZ" => Cond::NotZero,
+                        "C" => Cond::Carry,
+                        "NC" => Cond::NotCarry,
+                        other => return err(line, format!("unknown condition `{other}`")),
+                    };
+                    Instruction::Return(cond)
+                }
+                n => return err(line, format!("RETURN expects 0-1 operands, got {n}")),
+            },
+            "RETURNI" => Instruction::ReturnI(enable_flag(&args, "RETURNI")?),
+            "ENABLE" => {
+                if args.len() == 1 && args[0].eq_ignore_ascii_case("INTERRUPT") {
+                    Instruction::SetInterrupt(true)
+                } else {
+                    return err(line, "expected `ENABLE INTERRUPT`");
+                }
+            }
+            "DISABLE" => {
+                if args.len() == 1 && args[0].eq_ignore_ascii_case("INTERRUPT") {
+                    Instruction::SetInterrupt(false)
+                } else {
+                    return err(line, "expected `DISABLE INTERRUPT`");
+                }
+            }
+            "HALT" => Instruction::Halt(enable_flag(&args, "HALT")?),
+            "NOP" => Instruction::Load(0, Operand::Reg(0)), // canonical NOP
+            other => return err(line, format!("unknown mnemonic `{other}`")),
+        };
+
+        let a = item.addr as usize;
+        if occupied[a] {
+            return err(line, format!("address 0x{a:03X} assembled twice"));
+        }
+        occupied[a] = true;
+        image[a] = ins.encode();
+        line_map.insert(item.addr, line);
+    }
+
+    Ok(Program {
+        image,
+        labels,
+        line_map,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Instruction, Operand};
+
+    #[test]
+    fn basic_program() {
+        let p = assemble("start: LOAD s0, 0x42\nJUMP start").unwrap();
+        assert_eq!(
+            Instruction::decode(p.image()[0]),
+            Some(Instruction::Load(0, Operand::Imm(0x42)))
+        );
+        assert_eq!(
+            Instruction::decode(p.image()[1]),
+            Some(Instruction::Jump(Cond::Always, 0))
+        );
+        assert_eq!(p.label("START"), Some(0));
+        assert_eq!(p.label("start"), Some(0));
+    }
+
+    #[test]
+    fn constants_and_comments() {
+        let p = assemble(
+            "CONSTANT SAES, 0x40 ; start AES\nLOAD s1, SAES ; use it",
+        )
+        .unwrap();
+        assert_eq!(
+            Instruction::decode(p.image()[0]),
+            Some(Instruction::Load(1, Operand::Imm(0x40)))
+        );
+    }
+
+    #[test]
+    fn forward_labels() {
+        let p = assemble("JUMP later\nLOAD s0, 0x01\nlater: LOAD s0, 0x02").unwrap();
+        assert_eq!(
+            Instruction::decode(p.image()[0]),
+            Some(Instruction::Jump(Cond::Always, 2))
+        );
+    }
+
+    #[test]
+    fn address_directive() {
+        let p = assemble("LOAD s0, 0x01\nADDRESS 0x3FF\nJUMP 0x000").unwrap();
+        assert_eq!(
+            Instruction::decode(p.image()[0x3FF]),
+            Some(Instruction::Jump(Cond::Always, 0))
+        );
+    }
+
+    #[test]
+    fn indirect_operands() {
+        let p = assemble("OUTPUT s2, (s3)\nINPUT s4, (s5)").unwrap();
+        assert_eq!(
+            Instruction::decode(p.image()[0]),
+            Some(Instruction::Output(2, Operand::Reg(3)))
+        );
+        assert_eq!(
+            Instruction::decode(p.image()[1]),
+            Some(Instruction::Input(4, Operand::Reg(5)))
+        );
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("LOAD s0").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = assemble("FROB s0, s1").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+        let e = assemble("JUMP nowhere").unwrap_err();
+        assert!(e.message.contains("undefined symbol"));
+        let e = assemble("a: LOAD s0, 0x1\na: LOAD s0, 0x2").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+        let e = assemble("LOAD s0, 0x100").unwrap_err();
+        assert!(e.message.contains("exceeds 8 bits"));
+        let e = assemble("ADDRESS 0x10\nLOAD s0, 0x1\nADDRESS 0x10\nLOAD s0, 0x2").unwrap_err();
+        assert!(e.message.contains("assembled twice"));
+    }
+
+    #[test]
+    fn unoccupied_words_are_illegal() {
+        let p = assemble("LOAD s0, 0x01").unwrap();
+        assert_eq!(Instruction::decode(p.image()[1]), None);
+    }
+
+    #[test]
+    fn disassembly_roundtrip() {
+        let src = "CONSTANT IO, 0x10\nstart: INPUT s0, IO\nADD s0, 0x01\nOUTPUT s0, IO\nJUMP start";
+        let p = assemble(src).unwrap();
+        let dis = p.disassemble();
+        assert_eq!(dis.len(), 4);
+        assert_eq!(dis[0].1, "INPUT s0, 0x10");
+        assert_eq!(dis[3].1, "JUMP 0x000");
+    }
+
+    #[test]
+    fn listing1_style_gcm_loop_assembles() {
+        // Structure of the paper's Listing 1 (GCMloop body).
+        let src = "
+            CONSTANT FAES,   0x50
+            CONSTANT SAES,   0x40
+            CONSTANT IXOR,   0x60
+            CONSTANT SGFM,   0x20
+            CONSTANT STORE_CT, 0x90
+            CONSTANT INC_CTR, 0x70
+            CONSTANT LOAD_PT, 0x00
+            CONSTANT CU_PORT, 0x01
+            gcmloop:
+                OUTPUT s0, CU_PORT      ; FAES
+                HALT   DISABLE
+                OUTPUT s1, CU_PORT      ; SAES
+                OR     s0, 0xFF         ; NOP
+                OR     s0, 0xFF         ; NOP
+                OUTPUT s2, CU_PORT      ; IXOR
+                OR     s0, 0xFF         ; NOP
+                OR     s0, 0xFF         ; NOP
+                OUTPUT s3, CU_PORT      ; SGFM
+                HALT   DISABLE
+                OUTPUT s4, CU_PORT      ; STORE
+                OR     s0, 0xFF         ; NOP
+                OR     s0, 0xFF         ; NOP
+                OUTPUT s5, CU_PORT      ; INC
+                OR     s0, 0xFF         ; NOP
+                OR     s0, 0xFF         ; NOP
+                OUTPUT s6, CU_PORT      ; LOAD_PT
+                SUB    s7, 0x01
+                JUMP   NZ, gcmloop
+        ";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.disassemble().len(), 19);
+    }
+}

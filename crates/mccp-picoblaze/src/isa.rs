@@ -1,0 +1,362 @@
+//! The controller instruction set: KCPSM3 semantics plus the paper's
+//! custom `HALT` (sleep-until-done) instruction, with a regular 18-bit
+//! encoding.
+//!
+//! Encoding layout (18 bits):
+//!
+//! ```text
+//! [17:12] opcode
+//! [11:8]  sX
+//! [7:4]   sY      (register forms)
+//! [7:0]   kk      (constant forms)
+//! [9:0]   aaa     (jump/call target)
+//! [3:0]   shift sub-op
+//! [0]     enable bit (RETURNI / INTERRUPT / HALT)
+//! ```
+
+use std::fmt;
+
+/// Branch conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cond {
+    Always,
+    Zero,
+    NotZero,
+    Carry,
+    NotCarry,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Always => Ok(()),
+            Cond::Zero => write!(f, "Z, "),
+            Cond::NotZero => write!(f, "NZ, "),
+            Cond::Carry => write!(f, "C, "),
+            Cond::NotCarry => write!(f, "NC, "),
+        }
+    }
+}
+
+/// Shift / rotate sub-operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShiftOp {
+    Sl0,
+    Sl1,
+    Slx,
+    Sla,
+    Rl,
+    Sr0,
+    Sr1,
+    Srx,
+    Sra,
+    Rr,
+}
+
+impl ShiftOp {
+    fn code(self) -> u32 {
+        match self {
+            ShiftOp::Sl0 => 0x0,
+            ShiftOp::Sl1 => 0x1,
+            ShiftOp::Slx => 0x2,
+            ShiftOp::Sla => 0x3,
+            ShiftOp::Rl => 0x4,
+            ShiftOp::Sr0 => 0x8,
+            ShiftOp::Sr1 => 0x9,
+            ShiftOp::Srx => 0xA,
+            ShiftOp::Sra => 0xB,
+            ShiftOp::Rr => 0xC,
+        }
+    }
+
+    fn from_code(c: u32) -> Option<ShiftOp> {
+        Some(match c {
+            0x0 => ShiftOp::Sl0,
+            0x1 => ShiftOp::Sl1,
+            0x2 => ShiftOp::Slx,
+            0x3 => ShiftOp::Sla,
+            0x4 => ShiftOp::Rl,
+            0x8 => ShiftOp::Sr0,
+            0x9 => ShiftOp::Sr1,
+            0xA => ShiftOp::Srx,
+            0xB => ShiftOp::Sra,
+            0xC => ShiftOp::Rr,
+            _ => return None,
+        })
+    }
+}
+
+/// An operand that is either a register or an 8-bit constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    Reg(u8),
+    Imm(u8),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "s{r:X}"),
+            Operand::Imm(k) => write!(f, "0x{k:02X}"),
+        }
+    }
+}
+
+/// A decoded controller instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instruction {
+    Load(u8, Operand),
+    And(u8, Operand),
+    Or(u8, Operand),
+    Xor(u8, Operand),
+    Add(u8, Operand),
+    AddCy(u8, Operand),
+    Sub(u8, Operand),
+    SubCy(u8, Operand),
+    Compare(u8, Operand),
+    Test(u8, Operand),
+    Shift(u8, ShiftOp),
+    /// `INPUT sX, pp` / `INPUT sX, (sY)`.
+    Input(u8, Operand),
+    /// `OUTPUT sX, pp` / `OUTPUT sX, (sY)`.
+    Output(u8, Operand),
+    /// Scratchpad store `STORE sX, ss` / `STORE sX, (sY)`.
+    Store(u8, Operand),
+    /// Scratchpad fetch.
+    Fetch(u8, Operand),
+    Jump(Cond, u16),
+    Call(Cond, u16),
+    Return(Cond),
+    /// `RETURNI ENABLE|DISABLE`.
+    ReturnI(bool),
+    /// `ENABLE INTERRUPT` / `DISABLE INTERRUPT`.
+    SetInterrupt(bool),
+    /// The paper's custom sleep instruction: `HALT ENABLE|DISABLE` — sleep
+    /// until the external wake (CU `done`) signal; the flag sets the
+    /// interrupt-enable state on wake.
+    Halt(bool),
+}
+
+const fn cond_code(c: Cond) -> u32 {
+    match c {
+        Cond::Always => 0,
+        Cond::Zero => 1,
+        Cond::NotZero => 2,
+        Cond::Carry => 3,
+        Cond::NotCarry => 4,
+    }
+}
+
+fn cond_from(c: u32) -> Option<Cond> {
+    Some(match c {
+        0 => Cond::Always,
+        1 => Cond::Zero,
+        2 => Cond::NotZero,
+        3 => Cond::Carry,
+        4 => Cond::NotCarry,
+        _ => return None,
+    })
+}
+
+/// Encodes an ALU-style op pair (imm form = `base`, reg form = `base + 1`).
+fn enc_alu(base: u32, sx: u8, op: Operand) -> u32 {
+    match op {
+        Operand::Imm(k) => (base << 12) | ((sx as u32) << 8) | k as u32,
+        Operand::Reg(sy) => ((base + 1) << 12) | ((sx as u32) << 8) | ((sy as u32) << 4),
+    }
+}
+
+impl Instruction {
+    /// Encodes to an 18-bit word.
+    pub fn encode(self) -> u32 {
+        use Instruction::*;
+        match self {
+            Load(x, o) => enc_alu(0x00, x, o),
+            And(x, o) => enc_alu(0x02, x, o),
+            Or(x, o) => enc_alu(0x04, x, o),
+            Xor(x, o) => enc_alu(0x06, x, o),
+            Add(x, o) => enc_alu(0x08, x, o),
+            AddCy(x, o) => enc_alu(0x0A, x, o),
+            Sub(x, o) => enc_alu(0x0C, x, o),
+            SubCy(x, o) => enc_alu(0x0E, x, o),
+            Compare(x, o) => enc_alu(0x10, x, o),
+            Test(x, o) => enc_alu(0x12, x, o),
+            Shift(x, op) => (0x14 << 12) | ((x as u32) << 8) | op.code(),
+            Input(x, o) => enc_alu(0x18, x, o),
+            Output(x, o) => enc_alu(0x1A, x, o),
+            Store(x, o) => enc_alu(0x1C, x, o),
+            Fetch(x, o) => enc_alu(0x1E, x, o),
+            Jump(c, a) => ((0x20 + cond_code(c)) << 12) | (a as u32 & 0x3FF),
+            Call(c, a) => ((0x25 + cond_code(c)) << 12) | (a as u32 & 0x3FF),
+            Return(c) => (0x2A + cond_code(c)) << 12,
+            ReturnI(en) => (0x2F << 12) | en as u32,
+            SetInterrupt(en) => (0x30 << 12) | en as u32,
+            Halt(en) => (0x31 << 12) | en as u32,
+        }
+    }
+
+    /// Decodes an 18-bit word; `None` for illegal encodings.
+    pub fn decode(word: u32) -> Option<Instruction> {
+        use Instruction::*;
+        let opc = (word >> 12) & 0x3F;
+        let sx = ((word >> 8) & 0xF) as u8;
+        let sy = ((word >> 4) & 0xF) as u8;
+        let kk = (word & 0xFF) as u8;
+        let aaa = (word & 0x3FF) as u16;
+        let imm = Operand::Imm(kk);
+        let reg = Operand::Reg(sy);
+        Some(match opc {
+            0x00 => Load(sx, imm),
+            0x01 => Load(sx, reg),
+            0x02 => And(sx, imm),
+            0x03 => And(sx, reg),
+            0x04 => Or(sx, imm),
+            0x05 => Or(sx, reg),
+            0x06 => Xor(sx, imm),
+            0x07 => Xor(sx, reg),
+            0x08 => Add(sx, imm),
+            0x09 => Add(sx, reg),
+            0x0A => AddCy(sx, imm),
+            0x0B => AddCy(sx, reg),
+            0x0C => Sub(sx, imm),
+            0x0D => Sub(sx, reg),
+            0x0E => SubCy(sx, imm),
+            0x0F => SubCy(sx, reg),
+            0x10 => Compare(sx, imm),
+            0x11 => Compare(sx, reg),
+            0x12 => Test(sx, imm),
+            0x13 => Test(sx, reg),
+            0x14 => Shift(sx, ShiftOp::from_code(word & 0xF)?),
+            0x18 => Input(sx, imm),
+            0x19 => Input(sx, reg),
+            0x1A => Output(sx, imm),
+            0x1B => Output(sx, reg),
+            0x1C => Store(sx, imm),
+            0x1D => Store(sx, reg),
+            0x1E => Fetch(sx, imm),
+            0x1F => Fetch(sx, reg),
+            0x20..=0x24 => Jump(cond_from(opc - 0x20)?, aaa),
+            0x25..=0x29 => Call(cond_from(opc - 0x25)?, aaa),
+            0x2A..=0x2E => Return(cond_from(opc - 0x2A)?),
+            0x2F => ReturnI(word & 1 == 1),
+            0x30 => SetInterrupt(word & 1 == 1),
+            0x31 => Halt(word & 1 == 1),
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match self {
+            Load(x, o) => write!(f, "LOAD s{x:X}, {o}"),
+            And(x, o) => write!(f, "AND s{x:X}, {o}"),
+            Or(x, o) => write!(f, "OR s{x:X}, {o}"),
+            Xor(x, o) => write!(f, "XOR s{x:X}, {o}"),
+            Add(x, o) => write!(f, "ADD s{x:X}, {o}"),
+            AddCy(x, o) => write!(f, "ADDCY s{x:X}, {o}"),
+            Sub(x, o) => write!(f, "SUB s{x:X}, {o}"),
+            SubCy(x, o) => write!(f, "SUBCY s{x:X}, {o}"),
+            Compare(x, o) => write!(f, "COMPARE s{x:X}, {o}"),
+            Test(x, o) => write!(f, "TEST s{x:X}, {o}"),
+            Shift(x, op) => write!(f, "{op:?} s{x:X}"),
+            Input(x, o) => write!(f, "INPUT s{x:X}, {o}"),
+            Output(x, o) => write!(f, "OUTPUT s{x:X}, {o}"),
+            Store(x, o) => write!(f, "STORE s{x:X}, {o}"),
+            Fetch(x, o) => write!(f, "FETCH s{x:X}, {o}"),
+            Jump(c, a) => write!(f, "JUMP {c}0x{a:03X}"),
+            Call(c, a) => write!(f, "CALL {c}0x{a:03X}"),
+            Return(c) => write!(f, "RETURN {c}"),
+            ReturnI(e) => write!(f, "RETURNI {}", if *e { "ENABLE" } else { "DISABLE" }),
+            SetInterrupt(e) => {
+                write!(f, "{} INTERRUPT", if *e { "ENABLE" } else { "DISABLE" })
+            }
+            Halt(e) => write!(f, "HALT {}", if *e { "ENABLE" } else { "DISABLE" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_samples() -> Vec<Instruction> {
+        use Instruction::*;
+        let mut v = vec![
+            Load(0, Operand::Imm(0xAB)),
+            Load(0xF, Operand::Reg(0x3)),
+            And(1, Operand::Imm(0x0F)),
+            Or(2, Operand::Reg(4)),
+            Xor(3, Operand::Imm(0xFF)),
+            Add(4, Operand::Reg(5)),
+            AddCy(5, Operand::Imm(1)),
+            Sub(6, Operand::Reg(7)),
+            SubCy(7, Operand::Imm(0x80)),
+            Compare(8, Operand::Reg(9)),
+            Test(9, Operand::Imm(0x01)),
+            Input(0xA, Operand::Imm(0x42)),
+            Input(0xA, Operand::Reg(0xB)),
+            Output(0xB, Operand::Imm(0x10)),
+            Output(0xB, Operand::Reg(0xC)),
+            Store(0xC, Operand::Imm(0x3F)),
+            Fetch(0xD, Operand::Reg(0xE)),
+            Jump(Cond::Always, 0x123),
+            Jump(Cond::NotZero, 0x3FF),
+            Call(Cond::Carry, 0x001),
+            Return(Cond::Always),
+            Return(Cond::NotCarry),
+            ReturnI(true),
+            ReturnI(false),
+            SetInterrupt(true),
+            SetInterrupt(false),
+            Halt(true),
+            Halt(false),
+        ];
+        for op in [
+            ShiftOp::Sl0,
+            ShiftOp::Sl1,
+            ShiftOp::Slx,
+            ShiftOp::Sla,
+            ShiftOp::Rl,
+            ShiftOp::Sr0,
+            ShiftOp::Sr1,
+            ShiftOp::Srx,
+            ShiftOp::Sra,
+            ShiftOp::Rr,
+        ] {
+            v.push(Shift(2, op));
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for ins in all_samples() {
+            let word = ins.encode();
+            assert!(word < (1 << 18), "{ins:?} exceeds 18 bits");
+            assert_eq!(Instruction::decode(word), Some(ins), "word {word:05X}");
+        }
+    }
+
+    #[test]
+    fn illegal_opcodes_decode_to_none() {
+        assert_eq!(Instruction::decode(0x3F << 12), None);
+        assert_eq!(Instruction::decode(0x15 << 12), None);
+        // Illegal shift sub-op.
+        assert_eq!(Instruction::decode((0x14 << 12) | 0x5), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            Instruction::Load(0, Operand::Imm(0xAB)).to_string(),
+            "LOAD s0, 0xAB"
+        );
+        assert_eq!(
+            Instruction::Jump(Cond::NotZero, 0x12).to_string(),
+            "JUMP NZ, 0x012"
+        );
+        assert_eq!(Instruction::Halt(false).to_string(), "HALT DISABLE");
+    }
+}

@@ -1,0 +1,31 @@
+//! # mccp-sdr — the multi-channel communication-system substrate
+//!
+//! The paper motivates the MCCP with secure software-defined radio: a
+//! device holding several simultaneous communication channels, each
+//! possibly using a different standard (UMTS / WiFi / WiMax) and therefore
+//! a different cipher mode, key size and packet-size profile. This crate
+//! is that surrounding system:
+//!
+//! * [`standards`] — per-standard traffic profiles (packet-size
+//!   distributions, mode, key size) standing in for the real air
+//!   interfaces we obviously cannot transmit on.
+//! * [`channel`] — secure-channel state: key binding, IV/nonce discipline
+//!   (deterministic counters, never reused).
+//! * [`workload`] — deterministic multi-channel packet-stream generation
+//!   (seeded; reproducible across runs).
+//! * [`driver`] — the communication-controller role: formats packets,
+//!   drives the MCCP's control protocol, keeps all cores fed, and measures
+//!   aggregate throughput and per-packet latency.
+//! * [`qos`] — a priority-aware dispatch policy (the paper's §VIII
+//!   future-work discussion made concrete).
+
+pub mod channel;
+pub mod driver;
+pub mod qos;
+pub mod standards;
+pub mod workload;
+
+pub use channel::SecureChannel;
+pub use driver::{RadioDriver, RunReport};
+pub use standards::{Standard, StandardProfile};
+pub use workload::{RadioPacket, Workload, WorkloadSpec};

@@ -1,0 +1,124 @@
+//! Quality-of-service dispatch (paper §VIII: "it must also be possible to
+//! priorize certain streams over others to allow some sort of
+//! quality-of-service").
+//!
+//! The MCCP itself dispatches to the first idle core; *which packet* is
+//! offered next is the communication controller's choice. [`DispatchPolicy`]
+//! captures that choice: plain arrival order, or priority order (stable
+//! within a class), which is the simple realization of the paper's QoS
+//! discussion.
+
+use crate::workload::RadioPacket;
+
+/// The packet-dispatch policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Arrival order (the paper's current release: "incoming packets are
+    /// processed in their order of arrival as fast as possible").
+    Fifo,
+    /// Priority classes first (0 = highest), stable within a class.
+    Priority,
+}
+
+impl DispatchPolicy {
+    /// Produces the submission order (indices into `packets`).
+    pub fn order(self, packets: &[RadioPacket]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..packets.len()).collect();
+        if self == DispatchPolicy::Priority {
+            idx.sort_by_key(|&i| (packets[i].priority, i));
+        }
+        idx
+    }
+}
+
+/// Per-priority-class completion-time summary. Uses each packet's
+/// completion time since the start of the run — the metric that includes
+/// queueing delay, which is what a dispatch policy shapes.
+#[derive(Clone, Debug, Default)]
+pub struct ClassLatency {
+    pub class: u8,
+    pub packets: usize,
+    pub mean_cycles: f64,
+    pub max_cycles: u64,
+}
+
+/// Summarizes a run's completion times by priority class.
+pub fn latency_by_class(
+    packets: &[RadioPacket],
+    records: &[crate::driver::PacketRecord],
+) -> Vec<ClassLatency> {
+    let mut classes: Vec<u8> = packets.iter().map(|p| p.priority).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    classes
+        .into_iter()
+        .map(|class| {
+            let lat: Vec<u64> = records
+                .iter()
+                .filter(|r| packets[r.packet_idx].priority == class)
+                .map(|r| r.completed_at)
+                .collect();
+            let n = lat.len();
+            ClassLatency {
+                class,
+                packets: n,
+                mean_cycles: if n == 0 {
+                    0.0
+                } else {
+                    lat.iter().sum::<u64>() as f64 / n as f64
+                },
+                max_cycles: lat.iter().copied().max().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(priority: u8) -> RadioPacket {
+        RadioPacket {
+            channel: 0,
+            aad: vec![],
+            payload: vec![0; 16],
+            priority,
+            arrival_cycle: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let pkts = vec![pkt(2), pkt(0), pkt(1)];
+        assert_eq!(DispatchPolicy::Fifo.order(&pkts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn priority_sorts_stably() {
+        let pkts = vec![pkt(2), pkt(0), pkt(1), pkt(0)];
+        assert_eq!(DispatchPolicy::Priority.order(&pkts), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn class_summary_counts() {
+        use crate::driver::PacketRecord;
+        let pkts = vec![pkt(0), pkt(1), pkt(0)];
+        let records: Vec<PacketRecord> = (0..3)
+            .map(|i| PacketRecord {
+                packet_idx: i,
+                channel: 0,
+                iv: vec![],
+                ciphertext: vec![],
+                tag: vec![],
+                latency: (i as u64 + 1) * 100,
+                completed_at: (i as u64 + 1) * 100,
+            })
+            .collect();
+        let classes = latency_by_class(&pkts, &records);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].class, 0);
+        assert_eq!(classes[0].packets, 2);
+        assert_eq!(classes[0].mean_cycles, 200.0); // (100 + 300) / 2
+        assert_eq!(classes[1].max_cycles, 200);
+    }
+}

@@ -1,0 +1,164 @@
+//! Traffic profiles for the multi-standard radio.
+//!
+//! Real UMTS/WiFi/WiMax MAC layers are out of scope (and out of reach —
+//! there is no RF front-end here); what the MCCP cares about is the
+//! *shape* of each standard's secured traffic: which AEAD mode, which key
+//! size, how big the packets are and how much of each packet is
+//! authenticated-only header. These profiles encode the shapes the paper's
+//! introduction names, plus a voice profile that stresses small packets.
+
+use mccp_core::protocol::Algorithm;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// A named communication standard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Standard {
+    /// 802.11i-style WLAN: CCM (CCMP), 1500-byte MTU class.
+    Wifi,
+    /// 802.16-style WiMax: GCM, large bursts.
+    Wimax,
+    /// UMTS-style cellular data: CTR (f8-like confidentiality-only).
+    Umts,
+    /// Narrowband secure voice: small CCM packets, low latency demand.
+    SecureVoice,
+}
+
+/// The traffic profile of one standard.
+#[derive(Clone, Debug)]
+pub struct StandardProfile {
+    pub standard: Standard,
+    pub algorithm: Algorithm,
+    /// Authenticated-only header bytes per packet.
+    pub header_len: usize,
+    /// Payload size bounds (inclusive), bytes.
+    pub payload_min: usize,
+    pub payload_max: usize,
+    /// Tag length in bytes (0 for unauthenticated modes).
+    pub tag_len: usize,
+    /// Nonce/IV length the channel uses.
+    pub nonce_len: usize,
+}
+
+impl Standard {
+    pub const ALL: [Standard; 4] = [
+        Standard::Wifi,
+        Standard::Wimax,
+        Standard::Umts,
+        Standard::SecureVoice,
+    ];
+
+    /// The profile for this standard.
+    pub fn profile(self) -> StandardProfile {
+        match self {
+            Standard::Wifi => StandardProfile {
+                standard: self,
+                algorithm: Algorithm::AesCcm128,
+                header_len: 22, // CCMP AAD ~ MAC header
+                payload_min: 64,
+                payload_max: 1500,
+                tag_len: 8,
+                nonce_len: 13, // CCMP nonce
+            },
+            Standard::Wimax => StandardProfile {
+                standard: self,
+                algorithm: Algorithm::AesGcm128,
+                header_len: 12,
+                payload_min: 256,
+                payload_max: 2000,
+                tag_len: 16,
+                nonce_len: 12,
+            },
+            Standard::Umts => StandardProfile {
+                standard: self,
+                algorithm: Algorithm::AesCtr128,
+                header_len: 0,
+                payload_min: 40,
+                payload_max: 640,
+                tag_len: 0,
+                nonce_len: 16, // full counter block
+            },
+            Standard::SecureVoice => StandardProfile {
+                standard: self,
+                algorithm: Algorithm::AesCcm256,
+                header_len: 4,
+                payload_min: 20,
+                payload_max: 160,
+                tag_len: 8,
+                nonce_len: 11,
+            },
+        }
+    }
+}
+
+impl StandardProfile {
+    /// Samples a payload length.
+    pub fn sample_payload_len<R: Rng>(&self, rng: &mut R) -> usize {
+        Uniform::new_inclusive(self.payload_min, self.payload_max).sample(rng)
+    }
+
+    /// Largest packet this profile emits (for FIFO sizing checks).
+    pub fn max_packet(&self) -> usize {
+        self.header_len + self.payload_max + self.tag_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mccp_core::protocol::Mode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profiles_are_multi_standard() {
+        // The four standards exercise three different modes — the paper's
+        // core multi-standard claim.
+        let modes: std::collections::HashSet<_> = Standard::ALL
+            .iter()
+            .map(|s| {
+                let p = s.profile();
+                assert!(p.payload_min <= p.payload_max);
+                p.algorithm.mode()
+            })
+            .collect();
+        assert!(modes.len() >= 3);
+        assert!(modes.contains(&Mode::Gcm));
+        assert!(modes.contains(&Mode::Ccm));
+    }
+
+    #[test]
+    fn packets_fit_the_2kb_fifo() {
+        for s in Standard::ALL {
+            let p = s.profile();
+            assert!(
+                p.max_packet() <= 2048,
+                "{s:?} exceeds the paper's FIFO budget"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_respects_bounds_and_is_deterministic() {
+        let p = Standard::Wifi.profile();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let la = p.sample_payload_len(&mut a);
+            let lb = p.sample_payload_len(&mut b);
+            assert_eq!(la, lb);
+            assert!((p.payload_min..=p.payload_max).contains(&la));
+        }
+    }
+
+    #[test]
+    fn ccm_profiles_have_valid_nonce_lengths() {
+        for s in Standard::ALL {
+            let p = s.profile();
+            if p.algorithm.mode() == Mode::Ccm {
+                assert!((7..=13).contains(&p.nonce_len), "{s:?}");
+                assert!(p.tag_len >= 4 && p.tag_len % 2 == 0, "{s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Block-RAM models.
+//!
+//! The Virtex-4's 18-kbit BRAMs appear in the MCCP as: the PicoBlaze
+//! 1024 × 18-bit instruction memories (one *dual-port* BRAM shared between
+//! two neighbouring cores — paper §IV.A), the AES S-box look-up tables, the
+//! packet FIFOs and the key memory.
+
+/// A word-addressable RAM with a configurable word width (≤ 32 bits),
+/// modeling one or more 18-kbit block RAMs.
+#[derive(Clone, Debug)]
+pub struct Bram {
+    words: Vec<u32>,
+    width_bits: u32,
+}
+
+impl Bram {
+    /// Creates a zeroed RAM of `depth` words of `width_bits` each.
+    ///
+    /// # Panics
+    /// Panics if `width_bits` is 0 or exceeds 32.
+    pub fn new(depth: usize, width_bits: u32) -> Self {
+        assert!((1..=32).contains(&width_bits), "width must be 1..=32 bits");
+        Bram {
+            words: vec![0; depth],
+            width_bits,
+        }
+    }
+
+    /// Word depth.
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in bits.
+    pub fn width_bits(&self) -> u32 {
+        self.width_bits
+    }
+
+    fn mask(&self) -> u32 {
+        if self.width_bits == 32 {
+            u32::MAX
+        } else {
+            (1 << self.width_bits) - 1
+        }
+    }
+
+    /// Synchronous read.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range address.
+    pub fn read(&self, addr: usize) -> u32 {
+        self.words[addr]
+    }
+
+    /// Synchronous write; the value is truncated to the word width.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range address.
+    pub fn write(&mut self, addr: usize, value: u32) {
+        let m = self.mask();
+        self.words[addr] = value & m;
+    }
+
+    /// Bulk-loads contents starting at address 0 (bitstream/program load).
+    pub fn load(&mut self, data: &[u32]) {
+        let m = self.mask();
+        for (i, &v) in data.iter().enumerate().take(self.words.len()) {
+            self.words[i] = v & m;
+        }
+    }
+
+    /// Number of physical 18-kbit BRAM primitives this RAM occupies.
+    pub fn primitive_count(&self) -> u32 {
+        let bits = self.words.len() as u32 * self.width_bits;
+        bits.div_ceil(18 * 1024)
+    }
+}
+
+/// The shared dual-port instruction memory: one physical BRAM, two read
+/// ports — "To save resources, [the controller] shares its double port
+/// instruction memory with its right neighbouring Cryptographic Core"
+/// (paper §IV.A). Both ports read the same program image.
+#[derive(Clone, Debug)]
+pub struct SharedInstructionMemory {
+    ram: Bram,
+}
+
+impl Default for SharedInstructionMemory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedInstructionMemory {
+    /// A 1024 × 18-bit instruction memory (the PicoBlaze format).
+    pub fn new() -> Self {
+        SharedInstructionMemory {
+            ram: Bram::new(1024, 18),
+        }
+    }
+
+    /// Loads a program image (each word is one 18-bit instruction).
+    pub fn load_program(&mut self, image: &[u32]) {
+        self.ram.load(image);
+    }
+
+    /// Port A fetch (left core).
+    pub fn fetch_a(&self, pc: usize) -> u32 {
+        self.ram.read(pc & 0x3FF)
+    }
+
+    /// Port B fetch (right core).
+    pub fn fetch_b(&self, pc: usize) -> u32 {
+        self.ram.read(pc & 0x3FF)
+    }
+
+    /// The underlying primitive count (exactly one 18-kbit BRAM).
+    pub fn primitive_count(&self) -> u32 {
+        self.ram.primitive_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut b = Bram::new(16, 18);
+        b.write(3, 0x2FFFF);
+        // Truncated to 18 bits.
+        assert_eq!(b.read(3), 0x2FFFF & 0x3FFFF);
+        b.write(3, 0x7FFFF);
+        assert_eq!(b.read(3), 0x3FFFF);
+    }
+
+    #[test]
+    fn instruction_memory_is_one_bram() {
+        let m = SharedInstructionMemory::new();
+        // 1024 x 18 bits = 18 kbit = exactly one primitive.
+        assert_eq!(m.primitive_count(), 1);
+    }
+
+    #[test]
+    fn both_ports_see_same_program() {
+        let mut m = SharedInstructionMemory::new();
+        m.load_program(&[0x11111, 0x22222, 0x33333]);
+        assert_eq!(m.fetch_a(1), 0x22222);
+        assert_eq!(m.fetch_b(1), 0x22222);
+        // PC wraps at 1024.
+        assert_eq!(m.fetch_a(1024), m.fetch_a(0));
+    }
+
+    #[test]
+    fn primitive_count_scales() {
+        assert_eq!(Bram::new(512, 32).primitive_count(), 1); // 16 kbit
+        assert_eq!(Bram::new(1024, 32).primitive_count(), 2); // 32 kbit
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=32 bits")]
+    fn invalid_width_panics() {
+        let _ = Bram::new(4, 33);
+    }
+}

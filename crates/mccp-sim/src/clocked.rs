@@ -1,0 +1,57 @@
+//! The lock-step simulation contract.
+
+/// A hardware component advanced one clock edge at a time.
+///
+/// The MCCP top-level ticks every component once per modeled 190 MHz cycle
+/// in a fixed order; components communicate through registered outputs read
+/// on the *next* tick, which keeps the lock-step composition deterministic
+/// regardless of tick order within a cycle.
+pub trait Clocked {
+    /// Advances the component by one clock cycle.
+    fn tick(&mut self);
+
+    /// Synchronous reset to the power-on state.
+    fn reset(&mut self);
+}
+
+/// A free-running cycle counter shared by a simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleCounter(pub u64);
+
+impl CycleCounter {
+    /// Current cycle number.
+    pub fn now(&self) -> u64 {
+        self.0
+    }
+
+    /// Advances by one.
+    pub fn advance(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl Clocked for CycleCounter {
+    fn tick(&mut self) {
+        self.advance();
+    }
+
+    fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_advances_and_resets() {
+        let mut c = CycleCounter::default();
+        assert_eq!(c.now(), 0);
+        c.tick();
+        c.tick();
+        assert_eq!(c.now(), 2);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! The 4 × 32-bit shift register on each Cryptographic Core's I/O path
+//! (paper Fig. 2) and the inter-core transfer path: wide enough for exactly
+//! one 128-bit block, loaded or drained one 32-bit word at a time.
+
+/// A 4-deep, 32-bit-wide shift register (one 128-bit block).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShiftRegister32 {
+    words: [u32; 4],
+    /// Number of valid words currently held (0..=4).
+    level: usize,
+}
+
+impl ShiftRegister32 {
+    /// An empty register.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Words currently held.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// True when a whole 128-bit block has been shifted in.
+    pub fn is_full(&self) -> bool {
+        self.level == 4
+    }
+
+    /// True when drained.
+    pub fn is_empty(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Shifts one word in. Returns `false` when already full.
+    pub fn shift_in(&mut self, word: u32) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.words[self.level] = word;
+        self.level += 1;
+        true
+    }
+
+    /// Shifts one word out (FIFO order). Returns `None` when empty.
+    pub fn shift_out(&mut self) -> Option<u32> {
+        if self.is_empty() {
+            return None;
+        }
+        let w = self.words[0];
+        self.words.rotate_left(1);
+        self.level -= 1;
+        Some(w)
+    }
+
+    /// Loads a full 128-bit block at once (parallel load side).
+    pub fn load_block(&mut self, block: &[u8; 16]) {
+        for i in 0..4 {
+            self.words[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4"));
+        }
+        self.level = 4;
+    }
+
+    /// Reads the full 128-bit block (parallel read side).
+    ///
+    /// # Panics
+    /// Panics unless the register is full.
+    pub fn read_block(&self) -> [u8; 16] {
+        assert!(self.is_full(), "shift register not full");
+        let mut out = [0u8; 16];
+        for i in 0..4 {
+            out[4 * i..4 * i + 4].copy_from_slice(&self.words[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Clears the register.
+    pub fn clear(&mut self) {
+        self.level = 0;
+        self.words = [0; 4];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_in_parallel_out() {
+        let mut sr = ShiftRegister32::new();
+        for (i, w) in [0x00010203u32, 0x04050607, 0x08090a0b, 0x0c0d0e0f]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(sr.level(), i);
+            assert!(sr.shift_in(*w));
+        }
+        assert!(sr.is_full());
+        assert!(!sr.shift_in(0xdead));
+        let block = sr.read_block();
+        let expect: [u8; 16] = core::array::from_fn(|i| i as u8);
+        assert_eq!(block, expect);
+    }
+
+    #[test]
+    fn parallel_in_serial_out() {
+        let mut sr = ShiftRegister32::new();
+        let block: [u8; 16] = core::array::from_fn(|i| (i as u8) * 2);
+        sr.load_block(&block);
+        assert_eq!(sr.shift_out(), Some(0x00020406));
+        assert_eq!(sr.shift_out(), Some(0x080a0c0e));
+        assert_eq!(sr.shift_out(), Some(0x10121416));
+        assert_eq!(sr.shift_out(), Some(0x181a1c1e));
+        assert_eq!(sr.shift_out(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "shift register not full")]
+    fn partial_read_panics() {
+        let mut sr = ShiftRegister32::new();
+        sr.shift_in(1);
+        let _ = sr.read_block();
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut sr = ShiftRegister32::new();
+        sr.load_block(&[9u8; 16]);
+        sr.clear();
+        assert!(sr.is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Cycle-stamped event tracing.
+//!
+//! Used by the simulator for debugging and by the examples to print
+//! waveform-style activity reports. Disabled tracers are free: events are
+//! only materialized when enabled.
+
+use std::collections::VecDeque;
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub cycle: u64,
+    pub component: &'static str,
+    pub message: String,
+}
+
+/// A bounded event recorder.
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            capacity: 0,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A tracer keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            enabled: true,
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event. `message` is only evaluated by the caller; prefer
+    /// [`Tracer::record_with`] in hot paths.
+    pub fn record(&mut self, cycle: u64, component: &'static str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            cycle,
+            component,
+            message,
+        });
+    }
+
+    /// Records an event with a lazily-built message (free when disabled).
+    pub fn record_with<F: FnOnce() -> String>(
+        &mut self,
+        cycle: u64,
+        component: &'static str,
+        f: F,
+    ) {
+        if self.enabled {
+            self.record(cycle, component, f());
+        }
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Count of events evicted by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains all recorded events.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.events.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(1, "x", "boom".into());
+        t.record_with(2, "x", || panic!("must not be called"));
+        assert_eq!(t.events().count(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Tracer::with_capacity(2);
+        t.record(1, "a", "1".into());
+        t.record(2, "a", "2".into());
+        t.record(3, "a", "3".into());
+        let evs: Vec<_> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(evs, vec![2, 3]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn take_drains() {
+        let mut t = Tracer::with_capacity(8);
+        t.record(5, "c", "hello".into());
+        let evs = t.take();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].component, "c");
+        assert_eq!(t.events().count(), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! The two-core CCM schedule (paper §IV.D): a single CCM packet split
+//! across an adjacent core pair — CBC-MAC on the left core, CTR on the
+//! right, chained through the inter-core port — versus the same packet on
+//! one core. Shows the paper's latency/throughput trade-off from the
+//! inside.
+//!
+//! ```sh
+//! cargo run --release --example ccm_two_core
+//! ```
+
+use mccp::core::protocol::{Algorithm, KeyId};
+use mccp::core::{Direction, Mccp, MccpConfig};
+
+fn run(two_core: bool, payload: &[u8]) -> (u64, Vec<u8>, Vec<u8>, Vec<usize>) {
+    let mut mccp = Mccp::new(MccpConfig {
+        ccm_two_core: two_core,
+        ..MccpConfig::default()
+    });
+    mccp.key_memory_mut().store(KeyId(1), &[0x42; 16]);
+    let ch = mccp
+        .open_with_tag_len(Algorithm::AesCcm128, KeyId(1), 8)
+        .unwrap();
+    let nonce = [9u8; 13];
+    // Warm the key cache so we compare steady-state packet times.
+    mccp.encrypt_packet(ch, b"hdr", payload, &nonce).unwrap();
+
+    let id = mccp
+        .submit(ch, Direction::Encrypt, &nonce, b"hdr", payload, None)
+        .unwrap();
+    let cores = mccp.request_cores(id).unwrap().to_vec();
+    let cycles = mccp.run_until_done(id, 100_000_000);
+    let out = mccp.retrieve(id).unwrap();
+    mccp.transfer_done(id).unwrap();
+    (cycles, out.body, out.tag.unwrap(), cores)
+}
+
+fn main() {
+    let payload = vec![0x5Au8; 2048];
+
+    let (c1, ct1, tag1, cores1) = run(false, &payload);
+    let (c2, ct2, tag2, cores2) = run(true, &payload);
+
+    println!("2 KB AES-CCM-128 packet, single core vs two-core split:\n");
+    println!("  single core : {c1:>6} cycles on cores {cores1:?}");
+    println!("  two cores   : {c2:>6} cycles on cores {cores2:?} (CBC-MAC left, CTR right)");
+    println!(
+        "  latency gain: {:.2}x (paper: 104/55 ≈ 1.9x on the loop term)",
+        c1 as f64 / c2 as f64
+    );
+
+    assert_eq!(ct1, ct2, "both schedules must produce identical ciphertext");
+    assert_eq!(tag1, tag2, "and identical tags");
+    println!("\nbit-exact: both schedules agree on ciphertext and tag");
+
+    println!("\nThe trade-off (paper §VII.A): the pair halves one packet's");
+    println!("latency, but four packets on four single cores move ~5% more");
+    println!("aggregate data than two packets on two pairs — scheduling is a");
+    println!("policy knob, not a fixed property of the hardware.");
+    let _ = (tag1, tag2);
+}

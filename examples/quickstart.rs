@@ -1,0 +1,58 @@
+//! Quickstart: bring up a 4-core MCCP, open a GCM channel, push one packet
+//! through the full control protocol, and decrypt it back.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mccp::core::protocol::{Algorithm, KeyId};
+use mccp::core::{Mccp, MccpConfig};
+use mccp::sim::throughput_mbps;
+
+fn main() {
+    // The platform's main controller provisions a session key. The MCCP
+    // itself can never read this key back — only use it.
+    let mut mccp = Mccp::new(MccpConfig::default());
+    let key = KeyId(1);
+    mccp.key_memory_mut().store(key, &[0x2B; 16]);
+
+    // OPEN a channel: AES-128-GCM bound to the session key.
+    let channel = mccp.open(Algorithm::AesGcm128, key).expect("channel");
+    println!("opened channel {channel:?} with AES-128-GCM");
+
+    // ENCRYPT one packet. The communication controller (here: this
+    // example) supplies the IV, the authenticated header and the payload;
+    // the library formats the FIFO streams, runs the cycle-accurate
+    // simulation and parses the result.
+    let iv = [7u8; 12];
+    let header = b"radio-frame-header";
+    let payload = b"Twelve chars and then some more payload bytes for the demo packet.";
+    let packet = mccp
+        .encrypt_packet(channel, header, payload, &iv)
+        .expect("encrypt");
+    println!(
+        "encrypted {} bytes in {} modeled cycles ({:.0} Mbps at 190 MHz)",
+        payload.len(),
+        packet.cycles,
+        throughput_mbps(payload.len() as u64 * 8, packet.cycles),
+    );
+    println!("tag: {:02x?}", packet.tag);
+
+    // DECRYPT it back on the same channel.
+    let plain = mccp
+        .decrypt_packet(channel, header, &packet.ciphertext, &packet.tag, &iv)
+        .expect("authentic packet decrypts");
+    assert_eq!(plain.plaintext, payload);
+    println!("decrypted OK: payload round-trips");
+
+    // Tampering is detected and nothing is released: the core wipes its
+    // output FIFO before reporting AUTH_FAIL.
+    let mut evil = packet.ciphertext.clone();
+    evil[0] ^= 0x80;
+    let verdict = mccp.decrypt_packet(channel, header, &evil, &packet.tag, &iv);
+    println!("tampered packet: {verdict:?}");
+    assert!(verdict.is_err());
+
+    mccp.close(channel).expect("close");
+    println!("channel closed; total modeled cycles: {}", mccp.cycle());
+}

@@ -1,0 +1,89 @@
+//! Dumps a VCD waveform of the MCCP processing four concurrent packets —
+//! open `mccp.vcd` in GTKWave/Surfer to watch the four cores' AES engines,
+//! GHASH engines and FIFOs in flight.
+//!
+//! ```sh
+//! cargo run --release --example waveform && gtkwave mccp.vcd
+//! ```
+
+use mccp::core::protocol::{Algorithm, KeyId};
+use mccp::core::{Direction, Mccp, MccpConfig};
+use mccp::cryptounit::CuStatus;
+use mccp::sim::vcd::VcdWriter;
+use mccp::sim::CLOCK_HZ;
+
+fn main() {
+    let mut m = Mccp::new(MccpConfig::default());
+    m.key_memory_mut().store(KeyId(1), &[0x42; 16]);
+    let gcm = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+    let ccm = m.open_with_tag_len(Algorithm::AesCcm128, KeyId(1), 8).unwrap();
+
+    let mut vcd = VcdWriter::new("mccp", CLOCK_HZ);
+    let n = m.config().n_cores;
+    let mut sig = Vec::new();
+    for i in 0..n {
+        sig.push((
+            vcd.add_wire(&format!("core{i}_busy")),
+            vcd.add_wire(&format!("core{i}_aes_busy")),
+            vcd.add_wire(&format!("core{i}_ghash_busy")),
+            vcd.add_wire(&format!("core{i}_ctrl_sleeping")),
+            vcd.add_vector(&format!("core{i}_in_fifo_words"), 10),
+            vcd.add_vector(&format!("core{i}_out_fifo_words"), 10),
+        ));
+    }
+
+    // Two GCM packets and two CCM packets, staggered.
+    let payload = vec![0xA5u8; 512];
+    let mut ids = vec![
+        m.submit(gcm, Direction::Encrypt, &[1u8; 12], b"h", &payload, None)
+            .unwrap(),
+        m.submit(ccm, Direction::Encrypt, &[2u8; 12], b"h", &payload, None)
+            .unwrap(),
+    ];
+
+    let mut cycle = 0u64;
+    let mut staggered = false;
+    loop {
+        m.tick();
+        cycle += 1;
+        if cycle == 800 && !staggered {
+            staggered = true;
+            ids.push(
+                m.submit(gcm, Direction::Encrypt, &[3u8; 12], b"h", &payload, None)
+                    .unwrap(),
+            );
+            ids.push(
+                m.submit(ccm, Direction::Encrypt, &[4u8; 12], b"h", &payload, None)
+                    .unwrap(),
+            );
+        }
+        for (i, s) in sig.iter().enumerate() {
+            let core = m.core(i);
+            let st = core.cu_status().0;
+            vcd.sample(cycle, s.0, (!core.is_idle()) as u64);
+            vcd.sample(cycle, s.1, ((st & CuStatus::AES_BUSY) != 0) as u64);
+            vcd.sample(cycle, s.2, ((st & CuStatus::GHASH_BUSY) != 0) as u64);
+            vcd.sample(cycle, s.3, core.controller_sleeping() as u64);
+            vcd.sample(cycle, s.4, core.input.len() as u64);
+            vcd.sample(cycle, s.5, core.output.len() as u64);
+        }
+        if staggered && ids.iter().all(|&id| m.is_done(id)) {
+            break;
+        }
+        assert!(cycle < 100_000, "wedged");
+    }
+    for id in ids {
+        m.retrieve(id).unwrap();
+        m.transfer_done(id).unwrap();
+    }
+
+    vcd.write_to("mccp.vcd").expect("write mccp.vcd");
+    println!(
+        "wrote mccp.vcd: {} cycles, {} value changes across {} signals",
+        cycle,
+        vcd.change_count(),
+        6 * n
+    );
+    println!("open with `gtkwave mccp.vcd` — watch the AES engines saturate");
+    println!("(49-cycle GCM rhythm on cores 0/2, 104-cycle CCM on cores 1/3)");
+}

@@ -1,0 +1,126 @@
+//! Reconfiguration integration: a core leaves the AES pool, the system
+//! keeps serving traffic, and the swap costs what Table IV says it costs.
+
+use mccp::core::core_unit::Personality;
+use mccp::core::protocol::{Algorithm, KeyId, MccpError};
+use mccp::core::reconfig::{
+    BitstreamSource, ReconfigController, AES_BITSTREAM, WHIRLPOOL_BITSTREAM,
+};
+use mccp::core::{Mccp, MccpConfig};
+
+#[test]
+fn traffic_continues_during_reconfiguration() {
+    let mut m = Mccp::new(MccpConfig::default());
+    m.key_memory_mut().store(KeyId(1), &[0x55; 16]);
+    let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+
+    // Take core 3 out for reconfiguration.
+    m.core_mut(3).set_personality(Personality::WhirlpoolUnit);
+
+    // Three packets still run concurrently on the remaining cores...
+    let ids: Vec<_> = (0..3u8)
+        .map(|i| {
+            m.submit(
+                ch,
+                mccp::core::Direction::Encrypt,
+                &[i + 1; 12],
+                &[],
+                &[0xAB; 256],
+                None,
+            )
+            .unwrap()
+        })
+        .collect();
+    // ...a fourth is refused (only 3 AES cores remain).
+    assert_eq!(
+        m.submit(
+            ch,
+            mccp::core::Direction::Encrypt,
+            &[9u8; 12],
+            &[],
+            &[0xAB; 256],
+            None
+        )
+        .unwrap_err(),
+        MccpError::NoResource
+    );
+    for id in &ids {
+        m.run_until_done(*id, 10_000_000);
+        // Core 3 must never have been selected.
+        assert!(!m.request_cores(*id).unwrap().contains(&3));
+        m.retrieve(*id).unwrap();
+        m.transfer_done(*id).unwrap();
+    }
+
+    // Swap back: full capacity returns.
+    m.core_mut(3).set_personality(Personality::AesUnit);
+    let ids: Vec<_> = (0..4u8)
+        .map(|i| {
+            m.submit(
+                ch,
+                mccp::core::Direction::Encrypt,
+                &[i + 20; 12],
+                &[],
+                &[0xCD; 128],
+                None,
+            )
+            .unwrap()
+        })
+        .collect();
+    assert_eq!(ids.len(), 4);
+    for id in &ids {
+        m.run_until_done(*id, 10_000_000);
+        m.retrieve(*id).unwrap();
+        m.transfer_done(*id).unwrap();
+    }
+}
+
+#[test]
+fn reconfiguration_wipes_key_material() {
+    let mut m = Mccp::new(MccpConfig::default());
+    m.key_memory_mut().store(KeyId(1), &[0x77; 16]);
+    let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+    // Load keys into core 0 by running a packet.
+    m.encrypt_packet(ch, &[], &[1u8; 64], &[1u8; 12]).unwrap();
+    assert!(m.core(0).key_cache.cached_id().is_some());
+    // Reconfiguration must wipe the key cache and datapath.
+    m.core_mut(0).set_personality(Personality::WhirlpoolUnit);
+    assert!(m.core(0).key_cache.cached_id().is_none());
+}
+
+#[test]
+fn table_iv_budgets_gate_the_swap() {
+    let mut rc = ReconfigController::new();
+    let cycles = rc
+        .begin(WHIRLPOOL_BITSTREAM, BitstreamSource::CompactFlash)
+        .unwrap();
+    // 416 ms at 190 MHz ≈ 79M cycles.
+    let expect = (0.416 * 190e6) as u64;
+    let err = (cycles as f64 - expect as f64).abs() / expect as f64;
+    assert!(err < 0.02, "cycles {cycles} vs expect {expect}");
+    // Completion flips the personality exactly once.
+    let mut flips = 0;
+    for _ in 0..=cycles + 1 {
+        if rc.tick().is_some() {
+            flips += 1;
+        }
+    }
+    assert_eq!(flips, 1);
+    assert_eq!(rc.current(), Personality::WhirlpoolUnit);
+
+    // Round trip: back to AES from RAM is ~6x faster.
+    let back = rc.begin(AES_BITSTREAM, BitstreamSource::Ram).unwrap();
+    assert!(back * 5 < cycles, "RAM path must be much faster");
+}
+
+#[test]
+fn whirlpool_personality_actually_hashes() {
+    // The functional proof that the alternative bitstream is real: the
+    // Whirlpool implementation passes its ISO vector (full vector tests
+    // live in mccp-aes).
+    let digest = mccp::aes::whirlpool::whirlpool(b"abc");
+    assert_eq!(
+        digest[..8],
+        [0x4E, 0x24, 0x48, 0xA4, 0xC6, 0xF4, 0x86, 0xBB]
+    );
+}

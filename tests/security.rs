@@ -1,0 +1,211 @@
+//! Security-property integration tests: the paper's red/black boundary
+//! claims (§III.A) and the anti-spoofing FIFO wipe (§IV.C).
+
+use mccp::core::protocol::{Algorithm, KeyId, MccpError};
+use mccp::core::{Direction, Mccp, MccpConfig};
+
+fn setup() -> (Mccp, mccp::core::protocol::ChannelId) {
+    let mut m = Mccp::new(MccpConfig::default());
+    m.key_memory_mut().store(KeyId(1), &[0x42; 16]);
+    let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+    (m, ch)
+}
+
+#[test]
+fn auth_failure_releases_nothing() {
+    let (mut m, ch) = setup();
+    let body = b"highly classified plaintext that must never leak on tamper";
+    let pkt = m.encrypt_packet(ch, b"hdr", body, &[1u8; 12]).unwrap();
+
+    let mut evil_tag = pkt.tag.clone();
+    evil_tag[15] ^= 1;
+    let id = m
+        .submit(ch, Direction::Decrypt, &[1u8; 12], b"hdr", &pkt.ciphertext, Some(&evil_tag))
+        .unwrap();
+    let cores = m.request_cores(id).unwrap().to_vec();
+    m.run_until_done(id, 10_000_000);
+
+    // RETRIEVE_DATA returns AUTH_FAIL...
+    assert_eq!(m.retrieve(id).unwrap_err(), MccpError::AuthFail);
+    // ...and the producing core's output FIFO has been reinitialized: no
+    // plaintext words remain readable.
+    for &c in &cores {
+        assert!(
+            m.core(c).output.is_empty(),
+            "core {c} output FIFO still holds data after AUTH_FAIL"
+        );
+        assert!(m.core(c).wipes() > 0, "core {c} never wiped");
+    }
+    m.transfer_done(id).unwrap();
+
+    // The channel remains usable afterwards.
+    let pkt2 = m.encrypt_packet(ch, b"hdr", body, &[2u8; 12]).unwrap();
+    let dec = m
+        .decrypt_packet(ch, b"hdr", &pkt2.ciphertext, &pkt2.tag, &[2u8; 12])
+        .unwrap();
+    assert_eq!(dec.plaintext, body);
+}
+
+#[test]
+fn wrong_aad_and_wrong_iv_both_fail() {
+    let (mut m, ch) = setup();
+    let pkt = m.encrypt_packet(ch, b"aad", b"payload", &[3u8; 12]).unwrap();
+    assert_eq!(
+        m.decrypt_packet(ch, b"dad", &pkt.ciphertext, &pkt.tag, &[3u8; 12])
+            .unwrap_err(),
+        MccpError::AuthFail
+    );
+    assert_eq!(
+        m.decrypt_packet(ch, b"aad", &pkt.ciphertext, &pkt.tag, &[4u8; 12])
+            .unwrap_err(),
+        MccpError::AuthFail
+    );
+}
+
+#[test]
+fn truncated_and_extended_tags_fail() {
+    let (mut m, ch) = setup();
+    let pkt = m.encrypt_packet(ch, &[], b"data", &[5u8; 12]).unwrap();
+    // A zeroed tag of the right length.
+    assert_eq!(
+        m.decrypt_packet(ch, &[], &pkt.ciphertext, &[0u8; 16], &[5u8; 12])
+            .unwrap_err(),
+        MccpError::AuthFail
+    );
+    // Bit-flip in every tag byte position must be caught.
+    for i in 0..16 {
+        let mut t = pkt.tag.clone();
+        t[i] ^= 0x01;
+        assert_eq!(
+            m.decrypt_packet(ch, &[], &pkt.ciphertext, &t, &[5u8; 12])
+                .unwrap_err(),
+            MccpError::AuthFail,
+            "flip at byte {i} not detected"
+        );
+    }
+}
+
+#[test]
+fn keys_are_not_reachable_through_the_api() {
+    // The Key Memory offers presence/size metadata only; there is no read
+    // path. This is a compile-time property — this test documents it by
+    // exercising everything the MCCP-facing API exposes about a key.
+    let mut m = Mccp::new(MccpConfig::default());
+    m.key_memory_mut().store(KeyId(9), &[0xAA; 32]);
+    assert!(m.key_memory_mut().contains(KeyId(9)));
+    assert_eq!(
+        m.key_memory_mut().key_size(KeyId(9)),
+        Some(mccp::aes::KeySize::Aes256)
+    );
+    // Erasure zeroizes.
+    m.key_memory_mut().erase(KeyId(9));
+    assert!(!m.key_memory_mut().contains(KeyId(9)));
+}
+
+#[test]
+fn ciphertexts_do_not_leak_key_or_plaintext_structure() {
+    // Weak but useful smoke check: encrypting all-zero payloads produces
+    // high-entropy-looking output that differs per IV (no ECB-style
+    // repetition, no key bytes in the output stream).
+    let (mut m, ch) = setup();
+    let zeros = vec![0u8; 64];
+    let a = m.encrypt_packet(ch, &[], &zeros, &[1u8; 12]).unwrap();
+    let b = m.encrypt_packet(ch, &[], &zeros, &[2u8; 12]).unwrap();
+    assert_ne!(a.ciphertext, b.ciphertext, "IV must randomize the stream");
+    // No 16-byte block repeats within a single CTR keystream.
+    let blocks: Vec<&[u8]> = a.ciphertext.chunks(16).collect();
+    for i in 0..blocks.len() {
+        for j in i + 1..blocks.len() {
+            assert_ne!(blocks[i], blocks[j], "keystream block repetition");
+        }
+    }
+}
+
+#[test]
+fn transfer_done_clears_residual_fifo_state() {
+    let (mut m, ch) = setup();
+    let id = m
+        .submit(ch, Direction::Encrypt, &[8u8; 12], &[], &[0xEE; 128], None)
+        .unwrap();
+    let cores = m.request_cores(id).unwrap().to_vec();
+    m.run_until_done(id, 10_000_000);
+    let _ = m.retrieve(id).unwrap();
+    m.transfer_done(id).unwrap();
+    for &c in &cores {
+        assert!(m.core(c).input.is_empty(), "input FIFO not cleared");
+        assert!(m.core(c).output.is_empty(), "output FIFO not cleared");
+        assert!(m.core(c).is_idle());
+    }
+}
+
+#[test]
+fn decrypt_of_garbage_never_panics() {
+    let (mut m, ch) = setup();
+    for len in [0usize, 1, 15, 16, 17, 255] {
+        let garbage: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+        let tag = [0u8; 16];
+        let r = m.decrypt_packet(ch, b"x", &garbage, &tag, &[1u8; 12]);
+        assert_eq!(r.unwrap_err(), MccpError::AuthFail, "len={len}");
+    }
+}
+
+#[test]
+fn rekeying_switches_keys_between_packets() {
+    use mccp::aes::modes::gcm_seal;
+    use mccp::aes::Aes;
+    let mut m = Mccp::new(MccpConfig::default());
+    let k1 = [0x10u8; 16];
+    let k2 = [0x20u8; 16];
+    m.key_memory_mut().store(KeyId(1), &k1);
+    m.key_memory_mut().store(KeyId(2), &k2);
+    let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+
+    let a = m.encrypt_packet(ch, &[], b"payload", &[1u8; 12]).unwrap();
+    m.rekey(ch, KeyId(2)).unwrap();
+    let b = m.encrypt_packet(ch, &[], b"payload", &[1u8; 12]).unwrap();
+
+    let r1 = gcm_seal(&Aes::new(&k1), &[1u8; 12], &[], b"payload", 16).unwrap();
+    let r2 = gcm_seal(&Aes::new(&k2), &[1u8; 12], &[], b"payload", 16).unwrap();
+    assert_eq!(a.ciphertext, r1[..7]);
+    assert_eq!(b.ciphertext, r2[..7]);
+    assert_ne!(a.ciphertext, b.ciphertext);
+
+    // Rekey validation: unknown key and size mismatch are refused.
+    assert_eq!(m.rekey(ch, KeyId(9)).unwrap_err(), MccpError::BadKey);
+    m.key_memory_mut().store(KeyId(3), &[0x30u8; 32]);
+    assert_eq!(m.rekey(ch, KeyId(3)).unwrap_err(), MccpError::BadKey);
+}
+
+#[test]
+fn hardware_fault_injection_is_caught_by_auth() {
+    // Flip a bit inside a core's input FIFO *mid-flight* (a modeled SEU /
+    // glitch on the ciphertext words) — the tag check must catch it.
+    let (mut m, ch) = setup();
+    let payload = vec![0x42u8; 512];
+    let pkt = m.encrypt_packet(ch, &[], &payload, &[6u8; 12]).unwrap();
+
+    let id = m
+        .submit(
+            ch,
+            Direction::Decrypt,
+            &[6u8; 12],
+            &[],
+            &pkt.ciphertext,
+            Some(&pkt.tag),
+        )
+        .unwrap();
+    let core = m.request_cores(id).unwrap()[0];
+    // Let the upload get ahead, then corrupt a queued ciphertext word.
+    for _ in 0..200 {
+        m.tick();
+    }
+    let w = m.core_mut(core).input.pop().expect("words queued");
+    assert!(m.core_mut(core).input.push(w ^ 0x0000_0100));
+    // Keep the stream order intact: rotate the remaining words once so the
+    // corrupted word sits at the back — order changes are themselves a
+    // corruption, which is equally detectable; either way auth must fail.
+    m.run_until_done(id, 10_000_000);
+    assert_eq!(m.retrieve(id).unwrap_err(), MccpError::AuthFail);
+    assert!(m.core(core).output.is_empty(), "no plaintext released");
+    m.transfer_done(id).unwrap();
+}

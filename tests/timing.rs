@@ -1,0 +1,146 @@
+//! Timing integration tests: the paper's §VII cycle budgets measured on
+//! the *complete* system (scheduler + firmware + controller + CU + FIFOs),
+//! not just on isolated components.
+
+use mccp::aes::KeySize;
+use mccp::core::protocol::{Algorithm, KeyId};
+use mccp::core::{Mccp, MccpConfig};
+use mccp::cryptounit::timing::{t_ccm_loop_1core, t_ccm_loop_2core, t_gcm_loop};
+use mccp::sim::throughput_mbps;
+
+/// Warm-cache packet time for `blocks` 16-byte blocks.
+fn packet_cycles(alg: Algorithm, two_core: bool, blocks: usize) -> u64 {
+    let mut m = Mccp::new(MccpConfig {
+        ccm_two_core: two_core,
+        ..MccpConfig::default()
+    });
+    let key: Vec<u8> = (0..alg.key_size().key_bytes() as u8).collect();
+    m.key_memory_mut().store(KeyId(1), &key);
+    let ch = m.open_with_tag_len(alg, KeyId(1), 16).unwrap();
+    let body = vec![0x5Au8; blocks * 16];
+    m.encrypt_packet(ch, &[], &body, &[1u8; 12]).unwrap(); // warm
+    m.encrypt_packet(ch, &[], &body, &[2u8; 12]).unwrap().cycles
+}
+
+/// Steady-state cycles per block via the two-packet-sizes method.
+fn loop_cycles(alg: Algorithm, two_core: bool) -> f64 {
+    const N: usize = 32;
+    let c1 = packet_cycles(alg, two_core, N);
+    let c2 = packet_cycles(alg, two_core, 2 * N);
+    (c2 - c1) as f64 / N as f64
+}
+
+#[test]
+fn gcm_loop_budget_exact() {
+    for (alg, key) in [
+        (Algorithm::AesGcm128, KeySize::Aes128),
+        (Algorithm::AesGcm192, KeySize::Aes192),
+        (Algorithm::AesGcm256, KeySize::Aes256),
+    ] {
+        let measured = loop_cycles(alg, false);
+        assert_eq!(measured, t_gcm_loop(key) as f64, "{alg}");
+    }
+}
+
+#[test]
+fn ccm_single_core_loop_budget_exact() {
+    for (alg, key) in [
+        (Algorithm::AesCcm128, KeySize::Aes128),
+        (Algorithm::AesCcm192, KeySize::Aes192),
+        (Algorithm::AesCcm256, KeySize::Aes256),
+    ] {
+        let measured = loop_cycles(alg, false);
+        assert_eq!(measured, t_ccm_loop_1core(key) as f64, "{alg}");
+    }
+}
+
+#[test]
+fn ccm_two_core_loop_budget_exact() {
+    for (alg, key) in [
+        (Algorithm::AesCcm128, KeySize::Aes128),
+        (Algorithm::AesCcm256, KeySize::Aes256),
+    ] {
+        let measured = loop_cycles(alg, true);
+        assert_eq!(measured, t_ccm_loop_2core(key) as f64, "{alg}");
+    }
+}
+
+#[test]
+fn gcm_2kb_throughput_in_paper_band() {
+    // Paper Table II: GCM-128 theoretical 496 Mbps, measured 437 on 2 KB.
+    // Our firmware's overhead differs; the measurement must land between
+    // the paper's measured value and the theoretical bound.
+    let cycles = packet_cycles(Algorithm::AesGcm128, false, 128);
+    let mbps = throughput_mbps(2048 * 8, cycles);
+    assert!(mbps > 430.0, "got {mbps}");
+    assert!(mbps < 496.4, "cannot beat the loop bound: {mbps}");
+}
+
+#[test]
+fn ccm_2kb_throughput_in_paper_band() {
+    // Paper: CCM-128 one core: theoretical 233, measured 214.
+    let cycles = packet_cycles(Algorithm::AesCcm128, false, 128);
+    let mbps = throughput_mbps(2048 * 8, cycles);
+    assert!(mbps > 210.0, "got {mbps}");
+    assert!(mbps < 233.9, "cannot beat the loop bound: {mbps}");
+}
+
+#[test]
+fn key_expansion_latency_charged_once() {
+    let mut m = Mccp::new(MccpConfig::default());
+    m.key_memory_mut().store(KeyId(1), &[7u8; 32]);
+    let ch = m.open(Algorithm::AesGcm256, KeyId(1)).unwrap();
+    let body = vec![0u8; 256];
+    let cold = m.encrypt_packet(ch, &[], &body, &[1u8; 12]).unwrap().cycles;
+    let warm = m.encrypt_packet(ch, &[], &body, &[2u8; 12]).unwrap().cycles;
+    // AES-256 expansion = 68 cycles; the cold packet pays it, warm not.
+    assert_eq!(cold - warm, 68, "cold={cold}, warm={warm}");
+}
+
+#[test]
+fn four_parallel_packets_finish_in_about_one_packet_time() {
+    let mut m = Mccp::new(MccpConfig::default());
+    m.key_memory_mut().store(KeyId(1), &[7u8; 16]);
+    let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+    let body = vec![0u8; 1024];
+    // Warm all four key caches.
+    let warm: Vec<_> = (0..4)
+        .map(|i| {
+            m.submit(ch, mccp::core::Direction::Encrypt, &[i + 1; 12], &[], &body, None)
+                .unwrap()
+        })
+        .collect();
+    for id in &warm {
+        m.run_until_done(*id, 10_000_000);
+    }
+    for id in &warm {
+        m.retrieve(*id).unwrap();
+        m.transfer_done(*id).unwrap();
+    }
+
+    let single_start = m.cycle();
+    let one = m.encrypt_packet(ch, &[], &body, &[9u8; 12]).unwrap();
+    let single_time = m.cycle() - single_start;
+    let _ = one;
+
+    let batch_start = m.cycle();
+    let ids: Vec<_> = (0..4)
+        .map(|i| {
+            m.submit(ch, mccp::core::Direction::Encrypt, &[i + 10; 12], &[], &body, None)
+                .unwrap()
+        })
+        .collect();
+    for id in &ids {
+        m.run_until_done(*id, 10_000_000);
+    }
+    let batch_time = m.cycle() - batch_start;
+    for id in &ids {
+        m.retrieve(*id).unwrap();
+        m.transfer_done(*id).unwrap();
+    }
+    // Four cores in parallel: batch ≤ 1.25x a single packet.
+    assert!(
+        (batch_time as f64) < 1.25 * single_time as f64,
+        "batch {batch_time} vs single {single_time}"
+    );
+}

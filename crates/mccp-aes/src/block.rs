@@ -71,7 +71,12 @@ fn inv_mix_column(col: &mut [u8; 4]) {
 #[inline]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let mut col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let mut col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         mix_column(&mut col);
         state[4 * c..4 * c + 4].copy_from_slice(&col);
     }
@@ -80,7 +85,12 @@ fn mix_columns(state: &mut [u8; 16]) {
 #[inline]
 fn inv_mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let mut col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let mut col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         inv_mix_column(&mut col);
         state[4 * c..4 * c + 4].copy_from_slice(&col);
     }

@@ -65,7 +65,10 @@ pub fn encrypt_block_serial(rk: &RoundKeys, block: &[u8; 16]) -> SerialResult {
         }
     }
 
-    SerialResult { block: state, cycles }
+    SerialResult {
+        block: state,
+        cycles,
+    }
 }
 
 #[cfg(test)]

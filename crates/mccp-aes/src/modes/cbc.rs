@@ -55,22 +55,18 @@ mod tests {
         // SP 800-38A F.2.1.
         let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
         let iv = hex16("000102030405060708090a0b0c0d0e0f");
-        let mut data = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        );
+             f69f2445df4f9b17ad2b417be66c3710");
         let pt = data.clone();
         cbc_encrypt(&aes, &iv, &mut data).unwrap();
         assert_eq!(
             data,
-            hex(
-                "7649abac8119b246cee98e9b12e9197d\
+            hex("7649abac8119b246cee98e9b12e9197d\
                  5086cb9b507219ee95db113a917678b2\
                  73bed6b8e3c1743b7116e69e22229516\
-                 3ff1caa1681fac09120eca307586e1a7"
-            )
+                 3ff1caa1681fac09120eca307586e1a7")
         );
         cbc_decrypt(&aes, &iv, &mut data).unwrap();
         assert_eq!(data, pt);
@@ -79,10 +75,8 @@ mod tests {
     #[test]
     fn sp800_38a_cbc_aes256() {
         // SP 800-38A F.2.5 (first block).
-        let aes = Aes::new(&hex(
-            "603deb1015ca71be2b73aef0857d7781\
-             1f352c073b6108d72d9810a30914dff4",
-        ));
+        let aes = Aes::new(&hex("603deb1015ca71be2b73aef0857d7781\
+             1f352c073b6108d72d9810a30914dff4"));
         let iv = hex16("000102030405060708090a0b0c0d0e0f");
         let mut data = hex("6bc1bee22e409f96e93d7e117393172a");
         cbc_encrypt(&aes, &iv, &mut data).unwrap();

@@ -100,12 +100,7 @@ pub fn format_counter(params: &CcmParams, nonce: &[u8], i: u64) -> [u8; 16] {
 /// Assembles the full CBC-MAC input `B0 || encoded(AAD) || padded AAD ||
 /// padded payload` — exactly the byte stream the paper's communication
 /// controller must push into a core's input FIFO.
-pub fn format_mac_input(
-    params: &CcmParams,
-    nonce: &[u8],
-    aad: &[u8],
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn format_mac_input(params: &CcmParams, nonce: &[u8], aad: &[u8], payload: &[u8]) -> Vec<u8> {
     let b0 = format_b0(params, nonce, aad.len(), payload.len());
     let mut blocks = Vec::with_capacity(16 + aad.len() + payload.len() + 48);
     blocks.extend_from_slice(&b0);
@@ -222,7 +217,10 @@ mod tests {
 
     #[test]
     fn sp800_38c_example_1() {
-        let params = CcmParams { nonce_len: 7, tag_len: 4 };
+        let params = CcmParams {
+            nonce_len: 7,
+            tag_len: 4,
+        };
         let nonce = hex("10111213141516");
         let aad = hex("0001020304050607");
         let payload = hex("20212223");
@@ -234,20 +232,23 @@ mod tests {
 
     #[test]
     fn sp800_38c_example_2() {
-        let params = CcmParams { nonce_len: 8, tag_len: 6 };
+        let params = CcmParams {
+            nonce_len: 8,
+            tag_len: 6,
+        };
         let nonce = hex("1011121314151617");
         let aad = hex("000102030405060708090a0b0c0d0e0f");
         let payload = hex("202122232425262728292a2b2c2d2e2f");
         let ct = ccm_seal(&k(), &params, &nonce, &aad, &payload).unwrap();
-        assert_eq!(
-            ct,
-            hex("d2a1f0e051ea5f62081a7792073d593d1fc64fbfaccd")
-        );
+        assert_eq!(ct, hex("d2a1f0e051ea5f62081a7792073d593d1fc64fbfaccd"));
     }
 
     #[test]
     fn sp800_38c_example_3() {
-        let params = CcmParams { nonce_len: 12, tag_len: 8 };
+        let params = CcmParams {
+            nonce_len: 12,
+            tag_len: 8,
+        };
         let nonce = hex("101112131415161718191a1b");
         let aad = hex("000102030405060708090a0b0c0d0e0f10111213");
         let payload = hex("202122232425262728292a2b2c2d2e2f3031323334353637");
@@ -256,15 +257,15 @@ mod tests {
             ct,
             hex("e3b201a9f5b71a7a9b1ceaeccd97e70b6176aad9a4428aa5484392fbc1b09951")
         );
-        assert_eq!(
-            ccm_open(&k(), &params, &nonce, &aad, &ct).unwrap(),
-            payload
-        );
+        assert_eq!(ccm_open(&k(), &params, &nonce, &aad, &ct).unwrap(), payload);
     }
 
     #[test]
     fn tamper_detection() {
-        let params = CcmParams { nonce_len: 7, tag_len: 8 };
+        let params = CcmParams {
+            nonce_len: 7,
+            tag_len: 8,
+        };
         let nonce = [1u8; 7];
         let mut ct = ccm_seal(&k(), &params, &nonce, b"aad", b"payload bytes").unwrap();
         ct[0] ^= 1;
@@ -282,7 +283,10 @@ mod tests {
 
     #[test]
     fn empty_payload_and_aad() {
-        let params = CcmParams { nonce_len: 13, tag_len: 16 };
+        let params = CcmParams {
+            nonce_len: 13,
+            tag_len: 16,
+        };
         let nonce = [5u8; 13];
         let ct = ccm_seal(&k(), &params, &nonce, &[], &[]).unwrap();
         assert_eq!(ct.len(), 16);
@@ -291,11 +295,36 @@ mod tests {
 
     #[test]
     fn parameter_validation() {
-        assert!(CcmParams { nonce_len: 6, tag_len: 8 }.validate().is_err());
-        assert!(CcmParams { nonce_len: 14, tag_len: 8 }.validate().is_err());
-        assert!(CcmParams { nonce_len: 7, tag_len: 5 }.validate().is_err());
-        assert!(CcmParams { nonce_len: 7, tag_len: 2 }.validate().is_err());
-        assert!(CcmParams { nonce_len: 7, tag_len: 4 }.validate().is_ok());
+        assert!(CcmParams {
+            nonce_len: 6,
+            tag_len: 8
+        }
+        .validate()
+        .is_err());
+        assert!(CcmParams {
+            nonce_len: 14,
+            tag_len: 8
+        }
+        .validate()
+        .is_err());
+        assert!(CcmParams {
+            nonce_len: 7,
+            tag_len: 5
+        }
+        .validate()
+        .is_err());
+        assert!(CcmParams {
+            nonce_len: 7,
+            tag_len: 2
+        }
+        .validate()
+        .is_err());
+        assert!(CcmParams {
+            nonce_len: 7,
+            tag_len: 4
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -311,7 +340,10 @@ mod tests {
     #[test]
     fn b0_layout_example1() {
         // From SP 800-38C example 1: B0 = 4f101112131415160000000000000004.
-        let params = CcmParams { nonce_len: 7, tag_len: 4 };
+        let params = CcmParams {
+            nonce_len: 7,
+            tag_len: 4,
+        };
         let b0 = format_b0(&params, &hex("10111213141516"), 8, 4);
         assert_eq!(b0.to_vec(), hex("4f101112131415160000000000000004"));
     }

@@ -66,22 +66,18 @@ mod tests {
         // SP 800-38A F.5.1.
         let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
         let ctr0 = hex16("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
-        let mut data = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        );
+             f69f2445df4f9b17ad2b417be66c3710");
         let pt = data.clone();
         ctr_xcrypt(&aes, &ctr0, &mut data).unwrap();
         assert_eq!(
             data,
-            hex(
-                "874d6191b620e3261bef6864990db6ce\
+            hex("874d6191b620e3261bef6864990db6ce\
                  9806f66b7970fdff8617187bb9fffdff\
                  5ae4df3edbd5d35e5b4f09020db03eab\
-                 1e031dda2fbe03d1792170a0f3009cee"
-            )
+                 1e031dda2fbe03d1792170a0f3009cee")
         );
         // CTR is an involution.
         ctr_xcrypt(&aes, &ctr0, &mut data).unwrap();

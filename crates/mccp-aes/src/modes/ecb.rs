@@ -42,21 +42,17 @@ mod tests {
     fn sp800_38a_ecb_aes128() {
         // SP 800-38A F.1.1.
         let aes = Aes::new(&hex("2b7e151628aed2a6abf7158809cf4f3c"));
-        let mut data = hex(
-            "6bc1bee22e409f96e93d7e117393172a\
+        let mut data = hex("6bc1bee22e409f96e93d7e117393172a\
              ae2d8a571e03ac9c9eb76fac45af8e51\
              30c81c46a35ce411e5fbc1191a0a52ef\
-             f69f2445df4f9b17ad2b417be66c3710",
-        );
+             f69f2445df4f9b17ad2b417be66c3710");
         ecb_encrypt(&aes, &mut data).unwrap();
         assert_eq!(
             data,
-            hex(
-                "3ad77bb40d7a3660a89ecaf32466ef97\
+            hex("3ad77bb40d7a3660a89ecaf32466ef97\
                  f5d3d58503b9699de785895a96fdbaaf\
                  43b1cd7f598ece23881b00e3ed030688\
-                 7b0c785e27e8ad3f8223207104725dd4"
-            )
+                 7b0c785e27e8ad3f8223207104725dd4")
         );
         ecb_decrypt(&aes, &mut data).unwrap();
         assert_eq!(data[..16], hex("6bc1bee22e409f96e93d7e117393172a"));

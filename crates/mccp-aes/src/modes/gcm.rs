@@ -149,42 +149,54 @@ mod tests {
     }
 
     fn case3_pt() -> Vec<u8> {
-        hex(
-            "d9313225f88406e5a55909c5aff5269a\
+        hex("d9313225f88406e5a55909c5aff5269a\
              86a7a9531534f7da2e4c303d8a318a72\
              1c3c0c95956809532fcf0e2449a6b525\
-             b16aedf5aa0de657ba637b391aafd255",
-        )
+             b16aedf5aa0de657ba637b391aafd255")
     }
 
     #[test]
     fn gcm_test_case_3() {
-        let out = gcm_seal(&case34_key(), &hex("cafebabefacedbaddecaf888"), &[], &case3_pt(), 16)
-            .unwrap();
-        let expect_ct = hex(
-            "42831ec2217774244b7221b784d0d49c\
+        let out = gcm_seal(
+            &case34_key(),
+            &hex("cafebabefacedbaddecaf888"),
+            &[],
+            &case3_pt(),
+            16,
+        )
+        .unwrap();
+        let expect_ct = hex("42831ec2217774244b7221b784d0d49c\
              e3aa212f2c02a4e035c17e2329aca12e\
              21d514b25466931c7d8f6a5aac84aa05\
-             1ba30b396a0aac973d58e091473f5985",
-        );
+             1ba30b396a0aac973d58e091473f5985");
         assert_eq!(&out[..64], expect_ct.as_slice());
-        assert_eq!(&out[64..], hex("4d5c2af327cd64a62cf35abd2ba6fab4").as_slice());
+        assert_eq!(
+            &out[64..],
+            hex("4d5c2af327cd64a62cf35abd2ba6fab4").as_slice()
+        );
     }
 
     #[test]
     fn gcm_test_case_4() {
         let pt = &case3_pt()[..60];
         let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
-        let out =
-            gcm_seal(&case34_key(), &hex("cafebabefacedbaddecaf888"), &aad, pt, 16).unwrap();
-        let expect_ct = hex(
-            "42831ec2217774244b7221b784d0d49c\
+        let out = gcm_seal(
+            &case34_key(),
+            &hex("cafebabefacedbaddecaf888"),
+            &aad,
+            pt,
+            16,
+        )
+        .unwrap();
+        let expect_ct = hex("42831ec2217774244b7221b784d0d49c\
              e3aa212f2c02a4e035c17e2329aca12e\
              21d514b25466931c7d8f6a5aac84aa05\
-             1ba30b396a0aac973d58e091",
-        );
+             1ba30b396a0aac973d58e091");
         assert_eq!(&out[..60], expect_ct.as_slice());
-        assert_eq!(&out[60..], hex("5bc94fbc3221a5db94fae95ae7121a47").as_slice());
+        assert_eq!(
+            &out[60..],
+            hex("5bc94fbc3221a5db94fae95ae7121a47").as_slice()
+        );
         let rt = gcm_open(
             &case34_key(),
             &hex("cafebabefacedbaddecaf888"),
@@ -202,14 +214,15 @@ mod tests {
         let pt = &case3_pt()[..60];
         let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
         let out = gcm_seal(&case34_key(), &hex("cafebabefacedbad"), &aad, pt, 16).unwrap();
-        let expect_ct = hex(
-            "61353b4c2806934a777ff51fa22a4755\
+        let expect_ct = hex("61353b4c2806934a777ff51fa22a4755\
              699b2a714fcdc6f83766e5f97b6c7423\
              73806900e49f24b22b097544d4896b42\
-             4989b5e1ebac0f07c23f4598",
-        );
+             4989b5e1ebac0f07c23f4598");
         assert_eq!(&out[..60], expect_ct.as_slice());
-        assert_eq!(&out[60..], hex("3612d2e79e3b0785561be14aaca2fccb").as_slice());
+        assert_eq!(
+            &out[60..],
+            hex("3612d2e79e3b0785561be14aaca2fccb").as_slice()
+        );
     }
 
     #[test]

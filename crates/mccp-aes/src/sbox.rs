@@ -42,7 +42,10 @@ const fn affine(x: u8) -> u8 {
     let mut out = 0u8;
     let mut i = 0;
     while i < 8 {
-        let bit = ((x >> i) ^ (x >> ((i + 4) % 8)) ^ (x >> ((i + 5) % 8)) ^ (x >> ((i + 6) % 8))
+        let bit = ((x >> i)
+            ^ (x >> ((i + 4) % 8))
+            ^ (x >> ((i + 5) % 8))
+            ^ (x >> ((i + 6) % 8))
             ^ (x >> ((i + 7) % 8))
             ^ (0x63 >> i))
             & 1;

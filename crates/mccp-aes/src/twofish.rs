@@ -65,16 +65,32 @@ fn build_q(t: [[u8; 16]; 4]) -> [u8; 256] {
 
 fn q_tables() -> ([u8; 256], [u8; 256]) {
     let q0 = build_q([
-        [0x8, 0x1, 0x7, 0xD, 0x6, 0xF, 0x3, 0x2, 0x0, 0xB, 0x5, 0x9, 0xE, 0xC, 0xA, 0x4],
-        [0xE, 0xC, 0xB, 0x8, 0x1, 0x2, 0x3, 0x5, 0xF, 0x4, 0xA, 0x6, 0x7, 0x0, 0x9, 0xD],
-        [0xB, 0xA, 0x5, 0xE, 0x6, 0xD, 0x9, 0x0, 0xC, 0x8, 0xF, 0x3, 0x2, 0x4, 0x7, 0x1],
-        [0xD, 0x7, 0xF, 0x4, 0x1, 0x2, 0x6, 0xE, 0x9, 0xB, 0x3, 0x0, 0x8, 0x5, 0xC, 0xA],
+        [
+            0x8, 0x1, 0x7, 0xD, 0x6, 0xF, 0x3, 0x2, 0x0, 0xB, 0x5, 0x9, 0xE, 0xC, 0xA, 0x4,
+        ],
+        [
+            0xE, 0xC, 0xB, 0x8, 0x1, 0x2, 0x3, 0x5, 0xF, 0x4, 0xA, 0x6, 0x7, 0x0, 0x9, 0xD,
+        ],
+        [
+            0xB, 0xA, 0x5, 0xE, 0x6, 0xD, 0x9, 0x0, 0xC, 0x8, 0xF, 0x3, 0x2, 0x4, 0x7, 0x1,
+        ],
+        [
+            0xD, 0x7, 0xF, 0x4, 0x1, 0x2, 0x6, 0xE, 0x9, 0xB, 0x3, 0x0, 0x8, 0x5, 0xC, 0xA,
+        ],
     ]);
     let q1 = build_q([
-        [0x2, 0x8, 0xB, 0xD, 0xF, 0x7, 0x6, 0xE, 0x3, 0x1, 0x9, 0x4, 0x0, 0xA, 0xC, 0x5],
-        [0x1, 0xE, 0x2, 0xB, 0x4, 0xC, 0x3, 0x7, 0x6, 0xD, 0xA, 0x5, 0xF, 0x9, 0x0, 0x8],
-        [0x4, 0xC, 0x7, 0x5, 0x1, 0x6, 0x9, 0xA, 0x0, 0xE, 0xD, 0x8, 0x2, 0xB, 0x3, 0xF],
-        [0xB, 0x9, 0x5, 0x1, 0xC, 0x3, 0xD, 0xE, 0x6, 0x4, 0x7, 0xF, 0x2, 0x0, 0x8, 0xA],
+        [
+            0x2, 0x8, 0xB, 0xD, 0xF, 0x7, 0x6, 0xE, 0x3, 0x1, 0x9, 0x4, 0x0, 0xA, 0xC, 0x5,
+        ],
+        [
+            0x1, 0xE, 0x2, 0xB, 0x4, 0xC, 0x3, 0x7, 0x6, 0xD, 0xA, 0x5, 0xF, 0x9, 0x0, 0x8,
+        ],
+        [
+            0x4, 0xC, 0x7, 0x5, 0x1, 0x6, 0x9, 0xA, 0x0, 0xE, 0xD, 0x8, 0x2, 0xB, 0x3, 0xF,
+        ],
+        [
+            0xB, 0x9, 0x5, 0x1, 0xC, 0x3, 0xD, 0xE, 0x6, 0x4, 0x7, 0xF, 0x2, 0x0, 0x8, 0xA,
+        ],
     ]);
     (q0, q1)
 }
@@ -168,7 +184,13 @@ impl Twofish {
             k[2 * i as usize + 1] = a.wrapping_add(b.wrapping_mul(2)).rotate_left(9);
         }
 
-        Twofish { k, s, q0, q1, key_bits: key.len() * 8 }
+        Twofish {
+            k,
+            s,
+            q0,
+            q1,
+            key_bits: key.len() * 8,
+        }
     }
 
     /// Key size in bits (128, 192 or 256).
@@ -200,7 +222,12 @@ impl BlockCipher128 for Twofish {
             r = [nr2, nr3, r[0], r[1]];
         }
         // Undo the final swap and apply output whitening.
-        let out = [r[2] ^ self.k[4], r[3] ^ self.k[5], r[0] ^ self.k[6], r[1] ^ self.k[7]];
+        let out = [
+            r[2] ^ self.k[4],
+            r[3] ^ self.k[5],
+            r[0] ^ self.k[6],
+            r[1] ^ self.k[7],
+        ];
         for i in 0..4 {
             block[4 * i..4 * i + 4].copy_from_slice(&out[i].to_le_bytes());
         }

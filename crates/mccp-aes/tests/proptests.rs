@@ -5,8 +5,8 @@ use mccp_aes::block::{decrypt_with_round_keys, encrypt_with_round_keys};
 use mccp_aes::column_serial::encrypt_block_serial;
 use mccp_aes::key_schedule::RoundKeys;
 use mccp_aes::modes::{
-    cbc_decrypt, cbc_encrypt, ccm_open, ccm_seal, ctr_xcrypt, ecb_decrypt, ecb_encrypt,
-    gcm_open, gcm_seal, CcmParams, ModeError,
+    cbc_decrypt, cbc_encrypt, ccm_open, ccm_seal, ctr_xcrypt, ecb_decrypt, ecb_encrypt, gcm_open,
+    gcm_seal, CcmParams, ModeError,
 };
 use mccp_aes::twofish::Twofish;
 use mccp_aes::whirlpool::{whirlpool, Whirlpool};

@@ -40,12 +40,11 @@ impl DualCoreCcm {
     }
 
     fn packet_cycles(aad: &[u8], payload_len: usize) -> u64 {
-        let auth_blocks = 1
-            + if aad.is_empty() {
-                0
-            } else {
-                (2 + aad.len()).div_ceil(16) as u64
-            };
+        let auth_blocks = 1 + if aad.is_empty() {
+            0
+        } else {
+            (2 + aad.len()).div_ceil(16) as u64
+        };
         let payload_blocks = payload_len.div_ceil(16) as u64;
         // Auth-prefix blocks only feed the MAC core; payload blocks feed
         // both lockstep cores; plus one pass for the tag mask E(Ctr0).
@@ -103,9 +102,14 @@ mod tests {
     fn seal_open_roundtrip_bit_exact() {
         let key = [5u8; 16];
         let engine = DualCoreCcm::new(&key);
-        let params = CcmParams { nonce_len: 13, tag_len: 8 };
+        let params = CcmParams {
+            nonce_len: 13,
+            tag_len: 8,
+        };
         let nonce = [1u8; 13];
-        let sealed = engine.seal(&params, &nonce, b"hdr", b"wlan frame body").unwrap();
+        let sealed = engine
+            .seal(&params, &nonce, b"hdr", b"wlan frame body")
+            .unwrap();
         let aes = Aes::new(&key);
         let expect = ccm_seal(&aes, &params, &nonce, b"hdr", b"wlan frame body").unwrap();
         assert_eq!(sealed.bytes, expect);
@@ -116,7 +120,10 @@ mod tests {
     #[test]
     fn tamper_detected() {
         let engine = DualCoreCcm::new(&[5u8; 16]);
-        let params = CcmParams { nonce_len: 13, tag_len: 8 };
+        let params = CcmParams {
+            nonce_len: 13,
+            tag_len: 8,
+        };
         let nonce = [1u8; 13];
         let mut sealed = engine.seal(&params, &nonce, &[], b"data").unwrap().bytes;
         sealed[0] ^= 1;

@@ -71,17 +71,16 @@ impl PipelinedGcmCore {
         payload: &[u8],
     ) -> Result<TimedOutput, ModeError> {
         let bytes = ccm_seal(&self.aes, params, nonce, aad, payload)?;
-        let mac_blocks = 1
-            + if aad.is_empty() {
+        let mac_blocks =
+            1 + if aad.is_empty() {
                 0
             } else {
                 (2 + aad.len()).div_ceil(16) as u64
-            }
-            + payload.len().div_ceil(16) as u64;
+            } + payload.len().div_ceil(16) as u64;
         // CTR blocks interleave into the bubbles of the serial MAC chain,
         // so the MAC chain alone bounds the time.
-        let cycles = mac_blocks * self.pipeline_depth() * Self::ISSUE_INTERVAL
-            + self.pipeline_depth();
+        let cycles =
+            mac_blocks * self.pipeline_depth() * Self::ISSUE_INTERVAL + self.pipeline_depth();
         Ok(TimedOutput { bytes, cycles })
     }
 
@@ -125,7 +124,9 @@ mod tests {
     fn gcm_output_is_bit_exact() {
         let key = [7u8; 16];
         let core = PipelinedGcmCore::new(&key);
-        let out = core.gcm_encrypt(&[1u8; 12], b"hdr", b"payload bytes").unwrap();
+        let out = core
+            .gcm_encrypt(&[1u8; 12], b"hdr", b"payload bytes")
+            .unwrap();
         let aes = Aes::new(&key);
         let expect = gcm_seal(&aes, &[1u8; 12], b"hdr", b"payload bytes", 16).unwrap();
         assert_eq!(out.bytes, expect);
@@ -147,9 +148,14 @@ mod tests {
         // The paper's motivation: the unrolled core wastes its depth on
         // CCM. Same payload, CCM must be far slower than GCM.
         let core = PipelinedGcmCore::new(&[3u8; 16]);
-        let params = CcmParams { nonce_len: 12, tag_len: 8 };
+        let params = CcmParams {
+            nonce_len: 12,
+            tag_len: 8,
+        };
         let gcm = core.gcm_encrypt(&[1u8; 12], &[], &[0u8; 2048]).unwrap();
-        let ccm = core.ccm_encrypt(&params, &[1u8; 12], &[], &[0u8; 2048]).unwrap();
+        let ccm = core
+            .ccm_encrypt(&params, &[1u8; 12], &[], &[0u8; 2048])
+            .unwrap();
         assert!(
             ccm.cycles > 5 * gcm.cycles,
             "gcm={}, ccm={}",
@@ -185,7 +191,10 @@ mod tests {
     fn ccm_output_is_bit_exact() {
         let key = [9u8; 16];
         let core = PipelinedGcmCore::new(&key);
-        let params = CcmParams { nonce_len: 11, tag_len: 8 };
+        let params = CcmParams {
+            nonce_len: 11,
+            tag_len: 8,
+        };
         let out = core
             .ccm_encrypt(&params, &[2u8; 11], b"a", b"data data data")
             .unwrap();

@@ -81,10 +81,7 @@ impl Table3 {
         };
         // Pipelined dedicated core beats the MCCP; the MCCP beats every
         // programmable competitor.
-        pipe > mccp_gcm
-            && mccp_gcm > crypton
-            && mccp_gcm > celator
-            && mccp_gcm > maniac
+        pipe > mccp_gcm && mccp_gcm > crypton && mccp_gcm > celator && mccp_gcm > maniac
     }
 }
 

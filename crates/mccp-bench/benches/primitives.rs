@@ -59,7 +59,10 @@ fn bench_modes_2kb(c: &mut Criterion) {
         b.iter(|| gcm_seal(&aes, &[1u8; 12], b"hdr", &payload, 16).unwrap());
     });
     g.bench_function("ccm-seal", |b| {
-        let params = CcmParams { nonce_len: 12, tag_len: 8 };
+        let params = CcmParams {
+            nonce_len: 12,
+            tag_len: 8,
+        };
         b.iter(|| ccm_seal(&aes, &params, &[1u8; 12], b"hdr", &payload).unwrap());
     });
     g.bench_function("whirlpool", |b| {

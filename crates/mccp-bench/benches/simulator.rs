@@ -27,7 +27,9 @@ fn bench_simulated_packet(c: &mut Criterion) {
     g.bench_function("ccm128-2kb-packet", |b| {
         let mut m = Mccp::new(MccpConfig::default());
         m.key_memory_mut().store(KeyId(1), &[7u8; 16]);
-        let ch = m.open_with_tag_len(Algorithm::AesCcm128, KeyId(1), 8).unwrap();
+        let ch = m
+            .open_with_tag_len(Algorithm::AesCcm128, KeyId(1), 8)
+            .unwrap();
         let payload = vec![0u8; 2048];
         let mut ctr = 0u64;
         b.iter(|| {

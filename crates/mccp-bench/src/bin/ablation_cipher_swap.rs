@@ -41,8 +41,14 @@ fn main() {
         model_ratio
     );
     println!("\nSame firmware, same protocol, same packets — only the engine in");
-    println!("the reconfigurable region differs. The ~{:.0}% delta is exactly the", (1.0 - model_ratio) * 100.0);
+    println!(
+        "the reconfigurable region differs. The ~{:.0}% delta is exactly the",
+        (1.0 - model_ratio) * 100.0
+    );
     println!("44→{TWOFISH_CYCLES}-cycle block-latency difference; everything else hides in");
     println!("the background window. That is the paper's flexibility claim, measured.");
-    assert!((tf / aes - model_ratio).abs() < 0.03, "swap must track the loop model");
+    assert!(
+        (tf / aes - model_ratio).abs() < 0.03,
+        "swap must track the loop model"
+    );
 }

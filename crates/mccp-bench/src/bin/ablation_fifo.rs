@@ -30,7 +30,10 @@ fn measure(fifo_depth: usize) -> f64 {
 
 fn main() {
     println!("Ablation: FIFO depth vs 2 KB GCM-128 packet throughput\n");
-    println!("{:>12} {:>12} {:>14}", "depth (words)", "bytes", "Mbps @190MHz");
+    println!(
+        "{:>12} {:>12} {:>14}",
+        "depth (words)", "bytes", "Mbps @190MHz"
+    );
     let mut results = Vec::new();
     for depth in [16usize, 32, 64, 128, 256, 512, 1024] {
         let mbps = measure(depth);
@@ -39,9 +42,7 @@ fn main() {
     }
     let lo = results.iter().map(|(_, m)| *m).fold(f64::MAX, f64::min);
     let hi = results.iter().map(|(_, m)| *m).fold(0.0f64, f64::max);
-    println!(
-        "\nThroughput is flat ({lo:.1}..{hi:.1} Mbps) across all depths: the 32-bit"
-    );
+    println!("\nThroughput is flat ({lo:.1}..{hi:.1} Mbps) across all depths: the 32-bit");
     println!("streaming bus (4 B/cycle) outruns the 16 B / 49-cycle consumption rate,");
     println!("so depth never throttles a single stream. The paper's 512-word choice");
     println!("is about *packet containment*, not speed: a whole 2048-byte packet");

@@ -8,9 +8,9 @@
 //! cycle (7 cycles). Measured here on the raw CU, then projected onto the
 //! mode loops.
 
+use mccp_aes::KeySize;
 use mccp_cryptounit::timing::{t_cbc_loop, t_ccm_loop_1core, t_gcm_loop, T_FOREGROUND, T_SAMPLE};
 use mccp_cryptounit::{CryptoUnit, CuInstruction, CuIo};
-use mccp_aes::KeySize;
 use mccp_sim::HwFifo;
 
 fn measure(pipelined: bool, n: usize) -> f64 {

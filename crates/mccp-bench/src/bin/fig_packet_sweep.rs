@@ -39,5 +39,8 @@ fn main() {
         prev_gcm / bound * 100.0
     );
     assert!(prev_gcm < bound, "measured must stay below the loop bound");
-    assert!(prev_gcm > 0.95 * bound, "large packets must approach the bound");
+    assert!(
+        prev_gcm > 0.95 * bound,
+        "large packets must approach the bound"
+    );
 }

@@ -36,7 +36,10 @@ fn main() {
         }
         None => {
             println!("Mode firmware inventory (PicoBlaze assembly, 1024-word budget)\n");
-            println!("{:<16} {:>12} {:>14}", "program", "instructions", "memory used");
+            println!(
+                "{:<16} {:>12} {:>14}",
+                "program", "instructions", "memory used"
+            );
             for id in FirmwareId::ALL {
                 let n = lib.program(id).disassemble().len();
                 println!(

@@ -23,9 +23,13 @@ fn packet_cycles(alg: Algorithm, two_core: bool, blocks: usize) -> u64 {
     let ch = m.open_with_tag_len(alg, KeyId(1), 16).unwrap();
     let payload = vec![0x3Cu8; blocks * 16];
     // Warm the key cache so the Key Scheduler latency cancels too.
-    let p = m.encrypt_packet(ch, &[], &payload, &iv_for(alg, 0)).unwrap();
+    let p = m
+        .encrypt_packet(ch, &[], &payload, &iv_for(alg, 0))
+        .unwrap();
     let _ = p;
-    let p = m.encrypt_packet(ch, &[], &payload, &iv_for(alg, 1)).unwrap();
+    let p = m
+        .encrypt_packet(ch, &[], &payload, &iv_for(alg, 1))
+        .unwrap();
     p.cycles
 }
 
@@ -44,15 +48,60 @@ fn main() {
     );
     type LoopCase = (&'static str, Algorithm, bool, fn(KeySize) -> u32);
     let cases: [LoopCase; 9] = [
-        ("GCM (= CTR)", Algorithm::AesGcm128, false, mccp_cryptounit::timing::t_gcm_loop),
-        ("GCM (= CTR)", Algorithm::AesGcm192, false, mccp_cryptounit::timing::t_gcm_loop),
-        ("GCM (= CTR)", Algorithm::AesGcm256, false, mccp_cryptounit::timing::t_gcm_loop),
-        ("CCM 1 core", Algorithm::AesCcm128, false, mccp_cryptounit::timing::t_ccm_loop_1core),
-        ("CCM 1 core", Algorithm::AesCcm192, false, mccp_cryptounit::timing::t_ccm_loop_1core),
-        ("CCM 1 core", Algorithm::AesCcm256, false, mccp_cryptounit::timing::t_ccm_loop_1core),
-        ("CCM 2 cores (CBC)", Algorithm::AesCcm128, true, mccp_cryptounit::timing::t_ccm_loop_2core),
-        ("CCM 2 cores (CBC)", Algorithm::AesCcm192, true, mccp_cryptounit::timing::t_ccm_loop_2core),
-        ("CCM 2 cores (CBC)", Algorithm::AesCcm256, true, mccp_cryptounit::timing::t_ccm_loop_2core),
+        (
+            "GCM (= CTR)",
+            Algorithm::AesGcm128,
+            false,
+            mccp_cryptounit::timing::t_gcm_loop,
+        ),
+        (
+            "GCM (= CTR)",
+            Algorithm::AesGcm192,
+            false,
+            mccp_cryptounit::timing::t_gcm_loop,
+        ),
+        (
+            "GCM (= CTR)",
+            Algorithm::AesGcm256,
+            false,
+            mccp_cryptounit::timing::t_gcm_loop,
+        ),
+        (
+            "CCM 1 core",
+            Algorithm::AesCcm128,
+            false,
+            mccp_cryptounit::timing::t_ccm_loop_1core,
+        ),
+        (
+            "CCM 1 core",
+            Algorithm::AesCcm192,
+            false,
+            mccp_cryptounit::timing::t_ccm_loop_1core,
+        ),
+        (
+            "CCM 1 core",
+            Algorithm::AesCcm256,
+            false,
+            mccp_cryptounit::timing::t_ccm_loop_1core,
+        ),
+        (
+            "CCM 2 cores (CBC)",
+            Algorithm::AesCcm128,
+            true,
+            mccp_cryptounit::timing::t_ccm_loop_2core,
+        ),
+        (
+            "CCM 2 cores (CBC)",
+            Algorithm::AesCcm192,
+            true,
+            mccp_cryptounit::timing::t_ccm_loop_2core,
+        ),
+        (
+            "CCM 2 cores (CBC)",
+            Algorithm::AesCcm256,
+            true,
+            mccp_cryptounit::timing::t_ccm_loop_2core,
+        ),
     ];
     let mut worst: f64 = 0.0;
     for (name, alg, two_core, model) in cases {

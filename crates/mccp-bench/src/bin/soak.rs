@@ -40,10 +40,13 @@ fn main() {
             packets: packets.min(50),
             seed: 0xBEEF + round as u64,
             fixed_payload_len: None,
-        mean_interarrival_cycles: None,
-    };
+            mean_interarrival_cycles: None,
+        };
         let workload = Workload::generate(spec.clone());
         let mut tx = RadioDriver::new(MccpConfig::default(), &spec.standards, round as u64);
+        // Metrics + spans only (capacity 0): soak runs for a long time, so
+        // keep the event log out of memory and read the registry instead.
+        tx.mccp_mut().enable_telemetry(0);
         let report = tx.run(&workload, DispatchPolicy::Fifo);
         verified += tx.verify(&workload, &report).expect("verify");
         let mut rx = RadioDriver::new(MccpConfig::default(), &spec.standards, round as u64);
@@ -55,6 +58,32 @@ fn main() {
             report.packets,
             report.throughput_mbps(),
             report.latency_percentile(0.95)
+        );
+        // Periodic metrics-registry snapshot (per-core utilization and
+        // FIFO pressure for this round's transmitter).
+        let snap = tx.mccp_mut().telemetry_snapshot();
+        let cycles = snap.gauge("mccp_cycles").max(1);
+        let util: Vec<String> = (0..4)
+            .map(|c| {
+                let busy = snap.gauge(&format!("mccp_core_busy_cycles{{core=\"{c}\"}}"));
+                format!("{:.0}%", 100.0 * busy as f64 / cycles as f64)
+            })
+            .collect();
+        let hw_out = (0..4)
+            .map(|c| {
+                snap.gauge(&format!(
+                    "mccp_fifo_highwater_words{{core=\"{c}\",port=\"output\"}}"
+                ))
+            })
+            .max()
+            .unwrap_or(0);
+        println!(
+            "    metrics: util {} | dma {} words | key hits/misses {}/{} | fifo hw {} words",
+            util.join("/"),
+            snap.counter("mccp_dma_words_total"),
+            snap.counter("mccp_key_cache_hits_total"),
+            snap.counter("mccp_key_cache_misses_total"),
+            hw_out,
         );
     }
     println!(

@@ -12,18 +12,51 @@ fn main() {
         "Instruction", "Encoding", "Cycles"
     );
     let rows: Vec<(CuInstruction, &str)> = vec![
-        (CuInstruction::Load { a: 0 }, "Loads a 128-bit word from the input FIFO into @A"),
-        (CuInstruction::Store { a: 0 }, "Stores @A into the output FIFO (Listing 1)"),
-        (CuInstruction::LoadH { a: 0 }, "Loads the computed H constant into the GHASH core"),
-        (CuInstruction::Sgfm { a: 0 }, "Starts one GHASH iteration in the background"),
-        (CuInstruction::Fgfm { a: 0 }, "Stores the GHASH result into @A (waits for the core)"),
-        (CuInstruction::Saes { a: 0 }, "Starts AES encryption of @A in the background"),
-        (CuInstruction::Faes { a: 0 }, "Stores the AES result into @A (waits for the core)"),
-        (CuInstruction::Inc { a: 0, amount: 1 }, "Increments the 16 LSBs of @A by I (1..4)"),
+        (
+            CuInstruction::Load { a: 0 },
+            "Loads a 128-bit word from the input FIFO into @A",
+        ),
+        (
+            CuInstruction::Store { a: 0 },
+            "Stores @A into the output FIFO (Listing 1)",
+        ),
+        (
+            CuInstruction::LoadH { a: 0 },
+            "Loads the computed H constant into the GHASH core",
+        ),
+        (
+            CuInstruction::Sgfm { a: 0 },
+            "Starts one GHASH iteration in the background",
+        ),
+        (
+            CuInstruction::Fgfm { a: 0 },
+            "Stores the GHASH result into @A (waits for the core)",
+        ),
+        (
+            CuInstruction::Saes { a: 0 },
+            "Starts AES encryption of @A in the background",
+        ),
+        (
+            CuInstruction::Faes { a: 0 },
+            "Stores the AES result into @A (waits for the core)",
+        ),
+        (
+            CuInstruction::Inc { a: 0, amount: 1 },
+            "Increments the 16 LSBs of @A by I (1..4)",
+        ),
         (CuInstruction::Xor { a: 0, b: 1 }, "B = (A XOR B) AND mask"),
-        (CuInstruction::Equ { a: 0, b: 1 }, "Sets equ_flag to 1 if A = B"),
-        (CuInstruction::Xput { a: 0 }, "Sends @A over the inter-core port (our realization)"),
-        (CuInstruction::Xget { a: 0 }, "Receives a word from the inter-core port (ours)"),
+        (
+            CuInstruction::Equ { a: 0, b: 1 },
+            "Sets equ_flag to 1 if A = B",
+        ),
+        (
+            CuInstruction::Xput { a: 0 },
+            "Sends @A over the inter-core port (our realization)",
+        ),
+        (
+            CuInstruction::Xget { a: 0 },
+            "Receives a word from the inter-core port (ours)",
+        ),
     ];
     for (ins, desc) in rows {
         let cycles = match ins {

@@ -52,6 +52,11 @@ fn main() {
         let c4 = measure_schedule(Schedule::Ccm4x1, key, 2048).mbps;
         let c22 = measure_schedule(Schedule::Ccm2x2, key, 2048).mbps;
         assert!(c4 > c22, "{key:?}: 4x1 {c4} vs 2x2 {c22}");
-        println!("    AES-{}: 4x1 = {:.0} Mbps > 2x2 = {:.0} Mbps  OK", key.key_bits(), c4, c22);
+        println!(
+            "    AES-{}: 4x1 = {:.0} Mbps > 2x2 = {:.0} Mbps  OK",
+            key.key_bits(),
+            c4,
+            c22
+        );
     }
 }

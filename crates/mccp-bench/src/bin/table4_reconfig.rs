@@ -2,9 +2,7 @@
 //! reconfiguration times for the AES and Whirlpool Cryptographic Unit
 //! configurations, from CompactFlash and from RAM.
 
-use mccp_core::reconfig::{
-    BitstreamSource, AES_BITSTREAM, REGION, WHIRLPOOL_BITSTREAM,
-};
+use mccp_core::reconfig::{BitstreamSource, AES_BITSTREAM, REGION, WHIRLPOOL_BITSTREAM};
 
 fn main() {
     println!("Table IV — Partial reconfiguration results");
@@ -19,7 +17,10 @@ fn main() {
     println!(
         "{:<28} {:>18} {:>12}",
         "Slices (BRAM)",
-        format!("{} ({})", AES_BITSTREAM.resources.slices, AES_BITSTREAM.resources.brams),
+        format!(
+            "{} ({})",
+            AES_BITSTREAM.resources.slices, AES_BITSTREAM.resources.brams
+        ),
         format!(
             "{} ({})",
             WHIRLPOOL_BITSTREAM.resources.slices, WHIRLPOOL_BITSTREAM.resources.brams
@@ -30,7 +31,11 @@ fn main() {
         "Bitstream Size (kB)", AES_BITSTREAM.size_kb, WHIRLPOOL_BITSTREAM.size_kb
     );
     for (label, src, paper) in [
-        ("Reconf. time, CF (ms)", BitstreamSource::CompactFlash, (380.0, 416.0)),
+        (
+            "Reconf. time, CF (ms)",
+            BitstreamSource::CompactFlash,
+            (380.0, 416.0),
+        ),
         ("Reconf. time, RAM (ms)", BitstreamSource::Ram, (63.0, 69.0)),
     ] {
         let aes = AES_BITSTREAM.load_time_ms(src);

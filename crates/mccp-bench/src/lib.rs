@@ -52,11 +52,7 @@ fn algorithm_for(schedule: Schedule, key: KeySize) -> Algorithm {
 /// Runs `streams` concurrent packets of `packet_bytes` each through a
 /// 4-core cycle-accurate MCCP and reports aggregate throughput and the
 /// per-packet latency. `two_core` selects the paired-CCM schedule.
-pub fn measure_schedule(
-    schedule: Schedule,
-    key: KeySize,
-    packet_bytes: usize,
-) -> Measured {
+pub fn measure_schedule(schedule: Schedule, key: KeySize, packet_bytes: usize) -> Measured {
     let two_core = matches!(schedule, Schedule::Ccm2Core | Schedule::Ccm2x2);
     let streams = schedule.streams() as usize;
 
@@ -161,6 +157,11 @@ mod tests {
     fn four_streams_scale() {
         let one = measure_schedule(Schedule::Gcm1Core, KeySize::Aes128, 1024);
         let four = measure_schedule(Schedule::Gcm4x1, KeySize::Aes128, 1024);
-        assert!(four.mbps > 3.5 * one.mbps, "one={}, four={}", one.mbps, four.mbps);
+        assert!(
+            four.mbps > 3.5 * one.mbps,
+            "one={}, four={}",
+            one.mbps,
+            four.mbps
+        );
     }
 }

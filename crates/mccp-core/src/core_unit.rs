@@ -189,6 +189,17 @@ impl CryptoCore {
         self.cpu.is_sleeping()
     }
 
+    /// Cycles the controller has spent asleep in HALT (cumulative).
+    pub fn controller_sleep_cycles(&self) -> u64 {
+        self.cpu.sleep_cycles()
+    }
+
+    /// Cryptographic Unit retirements per ISA operation, indexed per
+    /// `mccp_cryptounit::isa::MNEMONICS`.
+    pub fn cu_op_counts(&self) -> &[u64; mccp_cryptounit::isa::OP_COUNT] {
+        self.cu.op_counts()
+    }
+
     /// Advances the core one clock cycle. `from_left` / `to_right` are the
     /// inter-core mailboxes this core is wired to.
     pub fn tick(&mut self, from_left: &mut Option<[u8; 16]>, to_right: &mut Option<[u8; 16]>) {

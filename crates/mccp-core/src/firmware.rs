@@ -140,12 +140,21 @@ fn prelude() -> String {
         c(&format!("FGFM{a}"), CuInstruction::Fgfm { a }.encode());
         c(&format!("SAES{a}"), CuInstruction::Saes { a }.encode());
         c(&format!("FAES{a}"), CuInstruction::Faes { a }.encode());
-        c(&format!("INC{a}"), CuInstruction::Inc { a, amount: 1 }.encode());
+        c(
+            &format!("INC{a}"),
+            CuInstruction::Inc { a, amount: 1 }.encode(),
+        );
         c(&format!("XPUT{a}"), CuInstruction::Xput { a }.encode());
         c(&format!("XGET{a}"), CuInstruction::Xget { a }.encode());
         for b in 0..4u8 {
-            c(&format!("XOR_{a}_{b}"), CuInstruction::Xor { a, b }.encode());
-            c(&format!("EQU_{a}_{b}"), CuInstruction::Equ { a, b }.encode());
+            c(
+                &format!("XOR_{a}_{b}"),
+                CuInstruction::Xor { a, b }.encode(),
+            );
+            c(
+                &format!("EQU_{a}_{b}"),
+                CuInstruction::Equ { a, b }.encode(),
+            );
         }
     }
     s
@@ -321,10 +330,10 @@ auth_fail:
         OUTPUT s6, RESULT
         JUMP  spin
 ",
-        load_expected = op("LOAD2"),      // expected tag -> @2
-        diff = op("XOR_1_2"),             // @2 = (computed ^ expected) & tagmask
-        zero = op("XOR_1_1"),             // @1 = 0 (x ^ x masked is all-zero)
-        equ = op("EQU_2_1"),              // equ_flag = (@2 == 0)
+        load_expected = op("LOAD2"), // expected tag -> @2
+        diff = op("XOR_1_2"),        // @2 = (computed ^ expected) & tagmask
+        zero = op("XOR_1_1"),        // @1 = 0 (x ^ x masked is all-zero)
+        equ = op("EQU_2_1"),         // equ_flag = (@2 == 0)
     )
 }
 
@@ -333,14 +342,14 @@ fn gcm_common_preamble() -> String {
         "{counts}{mask_all}{zero1}{saes1}{faes1}{loadh}{loadj0}{saes0}{faes3}{inc}",
         counts = LOAD_COUNTS,
         mask_all = MASK_ALL,
-        zero1 = op("XOR_1_1"),  // @1 = 0
-        saes1 = op("SAES1"),    // E(0)
-        faes1 = op("FAES1"),    // @1 = H
-        loadh = op("LOADH1"),   // GHASH key = H, accumulator reset
-        loadj0 = op("LOAD0"),   // @0 = J0
-        saes0 = op("SAES0"),    // E(J0)
-        faes3 = op("FAES3"),    // @3 = E(J0), kept for the tag
-        inc = op("INC0"),       // @0 = ctr_1
+        zero1 = op("XOR_1_1"), // @1 = 0
+        saes1 = op("SAES1"),   // E(0)
+        faes1 = op("FAES1"),   // @1 = H
+        loadh = op("LOADH1"),  // GHASH key = H, accumulator reset
+        loadj0 = op("LOAD0"),  // @0 = J0
+        saes0 = op("SAES0"),   // E(J0)
+        faes3 = op("FAES3"),   // @3 = E(J0), kept for the tag
+        inc = op("INC0"),      // @0 = ctr_1
     )
 }
 
@@ -548,8 +557,8 @@ fin_load:
         load_ctr0_tail = op("LOAD3"),
         mask_all2 = MASK_ALL,
         saes_tagks = op("SAES3"),
-        faes_tagks = op("FAES1"),  // @1 = E(ctr0)
-        tag_xor = op("XOR_2_1"),   // @1 = mac ^ E(ctr0)
+        faes_tagks = op("FAES1"), // @1 = E(ctr0)
+        tag_xor = op("XOR_2_1"),  // @1 = mac ^ E(ctr0)
         store_tag = op("STORE1"),
         epilogue = EPILOGUE,
     )
@@ -633,8 +642,8 @@ fin_load:
         load_ctr0_tail = op("LOAD3"),
         mask_all2 = MASK_ALL,
         saes_tagks = op("SAES3"),
-        faes_tagks = op("FAES1"),  // @1 = E(ctr0)
-        tag_xor = op("XOR_2_1"),   // @1 = computed tag
+        faes_tagks = op("FAES1"), // @1 = E(ctr0)
+        tag_xor = op("XOR_2_1"),  // @1 = computed tag
         compare = tag_compare_and_result(),
         epilogue = EPILOGUE,
     )
@@ -734,8 +743,8 @@ fin_load:
         loop_body = ctr_half_loop(false),
         load_ctr0_tail = op("LOAD3"),
         mask_all2 = MASK_ALL,
-        xget_mac = op("XGET2"),     // mac from the CBC half (left neighbour)
-        saes_tagks = op("SAES3"),   // E(ctr0) — @3 holds the trailing CTR0
+        xget_mac = op("XGET2"),   // mac from the CBC half (left neighbour)
+        saes_tagks = op("SAES3"), // E(ctr0) — @3 holds the trailing CTR0
         faes_tagks = op("FAES1"),
         tag_xor = op("XOR_2_1"),
         store_tag = op("STORE1"),

@@ -119,12 +119,7 @@ pub fn gcm_len_block(aad_len: usize, ct_len: usize) -> [u8; 16] {
 }
 
 /// The CCM authenticated prefix: `B0 · encoded(len(A)) · A`, zero-padded.
-pub fn ccm_auth_blocks(
-    ccm: &CcmParams,
-    nonce: &[u8],
-    aad: &[u8],
-    payload_len: usize,
-) -> Vec<u8> {
+pub fn ccm_auth_blocks(ccm: &CcmParams, nonce: &[u8], aad: &[u8], payload_len: usize) -> Vec<u8> {
     let b0 = format_b0(ccm, nonce, aad.len(), payload_len);
     let mut v = Vec::with_capacity(16 + aad.len() + 16);
     v.extend_from_slice(&b0);
@@ -172,8 +167,7 @@ pub fn format_request(
         (Mode::Gcm, dir) => {
             let j0 = gcm_j0(iv)?;
             let na = blocks(aad.len());
-            let mut stream =
-                Vec::with_capacity(16 * (2 + na as usize + np as usize) + 16);
+            let mut stream = Vec::with_capacity(16 * (2 + na as usize + np as usize) + 16);
             stream.extend_from_slice(&j0);
             stream.extend_from_slice(&pad16(aad));
             stream.extend_from_slice(&padded_body);
@@ -201,7 +195,11 @@ pub fn format_request(
         (Mode::Ccm, dir) => {
             let ccm = CcmParams {
                 nonce_len: iv.len(),
-                tag_len: if tag_len.is_multiple_of(2) { tag_len } else { tag_len + 1 },
+                tag_len: if tag_len.is_multiple_of(2) {
+                    tag_len
+                } else {
+                    tag_len + 1
+                },
             };
             ccm.validate().map_err(|_| MccpError::BadInstruction)?;
             if (body.len() as u64) > ccm.max_payload() {
@@ -522,7 +520,13 @@ mod tests {
         assert_eq!(p.body.len(), 20);
         assert!(p.tag.is_none());
 
-        let p = parse_output(Algorithm::AesCbcMac128, Direction::Encrypt, 0, 16, &raw[..16]);
+        let p = parse_output(
+            Algorithm::AesCbcMac128,
+            Direction::Encrypt,
+            0,
+            16,
+            &raw[..16],
+        );
         assert!(p.body.is_empty());
         assert_eq!(p.tag.unwrap().len(), 16);
     }

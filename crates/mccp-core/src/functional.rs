@@ -18,6 +18,8 @@ use mccp_aes::modes::{
 };
 use mccp_aes::Aes;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// One packet's worth of work.
@@ -94,6 +96,9 @@ pub struct ParallelMccp {
     outcome_rx: Receiver<PacketOutcome>,
     workers: Vec<JoinHandle<()>>,
     n_workers: usize,
+    /// Packets processed per worker (relaxed counters; exact once the
+    /// batch has been fully collected).
+    packet_counts: Arc<Vec<AtomicU64>>,
 }
 
 impl ParallelMccp {
@@ -105,10 +110,13 @@ impl ParallelMccp {
         assert!(n_cores >= 1, "at least one core");
         let (job_tx, job_rx) = unbounded::<PacketJob>();
         let (outcome_tx, outcome_rx) = unbounded::<PacketOutcome>();
+        let packet_counts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n_cores).map(|_| AtomicU64::new(0)).collect());
         let workers = (0..n_cores)
             .map(|core| {
                 let rx: Receiver<PacketJob> = job_rx.clone();
                 let tx = outcome_tx.clone();
+                let counts = Arc::clone(&packet_counts);
                 std::thread::Builder::new()
                     .name(format!("mccp-core-{core}"))
                     .spawn(move || {
@@ -116,6 +124,7 @@ impl ParallelMccp {
                         let mut cache: HashMap<Vec<u8>, Aes> = HashMap::new();
                         while let Ok(job) = rx.recv() {
                             let result = process(&job, &mut cache);
+                            counts[core].fetch_add(1, Ordering::Relaxed);
                             if tx
                                 .send(PacketOutcome {
                                     id: job.id,
@@ -136,12 +145,23 @@ impl ParallelMccp {
             outcome_rx,
             workers,
             n_workers: n_cores,
+            packet_counts,
         }
     }
 
     /// Worker count.
     pub fn n_cores(&self) -> usize {
         self.n_workers
+    }
+
+    /// Packets processed so far, per worker (the functional-mode analogue
+    /// of the simulator's per-core utilization telemetry). Exact after the
+    /// batch's outcomes have all been collected.
+    pub fn per_core_packets(&self) -> Vec<u64> {
+        self.packet_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Enqueues a job (non-blocking).
@@ -263,6 +283,21 @@ mod tests {
         assert_eq!(out[1].result.as_ref().unwrap().len(), 64 + 8);
         assert_eq!(out[2].result.as_ref().unwrap().len(), 64);
         assert_eq!(out[3].result.as_ref().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn per_core_packet_counts_sum_to_batch() {
+        let m = ParallelMccp::new(4);
+        let jobs: Vec<PacketJob> = (0..32).map(|i| gcm_job(i, &[i as u8; 64])).collect();
+        let outcomes = m.process_batch(jobs);
+        let counts = m.per_core_packets();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<u64>(), 32);
+        // Counts agree with the outcome attribution.
+        for (core, &count) in counts.iter().enumerate() {
+            let attributed = outcomes.iter().filter(|o| o.core == core).count() as u64;
+            assert_eq!(count, attributed, "core {core}");
+        }
     }
 
     #[test]

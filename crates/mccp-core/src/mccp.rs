@@ -13,13 +13,13 @@
 use crate::core_unit::{CryptoCore, Personality};
 use crate::crossbar::{CrossBar, Route};
 use crate::firmware::{result_code, FirmwareLibrary};
-use crate::format::{
-    format_request, parse_output, Direction, FormattedRequest, ProcessedPacket,
-};
+use crate::format::{format_request, parse_output, Direction, FormattedRequest, ProcessedPacket};
 use crate::key::{KeyMemory, KeyScheduler};
 use crate::protocol::{Algorithm, ChannelId, CipherSel, KeyId, MccpError, Mode, RequestId};
+use crate::reconfig::{Bitstream, BitstreamSource, ReconfigController};
 use mccp_sim::trace::TraceEvent;
 use mccp_sim::Tracer;
+use mccp_telemetry::{metrics, Event, FifoPort, Snapshot, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 
 /// MCCP construction parameters.
@@ -59,8 +59,10 @@ struct Channel {
     cipher: CipherSel,
 }
 
-/// One core's upload stream: `(core index, bytes, next offset)`.
-type PendingInput = (usize, Vec<u8>, usize);
+/// One core's upload stream: `(core index, bytes, next offset, stalled)`.
+/// `stalled` marks a stream currently refused by a full FIFO, so the
+/// backpressure event fires once per stall instead of every cycle.
+type PendingInput = (usize, Vec<u8>, usize, bool);
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ReqState {
@@ -68,7 +70,9 @@ enum ReqState {
     KeyWait(u32),
     Running,
     /// All cores reported and the output is resident (Data Available).
-    Done { auth_ok: bool },
+    Done {
+        auth_ok: bool,
+    },
     Retrieved,
 }
 
@@ -129,6 +133,11 @@ pub struct Mccp {
     cycle: u64,
     data_available: VecDeque<RequestId>,
     tracer: Tracer,
+    telemetry: Telemetry,
+    /// Per-core partial-reconfiguration controllers and the cycle each
+    /// in-flight reconfiguration began.
+    reconfigs: Vec<ReconfigController>,
+    reconfig_started: Vec<u64>,
 }
 
 impl Mccp {
@@ -153,22 +162,98 @@ impl Mccp {
             requests: BTreeMap::new(),
             next_request: 1,
             cycle: 0,
-            config,
             data_available: VecDeque::new(),
             tracer: Tracer::disabled(),
+            telemetry: Telemetry::disabled(),
+            reconfigs: vec![ReconfigController::new(); config.n_cores],
+            reconfig_started: vec![0; config.n_cores],
+            config,
         }
     }
 
     /// Enables scheduler-level event tracing (request lifecycle, core
     /// starts, completions, auth-failure wipes), keeping the most recent
     /// `capacity` events.
+    #[deprecated(note = "use `enable_telemetry`; string traces are now rendered from typed events")]
     pub fn enable_trace(&mut self, capacity: usize) {
         self.tracer = Tracer::with_capacity(capacity);
     }
 
     /// Drains the recorded trace events.
+    #[deprecated(
+        note = "use `telemetry_mut().take_events()`; string traces are now rendered from typed events"
+    )]
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.tracer.take()
+    }
+
+    /// Enables the typed telemetry pipeline: cycle-stamped [`Event`]s
+    /// (keeping the most recent `capacity` in the ring buffer), the
+    /// metrics registry and per-request spans. Zero overhead until called.
+    pub fn enable_telemetry(&mut self, capacity: usize) {
+        self.telemetry = Telemetry::with_capacity(capacity);
+    }
+
+    /// The telemetry sink (events, spans, registry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry access (draining events, adding custom metrics).
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
+    }
+
+    /// Publishes the scheduler-owned gauges (cycles, per-core busy/wipe
+    /// counts, controller retirement/sleep accounting, per-op Crypto Unit
+    /// retirements, key expansions, crossbar switches) and returns a
+    /// deterministic snapshot of the whole registry.
+    pub fn telemetry_snapshot(&mut self) -> Snapshot {
+        if self.telemetry.is_enabled() {
+            let reg = self.telemetry.registry_mut();
+            reg.gauge_set("mccp_cycles", self.cycle);
+            reg.gauge_set("mccp_key_expansions", self.key_scheduler.expansions());
+            reg.gauge_set("mccp_crossbar_switches", self.crossbar.switches());
+            for (i, core) in self.cores.iter().enumerate() {
+                let core_label = |name: &str| metrics::series(name, "core", i);
+                reg.gauge_set(&core_label("mccp_core_busy_cycles"), core.busy_cycles());
+                reg.gauge_set(&core_label("mccp_core_wipes"), core.wipes());
+                reg.gauge_set(
+                    &core_label("mccp_core_controller_retired"),
+                    core.controller_retired(),
+                );
+                reg.gauge_set(
+                    &core_label("mccp_core_controller_sleep_cycles"),
+                    core.controller_sleep_cycles(),
+                );
+                for (op, &count) in mccp_cryptounit::isa::MNEMONICS
+                    .iter()
+                    .zip(core.cu_op_counts().iter())
+                {
+                    if count > 0 {
+                        reg.gauge_set(&format!("mccp_cu_ops{{core=\"{i}\",op=\"{op}\"}}"), count);
+                    }
+                }
+            }
+        }
+        self.telemetry.snapshot()
+    }
+
+    /// Records one of the four legacy lifecycle events into both the
+    /// deprecated string tracer (rendered via `Display`, byte-compatible
+    /// with the old hand-written messages) and the typed telemetry sink.
+    fn emit_event(
+        telemetry: &mut Telemetry,
+        tracer: &mut Tracer,
+        cycle: u64,
+        make: impl FnOnce() -> Event,
+    ) {
+        if !telemetry.is_enabled() && !tracer.is_enabled() {
+            return;
+        }
+        let event = make();
+        tracer.record_with(cycle, "scheduler", || event.to_string());
+        telemetry.emit(cycle, event);
     }
 
     /// The main controller's write path into the Key Memory.
@@ -399,8 +484,20 @@ impl Mccp {
                     .key_scheduler
                     .expand_engine(&self.key_memory, ch.key, ch.cipher)
                     .ok_or(MccpError::BadKey)?;
-                key_delay = key_delay.max(self.key_scheduler.busy_cycles() - before);
+                let this_delay = self.key_scheduler.busy_cycles() - before;
+                key_delay = key_delay.max(this_delay);
                 self.cores[c].key_cache.install(ch.key, ch.cipher, engine);
+                self.telemetry
+                    .emit_with(self.cycle, || Event::KeyCacheMiss {
+                        core: c,
+                        key: ch.key.0,
+                        expansion_cycles: this_delay,
+                    });
+            } else {
+                self.telemetry.emit_with(self.cycle, || Event::KeyCacheHit {
+                    core: c,
+                    key: ch.key.0,
+                });
             }
             let engine = self.cores[c]
                 .key_cache
@@ -434,17 +531,27 @@ impl Mccp {
         let mut jobs = Vec::new();
         for (i, job) in fmt.jobs.into_iter().enumerate() {
             let core = core_ids[i];
-            pending_input.push((core, job.stream.clone(), 0usize));
+            pending_input.push((core, job.stream.clone(), 0usize, false));
             jobs.push((core, job));
         }
 
-        self.tracer.record_with(self.cycle, "scheduler", || {
-            format!(
-                "submit {id:?} {} {:?} on cores {core_ids:?}",
-                ch.algorithm,
-                direction
-            )
+        Self::emit_event(&mut self.telemetry, &mut self.tracer, self.cycle, || {
+            Event::RequestSubmitted {
+                request: id.0,
+                channel: channel.0,
+                algorithm: ch.algorithm.to_string(),
+                direction: match direction {
+                    Direction::Encrypt => "Encrypt",
+                    Direction::Decrypt => "Decrypt",
+                },
+                cores: core_ids.clone(),
+            }
         });
+        self.telemetry
+            .emit_with(self.cycle, || Event::RequestDispatched {
+                request: id.0,
+                core: producing_core,
+            });
         self.requests.insert(
             id.0,
             Request {
@@ -479,6 +586,22 @@ impl Mccp {
         self.cycle += 1;
         self.key_scheduler.tick();
 
+        // Partial-reconfiguration engine: finish any bitstream whose load
+        // time has elapsed and bring the core up with its new personality.
+        for i in 0..self.reconfigs.len() {
+            if let Some(p) = self.reconfigs[i].tick() {
+                self.cores[i].set_personality(p);
+                self.cores[i].finish();
+                let started = self.reconfig_started[i];
+                let cycle = self.cycle;
+                self.telemetry.emit_with(cycle, || Event::ReconfigEnd {
+                    core: i,
+                    personality: format!("{p:?}"),
+                    cycles: cycle - started,
+                });
+            }
+        }
+
         // Task-scheduler state machine: start cores whose key is ready.
         for req in self.requests.values_mut() {
             if let ReqState::KeyWait(left) = req.state {
@@ -486,8 +609,13 @@ impl Mccp {
                     for (core, job) in &req.jobs {
                         let image = self.firmware.image(job.firmware);
                         self.cores[*core].start(job.firmware, image, job.params);
-                        self.tracer.record_with(self.cycle, "scheduler", || {
-                            format!("core {core} starts {:?} for {:?}", job.firmware, req.id)
+                        let (core, firmware, request) = (*core, job.firmware, req.id.0);
+                        Self::emit_event(&mut self.telemetry, &mut self.tracer, self.cycle, || {
+                            Event::CoreStarted {
+                                request,
+                                core,
+                                firmware: format!("{firmware:?}"),
+                            }
                         });
                     }
                     req.state = ReqState::Running;
@@ -502,13 +630,43 @@ impl Mccp {
             if !matches!(req.state, ReqState::Running | ReqState::KeyWait(_)) {
                 continue;
             }
-            for (core, stream, offset) in req.pending_input.iter_mut() {
+            for (core, stream, offset, stalled) in req.pending_input.iter_mut() {
                 if *offset < stream.len() {
                     let end = (*offset + 4).min(stream.len());
                     let mut w = [0u8; 4];
                     w[..end - *offset].copy_from_slice(&stream[*offset..end]);
                     if self.cores[*core].input.push(u32::from_be_bytes(w)) {
                         *offset = end;
+                        *stalled = false;
+                        if self.telemetry.is_enabled() {
+                            self.telemetry
+                                .registry_mut()
+                                .counter_add("mccp_dma_words_total", 1);
+                            if *offset == stream.len() {
+                                // One push event per completed upload, not
+                                // per word, to keep the log proportional to
+                                // requests rather than bytes.
+                                let level = self.cores[*core].input.len();
+                                let core = *core;
+                                self.telemetry.emit_with(self.cycle, || Event::FifoPush {
+                                    core,
+                                    port: FifoPort::Input,
+                                    level,
+                                });
+                            }
+                        }
+                    } else if self.telemetry.is_enabled() {
+                        self.telemetry
+                            .registry_mut()
+                            .counter_add("mccp_dma_backpressure_cycles_total", 1);
+                        if !*stalled {
+                            *stalled = true;
+                            let core = *core;
+                            self.telemetry.emit_with(self.cycle, || Event::FifoFull {
+                                core,
+                                port: FifoPort::Input,
+                            });
+                        }
                     }
                 }
             }
@@ -572,16 +730,18 @@ impl Mccp {
                     self.cores[c].output.wipe();
                 }
                 req.collected.clear();
-                self.tracer.record_with(self.cycle, "scheduler", || {
-                    format!("AUTH_FAIL on {:?}: output FIFOs wiped", req.id)
+                let request = req.id.0;
+                Self::emit_event(&mut self.telemetry, &mut self.tracer, self.cycle, || {
+                    Event::AuthFailWipe { request }
                 });
             }
-            self.tracer.record_with(self.cycle, "scheduler", || {
-                format!(
-                    "{:?} done (auth_ok={auth_ok}) after {} cycles",
-                    req.id,
-                    self.cycle - req.start_cycle
-                )
+            let (request, cycles) = (req.id.0, self.cycle - req.start_cycle);
+            Self::emit_event(&mut self.telemetry, &mut self.tracer, self.cycle, || {
+                Event::RequestCompleted {
+                    request,
+                    auth_ok,
+                    cycles,
+                }
             });
             req.state = ReqState::Done { auth_ok };
             req.done_cycle = Some(self.cycle);
@@ -589,6 +749,18 @@ impl Mccp {
         }
         for id in newly_done {
             self.data_available.push_back(id);
+        }
+
+        // High-water FIFO occupancy, sampled after every datapath update
+        // (allocation-free; published as gauges at snapshot time).
+        if self.telemetry.is_enabled() {
+            for i in 0..n {
+                self.telemetry.observe_fifo_levels(
+                    i,
+                    self.cores[i].input.len(),
+                    self.cores[i].output.len(),
+                );
+            }
         }
     }
 
@@ -631,6 +803,25 @@ impl Mccp {
                 .pop_bytes(remaining)
                 .ok_or(MccpError::Busy)?;
             raw.extend_from_slice(&fifo_bytes);
+        }
+        if self.telemetry.is_enabled() {
+            let core = req.producing_core;
+            let level = self.cores[core].output.len();
+            self.telemetry.emit(
+                self.cycle,
+                Event::RequestRetrieved {
+                    request: id.0,
+                    core,
+                },
+            );
+            self.telemetry.emit(
+                self.cycle,
+                Event::FifoPop {
+                    core,
+                    port: FifoPort::Output,
+                    level,
+                },
+            );
         }
         Ok(parse_output(
             req.algorithm,
@@ -716,14 +907,7 @@ impl Mccp {
         tag: &[u8],
         iv: &[u8],
     ) -> Result<DecryptedPacket, MccpError> {
-        let id = self.submit(
-            channel,
-            Direction::Decrypt,
-            iv,
-            aad,
-            ciphertext,
-            Some(tag),
-        )?;
+        let id = self.submit(channel, Direction::Decrypt, iv, aad, ciphertext, Some(tag))?;
         let cycles = self.run_until_done(id, 10_000_000);
         let out = self.retrieve(id);
         self.transfer_done(id)?;
@@ -759,6 +943,46 @@ impl Mccp {
     pub fn request_cores(&self, id: RequestId) -> Option<&[usize]> {
         self.requests.get(&id.0).map(|r| r.cores.as_slice())
     }
+
+    // ------------------------------------------------------------------
+    // Partial reconfiguration
+    // ------------------------------------------------------------------
+
+    /// Begins loading a partial bitstream into a core's reconfigurable
+    /// region (paper §IX). The core is reserved for the duration — the
+    /// scheduler will not dispatch to it — and comes back up with the
+    /// bitstream's personality once the modeled load time elapses during
+    /// [`tick`](Self::tick). Returns the load-time budget in cycles.
+    ///
+    /// Errors with [`MccpError::Busy`] if the core is mid-request or
+    /// already reconfiguring.
+    pub fn begin_reconfiguration(
+        &mut self,
+        core: usize,
+        bitstream: Bitstream,
+        source: BitstreamSource,
+    ) -> Result<u64, MccpError> {
+        if !self.cores[core].is_idle() || self.reconfigs[core].is_reconfiguring() {
+            return Err(MccpError::Busy);
+        }
+        let personality = bitstream.personality;
+        let budget = self.reconfigs[core]
+            .begin(bitstream, source)
+            .expect("controller idle");
+        self.cores[core].reserve();
+        self.reconfig_started[core] = self.cycle;
+        self.telemetry
+            .emit_with(self.cycle, || Event::ReconfigBegin {
+                core,
+                personality: format!("{personality:?}"),
+            });
+        Ok(budget)
+    }
+
+    /// True while a core's reconfigurable region is being rewritten.
+    pub fn is_reconfiguring(&self, core: usize) -> bool {
+        self.reconfigs[core].is_reconfiguring()
+    }
 }
 
 #[cfg(test)]
@@ -783,10 +1007,7 @@ mod tests {
             Err(MccpError::BadKey)
         );
         // Key size mismatch.
-        assert_eq!(
-            m.open(Algorithm::AesGcm256, kid),
-            Err(MccpError::BadKey)
-        );
+        assert_eq!(m.open(Algorithm::AesGcm256, kid), Err(MccpError::BadKey));
     }
 
     #[test]
@@ -840,7 +1061,10 @@ mod tests {
         let pkt = m.encrypt_packet(ch, aad, &payload, &nonce).unwrap();
 
         let aes = Aes::new_128(&key);
-        let params = CcmParams { nonce_len: 12, tag_len: 8 };
+        let params = CcmParams {
+            nonce_len: 12,
+            tag_len: 8,
+        };
         let reference = ccm_seal(&aes, &params, &nonce, aad, &payload).unwrap();
         assert_eq!(pkt.ciphertext, reference[..payload.len()]);
         assert_eq!(pkt.tag, reference[payload.len()..]);
@@ -885,7 +1109,10 @@ mod tests {
         m.transfer_done(id).unwrap();
 
         let aes = Aes::new_128(&key);
-        let params = CcmParams { nonce_len: 11, tag_len: 16 };
+        let params = CcmParams {
+            nonce_len: 11,
+            tag_len: 16,
+        };
         let reference = ccm_seal(&aes, &params, &nonce, b"hh", &payload).unwrap();
         assert_eq!(out.body, reference[..payload.len()]);
         assert_eq!(out.tag.unwrap(), reference[payload.len()..]);
@@ -1065,6 +1292,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn trace_records_request_lifecycle() {
         let key = [0xEEu8; 16];
         let (mut m, kid) = mccp_with_key(&key);
@@ -1076,9 +1304,13 @@ mod tests {
         let text: Vec<&str> = events.iter().map(|e| e.message.as_str()).collect();
         assert!(text.iter().any(|m| m.contains("submit")), "{text:?}");
         assert!(text.iter().any(|m| m.contains("starts GcmEnc")), "{text:?}");
-        assert!(text.iter().any(|m| m.contains("done (auth_ok=true)")), "{text:?}");
         assert!(
-            text.iter().any(|m| m.contains("AUTH_FAIL") && m.contains("wiped")),
+            text.iter().any(|m| m.contains("done (auth_ok=true)")),
+            "{text:?}"
+        );
+        assert!(
+            text.iter()
+                .any(|m| m.contains("AUTH_FAIL") && m.contains("wiped")),
             "{text:?}"
         );
         // Events are cycle-stamped and monotone.
@@ -1094,9 +1326,15 @@ mod tests {
         use mccp_aes::twofish::Twofish;
         let key = [0x5Au8; 16];
         let (mut m, kid) = mccp_with_key(&key);
-        m.core_mut(0).set_personality(crate::core_unit::Personality::TwofishUnit);
+        m.core_mut(0)
+            .set_personality(crate::core_unit::Personality::TwofishUnit);
         let ch = m
-            .open_with_cipher(Algorithm::AesGcm128, kid, 16, crate::protocol::CipherSel::Twofish)
+            .open_with_cipher(
+                Algorithm::AesGcm128,
+                kid,
+                16,
+                crate::protocol::CipherSel::Twofish,
+            )
             .unwrap();
         let iv = [8u8; 12];
         let payload: Vec<u8> = (0..100u8).collect();
@@ -1125,14 +1363,27 @@ mod tests {
         // AES channels never land on a Twofish core, and vice versa.
         let key = [0x11u8; 16];
         let (mut m, kid) = mccp_with_key(&key);
-        m.core_mut(2).set_personality(crate::core_unit::Personality::TwofishUnit);
+        m.core_mut(2)
+            .set_personality(crate::core_unit::Personality::TwofishUnit);
         let aes_ch = m.open(Algorithm::AesGcm128, kid).unwrap();
         let tf_ch = m
-            .open_with_cipher(Algorithm::AesCcm128, kid, 8, crate::protocol::CipherSel::Twofish)
+            .open_with_cipher(
+                Algorithm::AesCcm128,
+                kid,
+                8,
+                crate::protocol::CipherSel::Twofish,
+            )
             .unwrap();
         for i in 0..3u8 {
             let id = m
-                .submit(aes_ch, Direction::Encrypt, &[i + 1; 12], &[], &[0u8; 32], None)
+                .submit(
+                    aes_ch,
+                    Direction::Encrypt,
+                    &[i + 1; 12],
+                    &[],
+                    &[0u8; 32],
+                    None,
+                )
                 .unwrap();
             assert!(!m.request_cores(id).unwrap().contains(&2), "AES on TF core");
             m.run_until_done(id, 10_000_000);
@@ -1146,6 +1397,171 @@ mod tests {
         m.run_until_done(id, 10_000_000);
         m.retrieve(id).unwrap();
         m.transfer_done(id).unwrap();
+    }
+
+    /// One encrypt + one tampered decrypt on a fresh default MCCP, with
+    /// telemetry enabled. Shared by the end-to-end and determinism tests.
+    fn telemetry_workload() -> Mccp {
+        let key = [0x3Cu8; 16];
+        let (mut m, kid) = mccp_with_key(&key);
+        m.enable_telemetry(256);
+        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+        let pkt = m
+            .encrypt_packet(ch, b"hdr", &[0u8; 64], &[1u8; 12])
+            .unwrap();
+        let err = m.decrypt_packet(ch, b"hdr", &pkt.ciphertext, &[0u8; 16], &[1u8; 12]);
+        assert_eq!(err.unwrap_err(), MccpError::AuthFail);
+        m
+    }
+
+    #[test]
+    fn telemetry_records_full_lifecycle() {
+        let mut m = telemetry_workload();
+
+        let kinds: Vec<&str> = m.telemetry().events().map(|e| e.event.kind()).collect();
+        for want in [
+            "request_submitted",
+            "request_dispatched",
+            "core_started",
+            "fifo_push",
+            "request_completed",
+            "request_retrieved",
+            "fifo_pop",
+            "key_cache_miss",
+            "key_cache_hit",
+            "auth_fail_wipe",
+        ] {
+            assert!(kinds.contains(&want), "missing {want} in {kinds:?}");
+        }
+        // Events are cycle-stamped and monotone.
+        let cycles: Vec<u64> = m.telemetry().events().map(|e| e.cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+
+        // Spans: request 1 completed ok and was retrieved; request 2
+        // failed authentication.
+        let spans = m.telemetry().spans();
+        let ok = spans.get(1).expect("span for request 1");
+        assert_eq!(ok.auth_ok, Some(true));
+        assert!(ok.completion_latency().unwrap() > 0);
+        assert!(ok.retrieved.is_some());
+        let bad = spans.get(2).expect("span for request 2");
+        assert_eq!(bad.auth_ok, Some(false));
+
+        // Registry counters derived from the events.
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.counter("mccp_requests_submitted_total"), 2);
+        assert_eq!(snap.counter("mccp_requests_completed_total"), 2);
+        assert_eq!(snap.counter("mccp_auth_failures_total"), 1);
+        assert_eq!(snap.counter("mccp_fifo_wipes_total"), 1);
+        assert_eq!(snap.counter("mccp_key_cache_misses_total"), 1);
+        assert_eq!(snap.counter("mccp_key_cache_hits_total"), 1);
+        assert!(snap.counter("mccp_dma_words_total") > 0);
+        // Scheduler-owned gauges published at snapshot time.
+        assert!(snap.gauge("mccp_cycles") > 0);
+        assert!(snap.gauge("mccp_core_busy_cycles{core=\"0\"}") > 0);
+        assert!(snap.gauge("mccp_fifo_highwater_words{core=\"0\",port=\"output\"}") > 0);
+    }
+
+    #[test]
+    fn telemetry_is_deterministic_across_runs() {
+        let mut a = telemetry_workload();
+        let mut b = telemetry_workload();
+        let lines_a = mccp_telemetry::export::json_lines(&a.telemetry_mut().take_events());
+        let lines_b = mccp_telemetry::export::json_lines(&b.telemetry_mut().take_events());
+        assert_eq!(lines_a, lines_b);
+        let prom_a = mccp_telemetry::export::prometheus_text(&a.telemetry_snapshot());
+        let prom_b = mccp_telemetry::export::prometheus_text(&b.telemetry_snapshot());
+        assert_eq!(prom_a, prom_b);
+        assert!(prom_a.contains("mccp_requests_submitted_total 2"));
+    }
+
+    #[test]
+    fn telemetry_disabled_is_inert() {
+        let key = [0x3Cu8; 16];
+        let (mut m, kid) = mccp_with_key(&key);
+        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+        m.encrypt_packet(ch, b"hdr", &[0u8; 64], &[1u8; 12])
+            .unwrap();
+        assert!(!m.telemetry().is_enabled());
+        assert_eq!(m.telemetry().events().count(), 0);
+        assert_eq!(m.telemetry().dropped(), 0);
+        assert!(m.telemetry().spans().is_empty());
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.counter("mccp_events_total"), 0);
+        assert_eq!(snap.gauge("mccp_cycles"), 0);
+    }
+
+    #[test]
+    fn reconfiguration_blocks_then_retargets_core() {
+        use crate::core_unit::Personality;
+        use mccp_sim::resources::Resources;
+        let key = [0x7Eu8; 16];
+        let mut m = Mccp::new(MccpConfig {
+            n_cores: 2,
+            ..MccpConfig::default()
+        });
+        m.enable_telemetry(64);
+        m.key_memory_mut().store(KeyId(1), &key);
+
+        // A tiny synthetic bitstream so the test stays fast (the real
+        // Twofish partial bitstream models ~12M cycles from CompactFlash).
+        let bs = Bitstream {
+            personality: Personality::TwofishUnit,
+            resources: Resources::new(10, 1),
+            size_kb: 1,
+        };
+        let budget = m
+            .begin_reconfiguration(0, bs, BitstreamSource::Ram)
+            .unwrap();
+        assert!(budget > 0);
+        assert!(m.is_reconfiguring(0));
+        // Mid-flight: the region is locked against double loads and the
+        // scheduler keeps AES traffic off the core.
+        assert_eq!(
+            m.begin_reconfiguration(0, bs, BitstreamSource::Ram),
+            Err(MccpError::Busy)
+        );
+        let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+        let id = m
+            .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 16], None)
+            .unwrap();
+        assert_eq!(m.request_cores(id).unwrap(), &[1]);
+        m.run_until_done(id, 10_000_000);
+        m.retrieve(id).unwrap();
+        m.transfer_done(id).unwrap();
+
+        for _ in 0..budget {
+            if !m.is_reconfiguring(0) {
+                break;
+            }
+            m.tick();
+        }
+        assert!(!m.is_reconfiguring(0));
+        assert_eq!(m.core(0).personality(), Personality::TwofishUnit);
+
+        // The reconfigured core now serves Twofish channels.
+        let tf_ch = m
+            .open_with_cipher(
+                Algorithm::AesGcm128,
+                KeyId(1),
+                16,
+                crate::protocol::CipherSel::Twofish,
+            )
+            .unwrap();
+        let id = m
+            .submit(tf_ch, Direction::Encrypt, &[2u8; 12], &[], &[0u8; 16], None)
+            .unwrap();
+        assert_eq!(m.request_cores(id).unwrap(), &[0]);
+        m.run_until_done(id, 10_000_000);
+        m.retrieve(id).unwrap();
+        m.transfer_done(id).unwrap();
+
+        // Telemetry saw the begin/end pair and the cycle cost.
+        let kinds: Vec<&str> = m.telemetry().events().map(|e| e.event.kind()).collect();
+        assert!(kinds.contains(&"reconfig_begin"), "{kinds:?}");
+        assert!(kinds.contains(&"reconfig_end"), "{kinds:?}");
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.counter("mccp_reconfigurations_total"), 1);
     }
 
     #[test]

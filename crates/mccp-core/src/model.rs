@@ -230,7 +230,8 @@ mod tests {
                 let ours = theoretical_mbps(*schedule, row.key);
                 let paper = row.entries[i].0;
                 assert_eq!(
-                    ours, paper,
+                    ours,
+                    paper,
                     "{} @ {:?}: model {} vs paper {}",
                     schedule.label(),
                     row.key,

@@ -138,12 +138,27 @@ impl fmt::Display for Algorithm {
 /// operands.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MccpInstruction {
-    Open { algorithm: Algorithm, key: KeyId },
-    Close { channel: ChannelId },
-    Encrypt { channel: ChannelId, header_size: u16, data_size: u16 },
-    Decrypt { channel: ChannelId, header_size: u16, data_size: u16 },
+    Open {
+        algorithm: Algorithm,
+        key: KeyId,
+    },
+    Close {
+        channel: ChannelId,
+    },
+    Encrypt {
+        channel: ChannelId,
+        header_size: u16,
+        data_size: u16,
+    },
+    Decrypt {
+        channel: ChannelId,
+        header_size: u16,
+        data_size: u16,
+    },
     RetrieveData,
-    TransferDone { request: RequestId },
+    TransferDone {
+        request: RequestId,
+    },
 }
 
 impl MccpInstruction {
@@ -166,13 +181,21 @@ impl MccpInstruction {
                 (0x1 << 28) | ((algorithm.id() as u32) << 20) | ((key.0 as u32) << 12)
             }
             Close { channel } => (0x2 << 28) | ((channel.0 as u32) << 20),
-            Encrypt { channel, header_size, data_size } => {
+            Encrypt {
+                channel,
+                header_size,
+                data_size,
+            } => {
                 (0x3 << 28)
                     | (((channel.0 as u32) & 0x3F) << 22)
                     | (((header_size as u32) & 0x7FF) << 11)
                     | ((data_size as u32) & 0x7FF)
             }
-            Decrypt { channel, header_size, data_size } => {
+            Decrypt {
+                channel,
+                header_size,
+                data_size,
+            } => {
                 (0x4 << 28)
                     | (((channel.0 as u32) & 0x3F) << 22)
                     | (((header_size as u32) & 0x7FF) << 11)
@@ -308,7 +331,9 @@ mod tests {
                 algorithm: Algorithm::AesCcm192,
                 key: KeyId(7),
             },
-            MccpInstruction::Close { channel: ChannelId(3) },
+            MccpInstruction::Close {
+                channel: ChannelId(3),
+            },
             MccpInstruction::Encrypt {
                 channel: ChannelId(5),
                 header_size: 60,

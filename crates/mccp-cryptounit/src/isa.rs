@@ -45,7 +45,21 @@ pub enum CuInstruction {
     Xget { a: u8 },
 }
 
+/// Number of distinct operations in the ISA.
+pub const OP_COUNT: usize = 12;
+
+/// Mnemonics indexed by [`CuInstruction::index`], for per-op telemetry.
+pub const MNEMONICS: [&str; OP_COUNT] = [
+    "LOAD", "STORE", "LOADH", "SGFM", "FGFM", "SAES", "FAES", "INC", "XOR", "EQU", "XPUT", "XGET",
+];
+
 impl CuInstruction {
+    /// Dense per-operation index (equal to the opcode), for counter
+    /// arrays sized [`OP_COUNT`].
+    pub fn index(self) -> usize {
+        (self.encode() >> 4) as usize
+    }
+
     /// Encodes to the 8-bit instruction format.
     pub fn encode(self) -> u8 {
         use CuInstruction::*;
@@ -149,6 +163,30 @@ mod tests {
     fn unused_opcodes_are_none() {
         for op in 0xC..=0xF_u8 {
             assert_eq!(CuInstruction::decode(op << 4), None);
+        }
+    }
+
+    #[test]
+    fn index_is_dense_and_matches_mnemonics() {
+        use super::{MNEMONICS, OP_COUNT};
+        let one_of_each = [
+            Load { a: 0 },
+            Store { a: 0 },
+            LoadH { a: 0 },
+            Sgfm { a: 0 },
+            Fgfm { a: 0 },
+            Saes { a: 0 },
+            Faes { a: 0 },
+            Inc { a: 0, amount: 1 },
+            Xor { a: 0, b: 0 },
+            Equ { a: 0, b: 0 },
+            Xput { a: 0 },
+            Xget { a: 0 },
+        ];
+        assert_eq!(one_of_each.len(), OP_COUNT);
+        for (i, ins) in one_of_each.into_iter().enumerate() {
+            assert_eq!(ins.index(), i);
+            assert!(ins.to_string().starts_with(MNEMONICS[i]), "{ins}");
         }
     }
 

@@ -99,6 +99,7 @@ pub struct CryptoUnit {
     retired: u64,
     dropped_strobes: u64,
     cycles: u64,
+    op_counts: [u64; crate::isa::OP_COUNT],
 }
 
 impl Default for CryptoUnit {
@@ -129,6 +130,7 @@ impl CryptoUnit {
             retired: 0,
             dropped_strobes: 0,
             cycles: 0,
+            op_counts: [0; crate::isa::OP_COUNT],
         }
     }
 
@@ -256,6 +258,12 @@ impl CryptoUnit {
         self.dropped_strobes
     }
 
+    /// Instructions retired per operation, indexed by
+    /// [`CuInstruction::index`] (see [`crate::isa::MNEMONICS`]).
+    pub fn op_counts(&self) -> &[u64; crate::isa::OP_COUNT] {
+        &self.op_counts
+    }
+
     /// Cycles ticked.
     pub fn cycles(&self) -> u64 {
         self.cycles
@@ -269,6 +277,7 @@ impl CryptoUnit {
             cycles: self.cycles,
             retired: self.retired,
             dropped_strobes: self.dropped_strobes,
+            op_counts: self.op_counts,
             ..CryptoUnit::new()
         };
     }
@@ -328,7 +337,10 @@ impl CryptoUnit {
         use CuInstruction::*;
         match instr {
             Load { a } => {
-                let bytes = io.input.pop_bytes(16).expect("readiness guaranteed 4 words");
+                let bytes = io
+                    .input
+                    .pop_bytes(16)
+                    .expect("readiness guaranteed 4 words");
                 self.bank[a as usize].copy_from_slice(&bytes);
             }
             Store { a } => {
@@ -375,6 +387,7 @@ impl CryptoUnit {
             }
         }
         self.retired += 1;
+        self.op_counts[instr.index()] += 1;
     }
 
     /// Advances one clock cycle.
@@ -627,15 +640,12 @@ mod tests {
             CuInstruction::Sgfm { a: 1 },      // absorb ct_i
             CuInstruction::Store { a: 1 },     // emit ct_i
             CuInstruction::Inc { a: 0, amount: 1 },
-            CuInstruction::Load { a: 2 },      // pt_{i+1}
+            CuInstruction::Load { a: 2 }, // pt_{i+1}
         ];
         let retires = d.run_schedule(&body, body.len() * blocks);
 
         // Steady-state period between consecutive FAES retirements = 49.
-        let faes_idx: Vec<u64> = retires
-            .chunks(body.len())
-            .map(|c| c[0])
-            .collect();
+        let faes_idx: Vec<u64> = retires.chunks(body.len()).map(|c| c[0]).collect();
         let deltas: Vec<u64> = faes_idx.windows(2).map(|w| w[1] - w[0]).collect();
         // Skip pipeline warm-up; all later iterations must hit the budget.
         for &dlt in &deltas[2..] {
@@ -665,9 +675,7 @@ mod tests {
         assert_eq!(got, expect);
 
         // And GHASH accumulated over the ciphertext blocks.
-        let hkey = GhashKey::new(mccp_gf128::Gf128::from_bytes(
-            &aes.encrypt_copy(&[0u8; 16]),
-        ));
+        let hkey = GhashKey::new(mccp_gf128::Gf128::from_bytes(&aes.encrypt_copy(&[0u8; 16])));
         // Raw accumulator (no length block): fold blocks manually.
         let mut acc = mccp_gf128::Gf128::ZERO;
         for chunk in expect.chunks(16) {
@@ -864,6 +872,28 @@ mod tests {
         cu.strobe(CuInstruction::Inc { a: 0, amount: 1 }.encode());
         assert_eq!(cu.dropped_strobes(), 1);
         assert!(cu.is_faulted());
+    }
+
+    #[test]
+    fn op_counts_track_retirements_and_survive_reset() {
+        let mut cu = CryptoUnit::new();
+        cu.set_bank(0, [1u8; 16]);
+        cu.set_bank(1, [1u8; 16]);
+        let mut d = Driver::new(cu);
+        d.run_seq(&[
+            CuInstruction::Inc { a: 0, amount: 1 },
+            CuInstruction::Inc { a: 0, amount: 2 },
+            CuInstruction::Xor { a: 0, b: 1 },
+            CuInstruction::Equ { a: 0, b: 1 },
+        ]);
+        let counts = *d.cu.op_counts();
+        assert_eq!(counts[CuInstruction::Inc { a: 0, amount: 1 }.index()], 2);
+        assert_eq!(counts[CuInstruction::Xor { a: 0, b: 0 }.index()], 1);
+        assert_eq!(counts[CuInstruction::Equ { a: 0, b: 0 }.index()], 1);
+        assert_eq!(counts.iter().sum::<u64>(), d.cu.retired());
+        // The security wipe clears data, not the cumulative counters.
+        d.cu.reset();
+        assert_eq!(*d.cu.op_counts(), counts);
     }
 
     #[test]

@@ -120,7 +120,10 @@ impl Ghash {
     /// # Panics
     /// Panics if ciphertext has already been absorbed.
     pub fn update_aad(&mut self, aad: &[u8]) {
-        assert!(!self.in_ciphertext, "AAD must be absorbed before ciphertext");
+        assert!(
+            !self.in_ciphertext,
+            "AAD must be absorbed before ciphertext"
+        );
         self.aad_bits += (aad.len() as u64) * 8;
         self.absorb(aad);
     }

@@ -51,9 +51,7 @@ impl Program {
         self.image
             .iter()
             .enumerate()
-            .filter_map(|(a, &w)| {
-                Instruction::decode(w).map(|i| (a as u16, i.to_string()))
-            })
+            .filter_map(|(a, &w)| Instruction::decode(w).map(|i| (a as u16, i.to_string())))
             .collect()
     }
 }
@@ -260,7 +258,10 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
             if args.len() == n {
                 Ok(())
             } else {
-                err(line, format!("{mnemonic} expects {n} operand(s), got {}", args.len()))
+                err(
+                    line,
+                    format!("{mnemonic} expects {n} operand(s), got {}", args.len()),
+                )
             }
         };
         let reg0 = |a: &[String]| -> Result<u8, AsmError> {
@@ -413,10 +414,7 @@ mod tests {
 
     #[test]
     fn constants_and_comments() {
-        let p = assemble(
-            "CONSTANT SAES, 0x40 ; start AES\nLOAD s1, SAES ; use it",
-        )
-        .unwrap();
+        let p = assemble("CONSTANT SAES, 0x40 ; start AES\nLOAD s1, SAES ; use it").unwrap();
         assert_eq!(
             Instruction::decode(p.image()[0]),
             Some(Instruction::Load(1, Operand::Imm(0x40)))

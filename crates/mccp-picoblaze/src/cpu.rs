@@ -62,6 +62,8 @@ pub struct PicoBlaze {
     cycles: u64,
     /// Total instructions retired.
     retired: u64,
+    /// Cycles spent asleep after a HALT, waiting for wake.
+    sleep_cycles: u64,
     /// Set when the CPU executed an illegal/undecodable instruction.
     fault: bool,
 }
@@ -88,6 +90,7 @@ impl PicoBlaze {
             phase: 0,
             cycles: 0,
             retired: 0,
+            sleep_cycles: 0,
             fault: false,
         }
     }
@@ -168,6 +171,15 @@ impl PicoBlaze {
         self.retired
     }
 
+    /// Cycles spent asleep in HALT (cumulative, like [`cycles`] and
+    /// [`retired`]; `cycles - sleep_cycles` is the active cycle count).
+    ///
+    /// [`cycles`]: PicoBlaze::cycles
+    /// [`retired`]: PicoBlaze::retired
+    pub fn sleep_cycles(&self) -> u64 {
+        self.sleep_cycles
+    }
+
     /// Asserts or deasserts the interrupt request line.
     pub fn set_irq(&mut self, level: bool) {
         self.irq = level;
@@ -218,6 +230,7 @@ impl PicoBlaze {
                 self.sleeping = false;
                 self.wake = false;
             } else {
+                self.sleep_cycles += 1;
                 return;
             }
         }
@@ -427,6 +440,27 @@ mod tests {
         assert_eq!(cpu.retired(), CYCLES_PER_INSTRUCTION as u64 * 4 / 4);
         assert_eq!(cpu.reg(0), 1);
         assert_eq!(cpu.reg(1), 2);
+    }
+
+    #[test]
+    fn sleep_cycles_count_halt_wait_only() {
+        // LOAD (2 cycles), HALT executes (2 cycles), then the CPU sleeps.
+        let p = assemble("LOAD s0, 0x01\nHALT DISABLE\nend: JUMP end").unwrap();
+        let mut cpu = PicoBlaze::new(p.image());
+        let mut ports = NullPorts;
+        for _ in 0..24 {
+            cpu.tick(&mut ports);
+        }
+        assert!(cpu.is_sleeping());
+        assert_eq!(cpu.sleep_cycles(), 24 - 4, "every post-HALT cycle slept");
+        // Wake; subsequent active cycles must not accrue sleep time.
+        cpu.set_wake(true);
+        for _ in 0..6 {
+            cpu.tick(&mut ports);
+        }
+        assert!(!cpu.is_sleeping());
+        assert_eq!(cpu.sleep_cycles(), 20);
+        assert_eq!(cpu.cycles(), 30);
     }
 
     #[test]

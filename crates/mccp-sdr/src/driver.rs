@@ -10,6 +10,7 @@ use crate::workload::Workload;
 use mccp_core::protocol::{KeyId, MccpError};
 use mccp_core::{Direction, Mccp, MccpConfig, RequestId};
 use mccp_sim::throughput_mbps;
+use mccp_telemetry::metrics;
 use std::collections::VecDeque;
 
 /// One finished packet with its provenance (for verification).
@@ -92,7 +93,11 @@ impl RadioDriver {
                 .collect();
             let kid = KeyId(i as u8 + 1);
             mccp.key_memory_mut().store(kid, &key);
-            let tag_len = if profile.tag_len == 0 { 16 } else { profile.tag_len };
+            let tag_len = if profile.tag_len == 0 {
+                16
+            } else {
+                profile.tag_len
+            };
             let handle = mccp
                 .open_with_tag_len(profile.algorithm, kid, tag_len)
                 .expect("channel opens");
@@ -162,6 +167,17 @@ impl RadioDriver {
                     None,
                 ) {
                     Ok(id) => {
+                        if self.mccp.telemetry().is_enabled() {
+                            let key = metrics::series(
+                                "mccp_sdr_offered_packets_total",
+                                "channel",
+                                pkt.channel,
+                            );
+                            self.mccp
+                                .telemetry_mut()
+                                .registry_mut()
+                                .counter_add(&key, 1);
+                        }
                         in_flight.push((id, pkt_idx, iv));
                         pending.remove(pos);
                     }
@@ -185,6 +201,18 @@ impl RadioDriver {
                 let completed_at = self.mccp.cycle() - start;
                 let out = self.mccp.retrieve(rid).expect("encrypt never auth-fails");
                 self.mccp.transfer_done(rid).expect("release");
+                if self.mccp.telemetry().is_enabled() {
+                    let channel = workload.packets[pkt_idx].channel;
+                    let reg = self.mccp.telemetry_mut().registry_mut();
+                    reg.counter_add(
+                        &metrics::series("mccp_sdr_served_packets_total", "channel", channel),
+                        1,
+                    );
+                    reg.counter_add(
+                        &metrics::series("mccp_sdr_served_bytes_total", "channel", channel),
+                        workload.packets[pkt_idx].payload.len() as u64,
+                    );
+                }
                 records.push(PacketRecord {
                     packet_idx: pkt_idx,
                     channel: workload.packets[pkt_idx].channel,
@@ -272,36 +300,35 @@ impl RadioDriver {
             let pkt = &workload.packets[rec.packet_idx];
             let ch = &self.channels[rec.channel];
             let aes = mccp_aes::Aes::new(&self.keys[rec.channel]);
-            let (expect_ct, expect_tag): (Vec<u8>, Vec<u8>) =
-                match ch.profile.algorithm.mode() {
-                    Mode::Gcm => {
-                        let out = gcm_seal(&aes, &rec.iv, &pkt.aad, &pkt.payload, 16)
-                            .map_err(|e| e.to_string())?;
-                        let n = pkt.payload.len();
-                        (out[..n].to_vec(), out[n..].to_vec())
-                    }
-                    Mode::Ccm => {
-                        let params = CcmParams {
-                            nonce_len: rec.iv.len(),
-                            tag_len: ch.profile.tag_len,
-                        };
-                        let out = ccm_seal(&aes, &params, &rec.iv, &pkt.aad, &pkt.payload)
-                            .map_err(|e| e.to_string())?;
-                        let n = pkt.payload.len();
-                        (out[..n].to_vec(), out[n..].to_vec())
-                    }
-                    Mode::Ctr => {
-                        let mut body = pkt.payload.clone();
-                        let ctr0: [u8; 16] = rec.iv.as_slice().try_into().unwrap();
-                        ctr_xcrypt(&aes, &ctr0, &mut body).map_err(|e| e.to_string())?;
-                        (body, Vec::new())
-                    }
-                    Mode::CbcMac => {
-                        let mac = mccp_aes::modes::cbc_mac(&aes, &pkt.payload, 16)
-                            .map_err(|e| e.to_string())?;
-                        (Vec::new(), mac)
-                    }
-                };
+            let (expect_ct, expect_tag): (Vec<u8>, Vec<u8>) = match ch.profile.algorithm.mode() {
+                Mode::Gcm => {
+                    let out = gcm_seal(&aes, &rec.iv, &pkt.aad, &pkt.payload, 16)
+                        .map_err(|e| e.to_string())?;
+                    let n = pkt.payload.len();
+                    (out[..n].to_vec(), out[n..].to_vec())
+                }
+                Mode::Ccm => {
+                    let params = CcmParams {
+                        nonce_len: rec.iv.len(),
+                        tag_len: ch.profile.tag_len,
+                    };
+                    let out = ccm_seal(&aes, &params, &rec.iv, &pkt.aad, &pkt.payload)
+                        .map_err(|e| e.to_string())?;
+                    let n = pkt.payload.len();
+                    (out[..n].to_vec(), out[n..].to_vec())
+                }
+                Mode::Ctr => {
+                    let mut body = pkt.payload.clone();
+                    let ctr0: [u8; 16] = rec.iv.as_slice().try_into().unwrap();
+                    ctr_xcrypt(&aes, &ctr0, &mut body).map_err(|e| e.to_string())?;
+                    (body, Vec::new())
+                }
+                Mode::CbcMac => {
+                    let mac = mccp_aes::modes::cbc_mac(&aes, &pkt.payload, 16)
+                        .map_err(|e| e.to_string())?;
+                    (Vec::new(), mac)
+                }
+            };
             if rec.ciphertext != expect_ct {
                 return Err(format!("packet {} ciphertext mismatch", rec.packet_idx));
             }
@@ -382,6 +409,48 @@ mod tests {
         let mut rx = RadioDriver::new(MccpConfig::default(), &spec.standards, 5);
         let cycles = rx.run_receive(&workload, &report);
         assert!(cycles > 0);
+    }
+
+    #[test]
+    fn telemetry_counts_offered_and_served_per_channel() {
+        let spec = WorkloadSpec {
+            standards: vec![Standard::Wifi, Standard::Umts],
+            packets: 10,
+            seed: 13,
+            fixed_payload_len: Some(96),
+            mean_interarrival_cycles: None,
+        };
+        let workload = Workload::generate(spec.clone());
+        let mut radio = RadioDriver::new(MccpConfig::default(), &spec.standards, 2);
+        radio.mccp_mut().enable_telemetry(1024);
+        let report = radio.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.packets, 10);
+
+        let snap = radio.mccp_mut().telemetry_snapshot();
+        for ch in 0..spec.standards.len() {
+            let expect = workload.packets.iter().filter(|p| p.channel == ch).count() as u64;
+            let offered = snap.counter(&metrics::series(
+                "mccp_sdr_offered_packets_total",
+                "channel",
+                ch,
+            ));
+            let served = snap.counter(&metrics::series(
+                "mccp_sdr_served_packets_total",
+                "channel",
+                ch,
+            ));
+            assert_eq!(offered, expect, "offered on channel {ch}");
+            assert_eq!(served, expect, "served on channel {ch}");
+            let bytes = snap.counter(&metrics::series(
+                "mccp_sdr_served_bytes_total",
+                "channel",
+                ch,
+            ));
+            assert_eq!(bytes, expect * 96, "bytes on channel {ch}");
+        }
+        // The simulator-side lifecycle counters agree with the run report.
+        assert_eq!(snap.counter("mccp_requests_submitted_total"), 10);
+        assert_eq!(snap.counter("mccp_requests_completed_total"), 10);
     }
 
     #[test]

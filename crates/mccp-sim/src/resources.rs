@@ -114,9 +114,9 @@ impl ResourceReport {
 
     /// Grand total.
     pub fn total(&self) -> Resources {
-        self.lines
-            .iter()
-            .fold(Resources::default(), |acc, l| acc.plus(l.each.times(l.count)))
+        self.lines.iter().fold(Resources::default(), |acc, l| {
+            acc.plus(l.each.times(l.count))
+        })
     }
 
     /// Builds the inventory of an `n_cores`-core MCCP.
@@ -153,7 +153,11 @@ impl fmt::Display for ResourceReport {
             )?;
         }
         let t = self.total();
-        writeln!(f, "  {:<28}     {:>5} slices {:>3} BRAM", "TOTAL", t.slices, t.brams)
+        writeln!(
+            f,
+            "  {:<28}     {:>5} slices {:>3} BRAM",
+            "TOTAL", t.slices, t.brams
+        )
     }
 }
 

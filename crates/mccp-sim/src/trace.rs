@@ -40,10 +40,13 @@ impl Tracer {
         }
     }
 
-    /// A tracer keeping the most recent `capacity` events.
+    /// A tracer keeping the most recent `capacity` events. A capacity of
+    /// 0 yields a disabled tracer — there is no room to keep anything, so
+    /// enabling would either grow the ring unboundedly or misreport every
+    /// event as dropped.
     pub fn with_capacity(capacity: usize) -> Self {
         Tracer {
-            enabled: true,
+            enabled: capacity > 0,
             capacity,
             events: VecDeque::with_capacity(capacity.min(4096)),
             dropped: 0,
@@ -121,6 +124,22 @@ mod tests {
         let evs: Vec<_> = t.events().map(|e| e.cycle).collect();
         assert_eq!(evs, vec![2, 3]);
         assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        // Regression: with_capacity(0) used to set enabled=true, so the
+        // eviction check (`len == capacity`) only fired on the first
+        // record — the ring then grew without bound while `dropped`
+        // undercounted. Zero capacity must behave exactly like disabled().
+        let mut t = Tracer::with_capacity(0);
+        assert!(!t.is_enabled());
+        for cycle in 0..100 {
+            t.record(cycle, "x", "spill".into());
+        }
+        t.record_with(100, "x", || panic!("must not be called"));
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]

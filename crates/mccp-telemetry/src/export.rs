@@ -1,0 +1,261 @@
+//! Exporters: JSON-lines event logs, Prometheus-style text exposition,
+//! and a human-readable utilization report.
+//!
+//! All three are pure functions of their inputs ([`TimedEvent`] slices and
+//! [`Snapshot`]s), and both inputs iterate deterministically, so two
+//! identical simulation runs export byte-identical text.
+
+use std::fmt::Write as _;
+
+use crate::event::TimedEvent;
+use crate::metrics::{split_series, Histogram, Snapshot, HISTOGRAM_BUCKETS};
+
+/// Renders events as JSON-lines: one JSON object per line, newline
+/// terminated, in emission (cycle) order.
+pub fn json_lines(events: &[TimedEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        out.push_str(&e.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Series sharing a base name (differing only in labels) are grouped under
+/// one `# TYPE` header. Counters are recognised by the `_total` suffix;
+/// histograms expand into `_bucket{le=...}` / `_sum` / `_count` series.
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_base = "";
+
+    for (key, value) in &snapshot.counters {
+        let (base, _) = split_series(key);
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} counter");
+            last_base = &key[..base.len()];
+        }
+        let _ = writeln!(out, "{key} {value}");
+    }
+    last_base = "";
+    for (key, value) in &snapshot.gauges {
+        let (base, _) = split_series(key);
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} gauge");
+            last_base = &key[..base.len()];
+        }
+        let _ = writeln!(out, "{key} {value}");
+    }
+    for (key, h) in &snapshot.histograms {
+        let (base, labels) = split_series(key);
+        let _ = writeln!(out, "# TYPE {base} histogram");
+        let inner = labels
+            .map(|l| l.trim_start_matches('{').trim_end_matches('}'))
+            .unwrap_or("");
+        let mut cumulative = 0u64;
+        for (i, bucket) in h.buckets.iter().enumerate() {
+            if *bucket == 0 && i != HISTOGRAM_BUCKETS - 1 {
+                continue;
+            }
+            cumulative += bucket;
+            let le = if i == HISTOGRAM_BUCKETS - 1 {
+                "+Inf".to_owned()
+            } else {
+                Histogram::bucket_bound(i).to_string()
+            };
+            if inner.is_empty() {
+                let _ = writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cumulative}");
+            } else {
+                let _ = writeln!(out, "{base}_bucket{{{inner},le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{base}_sum{labels} {}",
+            h.sum,
+            labels = labels.unwrap_or("")
+        );
+        let _ = writeln!(
+            out,
+            "{base}_count{labels} {}",
+            h.count,
+            labels = labels.unwrap_or("")
+        );
+    }
+    out
+}
+
+/// Renders a human-readable utilization report from a snapshot.
+///
+/// Recognises the well-known gauge series the MCCP publishes (cycles,
+/// per-core busy cycles, FIFO high-water marks) and the request-latency
+/// histogram; everything else is listed verbatim in a trailing section.
+pub fn utilization_report(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let total_cycles = snapshot.gauge("mccp_cycles");
+    let _ = writeln!(out, "MCCP utilization report");
+    let _ = writeln!(out, "=======================");
+    let _ = writeln!(out, "simulated cycles: {total_cycles}");
+
+    // Per-core busy/utilization table, driven by whichever core labels
+    // are present.
+    let mut cores: Vec<(String, u64)> = Vec::new();
+    for (key, value) in &snapshot.gauges {
+        if let Some(core) = label_value(key, "mccp_core_busy_cycles", "core") {
+            cores.push((core.to_owned(), *value));
+        }
+    }
+    if !cores.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "core  busy_cycles  utilization");
+        for (core, busy) in &cores {
+            let util = if total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * *busy as f64 / total_cycles as f64
+            };
+            let _ = writeln!(out, "{core:>4}  {busy:>11}  {util:>10.2}%");
+        }
+    }
+
+    // FIFO high-water marks.
+    let mut fifo_lines: Vec<String> = Vec::new();
+    for (key, value) in &snapshot.gauges {
+        let (base, _) = split_series(key);
+        if base == "mccp_fifo_highwater_words" {
+            fifo_lines.push(format!("  {key} = {value}"));
+        }
+    }
+    if !fifo_lines.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "FIFO occupancy high-water (32-bit words):");
+        for line in fifo_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+
+    // Request latency summary.
+    if let Some(h) = snapshot.histograms.get("mccp_request_latency_cycles") {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "request latency (cycles): count={} min={} mean={:.1} max={}",
+            h.count,
+            if h.count == 0 { 0 } else { h.min },
+            h.mean(),
+            h.max
+        );
+    }
+
+    // Throughput-ish counters worth surfacing by name.
+    let _ = writeln!(out);
+    let _ = writeln!(out, "counters:");
+    for (key, value) in &snapshot.counters {
+        let _ = writeln!(out, "  {key} = {value}");
+    }
+    out
+}
+
+/// Extracts the label value from a key of form `base{label="X"}`.
+fn label_value<'a>(key: &'a str, base: &str, label: &str) -> Option<&'a str> {
+    let rest = key.strip_prefix(base)?;
+    let rest = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let rest = rest.strip_prefix(label)?.strip_prefix("=\"")?;
+    rest.strip_suffix('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, TimedEvent};
+    use crate::metrics::Registry;
+
+    #[test]
+    fn json_lines_one_object_per_line() {
+        let events = vec![
+            TimedEvent {
+                cycle: 1,
+                event: Event::KeyCacheHit { core: 0, key: 5 },
+            },
+            TimedEvent {
+                cycle: 2,
+                event: Event::AuthFailWipe { request: 3 },
+            },
+        ];
+        let text = json_lines(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"cycle\":1,\"kind\":\"key_cache_hit\""));
+        assert!(lines[1].starts_with("{\"cycle\":2,\"kind\":\"auth_fail_wipe\""));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn prometheus_groups_series_under_one_type_header() {
+        let mut r = Registry::new(true);
+        r.counter_add("mccp_requests_submitted_total", 4);
+        r.gauge_set("mccp_core_busy_cycles{core=\"0\"}", 100);
+        r.gauge_set("mccp_core_busy_cycles{core=\"1\"}", 90);
+        r.gauge_set("mccp_cycles", 200);
+        let text = prometheus_text(&r.snapshot());
+        assert_eq!(
+            text.matches("# TYPE mccp_core_busy_cycles gauge").count(),
+            1,
+            "labelled series share one TYPE header:\n{text}"
+        );
+        assert!(text.contains("# TYPE mccp_requests_submitted_total counter\n"));
+        assert!(text.contains("mccp_requests_submitted_total 4\n"));
+        assert!(text.contains("mccp_core_busy_cycles{core=\"0\"} 100\n"));
+        assert!(text.contains("mccp_core_busy_cycles{core=\"1\"} 90\n"));
+        assert!(text.contains("mccp_cycles 200\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_expands_cumulative_buckets() {
+        let mut r = Registry::new(true);
+        r.histogram_record("mccp_request_latency_cycles", 1);
+        r.histogram_record("mccp_request_latency_cycles", 3);
+        r.histogram_record("mccp_request_latency_cycles", 3);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE mccp_request_latency_cycles histogram\n"));
+        assert!(text.contains("mccp_request_latency_cycles_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("mccp_request_latency_cycles_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("mccp_request_latency_cycles_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("mccp_request_latency_cycles_sum 7\n"));
+        assert!(text.contains("mccp_request_latency_cycles_count 3\n"));
+    }
+
+    #[test]
+    fn utilization_report_computes_percentages() {
+        let mut r = Registry::new(true);
+        r.gauge_set("mccp_cycles", 1000);
+        r.gauge_set("mccp_core_busy_cycles{core=\"0\"}", 750);
+        r.gauge_set("mccp_core_busy_cycles{core=\"1\"}", 500);
+        r.gauge_set("mccp_fifo_highwater_words{core=\"0\",port=\"input\"}", 512);
+        r.counter_add("mccp_requests_completed_total", 12);
+        r.histogram_record("mccp_request_latency_cycles", 40);
+        r.histogram_record("mccp_request_latency_cycles", 60);
+        let text = utilization_report(&r.snapshot());
+        assert!(text.contains("simulated cycles: 1000"));
+        assert!(text.contains("75.00%"), "{text}");
+        assert!(text.contains("50.00%"), "{text}");
+        assert!(text.contains("mccp_fifo_highwater_words{core=\"0\",port=\"input\"} = 512"));
+        assert!(text.contains("count=2 min=40 mean=50.0 max=60"));
+        assert!(text.contains("mccp_requests_completed_total = 12"));
+    }
+
+    #[test]
+    fn exports_are_deterministic_across_identical_registries() {
+        let build = || {
+            let mut r = Registry::new(true);
+            r.counter_add("b_total", 1);
+            r.counter_add("a_total", 2);
+            r.gauge_set("z", 3);
+            r.histogram_record("lat", 7);
+            r.snapshot()
+        };
+        assert_eq!(prometheus_text(&build()), prometheus_text(&build()));
+        assert_eq!(utilization_report(&build()), utilization_report(&build()));
+    }
+}

@@ -1,0 +1,284 @@
+//! The metrics registry: counters, gauges, and cycle-latency histograms
+//! with deterministic snapshots.
+//!
+//! Keys are plain strings in Prometheus series form — a base metric name
+//! plus optional inline labels, e.g. `mccp_core_busy_cycles{core="0"}`.
+//! Storage is `BTreeMap`-backed so snapshots and exports iterate in a
+//! stable lexicographic order regardless of insertion order; two identical
+//! simulation runs produce byte-identical exports.
+//!
+//! When disabled (the default), every mutation is a single branch on a
+//! bool and no map lookups or allocations occur.
+
+use std::collections::BTreeMap;
+
+/// Number of power-of-two latency buckets. Bucket `i` counts values whose
+/// bit length is `i` (bucket 0 holds the value 0), so bucket upper bounds
+/// run 0, 1, 3, 7, … `2^(i-1+1)-1`; the last bucket is a catch-all.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A power-of-two-bucketed histogram of cycle counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket that holds `value`: the value's bit length,
+    /// capped at the catch-all bucket.
+    pub fn bucket_index(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the catch-all).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= HISTOGRAM_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time, deterministically ordered copy of the registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Counter value by exact series key, 0 if absent.
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by exact series key, 0 if absent.
+    pub fn gauge(&self, key: &str) -> u64 {
+        self.gauges.get(key).copied().unwrap_or(0)
+    }
+}
+
+/// Counters, gauges, and histograms keyed by Prometheus-style series name.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    enabled: bool,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    pub fn new(enabled: bool) -> Self {
+        Registry {
+            enabled,
+            ..Registry::default()
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `delta` to a monotonically increasing counter.
+    pub fn counter_add(&mut self, key: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.entry_or_insert_counter(key) += delta;
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn gauge_set(&mut self, key: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.insert_gauge(key, value);
+    }
+
+    /// Raises a gauge to `value` if it is below it (high-water marks).
+    pub fn gauge_max(&mut self, key: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        match self.gauges.get_mut(key) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                self.gauges.insert(key.to_owned(), value);
+            }
+        }
+    }
+
+    /// Records one observation into a histogram.
+    pub fn histogram_record(&mut self, key: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::default();
+            h.record(value);
+            self.histograms.insert(key.to_owned(), h);
+        }
+    }
+
+    fn entry_or_insert_counter(&mut self, key: &str) -> &mut u64 {
+        if !self.counters.contains_key(key) {
+            self.counters.insert(key.to_owned(), 0);
+        }
+        self.counters.get_mut(key).unwrap()
+    }
+
+    fn insert_gauge(&mut self, key: &str, value: u64) {
+        match self.gauges.get_mut(key) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(key.to_owned(), value);
+            }
+        }
+    }
+
+    /// Copies the registry into a deterministic [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// Builds a `name{label="value"}` series key.
+pub fn series(name: &str, label: &str, value: impl std::fmt::Display) -> String {
+    format!("{name}{{{label}=\"{value}\"}}")
+}
+
+/// Splits a series key into its base name and the label block (if any).
+pub fn split_series(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(i) => (&key[..i], Some(&key[i..])),
+        None => (key, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut r = Registry::new(false);
+        r.counter_add("a_total", 5);
+        r.gauge_set("g", 9);
+        r.gauge_max("h", 3);
+        r.histogram_record("lat", 100);
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauge_max_is_high_water() {
+        let mut r = Registry::new(true);
+        r.counter_add("a_total", 2);
+        r.counter_add("a_total", 3);
+        r.gauge_max("hw", 4);
+        r.gauge_max("hw", 2);
+        r.gauge_max("hw", 7);
+        r.gauge_set("g", 10);
+        r.gauge_set("g", 1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a_total"), 5);
+        assert_eq!(s.gauge("hw"), 7);
+        assert_eq!(s.gauge("g"), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(1), 1);
+        assert_eq!(Histogram::bucket_bound(2), 3);
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 49, 104] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 157);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 104);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 1); // 3
+        assert_eq!(h.buckets[6], 1); // 49 (6 bits)
+        assert_eq!(h.buckets[7], 1); // 104 (7 bits)
+        assert!((h.mean() - 31.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshots_are_order_independent() {
+        let mut a = Registry::new(true);
+        a.counter_add("z_total", 1);
+        a.counter_add("a_total", 1);
+        let mut b = Registry::new(true);
+        b.counter_add("a_total", 1);
+        b.counter_add("z_total", 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+        let keys: Vec<_> = a.snapshot().counters.into_keys().collect();
+        assert_eq!(keys, ["a_total", "z_total"]);
+    }
+
+    #[test]
+    fn series_keys_round_trip() {
+        let key = series("mccp_core_busy_cycles", "core", 3);
+        assert_eq!(key, "mccp_core_busy_cycles{core=\"3\"}");
+        assert_eq!(
+            split_series(&key),
+            ("mccp_core_busy_cycles", Some("{core=\"3\"}"))
+        );
+        assert_eq!(split_series("plain"), ("plain", None));
+    }
+}

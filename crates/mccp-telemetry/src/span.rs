@@ -1,0 +1,207 @@
+//! Cycle-domain spans tying together a packet's lifecycle.
+//!
+//! A [`RequestSpan`] collects the timestamps of one request's milestones —
+//! submission, first core start, completion (Data Available), and
+//! retrieval — by watching the typed event stream. The tracker is fed by
+//! [`crate::Telemetry::emit`]; nothing needs to be recorded manually.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+
+/// The milestones of one request, in cycles. A milestone that has not
+/// happened (yet) is `None`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RequestSpan {
+    pub request: u16,
+    pub channel: u8,
+    pub algorithm: String,
+    pub cores: Vec<usize>,
+    pub submitted: Option<u64>,
+    pub started: Option<u64>,
+    pub completed: Option<u64>,
+    pub retrieved: Option<u64>,
+    pub auth_ok: Option<bool>,
+}
+
+impl RequestSpan {
+    /// Submission → Data Available latency, when both ends are known.
+    pub fn completion_latency(&self) -> Option<u64> {
+        match (self.submitted, self.completed) {
+            (Some(s), Some(c)) => Some(c.saturating_sub(s)),
+            _ => None,
+        }
+    }
+
+    /// Submission → host retrieval latency, when both ends are known.
+    pub fn retrieval_latency(&self) -> Option<u64> {
+        match (self.submitted, self.retrieved) {
+            (Some(s), Some(r)) => Some(r.saturating_sub(s)),
+            _ => None,
+        }
+    }
+}
+
+/// Derives per-request spans from the event stream.
+#[derive(Clone, Debug, Default)]
+pub struct SpanTracker {
+    spans: BTreeMap<u16, RequestSpan>,
+}
+
+impl SpanTracker {
+    fn span(&mut self, request: u16) -> &mut RequestSpan {
+        self.spans.entry(request).or_insert_with(|| RequestSpan {
+            request,
+            ..RequestSpan::default()
+        })
+    }
+
+    /// Feeds one event into the tracker.
+    pub fn observe(&mut self, cycle: u64, event: &Event) {
+        match event {
+            Event::RequestSubmitted {
+                request,
+                channel,
+                algorithm,
+                cores,
+                ..
+            } => {
+                let span = self.span(*request);
+                span.channel = *channel;
+                span.algorithm = algorithm.clone();
+                span.cores = cores.clone();
+                span.submitted = Some(cycle);
+            }
+            Event::CoreStarted { request, .. } => {
+                let span = self.span(*request);
+                if span.started.is_none() {
+                    span.started = Some(cycle);
+                }
+            }
+            Event::RequestCompleted {
+                request, auth_ok, ..
+            } => {
+                let span = self.span(*request);
+                span.completed = Some(cycle);
+                span.auth_ok = Some(*auth_ok);
+            }
+            Event::RequestRetrieved { request, .. } => {
+                self.span(*request).retrieved = Some(cycle);
+            }
+            _ => {}
+        }
+    }
+
+    /// All spans, ordered by request id.
+    pub fn spans(&self) -> impl Iterator<Item = &RequestSpan> {
+        self.spans.values()
+    }
+
+    pub fn get(&self, request: u16) -> Option<&RequestSpan> {
+        self.spans.get(&request)
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_collects_lifecycle_milestones() {
+        let mut t = SpanTracker::default();
+        t.observe(
+            10,
+            &Event::RequestSubmitted {
+                request: 1,
+                channel: 2,
+                algorithm: "AES-128-GCM".into(),
+                direction: "Encrypt",
+                cores: vec![0, 1],
+            },
+        );
+        t.observe(
+            12,
+            &Event::CoreStarted {
+                request: 1,
+                core: 0,
+                firmware: "GcmEnc".into(),
+            },
+        );
+        // A second core start must not move the started milestone.
+        t.observe(
+            14,
+            &Event::CoreStarted {
+                request: 1,
+                core: 1,
+                firmware: "GcmEnc".into(),
+            },
+        );
+        t.observe(
+            500,
+            &Event::RequestCompleted {
+                request: 1,
+                auth_ok: true,
+                cycles: 490,
+            },
+        );
+        t.observe(
+            520,
+            &Event::RequestRetrieved {
+                request: 1,
+                core: 0,
+            },
+        );
+
+        let span = t.get(1).unwrap();
+        assert_eq!(span.channel, 2);
+        assert_eq!(span.cores, vec![0, 1]);
+        assert_eq!(span.submitted, Some(10));
+        assert_eq!(span.started, Some(12));
+        assert_eq!(span.completed, Some(500));
+        assert_eq!(span.retrieved, Some(520));
+        assert_eq!(span.auth_ok, Some(true));
+        assert_eq!(span.completion_latency(), Some(490));
+        assert_eq!(span.retrieval_latency(), Some(510));
+    }
+
+    #[test]
+    fn unrelated_events_do_not_create_spans() {
+        let mut t = SpanTracker::default();
+        t.observe(1, &Event::KeyCacheHit { core: 0, key: 3 });
+        t.observe(
+            2,
+            &Event::FifoFull {
+                core: 1,
+                port: crate::event::FifoPort::Input,
+            },
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn incomplete_spans_report_no_latency() {
+        let mut t = SpanTracker::default();
+        t.observe(
+            3,
+            &Event::RequestSubmitted {
+                request: 9,
+                channel: 0,
+                algorithm: "AES-256-CCM".into(),
+                direction: "Decrypt",
+                cores: vec![2],
+            },
+        );
+        let span = t.get(9).unwrap();
+        assert_eq!(span.completion_latency(), None);
+        assert_eq!(span.retrieval_latency(), None);
+        assert_eq!(t.len(), 1);
+    }
+}

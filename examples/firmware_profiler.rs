@@ -90,6 +90,9 @@ fn main() {
     }
     let hot = ranked.first().map(|&(_, c)| c).unwrap_or(0);
     println!("\n{hot} iterations ≈ 128 payload blocks — the loop executes once per");
-    println!("128-bit block and sustains the paper's 49-cycle budget ({} cycles", total);
+    println!(
+        "128-bit block and sustains the paper's 49-cycle budget ({} cycles",
+        total
+    );
     println!("≈ 128 × 49 + pre/post overhead).");
 }

@@ -42,7 +42,9 @@ fn main() {
     for i in 0..40u64 {
         let mut iv = [0u8; 12];
         iv[4..].copy_from_slice(&i.to_be_bytes());
-        let pkt = mccp.encrypt_packet(ch, &[], &payload, &iv).expect("encrypt");
+        let pkt = mccp
+            .encrypt_packet(ch, &[], &payload, &iv)
+            .expect("encrypt");
         packets += 1;
         // Advance the reconfiguration by the cycles the packet took.
         for _ in 0..pkt.cycles {
@@ -71,7 +73,10 @@ fn main() {
     mccp.core_mut(3).set_personality(Personality::WhirlpoolUnit);
     println!("core 3 personality: {:?}", mccp.core(3).personality());
     let digest = whirlpool(b"The quick brown fox jumps over the lazy dog");
-    println!("whirlpool(\"The quick brown fox...\") = {:02x?}...", &digest[..8]);
+    println!(
+        "whirlpool(\"The quick brown fox...\") = {:02x?}...",
+        &digest[..8]
+    );
 
     // AES traffic continues on the remaining cores (first-idle dispatch
     // simply never selects the Whirlpool core).
@@ -85,7 +90,8 @@ fn main() {
 
     // Swap back: the AES bitstream restores full capacity.
     let mut rc2 = ReconfigController::new();
-    rc2.begin(AES_BITSTREAM, BitstreamSource::CompactFlash).unwrap();
+    rc2.begin(AES_BITSTREAM, BitstreamSource::CompactFlash)
+        .unwrap();
     while rc2.tick().is_none() {}
     mccp.core_mut(3).set_personality(Personality::AesUnit);
     println!(
@@ -115,7 +121,13 @@ fn main() {
         tf_pkt.cycles
     );
     let back = mccp
-        .decrypt_packet(tf_ch, b"hdr", &tf_pkt.ciphertext, &tf_pkt.tag, &[0x77u8; 12])
+        .decrypt_packet(
+            tf_ch,
+            b"hdr",
+            &tf_pkt.ciphertext,
+            &tf_pkt.tag,
+            &[0x77u8; 12],
+        )
         .unwrap();
     assert_eq!(back.plaintext, b"twofish-gcm payload");
     println!("Twofish packet round-trips — \"AES may be easily replaced by any");

@@ -16,7 +16,9 @@ fn main() {
     let mut m = Mccp::new(MccpConfig::default());
     m.key_memory_mut().store(KeyId(1), &[0x42; 16]);
     let gcm = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
-    let ccm = m.open_with_tag_len(Algorithm::AesCcm128, KeyId(1), 8).unwrap();
+    let ccm = m
+        .open_with_tag_len(Algorithm::AesCcm128, KeyId(1), 8)
+        .unwrap();
 
     let mut vcd = VcdWriter::new("mccp", CLOCK_HZ);
     let n = m.config().n_cores;

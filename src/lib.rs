@@ -24,6 +24,9 @@
 //!   functional mode.
 //! * [`sdr`] — the communication-controller substrate: channel profiles,
 //!   NIST-conformant packet formatting, and multi-channel workload generation.
+//! * [`telemetry`] — typed cycle-domain events, per-core/per-channel metrics,
+//!   request spans, and exporters (JSON-lines, Prometheus text, utilization
+//!   reports, VCD) shared by the simulator and the benchmark harness.
 //! * [`baselines`] — comparison architectures (mono-core, tightly coupled
 //!   dual-core CCM, fully pipelined GCM) and literature reference points.
 //!
@@ -51,3 +54,4 @@ pub use mccp_gf128 as gf128;
 pub use mccp_picoblaze as picoblaze;
 pub use mccp_sdr as sdr;
 pub use mccp_sim as sim;
+pub use mccp_telemetry as telemetry;

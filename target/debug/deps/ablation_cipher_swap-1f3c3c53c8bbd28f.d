@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cipher_swap-1f3c3c53c8bbd28f.d: crates/mccp-bench/src/bin/ablation_cipher_swap.rs
+
+/root/repo/target/debug/deps/ablation_cipher_swap-1f3c3c53c8bbd28f: crates/mccp-bench/src/bin/ablation_cipher_swap.rs
+
+crates/mccp-bench/src/bin/ablation_cipher_swap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_cipher_swap-78c69802b558effe.d: crates/mccp-bench/src/bin/ablation_cipher_swap.rs
+
+/root/repo/target/debug/deps/ablation_cipher_swap-78c69802b558effe: crates/mccp-bench/src/bin/ablation_cipher_swap.rs
+
+crates/mccp-bench/src/bin/ablation_cipher_swap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_cipher_swap-9b3e7b75329e8e44.d: crates/mccp-bench/src/bin/ablation_cipher_swap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_cipher_swap-9b3e7b75329e8e44.rmeta: crates/mccp-bench/src/bin/ablation_cipher_swap.rs Cargo.toml
+
+crates/mccp-bench/src/bin/ablation_cipher_swap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

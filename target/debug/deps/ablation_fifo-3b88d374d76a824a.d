@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fifo-3b88d374d76a824a.d: crates/mccp-bench/src/bin/ablation_fifo.rs
+
+/root/repo/target/debug/deps/ablation_fifo-3b88d374d76a824a: crates/mccp-bench/src/bin/ablation_fifo.rs
+
+crates/mccp-bench/src/bin/ablation_fifo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fifo-e940f730e5aa871a.d: crates/mccp-bench/src/bin/ablation_fifo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fifo-e940f730e5aa871a.rmeta: crates/mccp-bench/src/bin/ablation_fifo.rs Cargo.toml
+
+crates/mccp-bench/src/bin/ablation_fifo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

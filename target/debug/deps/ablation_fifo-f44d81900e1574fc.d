@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fifo-f44d81900e1574fc.d: crates/mccp-bench/src/bin/ablation_fifo.rs
+
+/root/repo/target/debug/deps/ablation_fifo-f44d81900e1574fc: crates/mccp-bench/src/bin/ablation_fifo.rs
+
+crates/mccp-bench/src/bin/ablation_fifo.rs:

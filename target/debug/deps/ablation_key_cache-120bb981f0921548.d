@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_key_cache-120bb981f0921548.d: crates/mccp-bench/src/bin/ablation_key_cache.rs
+
+/root/repo/target/debug/deps/ablation_key_cache-120bb981f0921548: crates/mccp-bench/src/bin/ablation_key_cache.rs
+
+crates/mccp-bench/src/bin/ablation_key_cache.rs:

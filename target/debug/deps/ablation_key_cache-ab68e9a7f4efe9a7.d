@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_key_cache-ab68e9a7f4efe9a7.d: crates/mccp-bench/src/bin/ablation_key_cache.rs
+
+/root/repo/target/debug/deps/ablation_key_cache-ab68e9a7f4efe9a7: crates/mccp-bench/src/bin/ablation_key_cache.rs
+
+crates/mccp-bench/src/bin/ablation_key_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_key_cache-b6e10baf173616c6.d: crates/mccp-bench/src/bin/ablation_key_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_key_cache-b6e10baf173616c6.rmeta: crates/mccp-bench/src/bin/ablation_key_cache.rs Cargo.toml
+
+crates/mccp-bench/src/bin/ablation_key_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_nop-675e2cb39203d329.d: crates/mccp-bench/src/bin/ablation_nop.rs
+
+/root/repo/target/debug/deps/ablation_nop-675e2cb39203d329: crates/mccp-bench/src/bin/ablation_nop.rs
+
+crates/mccp-bench/src/bin/ablation_nop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_nop-a07019769ccaaa20.d: crates/mccp-bench/src/bin/ablation_nop.rs
+
+/root/repo/target/debug/deps/ablation_nop-a07019769ccaaa20: crates/mccp-bench/src/bin/ablation_nop.rs
+
+crates/mccp-bench/src/bin/ablation_nop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_nop-c786d0719138c56f.d: crates/mccp-bench/src/bin/ablation_nop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_nop-c786d0719138c56f.rmeta: crates/mccp-bench/src/bin/ablation_nop.rs Cargo.toml
+
+crates/mccp-bench/src/bin/ablation_nop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

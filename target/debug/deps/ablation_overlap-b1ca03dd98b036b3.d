@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-b1ca03dd98b036b3.d: crates/mccp-bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-b1ca03dd98b036b3: crates/mccp-bench/src/bin/ablation_overlap.rs
+
+crates/mccp-bench/src/bin/ablation_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-d32b1d2fa1de03b9.d: crates/mccp-bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-d32b1d2fa1de03b9: crates/mccp-bench/src/bin/ablation_overlap.rs
+
+crates/mccp-bench/src/bin/ablation_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architecture_report-38b1674afc73378a.d: crates/mccp-bench/src/bin/architecture_report.rs
+
+/root/repo/target/debug/deps/architecture_report-38b1674afc73378a: crates/mccp-bench/src/bin/architecture_report.rs
+
+crates/mccp-bench/src/bin/architecture_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/architecture_report-425bb0fdb271a795.d: crates/mccp-bench/src/bin/architecture_report.rs
+
+/root/repo/target/debug/deps/architecture_report-425bb0fdb271a795: crates/mccp-bench/src/bin/architecture_report.rs
+
+crates/mccp-bench/src/bin/architecture_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/architecture_report-8d91ed42f90f41be.d: crates/mccp-bench/src/bin/architecture_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchitecture_report-8d91ed42f90f41be.rmeta: crates/mccp-bench/src/bin/architecture_report.rs Cargo.toml
+
+crates/mccp-bench/src/bin/architecture_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

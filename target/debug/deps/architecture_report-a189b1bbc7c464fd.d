@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/architecture_report-a189b1bbc7c464fd.d: crates/mccp-bench/src/bin/architecture_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchitecture_report-a189b1bbc7c464fd.rmeta: crates/mccp-bench/src/bin/architecture_report.rs Cargo.toml
+
+crates/mccp-bench/src/bin/architecture_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

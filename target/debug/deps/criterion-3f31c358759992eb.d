@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-3f31c358759992eb.d: vendor-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3f31c358759992eb.rlib: vendor-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-3f31c358759992eb.rmeta: vendor-stubs/criterion/src/lib.rs
+
+vendor-stubs/criterion/src/lib.rs:

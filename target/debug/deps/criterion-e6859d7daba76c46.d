@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e6859d7daba76c46.d: vendor-stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e6859d7daba76c46.rmeta: vendor-stubs/criterion/src/lib.rs
+
+vendor-stubs/criterion/src/lib.rs:

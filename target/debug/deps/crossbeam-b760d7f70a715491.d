@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-b760d7f70a715491.d: vendor-stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-b760d7f70a715491.rmeta: vendor-stubs/crossbeam/src/lib.rs
+
+vendor-stubs/crossbeam/src/lib.rs:

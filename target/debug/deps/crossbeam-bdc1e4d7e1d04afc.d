@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-bdc1e4d7e1d04afc.d: vendor-stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-bdc1e4d7e1d04afc.rlib: vendor-stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-bdc1e4d7e1d04afc.rmeta: vendor-stubs/crossbeam/src/lib.rs
+
+vendor-stubs/crossbeam/src/lib.rs:

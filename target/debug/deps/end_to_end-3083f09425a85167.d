@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3083f09425a85167.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3083f09425a85167: tests/end_to_end.rs
+
+tests/end_to_end.rs:

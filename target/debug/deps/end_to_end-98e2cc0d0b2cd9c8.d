@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-98e2cc0d0b2cd9c8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-98e2cc0d0b2cd9c8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/field_laws-b196bc4ee88b45a3.d: crates/mccp-gf128/tests/field_laws.rs
+
+/root/repo/target/debug/deps/field_laws-b196bc4ee88b45a3: crates/mccp-gf128/tests/field_laws.rs
+
+crates/mccp-gf128/tests/field_laws.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/field_laws-ee6105e923d2d7b1.d: crates/mccp-gf128/tests/field_laws.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfield_laws-ee6105e923d2d7b1.rmeta: crates/mccp-gf128/tests/field_laws.rs Cargo.toml
+
+crates/mccp-gf128/tests/field_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_aad_fraction-254c122e097bc8c0.d: crates/mccp-bench/src/bin/fig_aad_fraction.rs
+
+/root/repo/target/debug/deps/fig_aad_fraction-254c122e097bc8c0: crates/mccp-bench/src/bin/fig_aad_fraction.rs
+
+crates/mccp-bench/src/bin/fig_aad_fraction.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_aad_fraction-502a8388b95e9fd0.d: crates/mccp-bench/src/bin/fig_aad_fraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_aad_fraction-502a8388b95e9fd0.rmeta: crates/mccp-bench/src/bin/fig_aad_fraction.rs Cargo.toml
+
+crates/mccp-bench/src/bin/fig_aad_fraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

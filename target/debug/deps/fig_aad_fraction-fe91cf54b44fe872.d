@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_aad_fraction-fe91cf54b44fe872.d: crates/mccp-bench/src/bin/fig_aad_fraction.rs
+
+/root/repo/target/debug/deps/fig_aad_fraction-fe91cf54b44fe872: crates/mccp-bench/src/bin/fig_aad_fraction.rs
+
+crates/mccp-bench/src/bin/fig_aad_fraction.rs:

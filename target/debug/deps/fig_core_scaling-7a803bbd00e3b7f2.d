@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_core_scaling-7a803bbd00e3b7f2.d: crates/mccp-bench/src/bin/fig_core_scaling.rs
+
+/root/repo/target/debug/deps/fig_core_scaling-7a803bbd00e3b7f2: crates/mccp-bench/src/bin/fig_core_scaling.rs
+
+crates/mccp-bench/src/bin/fig_core_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_core_scaling-92e62d5c1319ad88.d: crates/mccp-bench/src/bin/fig_core_scaling.rs
+
+/root/repo/target/debug/deps/fig_core_scaling-92e62d5c1319ad88: crates/mccp-bench/src/bin/fig_core_scaling.rs
+
+crates/mccp-bench/src/bin/fig_core_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_core_scaling-ffd12e58cf7162d6.d: crates/mccp-bench/src/bin/fig_core_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_core_scaling-ffd12e58cf7162d6.rmeta: crates/mccp-bench/src/bin/fig_core_scaling.rs Cargo.toml
+
+crates/mccp-bench/src/bin/fig_core_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

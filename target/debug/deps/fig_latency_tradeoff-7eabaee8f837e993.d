@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_latency_tradeoff-7eabaee8f837e993.d: crates/mccp-bench/src/bin/fig_latency_tradeoff.rs
+
+/root/repo/target/debug/deps/fig_latency_tradeoff-7eabaee8f837e993: crates/mccp-bench/src/bin/fig_latency_tradeoff.rs
+
+crates/mccp-bench/src/bin/fig_latency_tradeoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_latency_tradeoff-bec6f5badaf5134c.d: crates/mccp-bench/src/bin/fig_latency_tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_latency_tradeoff-bec6f5badaf5134c.rmeta: crates/mccp-bench/src/bin/fig_latency_tradeoff.rs Cargo.toml
+
+crates/mccp-bench/src/bin/fig_latency_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_offered_load-1f9634b02e3f29bb.d: crates/mccp-bench/src/bin/fig_offered_load.rs
+
+/root/repo/target/debug/deps/fig_offered_load-1f9634b02e3f29bb: crates/mccp-bench/src/bin/fig_offered_load.rs
+
+crates/mccp-bench/src/bin/fig_offered_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_offered_load-b780d44ee383a787.d: crates/mccp-bench/src/bin/fig_offered_load.rs
+
+/root/repo/target/debug/deps/fig_offered_load-b780d44ee383a787: crates/mccp-bench/src/bin/fig_offered_load.rs
+
+crates/mccp-bench/src/bin/fig_offered_load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_offered_load-fa104aa10155d891.d: crates/mccp-bench/src/bin/fig_offered_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_offered_load-fa104aa10155d891.rmeta: crates/mccp-bench/src/bin/fig_offered_load.rs Cargo.toml
+
+crates/mccp-bench/src/bin/fig_offered_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_packet_sweep-06d172ed1a4a25e7.d: crates/mccp-bench/src/bin/fig_packet_sweep.rs
+
+/root/repo/target/debug/deps/fig_packet_sweep-06d172ed1a4a25e7: crates/mccp-bench/src/bin/fig_packet_sweep.rs
+
+crates/mccp-bench/src/bin/fig_packet_sweep.rs:

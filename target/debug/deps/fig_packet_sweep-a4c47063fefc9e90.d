@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_packet_sweep-a4c47063fefc9e90.d: crates/mccp-bench/src/bin/fig_packet_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_packet_sweep-a4c47063fefc9e90.rmeta: crates/mccp-bench/src/bin/fig_packet_sweep.rs Cargo.toml
+
+crates/mccp-bench/src/bin/fig_packet_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_packet_sweep-dacb5c05f95a4b09.d: crates/mccp-bench/src/bin/fig_packet_sweep.rs
+
+/root/repo/target/debug/deps/fig_packet_sweep-dacb5c05f95a4b09: crates/mccp-bench/src/bin/fig_packet_sweep.rs
+
+crates/mccp-bench/src/bin/fig_packet_sweep.rs:

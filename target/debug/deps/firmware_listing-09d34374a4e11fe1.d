@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/firmware_listing-09d34374a4e11fe1.d: crates/mccp-bench/src/bin/firmware_listing.rs
+
+/root/repo/target/debug/deps/firmware_listing-09d34374a4e11fe1: crates/mccp-bench/src/bin/firmware_listing.rs
+
+crates/mccp-bench/src/bin/firmware_listing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/firmware_listing-2ade5480788c6421.d: crates/mccp-bench/src/bin/firmware_listing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfirmware_listing-2ade5480788c6421.rmeta: crates/mccp-bench/src/bin/firmware_listing.rs Cargo.toml
+
+crates/mccp-bench/src/bin/firmware_listing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

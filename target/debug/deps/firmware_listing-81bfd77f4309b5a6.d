@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/firmware_listing-81bfd77f4309b5a6.d: crates/mccp-bench/src/bin/firmware_listing.rs
+
+/root/repo/target/debug/deps/firmware_listing-81bfd77f4309b5a6: crates/mccp-bench/src/bin/firmware_listing.rs
+
+crates/mccp-bench/src/bin/firmware_listing.rs:

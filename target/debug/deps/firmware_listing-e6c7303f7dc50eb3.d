@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/firmware_listing-e6c7303f7dc50eb3.d: crates/mccp-bench/src/bin/firmware_listing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfirmware_listing-e6c7303f7dc50eb3.rmeta: crates/mccp-bench/src/bin/firmware_listing.rs Cargo.toml
+
+crates/mccp-bench/src/bin/firmware_listing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional_throughput-48adf73b7b5a8319.d: crates/mccp-bench/benches/functional_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional_throughput-48adf73b7b5a8319.rmeta: crates/mccp-bench/benches/functional_throughput.rs Cargo.toml
+
+crates/mccp-bench/benches/functional_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loop_cycles-5e4c13be8413ceae.d: crates/mccp-bench/src/bin/loop_cycles.rs
+
+/root/repo/target/debug/deps/loop_cycles-5e4c13be8413ceae: crates/mccp-bench/src/bin/loop_cycles.rs
+
+crates/mccp-bench/src/bin/loop_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/loop_cycles-cc8ee53d73d70fa0.d: crates/mccp-bench/src/bin/loop_cycles.rs
+
+/root/repo/target/debug/deps/loop_cycles-cc8ee53d73d70fa0: crates/mccp-bench/src/bin/loop_cycles.rs
+
+crates/mccp-bench/src/bin/loop_cycles.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/loop_cycles-ef6c65086f72451d.d: crates/mccp-bench/src/bin/loop_cycles.rs Cargo.toml
+
+/root/repo/target/debug/deps/libloop_cycles-ef6c65086f72451d.rmeta: crates/mccp-bench/src/bin/loop_cycles.rs Cargo.toml
+
+crates/mccp-bench/src/bin/loop_cycles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mccp-4a5279517c55b608.d: src/lib.rs
+
+/root/repo/target/debug/deps/mccp-4a5279517c55b608: src/lib.rs
+
+src/lib.rs:

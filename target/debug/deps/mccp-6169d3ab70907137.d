@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mccp-6169d3ab70907137.d: src/lib.rs
+
+/root/repo/target/debug/deps/mccp-6169d3ab70907137: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccp-9ad41d2af3721334.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp-9ad41d2af3721334.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

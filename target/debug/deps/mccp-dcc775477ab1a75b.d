@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mccp-dcc775477ab1a75b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmccp-dcc775477ab1a75b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmccp-dcc775477ab1a75b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mccp-e10060ad8226ed9f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmccp-e10060ad8226ed9f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmccp-e10060ad8226ed9f.rmeta: src/lib.rs
+
+src/lib.rs:

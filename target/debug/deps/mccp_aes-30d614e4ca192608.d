@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mccp_aes-30d614e4ca192608.d: crates/mccp-aes/src/lib.rs crates/mccp-aes/src/block.rs crates/mccp-aes/src/cipher.rs crates/mccp-aes/src/column_serial.rs crates/mccp-aes/src/key_schedule.rs crates/mccp-aes/src/modes/mod.rs crates/mccp-aes/src/modes/cbc.rs crates/mccp-aes/src/modes/cbc_mac.rs crates/mccp-aes/src/modes/ccm.rs crates/mccp-aes/src/modes/ctr.rs crates/mccp-aes/src/modes/ecb.rs crates/mccp-aes/src/modes/gcm.rs crates/mccp-aes/src/sbox.rs crates/mccp-aes/src/tables.rs crates/mccp-aes/src/twofish.rs crates/mccp-aes/src/whirlpool.rs
+
+/root/repo/target/debug/deps/mccp_aes-30d614e4ca192608: crates/mccp-aes/src/lib.rs crates/mccp-aes/src/block.rs crates/mccp-aes/src/cipher.rs crates/mccp-aes/src/column_serial.rs crates/mccp-aes/src/key_schedule.rs crates/mccp-aes/src/modes/mod.rs crates/mccp-aes/src/modes/cbc.rs crates/mccp-aes/src/modes/cbc_mac.rs crates/mccp-aes/src/modes/ccm.rs crates/mccp-aes/src/modes/ctr.rs crates/mccp-aes/src/modes/ecb.rs crates/mccp-aes/src/modes/gcm.rs crates/mccp-aes/src/sbox.rs crates/mccp-aes/src/tables.rs crates/mccp-aes/src/twofish.rs crates/mccp-aes/src/whirlpool.rs
+
+crates/mccp-aes/src/lib.rs:
+crates/mccp-aes/src/block.rs:
+crates/mccp-aes/src/cipher.rs:
+crates/mccp-aes/src/column_serial.rs:
+crates/mccp-aes/src/key_schedule.rs:
+crates/mccp-aes/src/modes/mod.rs:
+crates/mccp-aes/src/modes/cbc.rs:
+crates/mccp-aes/src/modes/cbc_mac.rs:
+crates/mccp-aes/src/modes/ccm.rs:
+crates/mccp-aes/src/modes/ctr.rs:
+crates/mccp-aes/src/modes/ecb.rs:
+crates/mccp-aes/src/modes/gcm.rs:
+crates/mccp-aes/src/sbox.rs:
+crates/mccp-aes/src/tables.rs:
+crates/mccp-aes/src/twofish.rs:
+crates/mccp-aes/src/whirlpool.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/mccp_aes-4db42b0e2a4cf666.d: crates/mccp-aes/src/lib.rs crates/mccp-aes/src/block.rs crates/mccp-aes/src/cipher.rs crates/mccp-aes/src/column_serial.rs crates/mccp-aes/src/key_schedule.rs crates/mccp-aes/src/modes/mod.rs crates/mccp-aes/src/modes/cbc.rs crates/mccp-aes/src/modes/cbc_mac.rs crates/mccp-aes/src/modes/ccm.rs crates/mccp-aes/src/modes/ctr.rs crates/mccp-aes/src/modes/ecb.rs crates/mccp-aes/src/modes/gcm.rs crates/mccp-aes/src/sbox.rs crates/mccp-aes/src/tables.rs crates/mccp-aes/src/twofish.rs crates/mccp-aes/src/whirlpool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_aes-4db42b0e2a4cf666.rmeta: crates/mccp-aes/src/lib.rs crates/mccp-aes/src/block.rs crates/mccp-aes/src/cipher.rs crates/mccp-aes/src/column_serial.rs crates/mccp-aes/src/key_schedule.rs crates/mccp-aes/src/modes/mod.rs crates/mccp-aes/src/modes/cbc.rs crates/mccp-aes/src/modes/cbc_mac.rs crates/mccp-aes/src/modes/ccm.rs crates/mccp-aes/src/modes/ctr.rs crates/mccp-aes/src/modes/ecb.rs crates/mccp-aes/src/modes/gcm.rs crates/mccp-aes/src/sbox.rs crates/mccp-aes/src/tables.rs crates/mccp-aes/src/twofish.rs crates/mccp-aes/src/whirlpool.rs Cargo.toml
+
+crates/mccp-aes/src/lib.rs:
+crates/mccp-aes/src/block.rs:
+crates/mccp-aes/src/cipher.rs:
+crates/mccp-aes/src/column_serial.rs:
+crates/mccp-aes/src/key_schedule.rs:
+crates/mccp-aes/src/modes/mod.rs:
+crates/mccp-aes/src/modes/cbc.rs:
+crates/mccp-aes/src/modes/cbc_mac.rs:
+crates/mccp-aes/src/modes/ccm.rs:
+crates/mccp-aes/src/modes/ctr.rs:
+crates/mccp-aes/src/modes/ecb.rs:
+crates/mccp-aes/src/modes/gcm.rs:
+crates/mccp-aes/src/sbox.rs:
+crates/mccp-aes/src/tables.rs:
+crates/mccp-aes/src/twofish.rs:
+crates/mccp-aes/src/whirlpool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mccp_baselines-743b26073c2b9fea.d: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_baselines-743b26073c2b9fea.rmeta: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs Cargo.toml
+
+crates/mccp-baselines/src/lib.rs:
+crates/mccp-baselines/src/dual_ccm.rs:
+crates/mccp-baselines/src/mono.rs:
+crates/mccp-baselines/src/pipelined_gcm.rs:
+crates/mccp-baselines/src/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccp_baselines-8fb1340f4f1d1476.d: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+/root/repo/target/debug/deps/mccp_baselines-8fb1340f4f1d1476: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+crates/mccp-baselines/src/lib.rs:
+crates/mccp-baselines/src/dual_ccm.rs:
+crates/mccp-baselines/src/mono.rs:
+crates/mccp-baselines/src/pipelined_gcm.rs:
+crates/mccp-baselines/src/table3.rs:

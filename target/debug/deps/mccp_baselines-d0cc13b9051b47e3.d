@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccp_baselines-d0cc13b9051b47e3.d: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+/root/repo/target/debug/deps/mccp_baselines-d0cc13b9051b47e3: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+crates/mccp-baselines/src/lib.rs:
+crates/mccp-baselines/src/dual_ccm.rs:
+crates/mccp-baselines/src/mono.rs:
+crates/mccp-baselines/src/pipelined_gcm.rs:
+crates/mccp-baselines/src/table3.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mccp_baselines-ff910bb92173b88c.d: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+/root/repo/target/debug/deps/libmccp_baselines-ff910bb92173b88c.rlib: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+/root/repo/target/debug/deps/libmccp_baselines-ff910bb92173b88c.rmeta: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+crates/mccp-baselines/src/lib.rs:
+crates/mccp-baselines/src/dual_ccm.rs:
+crates/mccp-baselines/src/mono.rs:
+crates/mccp-baselines/src/pipelined_gcm.rs:
+crates/mccp-baselines/src/table3.rs:

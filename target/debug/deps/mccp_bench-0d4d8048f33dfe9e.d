@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mccp_bench-0d4d8048f33dfe9e.d: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/mccp_bench-0d4d8048f33dfe9e: crates/mccp-bench/src/lib.rs
+
+crates/mccp-bench/src/lib.rs:

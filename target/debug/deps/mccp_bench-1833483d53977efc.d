@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccp_bench-1833483d53977efc.d: crates/mccp-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_bench-1833483d53977efc.rmeta: crates/mccp-bench/src/lib.rs Cargo.toml
+
+crates/mccp-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

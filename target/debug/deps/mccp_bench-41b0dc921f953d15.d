@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mccp_bench-41b0dc921f953d15.d: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmccp_bench-41b0dc921f953d15.rlib: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmccp_bench-41b0dc921f953d15.rmeta: crates/mccp-bench/src/lib.rs
+
+crates/mccp-bench/src/lib.rs:

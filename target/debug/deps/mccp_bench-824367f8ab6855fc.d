@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mccp_bench-824367f8ab6855fc.d: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/mccp_bench-824367f8ab6855fc: crates/mccp-bench/src/lib.rs
+
+crates/mccp-bench/src/lib.rs:

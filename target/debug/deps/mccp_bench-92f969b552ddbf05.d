@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mccp_bench-92f969b552ddbf05.d: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmccp_bench-92f969b552ddbf05.rlib: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmccp_bench-92f969b552ddbf05.rmeta: crates/mccp-bench/src/lib.rs
+
+crates/mccp-bench/src/lib.rs:

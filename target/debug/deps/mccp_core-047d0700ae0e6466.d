@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mccp_core-047d0700ae0e6466.d: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_core-047d0700ae0e6466.rmeta: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs Cargo.toml
+
+crates/mccp-core/src/lib.rs:
+crates/mccp-core/src/core_unit.rs:
+crates/mccp-core/src/crossbar.rs:
+crates/mccp-core/src/firmware.rs:
+crates/mccp-core/src/format.rs:
+crates/mccp-core/src/functional.rs:
+crates/mccp-core/src/key.rs:
+crates/mccp-core/src/mccp.rs:
+crates/mccp-core/src/model.rs:
+crates/mccp-core/src/protocol.rs:
+crates/mccp-core/src/reconfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

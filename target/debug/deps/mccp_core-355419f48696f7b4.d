@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mccp_core-355419f48696f7b4.d: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs
+
+/root/repo/target/debug/deps/mccp_core-355419f48696f7b4: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs
+
+crates/mccp-core/src/lib.rs:
+crates/mccp-core/src/core_unit.rs:
+crates/mccp-core/src/crossbar.rs:
+crates/mccp-core/src/firmware.rs:
+crates/mccp-core/src/format.rs:
+crates/mccp-core/src/functional.rs:
+crates/mccp-core/src/key.rs:
+crates/mccp-core/src/mccp.rs:
+crates/mccp-core/src/model.rs:
+crates/mccp-core/src/protocol.rs:
+crates/mccp-core/src/reconfig.rs:

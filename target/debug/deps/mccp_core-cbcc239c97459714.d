@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mccp_core-cbcc239c97459714.d: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs
+
+/root/repo/target/debug/deps/libmccp_core-cbcc239c97459714.rlib: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs
+
+/root/repo/target/debug/deps/libmccp_core-cbcc239c97459714.rmeta: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs
+
+crates/mccp-core/src/lib.rs:
+crates/mccp-core/src/core_unit.rs:
+crates/mccp-core/src/crossbar.rs:
+crates/mccp-core/src/firmware.rs:
+crates/mccp-core/src/format.rs:
+crates/mccp-core/src/functional.rs:
+crates/mccp-core/src/key.rs:
+crates/mccp-core/src/mccp.rs:
+crates/mccp-core/src/model.rs:
+crates/mccp-core/src/protocol.rs:
+crates/mccp-core/src/reconfig.rs:

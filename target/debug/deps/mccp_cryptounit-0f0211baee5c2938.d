@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mccp_cryptounit-0f0211baee5c2938.d: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_cryptounit-0f0211baee5c2938.rmeta: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs Cargo.toml
+
+crates/mccp-cryptounit/src/lib.rs:
+crates/mccp-cryptounit/src/engine.rs:
+crates/mccp-cryptounit/src/isa.rs:
+crates/mccp-cryptounit/src/timing.rs:
+crates/mccp-cryptounit/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

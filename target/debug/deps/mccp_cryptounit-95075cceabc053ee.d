@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mccp_cryptounit-95075cceabc053ee.d: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs
+
+/root/repo/target/debug/deps/libmccp_cryptounit-95075cceabc053ee.rlib: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs
+
+/root/repo/target/debug/deps/libmccp_cryptounit-95075cceabc053ee.rmeta: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs
+
+crates/mccp-cryptounit/src/lib.rs:
+crates/mccp-cryptounit/src/engine.rs:
+crates/mccp-cryptounit/src/isa.rs:
+crates/mccp-cryptounit/src/timing.rs:
+crates/mccp-cryptounit/src/unit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccp_cryptounit-a567940ec8b68fa9.d: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs
+
+/root/repo/target/debug/deps/mccp_cryptounit-a567940ec8b68fa9: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs
+
+crates/mccp-cryptounit/src/lib.rs:
+crates/mccp-cryptounit/src/engine.rs:
+crates/mccp-cryptounit/src/isa.rs:
+crates/mccp-cryptounit/src/timing.rs:
+crates/mccp-cryptounit/src/unit.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mccp_gf128-84ae9d2b4cccb812.d: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs
+
+/root/repo/target/debug/deps/mccp_gf128-84ae9d2b4cccb812: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs
+
+crates/mccp-gf128/src/lib.rs:
+crates/mccp-gf128/src/digit_serial.rs:
+crates/mccp-gf128/src/element.rs:
+crates/mccp-gf128/src/ghash.rs:

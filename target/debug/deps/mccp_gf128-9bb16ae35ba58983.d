@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mccp_gf128-9bb16ae35ba58983.d: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs
+
+/root/repo/target/debug/deps/libmccp_gf128-9bb16ae35ba58983.rlib: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs
+
+/root/repo/target/debug/deps/libmccp_gf128-9bb16ae35ba58983.rmeta: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs
+
+crates/mccp-gf128/src/lib.rs:
+crates/mccp-gf128/src/digit_serial.rs:
+crates/mccp-gf128/src/element.rs:
+crates/mccp-gf128/src/ghash.rs:

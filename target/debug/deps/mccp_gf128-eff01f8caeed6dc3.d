@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mccp_gf128-eff01f8caeed6dc3.d: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_gf128-eff01f8caeed6dc3.rmeta: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs Cargo.toml
+
+crates/mccp-gf128/src/lib.rs:
+crates/mccp-gf128/src/digit_serial.rs:
+crates/mccp-gf128/src/element.rs:
+crates/mccp-gf128/src/ghash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

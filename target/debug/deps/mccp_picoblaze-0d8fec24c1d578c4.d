@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mccp_picoblaze-0d8fec24c1d578c4.d: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs
+
+/root/repo/target/debug/deps/mccp_picoblaze-0d8fec24c1d578c4: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs
+
+crates/mccp-picoblaze/src/lib.rs:
+crates/mccp-picoblaze/src/asm.rs:
+crates/mccp-picoblaze/src/cpu.rs:
+crates/mccp-picoblaze/src/isa.rs:
+crates/mccp-picoblaze/src/profile.rs:

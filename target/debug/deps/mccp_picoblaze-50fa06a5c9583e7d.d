@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mccp_picoblaze-50fa06a5c9583e7d.d: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_picoblaze-50fa06a5c9583e7d.rmeta: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs Cargo.toml
+
+crates/mccp-picoblaze/src/lib.rs:
+crates/mccp-picoblaze/src/asm.rs:
+crates/mccp-picoblaze/src/cpu.rs:
+crates/mccp-picoblaze/src/isa.rs:
+crates/mccp-picoblaze/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mccp_picoblaze-8eca03b0f0607701.d: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs
+
+/root/repo/target/debug/deps/libmccp_picoblaze-8eca03b0f0607701.rlib: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs
+
+/root/repo/target/debug/deps/libmccp_picoblaze-8eca03b0f0607701.rmeta: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs
+
+crates/mccp-picoblaze/src/lib.rs:
+crates/mccp-picoblaze/src/asm.rs:
+crates/mccp-picoblaze/src/cpu.rs:
+crates/mccp-picoblaze/src/isa.rs:
+crates/mccp-picoblaze/src/profile.rs:

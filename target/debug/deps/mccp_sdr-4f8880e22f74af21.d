@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mccp_sdr-4f8880e22f74af21.d: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+/root/repo/target/debug/deps/libmccp_sdr-4f8880e22f74af21.rlib: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+/root/repo/target/debug/deps/libmccp_sdr-4f8880e22f74af21.rmeta: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+crates/mccp-sdr/src/lib.rs:
+crates/mccp-sdr/src/channel.rs:
+crates/mccp-sdr/src/driver.rs:
+crates/mccp-sdr/src/qos.rs:
+crates/mccp-sdr/src/standards.rs:
+crates/mccp-sdr/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mccp_sdr-a33c1ade5795f67b.d: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_sdr-a33c1ade5795f67b.rmeta: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs Cargo.toml
+
+crates/mccp-sdr/src/lib.rs:
+crates/mccp-sdr/src/channel.rs:
+crates/mccp-sdr/src/driver.rs:
+crates/mccp-sdr/src/qos.rs:
+crates/mccp-sdr/src/standards.rs:
+crates/mccp-sdr/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

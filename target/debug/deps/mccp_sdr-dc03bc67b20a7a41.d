@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mccp_sdr-dc03bc67b20a7a41.d: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+/root/repo/target/debug/deps/mccp_sdr-dc03bc67b20a7a41: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+crates/mccp-sdr/src/lib.rs:
+crates/mccp-sdr/src/channel.rs:
+crates/mccp-sdr/src/driver.rs:
+crates/mccp-sdr/src/qos.rs:
+crates/mccp-sdr/src/standards.rs:
+crates/mccp-sdr/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mccp_sim-759b0f130a5efb07.d: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs
+
+/root/repo/target/debug/deps/libmccp_sim-759b0f130a5efb07.rlib: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs
+
+/root/repo/target/debug/deps/libmccp_sim-759b0f130a5efb07.rmeta: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs
+
+crates/mccp-sim/src/lib.rs:
+crates/mccp-sim/src/bram.rs:
+crates/mccp-sim/src/clocked.rs:
+crates/mccp-sim/src/fifo.rs:
+crates/mccp-sim/src/resources.rs:
+crates/mccp-sim/src/shift_register.rs:
+crates/mccp-sim/src/trace.rs:
+crates/mccp-sim/src/vcd.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mccp_sim-7d608efc1daea6a5.d: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs
+
+/root/repo/target/debug/deps/mccp_sim-7d608efc1daea6a5: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs
+
+crates/mccp-sim/src/lib.rs:
+crates/mccp-sim/src/bram.rs:
+crates/mccp-sim/src/clocked.rs:
+crates/mccp-sim/src/fifo.rs:
+crates/mccp-sim/src/resources.rs:
+crates/mccp-sim/src/shift_register.rs:
+crates/mccp-sim/src/trace.rs:
+crates/mccp-sim/src/vcd.rs:

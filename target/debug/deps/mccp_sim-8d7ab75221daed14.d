@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mccp_sim-8d7ab75221daed14.d: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_sim-8d7ab75221daed14.rmeta: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs Cargo.toml
+
+crates/mccp-sim/src/lib.rs:
+crates/mccp-sim/src/bram.rs:
+crates/mccp-sim/src/clocked.rs:
+crates/mccp-sim/src/fifo.rs:
+crates/mccp-sim/src/resources.rs:
+crates/mccp-sim/src/shift_register.rs:
+crates/mccp-sim/src/trace.rs:
+crates/mccp-sim/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

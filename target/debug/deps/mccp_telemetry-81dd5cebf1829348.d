@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mccp_telemetry-81dd5cebf1829348.d: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs
+
+/root/repo/target/debug/deps/libmccp_telemetry-81dd5cebf1829348.rlib: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs
+
+/root/repo/target/debug/deps/libmccp_telemetry-81dd5cebf1829348.rmeta: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs
+
+crates/mccp-telemetry/src/lib.rs:
+crates/mccp-telemetry/src/event.rs:
+crates/mccp-telemetry/src/export.rs:
+crates/mccp-telemetry/src/metrics.rs:
+crates/mccp-telemetry/src/span.rs:
+crates/mccp-telemetry/src/vcd_bridge.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mccp_telemetry-cdad1c3208007af1.d: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmccp_telemetry-cdad1c3208007af1.rmeta: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs Cargo.toml
+
+crates/mccp-telemetry/src/lib.rs:
+crates/mccp-telemetry/src/event.rs:
+crates/mccp-telemetry/src/export.rs:
+crates/mccp-telemetry/src/metrics.rs:
+crates/mccp-telemetry/src/span.rs:
+crates/mccp-telemetry/src/vcd_bridge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

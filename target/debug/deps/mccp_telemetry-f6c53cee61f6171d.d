@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mccp_telemetry-f6c53cee61f6171d.d: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs
+
+/root/repo/target/debug/deps/mccp_telemetry-f6c53cee61f6171d: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs
+
+crates/mccp-telemetry/src/lib.rs:
+crates/mccp-telemetry/src/event.rs:
+crates/mccp-telemetry/src/export.rs:
+crates/mccp-telemetry/src/metrics.rs:
+crates/mccp-telemetry/src/span.rs:
+crates/mccp-telemetry/src/vcd_bridge.rs:

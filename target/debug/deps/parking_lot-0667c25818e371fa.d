@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-0667c25818e371fa.d: vendor-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0667c25818e371fa.rlib: vendor-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-0667c25818e371fa.rmeta: vendor-stubs/parking_lot/src/lib.rs
+
+vendor-stubs/parking_lot/src/lib.rs:

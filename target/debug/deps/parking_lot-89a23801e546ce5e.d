@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-89a23801e546ce5e.d: vendor-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-89a23801e546ce5e.rmeta: vendor-stubs/parking_lot/src/lib.rs
+
+vendor-stubs/parking_lot/src/lib.rs:

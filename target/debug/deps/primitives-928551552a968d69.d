@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/primitives-928551552a968d69.d: crates/mccp-bench/benches/primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprimitives-928551552a968d69.rmeta: crates/mccp-bench/benches/primitives.rs Cargo.toml
+
+crates/mccp-bench/benches/primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-6d2b775b310f53cf.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-6d2b775b310f53cf: tests/property.rs
+
+tests/property.rs:

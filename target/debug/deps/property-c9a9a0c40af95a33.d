@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property-c9a9a0c40af95a33.d: tests/property.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty-c9a9a0c40af95a33.rmeta: tests/property.rs Cargo.toml
+
+tests/property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

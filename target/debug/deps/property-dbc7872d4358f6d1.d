@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-dbc7872d4358f6d1.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-dbc7872d4358f6d1: tests/property.rs
+
+tests/property.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-16d09db02bea72e1.d: vendor-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-16d09db02bea72e1.rlib: vendor-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-16d09db02bea72e1.rmeta: vendor-stubs/proptest/src/lib.rs
+
+vendor-stubs/proptest/src/lib.rs:

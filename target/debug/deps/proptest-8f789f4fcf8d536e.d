@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8f789f4fcf8d536e.d: vendor-stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-8f789f4fcf8d536e.rmeta: vendor-stubs/proptest/src/lib.rs
+
+vendor-stubs/proptest/src/lib.rs:

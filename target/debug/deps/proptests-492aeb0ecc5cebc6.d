@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-492aeb0ecc5cebc6.d: crates/mccp-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-492aeb0ecc5cebc6: crates/mccp-sim/tests/proptests.rs
+
+crates/mccp-sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-53b685f92d83c5ee.d: crates/mccp-picoblaze/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-53b685f92d83c5ee: crates/mccp-picoblaze/tests/proptests.rs
+
+crates/mccp-picoblaze/tests/proptests.rs:

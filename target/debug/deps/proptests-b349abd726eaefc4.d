@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-b349abd726eaefc4.d: crates/mccp-picoblaze/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-b349abd726eaefc4.rmeta: crates/mccp-picoblaze/tests/proptests.rs Cargo.toml
+
+crates/mccp-picoblaze/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-c5066547f2115594.d: crates/mccp-aes/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-c5066547f2115594.rmeta: crates/mccp-aes/tests/proptests.rs Cargo.toml
+
+crates/mccp-aes/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d523ef3fe549791a.d: crates/mccp-sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d523ef3fe549791a.rmeta: crates/mccp-sim/tests/proptests.rs Cargo.toml
+
+crates/mccp-sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-dd2f022c5123fc02.d: crates/mccp-aes/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-dd2f022c5123fc02: crates/mccp-aes/tests/proptests.rs
+
+crates/mccp-aes/tests/proptests.rs:

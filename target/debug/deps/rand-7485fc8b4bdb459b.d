@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-7485fc8b4bdb459b.d: vendor-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7485fc8b4bdb459b.rmeta: vendor-stubs/rand/src/lib.rs
+
+vendor-stubs/rand/src/lib.rs:

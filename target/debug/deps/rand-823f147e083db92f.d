@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-823f147e083db92f.d: vendor-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-823f147e083db92f.rlib: vendor-stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-823f147e083db92f.rmeta: vendor-stubs/rand/src/lib.rs
+
+vendor-stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reconfig-4890c4e7bd67931c.d: tests/reconfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreconfig-4890c4e7bd67931c.rmeta: tests/reconfig.rs Cargo.toml
+
+tests/reconfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

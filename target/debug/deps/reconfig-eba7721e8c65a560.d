@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfig-eba7721e8c65a560.d: tests/reconfig.rs
+
+/root/repo/target/debug/deps/reconfig-eba7721e8c65a560: tests/reconfig.rs
+
+tests/reconfig.rs:

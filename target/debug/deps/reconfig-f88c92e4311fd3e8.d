@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfig-f88c92e4311fd3e8.d: tests/reconfig.rs
+
+/root/repo/target/debug/deps/reconfig-f88c92e4311fd3e8: tests/reconfig.rs
+
+tests/reconfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-0f3c37afed024aa9.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-0f3c37afed024aa9: tests/security.rs
+
+tests/security.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/security-3eb2c8c89a272eba.d: tests/security.rs
+
+/root/repo/target/debug/deps/security-3eb2c8c89a272eba: tests/security.rs
+
+tests/security.rs:

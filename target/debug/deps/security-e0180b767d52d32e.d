@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/security-e0180b767d52d32e.d: tests/security.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecurity-e0180b767d52d32e.rmeta: tests/security.rs Cargo.toml
+
+tests/security.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

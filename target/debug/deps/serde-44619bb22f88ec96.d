@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-44619bb22f88ec96.d: vendor-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-44619bb22f88ec96.rmeta: vendor-stubs/serde/src/lib.rs
+
+vendor-stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f6dff18f3ebc007c.d: vendor-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f6dff18f3ebc007c.rlib: vendor-stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f6dff18f3ebc007c.rmeta: vendor-stubs/serde/src/lib.rs
+
+vendor-stubs/serde/src/lib.rs:

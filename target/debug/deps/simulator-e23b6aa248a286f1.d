@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulator-e23b6aa248a286f1.d: crates/mccp-bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-e23b6aa248a286f1.rmeta: crates/mccp-bench/benches/simulator.rs Cargo.toml
+
+crates/mccp-bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-361d8fe41c040f7c.d: crates/mccp-bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-361d8fe41c040f7c: crates/mccp-bench/src/bin/soak.rs
+
+crates/mccp-bench/src/bin/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-9f81e315381fb9c5.d: crates/mccp-bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-9f81e315381fb9c5: crates/mccp-bench/src/bin/soak.rs
+
+crates/mccp-bench/src/bin/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-b6b88726f1f2272f.d: crates/mccp-bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-b6b88726f1f2272f: crates/mccp-bench/src/bin/soak.rs
+
+crates/mccp-bench/src/bin/soak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak-e5fd880f75c987b2.d: crates/mccp-bench/src/bin/soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak-e5fd880f75c987b2.rmeta: crates/mccp-bench/src/bin/soak.rs Cargo.toml
+
+crates/mccp-bench/src/bin/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_isa-6d8c3c301d563e9a.d: crates/mccp-bench/src/bin/table1_isa.rs
+
+/root/repo/target/debug/deps/table1_isa-6d8c3c301d563e9a: crates/mccp-bench/src/bin/table1_isa.rs
+
+crates/mccp-bench/src/bin/table1_isa.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_isa-99be85b6f5d40859.d: crates/mccp-bench/src/bin/table1_isa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_isa-99be85b6f5d40859.rmeta: crates/mccp-bench/src/bin/table1_isa.rs Cargo.toml
+
+crates/mccp-bench/src/bin/table1_isa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

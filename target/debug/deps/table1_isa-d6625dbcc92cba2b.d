@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_isa-d6625dbcc92cba2b.d: crates/mccp-bench/src/bin/table1_isa.rs
+
+/root/repo/target/debug/deps/table1_isa-d6625dbcc92cba2b: crates/mccp-bench/src/bin/table1_isa.rs
+
+crates/mccp-bench/src/bin/table1_isa.rs:

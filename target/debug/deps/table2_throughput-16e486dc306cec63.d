@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_throughput-16e486dc306cec63.d: crates/mccp-bench/src/bin/table2_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_throughput-16e486dc306cec63.rmeta: crates/mccp-bench/src/bin/table2_throughput.rs Cargo.toml
+
+crates/mccp-bench/src/bin/table2_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

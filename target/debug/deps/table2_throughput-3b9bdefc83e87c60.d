@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_throughput-3b9bdefc83e87c60.d: crates/mccp-bench/src/bin/table2_throughput.rs
+
+/root/repo/target/debug/deps/table2_throughput-3b9bdefc83e87c60: crates/mccp-bench/src/bin/table2_throughput.rs
+
+crates/mccp-bench/src/bin/table2_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_throughput-607a7bf463cbf033.d: crates/mccp-bench/src/bin/table2_throughput.rs
+
+/root/repo/target/debug/deps/table2_throughput-607a7bf463cbf033: crates/mccp-bench/src/bin/table2_throughput.rs
+
+crates/mccp-bench/src/bin/table2_throughput.rs:

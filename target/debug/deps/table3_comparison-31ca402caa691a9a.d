@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_comparison-31ca402caa691a9a.d: crates/mccp-bench/src/bin/table3_comparison.rs
+
+/root/repo/target/debug/deps/table3_comparison-31ca402caa691a9a: crates/mccp-bench/src/bin/table3_comparison.rs
+
+crates/mccp-bench/src/bin/table3_comparison.rs:

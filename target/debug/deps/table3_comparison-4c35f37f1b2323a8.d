@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_comparison-4c35f37f1b2323a8.d: crates/mccp-bench/src/bin/table3_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_comparison-4c35f37f1b2323a8.rmeta: crates/mccp-bench/src/bin/table3_comparison.rs Cargo.toml
+
+crates/mccp-bench/src/bin/table3_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

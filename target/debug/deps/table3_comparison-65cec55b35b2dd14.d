@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_comparison-65cec55b35b2dd14.d: crates/mccp-bench/src/bin/table3_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_comparison-65cec55b35b2dd14.rmeta: crates/mccp-bench/src/bin/table3_comparison.rs Cargo.toml
+
+crates/mccp-bench/src/bin/table3_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_comparison-b41ed3a567dfeb69.d: crates/mccp-bench/src/bin/table3_comparison.rs
+
+/root/repo/target/debug/deps/table3_comparison-b41ed3a567dfeb69: crates/mccp-bench/src/bin/table3_comparison.rs
+
+crates/mccp-bench/src/bin/table3_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_reconfig-01c21b24a36d0953.d: crates/mccp-bench/src/bin/table4_reconfig.rs
+
+/root/repo/target/debug/deps/table4_reconfig-01c21b24a36d0953: crates/mccp-bench/src/bin/table4_reconfig.rs
+
+crates/mccp-bench/src/bin/table4_reconfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_reconfig-2521a2693a5a41fb.d: crates/mccp-bench/src/bin/table4_reconfig.rs
+
+/root/repo/target/debug/deps/table4_reconfig-2521a2693a5a41fb: crates/mccp-bench/src/bin/table4_reconfig.rs
+
+crates/mccp-bench/src/bin/table4_reconfig.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_reconfig-284e6fb7ddb0773a.d: crates/mccp-bench/src/bin/table4_reconfig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_reconfig-284e6fb7ddb0773a.rmeta: crates/mccp-bench/src/bin/table4_reconfig.rs Cargo.toml
+
+crates/mccp-bench/src/bin/table4_reconfig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

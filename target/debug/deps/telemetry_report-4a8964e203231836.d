@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_report-4a8964e203231836.d: crates/mccp-bench/src/bin/telemetry_report.rs
+
+/root/repo/target/debug/deps/telemetry_report-4a8964e203231836: crates/mccp-bench/src/bin/telemetry_report.rs
+
+crates/mccp-bench/src/bin/telemetry_report.rs:

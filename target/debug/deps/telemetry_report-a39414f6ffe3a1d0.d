@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_report-a39414f6ffe3a1d0.d: crates/mccp-bench/src/bin/telemetry_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_report-a39414f6ffe3a1d0.rmeta: crates/mccp-bench/src/bin/telemetry_report.rs Cargo.toml
+
+crates/mccp-bench/src/bin/telemetry_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_report-bde2a3ce98fd33e3.d: crates/mccp-bench/src/bin/telemetry_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_report-bde2a3ce98fd33e3.rmeta: crates/mccp-bench/src/bin/telemetry_report.rs Cargo.toml
+
+crates/mccp-bench/src/bin/telemetry_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

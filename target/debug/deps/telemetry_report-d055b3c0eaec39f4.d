@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_report-d055b3c0eaec39f4.d: crates/mccp-bench/src/bin/telemetry_report.rs
+
+/root/repo/target/debug/deps/telemetry_report-d055b3c0eaec39f4: crates/mccp-bench/src/bin/telemetry_report.rs
+
+crates/mccp-bench/src/bin/telemetry_report.rs:

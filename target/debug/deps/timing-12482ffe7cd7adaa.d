@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-12482ffe7cd7adaa.d: tests/timing.rs
+
+/root/repo/target/debug/deps/timing-12482ffe7cd7adaa: tests/timing.rs
+
+tests/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-2dcb644fb09dd860.d: tests/timing.rs
+
+/root/repo/target/debug/deps/timing-2dcb644fb09dd860: tests/timing.rs
+
+tests/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing-d50b2b3078747b5e.d: tests/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming-d50b2b3078747b5e.rmeta: tests/timing.rs Cargo.toml
+
+tests/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ccm_two_core-3a8f9eea9f9b5b1a.d: examples/ccm_two_core.rs
+
+/root/repo/target/debug/examples/ccm_two_core-3a8f9eea9f9b5b1a: examples/ccm_two_core.rs
+
+examples/ccm_two_core.rs:

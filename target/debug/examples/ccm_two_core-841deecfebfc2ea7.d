@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ccm_two_core-841deecfebfc2ea7.d: examples/ccm_two_core.rs
+
+/root/repo/target/debug/examples/ccm_two_core-841deecfebfc2ea7: examples/ccm_two_core.rs
+
+examples/ccm_two_core.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ccm_two_core-fbc2ea73eac02e42.d: examples/ccm_two_core.rs Cargo.toml
+
+/root/repo/target/debug/examples/libccm_two_core-fbc2ea73eac02e42.rmeta: examples/ccm_two_core.rs Cargo.toml
+
+examples/ccm_two_core.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

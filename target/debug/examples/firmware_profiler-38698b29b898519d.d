@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firmware_profiler-38698b29b898519d.d: examples/firmware_profiler.rs
+
+/root/repo/target/debug/examples/firmware_profiler-38698b29b898519d: examples/firmware_profiler.rs
+
+examples/firmware_profiler.rs:

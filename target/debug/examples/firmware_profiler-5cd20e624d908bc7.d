@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firmware_profiler-5cd20e624d908bc7.d: examples/firmware_profiler.rs
+
+/root/repo/target/debug/examples/firmware_profiler-5cd20e624d908bc7: examples/firmware_profiler.rs
+
+examples/firmware_profiler.rs:

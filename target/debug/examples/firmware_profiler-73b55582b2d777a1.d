@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/firmware_profiler-73b55582b2d777a1.d: examples/firmware_profiler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfirmware_profiler-73b55582b2d777a1.rmeta: examples/firmware_profiler.rs Cargo.toml
+
+examples/firmware_profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

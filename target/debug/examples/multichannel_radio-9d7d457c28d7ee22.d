@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multichannel_radio-9d7d457c28d7ee22.d: examples/multichannel_radio.rs
+
+/root/repo/target/debug/examples/multichannel_radio-9d7d457c28d7ee22: examples/multichannel_radio.rs
+
+examples/multichannel_radio.rs:

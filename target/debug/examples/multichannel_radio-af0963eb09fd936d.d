@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multichannel_radio-af0963eb09fd936d.d: examples/multichannel_radio.rs
+
+/root/repo/target/debug/examples/multichannel_radio-af0963eb09fd936d: examples/multichannel_radio.rs
+
+examples/multichannel_radio.rs:

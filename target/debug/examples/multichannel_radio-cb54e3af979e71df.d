@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multichannel_radio-cb54e3af979e71df.d: examples/multichannel_radio.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultichannel_radio-cb54e3af979e71df.rmeta: examples/multichannel_radio.rs Cargo.toml
+
+examples/multichannel_radio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4b6e701d1977585e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4b6e701d1977585e: examples/quickstart.rs
+
+examples/quickstart.rs:

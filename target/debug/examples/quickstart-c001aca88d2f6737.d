@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c001aca88d2f6737.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c001aca88d2f6737: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/reconfiguration-3d6951afa0ea9ef3.d: examples/reconfiguration.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreconfiguration-3d6951afa0ea9ef3.rmeta: examples/reconfiguration.rs Cargo.toml
+
+examples/reconfiguration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

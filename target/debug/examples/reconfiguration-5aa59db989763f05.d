@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reconfiguration-5aa59db989763f05.d: examples/reconfiguration.rs
+
+/root/repo/target/debug/examples/reconfiguration-5aa59db989763f05: examples/reconfiguration.rs
+
+examples/reconfiguration.rs:

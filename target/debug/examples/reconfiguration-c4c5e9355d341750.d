@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reconfiguration-c4c5e9355d341750.d: examples/reconfiguration.rs
+
+/root/repo/target/debug/examples/reconfiguration-c4c5e9355d341750: examples/reconfiguration.rs
+
+examples/reconfiguration.rs:

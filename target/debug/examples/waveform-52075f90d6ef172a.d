@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform-52075f90d6ef172a.d: examples/waveform.rs
+
+/root/repo/target/debug/examples/waveform-52075f90d6ef172a: examples/waveform.rs
+
+examples/waveform.rs:

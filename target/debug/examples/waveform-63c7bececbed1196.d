@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveform-63c7bececbed1196.d: examples/waveform.rs
+
+/root/repo/target/debug/examples/waveform-63c7bececbed1196: examples/waveform.rs
+
+examples/waveform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fifo-54f5e3ea2613e3c2.d: crates/mccp-bench/src/bin/ablation_fifo.rs
+
+/root/repo/target/release/deps/ablation_fifo-54f5e3ea2613e3c2: crates/mccp-bench/src/bin/ablation_fifo.rs
+
+crates/mccp-bench/src/bin/ablation_fifo.rs:

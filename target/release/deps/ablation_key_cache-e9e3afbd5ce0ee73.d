@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_key_cache-e9e3afbd5ce0ee73.d: crates/mccp-bench/src/bin/ablation_key_cache.rs
+
+/root/repo/target/release/deps/ablation_key_cache-e9e3afbd5ce0ee73: crates/mccp-bench/src/bin/ablation_key_cache.rs
+
+crates/mccp-bench/src/bin/ablation_key_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_nop-f6d78d1873d82129.d: crates/mccp-bench/src/bin/ablation_nop.rs
+
+/root/repo/target/release/deps/ablation_nop-f6d78d1873d82129: crates/mccp-bench/src/bin/ablation_nop.rs
+
+crates/mccp-bench/src/bin/ablation_nop.rs:

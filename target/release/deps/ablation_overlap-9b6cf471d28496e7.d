@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overlap-9b6cf471d28496e7.d: crates/mccp-bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/release/deps/ablation_overlap-9b6cf471d28496e7: crates/mccp-bench/src/bin/ablation_overlap.rs
+
+crates/mccp-bench/src/bin/ablation_overlap.rs:

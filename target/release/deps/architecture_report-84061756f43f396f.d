@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/architecture_report-84061756f43f396f.d: crates/mccp-bench/src/bin/architecture_report.rs
+
+/root/repo/target/release/deps/architecture_report-84061756f43f396f: crates/mccp-bench/src/bin/architecture_report.rs
+
+crates/mccp-bench/src/bin/architecture_report.rs:

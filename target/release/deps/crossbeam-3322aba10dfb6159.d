@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-3322aba10dfb6159.d: vendor-stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-3322aba10dfb6159.rlib: vendor-stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-3322aba10dfb6159.rmeta: vendor-stubs/crossbeam/src/lib.rs
+
+vendor-stubs/crossbeam/src/lib.rs:

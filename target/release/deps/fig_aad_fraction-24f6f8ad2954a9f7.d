@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_aad_fraction-24f6f8ad2954a9f7.d: crates/mccp-bench/src/bin/fig_aad_fraction.rs
+
+/root/repo/target/release/deps/fig_aad_fraction-24f6f8ad2954a9f7: crates/mccp-bench/src/bin/fig_aad_fraction.rs
+
+crates/mccp-bench/src/bin/fig_aad_fraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_latency_tradeoff-700e0a403d2b002f.d: crates/mccp-bench/src/bin/fig_latency_tradeoff.rs
+
+/root/repo/target/release/deps/fig_latency_tradeoff-700e0a403d2b002f: crates/mccp-bench/src/bin/fig_latency_tradeoff.rs
+
+crates/mccp-bench/src/bin/fig_latency_tradeoff.rs:

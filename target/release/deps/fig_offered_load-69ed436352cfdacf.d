@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_offered_load-69ed436352cfdacf.d: crates/mccp-bench/src/bin/fig_offered_load.rs
+
+/root/repo/target/release/deps/fig_offered_load-69ed436352cfdacf: crates/mccp-bench/src/bin/fig_offered_load.rs
+
+crates/mccp-bench/src/bin/fig_offered_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_packet_sweep-aa00c22924b86c8d.d: crates/mccp-bench/src/bin/fig_packet_sweep.rs
+
+/root/repo/target/release/deps/fig_packet_sweep-aa00c22924b86c8d: crates/mccp-bench/src/bin/fig_packet_sweep.rs
+
+crates/mccp-bench/src/bin/fig_packet_sweep.rs:

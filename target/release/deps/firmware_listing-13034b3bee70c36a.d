@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/firmware_listing-13034b3bee70c36a.d: crates/mccp-bench/src/bin/firmware_listing.rs
+
+/root/repo/target/release/deps/firmware_listing-13034b3bee70c36a: crates/mccp-bench/src/bin/firmware_listing.rs
+
+crates/mccp-bench/src/bin/firmware_listing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loop_cycles-90882997622a916c.d: crates/mccp-bench/src/bin/loop_cycles.rs
+
+/root/repo/target/release/deps/loop_cycles-90882997622a916c: crates/mccp-bench/src/bin/loop_cycles.rs
+
+crates/mccp-bench/src/bin/loop_cycles.rs:

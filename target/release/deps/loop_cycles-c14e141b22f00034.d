@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loop_cycles-c14e141b22f00034.d: crates/mccp-bench/src/bin/loop_cycles.rs
+
+/root/repo/target/release/deps/loop_cycles-c14e141b22f00034: crates/mccp-bench/src/bin/loop_cycles.rs
+
+crates/mccp-bench/src/bin/loop_cycles.rs:

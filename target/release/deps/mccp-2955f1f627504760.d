@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mccp-2955f1f627504760.d: src/lib.rs
+
+/root/repo/target/release/deps/libmccp-2955f1f627504760.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmccp-2955f1f627504760.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mccp-e228c49c847ae9b8.d: src/lib.rs
+
+/root/repo/target/release/deps/libmccp-e228c49c847ae9b8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmccp-e228c49c847ae9b8.rmeta: src/lib.rs
+
+src/lib.rs:

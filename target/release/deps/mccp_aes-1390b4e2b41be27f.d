@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/mccp_aes-1390b4e2b41be27f.d: crates/mccp-aes/src/lib.rs crates/mccp-aes/src/block.rs crates/mccp-aes/src/cipher.rs crates/mccp-aes/src/column_serial.rs crates/mccp-aes/src/key_schedule.rs crates/mccp-aes/src/modes/mod.rs crates/mccp-aes/src/modes/cbc.rs crates/mccp-aes/src/modes/cbc_mac.rs crates/mccp-aes/src/modes/ccm.rs crates/mccp-aes/src/modes/ctr.rs crates/mccp-aes/src/modes/ecb.rs crates/mccp-aes/src/modes/gcm.rs crates/mccp-aes/src/sbox.rs crates/mccp-aes/src/tables.rs crates/mccp-aes/src/twofish.rs crates/mccp-aes/src/whirlpool.rs
+
+/root/repo/target/release/deps/libmccp_aes-1390b4e2b41be27f.rlib: crates/mccp-aes/src/lib.rs crates/mccp-aes/src/block.rs crates/mccp-aes/src/cipher.rs crates/mccp-aes/src/column_serial.rs crates/mccp-aes/src/key_schedule.rs crates/mccp-aes/src/modes/mod.rs crates/mccp-aes/src/modes/cbc.rs crates/mccp-aes/src/modes/cbc_mac.rs crates/mccp-aes/src/modes/ccm.rs crates/mccp-aes/src/modes/ctr.rs crates/mccp-aes/src/modes/ecb.rs crates/mccp-aes/src/modes/gcm.rs crates/mccp-aes/src/sbox.rs crates/mccp-aes/src/tables.rs crates/mccp-aes/src/twofish.rs crates/mccp-aes/src/whirlpool.rs
+
+/root/repo/target/release/deps/libmccp_aes-1390b4e2b41be27f.rmeta: crates/mccp-aes/src/lib.rs crates/mccp-aes/src/block.rs crates/mccp-aes/src/cipher.rs crates/mccp-aes/src/column_serial.rs crates/mccp-aes/src/key_schedule.rs crates/mccp-aes/src/modes/mod.rs crates/mccp-aes/src/modes/cbc.rs crates/mccp-aes/src/modes/cbc_mac.rs crates/mccp-aes/src/modes/ccm.rs crates/mccp-aes/src/modes/ctr.rs crates/mccp-aes/src/modes/ecb.rs crates/mccp-aes/src/modes/gcm.rs crates/mccp-aes/src/sbox.rs crates/mccp-aes/src/tables.rs crates/mccp-aes/src/twofish.rs crates/mccp-aes/src/whirlpool.rs
+
+crates/mccp-aes/src/lib.rs:
+crates/mccp-aes/src/block.rs:
+crates/mccp-aes/src/cipher.rs:
+crates/mccp-aes/src/column_serial.rs:
+crates/mccp-aes/src/key_schedule.rs:
+crates/mccp-aes/src/modes/mod.rs:
+crates/mccp-aes/src/modes/cbc.rs:
+crates/mccp-aes/src/modes/cbc_mac.rs:
+crates/mccp-aes/src/modes/ccm.rs:
+crates/mccp-aes/src/modes/ctr.rs:
+crates/mccp-aes/src/modes/ecb.rs:
+crates/mccp-aes/src/modes/gcm.rs:
+crates/mccp-aes/src/sbox.rs:
+crates/mccp-aes/src/tables.rs:
+crates/mccp-aes/src/twofish.rs:
+crates/mccp-aes/src/whirlpool.rs:

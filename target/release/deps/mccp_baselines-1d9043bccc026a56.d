@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mccp_baselines-1d9043bccc026a56.d: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+/root/repo/target/release/deps/libmccp_baselines-1d9043bccc026a56.rlib: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+/root/repo/target/release/deps/libmccp_baselines-1d9043bccc026a56.rmeta: crates/mccp-baselines/src/lib.rs crates/mccp-baselines/src/dual_ccm.rs crates/mccp-baselines/src/mono.rs crates/mccp-baselines/src/pipelined_gcm.rs crates/mccp-baselines/src/table3.rs
+
+crates/mccp-baselines/src/lib.rs:
+crates/mccp-baselines/src/dual_ccm.rs:
+crates/mccp-baselines/src/mono.rs:
+crates/mccp-baselines/src/pipelined_gcm.rs:
+crates/mccp-baselines/src/table3.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mccp_bench-048b9971f4836d8a.d: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libmccp_bench-048b9971f4836d8a.rlib: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libmccp_bench-048b9971f4836d8a.rmeta: crates/mccp-bench/src/lib.rs
+
+crates/mccp-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mccp_bench-e94186960c3d289b.d: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libmccp_bench-e94186960c3d289b.rlib: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/release/deps/libmccp_bench-e94186960c3d289b.rmeta: crates/mccp-bench/src/lib.rs
+
+crates/mccp-bench/src/lib.rs:

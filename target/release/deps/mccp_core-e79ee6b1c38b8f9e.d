@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mccp_core-e79ee6b1c38b8f9e.d: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs
+
+/root/repo/target/release/deps/libmccp_core-e79ee6b1c38b8f9e.rlib: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs
+
+/root/repo/target/release/deps/libmccp_core-e79ee6b1c38b8f9e.rmeta: crates/mccp-core/src/lib.rs crates/mccp-core/src/core_unit.rs crates/mccp-core/src/crossbar.rs crates/mccp-core/src/firmware.rs crates/mccp-core/src/format.rs crates/mccp-core/src/functional.rs crates/mccp-core/src/key.rs crates/mccp-core/src/mccp.rs crates/mccp-core/src/model.rs crates/mccp-core/src/protocol.rs crates/mccp-core/src/reconfig.rs
+
+crates/mccp-core/src/lib.rs:
+crates/mccp-core/src/core_unit.rs:
+crates/mccp-core/src/crossbar.rs:
+crates/mccp-core/src/firmware.rs:
+crates/mccp-core/src/format.rs:
+crates/mccp-core/src/functional.rs:
+crates/mccp-core/src/key.rs:
+crates/mccp-core/src/mccp.rs:
+crates/mccp-core/src/model.rs:
+crates/mccp-core/src/protocol.rs:
+crates/mccp-core/src/reconfig.rs:

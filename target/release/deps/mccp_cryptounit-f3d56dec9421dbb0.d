@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mccp_cryptounit-f3d56dec9421dbb0.d: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs
+
+/root/repo/target/release/deps/libmccp_cryptounit-f3d56dec9421dbb0.rlib: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs
+
+/root/repo/target/release/deps/libmccp_cryptounit-f3d56dec9421dbb0.rmeta: crates/mccp-cryptounit/src/lib.rs crates/mccp-cryptounit/src/engine.rs crates/mccp-cryptounit/src/isa.rs crates/mccp-cryptounit/src/timing.rs crates/mccp-cryptounit/src/unit.rs
+
+crates/mccp-cryptounit/src/lib.rs:
+crates/mccp-cryptounit/src/engine.rs:
+crates/mccp-cryptounit/src/isa.rs:
+crates/mccp-cryptounit/src/timing.rs:
+crates/mccp-cryptounit/src/unit.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mccp_gf128-99438b69339717e8.d: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs
+
+/root/repo/target/release/deps/libmccp_gf128-99438b69339717e8.rlib: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs
+
+/root/repo/target/release/deps/libmccp_gf128-99438b69339717e8.rmeta: crates/mccp-gf128/src/lib.rs crates/mccp-gf128/src/digit_serial.rs crates/mccp-gf128/src/element.rs crates/mccp-gf128/src/ghash.rs
+
+crates/mccp-gf128/src/lib.rs:
+crates/mccp-gf128/src/digit_serial.rs:
+crates/mccp-gf128/src/element.rs:
+crates/mccp-gf128/src/ghash.rs:

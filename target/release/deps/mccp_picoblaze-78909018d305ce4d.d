@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mccp_picoblaze-78909018d305ce4d.d: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs
+
+/root/repo/target/release/deps/libmccp_picoblaze-78909018d305ce4d.rlib: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs
+
+/root/repo/target/release/deps/libmccp_picoblaze-78909018d305ce4d.rmeta: crates/mccp-picoblaze/src/lib.rs crates/mccp-picoblaze/src/asm.rs crates/mccp-picoblaze/src/cpu.rs crates/mccp-picoblaze/src/isa.rs crates/mccp-picoblaze/src/profile.rs
+
+crates/mccp-picoblaze/src/lib.rs:
+crates/mccp-picoblaze/src/asm.rs:
+crates/mccp-picoblaze/src/cpu.rs:
+crates/mccp-picoblaze/src/isa.rs:
+crates/mccp-picoblaze/src/profile.rs:

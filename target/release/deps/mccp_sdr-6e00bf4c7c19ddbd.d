@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mccp_sdr-6e00bf4c7c19ddbd.d: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+/root/repo/target/release/deps/libmccp_sdr-6e00bf4c7c19ddbd.rlib: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+/root/repo/target/release/deps/libmccp_sdr-6e00bf4c7c19ddbd.rmeta: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+crates/mccp-sdr/src/lib.rs:
+crates/mccp-sdr/src/channel.rs:
+crates/mccp-sdr/src/driver.rs:
+crates/mccp-sdr/src/qos.rs:
+crates/mccp-sdr/src/standards.rs:
+crates/mccp-sdr/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mccp_sdr-8f1b7b4c35a25772.d: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+/root/repo/target/release/deps/libmccp_sdr-8f1b7b4c35a25772.rlib: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+/root/repo/target/release/deps/libmccp_sdr-8f1b7b4c35a25772.rmeta: crates/mccp-sdr/src/lib.rs crates/mccp-sdr/src/channel.rs crates/mccp-sdr/src/driver.rs crates/mccp-sdr/src/qos.rs crates/mccp-sdr/src/standards.rs crates/mccp-sdr/src/workload.rs
+
+crates/mccp-sdr/src/lib.rs:
+crates/mccp-sdr/src/channel.rs:
+crates/mccp-sdr/src/driver.rs:
+crates/mccp-sdr/src/qos.rs:
+crates/mccp-sdr/src/standards.rs:
+crates/mccp-sdr/src/workload.rs:

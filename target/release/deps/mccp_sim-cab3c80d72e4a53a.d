@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mccp_sim-cab3c80d72e4a53a.d: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs
+
+/root/repo/target/release/deps/libmccp_sim-cab3c80d72e4a53a.rlib: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs
+
+/root/repo/target/release/deps/libmccp_sim-cab3c80d72e4a53a.rmeta: crates/mccp-sim/src/lib.rs crates/mccp-sim/src/bram.rs crates/mccp-sim/src/clocked.rs crates/mccp-sim/src/fifo.rs crates/mccp-sim/src/resources.rs crates/mccp-sim/src/shift_register.rs crates/mccp-sim/src/trace.rs crates/mccp-sim/src/vcd.rs
+
+crates/mccp-sim/src/lib.rs:
+crates/mccp-sim/src/bram.rs:
+crates/mccp-sim/src/clocked.rs:
+crates/mccp-sim/src/fifo.rs:
+crates/mccp-sim/src/resources.rs:
+crates/mccp-sim/src/shift_register.rs:
+crates/mccp-sim/src/trace.rs:
+crates/mccp-sim/src/vcd.rs:

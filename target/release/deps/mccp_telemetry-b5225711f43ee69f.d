@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mccp_telemetry-b5225711f43ee69f.d: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs
+
+/root/repo/target/release/deps/libmccp_telemetry-b5225711f43ee69f.rlib: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs
+
+/root/repo/target/release/deps/libmccp_telemetry-b5225711f43ee69f.rmeta: crates/mccp-telemetry/src/lib.rs crates/mccp-telemetry/src/event.rs crates/mccp-telemetry/src/export.rs crates/mccp-telemetry/src/metrics.rs crates/mccp-telemetry/src/span.rs crates/mccp-telemetry/src/vcd_bridge.rs
+
+crates/mccp-telemetry/src/lib.rs:
+crates/mccp-telemetry/src/event.rs:
+crates/mccp-telemetry/src/export.rs:
+crates/mccp-telemetry/src/metrics.rs:
+crates/mccp-telemetry/src/span.rs:
+crates/mccp-telemetry/src/vcd_bridge.rs:

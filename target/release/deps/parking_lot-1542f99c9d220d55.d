@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-1542f99c9d220d55.d: vendor-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1542f99c9d220d55.rlib: vendor-stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-1542f99c9d220d55.rmeta: vendor-stubs/parking_lot/src/lib.rs
+
+vendor-stubs/parking_lot/src/lib.rs:

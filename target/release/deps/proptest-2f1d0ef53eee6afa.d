@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2f1d0ef53eee6afa.d: vendor-stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2f1d0ef53eee6afa.rlib: vendor-stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2f1d0ef53eee6afa.rmeta: vendor-stubs/proptest/src/lib.rs
+
+vendor-stubs/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fdae4af23127624a.d: vendor-stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fdae4af23127624a.rlib: vendor-stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fdae4af23127624a.rmeta: vendor-stubs/rand/src/lib.rs
+
+vendor-stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-ef12a95fcaf7629f.d: vendor-stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ef12a95fcaf7629f.rlib: vendor-stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ef12a95fcaf7629f.rmeta: vendor-stubs/serde/src/lib.rs
+
+vendor-stubs/serde/src/lib.rs:

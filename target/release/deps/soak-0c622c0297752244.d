@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soak-0c622c0297752244.d: crates/mccp-bench/src/bin/soak.rs
+
+/root/repo/target/release/deps/soak-0c622c0297752244: crates/mccp-bench/src/bin/soak.rs
+
+crates/mccp-bench/src/bin/soak.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_isa-ecd29ae1c45cced6.d: crates/mccp-bench/src/bin/table1_isa.rs
+
+/root/repo/target/release/deps/table1_isa-ecd29ae1c45cced6: crates/mccp-bench/src/bin/table1_isa.rs
+
+crates/mccp-bench/src/bin/table1_isa.rs:

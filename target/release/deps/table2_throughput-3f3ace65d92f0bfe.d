@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_throughput-3f3ace65d92f0bfe.d: crates/mccp-bench/src/bin/table2_throughput.rs
+
+/root/repo/target/release/deps/table2_throughput-3f3ace65d92f0bfe: crates/mccp-bench/src/bin/table2_throughput.rs
+
+crates/mccp-bench/src/bin/table2_throughput.rs:

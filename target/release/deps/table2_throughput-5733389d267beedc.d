@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_throughput-5733389d267beedc.d: crates/mccp-bench/src/bin/table2_throughput.rs
+
+/root/repo/target/release/deps/table2_throughput-5733389d267beedc: crates/mccp-bench/src/bin/table2_throughput.rs
+
+crates/mccp-bench/src/bin/table2_throughput.rs:

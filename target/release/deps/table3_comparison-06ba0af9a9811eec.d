@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_comparison-06ba0af9a9811eec.d: crates/mccp-bench/src/bin/table3_comparison.rs
+
+/root/repo/target/release/deps/table3_comparison-06ba0af9a9811eec: crates/mccp-bench/src/bin/table3_comparison.rs
+
+crates/mccp-bench/src/bin/table3_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_reconfig-dab33b50f007dfae.d: crates/mccp-bench/src/bin/table4_reconfig.rs
+
+/root/repo/target/release/deps/table4_reconfig-dab33b50f007dfae: crates/mccp-bench/src/bin/table4_reconfig.rs
+
+crates/mccp-bench/src/bin/table4_reconfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_report-7a02d9304f00c91a.d: crates/mccp-bench/src/bin/telemetry_report.rs
+
+/root/repo/target/release/deps/telemetry_report-7a02d9304f00c91a: crates/mccp-bench/src/bin/telemetry_report.rs
+
+crates/mccp-bench/src/bin/telemetry_report.rs:

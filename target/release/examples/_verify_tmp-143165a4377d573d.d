@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_tmp-143165a4377d573d.d: examples/_verify_tmp.rs
+
+/root/repo/target/release/examples/_verify_tmp-143165a4377d573d: examples/_verify_tmp.rs
+
+examples/_verify_tmp.rs:

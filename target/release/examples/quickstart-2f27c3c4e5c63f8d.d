@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2f27c3c4e5c63f8d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2f27c3c4e5c63f8d: examples/quickstart.rs
+
+examples/quickstart.rs:

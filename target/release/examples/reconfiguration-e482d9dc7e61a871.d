@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reconfiguration-e482d9dc7e61a871.d: examples/reconfiguration.rs
+
+/root/repo/target/release/examples/reconfiguration-e482d9dc7e61a871: examples/reconfiguration.rs
+
+examples/reconfiguration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/waveform-ad667a5028aae02c.d: examples/waveform.rs
+
+/root/repo/target/release/examples/waveform-ad667a5028aae02c: examples/waveform.rs
+
+examples/waveform.rs:

@@ -33,8 +33,16 @@ fn gcm_all_key_sizes_and_shapes() {
             let iv = [key_len as u8; 12];
             let pkt = m.encrypt_packet(ch, &aad, &body, &iv).unwrap();
             let reference = gcm_seal(&aes, &iv, &aad, &body, 16).unwrap();
-            assert_eq!(pkt.ciphertext, reference[..body_len], "{key_len}/{aad_len}/{body_len}");
-            assert_eq!(pkt.tag, reference[body_len..], "{key_len}/{aad_len}/{body_len}");
+            assert_eq!(
+                pkt.ciphertext,
+                reference[..body_len],
+                "{key_len}/{aad_len}/{body_len}"
+            );
+            assert_eq!(
+                pkt.tag,
+                reference[body_len..],
+                "{key_len}/{aad_len}/{body_len}"
+            );
             // And decrypt back through the hardware.
             let dec = m
                 .decrypt_packet(ch, &aad, &pkt.ciphertext, &pkt.tag, &iv)
@@ -64,10 +72,21 @@ fn ccm_all_key_sizes_both_schedules() {
             let nonce = [7u8; 11];
             let body: Vec<u8> = (0..77u8).collect();
             let pkt = m.encrypt_packet(ch, b"hdr", &body, &nonce).unwrap();
-            let params = CcmParams { nonce_len: 11, tag_len: 8 };
+            let params = CcmParams {
+                nonce_len: 11,
+                tag_len: 8,
+            };
             let reference = ccm_seal(&aes, &params, &nonce, b"hdr", &body).unwrap();
-            assert_eq!(pkt.ciphertext, reference[..77], "two_core={two_core} key={key_len}");
-            assert_eq!(pkt.tag, reference[77..], "two_core={two_core} key={key_len}");
+            assert_eq!(
+                pkt.ciphertext,
+                reference[..77],
+                "two_core={two_core} key={key_len}"
+            );
+            assert_eq!(
+                pkt.tag,
+                reference[77..],
+                "two_core={two_core} key={key_len}"
+            );
             let dec = m
                 .decrypt_packet(ch, b"hdr", &pkt.ciphertext, &pkt.tag, &nonce)
                 .unwrap();
@@ -87,14 +106,22 @@ fn mixed_channels_share_the_four_cores() {
     m.key_memory_mut().store(KeyId(4), &[0x44; 16]);
     let gcm = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
     let gcm192 = m.open(Algorithm::AesGcm192, KeyId(2)).unwrap();
-    let ccm = m.open_with_tag_len(Algorithm::AesCcm256, KeyId(3), 16).unwrap();
+    let ccm = m
+        .open_with_tag_len(Algorithm::AesCcm256, KeyId(3), 16)
+        .unwrap();
     let ctr = m.open(Algorithm::AesCtr128, KeyId(4)).unwrap();
 
     for round in 0..3u8 {
         let body = vec![round; 200];
-        let p1 = m.encrypt_packet(gcm, b"a", &body, &[round + 1; 12]).unwrap();
-        let p2 = m.encrypt_packet(gcm192, b"b", &body, &[round + 1; 12]).unwrap();
-        let p3 = m.encrypt_packet(ccm, b"c", &body, &[round + 1; 13]).unwrap();
+        let p1 = m
+            .encrypt_packet(gcm, b"a", &body, &[round + 1; 12])
+            .unwrap();
+        let p2 = m
+            .encrypt_packet(gcm192, b"b", &body, &[round + 1; 12])
+            .unwrap();
+        let p3 = m
+            .encrypt_packet(ccm, b"c", &body, &[round + 1; 13])
+            .unwrap();
         let p4 = m.encrypt_packet(ctr, &[], &body, &[round + 1; 16]).unwrap();
         // All four produce distinct ciphertexts of the right length.
         assert_eq!(p1.ciphertext.len(), 200);
@@ -143,9 +170,14 @@ fn full_2kb_packets_all_modes() {
     let reference = gcm_seal(&aes, &[1u8; 12], &[], &body, 16).unwrap();
     assert_eq!(pkt.ciphertext, reference[..2048]);
 
-    let ccm = m.open_with_tag_len(Algorithm::AesCcm128, KeyId(1), 16).unwrap();
+    let ccm = m
+        .open_with_tag_len(Algorithm::AesCcm128, KeyId(1), 16)
+        .unwrap();
     let pkt = m.encrypt_packet(ccm, &[], &body, &[2u8; 12]).unwrap();
-    let params = CcmParams { nonce_len: 12, tag_len: 16 };
+    let params = CcmParams {
+        nonce_len: 12,
+        tag_len: 16,
+    };
     let reference = ccm_seal(&aes, &params, &[2u8; 12], &[], &body).unwrap();
     assert_eq!(pkt.ciphertext, reference[..2048]);
 }

@@ -20,7 +20,14 @@ fn auth_failure_releases_nothing() {
     let mut evil_tag = pkt.tag.clone();
     evil_tag[15] ^= 1;
     let id = m
-        .submit(ch, Direction::Decrypt, &[1u8; 12], b"hdr", &pkt.ciphertext, Some(&evil_tag))
+        .submit(
+            ch,
+            Direction::Decrypt,
+            &[1u8; 12],
+            b"hdr",
+            &pkt.ciphertext,
+            Some(&evil_tag),
+        )
         .unwrap();
     let cores = m.request_cores(id).unwrap().to_vec();
     m.run_until_done(id, 10_000_000);
@@ -49,7 +56,9 @@ fn auth_failure_releases_nothing() {
 #[test]
 fn wrong_aad_and_wrong_iv_both_fail() {
     let (mut m, ch) = setup();
-    let pkt = m.encrypt_packet(ch, b"aad", b"payload", &[3u8; 12]).unwrap();
+    let pkt = m
+        .encrypt_packet(ch, b"aad", b"payload", &[3u8; 12])
+        .unwrap();
     assert_eq!(
         m.decrypt_packet(ch, b"dad", &pkt.ciphertext, &pkt.tag, &[3u8; 12])
             .unwrap_err(),

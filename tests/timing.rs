@@ -106,8 +106,15 @@ fn four_parallel_packets_finish_in_about_one_packet_time() {
     // Warm all four key caches.
     let warm: Vec<_> = (0..4)
         .map(|i| {
-            m.submit(ch, mccp::core::Direction::Encrypt, &[i + 1; 12], &[], &body, None)
-                .unwrap()
+            m.submit(
+                ch,
+                mccp::core::Direction::Encrypt,
+                &[i + 1; 12],
+                &[],
+                &body,
+                None,
+            )
+            .unwrap()
         })
         .collect();
     for id in &warm {
@@ -126,8 +133,15 @@ fn four_parallel_packets_finish_in_about_one_packet_time() {
     let batch_start = m.cycle();
     let ids: Vec<_> = (0..4)
         .map(|i| {
-            m.submit(ch, mccp::core::Direction::Encrypt, &[i + 10; 12], &[], &body, None)
-                .unwrap()
+            m.submit(
+                ch,
+                mccp::core::Direction::Encrypt,
+                &[i + 10; 12],
+                &[],
+                &body,
+                None,
+            )
+            .unwrap()
         })
         .collect();
     for id in &ids {

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io
+//! (see the workspace README), so the handful of `rand` APIs the workspace
+//! actually uses are reimplemented here and wired in through
+//! `[patch.crates-io]`. The implementation is deliberately simple: a
+//! xoshiro256** generator seeded via splitmix64, uniform sampling by
+//! modulo reduction (a tiny bias is irrelevant for workload generation
+//! and tests), and 53-bit mantissa floats.
+//!
+//! Determinism matters more than statistical perfection here — workload
+//! generation (`mccp-sdr`) derives every packet from a seed, and tests
+//! assert reproducibility across runs.
+
+/// Core source of randomness: 64 fresh bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only `seed_from_u64` is provided — the only
+/// constructor this workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] like the real crate does.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic xoshiro256** generator (stand-in for rand's
+    /// `StdRng`; the real `StdRng` makes no cross-version stream
+    /// promises either, so callers may only rely on seed-determinism
+    /// within one build — which this provides).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can be sampled with any RNG.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Integer types `Uniform` can sample. Mirrors rand's `SampleUniform`
+    /// so call sites can write `Uniform::new_inclusive(a, b)` without
+    /// turbofish.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// `high - low` widened to u128.
+        fn span_to(self, high: Self) -> u128;
+        /// `self + offset` (offset fits by construction).
+        fn offset_by(self, offset: u128) -> Self;
+    }
+
+    macro_rules! sample_uniform_int {
+        ($($t:ty),+) => {$(
+            impl SampleUniform for $t {
+                fn span_to(self, high: $t) -> u128 {
+                    (high - self) as u128
+                }
+
+                fn offset_by(self, offset: u128) -> $t {
+                    self + offset as $t
+                }
+            }
+        )+};
+    }
+
+    sample_uniform_int!(u8, u16, u32, u64, usize);
+
+    /// Uniform distribution over an integer range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<X> {
+        low: X,
+        /// Inclusive span minus one (`high - low`).
+        span: u128,
+    }
+
+    impl<X: SampleUniform> Uniform<X> {
+        pub fn new_inclusive(low: X, high: X) -> Uniform<X> {
+            assert!(low <= high, "Uniform::new_inclusive: low > high");
+            Uniform {
+                low,
+                span: low.span_to(high),
+            }
+        }
+
+        pub fn new(low: X, high: X) -> Uniform<X> {
+            assert!(low < high, "Uniform::new: empty range");
+            Uniform {
+                low,
+                span: low.span_to(high) - 1,
+            }
+        }
+    }
+
+    impl<X: SampleUniform> Distribution<X> for Uniform<X> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> X {
+            self.low
+                .offset_by(rng.next_u64() as u128 % (self.span + 1))
+        }
+    }
+
+    pub mod uniform {
+        use super::super::RngCore;
+
+        /// A range that `Rng::gen_range` can sample a single value from.
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl SampleRange<f64> for core::ops::Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "gen_range: empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        macro_rules! sample_range_int {
+            ($($t:ty),+) => {$(
+                impl SampleRange<$t> for core::ops::Range<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        super::Uniform::new(self.start, self.end).sample_one(rng)
+                    }
+                }
+
+                impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        super::Uniform::new_inclusive(*self.start(), *self.end()).sample_one(rng)
+                    }
+                }
+            )+};
+        }
+
+        sample_range_int!(u8, u16, u32, u64, usize);
+    }
+
+    impl<X> Uniform<X> {
+        /// Non-trait sampling helper so `SampleRange` impls don't need the
+        /// `Distribution` trait in scope.
+        fn sample_one<R: RngCore + ?Sized>(&self, rng: &mut R) -> X
+        where
+            Uniform<X>: Distribution<X>,
+        {
+            self.sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        let vc: Vec<f64> = (0..8).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+        assert!(va.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dist = Uniform::new_inclusive(10usize, 13usize);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = dist.sample(&mut rng);
+            assert!((10..=13).contains(&v));
+            seen[v - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all four values should appear");
+    }
+
+    #[test]
+    fn fill_is_seed_deterministic() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut ba = [0u8; 37];
+        let mut bb = [0u8; 37];
+        a.fill(&mut ba[..]);
+        b.fill(&mut bb[..]);
+        assert_eq!(ba, bb);
+        assert!(ba.iter().any(|&x| x != 0));
+    }
+}

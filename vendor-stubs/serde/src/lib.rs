@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Nothing in this workspace serializes through serde today (the
+//! telemetry exporters hand-roll their JSON precisely to avoid the
+//! dependency), but `mccp-bench` declares the dependency, so this crate
+//! exists to satisfy resolution offline. The `derive` feature is
+//! accepted and ignored; code must not use `#[derive(Serialize)]` until
+//! the real crate is restored.
+
+/// Marker trait matching serde's `Serialize` by name only.
+pub trait Serialize {}
+
+/// Marker trait matching serde's `Deserialize` by name only.
+pub trait Deserialize<'de> {}

@@ -178,13 +178,31 @@ pub fn ccm_open<C: BlockCipher128>(
     ct_and_tag: &[u8],
 ) -> Result<Vec<u8>, ModeError> {
     params.validate()?;
-    if nonce.len() != params.nonce_len {
-        return Err(ModeError::InvalidParams("nonce length mismatch"));
-    }
     if ct_and_tag.len() < params.tag_len {
         return Err(ModeError::InvalidParams("ciphertext shorter than tag"));
     }
     let (ct, tag) = ct_and_tag.split_at(ct_and_tag.len() - params.tag_len);
+    ccm_open_detached(cipher, params, nonce, aad, ct, tag)
+}
+
+/// CCM authenticated decryption with the ciphertext and tag passed as
+/// separate slices — spares callers that hold them separately (like the
+/// functional-mode job queue) from concatenating into a temporary buffer.
+pub fn ccm_open_detached<C: BlockCipher128>(
+    cipher: &C,
+    params: &CcmParams,
+    nonce: &[u8],
+    aad: &[u8],
+    ct: &[u8],
+    tag: &[u8],
+) -> Result<Vec<u8>, ModeError> {
+    params.validate()?;
+    if nonce.len() != params.nonce_len {
+        return Err(ModeError::InvalidParams("nonce length mismatch"));
+    }
+    if tag.len() != params.tag_len {
+        return Err(ModeError::InvalidParams("tag length mismatch"));
+    }
 
     let mut pt = ct.to_vec();
     for (i, chunk) in pt.chunks_mut(16).enumerate() {

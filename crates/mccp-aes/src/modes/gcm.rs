@@ -106,10 +106,26 @@ pub fn gcm_open<C: BlockCipher128>(
         return Err(ModeError::InvalidParams("ciphertext shorter than tag"));
     }
     let (ct, tag) = ct_and_tag.split_at(ct_and_tag.len() - tag_len);
+    gcm_open_detached(cipher, iv, aad, ct, tag)
+}
+
+/// GCM authenticated decryption with the ciphertext and tag passed as
+/// separate slices — spares callers that hold them separately (like the
+/// functional-mode job queue) from concatenating into a temporary buffer.
+pub fn gcm_open_detached<C: BlockCipher128>(
+    cipher: &C,
+    iv: &[u8],
+    aad: &[u8],
+    ct: &[u8],
+    tag: &[u8],
+) -> Result<Vec<u8>, ModeError> {
+    if !(4..=16).contains(&tag.len()) {
+        return Err(ModeError::InvalidParams("GCM tag length must be 4..=16"));
+    }
     let key = hash_subkey(cipher);
     let j0 = j0(cipher, &key, iv);
 
-    let expect = compute_tag(cipher, &key, &j0, aad, ct, tag_len);
+    let expect = compute_tag(cipher, &key, &j0, aad, ct, tag.len());
     if !tags_equal(tag, &expect) {
         return Err(ModeError::AuthFail);
     }

@@ -20,10 +20,10 @@ pub mod gcm;
 
 pub use cbc::{cbc_decrypt, cbc_encrypt};
 pub use cbc_mac::cbc_mac;
-pub use ccm::{ccm_open, ccm_seal, CcmParams};
+pub use ccm::{ccm_open, ccm_open_detached, ccm_seal, CcmParams};
 pub use ctr::ctr_xcrypt;
 pub use ecb::{ecb_decrypt, ecb_encrypt};
-pub use gcm::{gcm_open, gcm_seal};
+pub use gcm::{gcm_open, gcm_open_detached, gcm_seal};
 
 use crate::cipher::BlockCipher128;
 

@@ -91,11 +91,12 @@ pub fn measure_schedule(schedule: Schedule, key: KeySize, packet_bytes: usize) -
             .expect("stream fits")
         })
         .collect();
-    let mut latency = 0u64;
-    for &id in &ids {
-        let l = m.run_until_done(id, 1_000_000_000);
-        latency = latency.max(l);
-    }
+    m.run_to_completion(1_000_000_000);
+    let latency = ids
+        .iter()
+        .map(|&id| m.request_cycles(id).expect("done"))
+        .max()
+        .unwrap_or(0);
     let total_cycles = m.cycle() - start;
     for &id in &ids {
         m.retrieve(id).unwrap();

@@ -200,6 +200,36 @@ impl CryptoCore {
         self.cu.op_counts()
     }
 
+    /// Conservative fast-forward horizon for the whole core (see
+    /// `mccp_sim::Clocked`), given the occupancy of the inter-core
+    /// mailboxes this core is wired to.
+    pub fn quiescent_for(&self, from_left_full: bool, to_right_full: bool) -> u64 {
+        let mut h = self.cu.quiescent_for(
+            self.input.len(),
+            self.output.free(),
+            from_left_full,
+            to_right_full,
+        );
+        if self.running {
+            // The wake line is driven with `can_strobe` every tick; across
+            // a quiescent span of the CU that level is frozen.
+            h = h.min(self.cpu.quiescent_for(self.cu.can_strobe()));
+        }
+        h
+    }
+
+    /// Advances the core `n` cycles at once. Only valid for `n` up to the
+    /// horizon just reported by [`CryptoCore::quiescent_for`].
+    pub fn skip(&mut self, n: u64) {
+        self.cu.skip(n);
+        if self.running {
+            self.busy_cycles += n;
+            // Mirror the per-tick wake-line drive (a frozen level).
+            self.cpu.set_wake(self.cu.can_strobe());
+            self.cpu.skip(n);
+        }
+    }
+
     /// Advances the core one clock cycle. `from_left` / `to_right` are the
     /// inter-core mailboxes this core is wired to.
     pub fn tick(&mut self, from_left: &mut Option<[u8; 16]>, to_right: &mut Option<[u8; 16]>) {

@@ -14,7 +14,8 @@ use crate::format::Direction;
 use crate::protocol::{Algorithm, Mode};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mccp_aes::modes::{
-    cbc_mac, ccm_open, ccm_seal, ctr_xcrypt, gcm_open, gcm_seal, CcmParams, ModeError,
+    cbc_mac, ccm_open_detached, ccm_seal, ctr_xcrypt, gcm_open_detached, gcm_seal, CcmParams,
+    ModeError,
 };
 use mccp_aes::Aes;
 use std::collections::HashMap;
@@ -50,17 +51,17 @@ pub struct PacketOutcome {
 }
 
 fn process(job: &PacketJob, cache: &mut HashMap<Vec<u8>, Aes>) -> Result<Vec<u8>, ModeError> {
-    let aes = cache
-        .entry(job.key.clone())
-        .or_insert_with(|| Aes::new(&job.key));
+    // Lookup-before-insert: the steady state is a cache hit, which must not
+    // clone the key bytes just to probe the map.
+    if !cache.contains_key(&job.key) {
+        cache.insert(job.key.clone(), Aes::new(&job.key));
+    }
+    let aes = cache.get(&job.key).expect("just inserted");
+    let tag = job.tag.as_deref().unwrap_or(&[]);
     match (job.algorithm.mode(), job.direction) {
-        (Mode::Gcm, Direction::Encrypt) => {
-            gcm_seal(&*aes, &job.iv, &job.aad, &job.body, job.tag_len)
-        }
+        (Mode::Gcm, Direction::Encrypt) => gcm_seal(aes, &job.iv, &job.aad, &job.body, job.tag_len),
         (Mode::Gcm, Direction::Decrypt) => {
-            let mut ct = job.body.clone();
-            ct.extend_from_slice(job.tag.as_deref().unwrap_or(&[]));
-            gcm_open(&*aes, &job.iv, &job.aad, &ct, job.tag_len)
+            gcm_open_detached(aes, &job.iv, &job.aad, &job.body, tag)
         }
         (Mode::Ccm, dir) => {
             let params = CcmParams {
@@ -68,11 +69,9 @@ fn process(job: &PacketJob, cache: &mut HashMap<Vec<u8>, Aes>) -> Result<Vec<u8>
                 tag_len: job.tag_len,
             };
             match dir {
-                Direction::Encrypt => ccm_seal(&*aes, &params, &job.iv, &job.aad, &job.body),
+                Direction::Encrypt => ccm_seal(aes, &params, &job.iv, &job.aad, &job.body),
                 Direction::Decrypt => {
-                    let mut ct = job.body.clone();
-                    ct.extend_from_slice(job.tag.as_deref().unwrap_or(&[]));
-                    ccm_open(&*aes, &params, &job.iv, &job.aad, &ct)
+                    ccm_open_detached(aes, &params, &job.iv, &job.aad, &job.body, tag)
                 }
             }
         }
@@ -83,10 +82,10 @@ fn process(job: &PacketJob, cache: &mut HashMap<Vec<u8>, Aes>) -> Result<Vec<u8>
                 .as_slice()
                 .try_into()
                 .map_err(|_| ModeError::InvalidParams("CTR needs a 16-byte counter"))?;
-            ctr_xcrypt(&*aes, &ctr0, &mut body)?;
+            ctr_xcrypt(aes, &ctr0, &mut body)?;
             Ok(body)
         }
-        (Mode::CbcMac, _) => cbc_mac(&*aes, &job.body, job.tag_len),
+        (Mode::CbcMac, _) => cbc_mac(aes, &job.body, job.tag_len),
     }
 }
 

@@ -138,6 +138,11 @@ pub struct Mccp {
     /// in-flight reconfiguration began.
     reconfigs: Vec<ReconfigController>,
     reconfig_started: Vec<u64>,
+    /// Event-driven fast path: when set, the `run_*` helpers leap over
+    /// spans where every component is provably quiescent instead of
+    /// ticking cycle by cycle. Cycle counts, outputs and telemetry are
+    /// identical either way; see [`quiescent_horizon`](Self::quiescent_horizon).
+    fast_forward: bool,
 }
 
 impl Mccp {
@@ -167,6 +172,7 @@ impl Mccp {
             telemetry: Telemetry::disabled(),
             reconfigs: vec![ReconfigController::new(); config.n_cores],
             reconfig_started: vec![0; config.n_cores],
+            fast_forward: true,
             config,
         }
     }
@@ -264,6 +270,18 @@ impl Mccp {
     /// Current simulation cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Enables or disables the event-driven fast path used by the `run_*`
+    /// helpers. Enabled by default; disabling forces the per-tick
+    /// reference schedule (useful for equivalence testing).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether the event-driven fast path is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
     }
 
     /// Configuration.
@@ -764,6 +782,156 @@ impl Mccp {
         }
     }
 
+    /// Conservative event-driven horizon: the number of upcoming cycles
+    /// guaranteed to be pure countdown for *every* component, i.e. cycles
+    /// [`skip`](Self::skip) may leap over without changing any observable
+    /// state (outputs, cycle stamps, telemetry). `0` means the next cycle
+    /// is (or may be) active and must be simulated with [`tick`](Self::tick);
+    /// `u64::MAX` means nothing bounds the leap (the machine is idle).
+    ///
+    /// The rules, component by component:
+    /// - a reconfiguration countdown with `left` cycles remaining
+    ///   contributes `left` (the swap lands on tick `left + 1`);
+    /// - a request in KeyWait(`left`) contributes `left` (cores start on
+    ///   tick `left + 1`);
+    /// - an upload stream with words left and FIFO space is active (`0`);
+    ///   stalled on a full FIFO it contributes nothing — the FIFO cannot
+    ///   drain while its core is quiescent — except that the first stalled
+    ///   cycle emits the `FifoFull` edge and is therefore active;
+    /// - a streaming request with resident output words drains one word
+    ///   per cycle (`0`);
+    /// - each core reports its own horizon (engine countdowns, staged-op
+    ///   readiness, controller sleep/wake) given the frozen mailbox state;
+    /// - the Key Scheduler's saturating countdown has no observable
+    ///   zero-crossing and never bounds the horizon.
+    pub fn quiescent_horizon(&self) -> u64 {
+        let mut h = u64::MAX;
+        for rc in &self.reconfigs {
+            h = h.min(rc.quiescent_for());
+        }
+        for req in self.requests.values() {
+            match req.state {
+                ReqState::KeyWait(left) => h = h.min(left as u64),
+                ReqState::Running => {}
+                _ => continue,
+            }
+            for (core, stream, offset, stalled) in &req.pending_input {
+                if *offset < stream.len() {
+                    if self.cores[*core].input.free() > 0 {
+                        return 0;
+                    }
+                    if self.telemetry.is_enabled() && !*stalled {
+                        return 0;
+                    }
+                }
+            }
+            if req.streaming && !self.cores[req.producing_core].output.is_empty() {
+                return 0;
+            }
+        }
+        let n = self.cores.len();
+        for (i, core) in self.cores.iter().enumerate() {
+            let from_left_full = n > 1 && self.mailboxes[(i + n - 1) % n].is_some();
+            let to_right_full = n > 1 && self.mailboxes[i].is_some();
+            h = h.min(core.quiescent_for(from_left_full, to_right_full));
+            if h == 0 {
+                return 0;
+            }
+        }
+        h
+    }
+
+    /// Advances `n` cycles at once; only valid for
+    /// `n <= quiescent_horizon()`. Equivalent to `n` calls to
+    /// [`tick`](Self::tick): countdowns decrement in bulk, the per-cycle
+    /// DMA-backpressure counter advances for streams stalled on a full
+    /// FIFO, and everything else — by the horizon contract — is frozen.
+    pub fn skip(&mut self, n: u64) {
+        debug_assert!(n <= self.quiescent_horizon());
+        if n == 0 {
+            return;
+        }
+        self.cycle += n;
+        self.key_scheduler.skip(n);
+        for rc in &mut self.reconfigs {
+            rc.skip(n);
+        }
+        for req in self.requests.values_mut() {
+            match req.state {
+                ReqState::KeyWait(left) => req.state = ReqState::KeyWait(left - n as u32),
+                ReqState::Running => {}
+                _ => continue,
+            }
+            if self.telemetry.is_enabled() {
+                for (_, stream, offset, stalled) in &req.pending_input {
+                    if *offset < stream.len() && *stalled {
+                        self.telemetry
+                            .registry_mut()
+                            .counter_add("mccp_dma_backpressure_cycles_total", n);
+                    }
+                }
+            }
+        }
+        for core in &mut self.cores {
+            core.skip(n);
+        }
+    }
+
+    /// Advances the simulation to an absolute cycle, leaping over
+    /// quiescent spans when fast-forward is enabled.
+    pub fn run_until(&mut self, target: u64) {
+        while self.cycle < target {
+            let span = if self.fast_forward {
+                self.quiescent_horizon().min(target - self.cycle)
+            } else {
+                0
+            };
+            if span == 0 {
+                self.tick();
+            } else {
+                self.skip(span);
+            }
+        }
+    }
+
+    /// Runs until every submitted request has reached Data Available.
+    /// Returns the cycles elapsed.
+    ///
+    /// # Panics
+    /// Panics if a core faults or the guard expires (firmware bug).
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        while self
+            .requests
+            .values()
+            .any(|r| matches!(r.state, ReqState::KeyWait(_) | ReqState::Running))
+        {
+            assert!(
+                self.cycle - start < max_cycles,
+                "requests wedged after {max_cycles} cycles"
+            );
+            let span = if self.fast_forward {
+                self.quiescent_horizon()
+                    .min(max_cycles - (self.cycle - start))
+            } else {
+                0
+            };
+            if span == 0 {
+                self.tick();
+                for (c, core) in self.cores.iter().enumerate() {
+                    assert!(
+                        !core.is_faulted(),
+                        "core {c} faulted running {:?}",
+                        core.firmware()
+                    );
+                }
+            } else {
+                self.skip(span);
+            }
+        }
+        self.cycle - start
+    }
+
     /// The Data Available interrupt queue.
     pub fn poll_data_available(&mut self) -> Option<RequestId> {
         while let Some(id) = self.data_available.front().copied() {
@@ -847,6 +1015,11 @@ impl Mccp {
     /// Runs the simulation until the request reaches Data Available.
     /// Returns the request latency in cycles.
     ///
+    /// Uses the event-driven fast path when enabled: quiescent spans
+    /// (engine countdowns, key waits, reconfiguration loads) are leapt in
+    /// one step; active cycles are simulated exactly. Faults can only
+    /// arise on active cycles, so the fault check runs after each tick.
+    ///
     /// # Panics
     /// Panics if a core faults or the guard expires (firmware bug).
     pub fn run_until_done(&mut self, id: RequestId, max_cycles: u64) -> u64 {
@@ -861,6 +1034,16 @@ impl Mccp {
                 self.cycle - start < max_cycles,
                 "request {id:?} wedged after {max_cycles} cycles"
             );
+            let span = if self.fast_forward {
+                self.quiescent_horizon()
+                    .min(max_cycles - (self.cycle - start))
+            } else {
+                0
+            };
+            if span > 0 {
+                self.skip(span);
+                continue;
+            }
             self.tick();
             if let Some(req) = self.requests.get(&id.0) {
                 for &c in &req.cores {
@@ -1562,6 +1745,29 @@ mod tests {
         assert!(kinds.contains(&"reconfig_end"), "{kinds:?}");
         let snap = m.telemetry_snapshot();
         assert_eq!(snap.counter("mccp_reconfigurations_total"), 1);
+    }
+
+    #[test]
+    fn fast_forward_matches_per_tick() {
+        // Same packet, fast path vs per-tick reference: identical cycle
+        // counts, outputs and final simulation time.
+        let key = [0x42u8; 16];
+        let run = |ff: bool| {
+            let (mut m, kid) = mccp_with_key(&key);
+            m.set_fast_forward(ff);
+            let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+            let payload = vec![7u8; 512];
+            let pkt = m.encrypt_packet(ch, b"hdr", &payload, &[2u8; 12]).unwrap();
+            (pkt.cycles, pkt.ciphertext, pkt.tag, m.cycle())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn run_until_leaps_idle_machine() {
+        let (mut m, _) = mccp_with_key(&[1u8; 16]);
+        m.run_until(1_000_000);
+        assert_eq!(m.cycle(), 1_000_000);
     }
 
     #[test]

@@ -160,6 +160,26 @@ impl ReconfigController {
         Some(p)
     }
 
+    /// Fast-forward horizon: the number of upcoming ticks that only
+    /// decrement the in-flight countdown. With `left` cycles remaining the
+    /// completion (personality swap) lands on tick `left + 1`, so the
+    /// first `left` ticks are skippable. `u64::MAX` when idle.
+    pub fn quiescent_for(&self) -> u64 {
+        match &self.in_flight {
+            Some((_, left)) => *left,
+            None => u64::MAX,
+        }
+    }
+
+    /// Advances `n` cycles at once; only valid for
+    /// `n <= quiescent_for()`.
+    pub fn skip(&mut self, n: u64) {
+        if let Some((_, left)) = self.in_flight.as_mut() {
+            debug_assert!(n <= *left);
+            *left -= n;
+        }
+    }
+
     /// Completed reconfigurations.
     pub fn completed(&self) -> u64 {
         self.completed

@@ -283,10 +283,29 @@ impl CryptoUnit {
     }
 
     fn ready(&self, instr: CuInstruction, io: &CuIo<'_>) -> bool {
+        self.ready_with(
+            instr,
+            io.input.len(),
+            io.output.free(),
+            io.from_left.is_some(),
+            io.to_right.is_some(),
+        )
+    }
+
+    /// The readiness predicate over plain values, shared by the per-tick
+    /// path and the fast-forward horizon (which has no `CuIo` to borrow).
+    fn ready_with(
+        &self,
+        instr: CuInstruction,
+        input_len: usize,
+        output_free: usize,
+        from_left_full: bool,
+        to_right_full: bool,
+    ) -> bool {
         use CuInstruction::*;
         match instr {
-            Load { .. } => io.input.len() >= 4,
-            Store { .. } => io.output.free() >= 4,
+            Load { .. } => input_len >= 4,
+            Store { .. } => output_free >= 4,
             LoadH { .. } | Inc { .. } | Xor { .. } | Equ { .. } | Fgfm { .. } => {
                 // FGFM only needs the accumulate pipeline drained.
                 !matches!(instr, Fgfm { .. }) || self.ghash_busy == 0
@@ -294,8 +313,77 @@ impl CryptoUnit {
             Sgfm { .. } => self.ghash_busy == 0,
             Saes { .. } => self.aes_busy == 0,
             Faes { .. } => self.aes_result.is_some(),
-            Xput { .. } => io.to_right.is_none(),
-            Xget { .. } => io.from_left.is_some(),
+            Xput { .. } => !to_right_full,
+            Xget { .. } => from_left_full,
+        }
+    }
+
+    /// Conservative fast-forward horizon (see `mccp_sim::Clocked`): how many
+    /// upcoming ticks are a pure countdown, given the current state of the
+    /// core's FIFOs and inter-core mailboxes.
+    ///
+    /// The cycle a background engine's countdown reaches zero is
+    /// *observable*: the result latches and the foreground (which runs after
+    /// the decrement within the same tick) may consume it — so a countdown
+    /// of `k` contributes a horizon of `k - 1`. Likewise the tick a running
+    /// foreground instruction finishes pushes FIFOs / mailboxes. A staged
+    /// instruction that is not ready is quiescent from this unit's point of
+    /// view: its readiness only changes through a background zero-crossing
+    /// (bounded here) or another component's action (bounded by the global
+    /// minimum across components).
+    pub fn quiescent_for(
+        &self,
+        input_len: usize,
+        output_free: usize,
+        from_left_full: bool,
+        to_right_full: bool,
+    ) -> u64 {
+        let mut h = u64::MAX;
+        if self.aes_busy > 0 {
+            h = h.min(self.aes_busy as u64 - 1);
+        }
+        if self.ghash_busy > 0 {
+            h = h.min(self.ghash_busy as u64 - 1);
+        }
+        match self.phase {
+            Phase::Idle => {
+                if self.pending.is_some() {
+                    return 0;
+                }
+            }
+            Phase::Staged(instr) => {
+                if self.ready_with(instr, input_len, output_free, from_left_full, to_right_full) {
+                    return 0;
+                }
+            }
+            Phase::Run(_, left) => {
+                h = h.min(left as u64 - 1);
+            }
+        }
+        h
+    }
+
+    /// Advances `n` cycles at once. Only valid for `n <=` the horizon just
+    /// reported by [`CryptoUnit::quiescent_for`]: every skipped tick must be
+    /// a pure countdown, so the engines decrement without reaching zero and
+    /// a running instruction burns cycles without finishing.
+    pub fn skip(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cycles += n;
+        self.done_pulse = false;
+        if self.aes_busy > 0 {
+            debug_assert!(n < self.aes_busy as u64);
+            self.aes_busy -= n as u32;
+        }
+        if self.ghash_busy > 0 {
+            debug_assert!(n < self.ghash_busy as u64);
+            self.ghash_busy -= n as u32;
+        }
+        if let Phase::Run(instr, left) = self.phase {
+            debug_assert!(n < left as u64);
+            self.phase = Phase::Run(instr, left - n as u32);
         }
     }
 

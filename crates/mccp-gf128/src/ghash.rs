@@ -1,29 +1,38 @@
 //! GHASH — the universal hash of GCM (NIST SP 800-38D §6.4).
 //!
-//! [`GhashKey`] precomputes Shoup's 4-bit multiplication table for a fixed
-//! hash subkey `H`, making per-block multiplication 32 table lookups instead
-//! of 128 shift/XOR steps. [`Ghash`] is the incremental hasher built on top,
-//! and [`ghash`] is the one-shot convenience over an AAD / ciphertext pair.
+//! [`GhashKey`] precomputes Shoup's 8-bit multiplication table for a fixed
+//! hash subkey `H`, making per-block multiplication 16 table lookups plus 16
+//! single-lookup `x^8` reductions instead of 128 shift/XOR steps. [`Ghash`]
+//! is the incremental hasher built on top, and [`ghash`] is the one-shot
+//! convenience over an AAD / ciphertext pair.
 
 use crate::element::Gf128;
 
-/// A GHASH subkey with its precomputed 4-bit (16-entry) multiple table.
+/// A GHASH subkey with its precomputed 8-bit (256-entry) multiple table.
 ///
-/// Entry `M[n]` holds `E(n) * H`, where `E(n)` places the 4 bits of `n` at
-/// the top of the block (powers `x^0..x^3`). A full product is then a Horner
-/// evaluation over the 32 nibbles of the other operand.
+/// Entry `M[n]` holds `E(n) * H`, where `E(n)` places the 8 bits of `n` at
+/// the top of the block (powers `x^0..x^7`). A full product is then a Horner
+/// evaluation over the 16 bytes of the other operand.
+///
+/// Construction needs only 16 bitwise multiplies: a 4-bit table is built
+/// first, and each byte entry is composed from its two nibble entries —
+/// `E(hi || lo) * H = E(hi)*H + (E(lo)*H) * x^4`.
 #[derive(Clone)]
 pub struct GhashKey {
     h: Gf128,
-    table: [Gf128; 16],
+    table: [Gf128; 256],
 }
 
 impl GhashKey {
     /// Precomputes the table for hash subkey `h`.
     pub fn new(h: Gf128) -> Self {
-        let mut table = [Gf128::ZERO; 16];
-        for (n, entry) in table.iter_mut().enumerate() {
+        let mut nibble = [Gf128::ZERO; 16];
+        for (n, entry) in nibble.iter_mut().enumerate() {
             *entry = Gf128((n as u128) << 124).mul_bitwise(h);
+        }
+        let mut table = [Gf128::ZERO; 256];
+        for (n, entry) in table.iter_mut().enumerate() {
+            *entry = nibble[n >> 4] + nibble[n & 0xF].mul_x4();
         }
         GhashKey { h, table }
     }
@@ -33,15 +42,15 @@ impl GhashKey {
         self.h
     }
 
-    /// Multiplies `x` by the subkey using the 4-bit table (Shoup's method).
+    /// Multiplies `x` by the subkey using the 8-bit table (Shoup's method).
     pub fn mul_h(&self, x: Gf128) -> Gf128 {
         let mut z = Gf128::ZERO;
-        // Nibble k covers powers x^{4k}..x^{4k+3}, stored at u128 bits
-        // (124-4k)..(127-4k). Horner from the highest power group down.
-        for k in (0..32).rev() {
-            z = z.mul_x4();
-            let nib = ((x.0 >> (124 - 4 * k)) & 0xF) as usize;
-            z += self.table[nib];
+        // Byte k covers powers x^{8k}..x^{8k+7}, stored at u128 bits
+        // (120-8k)..(127-8k). Horner from the highest power group down.
+        for k in (0..16).rev() {
+            z = z.mul_x8();
+            let byte = ((x.0 >> (120 - 8 * k)) & 0xFF) as usize;
+            z += self.table[byte];
         }
         z
     }
@@ -180,6 +189,31 @@ mod tests {
         ];
         for x in xs {
             assert_eq!(key.mul_h(x), x.mul_bitwise(h_case2()), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn byte_table_entries_match_definition() {
+        let key = GhashKey::new(h_case2());
+        for n in 0..256usize {
+            let direct = Gf128((n as u128) << 120).mul_bitwise(h_case2());
+            assert_eq!(key.table[n], direct, "entry {n}");
+        }
+    }
+
+    #[test]
+    fn table_mul_matches_digit_serial_model() {
+        let key = GhashKey::new(h_case2());
+        let multiplier = crate::digit_serial::DigitSerialMultiplier::new(h_case2());
+        let xs = [
+            Gf128::ZERO,
+            Gf128::ONE,
+            Gf128(0x0123_4567_89ab_cdef_0011_2233_4455_6677),
+            Gf128(u128::MAX),
+            Gf128(0xdead_beef),
+        ];
+        for x in xs {
+            assert_eq!(key.mul_h(x), multiplier.mul(x).product, "x = {x:?}");
         }
     }
 

@@ -407,6 +407,49 @@ impl PicoBlaze {
         self.pc = next_pc;
     }
 
+    /// Conservative fast-forward horizon (see `mccp_sim::Clocked`): how many
+    /// upcoming ticks have no architectural effect beyond cycle counting.
+    ///
+    /// `wake_incoming` is the level the environment will drive onto the wake
+    /// line each tick (the CU's `can_strobe`, in a core). Three states are
+    /// quiescent indefinitely: a faulted CPU, a sleeping CPU whose wake line
+    /// stays low, and a CPU spinning on an unconditional jump-to-self (the
+    /// firmware epilogue) with no interrupt pending. Everything else is
+    /// executing and must be stepped per-tick.
+    pub fn quiescent_for(&self, wake_incoming: bool) -> u64 {
+        if self.fault {
+            return u64::MAX;
+        }
+        if self.sleeping {
+            return if wake_incoming { 0 } else { u64::MAX };
+        }
+        let word = self.imem[self.pc as usize & (IMEM_DEPTH - 1)];
+        if let Some(Instruction::Jump(Cond::Always, addr)) = Instruction::decode(word) {
+            if addr & 0x3FF == self.pc & 0x3FF && !(self.ie && self.irq) {
+                return u64::MAX;
+            }
+        }
+        0
+    }
+
+    /// Advances `n` cycles at once. Only valid when the CPU just reported
+    /// `quiescent_for(..) >= n`: asleep it accrues sleep time, spinning it
+    /// retires the self-jump every second cycle, faulted it only counts.
+    pub fn skip(&mut self, n: u64) {
+        self.cycles += n;
+        if self.fault || n == 0 {
+            return;
+        }
+        if self.sleeping {
+            self.sleep_cycles += n;
+            return;
+        }
+        // Spinning on the self-jump: the execute phase lands on every
+        // second cycle, exactly as per-tick stepping would retire it.
+        self.retired += (n + self.phase as u64) / 2;
+        self.phase = ((self.phase as u64 + n) % 2) as u32;
+    }
+
     /// Runs until the CPU sleeps, faults, or `max_cycles` elapse. Returns
     /// the number of cycles consumed.
     pub fn run_until_sleep<P: PortIo>(&mut self, ports: &mut P, max_cycles: u64) -> u64 {

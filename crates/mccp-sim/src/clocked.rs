@@ -12,6 +12,30 @@ pub trait Clocked {
 
     /// Synchronous reset to the power-on state.
     fn reset(&mut self);
+
+    /// Conservative fast-forward horizon.
+    ///
+    /// `Some(n)` promises that the component's next `n` ticks are a pure
+    /// countdown: no output visible to other components changes, and no
+    /// input is consumed, during those cycles — so a driver may replace
+    /// them with a single [`Clocked::skip`] call. `None` means the
+    /// component is (or may be) active on the very next tick and must be
+    /// stepped normally. `Some(u64::MAX)` means idle until some *other*
+    /// component acts on it.
+    ///
+    /// The default is maximally conservative: never skippable.
+    fn quiescent_for(&self) -> Option<u64> {
+        None
+    }
+
+    /// Advances the component by `n` cycles at once. Only valid when the
+    /// component just reported `quiescent_for() >= Some(n)`; the default
+    /// falls back to per-tick stepping, which is always equivalent.
+    fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
 }
 
 /// A free-running cycle counter shared by a simulation.
@@ -37,6 +61,15 @@ impl Clocked for CycleCounter {
 
     fn reset(&mut self) {
         self.0 = 0;
+    }
+
+    // A counter is trivially a pure countdown (well, count-up) forever.
+    fn quiescent_for(&self) -> Option<u64> {
+        Some(u64::MAX)
+    }
+
+    fn skip(&mut self, n: u64) {
+        self.0 += n;
     }
 }
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_snapshot-0e2df41e4a0ff61e.d: crates/mccp-bench/src/bin/bench_snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_snapshot-0e2df41e4a0ff61e.rmeta: crates/mccp-bench/src/bin/bench_snapshot.rs Cargo.toml
+
+crates/mccp-bench/src/bin/bench_snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_snapshot-b2df92aaab9c8c56.d: crates/mccp-bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/debug/deps/bench_snapshot-b2df92aaab9c8c56: crates/mccp-bench/src/bin/bench_snapshot.rs
+
+crates/mccp-bench/src/bin/bench_snapshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cycle_identity-25aa791158187ad7.d: crates/mccp-core/tests/cycle_identity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcycle_identity-25aa791158187ad7.rmeta: crates/mccp-core/tests/cycle_identity.rs Cargo.toml
+
+crates/mccp-core/tests/cycle_identity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cycle_identity-59697f65a95f420e.d: crates/mccp-core/tests/cycle_identity.rs
+
+/root/repo/target/debug/deps/cycle_identity-59697f65a95f420e: crates/mccp-core/tests/cycle_identity.rs
+
+crates/mccp-core/tests/cycle_identity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_cipher_swap-678858d4cc1cb358.d: crates/mccp-bench/src/bin/ablation_cipher_swap.rs
+
+/root/repo/target/release/deps/ablation_cipher_swap-678858d4cc1cb358: crates/mccp-bench/src/bin/ablation_cipher_swap.rs
+
+crates/mccp-bench/src/bin/ablation_cipher_swap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fifo-5a376c9b2ff584cc.d: crates/mccp-bench/src/bin/ablation_fifo.rs
+
+/root/repo/target/release/deps/ablation_fifo-5a376c9b2ff584cc: crates/mccp-bench/src/bin/ablation_fifo.rs
+
+crates/mccp-bench/src/bin/ablation_fifo.rs:

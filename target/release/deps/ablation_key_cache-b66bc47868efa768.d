@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_key_cache-b66bc47868efa768.d: crates/mccp-bench/src/bin/ablation_key_cache.rs
+
+/root/repo/target/release/deps/ablation_key_cache-b66bc47868efa768: crates/mccp-bench/src/bin/ablation_key_cache.rs
+
+crates/mccp-bench/src/bin/ablation_key_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_nop-98598aa4404c8b2d.d: crates/mccp-bench/src/bin/ablation_nop.rs
+
+/root/repo/target/release/deps/ablation_nop-98598aa4404c8b2d: crates/mccp-bench/src/bin/ablation_nop.rs
+
+crates/mccp-bench/src/bin/ablation_nop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_overlap-8bab26eb30b77735.d: crates/mccp-bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/release/deps/ablation_overlap-8bab26eb30b77735: crates/mccp-bench/src/bin/ablation_overlap.rs
+
+crates/mccp-bench/src/bin/ablation_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/architecture_report-c7d5c54c1b2cb26d.d: crates/mccp-bench/src/bin/architecture_report.rs
+
+/root/repo/target/release/deps/architecture_report-c7d5c54c1b2cb26d: crates/mccp-bench/src/bin/architecture_report.rs
+
+crates/mccp-bench/src/bin/architecture_report.rs:

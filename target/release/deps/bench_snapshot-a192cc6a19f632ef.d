@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_snapshot-a192cc6a19f632ef.d: crates/mccp-bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/release/deps/bench_snapshot-a192cc6a19f632ef: crates/mccp-bench/src/bin/bench_snapshot.rs
+
+crates/mccp-bench/src/bin/bench_snapshot.rs:

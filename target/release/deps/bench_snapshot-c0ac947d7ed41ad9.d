@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_snapshot-c0ac947d7ed41ad9.d: crates/mccp-bench/src/bin/bench_snapshot.rs
+
+/root/repo/target/release/deps/bench_snapshot-c0ac947d7ed41ad9: crates/mccp-bench/src/bin/bench_snapshot.rs
+
+crates/mccp-bench/src/bin/bench_snapshot.rs:

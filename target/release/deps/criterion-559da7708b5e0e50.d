@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-559da7708b5e0e50.d: vendor-stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-559da7708b5e0e50.rlib: vendor-stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-559da7708b5e0e50.rmeta: vendor-stubs/criterion/src/lib.rs
+
+vendor-stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_aad_fraction-bb842ab2385c2906.d: crates/mccp-bench/src/bin/fig_aad_fraction.rs
+
+/root/repo/target/release/deps/fig_aad_fraction-bb842ab2385c2906: crates/mccp-bench/src/bin/fig_aad_fraction.rs
+
+crates/mccp-bench/src/bin/fig_aad_fraction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_core_scaling-27dc47bb7f719749.d: crates/mccp-bench/src/bin/fig_core_scaling.rs
+
+/root/repo/target/release/deps/fig_core_scaling-27dc47bb7f719749: crates/mccp-bench/src/bin/fig_core_scaling.rs
+
+crates/mccp-bench/src/bin/fig_core_scaling.rs:

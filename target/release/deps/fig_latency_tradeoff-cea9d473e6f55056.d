@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_latency_tradeoff-cea9d473e6f55056.d: crates/mccp-bench/src/bin/fig_latency_tradeoff.rs
+
+/root/repo/target/release/deps/fig_latency_tradeoff-cea9d473e6f55056: crates/mccp-bench/src/bin/fig_latency_tradeoff.rs
+
+crates/mccp-bench/src/bin/fig_latency_tradeoff.rs:

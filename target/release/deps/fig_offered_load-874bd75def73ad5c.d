@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_offered_load-874bd75def73ad5c.d: crates/mccp-bench/src/bin/fig_offered_load.rs
+
+/root/repo/target/release/deps/fig_offered_load-874bd75def73ad5c: crates/mccp-bench/src/bin/fig_offered_load.rs
+
+crates/mccp-bench/src/bin/fig_offered_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_packet_sweep-3f4d8b1740257dd6.d: crates/mccp-bench/src/bin/fig_packet_sweep.rs
+
+/root/repo/target/release/deps/fig_packet_sweep-3f4d8b1740257dd6: crates/mccp-bench/src/bin/fig_packet_sweep.rs
+
+crates/mccp-bench/src/bin/fig_packet_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/firmware_listing-559ea7c5db154ce5.d: crates/mccp-bench/src/bin/firmware_listing.rs
+
+/root/repo/target/release/deps/firmware_listing-559ea7c5db154ce5: crates/mccp-bench/src/bin/firmware_listing.rs
+
+crates/mccp-bench/src/bin/firmware_listing.rs:

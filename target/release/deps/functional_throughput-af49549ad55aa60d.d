@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/functional_throughput-af49549ad55aa60d.d: crates/mccp-bench/benches/functional_throughput.rs
+
+/root/repo/target/release/deps/functional_throughput-af49549ad55aa60d: crates/mccp-bench/benches/functional_throughput.rs
+
+crates/mccp-bench/benches/functional_throughput.rs:

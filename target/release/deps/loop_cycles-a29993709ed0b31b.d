@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/loop_cycles-a29993709ed0b31b.d: crates/mccp-bench/src/bin/loop_cycles.rs
+
+/root/repo/target/release/deps/loop_cycles-a29993709ed0b31b: crates/mccp-bench/src/bin/loop_cycles.rs
+
+crates/mccp-bench/src/bin/loop_cycles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mccp_bench-1364ff82204764f6.d: crates/mccp-bench/src/lib.rs
+
+/root/repo/target/release/deps/mccp_bench-1364ff82204764f6: crates/mccp-bench/src/lib.rs
+
+crates/mccp-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/primitives-3ab40e2b90b73006.d: crates/mccp-bench/benches/primitives.rs
+
+/root/repo/target/release/deps/primitives-3ab40e2b90b73006: crates/mccp-bench/benches/primitives.rs
+
+crates/mccp-bench/benches/primitives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-396a5ea56f5a80f0.d: crates/mccp-bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-396a5ea56f5a80f0: crates/mccp-bench/benches/simulator.rs
+
+crates/mccp-bench/benches/simulator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soak-3545cdd20799cac1.d: crates/mccp-bench/src/bin/soak.rs
+
+/root/repo/target/release/deps/soak-3545cdd20799cac1: crates/mccp-bench/src/bin/soak.rs
+
+crates/mccp-bench/src/bin/soak.rs:

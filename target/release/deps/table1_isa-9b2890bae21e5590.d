@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_isa-9b2890bae21e5590.d: crates/mccp-bench/src/bin/table1_isa.rs
+
+/root/repo/target/release/deps/table1_isa-9b2890bae21e5590: crates/mccp-bench/src/bin/table1_isa.rs
+
+crates/mccp-bench/src/bin/table1_isa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_throughput-bfd736d6cf619741.d: crates/mccp-bench/src/bin/table2_throughput.rs
+
+/root/repo/target/release/deps/table2_throughput-bfd736d6cf619741: crates/mccp-bench/src/bin/table2_throughput.rs
+
+crates/mccp-bench/src/bin/table2_throughput.rs:

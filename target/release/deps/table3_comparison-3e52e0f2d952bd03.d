@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_comparison-3e52e0f2d952bd03.d: crates/mccp-bench/src/bin/table3_comparison.rs
+
+/root/repo/target/release/deps/table3_comparison-3e52e0f2d952bd03: crates/mccp-bench/src/bin/table3_comparison.rs
+
+crates/mccp-bench/src/bin/table3_comparison.rs:

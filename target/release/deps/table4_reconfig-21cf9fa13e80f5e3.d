@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_reconfig-21cf9fa13e80f5e3.d: crates/mccp-bench/src/bin/table4_reconfig.rs
+
+/root/repo/target/release/deps/table4_reconfig-21cf9fa13e80f5e3: crates/mccp-bench/src/bin/table4_reconfig.rs
+
+crates/mccp-bench/src/bin/table4_reconfig.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_report-c234bfae7726f12e.d: crates/mccp-bench/src/bin/telemetry_report.rs
+
+/root/repo/target/release/deps/telemetry_report-c234bfae7726f12e: crates/mccp-bench/src/bin/telemetry_report.rs
+
+crates/mccp-bench/src/bin/telemetry_report.rs:

@@ -1,0 +1,158 @@
+//! Cluster scaling curve: one multi-channel workload served by 1/2/4/8
+//! engine shards, emitted as `BENCH_cluster.json` (hand-formatted; no
+//! serde).
+//!
+//! Two curves per shard count:
+//!
+//! - **modeled** — cycle-accurate shards; aggregate throughput is total
+//!   payload bits over the cluster *makespan* (slowest shard) at the
+//!   190 MHz clock. This is the serving capacity a real N-device
+//!   deployment would have, and is host-independent.
+//! - **functional wall-clock** — functional shards on one OS thread
+//!   each. Honest host numbers: on a host with fewer cores than shards
+//!   (`host_parallelism` is recorded), wall-clock cannot scale with the
+//!   shard count; the modeled curve is the scaling claim.
+//!
+//! ```sh
+//! cargo run --release -p mccp-bench --bin bench_cluster
+//! ```
+
+use mccp_core::MccpConfig;
+use mccp_sdr::cluster::{ClusterConfig, MccpCluster};
+use mccp_sdr::qos::DispatchPolicy;
+use mccp_sdr::workload::{Workload, WorkloadSpec};
+use mccp_sdr::Standard;
+
+const PACKETS: usize = 160;
+const PAYLOAD_LEN: usize = 512;
+const SEED: u64 = 0xC1A5;
+const KEY_SEED: u64 = 9;
+
+struct Point {
+    shards: usize,
+    modeled_makespan_cycles: u64,
+    modeled_aggregate_mbps: f64,
+    functional_wall_seconds: f64,
+    functional_wall_mbps: f64,
+    stolen_packets: usize,
+}
+
+fn main() {
+    // Eight channels (each standard twice) so affinity dispatch has work
+    // for every shard at the 8-shard point.
+    let standards = vec![
+        Standard::Wifi,
+        Standard::Wimax,
+        Standard::Umts,
+        Standard::SecureVoice,
+        Standard::Wifi,
+        Standard::Wimax,
+        Standard::Umts,
+        Standard::SecureVoice,
+    ];
+    let spec = WorkloadSpec {
+        standards: standards.clone(),
+        packets: PACKETS,
+        seed: SEED,
+        fixed_payload_len: Some(PAYLOAD_LEN),
+        mean_interarrival_cycles: None,
+    };
+    let workload = Workload::generate(spec);
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "bench_cluster: {PACKETS} packets x {PAYLOAD_LEN} B over {} channels, \
+         host parallelism {host_parallelism}",
+        standards.len()
+    );
+
+    let mut points = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let cfg = ClusterConfig {
+            shards,
+            work_stealing: true,
+            telemetry_capacity: None,
+        };
+
+        // Modeled curve: cycle-accurate shards, sequential host execution
+        // (modeled cycles are host-independent).
+        let mut cycle =
+            MccpCluster::cycle_accurate(cfg, MccpConfig::default(), &standards, KEY_SEED);
+        let modeled = cycle.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(
+            cycle.verify(&workload, &modeled).expect("cycle verify"),
+            PACKETS
+        );
+
+        // Functional wall-clock curve: one OS thread per shard.
+        let mut functional = MccpCluster::functional(cfg, &standards, KEY_SEED);
+        let wall = functional.run_threaded(&workload, DispatchPolicy::Fifo);
+        assert_eq!(
+            functional
+                .verify(&workload, &wall)
+                .expect("functional verify"),
+            PACKETS
+        );
+
+        let bits = modeled.merged.payload_bits as f64;
+        let point = Point {
+            shards,
+            modeled_makespan_cycles: modeled.merged.cycles,
+            modeled_aggregate_mbps: modeled.aggregate_throughput_mbps(),
+            functional_wall_seconds: wall.wall_seconds,
+            functional_wall_mbps: bits / wall.wall_seconds.max(1e-12) / 1e6,
+            stolen_packets: modeled.stolen_packets,
+        };
+        println!(
+            "  {shards} shard(s): modeled {} cyc makespan -> {:.0} Mbps aggregate; \
+             functional wall {:.4}s -> {:.0} Mbps; {} stolen",
+            point.modeled_makespan_cycles,
+            point.modeled_aggregate_mbps,
+            point.functional_wall_seconds,
+            point.functional_wall_mbps,
+            point.stolen_packets
+        );
+        points.push(point);
+    }
+
+    let base = &points[0];
+    let at = |n: usize| points.iter().find(|p| p.shards == n).unwrap();
+    let modeled_speedup_4 = at(4).modeled_aggregate_mbps / base.modeled_aggregate_mbps;
+    assert!(
+        modeled_speedup_4 >= 2.0,
+        "4 shards must at least double aggregate modeled throughput, got {modeled_speedup_4:.2}x"
+    );
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"shards\": {}, \"modeled_makespan_cycles\": {}, \
+                 \"modeled_aggregate_mbps\": {:.1}, \"modeled_speedup\": {:.2}, \
+                 \"functional_wall_seconds\": {:.6}, \"functional_wall_mbps\": {:.1}, \
+                 \"functional_wall_speedup\": {:.2}, \"stolen_packets\": {}}}",
+                p.shards,
+                p.modeled_makespan_cycles,
+                p.modeled_aggregate_mbps,
+                p.modeled_aggregate_mbps / base.modeled_aggregate_mbps,
+                p.functional_wall_seconds,
+                p.functional_wall_mbps,
+                p.functional_wall_mbps / base.functional_wall_mbps,
+                p.stolen_packets
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"cluster_scaling\",\n  \"workload\": {{\"channels\": {}, \
+         \"packets\": {PACKETS}, \"payload_bytes\": {PAYLOAD_LEN}, \"cores_per_shard\": 4}},\n  \
+         \"host_parallelism\": {host_parallelism},\n  \
+         \"note\": \"modeled curve is host-independent serving capacity (makespan at 190 MHz); \
+         functional wall-clock cannot exceed host_parallelism\",\n  \"points\": [\n{}\n  ]\n}}\n",
+        standards.len(),
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
+    print!("{json}");
+    println!("modeled aggregate speedup at 4 shards: {modeled_speedup_4:.2}x (>= 2x required)");
+}

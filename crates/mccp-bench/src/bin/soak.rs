@@ -1,29 +1,75 @@
-//! Soak run: continuous multi-standard traffic through the cycle-accurate
-//! MCCP with end-to-end verification of every packet — the "leave it
-//! running" confidence tool. Defaults to 200 packets; pass a count.
+//! Soak run: continuous multi-standard traffic with end-to-end
+//! verification of every packet — the "leave it running" confidence
+//! tool. Defaults to 200 packets on the cycle-accurate engine; pass a
+//! count and/or `--engine functional` for the fast path.
 //!
 //! ```sh
 //! cargo run --release -p mccp-bench --bin soak -- 1000
+//! cargo run --release -p mccp-bench --bin soak -- 1000 --engine functional
 //! ```
 
-use mccp_core::MccpConfig;
+use mccp_core::{ChannelBackend, FunctionalBackend, Mccp, MccpConfig};
+use mccp_sdr::driver::RunReport;
 use mccp_sdr::qos::DispatchPolicy;
 use mccp_sdr::workload::{Workload, WorkloadSpec};
 use mccp_sdr::{RadioDriver, Standard};
 
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Cycle,
+    Functional,
+}
+
+/// One verified duplex round on any engine: encrypt the workload,
+/// reference-check every record, decrypt it back through a fresh
+/// receiver. Returns the transmitter (for metrics), the tx report, and
+/// the receive cycles.
+fn round_on<B: ChannelBackend>(
+    mk: impl Fn() -> B,
+    spec: &WorkloadSpec,
+    workload: &Workload,
+    round: usize,
+) -> (RadioDriver<B>, RunReport, u64) {
+    let mut tx = RadioDriver::with_backend(mk(), &spec.standards, round as u64);
+    // Metrics + spans only (capacity 0): soak runs for a long time, so
+    // keep the event log out of memory and read the registry instead.
+    tx.backend_mut().enable_telemetry(0);
+    let report = tx.run(workload, DispatchPolicy::Fifo);
+    let verified = tx.verify(workload, &report).expect("verify");
+    assert_eq!(verified, report.packets);
+    let mut rx = RadioDriver::with_backend(mk(), &spec.standards, round as u64);
+    let rx_cycles = rx.run_receive(workload, &report);
+    (tx, report, rx_cycles)
+}
+
 fn main() {
-    let packets: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+    let mut packets = 200usize;
+    let mut engine = Engine::Cycle;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--engine" => {
+                engine = match args.next().as_deref() {
+                    Some("cycle") => Engine::Cycle,
+                    Some("functional") => Engine::Functional,
+                    other => panic!("--engine expects cycle|functional, got {other:?}"),
+                }
+            }
+            n => packets = n.parse().expect("packet count"),
+        }
+    }
     let standards = vec![
         Standard::Wifi,
         Standard::Wimax,
         Standard::Umts,
         Standard::SecureVoice,
     ];
+    let engine_name = match engine {
+        Engine::Cycle => "cycle-accurate 4-core MCCP",
+        Engine::Functional => "functional engine",
+    };
     println!(
-        "soak: {packets} packets across {} standards on a 4-core MCCP",
+        "soak: {packets} packets across {} standards on the {engine_name}",
         standards.len()
     );
 
@@ -32,7 +78,7 @@ fn main() {
     let mut verified = 0usize;
     // Several rounds with fresh seeds: every run is generated, encrypted,
     // verified against the NIST references, then decrypted back through
-    // the hardware (receiver role).
+    // the engine (receiver role).
     let rounds = packets.div_ceil(50);
     for round in 0..rounds {
         let spec = WorkloadSpec {
@@ -43,53 +89,76 @@ fn main() {
             mean_interarrival_cycles: None,
         };
         let workload = Workload::generate(spec.clone());
-        let mut tx = RadioDriver::new(MccpConfig::default(), &spec.standards, round as u64);
-        // Metrics + spans only (capacity 0): soak runs for a long time, so
-        // keep the event log out of memory and read the registry instead.
-        tx.mccp_mut().enable_telemetry(0);
-        let report = tx.run(&workload, DispatchPolicy::Fifo);
-        verified += tx.verify(&workload, &report).expect("verify");
-        let mut rx = RadioDriver::new(MccpConfig::default(), &spec.standards, round as u64);
-        let rx_cycles = rx.run_receive(&workload, &report);
+        let (report, rx_cycles) = match engine {
+            Engine::Cycle => {
+                let (mut tx, report, rx_cycles) =
+                    round_on(|| Mccp::new(MccpConfig::default()), &spec, &workload, round);
+                print_round(round, &report);
+                print_core_metrics(tx.mccp_mut());
+                (report, rx_cycles)
+            }
+            Engine::Functional => {
+                let (mut tx, report, rx_cycles) =
+                    round_on(FunctionalBackend::new, &spec, &workload, round);
+                print_round(round, &report);
+                // Per-core utilization and FIFO pressure only exist on
+                // the cycle-accurate engine; report the lifecycle
+                // counters instead.
+                let snap = tx.backend_mut().telemetry_snapshot();
+                println!(
+                    "    metrics: {} submitted / {} completed",
+                    snap.counter("mccp_requests_submitted_total"),
+                    snap.counter("mccp_requests_completed_total"),
+                );
+                (report, rx_cycles)
+            }
+        };
+        verified += report.packets;
         total_bits += report.payload_bits;
         total_cycles += report.cycles + rx_cycles;
-        println!(
-            "  round {round}: {} packets tx+rx OK, {:.0} Mbps tx, p95 latency {} cyc",
-            report.packets,
-            report.throughput_mbps(),
-            report.latency_percentile(0.95)
-        );
-        // Periodic metrics-registry snapshot (per-core utilization and
-        // FIFO pressure for this round's transmitter).
-        let snap = tx.mccp_mut().telemetry_snapshot();
-        let cycles = snap.gauge("mccp_cycles").max(1);
-        let util: Vec<String> = (0..4)
-            .map(|c| {
-                let busy = snap.gauge(&format!("mccp_core_busy_cycles{{core=\"{c}\"}}"));
-                format!("{:.0}%", 100.0 * busy as f64 / cycles as f64)
-            })
-            .collect();
-        let hw_out = (0..4)
-            .map(|c| {
-                snap.gauge(&format!(
-                    "mccp_fifo_highwater_words{{core=\"{c}\",port=\"output\"}}"
-                ))
-            })
-            .max()
-            .unwrap_or(0);
-        println!(
-            "    metrics: util {} | dma {} words | key hits/misses {}/{} | fifo hw {} words",
-            util.join("/"),
-            snap.counter("mccp_dma_words_total"),
-            snap.counter("mccp_key_cache_hits_total"),
-            snap.counter("mccp_key_cache_misses_total"),
-            hw_out,
-        );
     }
     println!(
         "\nsoak PASSED: {verified} packets verified both directions; \
          {:.1} Mbit moved in {:.1} Mcycles (duplex)",
         total_bits as f64 / 1e6,
         total_cycles as f64 / 1e6
+    );
+}
+
+fn print_round(round: usize, report: &RunReport) {
+    println!(
+        "  round {round}: {} packets tx+rx OK, {:.0} Mbps tx, p95 latency {} cyc",
+        report.packets,
+        report.throughput_mbps(),
+        report.latency_percentile(0.95)
+    );
+}
+
+/// Periodic metrics-registry snapshot (per-core utilization and FIFO
+/// pressure for this round's transmitter).
+fn print_core_metrics(mccp: &mut Mccp) {
+    let snap = mccp.telemetry_snapshot();
+    let cycles = snap.gauge("mccp_cycles").max(1);
+    let util: Vec<String> = (0..4)
+        .map(|c| {
+            let busy = snap.gauge(&format!("mccp_core_busy_cycles{{core=\"{c}\"}}"));
+            format!("{:.0}%", 100.0 * busy as f64 / cycles as f64)
+        })
+        .collect();
+    let hw_out = (0..4)
+        .map(|c| {
+            snap.gauge(&format!(
+                "mccp_fifo_highwater_words{{core=\"{c}\",port=\"output\"}}"
+            ))
+        })
+        .max()
+        .unwrap_or(0);
+    println!(
+        "    metrics: util {} | dma {} words | key hits/misses {}/{} | fifo hw {} words",
+        util.join("/"),
+        snap.counter("mccp_dma_words_total"),
+        snap.counter("mccp_key_cache_hits_total"),
+        snap.counter("mccp_key_cache_misses_total"),
+        hw_out,
     );
 }

@@ -17,6 +17,9 @@
 //! | `ablation_overlap` | ablation: background start/finalize vs blocking |
 //! | `ablation_nop` | ablation: completion-edge acceptance (NOP trick) |
 //! | `ablation_fifo` | ablation: FIFO depth sweep |
+//! | `bench_snapshot` | `BENCH_sim_speed.json` — per-tick vs fast-forward |
+//! | `bench_cluster` | `BENCH_cluster.json` — 1/2/4/8-shard scaling curve |
+//! | `soak` | duplex verification soak (`--engine cycle\|functional`) |
 //!
 //! Criterion benches under `benches/` measure wall-clock throughput of the
 //! functional mode, the reference primitives and the simulator itself.

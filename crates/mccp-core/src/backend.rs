@@ -1,0 +1,237 @@
+//! The unified channel-engine interface: one trait over the
+//! cycle-accurate [`Mccp`] simulator and the functional fast path
+//! ([`FunctionalBackend`](crate::functional::FunctionalBackend)), so a
+//! workload driver written once runs on either engine — and so engines
+//! can be replicated into shards behind a cluster dispatcher.
+//!
+//! The contract mirrors the paper's control protocol: OPEN a channel,
+//! ENCRYPT/DECRYPT-submit packets until the engine reports
+//! [`MccpError::NoResource`], advance the clock, and poll Data Available
+//! for completions. Time is modeled cycles for the simulator and a
+//! submission-order virtual clock for the functional engine; both are
+//! deterministic for a given call sequence.
+
+use crate::format::Direction;
+use crate::protocol::{Algorithm, ChannelId, KeyId, MccpError, RequestId};
+use mccp_telemetry::Snapshot;
+
+/// One finished request, as surfaced by [`ChannelBackend::poll_completion`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    pub request: RequestId,
+    /// False when an authenticated mode rejected the tag — in which case
+    /// `body` and `tag` are empty (the engine has wiped the output).
+    pub auth_ok: bool,
+    /// Ciphertext (encrypt) or plaintext (decrypt); empty for MAC-only
+    /// modes.
+    pub body: Vec<u8>,
+    /// Authentication tag (encrypt on authenticated modes, MAC modes).
+    pub tag: Vec<u8>,
+    /// Submission → Data Available, in the engine's clock. The functional
+    /// engine does not model service time and reports 0.
+    pub latency_cycles: u64,
+}
+
+/// A multi-channel crypto engine: the protocol surface of the paper's
+/// MCCP, abstracted over how (and whether) time is simulated.
+///
+/// # Contract
+///
+/// - [`open_channel`](Self::open_channel) binds an algorithm + session
+///   key and returns a handle; handles are allocated deterministically
+///   (the same open sequence yields the same handles on every
+///   implementation).
+/// - [`submit_packet`](Self::submit_packet) either accepts a packet or
+///   returns [`MccpError::NoResource`] when every core is busy — the
+///   caller's cue to [`step`](Self::step) and poll. Implementations
+///   without a core limit accept unboundedly.
+/// - [`step`](Self::step) advances the engine's clock by at most `bound`
+///   cycles (`bound` must be finite and non-zero for progress) and
+///   returns the cycles actually advanced. It may return 0 only when a
+///   completion is already pollable.
+/// - [`poll_completion`](Self::poll_completion) drains finished requests
+///   in Data Available order, releasing the resources they held. Every
+///   accepted submission produces exactly one completion; authentication
+///   failures surface as `auth_ok == false`, never as an error.
+/// - Outputs are bit-identical across implementations for the same
+///   channel/packet sequence: ciphertext, tags and auth verdicts do not
+///   depend on which engine ran the work.
+pub trait ChannelBackend {
+    /// Short engine name for reports ("cycle", "functional").
+    fn backend_name(&self) -> &'static str;
+
+    /// OPEN: binds an algorithm and session-key bytes to a new channel.
+    fn open_channel(
+        &mut self,
+        algorithm: Algorithm,
+        key: &[u8],
+        tag_len: usize,
+    ) -> Result<ChannelId, MccpError>;
+
+    /// CLOSE: releases a channel. Errors with [`MccpError::Busy`] while
+    /// the channel has in-flight requests.
+    fn close_channel(&mut self, channel: ChannelId) -> Result<(), MccpError>;
+
+    /// ENCRYPT/DECRYPT: submits one packet on a channel.
+    ///
+    /// `iv`: GCM — 12-byte IV; CCM — 7..13-byte nonce; CTR — 16-byte
+    /// counter block; CBC-MAC — empty. `tag` is required when decrypting
+    /// authenticated modes.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_packet(
+        &mut self,
+        channel: ChannelId,
+        direction: Direction,
+        iv: &[u8],
+        aad: &[u8],
+        body: &[u8],
+        tag: Option<&[u8]>,
+    ) -> Result<RequestId, MccpError>;
+
+    /// Advances the engine clock by at most `bound` cycles; returns the
+    /// cycles advanced (0 only when a completion is already pollable).
+    fn step(&mut self, bound: u64) -> u64;
+
+    /// Pops the next finished request, releasing its resources.
+    fn poll_completion(&mut self) -> Option<Completion>;
+
+    /// Requests accepted but not yet drained via
+    /// [`poll_completion`](Self::poll_completion).
+    fn in_flight(&self) -> usize;
+
+    /// The engine's current clock value.
+    fn now(&self) -> u64;
+
+    /// Enables the engine's telemetry pipeline (ring capacity as in
+    /// [`Mccp::enable_telemetry`]).
+    fn enable_telemetry(&mut self, capacity: usize);
+
+    /// Whether telemetry is recording.
+    fn telemetry_enabled(&self) -> bool;
+
+    /// Adds to a registry counter when telemetry is enabled (no-op
+    /// otherwise) — the hook drivers use for their own serving metrics.
+    fn telemetry_counter_add(&mut self, key: &str, delta: u64);
+
+    /// Publishes engine-owned gauges and snapshots the metrics registry.
+    fn telemetry_snapshot(&mut self) -> Snapshot;
+
+    /// Runs the engine until every accepted request is pollable or the
+    /// guard expires. Returns cycles advanced.
+    ///
+    /// # Panics
+    /// Panics if in-flight work fails to complete within `max_cycles`.
+    fn drain(&mut self, max_cycles: u64) -> u64;
+}
+
+use crate::mccp::Mccp;
+
+impl ChannelBackend for Mccp {
+    fn backend_name(&self) -> &'static str {
+        "cycle"
+    }
+
+    /// Stores the key bytes under the first free [`KeyId`] (allocated
+    /// ascending from 1 — the same sequence the pre-trait `RadioDriver`
+    /// produced) and opens the channel on it.
+    fn open_channel(
+        &mut self,
+        algorithm: Algorithm,
+        key: &[u8],
+        tag_len: usize,
+    ) -> Result<ChannelId, MccpError> {
+        let kid = (1..=u8::MAX)
+            .map(KeyId)
+            .find(|&k| !self.key_memory_mut().contains(k))
+            .ok_or(MccpError::BadKey)?;
+        self.key_memory_mut().store(kid, key);
+        self.open_with_tag_len(algorithm, kid, tag_len)
+    }
+
+    fn close_channel(&mut self, channel: ChannelId) -> Result<(), MccpError> {
+        self.close(channel)
+    }
+
+    fn submit_packet(
+        &mut self,
+        channel: ChannelId,
+        direction: Direction,
+        iv: &[u8],
+        aad: &[u8],
+        body: &[u8],
+        tag: Option<&[u8]>,
+    ) -> Result<RequestId, MccpError> {
+        self.submit(channel, direction, iv, aad, body, tag)
+    }
+
+    /// One scheduling quantum of the simulator: leap a quiescent span
+    /// (capped at `bound`) when fast-forward is on, else simulate one
+    /// cycle. Completions only occur on active ticks, so polling after
+    /// every `step` call never misses one — this is exactly the clock
+    /// advance the pre-trait `RadioDriver::run` loop performed inline.
+    fn step(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        let span = if self.fast_forward() {
+            self.quiescent_horizon().min(bound)
+        } else {
+            0
+        };
+        if span == 0 {
+            self.tick();
+            1
+        } else {
+            self.skip(span);
+            span
+        }
+    }
+
+    fn poll_completion(&mut self) -> Option<Completion> {
+        let id = self.poll_data_available()?;
+        let latency_cycles = self.request_cycles(id).expect("done");
+        let (auth_ok, body, tag) = match self.retrieve(id) {
+            Ok(out) => (true, out.body, out.tag.unwrap_or_default()),
+            Err(MccpError::AuthFail) => (false, Vec::new(), Vec::new()),
+            Err(e) => unreachable!("retrieve of Data Available request: {e}"),
+        };
+        self.transfer_done(id).expect("release");
+        Some(Completion {
+            request: id,
+            auth_ok,
+            body,
+            tag,
+            latency_cycles,
+        })
+    }
+
+    fn in_flight(&self) -> usize {
+        self.active_requests()
+    }
+
+    fn now(&self) -> u64 {
+        self.cycle()
+    }
+
+    fn enable_telemetry(&mut self, capacity: usize) {
+        Mccp::enable_telemetry(self, capacity);
+    }
+
+    fn telemetry_enabled(&self) -> bool {
+        self.telemetry().is_enabled()
+    }
+
+    fn telemetry_counter_add(&mut self, key: &str, delta: u64) {
+        if self.telemetry().is_enabled() {
+            self.telemetry_mut().registry_mut().counter_add(key, delta);
+        }
+    }
+
+    fn telemetry_snapshot(&mut self) -> Snapshot {
+        Mccp::telemetry_snapshot(self)
+    }
+
+    fn drain(&mut self, max_cycles: u64) -> u64 {
+        self.run_to_completion(max_cycles)
+    }
+}

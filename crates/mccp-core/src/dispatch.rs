@@ -1,0 +1,387 @@
+//! The control-protocol half of the Task Scheduler: channel management
+//! (OPEN / REKEY / CLOSE), packet submission with personality-matched
+//! core allocation and key-cache handling, output retrieval
+//! (RETRIEVE_DATA / TRANSFER_DONE) and partial reconfiguration.
+//!
+//! Split out of the `Mccp` monolith; every method here is an `impl Mccp`
+//! block so the public API surface is unchanged.
+
+use crate::core_unit::Personality;
+use crate::crossbar::Route;
+use crate::format::{format_request, parse_output, Direction, FormattedRequest, ProcessedPacket};
+use crate::mccp::Mccp;
+use crate::protocol::{Algorithm, ChannelId, CipherSel, KeyId, MccpError, Mode, RequestId};
+use crate::reconfig::{Bitstream, BitstreamSource};
+use crate::scheduler::{ReqState, Request};
+use mccp_telemetry::{Event, FifoPort};
+
+/// A live channel binding (algorithm, session key, tag length, cipher).
+#[derive(Clone, Debug)]
+pub(crate) struct Channel {
+    pub(crate) algorithm: Algorithm,
+    pub(crate) key: KeyId,
+    pub(crate) tag_len: usize,
+    /// The block cipher this channel runs on; Twofish channels dispatch
+    /// only to cores whose reconfigurable region hosts the Twofish unit.
+    pub(crate) cipher: CipherSel,
+}
+
+impl Mccp {
+    /// OPEN: binds an algorithm and session key to a new channel.
+    pub fn open(&mut self, algorithm: Algorithm, key: KeyId) -> Result<ChannelId, MccpError> {
+        self.open_with_tag_len(algorithm, key, self.config.default_tag_len)
+    }
+
+    /// OPEN with an explicit tag length (authenticated channels).
+    pub fn open_with_tag_len(
+        &mut self,
+        algorithm: Algorithm,
+        key: KeyId,
+        tag_len: usize,
+    ) -> Result<ChannelId, MccpError> {
+        self.open_with_cipher(algorithm, key, tag_len, CipherSel::Aes)
+    }
+
+    /// OPEN with an explicit cipher selection (paper §IX: "AES core may be
+    /// easily replaced by any other 128-bit block cipher"). Twofish
+    /// channels are served only by cores reconfigured to the Twofish unit.
+    pub fn open_with_cipher(
+        &mut self,
+        algorithm: Algorithm,
+        key: KeyId,
+        tag_len: usize,
+        cipher: CipherSel,
+    ) -> Result<ChannelId, MccpError> {
+        if !self.key_memory.contains(key) {
+            return Err(MccpError::BadKey);
+        }
+        if self.key_memory.key_size(key) != Some(algorithm.key_size()) {
+            return Err(MccpError::BadKey);
+        }
+        let id = (0..=u8::MAX)
+            .find(|i| !self.channels.contains_key(i))
+            .ok_or(MccpError::NoChannelId)?;
+        self.channels.insert(
+            id,
+            Channel {
+                algorithm,
+                key,
+                tag_len,
+                cipher,
+            },
+        );
+        Ok(ChannelId(id))
+    }
+
+    /// Rebinds a live channel to a new session key (rekeying: the main
+    /// controller has rotated keys; in-flight requests keep the old key,
+    /// subsequent packets use the new one — stale per-core key caches miss
+    /// on the new id and re-expand).
+    pub fn rekey(&mut self, channel: ChannelId, new_key: KeyId) -> Result<(), MccpError> {
+        let algorithm = self.channel(channel)?.algorithm;
+        if !self.key_memory.contains(new_key) {
+            return Err(MccpError::BadKey);
+        }
+        if self.key_memory.key_size(new_key) != Some(algorithm.key_size()) {
+            return Err(MccpError::BadKey);
+        }
+        self.channels
+            .get_mut(&channel.0)
+            .expect("checked above")
+            .key = new_key;
+        Ok(())
+    }
+
+    /// CLOSE: releases a channel.
+    pub fn close(&mut self, channel: ChannelId) -> Result<(), MccpError> {
+        if self
+            .requests
+            .values()
+            .any(|r| r.channel == channel && !matches!(r.state, ReqState::Retrieved))
+        {
+            return Err(MccpError::Busy);
+        }
+        self.channels
+            .remove(&channel.0)
+            .map(|_| ())
+            .ok_or(MccpError::BadChannel)
+    }
+
+    pub(crate) fn channel(&self, id: ChannelId) -> Result<&Channel, MccpError> {
+        self.channels.get(&id.0).ok_or(MccpError::BadChannel)
+    }
+
+    /// The core personality a channel's cipher requires.
+    pub(crate) fn personality_for(cipher: CipherSel) -> Personality {
+        match cipher {
+            CipherSel::Aes => Personality::AesUnit,
+            CipherSel::Twofish => Personality::TwofishUnit,
+        }
+    }
+
+    /// ENCRYPT/DECRYPT: formats and submits a packet on a channel.
+    ///
+    /// `iv`: GCM — 12-byte IV; CCM — 7..13-byte nonce; CTR — 16-byte
+    /// counter block; CBC-MAC — empty. `tag` is required when decrypting
+    /// authenticated modes.
+    pub fn submit(
+        &mut self,
+        channel: ChannelId,
+        direction: Direction,
+        iv: &[u8],
+        aad: &[u8],
+        body: &[u8],
+        tag: Option<&[u8]>,
+    ) -> Result<RequestId, MccpError> {
+        let ch = self.channel(channel)?.clone();
+        let two_core = self.config.ccm_two_core
+            && ch.algorithm.mode() == Mode::Ccm
+            && self.idle_pair(Self::personality_for(ch.cipher)).is_some();
+        let fmt = format_request(
+            ch.algorithm,
+            direction,
+            two_core,
+            iv,
+            aad,
+            body,
+            tag,
+            ch.tag_len,
+        )?;
+        self.submit_formatted(channel, direction, fmt)
+    }
+
+    /// Submits a pre-formatted request (the data the communication
+    /// controller would push through the crossbar).
+    pub fn submit_formatted(
+        &mut self,
+        channel: ChannelId,
+        direction: Direction,
+        fmt: FormattedRequest,
+    ) -> Result<RequestId, MccpError> {
+        let ch = self.channel(channel)?.clone();
+        let n = self.cores.len();
+
+        // Core allocation (personality-matched: Twofish channels dispatch
+        // to Twofish-configured cores only).
+        let want = Self::personality_for(ch.cipher);
+        let core_ids: Vec<usize> = if fmt.jobs.len() == 2 {
+            let left = self.idle_pair(want).ok_or(MccpError::NoResource)?;
+            vec![left, (left + 1) % n]
+        } else {
+            vec![self.first_idle(want).ok_or(MccpError::NoResource)?]
+        };
+        for &c in &core_ids {
+            self.cores[c].reserve();
+        }
+
+        // Capacity checks: every stream must fit its FIFO *unless* we run
+        // in streaming mode (oversize experiments).
+        let fifo_bytes = self.config.fifo_depth * 4;
+        let streaming = fmt
+            .jobs
+            .iter()
+            .any(|j| j.stream.len() > fifo_bytes || j.output_bytes > fifo_bytes);
+
+        // Key handling: reuse a cached expansion or charge the Key
+        // Scheduler latency.
+        let mut key_delay = 0u32;
+        for &c in &core_ids {
+            if self.cores[c].key_cache.get(ch.key, ch.cipher).is_none() {
+                let before = self.key_scheduler.busy_cycles();
+                let engine = self
+                    .key_scheduler
+                    .expand_engine(&self.key_memory, ch.key, ch.cipher)
+                    .ok_or(MccpError::BadKey)?;
+                let this_delay = self.key_scheduler.busy_cycles() - before;
+                key_delay = key_delay.max(this_delay);
+                self.cores[c].key_cache.install(ch.key, ch.cipher, engine);
+                self.telemetry
+                    .emit_with(self.cycle, || Event::KeyCacheMiss {
+                        core: c,
+                        key: ch.key.0,
+                        expansion_cycles: this_delay,
+                    });
+            } else {
+                self.telemetry.emit_with(self.cycle, || Event::KeyCacheHit {
+                    core: c,
+                    key: ch.key.0,
+                });
+            }
+            let engine = self.cores[c]
+                .key_cache
+                .get(ch.key, ch.cipher)
+                .expect("just installed")
+                .clone();
+            self.cores[c].load_engine(engine);
+        }
+
+        let id = RequestId(self.next_request);
+        self.next_request = self.next_request.wrapping_add(1).max(1);
+
+        let producing_core = fmt
+            .jobs
+            .iter()
+            .position(|j| j.produces_output)
+            .map(|i| core_ids[i])
+            .unwrap_or(core_ids[0]);
+        let expected_output = fmt
+            .jobs
+            .iter()
+            .find(|j| j.produces_output)
+            .map(|j| j.output_bytes)
+            .unwrap_or(0);
+
+        // Route the crossbar to the producing core's input for the upload
+        // phase (protocol fidelity; the model pushes words during tick()).
+        self.crossbar.select(Route::WriteTo(producing_core));
+
+        let mut pending_input = Vec::new();
+        let mut jobs = Vec::new();
+        for (i, job) in fmt.jobs.into_iter().enumerate() {
+            let core = core_ids[i];
+            pending_input.push((core, job.stream.clone(), 0usize, false));
+            jobs.push((core, job));
+        }
+
+        self.telemetry
+            .emit_with(self.cycle, || Event::RequestSubmitted {
+                request: id.0,
+                channel: channel.0,
+                algorithm: ch.algorithm.to_string(),
+                direction: match direction {
+                    Direction::Encrypt => "Encrypt",
+                    Direction::Decrypt => "Decrypt",
+                },
+                cores: core_ids.clone(),
+            });
+        self.telemetry
+            .emit_with(self.cycle, || Event::RequestDispatched {
+                request: id.0,
+                core: producing_core,
+            });
+        self.requests.insert(
+            id.0,
+            Request {
+                id,
+                channel,
+                algorithm: ch.algorithm,
+                direction,
+                cores: core_ids,
+                producing_core,
+                payload_len: fmt.payload_len,
+                tag_len: fmt.tag_len,
+                expected_output,
+                pending_input,
+                jobs,
+                collected: Vec::new(),
+                streaming,
+                state: ReqState::KeyWait(key_delay),
+                start_cycle: self.cycle,
+                done_cycle: None,
+                signaled: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// RETRIEVE_DATA: returns the processed packet, or [`MccpError::AuthFail`]
+    /// — in which case the output FIFO has already been wiped.
+    pub fn retrieve(&mut self, id: RequestId) -> Result<ProcessedPacket, MccpError> {
+        let req = self.requests.get_mut(&id.0).ok_or(MccpError::BadChannel)?;
+        let ReqState::Done { auth_ok } = req.state else {
+            return Err(MccpError::Busy);
+        };
+        req.state = ReqState::Retrieved;
+        if !auth_ok {
+            return Err(MccpError::AuthFail);
+        }
+        self.crossbar.select(Route::ReadFrom(req.producing_core));
+        let mut raw = std::mem::take(&mut req.collected);
+        let remaining = req.expected_output - raw.len();
+        if remaining > 0 {
+            let fifo_bytes = self.cores[req.producing_core]
+                .output
+                .pop_bytes(remaining)
+                .ok_or(MccpError::Busy)?;
+            raw.extend_from_slice(&fifo_bytes);
+        }
+        if self.telemetry.is_enabled() {
+            let core = req.producing_core;
+            let level = self.cores[core].output.len();
+            self.telemetry.emit(
+                self.cycle,
+                Event::RequestRetrieved {
+                    request: id.0,
+                    core,
+                },
+            );
+            self.telemetry.emit(
+                self.cycle,
+                Event::FifoPop {
+                    core,
+                    port: FifoPort::Output,
+                    level,
+                },
+            );
+        }
+        Ok(parse_output(
+            req.algorithm,
+            req.direction,
+            req.payload_len,
+            req.tag_len,
+            &raw,
+        ))
+    }
+
+    /// TRANSFER_DONE: releases the cores and forgets the request.
+    pub fn transfer_done(&mut self, id: RequestId) -> Result<(), MccpError> {
+        let req = self.requests.remove(&id.0).ok_or(MccpError::BadChannel)?;
+        for &c in &req.cores {
+            self.cores[c].finish();
+            self.cores[c].input.wipe();
+            self.cores[c].output.wipe();
+        }
+        self.crossbar.release();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Partial reconfiguration
+    // ------------------------------------------------------------------
+
+    /// Begins loading a partial bitstream into a core's reconfigurable
+    /// region (paper §IX). The core is reserved for the duration — the
+    /// scheduler will not dispatch to it — and comes back up with the
+    /// bitstream's personality once the modeled load time elapses during
+    /// [`tick`](Self::tick). Returns the load-time budget in cycles.
+    ///
+    /// Errors with [`MccpError::Busy`] if the core is mid-request or
+    /// already reconfiguring.
+    pub fn begin_reconfiguration(
+        &mut self,
+        core: usize,
+        bitstream: Bitstream,
+        source: BitstreamSource,
+    ) -> Result<u64, MccpError> {
+        if !self.cores[core].is_idle() || self.reconfigs[core].is_reconfiguring() {
+            return Err(MccpError::Busy);
+        }
+        let personality = bitstream.personality;
+        let budget = self.reconfigs[core]
+            .begin(bitstream, source)
+            .expect("controller idle");
+        self.cores[core].reserve();
+        self.reconfig_started[core] = self.cycle;
+        self.telemetry
+            .emit_with(self.cycle, || Event::ReconfigBegin {
+                core,
+                personality: format!("{personality:?}"),
+            });
+        Ok(budget)
+    }
+
+    /// True while a core's reconfigurable region is being rewritten.
+    pub fn is_reconfiguring(&self, core: usize) -> bool {
+        self.reconfigs[core].is_reconfiguring()
+    }
+}

@@ -1,0 +1,120 @@
+//! The communication controller's DMA paths: word-per-cycle upload into
+//! the core input FIFOs (with backpressure accounting), the streaming
+//! drain for oversize packets, and the DMA contributions to the
+//! event-driven fast path (`quiescent` test and bulk `skip`).
+//!
+//! Split out of the `Mccp` monolith; every method here is an `impl Mccp`
+//! block so the public API surface is unchanged.
+
+use crate::mccp::Mccp;
+use crate::scheduler::{ReqState, Request};
+use mccp_telemetry::{Event, FifoPort};
+
+/// One core's upload stream: `(core index, bytes, next offset, stalled)`.
+/// `stalled` marks a stream currently refused by a full FIFO, so the
+/// backpressure event fires once per stall instead of every cycle.
+pub(crate) type PendingInput = (usize, Vec<u8>, usize, bool);
+
+impl Mccp {
+    /// One DMA cycle: pushes one 32-bit word per pending stream into its
+    /// core's input FIFO (modeling the 32-bit data bus) and drains one
+    /// output word for streaming requests.
+    pub(crate) fn dma_cycle(&mut self) {
+        for req in self.requests.values_mut() {
+            if !matches!(req.state, ReqState::Running | ReqState::KeyWait(_)) {
+                continue;
+            }
+            for (core, stream, offset, stalled) in req.pending_input.iter_mut() {
+                if *offset < stream.len() {
+                    let end = (*offset + 4).min(stream.len());
+                    let mut w = [0u8; 4];
+                    w[..end - *offset].copy_from_slice(&stream[*offset..end]);
+                    if self.cores[*core].input.push(u32::from_be_bytes(w)) {
+                        *offset = end;
+                        *stalled = false;
+                        if self.telemetry.is_enabled() {
+                            self.telemetry
+                                .registry_mut()
+                                .counter_add("mccp_dma_words_total", 1);
+                            if *offset == stream.len() {
+                                // One push event per completed upload, not
+                                // per word, to keep the log proportional to
+                                // requests rather than bytes.
+                                let level = self.cores[*core].input.len();
+                                let core = *core;
+                                self.telemetry.emit_with(self.cycle, || Event::FifoPush {
+                                    core,
+                                    port: FifoPort::Input,
+                                    level,
+                                });
+                            }
+                        }
+                    } else if self.telemetry.is_enabled() {
+                        self.telemetry
+                            .registry_mut()
+                            .counter_add("mccp_dma_backpressure_cycles_total", 1);
+                        if !*stalled {
+                            *stalled = true;
+                            let core = *core;
+                            self.telemetry.emit_with(self.cycle, || Event::FifoFull {
+                                core,
+                                port: FifoPort::Input,
+                            });
+                        }
+                    }
+                }
+            }
+            // Streaming drain for oversize packets only (standard packets
+            // stay resident until RETRIEVE_DATA, preserving the
+            // wipe-on-auth-failure defense).
+            if req.streaming {
+                if let Some(w) = self.cores[req.producing_core].output.pop() {
+                    req.collected.extend_from_slice(&w.to_be_bytes());
+                }
+            }
+        }
+    }
+
+    /// Whether a request's DMA machinery is provably idle for the next
+    /// cycle: an upload stream with words left and FIFO space is active;
+    /// a not-yet-stalled stream facing a full FIFO is active (it emits the
+    /// `FifoFull` edge); a streaming request with resident output words
+    /// drains one word per cycle.
+    pub(crate) fn dma_is_quiescent(&self, req: &Request) -> bool {
+        for (core, stream, offset, stalled) in &req.pending_input {
+            if *offset < stream.len() {
+                if self.cores[*core].input.free() > 0 {
+                    return false;
+                }
+                if self.telemetry.is_enabled() && !*stalled {
+                    return false;
+                }
+            }
+        }
+        if req.streaming && !self.cores[req.producing_core].output.is_empty() {
+            return false;
+        }
+        true
+    }
+
+    /// Bulk-advances the per-cycle DMA-backpressure counter for streams
+    /// stalled on a full FIFO (the only DMA state that moves during a
+    /// quiescent span).
+    pub(crate) fn dma_skip(&mut self, n: u64) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for req in self.requests.values() {
+            if !matches!(req.state, ReqState::KeyWait(_) | ReqState::Running) {
+                continue;
+            }
+            for (_, stream, offset, stalled) in &req.pending_input {
+                if *offset < stream.len() && *stalled {
+                    self.telemetry
+                        .registry_mut()
+                        .counter_add("mccp_dma_backpressure_cycles_total", n);
+                }
+            }
+        }
+    }
+}

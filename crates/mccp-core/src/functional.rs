@@ -10,15 +10,17 @@
 //! owns a private key cache (its Key Cache), and results flow back over a
 //! second channel.
 
+use crate::backend::{ChannelBackend, Completion};
 use crate::format::Direction;
-use crate::protocol::{Algorithm, Mode};
+use crate::protocol::{Algorithm, ChannelId, MccpError, Mode, RequestId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mccp_aes::modes::{
     cbc_mac, ccm_open_detached, ccm_seal, ctr_xcrypt, gcm_open_detached, gcm_seal, CcmParams,
     ModeError,
 };
 use mccp_aes::Aes;
-use std::collections::HashMap;
+use mccp_telemetry::{Event, Snapshot, Telemetry};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -50,6 +52,45 @@ pub struct PacketOutcome {
     pub result: Result<Vec<u8>, ModeError>,
 }
 
+/// The mode dispatch shared by the worker pool and [`FunctionalBackend`]:
+/// one packet through the reference implementation of its mode.
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    aes: &Aes,
+    algorithm: Algorithm,
+    direction: Direction,
+    iv: &[u8],
+    aad: &[u8],
+    body: &[u8],
+    tag: Option<&[u8]>,
+    tag_len: usize,
+) -> Result<Vec<u8>, ModeError> {
+    let tag = tag.unwrap_or(&[]);
+    match (algorithm.mode(), direction) {
+        (Mode::Gcm, Direction::Encrypt) => gcm_seal(aes, iv, aad, body, tag_len),
+        (Mode::Gcm, Direction::Decrypt) => gcm_open_detached(aes, iv, aad, body, tag),
+        (Mode::Ccm, dir) => {
+            let params = CcmParams {
+                nonce_len: iv.len(),
+                tag_len,
+            };
+            match dir {
+                Direction::Encrypt => ccm_seal(aes, &params, iv, aad, body),
+                Direction::Decrypt => ccm_open_detached(aes, &params, iv, aad, body, tag),
+            }
+        }
+        (Mode::Ctr, _) => {
+            let mut body = body.to_vec();
+            let ctr0: [u8; 16] = iv
+                .try_into()
+                .map_err(|_| ModeError::InvalidParams("CTR needs a 16-byte counter"))?;
+            ctr_xcrypt(aes, &ctr0, &mut body)?;
+            Ok(body)
+        }
+        (Mode::CbcMac, _) => cbc_mac(aes, body, tag_len),
+    }
+}
+
 fn process(job: &PacketJob, cache: &mut HashMap<Vec<u8>, Aes>) -> Result<Vec<u8>, ModeError> {
     // Lookup-before-insert: the steady state is a cache hit, which must not
     // clone the key bytes just to probe the map.
@@ -57,36 +98,16 @@ fn process(job: &PacketJob, cache: &mut HashMap<Vec<u8>, Aes>) -> Result<Vec<u8>
         cache.insert(job.key.clone(), Aes::new(&job.key));
     }
     let aes = cache.get(&job.key).expect("just inserted");
-    let tag = job.tag.as_deref().unwrap_or(&[]);
-    match (job.algorithm.mode(), job.direction) {
-        (Mode::Gcm, Direction::Encrypt) => gcm_seal(aes, &job.iv, &job.aad, &job.body, job.tag_len),
-        (Mode::Gcm, Direction::Decrypt) => {
-            gcm_open_detached(aes, &job.iv, &job.aad, &job.body, tag)
-        }
-        (Mode::Ccm, dir) => {
-            let params = CcmParams {
-                nonce_len: job.iv.len(),
-                tag_len: job.tag_len,
-            };
-            match dir {
-                Direction::Encrypt => ccm_seal(aes, &params, &job.iv, &job.aad, &job.body),
-                Direction::Decrypt => {
-                    ccm_open_detached(aes, &params, &job.iv, &job.aad, &job.body, tag)
-                }
-            }
-        }
-        (Mode::Ctr, _) => {
-            let mut body = job.body.clone();
-            let ctr0: [u8; 16] = job
-                .iv
-                .as_slice()
-                .try_into()
-                .map_err(|_| ModeError::InvalidParams("CTR needs a 16-byte counter"))?;
-            ctr_xcrypt(aes, &ctr0, &mut body)?;
-            Ok(body)
-        }
-        (Mode::CbcMac, _) => cbc_mac(aes, &job.body, job.tag_len),
-    }
+    run_mode(
+        aes,
+        job.algorithm,
+        job.direction,
+        &job.iv,
+        &job.aad,
+        &job.body,
+        job.tag.as_deref(),
+        job.tag_len,
+    )
 }
 
 /// The thread-parallel MCCP.
@@ -196,6 +217,211 @@ impl Drop for ParallelMccp {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+    }
+}
+
+/// A live channel on the functional engine.
+#[derive(Clone, Debug)]
+struct FunctionalChannel {
+    algorithm: Algorithm,
+    key: Vec<u8>,
+    tag_len: usize,
+}
+
+/// The functional engine behind the [`ChannelBackend`] trait: the same
+/// control protocol as the cycle-accurate [`Mccp`](crate::Mccp), with the
+/// reference `mccp-aes` implementations as the datapath. Packets are
+/// processed synchronously at submission (bit-identical output to the
+/// simulator), so it never refuses work with `NoResource`; the clock is a
+/// virtual cycle counter advanced by [`step`](ChannelBackend::step) so
+/// arrival-paced drivers behave, and completion latency is reported as 0
+/// (service time is not modeled — wall-clock is what this engine trades
+/// cycle fidelity for).
+pub struct FunctionalBackend {
+    channels: BTreeMap<u8, FunctionalChannel>,
+    /// Per-key block-cipher cache (the hardware Key Cache, degenerated to
+    /// one shared cache since there is no per-core state to model).
+    cache: HashMap<Vec<u8>, Aes>,
+    /// Finished packets in submission order, tagged with their channel so
+    /// CLOSE can refuse while results are undrained.
+    completions: VecDeque<(u8, Completion)>,
+    next_request: u16,
+    now: u64,
+    telemetry: Telemetry,
+}
+
+impl FunctionalBackend {
+    pub fn new() -> Self {
+        FunctionalBackend {
+            channels: BTreeMap::new(),
+            cache: HashMap::new(),
+            completions: VecDeque::new(),
+            next_request: 1,
+            now: 0,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+impl Default for FunctionalBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChannelBackend for FunctionalBackend {
+    fn backend_name(&self) -> &'static str {
+        "functional"
+    }
+
+    fn open_channel(
+        &mut self,
+        algorithm: Algorithm,
+        key: &[u8],
+        tag_len: usize,
+    ) -> Result<ChannelId, MccpError> {
+        if key.len() != algorithm.key_size().key_bytes() {
+            return Err(MccpError::BadKey);
+        }
+        let id = (0..=u8::MAX)
+            .find(|i| !self.channels.contains_key(i))
+            .ok_or(MccpError::NoChannelId)?;
+        self.channels.insert(
+            id,
+            FunctionalChannel {
+                algorithm,
+                key: key.to_vec(),
+                tag_len,
+            },
+        );
+        Ok(ChannelId(id))
+    }
+
+    fn close_channel(&mut self, channel: ChannelId) -> Result<(), MccpError> {
+        if self.completions.iter().any(|(ch, _)| *ch == channel.0) {
+            return Err(MccpError::Busy);
+        }
+        self.channels
+            .remove(&channel.0)
+            .map(|_| ())
+            .ok_or(MccpError::BadChannel)
+    }
+
+    fn submit_packet(
+        &mut self,
+        channel: ChannelId,
+        direction: Direction,
+        iv: &[u8],
+        aad: &[u8],
+        body: &[u8],
+        tag: Option<&[u8]>,
+    ) -> Result<RequestId, MccpError> {
+        let ch = self
+            .channels
+            .get(&channel.0)
+            .ok_or(MccpError::BadChannel)?
+            .clone();
+        if !self.cache.contains_key(&ch.key) {
+            self.cache.insert(ch.key.clone(), Aes::new(&ch.key));
+        }
+        let aes = self.cache.get(&ch.key).expect("just inserted");
+
+        let id = RequestId(self.next_request);
+        self.next_request = self.next_request.wrapping_add(1).max(1);
+        self.telemetry
+            .emit_with(self.now, || Event::RequestSubmitted {
+                request: id.0,
+                channel: channel.0,
+                algorithm: ch.algorithm.to_string(),
+                direction: match direction {
+                    Direction::Encrypt => "Encrypt",
+                    Direction::Decrypt => "Decrypt",
+                },
+                cores: Vec::new(),
+            });
+
+        let result = run_mode(aes, ch.algorithm, direction, iv, aad, body, tag, ch.tag_len);
+        let (auth_ok, out_body, out_tag) = match result {
+            Ok(out) => match (ch.algorithm.mode(), direction) {
+                (Mode::Gcm | Mode::Ccm, Direction::Encrypt) => {
+                    let split = out.len() - ch.tag_len;
+                    let mut out = out;
+                    let tag = out.split_off(split);
+                    (true, out, tag)
+                }
+                (Mode::Gcm | Mode::Ccm, Direction::Decrypt) => (true, out, Vec::new()),
+                (Mode::Ctr, _) => (true, out, Vec::new()),
+                (Mode::CbcMac, _) => (true, Vec::new(), out),
+            },
+            Err(ModeError::AuthFail) => (false, Vec::new(), Vec::new()),
+            Err(_) => return Err(MccpError::BadInstruction),
+        };
+        self.telemetry
+            .emit_with(self.now, || Event::RequestCompleted {
+                request: id.0,
+                auth_ok,
+                cycles: 0,
+            });
+        self.completions.push_back((
+            channel.0,
+            Completion {
+                request: id,
+                auth_ok,
+                body: out_body,
+                tag: out_tag,
+                latency_cycles: 0,
+            },
+        ));
+        Ok(id)
+    }
+
+    fn step(&mut self, bound: u64) -> u64 {
+        if !self.completions.is_empty() {
+            return 0;
+        }
+        self.now = self.now.saturating_add(bound);
+        bound
+    }
+
+    fn poll_completion(&mut self) -> Option<Completion> {
+        self.completions.pop_front().map(|(_, c)| c)
+    }
+
+    fn in_flight(&self) -> usize {
+        self.completions.len()
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn enable_telemetry(&mut self, capacity: usize) {
+        self.telemetry = Telemetry::with_capacity(capacity);
+    }
+
+    fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_enabled()
+    }
+
+    fn telemetry_counter_add(&mut self, key: &str, delta: u64) {
+        if self.telemetry.is_enabled() {
+            self.telemetry.registry_mut().counter_add(key, delta);
+        }
+    }
+
+    fn telemetry_snapshot(&mut self) -> Snapshot {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .registry_mut()
+                .gauge_set("mccp_cycles", self.now);
+        }
+        self.telemetry.snapshot()
+    }
+
+    /// Processing is synchronous at submission — everything accepted is
+    /// already pollable.
+    fn drain(&mut self, _max_cycles: u64) -> u64 {
+        0
     }
 }
 

@@ -32,8 +32,11 @@
 //! assert_eq!(pkt.tag.len(), 16);
 //! ```
 
+pub mod backend;
 pub mod core_unit;
 pub mod crossbar;
+mod dispatch;
+mod dma;
 pub mod firmware;
 pub mod format;
 pub mod functional;
@@ -42,7 +45,10 @@ pub mod mccp;
 pub mod model;
 pub mod protocol;
 pub mod reconfig;
+mod scheduler;
 
+pub use backend::{ChannelBackend, Completion};
 pub use format::{Direction, ProcessedPacket};
+pub use functional::FunctionalBackend;
 pub use mccp::{DecryptedPacket, EncryptedPacket, Mccp, MccpConfig};
 pub use protocol::{Algorithm, ChannelId, KeyId, MccpError, Mode, RequestId};

@@ -2,6 +2,20 @@
 //! Scheduler, the Cross Bar, the Key Scheduler/Memory and `n`
 //! Cryptographic Cores, simulated in lock step at the modeled 190 MHz.
 //!
+//! This file is the thin facade: construction, configuration, telemetry
+//! access and the convenience packet API. The machinery lives in sibling
+//! modules, all extending `impl Mccp`:
+//!
+//! * [`scheduler`](crate::scheduler) — the per-cycle state machine
+//!   ([`tick`](Mccp::tick)), core allocation, and the event-driven fast
+//!   path ([`quiescent_horizon`](Mccp::quiescent_horizon) /
+//!   [`skip`](Mccp::skip) and the `run_*` helpers);
+//! * [`dma`](crate::dma) — word-per-cycle FIFO upload with backpressure
+//!   accounting and the streaming drain;
+//! * [`dispatch`](crate::dispatch) — the control protocol (OPEN / REKEY /
+//!   CLOSE, ENCRYPT / DECRYPT submission, RETRIEVE_DATA / TRANSFER_DONE)
+//!   and partial reconfiguration.
+//!
 //! *Substitution note:* the paper's Task Scheduler is itself an 8-bit
 //! controller executing scheduling software; here the scheduling **policy**
 //! (first-idle dispatch, §III.C) is implemented directly in Rust and its
@@ -10,16 +24,16 @@
 //! instruction-execution overhead (a few dozen cycles per packet, identical
 //! for every architecture compared) is abstracted away.
 
-use crate::core_unit::{CryptoCore, Personality};
-use crate::crossbar::{CrossBar, Route};
-use crate::firmware::{result_code, FirmwareLibrary};
-use crate::format::{format_request, parse_output, Direction, FormattedRequest, ProcessedPacket};
+use crate::core_unit::CryptoCore;
+use crate::crossbar::CrossBar;
+use crate::dispatch::Channel;
+use crate::firmware::FirmwareLibrary;
+use crate::format::Direction;
 use crate::key::{KeyMemory, KeyScheduler};
-use crate::protocol::{Algorithm, ChannelId, CipherSel, KeyId, MccpError, Mode, RequestId};
-use crate::reconfig::{Bitstream, BitstreamSource, ReconfigController};
-use mccp_sim::trace::TraceEvent;
-use mccp_sim::Tracer;
-use mccp_telemetry::{metrics, Event, FifoPort, Snapshot, Telemetry};
+use crate::protocol::{ChannelId, MccpError, RequestId};
+use crate::reconfig::ReconfigController;
+use crate::scheduler::{ReqState, Request};
+use mccp_telemetry::{metrics, Snapshot, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 
 /// MCCP construction parameters.
@@ -49,58 +63,6 @@ impl Default for MccpConfig {
     }
 }
 
-#[derive(Clone, Debug)]
-struct Channel {
-    algorithm: Algorithm,
-    key: KeyId,
-    tag_len: usize,
-    /// The block cipher this channel runs on; Twofish channels dispatch
-    /// only to cores whose reconfigurable region hosts the Twofish unit.
-    cipher: CipherSel,
-}
-
-/// One core's upload stream: `(core index, bytes, next offset, stalled)`.
-/// `stalled` marks a stream currently refused by a full FIFO, so the
-/// backpressure event fires once per stall instead of every cycle.
-type PendingInput = (usize, Vec<u8>, usize, bool);
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ReqState {
-    /// Waiting on the Key Scheduler before the cores start.
-    KeyWait(u32),
-    Running,
-    /// All cores reported and the output is resident (Data Available).
-    Done {
-        auth_ok: bool,
-    },
-    Retrieved,
-}
-
-struct Request {
-    id: RequestId,
-    channel: ChannelId,
-    algorithm: Algorithm,
-    direction: Direction,
-    /// Core indices, in pair order (left first).
-    cores: Vec<usize>,
-    producing_core: usize,
-    payload_len: usize,
-    tag_len: usize,
-    expected_output: usize,
-    /// Pending input bytes per core (streamed one word/cycle, modeling the
-    /// 32-bit data bus): `(core index, stream, offset)`.
-    pending_input: Vec<PendingInput>,
-    /// Firmware/params to load once the key is ready.
-    jobs: Vec<(usize, crate::format::CoreJob)>,
-    /// Progressively drained output (only for oversize streaming requests).
-    collected: Vec<u8>,
-    streaming: bool,
-    state: ReqState,
-    start_cycle: u64,
-    done_cycle: Option<u64>,
-    signaled: bool,
-}
-
 /// The result of a completed encryption.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EncryptedPacket {
@@ -119,30 +81,29 @@ pub struct DecryptedPacket {
 
 /// The MCCP.
 pub struct Mccp {
-    config: MccpConfig,
-    cores: Vec<CryptoCore>,
+    pub(crate) config: MccpConfig,
+    pub(crate) cores: Vec<CryptoCore>,
     /// `mailboxes[i]`: inter-core port from core `i` to core `i+1 (mod n)`.
-    mailboxes: Vec<Option<[u8; 16]>>,
-    key_memory: KeyMemory,
-    key_scheduler: KeyScheduler,
-    firmware: FirmwareLibrary,
-    crossbar: CrossBar,
-    channels: BTreeMap<u8, Channel>,
-    requests: BTreeMap<u16, Request>,
-    next_request: u16,
-    cycle: u64,
-    data_available: VecDeque<RequestId>,
-    tracer: Tracer,
-    telemetry: Telemetry,
+    pub(crate) mailboxes: Vec<Option<[u8; 16]>>,
+    pub(crate) key_memory: KeyMemory,
+    pub(crate) key_scheduler: KeyScheduler,
+    pub(crate) firmware: FirmwareLibrary,
+    pub(crate) crossbar: CrossBar,
+    pub(crate) channels: BTreeMap<u8, Channel>,
+    pub(crate) requests: BTreeMap<u16, Request>,
+    pub(crate) next_request: u16,
+    pub(crate) cycle: u64,
+    pub(crate) data_available: VecDeque<RequestId>,
+    pub(crate) telemetry: Telemetry,
     /// Per-core partial-reconfiguration controllers and the cycle each
     /// in-flight reconfiguration began.
-    reconfigs: Vec<ReconfigController>,
-    reconfig_started: Vec<u64>,
+    pub(crate) reconfigs: Vec<ReconfigController>,
+    pub(crate) reconfig_started: Vec<u64>,
     /// Event-driven fast path: when set, the `run_*` helpers leap over
     /// spans where every component is provably quiescent instead of
     /// ticking cycle by cycle. Cycle counts, outputs and telemetry are
     /// identical either way; see [`quiescent_horizon`](Self::quiescent_horizon).
-    fast_forward: bool,
+    pub(crate) fast_forward: bool,
 }
 
 impl Mccp {
@@ -168,7 +129,6 @@ impl Mccp {
             next_request: 1,
             cycle: 0,
             data_available: VecDeque::new(),
-            tracer: Tracer::disabled(),
             telemetry: Telemetry::disabled(),
             reconfigs: vec![ReconfigController::new(); config.n_cores],
             reconfig_started: vec![0; config.n_cores],
@@ -177,25 +137,10 @@ impl Mccp {
         }
     }
 
-    /// Enables scheduler-level event tracing (request lifecycle, core
-    /// starts, completions, auth-failure wipes), keeping the most recent
-    /// `capacity` events.
-    #[deprecated(note = "use `enable_telemetry`; string traces are now rendered from typed events")]
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.tracer = Tracer::with_capacity(capacity);
-    }
-
-    /// Drains the recorded trace events.
-    #[deprecated(
-        note = "use `telemetry_mut().take_events()`; string traces are now rendered from typed events"
-    )]
-    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.tracer.take()
-    }
-
-    /// Enables the typed telemetry pipeline: cycle-stamped [`Event`]s
-    /// (keeping the most recent `capacity` in the ring buffer), the
-    /// metrics registry and per-request spans. Zero overhead until called.
+    /// Enables the typed telemetry pipeline: cycle-stamped
+    /// [`Event`](mccp_telemetry::Event)s (keeping the most recent
+    /// `capacity` in the ring buffer), the metrics registry and
+    /// per-request spans. Zero overhead until called.
     pub fn enable_telemetry(&mut self, capacity: usize) {
         self.telemetry = Telemetry::with_capacity(capacity);
     }
@@ -245,23 +190,6 @@ impl Mccp {
         self.telemetry.snapshot()
     }
 
-    /// Records one of the four legacy lifecycle events into both the
-    /// deprecated string tracer (rendered via `Display`, byte-compatible
-    /// with the old hand-written messages) and the typed telemetry sink.
-    fn emit_event(
-        telemetry: &mut Telemetry,
-        tracer: &mut Tracer,
-        cycle: u64,
-        make: impl FnOnce() -> Event,
-    ) {
-        if !telemetry.is_enabled() && !tracer.is_enabled() {
-            return;
-        }
-        let event = make();
-        tracer.record_with(cycle, "scheduler", || event.to_string());
-        telemetry.emit(cycle, event);
-    }
-
     /// The main controller's write path into the Key Memory.
     pub fn key_memory_mut(&mut self) -> &mut KeyMemory {
         &mut self.key_memory
@@ -308,753 +236,6 @@ impl Mccp {
     /// accounting for the Key Cache ablation).
     pub fn expansions(&self) -> u64 {
         self.key_scheduler.expansions()
-    }
-
-    // ------------------------------------------------------------------
-    // Control protocol
-    // ------------------------------------------------------------------
-
-    /// OPEN: binds an algorithm and session key to a new channel.
-    pub fn open(&mut self, algorithm: Algorithm, key: KeyId) -> Result<ChannelId, MccpError> {
-        self.open_with_tag_len(algorithm, key, self.config.default_tag_len)
-    }
-
-    /// OPEN with an explicit tag length (authenticated channels).
-    pub fn open_with_tag_len(
-        &mut self,
-        algorithm: Algorithm,
-        key: KeyId,
-        tag_len: usize,
-    ) -> Result<ChannelId, MccpError> {
-        self.open_with_cipher(algorithm, key, tag_len, CipherSel::Aes)
-    }
-
-    /// OPEN with an explicit cipher selection (paper §IX: "AES core may be
-    /// easily replaced by any other 128-bit block cipher"). Twofish
-    /// channels are served only by cores reconfigured to the Twofish unit.
-    pub fn open_with_cipher(
-        &mut self,
-        algorithm: Algorithm,
-        key: KeyId,
-        tag_len: usize,
-        cipher: CipherSel,
-    ) -> Result<ChannelId, MccpError> {
-        if !self.key_memory.contains(key) {
-            return Err(MccpError::BadKey);
-        }
-        if self.key_memory.key_size(key) != Some(algorithm.key_size()) {
-            return Err(MccpError::BadKey);
-        }
-        let id = (0..=u8::MAX)
-            .find(|i| !self.channels.contains_key(i))
-            .ok_or(MccpError::NoChannelId)?;
-        self.channels.insert(
-            id,
-            Channel {
-                algorithm,
-                key,
-                tag_len,
-                cipher,
-            },
-        );
-        Ok(ChannelId(id))
-    }
-
-    /// Rebinds a live channel to a new session key (rekeying: the main
-    /// controller has rotated keys; in-flight requests keep the old key,
-    /// subsequent packets use the new one — stale per-core key caches miss
-    /// on the new id and re-expand).
-    pub fn rekey(&mut self, channel: ChannelId, new_key: KeyId) -> Result<(), MccpError> {
-        let algorithm = self.channel(channel)?.algorithm;
-        if !self.key_memory.contains(new_key) {
-            return Err(MccpError::BadKey);
-        }
-        if self.key_memory.key_size(new_key) != Some(algorithm.key_size()) {
-            return Err(MccpError::BadKey);
-        }
-        self.channels
-            .get_mut(&channel.0)
-            .expect("checked above")
-            .key = new_key;
-        Ok(())
-    }
-
-    /// CLOSE: releases a channel.
-    pub fn close(&mut self, channel: ChannelId) -> Result<(), MccpError> {
-        if self
-            .requests
-            .values()
-            .any(|r| r.channel == channel && !matches!(r.state, ReqState::Retrieved))
-        {
-            return Err(MccpError::Busy);
-        }
-        self.channels
-            .remove(&channel.0)
-            .map(|_| ())
-            .ok_or(MccpError::BadChannel)
-    }
-
-    fn channel(&self, id: ChannelId) -> Result<&Channel, MccpError> {
-        self.channels.get(&id.0).ok_or(MccpError::BadChannel)
-    }
-
-    /// The core personality a channel's cipher requires.
-    fn personality_for(cipher: CipherSel) -> Personality {
-        match cipher {
-            CipherSel::Aes => Personality::AesUnit,
-            CipherSel::Twofish => Personality::TwofishUnit,
-        }
-    }
-
-    /// Finds the first idle core with the right personality (the paper's
-    /// dispatch policy, §III.C).
-    fn first_idle(&self, personality: Personality) -> Option<usize> {
-        self.cores
-            .iter()
-            .position(|c| c.is_idle() && c.personality() == personality)
-    }
-
-    /// Finds an adjacent idle pair `(i, i+1 mod n)` for two-core CCM.
-    fn idle_pair(&self, personality: Personality) -> Option<usize> {
-        let n = self.cores.len();
-        if n < 2 {
-            return None;
-        }
-        (0..n).find(|&i| {
-            let j = (i + 1) % n;
-            self.cores[i].is_idle()
-                && self.cores[j].is_idle()
-                && self.cores[i].personality() == personality
-                && self.cores[j].personality() == personality
-        })
-    }
-
-    /// ENCRYPT/DECRYPT: formats and submits a packet on a channel.
-    ///
-    /// `iv`: GCM — 12-byte IV; CCM — 7..13-byte nonce; CTR — 16-byte
-    /// counter block; CBC-MAC — empty. `tag` is required when decrypting
-    /// authenticated modes.
-    pub fn submit(
-        &mut self,
-        channel: ChannelId,
-        direction: Direction,
-        iv: &[u8],
-        aad: &[u8],
-        body: &[u8],
-        tag: Option<&[u8]>,
-    ) -> Result<RequestId, MccpError> {
-        let ch = self.channel(channel)?.clone();
-        let two_core = self.config.ccm_two_core
-            && ch.algorithm.mode() == Mode::Ccm
-            && self.idle_pair(Self::personality_for(ch.cipher)).is_some();
-        let fmt = format_request(
-            ch.algorithm,
-            direction,
-            two_core,
-            iv,
-            aad,
-            body,
-            tag,
-            ch.tag_len,
-        )?;
-        self.submit_formatted(channel, direction, fmt)
-    }
-
-    /// Submits a pre-formatted request (the data the communication
-    /// controller would push through the crossbar).
-    pub fn submit_formatted(
-        &mut self,
-        channel: ChannelId,
-        direction: Direction,
-        fmt: FormattedRequest,
-    ) -> Result<RequestId, MccpError> {
-        let ch = self.channel(channel)?.clone();
-        let n = self.cores.len();
-
-        // Core allocation (personality-matched: Twofish channels dispatch
-        // to Twofish-configured cores only).
-        let want = Self::personality_for(ch.cipher);
-        let core_ids: Vec<usize> = if fmt.jobs.len() == 2 {
-            let left = self.idle_pair(want).ok_or(MccpError::NoResource)?;
-            vec![left, (left + 1) % n]
-        } else {
-            vec![self.first_idle(want).ok_or(MccpError::NoResource)?]
-        };
-        for &c in &core_ids {
-            self.cores[c].reserve();
-        }
-
-        // Capacity checks: every stream must fit its FIFO *unless* we run
-        // in streaming mode (oversize experiments).
-        let fifo_bytes = self.config.fifo_depth * 4;
-        let streaming = fmt
-            .jobs
-            .iter()
-            .any(|j| j.stream.len() > fifo_bytes || j.output_bytes > fifo_bytes);
-
-        // Key handling: reuse a cached expansion or charge the Key
-        // Scheduler latency.
-        let mut key_delay = 0u32;
-        for &c in &core_ids {
-            if self.cores[c].key_cache.get(ch.key, ch.cipher).is_none() {
-                let before = self.key_scheduler.busy_cycles();
-                let engine = self
-                    .key_scheduler
-                    .expand_engine(&self.key_memory, ch.key, ch.cipher)
-                    .ok_or(MccpError::BadKey)?;
-                let this_delay = self.key_scheduler.busy_cycles() - before;
-                key_delay = key_delay.max(this_delay);
-                self.cores[c].key_cache.install(ch.key, ch.cipher, engine);
-                self.telemetry
-                    .emit_with(self.cycle, || Event::KeyCacheMiss {
-                        core: c,
-                        key: ch.key.0,
-                        expansion_cycles: this_delay,
-                    });
-            } else {
-                self.telemetry.emit_with(self.cycle, || Event::KeyCacheHit {
-                    core: c,
-                    key: ch.key.0,
-                });
-            }
-            let engine = self.cores[c]
-                .key_cache
-                .get(ch.key, ch.cipher)
-                .expect("just installed")
-                .clone();
-            self.cores[c].load_engine(engine);
-        }
-
-        let id = RequestId(self.next_request);
-        self.next_request = self.next_request.wrapping_add(1).max(1);
-
-        let producing_core = fmt
-            .jobs
-            .iter()
-            .position(|j| j.produces_output)
-            .map(|i| core_ids[i])
-            .unwrap_or(core_ids[0]);
-        let expected_output = fmt
-            .jobs
-            .iter()
-            .find(|j| j.produces_output)
-            .map(|j| j.output_bytes)
-            .unwrap_or(0);
-
-        // Route the crossbar to the producing core's input for the upload
-        // phase (protocol fidelity; the model pushes words during tick()).
-        self.crossbar.select(Route::WriteTo(producing_core));
-
-        let mut pending_input = Vec::new();
-        let mut jobs = Vec::new();
-        for (i, job) in fmt.jobs.into_iter().enumerate() {
-            let core = core_ids[i];
-            pending_input.push((core, job.stream.clone(), 0usize, false));
-            jobs.push((core, job));
-        }
-
-        Self::emit_event(&mut self.telemetry, &mut self.tracer, self.cycle, || {
-            Event::RequestSubmitted {
-                request: id.0,
-                channel: channel.0,
-                algorithm: ch.algorithm.to_string(),
-                direction: match direction {
-                    Direction::Encrypt => "Encrypt",
-                    Direction::Decrypt => "Decrypt",
-                },
-                cores: core_ids.clone(),
-            }
-        });
-        self.telemetry
-            .emit_with(self.cycle, || Event::RequestDispatched {
-                request: id.0,
-                core: producing_core,
-            });
-        self.requests.insert(
-            id.0,
-            Request {
-                id,
-                channel,
-                algorithm: ch.algorithm,
-                direction,
-                cores: core_ids,
-                producing_core,
-                payload_len: fmt.payload_len,
-                tag_len: fmt.tag_len,
-                expected_output,
-                pending_input,
-                jobs,
-                collected: Vec::new(),
-                streaming,
-                state: ReqState::KeyWait(key_delay),
-                start_cycle: self.cycle,
-                done_cycle: None,
-                signaled: false,
-            },
-        );
-        Ok(id)
-    }
-
-    // ------------------------------------------------------------------
-    // Simulation
-    // ------------------------------------------------------------------
-
-    /// Advances the whole MCCP one clock cycle.
-    pub fn tick(&mut self) {
-        self.cycle += 1;
-        self.key_scheduler.tick();
-
-        // Partial-reconfiguration engine: finish any bitstream whose load
-        // time has elapsed and bring the core up with its new personality.
-        for i in 0..self.reconfigs.len() {
-            if let Some(p) = self.reconfigs[i].tick() {
-                self.cores[i].set_personality(p);
-                self.cores[i].finish();
-                let started = self.reconfig_started[i];
-                let cycle = self.cycle;
-                self.telemetry.emit_with(cycle, || Event::ReconfigEnd {
-                    core: i,
-                    personality: format!("{p:?}"),
-                    cycles: cycle - started,
-                });
-            }
-        }
-
-        // Task-scheduler state machine: start cores whose key is ready.
-        for req in self.requests.values_mut() {
-            if let ReqState::KeyWait(left) = req.state {
-                if left == 0 {
-                    for (core, job) in &req.jobs {
-                        let image = self.firmware.image(job.firmware);
-                        self.cores[*core].start(job.firmware, image, job.params);
-                        let (core, firmware, request) = (*core, job.firmware, req.id.0);
-                        Self::emit_event(&mut self.telemetry, &mut self.tracer, self.cycle, || {
-                            Event::CoreStarted {
-                                request,
-                                core,
-                                firmware: format!("{firmware:?}"),
-                            }
-                        });
-                    }
-                    req.state = ReqState::Running;
-                } else {
-                    req.state = ReqState::KeyWait(left - 1);
-                }
-            }
-        }
-
-        // Communication-controller DMA: one 32-bit word per core per cycle.
-        for req in self.requests.values_mut() {
-            if !matches!(req.state, ReqState::Running | ReqState::KeyWait(_)) {
-                continue;
-            }
-            for (core, stream, offset, stalled) in req.pending_input.iter_mut() {
-                if *offset < stream.len() {
-                    let end = (*offset + 4).min(stream.len());
-                    let mut w = [0u8; 4];
-                    w[..end - *offset].copy_from_slice(&stream[*offset..end]);
-                    if self.cores[*core].input.push(u32::from_be_bytes(w)) {
-                        *offset = end;
-                        *stalled = false;
-                        if self.telemetry.is_enabled() {
-                            self.telemetry
-                                .registry_mut()
-                                .counter_add("mccp_dma_words_total", 1);
-                            if *offset == stream.len() {
-                                // One push event per completed upload, not
-                                // per word, to keep the log proportional to
-                                // requests rather than bytes.
-                                let level = self.cores[*core].input.len();
-                                let core = *core;
-                                self.telemetry.emit_with(self.cycle, || Event::FifoPush {
-                                    core,
-                                    port: FifoPort::Input,
-                                    level,
-                                });
-                            }
-                        }
-                    } else if self.telemetry.is_enabled() {
-                        self.telemetry
-                            .registry_mut()
-                            .counter_add("mccp_dma_backpressure_cycles_total", 1);
-                        if !*stalled {
-                            *stalled = true;
-                            let core = *core;
-                            self.telemetry.emit_with(self.cycle, || Event::FifoFull {
-                                core,
-                                port: FifoPort::Input,
-                            });
-                        }
-                    }
-                }
-            }
-            // Streaming drain for oversize packets only (standard packets
-            // stay resident until RETRIEVE_DATA, preserving the
-            // wipe-on-auth-failure defense).
-            if req.streaming {
-                if let Some(w) = self.cores[req.producing_core].output.pop() {
-                    req.collected.extend_from_slice(&w.to_be_bytes());
-                }
-            }
-        }
-
-        // Tick every core with its mailboxes.
-        let n = self.cores.len();
-        for i in 0..n {
-            let li = (i + n - 1) % n;
-            if li == i {
-                // Single-core MCCP: no inter-core ports.
-                let mut dummy = None;
-                let mut dummy2 = None;
-                self.cores[i].tick(&mut dummy, &mut dummy2);
-            } else {
-                let mut from_left = self.mailboxes[li].take();
-                let mut to_right = self.mailboxes[i].take();
-                self.cores[i].tick(&mut from_left, &mut to_right);
-                self.mailboxes[li] = from_left;
-                self.mailboxes[i] = to_right;
-            }
-        }
-
-        // Completion detection.
-        let mut newly_done = Vec::new();
-        for req in self.requests.values_mut() {
-            if req.state != ReqState::Running {
-                continue;
-            }
-            let all_reported = req.cores.iter().all(|&c| self.cores[c].result().is_some());
-            if !all_reported {
-                continue;
-            }
-            let auth_ok = req
-                .cores
-                .iter()
-                .all(|&c| self.cores[c].result() == Some(result_code::OK));
-            // On auth failure the firmware has already wiped the output
-            // FIFO, so the residency check only applies to the OK path.
-            let resident = if req.streaming {
-                req.collected.len() + self.cores[req.producing_core].output.len() * 4
-                    >= req.expected_output
-            } else {
-                self.cores[req.producing_core].output.len() * 4 >= req.expected_output
-            };
-            if auth_ok && !resident {
-                continue;
-            }
-            if !auth_ok {
-                // The paper's defense: reinitialize the output FIFO(s) so
-                // no unauthenticated plaintext can be read out.
-                for &c in &req.cores {
-                    self.cores[c].output.wipe();
-                }
-                req.collected.clear();
-                let request = req.id.0;
-                Self::emit_event(&mut self.telemetry, &mut self.tracer, self.cycle, || {
-                    Event::AuthFailWipe { request }
-                });
-            }
-            let (request, cycles) = (req.id.0, self.cycle - req.start_cycle);
-            Self::emit_event(&mut self.telemetry, &mut self.tracer, self.cycle, || {
-                Event::RequestCompleted {
-                    request,
-                    auth_ok,
-                    cycles,
-                }
-            });
-            req.state = ReqState::Done { auth_ok };
-            req.done_cycle = Some(self.cycle);
-            newly_done.push(req.id);
-        }
-        for id in newly_done {
-            self.data_available.push_back(id);
-        }
-
-        // High-water FIFO occupancy, sampled after every datapath update
-        // (allocation-free; published as gauges at snapshot time).
-        if self.telemetry.is_enabled() {
-            for i in 0..n {
-                self.telemetry.observe_fifo_levels(
-                    i,
-                    self.cores[i].input.len(),
-                    self.cores[i].output.len(),
-                );
-            }
-        }
-    }
-
-    /// Conservative event-driven horizon: the number of upcoming cycles
-    /// guaranteed to be pure countdown for *every* component, i.e. cycles
-    /// [`skip`](Self::skip) may leap over without changing any observable
-    /// state (outputs, cycle stamps, telemetry). `0` means the next cycle
-    /// is (or may be) active and must be simulated with [`tick`](Self::tick);
-    /// `u64::MAX` means nothing bounds the leap (the machine is idle).
-    ///
-    /// The rules, component by component:
-    /// - a reconfiguration countdown with `left` cycles remaining
-    ///   contributes `left` (the swap lands on tick `left + 1`);
-    /// - a request in KeyWait(`left`) contributes `left` (cores start on
-    ///   tick `left + 1`);
-    /// - an upload stream with words left and FIFO space is active (`0`);
-    ///   stalled on a full FIFO it contributes nothing — the FIFO cannot
-    ///   drain while its core is quiescent — except that the first stalled
-    ///   cycle emits the `FifoFull` edge and is therefore active;
-    /// - a streaming request with resident output words drains one word
-    ///   per cycle (`0`);
-    /// - each core reports its own horizon (engine countdowns, staged-op
-    ///   readiness, controller sleep/wake) given the frozen mailbox state;
-    /// - the Key Scheduler's saturating countdown has no observable
-    ///   zero-crossing and never bounds the horizon.
-    pub fn quiescent_horizon(&self) -> u64 {
-        let mut h = u64::MAX;
-        for rc in &self.reconfigs {
-            h = h.min(rc.quiescent_for());
-        }
-        for req in self.requests.values() {
-            match req.state {
-                ReqState::KeyWait(left) => h = h.min(left as u64),
-                ReqState::Running => {}
-                _ => continue,
-            }
-            for (core, stream, offset, stalled) in &req.pending_input {
-                if *offset < stream.len() {
-                    if self.cores[*core].input.free() > 0 {
-                        return 0;
-                    }
-                    if self.telemetry.is_enabled() && !*stalled {
-                        return 0;
-                    }
-                }
-            }
-            if req.streaming && !self.cores[req.producing_core].output.is_empty() {
-                return 0;
-            }
-        }
-        let n = self.cores.len();
-        for (i, core) in self.cores.iter().enumerate() {
-            let from_left_full = n > 1 && self.mailboxes[(i + n - 1) % n].is_some();
-            let to_right_full = n > 1 && self.mailboxes[i].is_some();
-            h = h.min(core.quiescent_for(from_left_full, to_right_full));
-            if h == 0 {
-                return 0;
-            }
-        }
-        h
-    }
-
-    /// Advances `n` cycles at once; only valid for
-    /// `n <= quiescent_horizon()`. Equivalent to `n` calls to
-    /// [`tick`](Self::tick): countdowns decrement in bulk, the per-cycle
-    /// DMA-backpressure counter advances for streams stalled on a full
-    /// FIFO, and everything else — by the horizon contract — is frozen.
-    pub fn skip(&mut self, n: u64) {
-        debug_assert!(n <= self.quiescent_horizon());
-        if n == 0 {
-            return;
-        }
-        self.cycle += n;
-        self.key_scheduler.skip(n);
-        for rc in &mut self.reconfigs {
-            rc.skip(n);
-        }
-        for req in self.requests.values_mut() {
-            match req.state {
-                ReqState::KeyWait(left) => req.state = ReqState::KeyWait(left - n as u32),
-                ReqState::Running => {}
-                _ => continue,
-            }
-            if self.telemetry.is_enabled() {
-                for (_, stream, offset, stalled) in &req.pending_input {
-                    if *offset < stream.len() && *stalled {
-                        self.telemetry
-                            .registry_mut()
-                            .counter_add("mccp_dma_backpressure_cycles_total", n);
-                    }
-                }
-            }
-        }
-        for core in &mut self.cores {
-            core.skip(n);
-        }
-    }
-
-    /// Advances the simulation to an absolute cycle, leaping over
-    /// quiescent spans when fast-forward is enabled.
-    pub fn run_until(&mut self, target: u64) {
-        while self.cycle < target {
-            let span = if self.fast_forward {
-                self.quiescent_horizon().min(target - self.cycle)
-            } else {
-                0
-            };
-            if span == 0 {
-                self.tick();
-            } else {
-                self.skip(span);
-            }
-        }
-    }
-
-    /// Runs until every submitted request has reached Data Available.
-    /// Returns the cycles elapsed.
-    ///
-    /// # Panics
-    /// Panics if a core faults or the guard expires (firmware bug).
-    pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
-        let start = self.cycle;
-        while self
-            .requests
-            .values()
-            .any(|r| matches!(r.state, ReqState::KeyWait(_) | ReqState::Running))
-        {
-            assert!(
-                self.cycle - start < max_cycles,
-                "requests wedged after {max_cycles} cycles"
-            );
-            let span = if self.fast_forward {
-                self.quiescent_horizon()
-                    .min(max_cycles - (self.cycle - start))
-            } else {
-                0
-            };
-            if span == 0 {
-                self.tick();
-                for (c, core) in self.cores.iter().enumerate() {
-                    assert!(
-                        !core.is_faulted(),
-                        "core {c} faulted running {:?}",
-                        core.firmware()
-                    );
-                }
-            } else {
-                self.skip(span);
-            }
-        }
-        self.cycle - start
-    }
-
-    /// The Data Available interrupt queue.
-    pub fn poll_data_available(&mut self) -> Option<RequestId> {
-        while let Some(id) = self.data_available.front().copied() {
-            let fresh = self
-                .requests
-                .get(&id.0)
-                .map(|r| !r.signaled)
-                .unwrap_or(false);
-            if fresh {
-                if let Some(r) = self.requests.get_mut(&id.0) {
-                    r.signaled = true;
-                }
-                return Some(id);
-            }
-            self.data_available.pop_front();
-        }
-        None
-    }
-
-    /// RETRIEVE_DATA: returns the processed packet, or [`MccpError::AuthFail`]
-    /// — in which case the output FIFO has already been wiped.
-    pub fn retrieve(&mut self, id: RequestId) -> Result<ProcessedPacket, MccpError> {
-        let req = self.requests.get_mut(&id.0).ok_or(MccpError::BadChannel)?;
-        let ReqState::Done { auth_ok } = req.state else {
-            return Err(MccpError::Busy);
-        };
-        req.state = ReqState::Retrieved;
-        if !auth_ok {
-            return Err(MccpError::AuthFail);
-        }
-        self.crossbar.select(Route::ReadFrom(req.producing_core));
-        let mut raw = std::mem::take(&mut req.collected);
-        let remaining = req.expected_output - raw.len();
-        if remaining > 0 {
-            let fifo_bytes = self.cores[req.producing_core]
-                .output
-                .pop_bytes(remaining)
-                .ok_or(MccpError::Busy)?;
-            raw.extend_from_slice(&fifo_bytes);
-        }
-        if self.telemetry.is_enabled() {
-            let core = req.producing_core;
-            let level = self.cores[core].output.len();
-            self.telemetry.emit(
-                self.cycle,
-                Event::RequestRetrieved {
-                    request: id.0,
-                    core,
-                },
-            );
-            self.telemetry.emit(
-                self.cycle,
-                Event::FifoPop {
-                    core,
-                    port: FifoPort::Output,
-                    level,
-                },
-            );
-        }
-        Ok(parse_output(
-            req.algorithm,
-            req.direction,
-            req.payload_len,
-            req.tag_len,
-            &raw,
-        ))
-    }
-
-    /// TRANSFER_DONE: releases the cores and forgets the request.
-    pub fn transfer_done(&mut self, id: RequestId) -> Result<(), MccpError> {
-        let req = self.requests.remove(&id.0).ok_or(MccpError::BadChannel)?;
-        for &c in &req.cores {
-            self.cores[c].finish();
-            self.cores[c].input.wipe();
-            self.cores[c].output.wipe();
-        }
-        self.crossbar.release();
-        Ok(())
-    }
-
-    /// Runs the simulation until the request reaches Data Available.
-    /// Returns the request latency in cycles.
-    ///
-    /// Uses the event-driven fast path when enabled: quiescent spans
-    /// (engine countdowns, key waits, reconfiguration loads) are leapt in
-    /// one step; active cycles are simulated exactly. Faults can only
-    /// arise on active cycles, so the fault check runs after each tick.
-    ///
-    /// # Panics
-    /// Panics if a core faults or the guard expires (firmware bug).
-    pub fn run_until_done(&mut self, id: RequestId, max_cycles: u64) -> u64 {
-        let start = self.cycle;
-        loop {
-            let state = self.requests.get(&id.0).expect("request exists").state;
-            if matches!(state, ReqState::Done { .. }) {
-                let req = &self.requests[&id.0];
-                return req.done_cycle.expect("done") - req.start_cycle;
-            }
-            assert!(
-                self.cycle - start < max_cycles,
-                "request {id:?} wedged after {max_cycles} cycles"
-            );
-            let span = if self.fast_forward {
-                self.quiescent_horizon()
-                    .min(max_cycles - (self.cycle - start))
-            } else {
-                0
-            };
-            if span > 0 {
-                self.skip(span);
-                continue;
-            }
-            self.tick();
-            if let Some(req) = self.requests.get(&id.0) {
-                for &c in &req.cores {
-                    assert!(
-                        !self.cores[c].is_faulted(),
-                        "core {c} faulted running {:?}",
-                        self.cores[c].firmware()
-                    );
-                }
-            }
-        }
     }
 
     // ------------------------------------------------------------------
@@ -1125,668 +306,5 @@ impl Mccp {
     /// The cores assigned to a request.
     pub fn request_cores(&self, id: RequestId) -> Option<&[usize]> {
         self.requests.get(&id.0).map(|r| r.cores.as_slice())
-    }
-
-    // ------------------------------------------------------------------
-    // Partial reconfiguration
-    // ------------------------------------------------------------------
-
-    /// Begins loading a partial bitstream into a core's reconfigurable
-    /// region (paper §IX). The core is reserved for the duration — the
-    /// scheduler will not dispatch to it — and comes back up with the
-    /// bitstream's personality once the modeled load time elapses during
-    /// [`tick`](Self::tick). Returns the load-time budget in cycles.
-    ///
-    /// Errors with [`MccpError::Busy`] if the core is mid-request or
-    /// already reconfiguring.
-    pub fn begin_reconfiguration(
-        &mut self,
-        core: usize,
-        bitstream: Bitstream,
-        source: BitstreamSource,
-    ) -> Result<u64, MccpError> {
-        if !self.cores[core].is_idle() || self.reconfigs[core].is_reconfiguring() {
-            return Err(MccpError::Busy);
-        }
-        let personality = bitstream.personality;
-        let budget = self.reconfigs[core]
-            .begin(bitstream, source)
-            .expect("controller idle");
-        self.cores[core].reserve();
-        self.reconfig_started[core] = self.cycle;
-        self.telemetry
-            .emit_with(self.cycle, || Event::ReconfigBegin {
-                core,
-                personality: format!("{personality:?}"),
-            });
-        Ok(budget)
-    }
-
-    /// True while a core's reconfigurable region is being rewritten.
-    pub fn is_reconfiguring(&self, core: usize) -> bool {
-        self.reconfigs[core].is_reconfiguring()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use mccp_aes::modes::{ccm_seal, gcm_seal, CcmParams};
-    use mccp_aes::Aes;
-
-    fn mccp_with_key(key: &[u8]) -> (Mccp, KeyId) {
-        let mut m = Mccp::new(MccpConfig::default());
-        let kid = KeyId(1);
-        m.key_memory_mut().store(kid, key);
-        (m, kid)
-    }
-
-    #[test]
-    fn open_validates_key() {
-        let (mut m, kid) = mccp_with_key(&[1u8; 16]);
-        assert!(m.open(Algorithm::AesGcm128, kid).is_ok());
-        assert_eq!(
-            m.open(Algorithm::AesGcm128, KeyId(9)),
-            Err(MccpError::BadKey)
-        );
-        // Key size mismatch.
-        assert_eq!(m.open(Algorithm::AesGcm256, kid), Err(MccpError::BadKey));
-    }
-
-    #[test]
-    fn gcm_encrypt_matches_reference() {
-        let key = [0x42u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let iv = [7u8; 12];
-        let aad = b"packet-header";
-        let payload: Vec<u8> = (0..100u8).collect();
-
-        let pkt = m.encrypt_packet(ch, aad, &payload, &iv).unwrap();
-
-        let aes = Aes::new_128(&key);
-        let reference = gcm_seal(&aes, &iv, aad, &payload, 16).unwrap();
-        assert_eq!(pkt.ciphertext, reference[..payload.len()]);
-        assert_eq!(pkt.tag, reference[payload.len()..]);
-        assert!(pkt.cycles > 0);
-    }
-
-    #[test]
-    fn gcm_decrypt_roundtrip_and_tamper() {
-        let key = [0x24u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let iv = [3u8; 12];
-        let payload = b"the quick brown fox jumps over the lazy dog";
-
-        let pkt = m.encrypt_packet(ch, b"hdr", payload, &iv).unwrap();
-        let dec = m
-            .decrypt_packet(ch, b"hdr", &pkt.ciphertext, &pkt.tag, &iv)
-            .unwrap();
-        assert_eq!(dec.plaintext, payload);
-
-        // Tampered ciphertext must fail and release nothing.
-        let mut bad = pkt.ciphertext.clone();
-        bad[0] ^= 1;
-        let err = m.decrypt_packet(ch, b"hdr", &bad, &pkt.tag, &iv);
-        assert_eq!(err.unwrap_err(), MccpError::AuthFail);
-    }
-
-    #[test]
-    fn ccm_single_core_matches_reference() {
-        let key = [0x11u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open_with_tag_len(Algorithm::AesCcm128, kid, 8).unwrap();
-        let nonce = [9u8; 12];
-        let aad = b"associated";
-        let payload: Vec<u8> = (0..60u8).collect();
-
-        let pkt = m.encrypt_packet(ch, aad, &payload, &nonce).unwrap();
-
-        let aes = Aes::new_128(&key);
-        let params = CcmParams {
-            nonce_len: 12,
-            tag_len: 8,
-        };
-        let reference = ccm_seal(&aes, &params, &nonce, aad, &payload).unwrap();
-        assert_eq!(pkt.ciphertext, reference[..payload.len()]);
-        assert_eq!(pkt.tag, reference[payload.len()..]);
-    }
-
-    #[test]
-    fn ccm_decrypt_roundtrip() {
-        let key = [0x33u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open_with_tag_len(Algorithm::AesCcm128, kid, 8).unwrap();
-        let nonce = [5u8; 7];
-        let payload = b"ccm payload with an odd length..";
-        let pkt = m.encrypt_packet(ch, b"a", payload, &nonce).unwrap();
-        let dec = m
-            .decrypt_packet(ch, b"a", &pkt.ciphertext, &pkt.tag, &nonce)
-            .unwrap();
-        assert_eq!(dec.plaintext, payload);
-        // Wrong AAD fails auth.
-        let e = m.decrypt_packet(ch, b"b", &pkt.ciphertext, &pkt.tag, &nonce);
-        assert_eq!(e.unwrap_err(), MccpError::AuthFail);
-    }
-
-    #[test]
-    fn ccm_two_core_matches_single_core() {
-        let key = [0x55u8; 16];
-        let mut m = Mccp::new(MccpConfig {
-            ccm_two_core: true,
-            ..MccpConfig::default()
-        });
-        let kid = KeyId(1);
-        m.key_memory_mut().store(kid, &key);
-        let ch = m.open_with_tag_len(Algorithm::AesCcm128, kid, 16).unwrap();
-        let nonce = [1u8; 11];
-        let payload: Vec<u8> = (0..128u8).collect();
-
-        let id = m
-            .submit(ch, Direction::Encrypt, &nonce, b"hh", &payload, None)
-            .unwrap();
-        assert_eq!(m.request_cores(id).unwrap().len(), 2, "pair allocated");
-        m.run_until_done(id, 10_000_000);
-        let out = m.retrieve(id).unwrap();
-        m.transfer_done(id).unwrap();
-
-        let aes = Aes::new_128(&key);
-        let params = CcmParams {
-            nonce_len: 11,
-            tag_len: 16,
-        };
-        let reference = ccm_seal(&aes, &params, &nonce, b"hh", &payload).unwrap();
-        assert_eq!(out.body, reference[..payload.len()]);
-        assert_eq!(out.tag.unwrap(), reference[payload.len()..]);
-    }
-
-    #[test]
-    fn ccm_two_core_decrypt_roundtrip() {
-        let key = [0x66u8; 16];
-        let mut m = Mccp::new(MccpConfig {
-            ccm_two_core: true,
-            ..MccpConfig::default()
-        });
-        let kid = KeyId(1);
-        m.key_memory_mut().store(kid, &key);
-        let ch = m.open_with_tag_len(Algorithm::AesCcm128, kid, 8).unwrap();
-        let nonce = [2u8; 12];
-        let payload = b"two-core ccm decrypt test payload!!";
-        let pkt = m.encrypt_packet(ch, b"hdr", payload, &nonce).unwrap();
-        let dec = m
-            .decrypt_packet(ch, b"hdr", &pkt.ciphertext, &pkt.tag, &nonce)
-            .unwrap();
-        assert_eq!(dec.plaintext, payload);
-        // Tamper: tag flip.
-        let mut bad_tag = pkt.tag.clone();
-        bad_tag[0] ^= 0x80;
-        let e = m.decrypt_packet(ch, b"hdr", &pkt.ciphertext, &bad_tag, &nonce);
-        assert_eq!(e.unwrap_err(), MccpError::AuthFail);
-    }
-
-    #[test]
-    fn ctr_and_cbcmac_channels() {
-        let key = [0x77u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let aes = Aes::new_128(&key);
-
-        let ctr_ch = m.open(Algorithm::AesCtr128, kid).unwrap();
-        let ctr0 = [0xF0u8; 16];
-        let payload = b"counter mode payload";
-        let pkt = m.encrypt_packet(ctr_ch, &[], payload, &ctr0).unwrap();
-        let mut expect = payload.to_vec();
-        mccp_aes::modes::ctr::ctr_xcrypt(&aes, &ctr0, &mut expect).unwrap();
-        assert_eq!(pkt.ciphertext, expect);
-        assert!(pkt.tag.is_empty());
-
-        let mac_ch = m.open(Algorithm::AesCbcMac128, kid).unwrap();
-        let data = [0xABu8; 32];
-        let pkt = m.encrypt_packet(mac_ch, &[], &data, &[]).unwrap();
-        let expect = mccp_aes::modes::cbc_mac::cbc_mac_raw(&aes, &data).unwrap();
-        assert_eq!(pkt.tag, expect.to_vec());
-    }
-
-    #[test]
-    fn four_concurrent_packets_on_four_cores() {
-        let key = [0x88u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let payload = vec![0xCDu8; 256];
-
-        let ids: Vec<RequestId> = (0..4)
-            .map(|i| {
-                let iv = [i as u8 + 1; 12];
-                m.submit(ch, Direction::Encrypt, &iv, &[], &payload, None)
-                    .unwrap()
-            })
-            .collect();
-        // All four cores busy → a fifth submit is refused.
-        let iv = [9u8; 12];
-        assert_eq!(
-            m.submit(ch, Direction::Encrypt, &iv, &[], &payload, None),
-            Err(MccpError::NoResource)
-        );
-        for &id in &ids {
-            m.run_until_done(id, 10_000_000);
-        }
-        let aes = Aes::new_128(&key);
-        for (i, &id) in ids.iter().enumerate() {
-            let out = m.retrieve(id).unwrap();
-            let iv = [i as u8 + 1; 12];
-            let reference = gcm_seal(&aes, &iv, &[], &payload, 16).unwrap();
-            assert_eq!(out.body, reference[..payload.len()]);
-            m.transfer_done(id).unwrap();
-        }
-    }
-
-    #[test]
-    fn gcm_2kb_packet_cycle_count_matches_paper_shape() {
-        // Table II: a 2 KB GCM-128 packet sustains ~437 Mbps at 190 MHz,
-        // i.e. ~7123 cycles. Our firmware's pre/post-loop overhead differs
-        // from the authors' unpublished code, so assert the loop-dominated
-        // budget: 128 blocks x 49 cycles, plus a sub-1500-cycle overhead.
-        let key = [0x42u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let payload = vec![0u8; 2048];
-        let pkt = m.encrypt_packet(ch, &[], &payload, &[1u8; 12]).unwrap();
-        let loop_cycles = 128 * 49;
-        assert!(
-            pkt.cycles >= loop_cycles,
-            "cannot beat the AES-bound loop: {}",
-            pkt.cycles
-        );
-        assert!(
-            pkt.cycles < loop_cycles + 1500,
-            "overhead too large: {} cycles",
-            pkt.cycles
-        );
-    }
-
-    #[test]
-    fn key_cache_avoids_reexpansion() {
-        let key = [0x99u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let payload = [0u8; 64];
-        // Two sequential packets: the first expands the key, the second
-        // hits the cache of the same (first-idle) core.
-        m.encrypt_packet(ch, &[], &payload, &[1u8; 12]).unwrap();
-        let before = m.key_scheduler.expansions();
-        m.encrypt_packet(ch, &[], &payload, &[2u8; 12]).unwrap();
-        assert_eq!(m.key_scheduler.expansions(), before);
-    }
-
-    #[test]
-    fn retrieve_before_done_is_busy() {
-        let key = [0xAAu8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let id = m
-            .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 32], None)
-            .unwrap();
-        assert_eq!(m.retrieve(id).unwrap_err(), MccpError::Busy);
-        m.run_until_done(id, 10_000_000);
-        assert!(m.retrieve(id).is_ok());
-        m.transfer_done(id).unwrap();
-    }
-
-    #[test]
-    fn data_available_signals_once() {
-        let key = [0xBBu8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let id = m
-            .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 16], None)
-            .unwrap();
-        m.run_until_done(id, 10_000_000);
-        assert_eq!(m.poll_data_available(), Some(id));
-        assert_eq!(m.poll_data_available(), None);
-    }
-
-    #[test]
-    fn close_rules() {
-        let key = [0xCCu8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let id = m
-            .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 16], None)
-            .unwrap();
-        assert_eq!(m.close(ch), Err(MccpError::Busy));
-        m.run_until_done(id, 10_000_000);
-        m.retrieve(id).unwrap();
-        m.transfer_done(id).unwrap();
-        assert!(m.close(ch).is_ok());
-        assert_eq!(m.close(ch), Err(MccpError::BadChannel));
-    }
-
-    #[test]
-    fn empty_payload_gcm() {
-        // AAD-only GCM packet (pure authentication).
-        let key = [0xDDu8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let pkt = m.encrypt_packet(ch, b"only-aad", &[], &[4u8; 12]).unwrap();
-        assert!(pkt.ciphertext.is_empty());
-        let aes = Aes::new_128(&key);
-        let reference = gcm_seal(&aes, &[4u8; 12], b"only-aad", &[], 16).unwrap();
-        assert_eq!(pkt.tag, reference);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn trace_records_request_lifecycle() {
-        let key = [0xEEu8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        m.enable_trace(64);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let pkt = m.encrypt_packet(ch, &[], &[0u8; 64], &[1u8; 12]).unwrap();
-        let _ = m.decrypt_packet(ch, &[], &pkt.ciphertext, &[0u8; 16], &[1u8; 12]);
-        let events = m.take_trace();
-        let text: Vec<&str> = events.iter().map(|e| e.message.as_str()).collect();
-        assert!(text.iter().any(|m| m.contains("submit")), "{text:?}");
-        assert!(text.iter().any(|m| m.contains("starts GcmEnc")), "{text:?}");
-        assert!(
-            text.iter().any(|m| m.contains("done (auth_ok=true)")),
-            "{text:?}"
-        );
-        assert!(
-            text.iter()
-                .any(|m| m.contains("AUTH_FAIL") && m.contains("wiped")),
-            "{text:?}"
-        );
-        // Events are cycle-stamped and monotone.
-        assert!(events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
-        // Draining empties the buffer.
-        assert!(m.take_trace().is_empty());
-    }
-
-    #[test]
-    fn twofish_gcm_channel_matches_reference() {
-        // Paper §IX realized: reconfigure a core to the Twofish unit and
-        // run the *same* GCM firmware on it.
-        use mccp_aes::twofish::Twofish;
-        let key = [0x5Au8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        m.core_mut(0)
-            .set_personality(crate::core_unit::Personality::TwofishUnit);
-        let ch = m
-            .open_with_cipher(
-                Algorithm::AesGcm128,
-                kid,
-                16,
-                crate::protocol::CipherSel::Twofish,
-            )
-            .unwrap();
-        let iv = [8u8; 12];
-        let payload: Vec<u8> = (0..100u8).collect();
-        let id = m
-            .submit(ch, Direction::Encrypt, &iv, b"hdr", &payload, None)
-            .unwrap();
-        // Routed to the Twofish core.
-        assert_eq!(m.request_cores(id).unwrap(), &[0]);
-        m.run_until_done(id, 10_000_000);
-        let out = m.retrieve(id).unwrap();
-        m.transfer_done(id).unwrap();
-
-        let tf = Twofish::new(&key);
-        let reference = gcm_seal(&tf, &iv, b"hdr", &payload, 16).unwrap();
-        assert_eq!(out.body, reference[..payload.len()]);
-        assert_eq!(out.tag.unwrap(), reference[payload.len()..]);
-
-        // And the Twofish packet decrypts back through the hardware.
-        let (ct, tag) = reference.split_at(payload.len());
-        let dec = m.decrypt_packet(ch, b"hdr", ct, tag, &iv).unwrap();
-        assert_eq!(dec.plaintext, payload);
-    }
-
-    #[test]
-    fn cipher_routing_is_strict() {
-        // AES channels never land on a Twofish core, and vice versa.
-        let key = [0x11u8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        m.core_mut(2)
-            .set_personality(crate::core_unit::Personality::TwofishUnit);
-        let aes_ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let tf_ch = m
-            .open_with_cipher(
-                Algorithm::AesCcm128,
-                kid,
-                8,
-                crate::protocol::CipherSel::Twofish,
-            )
-            .unwrap();
-        for i in 0..3u8 {
-            let id = m
-                .submit(
-                    aes_ch,
-                    Direction::Encrypt,
-                    &[i + 1; 12],
-                    &[],
-                    &[0u8; 32],
-                    None,
-                )
-                .unwrap();
-            assert!(!m.request_cores(id).unwrap().contains(&2), "AES on TF core");
-            m.run_until_done(id, 10_000_000);
-            m.retrieve(id).unwrap();
-            m.transfer_done(id).unwrap();
-        }
-        let id = m
-            .submit(tf_ch, Direction::Encrypt, &[9u8; 12], &[], &[0u8; 32], None)
-            .unwrap();
-        assert_eq!(m.request_cores(id).unwrap(), &[2]);
-        m.run_until_done(id, 10_000_000);
-        m.retrieve(id).unwrap();
-        m.transfer_done(id).unwrap();
-    }
-
-    /// One encrypt + one tampered decrypt on a fresh default MCCP, with
-    /// telemetry enabled. Shared by the end-to-end and determinism tests.
-    fn telemetry_workload() -> Mccp {
-        let key = [0x3Cu8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        m.enable_telemetry(256);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        let pkt = m
-            .encrypt_packet(ch, b"hdr", &[0u8; 64], &[1u8; 12])
-            .unwrap();
-        let err = m.decrypt_packet(ch, b"hdr", &pkt.ciphertext, &[0u8; 16], &[1u8; 12]);
-        assert_eq!(err.unwrap_err(), MccpError::AuthFail);
-        m
-    }
-
-    #[test]
-    fn telemetry_records_full_lifecycle() {
-        let mut m = telemetry_workload();
-
-        let kinds: Vec<&str> = m.telemetry().events().map(|e| e.event.kind()).collect();
-        for want in [
-            "request_submitted",
-            "request_dispatched",
-            "core_started",
-            "fifo_push",
-            "request_completed",
-            "request_retrieved",
-            "fifo_pop",
-            "key_cache_miss",
-            "key_cache_hit",
-            "auth_fail_wipe",
-        ] {
-            assert!(kinds.contains(&want), "missing {want} in {kinds:?}");
-        }
-        // Events are cycle-stamped and monotone.
-        let cycles: Vec<u64> = m.telemetry().events().map(|e| e.cycle).collect();
-        assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
-
-        // Spans: request 1 completed ok and was retrieved; request 2
-        // failed authentication.
-        let spans = m.telemetry().spans();
-        let ok = spans.get(1).expect("span for request 1");
-        assert_eq!(ok.auth_ok, Some(true));
-        assert!(ok.completion_latency().unwrap() > 0);
-        assert!(ok.retrieved.is_some());
-        let bad = spans.get(2).expect("span for request 2");
-        assert_eq!(bad.auth_ok, Some(false));
-
-        // Registry counters derived from the events.
-        let snap = m.telemetry_snapshot();
-        assert_eq!(snap.counter("mccp_requests_submitted_total"), 2);
-        assert_eq!(snap.counter("mccp_requests_completed_total"), 2);
-        assert_eq!(snap.counter("mccp_auth_failures_total"), 1);
-        assert_eq!(snap.counter("mccp_fifo_wipes_total"), 1);
-        assert_eq!(snap.counter("mccp_key_cache_misses_total"), 1);
-        assert_eq!(snap.counter("mccp_key_cache_hits_total"), 1);
-        assert!(snap.counter("mccp_dma_words_total") > 0);
-        // Scheduler-owned gauges published at snapshot time.
-        assert!(snap.gauge("mccp_cycles") > 0);
-        assert!(snap.gauge("mccp_core_busy_cycles{core=\"0\"}") > 0);
-        assert!(snap.gauge("mccp_fifo_highwater_words{core=\"0\",port=\"output\"}") > 0);
-    }
-
-    #[test]
-    fn telemetry_is_deterministic_across_runs() {
-        let mut a = telemetry_workload();
-        let mut b = telemetry_workload();
-        let lines_a = mccp_telemetry::export::json_lines(&a.telemetry_mut().take_events());
-        let lines_b = mccp_telemetry::export::json_lines(&b.telemetry_mut().take_events());
-        assert_eq!(lines_a, lines_b);
-        let prom_a = mccp_telemetry::export::prometheus_text(&a.telemetry_snapshot());
-        let prom_b = mccp_telemetry::export::prometheus_text(&b.telemetry_snapshot());
-        assert_eq!(prom_a, prom_b);
-        assert!(prom_a.contains("mccp_requests_submitted_total 2"));
-    }
-
-    #[test]
-    fn telemetry_disabled_is_inert() {
-        let key = [0x3Cu8; 16];
-        let (mut m, kid) = mccp_with_key(&key);
-        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-        m.encrypt_packet(ch, b"hdr", &[0u8; 64], &[1u8; 12])
-            .unwrap();
-        assert!(!m.telemetry().is_enabled());
-        assert_eq!(m.telemetry().events().count(), 0);
-        assert_eq!(m.telemetry().dropped(), 0);
-        assert!(m.telemetry().spans().is_empty());
-        let snap = m.telemetry_snapshot();
-        assert_eq!(snap.counter("mccp_events_total"), 0);
-        assert_eq!(snap.gauge("mccp_cycles"), 0);
-    }
-
-    #[test]
-    fn reconfiguration_blocks_then_retargets_core() {
-        use crate::core_unit::Personality;
-        use mccp_sim::resources::Resources;
-        let key = [0x7Eu8; 16];
-        let mut m = Mccp::new(MccpConfig {
-            n_cores: 2,
-            ..MccpConfig::default()
-        });
-        m.enable_telemetry(64);
-        m.key_memory_mut().store(KeyId(1), &key);
-
-        // A tiny synthetic bitstream so the test stays fast (the real
-        // Twofish partial bitstream models ~12M cycles from CompactFlash).
-        let bs = Bitstream {
-            personality: Personality::TwofishUnit,
-            resources: Resources::new(10, 1),
-            size_kb: 1,
-        };
-        let budget = m
-            .begin_reconfiguration(0, bs, BitstreamSource::Ram)
-            .unwrap();
-        assert!(budget > 0);
-        assert!(m.is_reconfiguring(0));
-        // Mid-flight: the region is locked against double loads and the
-        // scheduler keeps AES traffic off the core.
-        assert_eq!(
-            m.begin_reconfiguration(0, bs, BitstreamSource::Ram),
-            Err(MccpError::Busy)
-        );
-        let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
-        let id = m
-            .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 16], None)
-            .unwrap();
-        assert_eq!(m.request_cores(id).unwrap(), &[1]);
-        m.run_until_done(id, 10_000_000);
-        m.retrieve(id).unwrap();
-        m.transfer_done(id).unwrap();
-
-        for _ in 0..budget {
-            if !m.is_reconfiguring(0) {
-                break;
-            }
-            m.tick();
-        }
-        assert!(!m.is_reconfiguring(0));
-        assert_eq!(m.core(0).personality(), Personality::TwofishUnit);
-
-        // The reconfigured core now serves Twofish channels.
-        let tf_ch = m
-            .open_with_cipher(
-                Algorithm::AesGcm128,
-                KeyId(1),
-                16,
-                crate::protocol::CipherSel::Twofish,
-            )
-            .unwrap();
-        let id = m
-            .submit(tf_ch, Direction::Encrypt, &[2u8; 12], &[], &[0u8; 16], None)
-            .unwrap();
-        assert_eq!(m.request_cores(id).unwrap(), &[0]);
-        m.run_until_done(id, 10_000_000);
-        m.retrieve(id).unwrap();
-        m.transfer_done(id).unwrap();
-
-        // Telemetry saw the begin/end pair and the cycle cost.
-        let kinds: Vec<&str> = m.telemetry().events().map(|e| e.event.kind()).collect();
-        assert!(kinds.contains(&"reconfig_begin"), "{kinds:?}");
-        assert!(kinds.contains(&"reconfig_end"), "{kinds:?}");
-        let snap = m.telemetry_snapshot();
-        assert_eq!(snap.counter("mccp_reconfigurations_total"), 1);
-    }
-
-    #[test]
-    fn fast_forward_matches_per_tick() {
-        // Same packet, fast path vs per-tick reference: identical cycle
-        // counts, outputs and final simulation time.
-        let key = [0x42u8; 16];
-        let run = |ff: bool| {
-            let (mut m, kid) = mccp_with_key(&key);
-            m.set_fast_forward(ff);
-            let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
-            let payload = vec![7u8; 512];
-            let pkt = m.encrypt_packet(ch, b"hdr", &payload, &[2u8; 12]).unwrap();
-            (pkt.cycles, pkt.ciphertext, pkt.tag, m.cycle())
-        };
-        assert_eq!(run(true), run(false));
-    }
-
-    #[test]
-    fn run_until_leaps_idle_machine() {
-        let (mut m, _) = mccp_with_key(&[1u8; 16]);
-        m.run_until(1_000_000);
-        assert_eq!(m.cycle(), 1_000_000);
-    }
-
-    #[test]
-    fn all_key_sizes_gcm() {
-        for (len, alg) in [
-            (16usize, Algorithm::AesGcm128),
-            (24, Algorithm::AesGcm192),
-            (32, Algorithm::AesGcm256),
-        ] {
-            let key: Vec<u8> = (0..len as u8).collect();
-            let mut m = Mccp::new(MccpConfig::default());
-            m.key_memory_mut().store(KeyId(1), &key);
-            let ch = m.open(alg, KeyId(1)).unwrap();
-            let payload = [0x5Au8; 48];
-            let pkt = m.encrypt_packet(ch, &[], &payload, &[6u8; 12]).unwrap();
-            let aes = Aes::new(&key);
-            let reference = gcm_seal(&aes, &[6u8; 12], &[], &payload, 16).unwrap();
-            assert_eq!(pkt.ciphertext, reference[..48], "key len {len}");
-            assert_eq!(pkt.tag, reference[48..], "key len {len}");
-        }
     }
 }

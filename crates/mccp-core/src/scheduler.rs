@@ -1,0 +1,399 @@
+//! The Task Scheduler's simulation half: the per-cycle state machine
+//! (key waits, core starts, completion detection), the first-idle core
+//! allocation policy (paper §III.C), and the event-driven fast path
+//! (`quiescent_horizon` / `skip` and the `run_*` helpers).
+//!
+//! Split out of the `Mccp` monolith; every method here is an `impl Mccp`
+//! block so the public API surface is unchanged.
+
+use crate::core_unit::Personality;
+use crate::firmware::result_code;
+use crate::format::CoreJob;
+use crate::format::Direction;
+use crate::mccp::Mccp;
+use crate::protocol::{ChannelId, RequestId};
+use mccp_telemetry::Event;
+
+/// One in-flight request's scheduler state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ReqState {
+    /// Waiting on the Key Scheduler before the cores start.
+    KeyWait(u32),
+    Running,
+    /// All cores reported and the output is resident (Data Available).
+    Done {
+        auth_ok: bool,
+    },
+    Retrieved,
+}
+
+pub(crate) struct Request {
+    pub(crate) id: RequestId,
+    pub(crate) channel: ChannelId,
+    pub(crate) algorithm: crate::protocol::Algorithm,
+    pub(crate) direction: Direction,
+    /// Core indices, in pair order (left first).
+    pub(crate) cores: Vec<usize>,
+    pub(crate) producing_core: usize,
+    pub(crate) payload_len: usize,
+    pub(crate) tag_len: usize,
+    pub(crate) expected_output: usize,
+    /// Pending input bytes per core (streamed one word/cycle, modeling the
+    /// 32-bit data bus).
+    pub(crate) pending_input: Vec<crate::dma::PendingInput>,
+    /// Firmware/params to load once the key is ready.
+    pub(crate) jobs: Vec<(usize, CoreJob)>,
+    /// Progressively drained output (only for oversize streaming requests).
+    pub(crate) collected: Vec<u8>,
+    pub(crate) streaming: bool,
+    pub(crate) state: ReqState,
+    pub(crate) start_cycle: u64,
+    pub(crate) done_cycle: Option<u64>,
+    pub(crate) signaled: bool,
+}
+
+impl Mccp {
+    /// Finds the first idle core with the right personality (the paper's
+    /// dispatch policy, §III.C).
+    pub(crate) fn first_idle(&self, personality: Personality) -> Option<usize> {
+        self.cores
+            .iter()
+            .position(|c| c.is_idle() && c.personality() == personality)
+    }
+
+    /// Finds an adjacent idle pair `(i, i+1 mod n)` for two-core CCM.
+    pub(crate) fn idle_pair(&self, personality: Personality) -> Option<usize> {
+        let n = self.cores.len();
+        if n < 2 {
+            return None;
+        }
+        (0..n).find(|&i| {
+            let j = (i + 1) % n;
+            self.cores[i].is_idle()
+                && self.cores[j].is_idle()
+                && self.cores[i].personality() == personality
+                && self.cores[j].personality() == personality
+        })
+    }
+
+    /// Advances the whole MCCP one clock cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.key_scheduler.tick();
+
+        // Partial-reconfiguration engine: finish any bitstream whose load
+        // time has elapsed and bring the core up with its new personality.
+        for i in 0..self.reconfigs.len() {
+            if let Some(p) = self.reconfigs[i].tick() {
+                self.cores[i].set_personality(p);
+                self.cores[i].finish();
+                let started = self.reconfig_started[i];
+                let cycle = self.cycle;
+                self.telemetry.emit_with(cycle, || Event::ReconfigEnd {
+                    core: i,
+                    personality: format!("{p:?}"),
+                    cycles: cycle - started,
+                });
+            }
+        }
+
+        // Task-scheduler state machine: start cores whose key is ready.
+        let cycle = self.cycle;
+        for req in self.requests.values_mut() {
+            if let ReqState::KeyWait(left) = req.state {
+                if left == 0 {
+                    for (core, job) in &req.jobs {
+                        let image = self.firmware.image(job.firmware);
+                        self.cores[*core].start(job.firmware, image, job.params);
+                        let (core, firmware, request) = (*core, job.firmware, req.id.0);
+                        self.telemetry.emit_with(cycle, || Event::CoreStarted {
+                            request,
+                            core,
+                            firmware: format!("{firmware:?}"),
+                        });
+                    }
+                    req.state = ReqState::Running;
+                } else {
+                    req.state = ReqState::KeyWait(left - 1);
+                }
+            }
+        }
+
+        // Communication-controller DMA: one 32-bit word per core per cycle.
+        self.dma_cycle();
+
+        // Tick every core with its mailboxes.
+        let n = self.cores.len();
+        for i in 0..n {
+            let li = (i + n - 1) % n;
+            if li == i {
+                // Single-core MCCP: no inter-core ports.
+                let mut dummy = None;
+                let mut dummy2 = None;
+                self.cores[i].tick(&mut dummy, &mut dummy2);
+            } else {
+                let mut from_left = self.mailboxes[li].take();
+                let mut to_right = self.mailboxes[i].take();
+                self.cores[i].tick(&mut from_left, &mut to_right);
+                self.mailboxes[li] = from_left;
+                self.mailboxes[i] = to_right;
+            }
+        }
+
+        // Completion detection.
+        let mut newly_done = Vec::new();
+        for req in self.requests.values_mut() {
+            if req.state != ReqState::Running {
+                continue;
+            }
+            let all_reported = req.cores.iter().all(|&c| self.cores[c].result().is_some());
+            if !all_reported {
+                continue;
+            }
+            let auth_ok = req
+                .cores
+                .iter()
+                .all(|&c| self.cores[c].result() == Some(result_code::OK));
+            // On auth failure the firmware has already wiped the output
+            // FIFO, so the residency check only applies to the OK path.
+            let resident = if req.streaming {
+                req.collected.len() + self.cores[req.producing_core].output.len() * 4
+                    >= req.expected_output
+            } else {
+                self.cores[req.producing_core].output.len() * 4 >= req.expected_output
+            };
+            if auth_ok && !resident {
+                continue;
+            }
+            if !auth_ok {
+                // The paper's defense: reinitialize the output FIFO(s) so
+                // no unauthenticated plaintext can be read out.
+                for &c in &req.cores {
+                    self.cores[c].output.wipe();
+                }
+                req.collected.clear();
+                let request = req.id.0;
+                self.telemetry
+                    .emit_with(cycle, || Event::AuthFailWipe { request });
+            }
+            let (request, cycles) = (req.id.0, self.cycle - req.start_cycle);
+            self.telemetry.emit_with(cycle, || Event::RequestCompleted {
+                request,
+                auth_ok,
+                cycles,
+            });
+            req.state = ReqState::Done { auth_ok };
+            req.done_cycle = Some(self.cycle);
+            newly_done.push(req.id);
+        }
+        for id in newly_done {
+            self.data_available.push_back(id);
+        }
+
+        // High-water FIFO occupancy, sampled after every datapath update
+        // (allocation-free; published as gauges at snapshot time).
+        if self.telemetry.is_enabled() {
+            for i in 0..n {
+                self.telemetry.observe_fifo_levels(
+                    i,
+                    self.cores[i].input.len(),
+                    self.cores[i].output.len(),
+                );
+            }
+        }
+    }
+
+    /// Conservative event-driven horizon: the number of upcoming cycles
+    /// guaranteed to be pure countdown for *every* component, i.e. cycles
+    /// [`skip`](Self::skip) may leap over without changing any observable
+    /// state (outputs, cycle stamps, telemetry). `0` means the next cycle
+    /// is (or may be) active and must be simulated with [`tick`](Self::tick);
+    /// `u64::MAX` means nothing bounds the leap (the machine is idle).
+    ///
+    /// The rules, component by component:
+    /// - a reconfiguration countdown with `left` cycles remaining
+    ///   contributes `left` (the swap lands on tick `left + 1`);
+    /// - a request in KeyWait(`left`) contributes `left` (cores start on
+    ///   tick `left + 1`);
+    /// - an upload stream with words left and FIFO space is active (`0`);
+    ///   stalled on a full FIFO it contributes nothing — the FIFO cannot
+    ///   drain while its core is quiescent — except that the first stalled
+    ///   cycle emits the `FifoFull` edge and is therefore active;
+    /// - a streaming request with resident output words drains one word
+    ///   per cycle (`0`);
+    /// - each core reports its own horizon (engine countdowns, staged-op
+    ///   readiness, controller sleep/wake) given the frozen mailbox state;
+    /// - the Key Scheduler's saturating countdown has no observable
+    ///   zero-crossing and never bounds the horizon.
+    pub fn quiescent_horizon(&self) -> u64 {
+        let mut h = u64::MAX;
+        for rc in &self.reconfigs {
+            h = h.min(rc.quiescent_for());
+        }
+        for req in self.requests.values() {
+            match req.state {
+                ReqState::KeyWait(left) => h = h.min(left as u64),
+                ReqState::Running => {}
+                _ => continue,
+            }
+            if !self.dma_is_quiescent(req) {
+                return 0;
+            }
+        }
+        let n = self.cores.len();
+        for (i, core) in self.cores.iter().enumerate() {
+            let from_left_full = n > 1 && self.mailboxes[(i + n - 1) % n].is_some();
+            let to_right_full = n > 1 && self.mailboxes[i].is_some();
+            h = h.min(core.quiescent_for(from_left_full, to_right_full));
+            if h == 0 {
+                return 0;
+            }
+        }
+        h
+    }
+
+    /// Advances `n` cycles at once; only valid for
+    /// `n <= quiescent_horizon()`. Equivalent to `n` calls to
+    /// [`tick`](Self::tick): countdowns decrement in bulk, the per-cycle
+    /// DMA-backpressure counter advances for streams stalled on a full
+    /// FIFO, and everything else — by the horizon contract — is frozen.
+    pub fn skip(&mut self, n: u64) {
+        debug_assert!(n <= self.quiescent_horizon());
+        if n == 0 {
+            return;
+        }
+        self.cycle += n;
+        self.key_scheduler.skip(n);
+        for rc in &mut self.reconfigs {
+            rc.skip(n);
+        }
+        for req in self.requests.values_mut() {
+            if let ReqState::KeyWait(left) = req.state {
+                req.state = ReqState::KeyWait(left - n as u32);
+            }
+        }
+        self.dma_skip(n);
+        for core in &mut self.cores {
+            core.skip(n);
+        }
+    }
+
+    /// Advances the simulation to an absolute cycle, leaping over
+    /// quiescent spans when fast-forward is enabled.
+    pub fn run_until(&mut self, target: u64) {
+        while self.cycle < target {
+            let span = if self.fast_forward {
+                self.quiescent_horizon().min(target - self.cycle)
+            } else {
+                0
+            };
+            if span == 0 {
+                self.tick();
+            } else {
+                self.skip(span);
+            }
+        }
+    }
+
+    /// Runs until every submitted request has reached Data Available.
+    /// Returns the cycles elapsed.
+    ///
+    /// # Panics
+    /// Panics if a core faults or the guard expires (firmware bug).
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        while self
+            .requests
+            .values()
+            .any(|r| matches!(r.state, ReqState::KeyWait(_) | ReqState::Running))
+        {
+            assert!(
+                self.cycle - start < max_cycles,
+                "requests wedged after {max_cycles} cycles"
+            );
+            let span = if self.fast_forward {
+                self.quiescent_horizon()
+                    .min(max_cycles - (self.cycle - start))
+            } else {
+                0
+            };
+            if span == 0 {
+                self.tick();
+                for (c, core) in self.cores.iter().enumerate() {
+                    assert!(
+                        !core.is_faulted(),
+                        "core {c} faulted running {:?}",
+                        core.firmware()
+                    );
+                }
+            } else {
+                self.skip(span);
+            }
+        }
+        self.cycle - start
+    }
+
+    /// Runs the simulation until the request reaches Data Available.
+    /// Returns the request latency in cycles.
+    ///
+    /// Uses the event-driven fast path when enabled: quiescent spans
+    /// (engine countdowns, key waits, reconfiguration loads) are leapt in
+    /// one step; active cycles are simulated exactly. Faults can only
+    /// arise on active cycles, so the fault check runs after each tick.
+    ///
+    /// # Panics
+    /// Panics if a core faults or the guard expires (firmware bug).
+    pub fn run_until_done(&mut self, id: RequestId, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        loop {
+            let state = self.requests.get(&id.0).expect("request exists").state;
+            if matches!(state, ReqState::Done { .. }) {
+                let req = &self.requests[&id.0];
+                return req.done_cycle.expect("done") - req.start_cycle;
+            }
+            assert!(
+                self.cycle - start < max_cycles,
+                "request {id:?} wedged after {max_cycles} cycles"
+            );
+            let span = if self.fast_forward {
+                self.quiescent_horizon()
+                    .min(max_cycles - (self.cycle - start))
+            } else {
+                0
+            };
+            if span > 0 {
+                self.skip(span);
+                continue;
+            }
+            self.tick();
+            if let Some(req) = self.requests.get(&id.0) {
+                for &c in &req.cores {
+                    assert!(
+                        !self.cores[c].is_faulted(),
+                        "core {c} faulted running {:?}",
+                        self.cores[c].firmware()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The Data Available interrupt queue.
+    pub fn poll_data_available(&mut self) -> Option<RequestId> {
+        while let Some(id) = self.data_available.front().copied() {
+            let fresh = self
+                .requests
+                .get(&id.0)
+                .map(|r| !r.signaled)
+                .unwrap_or(false);
+            if fresh {
+                if let Some(r) = self.requests.get_mut(&id.0) {
+                    r.signaled = true;
+                }
+                return Some(id);
+            }
+            self.data_available.pop_front();
+        }
+        None
+    }
+}

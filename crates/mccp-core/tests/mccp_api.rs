@@ -1,0 +1,583 @@
+//! Public-API tests for the `Mccp` top level: the control protocol, the
+//! reference-checked mode firmware, key caching, telemetry and the
+//! event-driven fast path. (Formerly unit tests inside `mccp.rs`; they
+//! exercise only the public surface, so they live here as integration
+//! tests and double as a facade-stability check for the
+//! scheduler/DMA/dispatch decomposition.)
+
+use mccp_aes::modes::{ccm_seal, gcm_seal, CcmParams};
+use mccp_aes::Aes;
+use mccp_core::core_unit::Personality;
+use mccp_core::protocol::{Algorithm, CipherSel, KeyId, MccpError, RequestId};
+use mccp_core::reconfig::{Bitstream, BitstreamSource};
+use mccp_core::{Direction, Mccp, MccpConfig};
+
+fn mccp_with_key(key: &[u8]) -> (Mccp, KeyId) {
+    let mut m = Mccp::new(MccpConfig::default());
+    let kid = KeyId(1);
+    m.key_memory_mut().store(kid, key);
+    (m, kid)
+}
+
+#[test]
+fn open_validates_key() {
+    let (mut m, kid) = mccp_with_key(&[1u8; 16]);
+    assert!(m.open(Algorithm::AesGcm128, kid).is_ok());
+    assert_eq!(
+        m.open(Algorithm::AesGcm128, KeyId(9)),
+        Err(MccpError::BadKey)
+    );
+    // Key size mismatch.
+    assert_eq!(m.open(Algorithm::AesGcm256, kid), Err(MccpError::BadKey));
+}
+
+#[test]
+fn gcm_encrypt_matches_reference() {
+    let key = [0x42u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let iv = [7u8; 12];
+    let aad = b"packet-header";
+    let payload: Vec<u8> = (0..100u8).collect();
+
+    let pkt = m.encrypt_packet(ch, aad, &payload, &iv).unwrap();
+
+    let aes = Aes::new_128(&key);
+    let reference = gcm_seal(&aes, &iv, aad, &payload, 16).unwrap();
+    assert_eq!(pkt.ciphertext, reference[..payload.len()]);
+    assert_eq!(pkt.tag, reference[payload.len()..]);
+    assert!(pkt.cycles > 0);
+}
+
+#[test]
+fn gcm_decrypt_roundtrip_and_tamper() {
+    let key = [0x24u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let iv = [3u8; 12];
+    let payload = b"the quick brown fox jumps over the lazy dog";
+
+    let pkt = m.encrypt_packet(ch, b"hdr", payload, &iv).unwrap();
+    let dec = m
+        .decrypt_packet(ch, b"hdr", &pkt.ciphertext, &pkt.tag, &iv)
+        .unwrap();
+    assert_eq!(dec.plaintext, payload);
+
+    // Tampered ciphertext must fail and release nothing.
+    let mut bad = pkt.ciphertext.clone();
+    bad[0] ^= 1;
+    let err = m.decrypt_packet(ch, b"hdr", &bad, &pkt.tag, &iv);
+    assert_eq!(err.unwrap_err(), MccpError::AuthFail);
+}
+
+#[test]
+fn ccm_single_core_matches_reference() {
+    let key = [0x11u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open_with_tag_len(Algorithm::AesCcm128, kid, 8).unwrap();
+    let nonce = [9u8; 12];
+    let aad = b"associated";
+    let payload: Vec<u8> = (0..60u8).collect();
+
+    let pkt = m.encrypt_packet(ch, aad, &payload, &nonce).unwrap();
+
+    let aes = Aes::new_128(&key);
+    let params = CcmParams {
+        nonce_len: 12,
+        tag_len: 8,
+    };
+    let reference = ccm_seal(&aes, &params, &nonce, aad, &payload).unwrap();
+    assert_eq!(pkt.ciphertext, reference[..payload.len()]);
+    assert_eq!(pkt.tag, reference[payload.len()..]);
+}
+
+#[test]
+fn ccm_decrypt_roundtrip() {
+    let key = [0x33u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open_with_tag_len(Algorithm::AesCcm128, kid, 8).unwrap();
+    let nonce = [5u8; 7];
+    let payload = b"ccm payload with an odd length..";
+    let pkt = m.encrypt_packet(ch, b"a", payload, &nonce).unwrap();
+    let dec = m
+        .decrypt_packet(ch, b"a", &pkt.ciphertext, &pkt.tag, &nonce)
+        .unwrap();
+    assert_eq!(dec.plaintext, payload);
+    // Wrong AAD fails auth.
+    let e = m.decrypt_packet(ch, b"b", &pkt.ciphertext, &pkt.tag, &nonce);
+    assert_eq!(e.unwrap_err(), MccpError::AuthFail);
+}
+
+#[test]
+fn ccm_two_core_matches_single_core() {
+    let key = [0x55u8; 16];
+    let mut m = Mccp::new(MccpConfig {
+        ccm_two_core: true,
+        ..MccpConfig::default()
+    });
+    let kid = KeyId(1);
+    m.key_memory_mut().store(kid, &key);
+    let ch = m.open_with_tag_len(Algorithm::AesCcm128, kid, 16).unwrap();
+    let nonce = [1u8; 11];
+    let payload: Vec<u8> = (0..128u8).collect();
+
+    let id = m
+        .submit(ch, Direction::Encrypt, &nonce, b"hh", &payload, None)
+        .unwrap();
+    assert_eq!(m.request_cores(id).unwrap().len(), 2, "pair allocated");
+    m.run_until_done(id, 10_000_000);
+    let out = m.retrieve(id).unwrap();
+    m.transfer_done(id).unwrap();
+
+    let aes = Aes::new_128(&key);
+    let params = CcmParams {
+        nonce_len: 11,
+        tag_len: 16,
+    };
+    let reference = ccm_seal(&aes, &params, &nonce, b"hh", &payload).unwrap();
+    assert_eq!(out.body, reference[..payload.len()]);
+    assert_eq!(out.tag.unwrap(), reference[payload.len()..]);
+}
+
+#[test]
+fn ccm_two_core_decrypt_roundtrip() {
+    let key = [0x66u8; 16];
+    let mut m = Mccp::new(MccpConfig {
+        ccm_two_core: true,
+        ..MccpConfig::default()
+    });
+    let kid = KeyId(1);
+    m.key_memory_mut().store(kid, &key);
+    let ch = m.open_with_tag_len(Algorithm::AesCcm128, kid, 8).unwrap();
+    let nonce = [2u8; 12];
+    let payload = b"two-core ccm decrypt test payload!!";
+    let pkt = m.encrypt_packet(ch, b"hdr", payload, &nonce).unwrap();
+    let dec = m
+        .decrypt_packet(ch, b"hdr", &pkt.ciphertext, &pkt.tag, &nonce)
+        .unwrap();
+    assert_eq!(dec.plaintext, payload);
+    // Tamper: tag flip.
+    let mut bad_tag = pkt.tag.clone();
+    bad_tag[0] ^= 0x80;
+    let e = m.decrypt_packet(ch, b"hdr", &pkt.ciphertext, &bad_tag, &nonce);
+    assert_eq!(e.unwrap_err(), MccpError::AuthFail);
+}
+
+#[test]
+fn ctr_and_cbcmac_channels() {
+    let key = [0x77u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let aes = Aes::new_128(&key);
+
+    let ctr_ch = m.open(Algorithm::AesCtr128, kid).unwrap();
+    let ctr0 = [0xF0u8; 16];
+    let payload = b"counter mode payload";
+    let pkt = m.encrypt_packet(ctr_ch, &[], payload, &ctr0).unwrap();
+    let mut expect = payload.to_vec();
+    mccp_aes::modes::ctr::ctr_xcrypt(&aes, &ctr0, &mut expect).unwrap();
+    assert_eq!(pkt.ciphertext, expect);
+    assert!(pkt.tag.is_empty());
+
+    let mac_ch = m.open(Algorithm::AesCbcMac128, kid).unwrap();
+    let data = [0xABu8; 32];
+    let pkt = m.encrypt_packet(mac_ch, &[], &data, &[]).unwrap();
+    let expect = mccp_aes::modes::cbc_mac::cbc_mac_raw(&aes, &data).unwrap();
+    assert_eq!(pkt.tag, expect.to_vec());
+}
+
+#[test]
+fn four_concurrent_packets_on_four_cores() {
+    let key = [0x88u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let payload = vec![0xCDu8; 256];
+
+    let ids: Vec<RequestId> = (0..4)
+        .map(|i| {
+            let iv = [i as u8 + 1; 12];
+            m.submit(ch, Direction::Encrypt, &iv, &[], &payload, None)
+                .unwrap()
+        })
+        .collect();
+    // All four cores busy → a fifth submit is refused.
+    let iv = [9u8; 12];
+    assert_eq!(
+        m.submit(ch, Direction::Encrypt, &iv, &[], &payload, None),
+        Err(MccpError::NoResource)
+    );
+    for &id in &ids {
+        m.run_until_done(id, 10_000_000);
+    }
+    let aes = Aes::new_128(&key);
+    for (i, &id) in ids.iter().enumerate() {
+        let out = m.retrieve(id).unwrap();
+        let iv = [i as u8 + 1; 12];
+        let reference = gcm_seal(&aes, &iv, &[], &payload, 16).unwrap();
+        assert_eq!(out.body, reference[..payload.len()]);
+        m.transfer_done(id).unwrap();
+    }
+}
+
+#[test]
+fn gcm_2kb_packet_cycle_count_matches_paper_shape() {
+    // Table II: a 2 KB GCM-128 packet sustains ~437 Mbps at 190 MHz,
+    // i.e. ~7123 cycles. Our firmware's pre/post-loop overhead differs
+    // from the authors' unpublished code, so assert the loop-dominated
+    // budget: 128 blocks x 49 cycles, plus a sub-1500-cycle overhead.
+    let key = [0x42u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let payload = vec![0u8; 2048];
+    let pkt = m.encrypt_packet(ch, &[], &payload, &[1u8; 12]).unwrap();
+    let loop_cycles = 128 * 49;
+    assert!(
+        pkt.cycles >= loop_cycles,
+        "cannot beat the AES-bound loop: {}",
+        pkt.cycles
+    );
+    assert!(
+        pkt.cycles < loop_cycles + 1500,
+        "overhead too large: {} cycles",
+        pkt.cycles
+    );
+}
+
+#[test]
+fn key_cache_avoids_reexpansion() {
+    let key = [0x99u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let payload = [0u8; 64];
+    // Two sequential packets: the first expands the key, the second
+    // hits the cache of the same (first-idle) core.
+    m.encrypt_packet(ch, &[], &payload, &[1u8; 12]).unwrap();
+    let before = m.expansions();
+    m.encrypt_packet(ch, &[], &payload, &[2u8; 12]).unwrap();
+    assert_eq!(m.expansions(), before);
+}
+
+#[test]
+fn retrieve_before_done_is_busy() {
+    let key = [0xAAu8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let id = m
+        .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 32], None)
+        .unwrap();
+    assert_eq!(m.retrieve(id).unwrap_err(), MccpError::Busy);
+    m.run_until_done(id, 10_000_000);
+    assert!(m.retrieve(id).is_ok());
+    m.transfer_done(id).unwrap();
+}
+
+#[test]
+fn data_available_signals_once() {
+    let key = [0xBBu8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let id = m
+        .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 16], None)
+        .unwrap();
+    m.run_until_done(id, 10_000_000);
+    assert_eq!(m.poll_data_available(), Some(id));
+    assert_eq!(m.poll_data_available(), None);
+}
+
+#[test]
+fn close_rules() {
+    let key = [0xCCu8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let id = m
+        .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 16], None)
+        .unwrap();
+    assert_eq!(m.close(ch), Err(MccpError::Busy));
+    m.run_until_done(id, 10_000_000);
+    m.retrieve(id).unwrap();
+    m.transfer_done(id).unwrap();
+    assert!(m.close(ch).is_ok());
+    assert_eq!(m.close(ch), Err(MccpError::BadChannel));
+}
+
+#[test]
+fn empty_payload_gcm() {
+    // AAD-only GCM packet (pure authentication).
+    let key = [0xDDu8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let pkt = m.encrypt_packet(ch, b"only-aad", &[], &[4u8; 12]).unwrap();
+    assert!(pkt.ciphertext.is_empty());
+    let aes = Aes::new_128(&key);
+    let reference = gcm_seal(&aes, &[4u8; 12], b"only-aad", &[], 16).unwrap();
+    assert_eq!(pkt.tag, reference);
+}
+
+#[test]
+fn twofish_gcm_channel_matches_reference() {
+    // Paper §IX realized: reconfigure a core to the Twofish unit and
+    // run the *same* GCM firmware on it.
+    use mccp_aes::twofish::Twofish;
+    let key = [0x5Au8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    m.core_mut(0).set_personality(Personality::TwofishUnit);
+    let ch = m
+        .open_with_cipher(Algorithm::AesGcm128, kid, 16, CipherSel::Twofish)
+        .unwrap();
+    let iv = [8u8; 12];
+    let payload: Vec<u8> = (0..100u8).collect();
+    let id = m
+        .submit(ch, Direction::Encrypt, &iv, b"hdr", &payload, None)
+        .unwrap();
+    // Routed to the Twofish core.
+    assert_eq!(m.request_cores(id).unwrap(), &[0]);
+    m.run_until_done(id, 10_000_000);
+    let out = m.retrieve(id).unwrap();
+    m.transfer_done(id).unwrap();
+
+    let tf = Twofish::new(&key);
+    let reference = gcm_seal(&tf, &iv, b"hdr", &payload, 16).unwrap();
+    assert_eq!(out.body, reference[..payload.len()]);
+    assert_eq!(out.tag.unwrap(), reference[payload.len()..]);
+
+    // And the Twofish packet decrypts back through the hardware.
+    let (ct, tag) = reference.split_at(payload.len());
+    let dec = m.decrypt_packet(ch, b"hdr", ct, tag, &iv).unwrap();
+    assert_eq!(dec.plaintext, payload);
+}
+
+#[test]
+fn cipher_routing_is_strict() {
+    // AES channels never land on a Twofish core, and vice versa.
+    let key = [0x11u8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    m.core_mut(2).set_personality(Personality::TwofishUnit);
+    let aes_ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let tf_ch = m
+        .open_with_cipher(Algorithm::AesCcm128, kid, 8, CipherSel::Twofish)
+        .unwrap();
+    for i in 0..3u8 {
+        let id = m
+            .submit(
+                aes_ch,
+                Direction::Encrypt,
+                &[i + 1; 12],
+                &[],
+                &[0u8; 32],
+                None,
+            )
+            .unwrap();
+        assert!(!m.request_cores(id).unwrap().contains(&2), "AES on TF core");
+        m.run_until_done(id, 10_000_000);
+        m.retrieve(id).unwrap();
+        m.transfer_done(id).unwrap();
+    }
+    let id = m
+        .submit(tf_ch, Direction::Encrypt, &[9u8; 12], &[], &[0u8; 32], None)
+        .unwrap();
+    assert_eq!(m.request_cores(id).unwrap(), &[2]);
+    m.run_until_done(id, 10_000_000);
+    m.retrieve(id).unwrap();
+    m.transfer_done(id).unwrap();
+}
+
+/// One encrypt + one tampered decrypt on a fresh default MCCP, with
+/// telemetry enabled. Shared by the end-to-end and determinism tests.
+fn telemetry_workload() -> Mccp {
+    let key = [0x3Cu8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    m.enable_telemetry(256);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    let pkt = m
+        .encrypt_packet(ch, b"hdr", &[0u8; 64], &[1u8; 12])
+        .unwrap();
+    let err = m.decrypt_packet(ch, b"hdr", &pkt.ciphertext, &[0u8; 16], &[1u8; 12]);
+    assert_eq!(err.unwrap_err(), MccpError::AuthFail);
+    m
+}
+
+#[test]
+fn telemetry_records_full_lifecycle() {
+    let mut m = telemetry_workload();
+
+    let kinds: Vec<&str> = m.telemetry().events().map(|e| e.event.kind()).collect();
+    for want in [
+        "request_submitted",
+        "request_dispatched",
+        "core_started",
+        "fifo_push",
+        "request_completed",
+        "request_retrieved",
+        "fifo_pop",
+        "key_cache_miss",
+        "key_cache_hit",
+        "auth_fail_wipe",
+    ] {
+        assert!(kinds.contains(&want), "missing {want} in {kinds:?}");
+    }
+    // Events are cycle-stamped and monotone.
+    let cycles: Vec<u64> = m.telemetry().events().map(|e| e.cycle).collect();
+    assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+
+    // Spans: request 1 completed ok and was retrieved; request 2
+    // failed authentication.
+    let spans = m.telemetry().spans();
+    let ok = spans.get(1).expect("span for request 1");
+    assert_eq!(ok.auth_ok, Some(true));
+    assert!(ok.completion_latency().unwrap() > 0);
+    assert!(ok.retrieved.is_some());
+    let bad = spans.get(2).expect("span for request 2");
+    assert_eq!(bad.auth_ok, Some(false));
+
+    // Registry counters derived from the events.
+    let snap = m.telemetry_snapshot();
+    assert_eq!(snap.counter("mccp_requests_submitted_total"), 2);
+    assert_eq!(snap.counter("mccp_requests_completed_total"), 2);
+    assert_eq!(snap.counter("mccp_auth_failures_total"), 1);
+    assert_eq!(snap.counter("mccp_fifo_wipes_total"), 1);
+    assert_eq!(snap.counter("mccp_key_cache_misses_total"), 1);
+    assert_eq!(snap.counter("mccp_key_cache_hits_total"), 1);
+    assert!(snap.counter("mccp_dma_words_total") > 0);
+    // Scheduler-owned gauges published at snapshot time.
+    assert!(snap.gauge("mccp_cycles") > 0);
+    assert!(snap.gauge("mccp_core_busy_cycles{core=\"0\"}") > 0);
+    assert!(snap.gauge("mccp_fifo_highwater_words{core=\"0\",port=\"output\"}") > 0);
+}
+
+#[test]
+fn telemetry_is_deterministic_across_runs() {
+    let mut a = telemetry_workload();
+    let mut b = telemetry_workload();
+    let lines_a = mccp_telemetry::export::json_lines(&a.telemetry_mut().take_events());
+    let lines_b = mccp_telemetry::export::json_lines(&b.telemetry_mut().take_events());
+    assert_eq!(lines_a, lines_b);
+    let prom_a = mccp_telemetry::export::prometheus_text(&a.telemetry_snapshot());
+    let prom_b = mccp_telemetry::export::prometheus_text(&b.telemetry_snapshot());
+    assert_eq!(prom_a, prom_b);
+    assert!(prom_a.contains("mccp_requests_submitted_total 2"));
+}
+
+#[test]
+fn telemetry_disabled_is_inert() {
+    let key = [0x3Cu8; 16];
+    let (mut m, kid) = mccp_with_key(&key);
+    let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+    m.encrypt_packet(ch, b"hdr", &[0u8; 64], &[1u8; 12])
+        .unwrap();
+    assert!(!m.telemetry().is_enabled());
+    assert_eq!(m.telemetry().events().count(), 0);
+    assert_eq!(m.telemetry().dropped(), 0);
+    assert!(m.telemetry().spans().is_empty());
+    let snap = m.telemetry_snapshot();
+    assert_eq!(snap.counter("mccp_events_total"), 0);
+    assert_eq!(snap.gauge("mccp_cycles"), 0);
+}
+
+#[test]
+fn reconfiguration_blocks_then_retargets_core() {
+    use mccp_sim::resources::Resources;
+    let key = [0x7Eu8; 16];
+    let mut m = Mccp::new(MccpConfig {
+        n_cores: 2,
+        ..MccpConfig::default()
+    });
+    m.enable_telemetry(64);
+    m.key_memory_mut().store(KeyId(1), &key);
+
+    // A tiny synthetic bitstream so the test stays fast (the real
+    // Twofish partial bitstream models ~12M cycles from CompactFlash).
+    let bs = Bitstream {
+        personality: Personality::TwofishUnit,
+        resources: Resources::new(10, 1),
+        size_kb: 1,
+    };
+    let budget = m
+        .begin_reconfiguration(0, bs, BitstreamSource::Ram)
+        .unwrap();
+    assert!(budget > 0);
+    assert!(m.is_reconfiguring(0));
+    // Mid-flight: the region is locked against double loads and the
+    // scheduler keeps AES traffic off the core.
+    assert_eq!(
+        m.begin_reconfiguration(0, bs, BitstreamSource::Ram),
+        Err(MccpError::Busy)
+    );
+    let ch = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+    let id = m
+        .submit(ch, Direction::Encrypt, &[1u8; 12], &[], &[0u8; 16], None)
+        .unwrap();
+    assert_eq!(m.request_cores(id).unwrap(), &[1]);
+    m.run_until_done(id, 10_000_000);
+    m.retrieve(id).unwrap();
+    m.transfer_done(id).unwrap();
+
+    for _ in 0..budget {
+        if !m.is_reconfiguring(0) {
+            break;
+        }
+        m.tick();
+    }
+    assert!(!m.is_reconfiguring(0));
+    assert_eq!(m.core(0).personality(), Personality::TwofishUnit);
+
+    // The reconfigured core now serves Twofish channels.
+    let tf_ch = m
+        .open_with_cipher(Algorithm::AesGcm128, KeyId(1), 16, CipherSel::Twofish)
+        .unwrap();
+    let id = m
+        .submit(tf_ch, Direction::Encrypt, &[2u8; 12], &[], &[0u8; 16], None)
+        .unwrap();
+    assert_eq!(m.request_cores(id).unwrap(), &[0]);
+    m.run_until_done(id, 10_000_000);
+    m.retrieve(id).unwrap();
+    m.transfer_done(id).unwrap();
+
+    // Telemetry saw the begin/end pair and the cycle cost.
+    let kinds: Vec<&str> = m.telemetry().events().map(|e| e.event.kind()).collect();
+    assert!(kinds.contains(&"reconfig_begin"), "{kinds:?}");
+    assert!(kinds.contains(&"reconfig_end"), "{kinds:?}");
+    let snap = m.telemetry_snapshot();
+    assert_eq!(snap.counter("mccp_reconfigurations_total"), 1);
+}
+
+#[test]
+fn fast_forward_matches_per_tick() {
+    // Same packet, fast path vs per-tick reference: identical cycle
+    // counts, outputs and final simulation time.
+    let key = [0x42u8; 16];
+    let run = |ff: bool| {
+        let (mut m, kid) = mccp_with_key(&key);
+        m.set_fast_forward(ff);
+        let ch = m.open(Algorithm::AesGcm128, kid).unwrap();
+        let payload = vec![7u8; 512];
+        let pkt = m.encrypt_packet(ch, b"hdr", &payload, &[2u8; 12]).unwrap();
+        (pkt.cycles, pkt.ciphertext, pkt.tag, m.cycle())
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn run_until_leaps_idle_machine() {
+    let (mut m, _) = mccp_with_key(&[1u8; 16]);
+    m.run_until(1_000_000);
+    assert_eq!(m.cycle(), 1_000_000);
+}
+
+#[test]
+fn all_key_sizes_gcm() {
+    for (len, alg) in [
+        (16usize, Algorithm::AesGcm128),
+        (24, Algorithm::AesGcm192),
+        (32, Algorithm::AesGcm256),
+    ] {
+        let key: Vec<u8> = (0..len as u8).collect();
+        let mut m = Mccp::new(MccpConfig::default());
+        m.key_memory_mut().store(KeyId(1), &key);
+        let ch = m.open(alg, KeyId(1)).unwrap();
+        let payload = [0x5Au8; 48];
+        let pkt = m.encrypt_packet(ch, &[], &payload, &[6u8; 12]).unwrap();
+        let aes = Aes::new(&key);
+        let reference = gcm_seal(&aes, &[6u8; 12], &[], &payload, 16).unwrap();
+        assert_eq!(pkt.ciphertext, reference[..48], "key len {len}");
+        assert_eq!(pkt.tag, reference[48..], "key len {len}");
+    }
+}

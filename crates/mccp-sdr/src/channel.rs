@@ -40,6 +40,17 @@ impl SecureChannel {
 
     /// Generates the next IV/nonce for this channel's mode and advances
     /// the counter.
+    pub fn next_iv(&mut self) -> Vec<u8> {
+        let iv = self.peek_iv();
+        self.counter += 1;
+        iv
+    }
+
+    /// The IV/nonce the *next* packet will use, without consuming it —
+    /// pair with [`commit_iv`](Self::commit_iv) once the packet is
+    /// actually accepted, so a backpressured submission never burns a
+    /// nonce (keeps IV sequences identical across engines that apply
+    /// backpressure at different points).
     ///
     /// * GCM: 12 bytes = salt (4) ‖ counter (8) — the deterministic
     ///   construction of SP 800-38D §8.2.1.
@@ -48,9 +59,8 @@ impl SecureChannel {
     ///   zero, leaving the hardware INC core headroom for any packet that
     ///   fits the FIFO.
     /// * CBC-MAC: empty.
-    pub fn next_iv(&mut self) -> Vec<u8> {
+    pub fn peek_iv(&self) -> Vec<u8> {
         let c = self.counter;
-        self.counter += 1;
         match self.profile.algorithm.mode() {
             Mode::Gcm => {
                 let mut iv = Vec::with_capacity(12);
@@ -77,6 +87,11 @@ impl SecureChannel {
             }
             Mode::CbcMac => Vec::new(),
         }
+    }
+
+    /// Consumes the IV returned by [`peek_iv`](Self::peek_iv).
+    pub fn commit_iv(&mut self) {
+        self.counter += 1;
     }
 }
 

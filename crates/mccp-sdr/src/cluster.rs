@@ -1,0 +1,572 @@
+//! A sharded multi-engine cluster: N [`ChannelBackend`] shards serving
+//! one multi-channel workload.
+//!
+//! The paper scales a single MCCP by adding cores; a communication
+//! gateway terminating many radio links scales further by replicating
+//! whole engines. [`MccpCluster`] models that tier:
+//!
+//! - **Channel-affinity dispatch** — packets route to shard
+//!   `channel % shards`, so each channel's stream stays on one engine
+//!   (warm key schedule, in-order completion per channel).
+//! - **Idle-shard work stealing** — with
+//!   [`ClusterConfig::work_stealing`] on, the dispatcher rebalances at
+//!   dispatch time: while one shard's backlog exceeds another's by more
+//!   than one packet, the idle shard steals from the *tail* of the
+//!   longest queue. Dispatch stays deterministic, so runs are
+//!   reproducible.
+//! - **Nonce discipline** — IVs are assigned *centrally*, from the
+//!   cluster's single channel table, in policy order, before any packet
+//!   is routed. A stolen packet keeps its IV; no channel can ever reuse
+//!   a counter because two shards advanced it independently.
+//!
+//! Every shard opens every channel (same keys, same handle sequence), so
+//! any shard can serve any packet. Shards run to completion on their own
+//! clocks; the cluster's modeled makespan is the slowest shard's cycle
+//! count. Functional shards are plain [`Send`] values, so
+//! [`MccpCluster::run_threaded`] fans them out across OS threads.
+
+use crate::channel::SecureChannel;
+use crate::driver::{verify_records, PacketRecord, RunReport};
+use crate::qos::DispatchPolicy;
+use crate::standards::Standard;
+use crate::workload::Workload;
+use mccp_core::protocol::{ChannelId, KeyId, MccpError};
+use mccp_core::{ChannelBackend, Direction, FunctionalBackend, Mccp, MccpConfig};
+use mccp_telemetry::{metrics, Snapshot};
+use std::collections::VecDeque;
+
+/// Cluster shape and dispatch policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of engine shards (≥ 1).
+    pub shards: usize,
+    /// Rebalance queues at dispatch time so no shard idles while another
+    /// holds a backlog.
+    pub work_stealing: bool,
+    /// Enable each shard's telemetry pipeline (ring capacity per shard).
+    pub telemetry_capacity: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 1,
+            work_stealing: true,
+            telemetry_capacity: None,
+        }
+    }
+}
+
+/// One shard's share of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    pub shard: usize,
+    /// Packets this shard served.
+    pub packets: usize,
+    /// How many of them were stolen from another shard's queue.
+    pub stolen: usize,
+    /// The shard's own clock at the end of its run.
+    pub cycles: u64,
+    /// The shard's telemetry snapshot (when enabled).
+    pub snapshot: Option<Snapshot>,
+}
+
+/// The aggregate outcome of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// All shards' records merged and sorted by packet index. `cycles` is
+    /// the modeled makespan (slowest shard); per-record `latency` and
+    /// `completed_at` are in the serving shard's clock.
+    pub merged: RunReport,
+    pub shards: Vec<ShardReport>,
+    /// Total packets served off a stolen queue slot.
+    pub stolen_packets: usize,
+    /// Host wall-clock spent inside the shard run loops.
+    pub wall_seconds: f64,
+    /// All shards' telemetry merged (counters add, gauges max, histograms
+    /// merge), when telemetry is enabled.
+    pub telemetry: Option<Snapshot>,
+}
+
+impl ClusterReport {
+    /// Aggregate modeled throughput: total payload bits over the makespan
+    /// at the 190 MHz clock — N shards running in parallel divide the
+    /// makespan, not the work.
+    pub fn aggregate_throughput_mbps(&self) -> f64 {
+        self.merged.throughput_mbps()
+    }
+}
+
+/// A packet with its centrally assigned IV, routed to a shard queue.
+struct Job {
+    pkt_idx: usize,
+    iv: Vec<u8>,
+    stolen: bool,
+}
+
+/// N channel engines behind one dispatcher.
+pub struct MccpCluster<B: ChannelBackend> {
+    config: ClusterConfig,
+    backends: Vec<B>,
+    /// The single, central channel table — the only IV source.
+    channels: Vec<SecureChannel>,
+    keys: Vec<Vec<u8>>,
+    /// Channel handles, identical on every shard (asserted at build).
+    handles: Vec<ChannelId>,
+}
+
+impl MccpCluster<FunctionalBackend> {
+    /// A cluster of functional engines (the deploy-shaped configuration:
+    /// software shards on host threads).
+    pub fn functional(config: ClusterConfig, standards: &[Standard], key_seed: u64) -> Self {
+        let backends = (0..config.shards.max(1))
+            .map(|_| FunctionalBackend::new())
+            .collect();
+        Self::with_backends(config, backends, standards, key_seed)
+    }
+}
+
+impl MccpCluster<Mccp> {
+    /// A cluster of cycle-accurate MCCP simulators (for modeled scaling
+    /// curves; runs shards sequentially).
+    pub fn cycle_accurate(
+        config: ClusterConfig,
+        mccp_config: MccpConfig,
+        standards: &[Standard],
+        key_seed: u64,
+    ) -> Self {
+        let backends = (0..config.shards.max(1))
+            .map(|_| {
+                let mut m = Mccp::new(mccp_config.clone());
+                m.set_fast_forward(true);
+                m
+            })
+            .collect();
+        Self::with_backends(config, backends, standards, key_seed)
+    }
+}
+
+impl<B: ChannelBackend> MccpCluster<B> {
+    /// Builds a cluster from pre-constructed shards. Derives session keys
+    /// exactly as [`crate::RadioDriver::with_backend`] does and opens
+    /// every channel on every shard; all shards must allocate the same
+    /// handle sequence (the [`ChannelBackend`] determinism contract).
+    ///
+    /// # Panics
+    /// Panics if `backends` is empty or a shard allocates a divergent
+    /// channel handle.
+    pub fn with_backends(
+        mut config: ClusterConfig,
+        mut backends: Vec<B>,
+        standards: &[Standard],
+        key_seed: u64,
+    ) -> Self {
+        assert!(!backends.is_empty(), "at least one shard");
+        config.shards = backends.len();
+        if let Some(capacity) = config.telemetry_capacity {
+            for b in &mut backends {
+                b.enable_telemetry(capacity);
+            }
+        }
+        let mut channels = Vec::new();
+        let mut keys = Vec::new();
+        for (i, &std_) in standards.iter().enumerate() {
+            let profile = std_.profile();
+            let key_len = profile.algorithm.key_size().key_bytes();
+            let key: Vec<u8> = (0..key_len)
+                .map(|j| (key_seed as u8) ^ ((i as u8) * 31) ^ ((j as u8).wrapping_mul(7)))
+                .collect();
+            let tag_len = if profile.tag_len == 0 {
+                16
+            } else {
+                profile.tag_len
+            };
+            let mut handle = None;
+            for (s, b) in backends.iter_mut().enumerate() {
+                let h = b
+                    .open_channel(profile.algorithm, &key, tag_len)
+                    .expect("channel opens");
+                match handle {
+                    None => handle = Some(h),
+                    Some(h0) => assert_eq!(h0, h, "shard {s} diverged on channel {i} handle"),
+                }
+            }
+            let mut ch = SecureChannel::new(profile, KeyId(i as u8 + 1), 0x1000_0000 + i as u32);
+            ch.handle = handle;
+            channels.push(ch);
+            keys.push(key);
+        }
+        let handles = channels.iter().map(|c| c.handle.unwrap()).collect();
+        MccpCluster {
+            config,
+            backends,
+            channels,
+            keys,
+            handles,
+        }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The central channel table.
+    pub fn channels(&self) -> &[SecureChannel] {
+        &self.channels
+    }
+
+    /// Assigns IVs centrally in policy order and routes each packet to
+    /// its affinity shard, then (optionally) steals from queue tails
+    /// until no shard's backlog exceeds another's by more than one.
+    fn dispatch(&mut self, workload: &Workload, policy: DispatchPolicy) -> Vec<VecDeque<Job>> {
+        let shards = self.backends.len();
+        let mut queues: Vec<VecDeque<Job>> = (0..shards).map(|_| VecDeque::new()).collect();
+        for pkt_idx in policy.order(&workload.packets) {
+            let channel = workload.packets[pkt_idx].channel;
+            let iv = self.channels[channel].next_iv();
+            queues[channel % shards].push_back(Job {
+                pkt_idx,
+                iv,
+                stolen: false,
+            });
+        }
+        if self.config.work_stealing {
+            loop {
+                let longest = (0..shards).max_by_key(|&i| queues[i].len()).unwrap();
+                let shortest = (0..shards).min_by_key(|&i| queues[i].len()).unwrap();
+                if queues[longest].len() - queues[shortest].len() <= 1 {
+                    break;
+                }
+                let mut job = queues[longest].pop_back().unwrap();
+                job.stolen = true;
+                queues[shortest].push_back(job);
+            }
+        }
+        queues
+    }
+
+    /// Serves the workload across all shards, one after another (correct
+    /// for any engine, including the cycle-accurate simulator — modeled
+    /// cycles don't care about host parallelism).
+    pub fn run(&mut self, workload: &Workload, policy: DispatchPolicy) -> ClusterReport {
+        let queues = self.dispatch(workload, policy);
+        let started = std::time::Instant::now();
+        let outcomes: Vec<ShardOutcome> = self
+            .backends
+            .iter_mut()
+            .zip(queues.iter())
+            .map(|(backend, queue)| run_shard(backend, workload, &self.handles, queue))
+            .collect();
+        let wall_seconds = started.elapsed().as_secs_f64();
+        self.assemble(workload, queues, outcomes, wall_seconds)
+    }
+
+    /// Serves the workload with one OS thread per shard — the scaling
+    /// path for functional shards. Modeled results are identical to
+    /// [`run`](Self::run); only host wall-clock differs.
+    pub fn run_threaded(&mut self, workload: &Workload, policy: DispatchPolicy) -> ClusterReport
+    where
+        B: Send,
+    {
+        let queues = self.dispatch(workload, policy);
+        let handles = &self.handles;
+        let started = std::time::Instant::now();
+        let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
+            let joins: Vec<_> = self
+                .backends
+                .iter_mut()
+                .zip(queues.iter())
+                .map(|(backend, queue)| {
+                    scope.spawn(move || run_shard(backend, workload, handles, queue))
+                })
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("shard thread"))
+                .collect()
+        });
+        let wall_seconds = started.elapsed().as_secs_f64();
+        self.assemble(workload, queues, outcomes, wall_seconds)
+    }
+
+    fn assemble(
+        &mut self,
+        workload: &Workload,
+        queues: Vec<VecDeque<Job>>,
+        outcomes: Vec<ShardOutcome>,
+        wall_seconds: f64,
+    ) -> ClusterReport {
+        let mut records = Vec::with_capacity(workload.packets.len());
+        let mut shards = Vec::with_capacity(outcomes.len());
+        let mut stolen_packets = 0;
+        let mut telemetry: Option<Snapshot> = None;
+        for (shard, (outcome, queue)) in outcomes.into_iter().zip(queues.iter()).enumerate() {
+            let stolen = queue.iter().filter(|j| j.stolen).count();
+            stolen_packets += stolen;
+            let backend = &mut self.backends[shard];
+            backend.telemetry_counter_add("mccp_cluster_stolen_packets_total", stolen as u64);
+            let snapshot = if backend.telemetry_enabled() {
+                let snap = backend.telemetry_snapshot();
+                match &mut telemetry {
+                    None => telemetry = Some(snap.clone()),
+                    Some(t) => t.merge_from(&snap),
+                }
+                Some(snap)
+            } else {
+                None
+            };
+            shards.push(ShardReport {
+                shard,
+                packets: outcome.records.len(),
+                stolen,
+                cycles: outcome.cycles,
+                snapshot,
+            });
+            records.extend(outcome.records);
+        }
+        records.sort_by_key(|r| r.packet_idx);
+        let cycles = shards.iter().map(|s| s.cycles).max().unwrap_or(0);
+        ClusterReport {
+            merged: RunReport {
+                cycles,
+                packets: records.len(),
+                payload_bits: workload.payload_bits(),
+                records,
+            },
+            shards,
+            stolen_packets,
+            wall_seconds,
+            telemetry,
+        }
+    }
+
+    /// Verifies every merged record against the reference (`mccp-aes`)
+    /// implementations. Returns the number of packets checked.
+    pub fn verify(&self, workload: &Workload, report: &ClusterReport) -> Result<usize, String> {
+        verify_records(workload, &report.merged.records, &self.channels, &self.keys)
+    }
+}
+
+struct ShardOutcome {
+    records: Vec<PacketRecord>,
+    cycles: u64,
+}
+
+/// One shard's serving loop: the [`crate::RadioDriver::run`] engine loop
+/// with pre-assigned IVs — submit arrived jobs in queue order until the
+/// engine reports `NoResource`, advance the clock, poll completions.
+fn run_shard<B: ChannelBackend>(
+    backend: &mut B,
+    workload: &Workload,
+    handles: &[ChannelId],
+    queue: &VecDeque<Job>,
+) -> ShardOutcome {
+    let mut pending: VecDeque<usize> = (0..queue.len()).collect();
+    let mut in_flight: Vec<(mccp_core::RequestId, usize)> = Vec::new();
+    let mut records = Vec::with_capacity(queue.len());
+    let start = backend.now();
+    let mut guard = 0u64;
+
+    while !pending.is_empty() || !in_flight.is_empty() {
+        loop {
+            let now = backend.now() - start;
+            let Some(pos) = pending
+                .iter()
+                .position(|&q| workload.packets[queue[q].pkt_idx].arrival_cycle <= now)
+            else {
+                break;
+            };
+            let q = pending[pos];
+            let job = &queue[q];
+            let pkt = &workload.packets[job.pkt_idx];
+            match backend.submit_packet(
+                handles[pkt.channel],
+                Direction::Encrypt,
+                &job.iv,
+                &pkt.aad,
+                &pkt.payload,
+                None,
+            ) {
+                Ok(id) => {
+                    backend.telemetry_counter_add(
+                        &metrics::series("mccp_sdr_offered_packets_total", "channel", pkt.channel),
+                        1,
+                    );
+                    in_flight.push((id, q));
+                    pending.remove(pos);
+                }
+                Err(MccpError::NoResource) => break,
+                Err(e) => panic!("packet {} rejected: {e}", job.pkt_idx),
+            }
+        }
+
+        let now = backend.now() - start;
+        let arrival_bound = pending
+            .iter()
+            .map(|&q| workload.packets[queue[q].pkt_idx].arrival_cycle)
+            .filter(|&a| a > now)
+            .map(|a| a - now)
+            .min()
+            .unwrap_or(u64::MAX);
+        guard += backend.step(arrival_bound.min(500_000_000 - guard));
+        assert!(guard < 500_000_000, "shard wedged");
+
+        while let Some(done) = backend.poll_completion() {
+            let pos = in_flight
+                .iter()
+                .position(|(r, _)| *r == done.request)
+                .expect("tracked request");
+            let (_, q) = in_flight.swap_remove(pos);
+            assert!(done.auth_ok, "encrypt never auth-fails");
+            let job = &queue[q];
+            let pkt = &workload.packets[job.pkt_idx];
+            let completed_at = backend.now() - start;
+            if backend.telemetry_enabled() {
+                backend.telemetry_counter_add(
+                    &metrics::series("mccp_sdr_served_packets_total", "channel", pkt.channel),
+                    1,
+                );
+                backend.telemetry_counter_add(
+                    &metrics::series("mccp_sdr_served_bytes_total", "channel", pkt.channel),
+                    pkt.payload.len() as u64,
+                );
+            }
+            records.push(PacketRecord {
+                packet_idx: job.pkt_idx,
+                channel: pkt.channel,
+                iv: job.iv.clone(),
+                ciphertext: done.body,
+                tag: done.tag,
+                latency: done.latency_cycles,
+                completed_at,
+            });
+        }
+    }
+
+    ShardOutcome {
+        records,
+        cycles: backend.now() - start,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    fn spec(standards: Vec<Standard>, packets: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            standards,
+            packets,
+            seed: 11,
+            fixed_payload_len: Some(160),
+            mean_interarrival_cycles: None,
+        }
+    }
+
+    #[test]
+    fn functional_cluster_serves_and_verifies() {
+        let spec = spec(
+            vec![
+                Standard::Wifi,
+                Standard::Wimax,
+                Standard::Umts,
+                Standard::SecureVoice,
+            ],
+            24,
+        );
+        let workload = Workload::generate(spec.clone());
+        let mut cluster = MccpCluster::functional(
+            ClusterConfig {
+                shards: 4,
+                work_stealing: true,
+                telemetry_capacity: Some(1024),
+            },
+            &spec.standards,
+            7,
+        );
+        let report = cluster.run_threaded(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.merged.packets, 24);
+        assert_eq!(cluster.verify(&workload, &report).unwrap(), 24);
+        // Affinity dispatch on a balanced round-robin workload: no steals
+        // needed, every shard served its own channel's packets.
+        assert_eq!(report.stolen_packets, 0);
+        assert!(report.shards.iter().all(|s| s.packets == 6));
+        // Merged telemetry sums the per-shard serving counters.
+        let t = report.telemetry.as_ref().expect("telemetry on");
+        assert_eq!(t.counter("mccp_requests_submitted_total"), 24);
+    }
+
+    #[test]
+    fn work_stealing_rebalances_skewed_load() {
+        // Two channels, both mapping to shard 0 of 2 (channels 0 and 2
+        // would balance; here 2 channels over 4 shards leaves 2 idle).
+        let spec = spec(vec![Standard::Wifi, Standard::Wimax], 16);
+        let workload = Workload::generate(spec.clone());
+        let cfg = |stealing| ClusterConfig {
+            shards: 4,
+            work_stealing: stealing,
+            telemetry_capacity: None,
+        };
+        let mut lazy = MccpCluster::functional(cfg(false), &spec.standards, 3);
+        let r_lazy = lazy.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(r_lazy.stolen_packets, 0);
+        assert_eq!(r_lazy.shards[2].packets + r_lazy.shards[3].packets, 0);
+
+        let mut stealing = MccpCluster::functional(cfg(true), &spec.standards, 3);
+        let r = stealing.run(&workload, DispatchPolicy::Fifo);
+        assert!(r.stolen_packets > 0, "idle shards must steal");
+        assert!(
+            r.shards.iter().all(|s| s.packets == 4),
+            "stealing balances 16 packets over 4 shards"
+        );
+        // Stolen or not, every packet still verifies (IVs are central).
+        assert_eq!(stealing.verify(&workload, &r).unwrap(), 16);
+    }
+
+    #[test]
+    fn cycle_cluster_halves_makespan_with_two_shards() {
+        // Single-core shards so the scaling signal is all from sharding,
+        // not from intra-shard core parallelism.
+        let mccp_cfg = MccpConfig {
+            n_cores: 1,
+            ..MccpConfig::default()
+        };
+        let spec = spec(vec![Standard::Wifi, Standard::Wimax], 12);
+        let workload = Workload::generate(spec.clone());
+        let one = MccpCluster::cycle_accurate(
+            ClusterConfig {
+                shards: 1,
+                work_stealing: true,
+                telemetry_capacity: None,
+            },
+            mccp_cfg.clone(),
+            &spec.standards,
+            9,
+        )
+        .run(&workload, DispatchPolicy::Fifo);
+        let two = MccpCluster::cycle_accurate(
+            ClusterConfig {
+                shards: 2,
+                work_stealing: true,
+                telemetry_capacity: None,
+            },
+            mccp_cfg,
+            &spec.standards,
+            9,
+        )
+        .run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(one.merged.packets, 12);
+        assert_eq!(two.merged.packets, 12);
+        assert!(
+            (two.merged.cycles as f64) < 0.75 * one.merged.cycles as f64,
+            "2 shards: {} cycles, 1 shard: {} cycles",
+            two.merged.cycles,
+            one.merged.cycles
+        );
+    }
+}

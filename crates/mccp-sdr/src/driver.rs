@@ -1,14 +1,19 @@
 //! The communication-controller driver: feeds a multi-channel workload
-//! through the MCCP's control protocol, keeps every idle core busy (the
-//! paper's as-fast-as-possible dispatch, §III.C), and measures aggregate
-//! throughput and per-packet latency in modeled clock cycles.
+//! through a [`ChannelBackend`]'s control protocol, keeps every idle core
+//! busy (the paper's as-fast-as-possible dispatch, §III.C), and measures
+//! aggregate throughput and per-packet latency in the engine's clock.
+//!
+//! The driver is generic over the engine: `RadioDriver<Mccp>` (the
+//! default) drives the cycle-accurate simulator, `RadioDriver<FunctionalBackend>`
+//! the functional fast path — same workload, same channels, same IV
+//! discipline, bit-identical ciphertext either way.
 
 use crate::channel::SecureChannel;
 use crate::qos::DispatchPolicy;
 use crate::standards::Standard;
 use crate::workload::Workload;
 use mccp_core::protocol::{KeyId, MccpError};
-use mccp_core::{Direction, Mccp, MccpConfig, RequestId};
+use mccp_core::{ChannelBackend, Completion, Direction, Mccp, MccpConfig, RequestId};
 use mccp_sim::throughput_mbps;
 use mccp_telemetry::metrics;
 use std::collections::VecDeque;
@@ -57,11 +62,14 @@ impl RunReport {
         self.records.iter().map(|r| r.latency).max().unwrap_or(0)
     }
 
-    /// Latency percentile (0.0..=1.0).
+    /// Latency percentile. `p` is clamped to `0.0..=1.0` (so `p <= 0.0`
+    /// is the minimum, `p >= 1.0` the maximum, and NaN maps to the
+    /// minimum); an empty record set reports 0.
     pub fn latency_percentile(&self, p: f64) -> u64 {
         if self.records.is_empty() {
             return 0;
         }
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
         let mut l: Vec<u64> = self.records.iter().map(|r| r.latency).collect();
         l.sort_unstable();
         let idx = ((l.len() - 1) as f64 * p).round() as usize;
@@ -69,20 +77,94 @@ impl RunReport {
     }
 }
 
-/// The secure radio: an MCCP plus its channel table and session keys.
-pub struct RadioDriver {
-    mccp: Mccp,
+/// Verifies packet records against the reference (`mccp-aes`)
+/// implementations, given the channel table and session keys that
+/// produced them. Returns the number of packets checked.
+///
+/// Shared by [`RadioDriver::verify`] and the cluster report checks —
+/// records may come from any engine or shard layout; only bytes matter.
+pub fn verify_records(
+    workload: &Workload,
+    records: &[PacketRecord],
+    channels: &[SecureChannel],
+    keys: &[Vec<u8>],
+) -> Result<usize, String> {
+    use mccp_aes::modes::{ccm_seal, ctr_xcrypt, gcm_seal, CcmParams};
+    use mccp_core::protocol::Mode;
+
+    for rec in records {
+        let pkt = &workload.packets[rec.packet_idx];
+        let ch = &channels[rec.channel];
+        let aes = mccp_aes::Aes::new(&keys[rec.channel]);
+        let (expect_ct, expect_tag): (Vec<u8>, Vec<u8>) = match ch.profile.algorithm.mode() {
+            Mode::Gcm => {
+                let out = gcm_seal(&aes, &rec.iv, &pkt.aad, &pkt.payload, 16)
+                    .map_err(|e| e.to_string())?;
+                let n = pkt.payload.len();
+                (out[..n].to_vec(), out[n..].to_vec())
+            }
+            Mode::Ccm => {
+                let params = CcmParams {
+                    nonce_len: rec.iv.len(),
+                    tag_len: ch.profile.tag_len,
+                };
+                let out = ccm_seal(&aes, &params, &rec.iv, &pkt.aad, &pkt.payload)
+                    .map_err(|e| e.to_string())?;
+                let n = pkt.payload.len();
+                (out[..n].to_vec(), out[n..].to_vec())
+            }
+            Mode::Ctr => {
+                let mut body = pkt.payload.clone();
+                let ctr0: [u8; 16] = rec.iv.as_slice().try_into().unwrap();
+                ctr_xcrypt(&aes, &ctr0, &mut body).map_err(|e| e.to_string())?;
+                (body, Vec::new())
+            }
+            Mode::CbcMac => {
+                let mac =
+                    mccp_aes::modes::cbc_mac(&aes, &pkt.payload, 16).map_err(|e| e.to_string())?;
+                (Vec::new(), mac)
+            }
+        };
+        if rec.ciphertext != expect_ct {
+            return Err(format!("packet {} ciphertext mismatch", rec.packet_idx));
+        }
+        if rec.tag != expect_tag {
+            return Err(format!("packet {} tag mismatch", rec.packet_idx));
+        }
+    }
+    Ok(records.len())
+}
+
+/// The secure radio: a channel engine plus its channel table and session
+/// keys. Defaults to the cycle-accurate [`Mccp`].
+pub struct RadioDriver<B: ChannelBackend = Mccp> {
+    backend: B,
     channels: Vec<SecureChannel>,
     /// Session keys (main-controller side), per channel.
     keys: Vec<Vec<u8>>,
 }
 
-impl RadioDriver {
-    /// Builds a radio with one open channel per standard. Session keys are
-    /// derived deterministically from `key_seed` (test reproducibility —
-    /// a real radio would run a key-exchange protocol here).
+impl RadioDriver<Mccp> {
+    /// Builds a radio on a fresh cycle-accurate MCCP with one open channel
+    /// per standard. Session keys are derived deterministically from
+    /// `key_seed` (test reproducibility — a real radio would run a
+    /// key-exchange protocol here).
     pub fn new(config: MccpConfig, standards: &[Standard], key_seed: u64) -> Self {
-        let mut mccp = Mccp::new(config);
+        Self::with_backend(Mccp::new(config), standards, key_seed)
+    }
+
+    /// The underlying MCCP (reconfiguration experiments, inspection).
+    pub fn mccp_mut(&mut self) -> &mut Mccp {
+        &mut self.backend
+    }
+}
+
+impl<B: ChannelBackend> RadioDriver<B> {
+    /// Builds a radio on any engine with one open channel per standard,
+    /// deriving session keys exactly as [`RadioDriver::new`] does — the
+    /// same `(standards, key_seed)` pair yields the same keys, channel
+    /// handles and IV sequences on every engine.
+    pub fn with_backend(mut backend: B, standards: &[Standard], key_seed: u64) -> Self {
         let mut channels = Vec::new();
         let mut keys = Vec::new();
         for (i, &std_) in standards.iter().enumerate() {
@@ -91,31 +173,34 @@ impl RadioDriver {
             let key: Vec<u8> = (0..key_len)
                 .map(|j| (key_seed as u8) ^ ((i as u8) * 31) ^ ((j as u8).wrapping_mul(7)))
                 .collect();
-            let kid = KeyId(i as u8 + 1);
-            mccp.key_memory_mut().store(kid, &key);
             let tag_len = if profile.tag_len == 0 {
                 16
             } else {
                 profile.tag_len
             };
-            let handle = mccp
-                .open_with_tag_len(profile.algorithm, kid, tag_len)
+            let handle = backend
+                .open_channel(profile.algorithm, &key, tag_len)
                 .expect("channel opens");
-            let mut ch = SecureChannel::new(profile, kid, 0x1000_0000 + i as u32);
+            let mut ch = SecureChannel::new(profile, KeyId(i as u8 + 1), 0x1000_0000 + i as u32);
             ch.handle = Some(handle);
             channels.push(ch);
             keys.push(key);
         }
         RadioDriver {
-            mccp,
+            backend,
             channels,
             keys,
         }
     }
 
-    /// The underlying MCCP (reconfiguration experiments, inspection).
-    pub fn mccp_mut(&mut self) -> &mut Mccp {
-        &mut self.mccp
+    /// The underlying engine.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable engine access (telemetry, reconfiguration experiments).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 
     /// The channel table.
@@ -139,14 +224,14 @@ impl RadioDriver {
         let mut pending: VecDeque<usize> = order.into();
         let mut in_flight: Vec<(RequestId, usize, Vec<u8>)> = Vec::new();
         let mut records = Vec::with_capacity(workload.packets.len());
-        let start = self.mccp.cycle();
+        let start = self.backend.now();
         let mut guard = 0u64;
 
         while !pending.is_empty() || !in_flight.is_empty() {
             // Fill idle cores with *arrived* packets, preserving the policy
             // order among them (batch workloads have arrival 0 throughout).
             loop {
-                let now = self.mccp.cycle() - start;
+                let now = self.backend.now() - start;
                 let Some(pos) = pending
                     .iter()
                     .position(|&i| workload.packets[i].arrival_cycle <= now)
@@ -157,8 +242,11 @@ impl RadioDriver {
                 let pkt = &workload.packets[pkt_idx];
                 let ch = &mut self.channels[pkt.channel];
                 let handle = ch.handle.expect("opened");
-                let iv = ch.next_iv();
-                match self.mccp.submit(
+                // Peek, don't consume: a NoResource rejection must not
+                // burn the nonce, or engines that backpressure at
+                // different points would assign different IV sequences.
+                let iv = ch.peek_iv();
+                match self.backend.submit_packet(
                     handle,
                     Direction::Encrypt,
                     &iv,
@@ -167,17 +255,13 @@ impl RadioDriver {
                     None,
                 ) {
                     Ok(id) => {
-                        if self.mccp.telemetry().is_enabled() {
-                            let key = metrics::series(
-                                "mccp_sdr_offered_packets_total",
-                                "channel",
-                                pkt.channel,
-                            );
-                            self.mccp
-                                .telemetry_mut()
-                                .registry_mut()
-                                .counter_add(&key, 1);
-                        }
+                        self.channels[pkt.channel].commit_iv();
+                        let key = metrics::series(
+                            "mccp_sdr_offered_packets_total",
+                            "channel",
+                            pkt.channel,
+                        );
+                        self.backend.telemetry_counter_add(&key, 1);
                         in_flight.push((id, pkt_idx, iv));
                         pending.remove(pos);
                     }
@@ -187,10 +271,11 @@ impl RadioDriver {
             }
 
             // Advance the clock: leap over quiescent spans — bounded by
-            // the next pending arrival, an external event the horizon
-            // cannot see — or simulate one active cycle. Completions only
-            // occur on active ticks, so the poll below never misses one.
-            let now = self.mccp.cycle() - start;
+            // the next pending arrival, an external event the engine's
+            // horizon cannot see — or simulate one active cycle.
+            // Completions only occur on active ticks, so the poll below
+            // never misses one.
+            let now = self.backend.now() - start;
             let arrival_bound = pending
                 .iter()
                 .map(|&i| workload.packets[i].arrival_cycle)
@@ -198,42 +283,25 @@ impl RadioDriver {
                 .map(|a| a - now)
                 .min()
                 .unwrap_or(u64::MAX);
-            let span = if self.mccp.fast_forward() {
-                self.mccp
-                    .quiescent_horizon()
-                    .min(arrival_bound)
-                    .min(500_000_000 - guard)
-            } else {
-                0
-            };
-            if span == 0 {
-                self.mccp.tick();
-                guard += 1;
-            } else {
-                self.mccp.skip(span);
-                guard += span;
-            }
+            guard += self.backend.step(arrival_bound.min(500_000_000 - guard));
             assert!(guard < 500_000_000, "workload wedged");
 
             // Collect completions.
-            while let Some(id) = self.mccp.poll_data_available() {
+            while let Some(done) = self.backend.poll_completion() {
                 let pos = in_flight
                     .iter()
-                    .position(|(r, _, _)| *r == id)
+                    .position(|(r, _, _)| *r == done.request)
                     .expect("tracked request");
-                let (rid, pkt_idx, iv) = in_flight.swap_remove(pos);
-                let latency = self.mccp.request_cycles(rid).expect("done");
-                let completed_at = self.mccp.cycle() - start;
-                let out = self.mccp.retrieve(rid).expect("encrypt never auth-fails");
-                self.mccp.transfer_done(rid).expect("release");
-                if self.mccp.telemetry().is_enabled() {
+                let (_, pkt_idx, iv) = in_flight.swap_remove(pos);
+                assert!(done.auth_ok, "encrypt never auth-fails");
+                let completed_at = self.backend.now() - start;
+                if self.backend.telemetry_enabled() {
                     let channel = workload.packets[pkt_idx].channel;
-                    let reg = self.mccp.telemetry_mut().registry_mut();
-                    reg.counter_add(
+                    self.backend.telemetry_counter_add(
                         &metrics::series("mccp_sdr_served_packets_total", "channel", channel),
                         1,
                     );
-                    reg.counter_add(
+                    self.backend.telemetry_counter_add(
                         &metrics::series("mccp_sdr_served_bytes_total", "channel", channel),
                         workload.packets[pkt_idx].payload.len() as u64,
                     );
@@ -242,9 +310,9 @@ impl RadioDriver {
                     packet_idx: pkt_idx,
                     channel: workload.packets[pkt_idx].channel,
                     iv,
-                    ciphertext: out.body,
-                    tag: out.tag.unwrap_or_default(),
-                    latency,
+                    ciphertext: done.body,
+                    tag: done.tag,
+                    latency: done.latency_cycles,
                     completed_at,
                 });
             }
@@ -252,40 +320,67 @@ impl RadioDriver {
 
         records.sort_by_key(|r| r.packet_idx);
         RunReport {
-            cycles: self.mccp.cycle() - start,
+            cycles: self.backend.now() - start,
             packets: records.len(),
             payload_bits: workload.payload_bits(),
             records,
         }
     }
 
+    /// Steps the engine until one completion is pollable, then pops it.
+    ///
+    /// # Panics
+    /// Panics if nothing completes within `max_cycles`.
+    fn complete_one(&mut self, max_cycles: u64) -> Completion {
+        let mut spent = 0u64;
+        loop {
+            if let Some(c) = self.backend.poll_completion() {
+                return c;
+            }
+            assert!(
+                spent < max_cycles,
+                "request wedged after {max_cycles} cycles"
+            );
+            spent += self.backend.step(max_cycles - spent);
+        }
+    }
+
     /// The receiver role: decrypts a previously produced run back through
-    /// the MCCP hardware (same channels, same IVs) and checks every
-    /// payload round-trips. Returns the total decrypt cycles.
+    /// the engine (same channels, same IVs) and checks every payload
+    /// round-trips. Returns the total decrypt cycles.
     ///
     /// # Panics
     /// Panics if an authentic packet fails authentication or mismatches —
-    /// either is a simulator bug, not a workload condition.
+    /// either is an engine bug, not a workload condition.
     pub fn run_receive(&mut self, workload: &Workload, sent: &RunReport) -> u64 {
         use mccp_core::protocol::Mode;
-        let start = self.mccp.cycle();
+        let start = self.backend.now();
         for rec in &sent.records {
             let pkt = &workload.packets[rec.packet_idx];
-            let ch = &self.channels[rec.channel];
-            let handle = ch.handle.expect("opened");
-            match ch.profile.algorithm.mode() {
+            let handle = self.channels[rec.channel].handle.expect("opened");
+            match self.channels[rec.channel].profile.algorithm.mode() {
                 Mode::Gcm | Mode::Ccm => {
-                    let out = self
-                        .mccp
-                        .decrypt_packet(handle, &pkt.aad, &rec.ciphertext, &rec.tag, &rec.iv)
-                        .expect("authentic packet must decrypt");
-                    assert_eq!(out.plaintext, pkt.payload, "round-trip mismatch");
+                    let id = self
+                        .backend
+                        .submit_packet(
+                            handle,
+                            Direction::Decrypt,
+                            &rec.iv,
+                            &pkt.aad,
+                            &rec.ciphertext,
+                            Some(&rec.tag),
+                        )
+                        .expect("core available");
+                    let done = self.complete_one(10_000_000);
+                    assert_eq!(done.request, id);
+                    assert!(done.auth_ok, "authentic packet must decrypt");
+                    assert_eq!(done.body, pkt.payload, "round-trip mismatch");
                 }
                 Mode::Ctr => {
                     // CTR decrypt = encrypt with the same counter block.
                     let id = self
-                        .mccp
-                        .submit(
+                        .backend
+                        .submit_packet(
                             handle,
                             Direction::Decrypt,
                             &rec.iv,
@@ -294,74 +389,29 @@ impl RadioDriver {
                             None,
                         )
                         .expect("core available");
-                    self.mccp.run_until_done(id, 100_000_000);
-                    let out = self.mccp.retrieve(id).expect("ctr never auth-fails");
-                    self.mccp.transfer_done(id).expect("release");
-                    assert_eq!(out.body, pkt.payload, "round-trip mismatch");
+                    let done = self.complete_one(100_000_000);
+                    assert_eq!(done.request, id);
+                    assert_eq!(done.body, pkt.payload, "round-trip mismatch");
                 }
                 Mode::CbcMac => {
                     // Verify-by-recompute: MAC the payload again and compare.
                     let id = self
-                        .mccp
-                        .submit(handle, Direction::Encrypt, &[], &[], &pkt.payload, None)
+                        .backend
+                        .submit_packet(handle, Direction::Encrypt, &[], &[], &pkt.payload, None)
                         .expect("core available");
-                    self.mccp.run_until_done(id, 100_000_000);
-                    let out = self.mccp.retrieve(id).expect("mac computes");
-                    self.mccp.transfer_done(id).expect("release");
-                    assert_eq!(out.tag.unwrap(), rec.tag, "MAC verify mismatch");
+                    let done = self.complete_one(100_000_000);
+                    assert_eq!(done.request, id);
+                    assert_eq!(done.tag, rec.tag, "MAC verify mismatch");
                 }
             }
         }
-        self.mccp.cycle() - start
+        self.backend.now() - start
     }
 
     /// Verifies every record of a run against the reference (`mccp-aes`)
     /// implementations. Returns the number of packets checked.
     pub fn verify(&self, workload: &Workload, report: &RunReport) -> Result<usize, String> {
-        use mccp_aes::modes::{ccm_seal, ctr_xcrypt, gcm_seal, CcmParams};
-        use mccp_core::protocol::Mode;
-
-        for rec in &report.records {
-            let pkt = &workload.packets[rec.packet_idx];
-            let ch = &self.channels[rec.channel];
-            let aes = mccp_aes::Aes::new(&self.keys[rec.channel]);
-            let (expect_ct, expect_tag): (Vec<u8>, Vec<u8>) = match ch.profile.algorithm.mode() {
-                Mode::Gcm => {
-                    let out = gcm_seal(&aes, &rec.iv, &pkt.aad, &pkt.payload, 16)
-                        .map_err(|e| e.to_string())?;
-                    let n = pkt.payload.len();
-                    (out[..n].to_vec(), out[n..].to_vec())
-                }
-                Mode::Ccm => {
-                    let params = CcmParams {
-                        nonce_len: rec.iv.len(),
-                        tag_len: ch.profile.tag_len,
-                    };
-                    let out = ccm_seal(&aes, &params, &rec.iv, &pkt.aad, &pkt.payload)
-                        .map_err(|e| e.to_string())?;
-                    let n = pkt.payload.len();
-                    (out[..n].to_vec(), out[n..].to_vec())
-                }
-                Mode::Ctr => {
-                    let mut body = pkt.payload.clone();
-                    let ctr0: [u8; 16] = rec.iv.as_slice().try_into().unwrap();
-                    ctr_xcrypt(&aes, &ctr0, &mut body).map_err(|e| e.to_string())?;
-                    (body, Vec::new())
-                }
-                Mode::CbcMac => {
-                    let mac = mccp_aes::modes::cbc_mac(&aes, &pkt.payload, 16)
-                        .map_err(|e| e.to_string())?;
-                    (Vec::new(), mac)
-                }
-            };
-            if rec.ciphertext != expect_ct {
-                return Err(format!("packet {} ciphertext mismatch", rec.packet_idx));
-            }
-            if rec.tag != expect_tag {
-                return Err(format!("packet {} tag mismatch", rec.packet_idx));
-            }
-        }
-        Ok(report.records.len())
+        verify_records(workload, &report.records, &self.channels, &self.keys)
     }
 }
 
@@ -369,6 +419,7 @@ impl RadioDriver {
 mod tests {
     use super::*;
     use crate::workload::WorkloadSpec;
+    use mccp_core::FunctionalBackend;
 
     #[test]
     fn multi_standard_run_verifies() {
@@ -386,6 +437,28 @@ mod tests {
         assert!(report.throughput_mbps() > 0.0);
         let checked = radio.verify(&workload, &report).expect("all verified");
         assert_eq!(checked, 12);
+    }
+
+    #[test]
+    fn functional_backend_run_verifies() {
+        // The same workload through the functional engine: every record
+        // still checks against the reference implementations.
+        let spec = WorkloadSpec {
+            standards: vec![Standard::Wifi, Standard::Wimax, Standard::Umts],
+            packets: 12,
+            seed: 42,
+            fixed_payload_len: Some(200),
+            mean_interarrival_cycles: None,
+        };
+        let workload = Workload::generate(spec.clone());
+        let mut radio = RadioDriver::with_backend(FunctionalBackend::new(), &spec.standards, 7);
+        let report = radio.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.packets, 12);
+        let checked = radio.verify(&workload, &report).expect("all verified");
+        assert_eq!(checked, 12);
+        // And the functional engine decrypts its own output back.
+        let mut rx = RadioDriver::with_backend(FunctionalBackend::new(), &spec.standards, 7);
+        rx.run_receive(&workload, &report);
     }
 
     #[test]
@@ -493,5 +566,45 @@ mod tests {
         assert!(report.mean_latency() > 0.0);
         assert!(report.max_latency() >= report.latency_percentile(0.5));
         assert_eq!(report.latency_percentile(1.0), report.max_latency());
+    }
+
+    fn report_with_latencies(latencies: &[u64]) -> RunReport {
+        RunReport {
+            cycles: 1,
+            packets: latencies.len(),
+            payload_bits: 0,
+            records: latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| PacketRecord {
+                    packet_idx: i,
+                    channel: 0,
+                    iv: Vec::new(),
+                    ciphertext: Vec::new(),
+                    tag: Vec::new(),
+                    latency: l,
+                    completed_at: l,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn latency_percentile_empty_records() {
+        let r = report_with_latencies(&[]);
+        for p in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(r.latency_percentile(p), 0);
+        }
+    }
+
+    #[test]
+    fn latency_percentile_clamps_p() {
+        let r = report_with_latencies(&[30, 10, 20, 50, 40]);
+        assert_eq!(r.latency_percentile(0.0), 10, "p=0 is the minimum");
+        assert_eq!(r.latency_percentile(1.0), 50, "p=1 is the maximum");
+        assert_eq!(r.latency_percentile(-0.3), 10, "p<0 clamps to minimum");
+        assert_eq!(r.latency_percentile(7.0), 50, "p>1 clamps to maximum");
+        assert_eq!(r.latency_percentile(f64::NAN), 10, "NaN maps to minimum");
+        assert_eq!(r.latency_percentile(0.5), 30, "median of five");
     }
 }

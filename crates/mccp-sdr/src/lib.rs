@@ -20,12 +20,14 @@
 //!   future-work discussion made concrete).
 
 pub mod channel;
+pub mod cluster;
 pub mod driver;
 pub mod qos;
 pub mod standards;
 pub mod workload;
 
 pub use channel::SecureChannel;
-pub use driver::{RadioDriver, RunReport};
+pub use cluster::{ClusterConfig, ClusterReport, MccpCluster, ShardReport};
+pub use driver::{PacketRecord, RadioDriver, RunReport};
 pub use standards::{Standard, StandardProfile};
 pub use workload::{RadioPacket, Workload, WorkloadSpec};

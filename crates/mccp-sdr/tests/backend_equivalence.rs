@@ -1,0 +1,174 @@
+//! Backend equivalence: the [`ChannelBackend`] contract's core promise —
+//! the cycle-accurate simulator, the functional engine, and any cluster
+//! sharding of either produce *bit-identical* ciphertext, tags, and IV
+//! assignments for the same workload.
+//!
+//! All runs here use the FIFO policy on batch workloads: per-channel IV
+//! assignment order is then identical across engines by construction
+//! (Priority + Poisson arrivals + core backpressure can legitimately
+//! reorder which packet of a channel gets which counter value).
+
+use mccp_core::{FunctionalBackend, MccpConfig};
+use mccp_sdr::cluster::{ClusterConfig, MccpCluster};
+use mccp_sdr::driver::PacketRecord;
+use mccp_sdr::qos::DispatchPolicy;
+use mccp_sdr::workload::{Workload, WorkloadSpec};
+use mccp_sdr::{RadioDriver, Standard};
+use proptest::prelude::*;
+
+const STANDARDS: [Standard; 4] = [
+    Standard::Wifi,
+    Standard::Wimax,
+    Standard::Umts,
+    Standard::SecureVoice,
+];
+
+fn spec(packets: usize, seed: u64, payload: Option<usize>) -> WorkloadSpec {
+    WorkloadSpec {
+        standards: STANDARDS.to_vec(),
+        packets,
+        seed,
+        fixed_payload_len: payload,
+        mean_interarrival_cycles: None,
+    }
+}
+
+/// Asserts two record sets agree packet-for-packet on everything both
+/// engines define (IV, ciphertext, tag, channel).
+fn assert_bytes_equal(a: &[PacketRecord], b: &[PacketRecord], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: packet count");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.packet_idx, y.packet_idx, "{what}: record order");
+        assert_eq!(
+            x.channel, y.channel,
+            "{what}: packet {} channel",
+            x.packet_idx
+        );
+        assert_eq!(x.iv, y.iv, "{what}: packet {} IV", x.packet_idx);
+        assert_eq!(
+            x.ciphertext, y.ciphertext,
+            "{what}: packet {} ciphertext",
+            x.packet_idx
+        );
+        assert_eq!(x.tag, y.tag, "{what}: packet {} tag", x.packet_idx);
+    }
+}
+
+#[test]
+fn cycle_and_functional_agree_packet_for_packet() {
+    let spec = spec(24, 0xE0_01, None);
+    let workload = Workload::generate(spec.clone());
+    let mut cycle = RadioDriver::new(MccpConfig::default(), &spec.standards, 7);
+    let r_cycle = cycle.run(&workload, DispatchPolicy::Fifo);
+    let mut functional = RadioDriver::with_backend(FunctionalBackend::new(), &spec.standards, 7);
+    let r_functional = functional.run(&workload, DispatchPolicy::Fifo);
+    assert_bytes_equal(
+        &r_cycle.records,
+        &r_functional.records,
+        "cycle vs functional",
+    );
+    // Both also pass the independent reference check.
+    assert_eq!(cycle.verify(&workload, &r_cycle).unwrap(), 24);
+    assert_eq!(functional.verify(&workload, &r_functional).unwrap(), 24);
+}
+
+#[test]
+fn one_shard_cluster_matches_single_backend_run() {
+    let spec = spec(20, 0xE0_02, Some(180));
+    let workload = Workload::generate(spec.clone());
+    let mut single = RadioDriver::with_backend(FunctionalBackend::new(), &spec.standards, 5);
+    let solo = single.run(&workload, DispatchPolicy::Fifo);
+    let mut cluster = MccpCluster::functional(
+        ClusterConfig {
+            shards: 1,
+            work_stealing: true,
+            telemetry_capacity: None,
+        },
+        &spec.standards,
+        5,
+    );
+    let clustered = cluster.run(&workload, DispatchPolicy::Fifo);
+    assert_bytes_equal(
+        &solo.records,
+        &clustered.merged.records,
+        "1-shard cluster vs single backend",
+    );
+    assert_eq!(clustered.merged.packets, solo.packets);
+    assert_eq!(clustered.merged.payload_bits, solo.payload_bits);
+}
+
+#[test]
+fn sharded_cluster_with_stealing_matches_single_backend_bytes() {
+    // Stolen packets keep their centrally assigned IVs, so even a
+    // rebalanced 4-shard layout reproduces the single-engine bytes.
+    let spec = spec(30, 0xE0_03, None);
+    let workload = Workload::generate(spec.clone());
+    let mut single = RadioDriver::with_backend(FunctionalBackend::new(), &spec.standards, 11);
+    let solo = single.run(&workload, DispatchPolicy::Fifo);
+    let mut cluster = MccpCluster::functional(
+        ClusterConfig {
+            shards: 4,
+            work_stealing: true,
+            telemetry_capacity: None,
+        },
+        &spec.standards,
+        11,
+    );
+    let clustered = cluster.run_threaded(&workload, DispatchPolicy::Fifo);
+    assert_bytes_equal(
+        &solo.records,
+        &clustered.merged.records,
+        "4-shard cluster vs single backend",
+    );
+    assert_eq!(cluster.verify(&workload, &clustered).unwrap(), 30);
+}
+
+#[test]
+fn cycle_cluster_matches_functional_cluster() {
+    let spec = spec(16, 0xE0_04, Some(96));
+    let workload = Workload::generate(spec.clone());
+    let cfg = ClusterConfig {
+        shards: 2,
+        work_stealing: true,
+        telemetry_capacity: None,
+    };
+    let mut f = MccpCluster::functional(cfg, &spec.standards, 3);
+    let rf = f.run(&workload, DispatchPolicy::Fifo);
+    let mut c = MccpCluster::cycle_accurate(cfg, MccpConfig::default(), &spec.standards, 3);
+    let rc = c.run(&workload, DispatchPolicy::Fifo);
+    assert_bytes_equal(
+        &rf.merged.records,
+        &rc.merged.records,
+        "functional cluster vs cycle cluster",
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The property form: any seed, any fixed payload length in range,
+    /// any packet count — cycle and functional engines agree byte-for-
+    /// byte, and both satisfy the reference check.
+    #[test]
+    fn backends_agree_for_any_workload(
+        seed in any::<u64>(),
+        packets in 1usize..20,
+        payload in 16usize..300,
+    ) {
+        let spec = spec(packets, seed, Some(payload));
+        let workload = Workload::generate(spec.clone());
+        let mut cycle = RadioDriver::new(MccpConfig::default(), &spec.standards, seed ^ 1);
+        let r_cycle = cycle.run(&workload, DispatchPolicy::Fifo);
+        let mut functional =
+            RadioDriver::with_backend(FunctionalBackend::new(), &spec.standards, seed ^ 1);
+        let r_functional = functional.run(&workload, DispatchPolicy::Fifo);
+        prop_assert_eq!(r_cycle.records.len(), r_functional.records.len());
+        for (x, y) in r_cycle.records.iter().zip(r_functional.records.iter()) {
+            prop_assert_eq!(&x.iv, &y.iv, "packet {} IV", x.packet_idx);
+            prop_assert_eq!(&x.ciphertext, &y.ciphertext, "packet {} ciphertext", x.packet_idx);
+            prop_assert_eq!(&x.tag, &y.tag, "packet {} tag", x.packet_idx);
+        }
+        prop_assert_eq!(cycle.verify(&workload, &r_cycle).unwrap(), packets);
+        prop_assert_eq!(functional.verify(&workload, &r_functional).unwrap(), packets);
+    }
+}

@@ -16,9 +16,9 @@
 //! registry instead (`mccp_dma_words_total`).
 //!
 //! The [`std::fmt::Display`] impl reproduces, byte for byte, the legacy
-//! string messages the old `Mccp::enable_trace` API recorded, so the
-//! deprecated string shim renders typed events without a parallel
-//! formatting path.
+//! string messages the removed `Mccp::enable_trace` API recorded, so
+//! logs and assertions written against those lines keep working when
+//! rendered from typed events.
 
 use std::fmt;
 
@@ -233,8 +233,8 @@ impl Event {
 
 impl fmt::Display for Event {
     /// Human-readable rendering. For the four lifecycle events the old
-    /// string tracer recorded, the output is byte-identical to the legacy
-    /// messages (the deprecated `enable_trace` shim depends on this).
+    /// string tracer recorded, the output stays byte-identical to the
+    /// legacy messages.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Event::RequestSubmitted {

@@ -73,6 +73,19 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Folds another histogram's observations into this one. Exact:
+    /// bucketing is value-determined, so merging per-shard histograms
+    /// yields the histogram a single registry would have recorded.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// A point-in-time, deterministically ordered copy of the registry.
@@ -92,6 +105,23 @@ impl Snapshot {
     /// Gauge value by exact series key, 0 if absent.
     pub fn gauge(&self, key: &str) -> u64 {
         self.gauges.get(key).copied().unwrap_or(0)
+    }
+
+    /// Folds another snapshot into this one: counters add, histograms
+    /// merge exactly, and gauges take the maximum (the registry's gauges
+    /// are levels and high-water marks, for which the cluster-wide value
+    /// is the worst shard — e.g. merged `mccp_cycles` is the makespan).
+    pub fn merge_from(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge_from(h);
+        }
     }
 }
 
@@ -269,6 +299,33 @@ mod tests {
         assert_eq!(a.snapshot(), b.snapshot());
         let keys: Vec<_> = a.snapshot().counters.into_keys().collect();
         assert_eq!(keys, ["a_total", "z_total"]);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_maxes_gauges_merges_histograms() {
+        let mut a = Registry::new(true);
+        a.counter_add("pkts_total", 3);
+        a.gauge_set("hw", 9);
+        a.histogram_record("lat", 3);
+        a.histogram_record("lat", 49);
+        let mut b = Registry::new(true);
+        b.counter_add("pkts_total", 4);
+        b.counter_add("other_total", 1);
+        b.gauge_set("hw", 5);
+        b.histogram_record("lat", 104);
+
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        assert_eq!(merged.counter("pkts_total"), 7);
+        assert_eq!(merged.counter("other_total"), 1);
+        assert_eq!(merged.gauge("hw"), 9, "gauges merge as max");
+
+        // The merged histogram equals one registry recording everything.
+        let mut all = Registry::new(true);
+        for v in [3, 49, 104] {
+            all.histogram_record("lat", v);
+        }
+        assert_eq!(merged.histograms["lat"], all.snapshot().histograms["lat"]);
     }
 
     #[test]

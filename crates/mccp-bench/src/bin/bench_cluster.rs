@@ -18,7 +18,7 @@
 //! ```
 
 use mccp_core::MccpConfig;
-use mccp_sdr::cluster::{ClusterConfig, MccpCluster};
+use mccp_sdr::cluster::{ClusterConfig, MccpCluster, RetryPolicy};
 use mccp_sdr::qos::DispatchPolicy;
 use mccp_sdr::workload::{Workload, WorkloadSpec};
 use mccp_sdr::Standard;
@@ -73,6 +73,7 @@ fn main() {
             shards,
             work_stealing: true,
             telemetry_capacity: None,
+            retry: RetryPolicy::default(),
         };
 
         // Modeled curve: cycle-accurate shards, sequential host execution

@@ -30,6 +30,40 @@ pub struct Completion {
     /// Submission → Data Available, in the engine's clock. The functional
     /// engine does not model service time and reports 0.
     pub latency_cycles: u64,
+    /// The fault that terminated the request, if the fault plane did
+    /// (`body`/`tag` are empty, `auth_ok` is false). Retryable errors —
+    /// see [`MccpError::is_retryable`] — are safe to resubmit elsewhere:
+    /// no output ever left the engine.
+    pub fault: Option<MccpError>,
+}
+
+/// One quarantined core, as reported by [`ChannelBackend::health`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreHealth {
+    pub core: usize,
+    /// The engine-clock cycle the watchdog fenced the core off.
+    pub quarantined_at: u64,
+}
+
+/// Core-pool health for one engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineHealth {
+    /// Total cores in the engine.
+    pub cores: usize,
+    /// The quarantined subset (empty when fully healthy).
+    pub quarantined: Vec<CoreHealth>,
+}
+
+impl EngineHealth {
+    /// Cores currently eligible for dispatch.
+    pub fn available(&self) -> usize {
+        self.cores - self.quarantined.len()
+    }
+
+    /// True when no core can serve work.
+    pub fn is_dead(&self) -> bool {
+        self.available() == 0 && self.cores > 0
+    }
 }
 
 /// A multi-channel crypto engine: the protocol surface of the paper's
@@ -122,6 +156,15 @@ pub trait ChannelBackend {
     /// # Panics
     /// Panics if in-flight work fails to complete within `max_cycles`.
     fn drain(&mut self, max_cycles: u64) -> u64;
+
+    /// Core-pool health: total cores and the quarantined subset. Engines
+    /// without a core model report an empty quarantine list.
+    fn health(&self) -> EngineHealth;
+
+    /// Hard-resets a core, clearing its quarantine — the cluster's
+    /// recovery path. Errors with [`MccpError::Busy`] while a live request
+    /// still references the core.
+    fn reset_core(&mut self, core: usize) -> Result<(), MccpError>;
 }
 
 use crate::mccp::Mccp;
@@ -189,19 +232,25 @@ impl ChannelBackend for Mccp {
 
     fn poll_completion(&mut self) -> Option<Completion> {
         let id = self.poll_data_available()?;
-        let latency_cycles = self.request_cycles(id).expect("done");
-        let (auth_ok, body, tag) = match self.retrieve(id) {
-            Ok(out) => (true, out.body, out.tag.unwrap_or_default()),
-            Err(MccpError::AuthFail) => (false, Vec::new(), Vec::new()),
-            Err(e) => unreachable!("retrieve of Data Available request: {e}"),
+        let latency_cycles = self.request_cycles(id).unwrap_or(0);
+        let (auth_ok, body, tag, fault) = match self.retrieve(id) {
+            Ok(out) => (true, out.body, out.tag.unwrap_or_default(), None),
+            Err(MccpError::AuthFail) => (false, Vec::new(), Vec::new(), None),
+            // Fault-plane terminations surface as typed faults; anything
+            // else on a Data Available request is unexpected but must not
+            // panic the serving loop — report it as the completion's fault.
+            Err(e) => (false, Vec::new(), Vec::new(), Some(e)),
         };
-        self.transfer_done(id).expect("release");
+        // TRANSFER_DONE releases the cores; a request already released (or
+        // racing a reset) is not an error worth crashing over.
+        let _ = self.transfer_done(id);
         Some(Completion {
             request: id,
             auth_ok,
             body,
             tag,
             latency_cycles,
+            fault,
         })
     }
 
@@ -233,5 +282,13 @@ impl ChannelBackend for Mccp {
 
     fn drain(&mut self, max_cycles: u64) -> u64 {
         self.run_to_completion(max_cycles)
+    }
+
+    fn health(&self) -> EngineHealth {
+        Mccp::health(self)
+    }
+
+    fn reset_core(&mut self, core: usize) -> Result<(), MccpError> {
+        Mccp::reset_core(self, core)
     }
 }

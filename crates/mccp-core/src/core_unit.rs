@@ -52,6 +52,13 @@ pub struct CryptoCore {
     personality: Personality,
     wipes: u64,
     busy_cycles: u64,
+    /// Remaining cycles of an injected clock stall: while positive the
+    /// whole core — controller, CU and FIFO clocks — is frozen.
+    stall: u64,
+    /// Cycle at which the watchdog quarantined this core, if it has been.
+    /// A quarantined core is skipped by the dispatcher until
+    /// [`hard_reset`](Self::hard_reset) clears it.
+    quarantined: Option<u64>,
 }
 
 impl CryptoCore {
@@ -73,12 +80,15 @@ impl CryptoCore {
             personality: Personality::AesUnit,
             wipes: 0,
             busy_cycles: 0,
+            stall: 0,
+            quarantined: None,
         }
     }
 
-    /// True when the core can accept a new task.
+    /// True when the core can accept a new task. Quarantined cores are
+    /// never idle — the dispatcher must not allocate onto them.
     pub fn is_idle(&self) -> bool {
-        !self.running && !self.reserved
+        !self.running && !self.reserved && self.quarantined.is_none()
     }
 
     /// Claims the core for a request before its firmware starts (the Task
@@ -169,6 +179,56 @@ impl CryptoCore {
         self.cpu.is_faulted() || self.cu.is_faulted()
     }
 
+    /// Fault injection: wedges the controller mid-firmware (drives the
+    /// PicoBlaze fault flag). Permanent until [`hard_reset`](Self::hard_reset).
+    pub fn wedge(&mut self) {
+        self.cpu.inject_fault();
+    }
+
+    /// Fault injection: freezes the core's clocks for `cycles` cycles.
+    /// Stalls accumulate if injected while one is already in progress.
+    pub fn stall(&mut self, cycles: u64) {
+        self.stall = self.stall.saturating_add(cycles);
+    }
+
+    /// True while an injected clock stall is freezing the core.
+    pub fn is_stalled(&self) -> bool {
+        self.stall > 0
+    }
+
+    /// Quarantines the core at `cycle` (watchdog containment): the
+    /// dispatcher treats it as permanently busy until a hard reset.
+    pub fn quarantine(&mut self, cycle: u64) {
+        self.quarantined = Some(cycle);
+    }
+
+    /// True while the core is fenced off from dispatch.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined.is_some()
+    }
+
+    /// The cycle at which the core was quarantined, if it is.
+    pub fn quarantined_at(&self) -> Option<u64> {
+        self.quarantined
+    }
+
+    /// Full recovery reset: clears faults, stalls, quarantine, FIFOs, the
+    /// key cache and any in-flight task. The core returns to the idle pool
+    /// as if power-cycled; round keys must be re-expanded before reuse.
+    pub fn hard_reset(&mut self) {
+        self.cpu.reset();
+        self.cu.reset();
+        self.input.wipe();
+        self.output.wipe();
+        self.key_cache.wipe();
+        self.result = None;
+        self.running = false;
+        self.reserved = false;
+        self.firmware = None;
+        self.stall = 0;
+        self.quarantined = None;
+    }
+
     /// Cryptographic Unit status (profiling/waveform introspection).
     pub fn cu_status(&self) -> mccp_cryptounit::CuStatus {
         self.cu.status()
@@ -204,6 +264,11 @@ impl CryptoCore {
     /// `mccp_sim::Clocked`), given the occupancy of the inter-core
     /// mailboxes this core is wired to.
     pub fn quiescent_for(&self, from_left_full: bool, to_right_full: bool) -> u64 {
+        // A stalled core is frozen solid: nothing observable happens until
+        // the stall countdown runs out, so that span is exactly skippable.
+        if self.stall > 0 {
+            return self.stall;
+        }
         let mut h = self.cu.quiescent_for(
             self.input.len(),
             self.output.free(),
@@ -221,6 +286,17 @@ impl CryptoCore {
     /// Advances the core `n` cycles at once. Only valid for `n` up to the
     /// horizon just reported by [`CryptoCore::quiescent_for`].
     pub fn skip(&mut self, n: u64) {
+        // Burn any stalled cycles first: the core is frozen through them,
+        // so wall-clock advances but no component state does.
+        let stalled = n.min(self.stall);
+        self.stall -= stalled;
+        if self.running {
+            self.busy_cycles += stalled;
+        }
+        let n = n - stalled;
+        if n == 0 {
+            return;
+        }
         self.cu.skip(n);
         if self.running {
             self.busy_cycles += n;
@@ -233,6 +309,14 @@ impl CryptoCore {
     /// Advances the core one clock cycle. `from_left` / `to_right` are the
     /// inter-core mailboxes this core is wired to.
     pub fn tick(&mut self, from_left: &mut Option<[u8; 16]>, to_right: &mut Option<[u8; 16]>) {
+        // 0. Injected clock stall: the whole core is frozen this cycle.
+        if self.stall > 0 {
+            self.stall -= 1;
+            if self.running {
+                self.busy_cycles += 1;
+            }
+            return;
+        }
         // 1. Cryptographic Unit.
         {
             let mut io = CuIo {

@@ -85,11 +85,13 @@ impl Mccp {
         if self.key_memory.key_size(new_key) != Some(algorithm.key_size()) {
             return Err(MccpError::BadKey);
         }
-        self.channels
-            .get_mut(&channel.0)
-            .expect("checked above")
-            .key = new_key;
-        Ok(())
+        match self.channels.get_mut(&channel.0) {
+            Some(c) => {
+                c.key = new_key;
+                Ok(())
+            }
+            None => Err(MccpError::BadChannel),
+        }
     }
 
     /// CLOSE: releases a channel.
@@ -183,15 +185,38 @@ impl Mccp {
             .any(|j| j.stream.len() > fifo_bytes || j.output_bytes > fifo_bytes);
 
         // Key handling: reuse a cached expansion or charge the Key
-        // Scheduler latency.
+        // Scheduler latency. Any rejection from here on must release the
+        // reservations taken above.
         let mut key_delay = 0u32;
         for &c in &core_ids {
+            // Key-cache integrity gate: a corrupt cache is wiped and the
+            // submission rejected; the retry re-expands from the
+            // write-protected Key Memory, which self-heals the core.
+            if self.cores[c].key_cache.is_corrupt() {
+                self.cores[c].key_cache.wipe();
+                for &cc in &core_ids {
+                    self.cores[cc].finish();
+                }
+                let error = MccpError::KeyCorrupt;
+                self.telemetry
+                    .emit_with(self.cycle, || Event::FaultDetected {
+                        request: 0,
+                        core: c,
+                        error: error.to_string(),
+                    });
+                return Err(error);
+            }
             if self.cores[c].key_cache.get(ch.key, ch.cipher).is_none() {
                 let before = self.key_scheduler.busy_cycles();
-                let engine = self
-                    .key_scheduler
-                    .expand_engine(&self.key_memory, ch.key, ch.cipher)
-                    .ok_or(MccpError::BadKey)?;
+                let Some(engine) =
+                    self.key_scheduler
+                        .expand_engine(&self.key_memory, ch.key, ch.cipher)
+                else {
+                    for &cc in &core_ids {
+                        self.cores[cc].finish();
+                    }
+                    return Err(MccpError::BadKey);
+                };
                 let this_delay = self.key_scheduler.busy_cycles() - before;
                 key_delay = key_delay.max(this_delay);
                 self.cores[c].key_cache.install(ch.key, ch.cipher, engine);
@@ -207,16 +232,38 @@ impl Mccp {
                     key: ch.key.0,
                 });
             }
-            let engine = self.cores[c]
-                .key_cache
-                .get(ch.key, ch.cipher)
-                .expect("just installed")
-                .clone();
+            let engine = match self.cores[c].key_cache.get(ch.key, ch.cipher) {
+                Some(e) => e.clone(),
+                None => {
+                    for &cc in &core_ids {
+                        self.cores[cc].finish();
+                    }
+                    return Err(MccpError::BadKey);
+                }
+            };
             self.cores[c].load_engine(engine);
         }
 
         let id = RequestId(self.next_request);
         self.next_request = self.next_request.wrapping_add(1).max(1);
+        let sequence = {
+            let seq = self.channel_seq.entry(channel.0).or_insert(0);
+            *seq += 1;
+            *seq
+        };
+
+        // Watchdog deadline: margin × the modeled worst-case cycle bound
+        // (key wait, a generous fixed firmware overhead, and a per-word
+        // allowance far above the datapath's real per-word cost).
+        let deadline = self.watchdog_margin.map(|margin| {
+            let words: usize = fmt
+                .jobs
+                .iter()
+                .map(|j| j.stream.len().div_ceil(4) + j.output_bytes.div_ceil(4))
+                .sum();
+            let bound = key_delay as u64 + 4096 + 64 * words as u64;
+            self.cycle + u64::from(margin) * bound
+        });
 
         let producing_core = fmt
             .jobs
@@ -279,16 +326,36 @@ impl Mccp {
                 start_cycle: self.cycle,
                 done_cycle: None,
                 signaled: false,
+                deadline,
+                sequence,
             },
         );
+
+        // Fault plane: fire every schedule entry due at this accepted
+        // submission (1-based packet ordinal across the engine).
+        self.packets_submitted += 1;
+        if self.faults.is_some() {
+            let due = match &mut self.faults {
+                Some(f) => f.take_due_packet(self.packets_submitted),
+                None => Vec::new(),
+            };
+            for e in due {
+                self.apply_fault(e.kind);
+            }
+        }
         Ok(id)
     }
 
     /// RETRIEVE_DATA: returns the processed packet, or [`MccpError::AuthFail`]
-    /// — in which case the output FIFO has already been wiped.
+    /// — in which case the output FIFO has already been wiped. A request
+    /// terminated by the fault plane returns its recorded error instead.
     pub fn retrieve(&mut self, id: RequestId) -> Result<ProcessedPacket, MccpError> {
         let req = self.requests.get_mut(&id.0).ok_or(MccpError::BadChannel)?;
         let ReqState::Done { auth_ok } = req.state else {
+            if let ReqState::Failed { error } = req.state {
+                req.state = ReqState::Retrieved;
+                return Err(error);
+            }
             return Err(MccpError::Busy);
         };
         req.state = ReqState::Retrieved;
@@ -369,7 +436,7 @@ impl Mccp {
         let personality = bitstream.personality;
         let budget = self.reconfigs[core]
             .begin(bitstream, source)
-            .expect("controller idle");
+            .ok_or(MccpError::Busy)?;
         self.cores[core].reserve();
         self.reconfig_started[core] = self.cycle;
         self.telemetry

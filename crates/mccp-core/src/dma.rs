@@ -27,6 +27,19 @@ impl Mccp {
             for (core, stream, offset, stalled) in req.pending_input.iter_mut() {
                 if *offset < stream.len() {
                     let end = (*offset + 4).min(stream.len());
+                    // Injected DMA loss: the word vanishes on the bus at
+                    // the instant it would have transferred (the FIFO had
+                    // space), keeping the tick and fast-forward schedules
+                    // identical. The firmware starves on the missing word
+                    // and the watchdog fails the request at its deadline.
+                    if !self.pending_dma_drops.is_empty() && !self.cores[*core].input.is_full() {
+                        if let Some(pos) = self.pending_dma_drops.iter().position(|d| d == core) {
+                            self.pending_dma_drops.remove(pos);
+                            *offset = end;
+                            *stalled = false;
+                            continue;
+                        }
+                    }
                     let mut w = [0u8; 4];
                     w[..end - *offset].copy_from_slice(&stream[*offset..end]);
                     if self.cores[*core].input.push(u32::from_be_bytes(w)) {

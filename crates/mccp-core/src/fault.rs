@@ -1,0 +1,319 @@
+//! Deterministic fault injection for the MCCP.
+//!
+//! The paper's Task Scheduler assumes cores are always healthy; this
+//! module supplies the adversary that assumption needs to be tested
+//! against. A [`FaultPlan`] is a seeded, reproducible schedule of
+//! hardware failures — wedged controllers, frozen cores, flipped FIFO
+//! bits, corrupted key caches, lost DMA words — each fired at a configured
+//! cycle or packet point. [`Mccp::arm_faults`](crate::Mccp::arm_faults)
+//! installs a plan; every injection is emitted as a telemetry
+//! `FaultInjected` event so any downstream failure is attributable to its
+//! cause.
+//!
+//! The plan is *data*, not behavior: with no plan armed the simulator
+//! executes exactly the same instruction stream as before this module
+//! existed (the cycle-identity suite pins that).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where in a run a fault fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// When the engine clock reaches this absolute cycle.
+    AtCycle(u64),
+    /// When the `n`-th accepted submission (1-based) enters the engine.
+    AtPacket(u64),
+}
+
+/// What breaks when a fault fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Drives the PicoBlaze fault flag: the controller halts mid-firmware
+    /// and never reports a result (permanent until the core is reset).
+    WedgeCore { core: usize },
+    /// Freezes a whole core — controller, Cryptographic Unit and FIFO
+    /// clocks — for `cycles` cycles. Short stalls recover on their own;
+    /// stalls past the watchdog deadline get the core quarantined.
+    StallCore { core: usize, cycles: u64 },
+    /// Flips one bit of a word queued in a core FIFO. The hardware's
+    /// per-word parity catches it and the request fails with
+    /// [`MccpError::DataIntegrity`](crate::MccpError::DataIntegrity)
+    /// instead of returning silently wrong bytes.
+    FlipFifoBit {
+        core: usize,
+        /// `true` = output FIFO, `false` = input FIFO.
+        output: bool,
+        /// Bit position 0..32 within the queued word.
+        bit: u8,
+    },
+    /// Marks a core's cached key schedule corrupt. The integrity check at
+    /// the next dispatch to that core wipes the cache and rejects the
+    /// submission with [`MccpError::KeyCorrupt`](crate::MccpError::KeyCorrupt);
+    /// a retry re-expands from the write-protected Key Memory.
+    CorruptKeyCache { core: usize },
+    /// Loses one 32-bit word on the DMA bus into a core's input FIFO.
+    /// The firmware starves waiting for data that never arrives and the
+    /// watchdog fails the request at its deadline.
+    DropDmaWord { core: usize },
+    /// Cluster-level: the shard stops serving after `after_packets` more
+    /// completions (a whole-engine outage). Ignored by a single [`Mccp`];
+    /// consumed by `MccpCluster`, which redistributes the dead shard's
+    /// queue.
+    KillShard { shard: usize, after_packets: u64 },
+}
+
+impl FaultKind {
+    /// The core an engine-level fault targets (`None` for shard kills).
+    pub fn target_core(&self) -> Option<usize> {
+        match *self {
+            FaultKind::WedgeCore { core }
+            | FaultKind::StallCore { core, .. }
+            | FaultKind::FlipFifoBit { core, .. }
+            | FaultKind::CorruptKeyCache { core }
+            | FaultKind::DropDmaWord { core } => Some(core),
+            FaultKind::KillShard { .. } => None,
+        }
+    }
+
+    /// Short label for telemetry (`FaultInjected.fault`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::WedgeCore { .. } => "wedge_core",
+            FaultKind::StallCore { .. } => "stall_core",
+            FaultKind::FlipFifoBit { .. } => "flip_fifo_bit",
+            FaultKind::CorruptKeyCache { .. } => "corrupt_key_cache",
+            FaultKind::DropDmaWord { .. } => "drop_dma_word",
+            FaultKind::KillShard { .. } => "kill_shard",
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEntry {
+    pub trigger: FaultTrigger,
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seeded fault schedule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub entries: Vec<FaultEntry>,
+}
+
+impl FaultPlan {
+    /// An empty plan (arming it is a no-op).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds one entry (builder style).
+    pub fn with(mut self, trigger: FaultTrigger, kind: FaultKind) -> Self {
+        self.entries.push(FaultEntry { trigger, kind });
+        self
+    }
+
+    /// Generates a reproducible engine-level schedule: `faults` entries
+    /// spread over `n_cores` cores, cycle triggers drawn from
+    /// `1..cycle_horizon` and packet triggers from `1..=packet_horizon`.
+    /// The same arguments always yield the same plan.
+    pub fn random(
+        seed: u64,
+        faults: usize,
+        n_cores: usize,
+        cycle_horizon: u64,
+        packet_horizon: u64,
+    ) -> Self {
+        assert!(n_cores >= 1, "at least one core");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entries = Vec::with_capacity(faults);
+        for _ in 0..faults {
+            let core = rng.gen_range(0..n_cores);
+            let kind = match rng.gen_range(0..5u32) {
+                0 => FaultKind::WedgeCore { core },
+                1 => FaultKind::StallCore {
+                    core,
+                    cycles: rng.gen_range(1_000u64..200_000),
+                },
+                2 => FaultKind::FlipFifoBit {
+                    core,
+                    output: rng.gen_range(0..2u32) == 1,
+                    bit: rng.gen_range(0..32u32) as u8,
+                },
+                3 => FaultKind::CorruptKeyCache { core },
+                _ => FaultKind::DropDmaWord { core },
+            };
+            // Key-cache corruption is only observable at dispatch, so pin
+            // it to a packet trigger; everything else can fire mid-flight.
+            let trigger = match kind {
+                FaultKind::CorruptKeyCache { .. } => {
+                    FaultTrigger::AtPacket(rng.gen_range(1..=packet_horizon.max(1)))
+                }
+                _ => {
+                    if rng.gen_range(0..2u32) == 0 {
+                        FaultTrigger::AtCycle(rng.gen_range(1..cycle_horizon.max(2)))
+                    } else {
+                        FaultTrigger::AtPacket(rng.gen_range(1..=packet_horizon.max(1)))
+                    }
+                }
+            };
+            entries.push(FaultEntry { trigger, kind });
+        }
+        FaultPlan { entries }
+    }
+
+    /// The shard-kill entries (the cluster consumes these; a lone engine
+    /// ignores them).
+    pub fn shard_kills(&self) -> Vec<(usize, u64)> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::KillShard {
+                    shard,
+                    after_packets,
+                } => Some((shard, after_packets)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The armed half of a plan inside a running engine: entries not yet
+/// fired, plus the injection counter.
+pub(crate) struct FaultState {
+    pending: Vec<FaultEntry>,
+    pub(crate) injected: u64,
+}
+
+impl FaultState {
+    /// Arms a plan. Shard-kill entries are dropped here — they belong to
+    /// the cluster dispatcher, not to a single engine.
+    pub(crate) fn new(plan: &FaultPlan) -> Self {
+        FaultState {
+            pending: plan
+                .entries
+                .iter()
+                .filter(|e| !matches!(e.kind, FaultKind::KillShard { .. }))
+                .copied()
+                .collect(),
+            injected: 0,
+        }
+    }
+
+    /// Removes and returns every entry due at or before `cycle`.
+    pub(crate) fn take_due_cycle(&mut self, cycle: u64) -> Vec<FaultEntry> {
+        let mut due = Vec::new();
+        self.pending.retain(|e| match e.trigger {
+            FaultTrigger::AtCycle(c) if c <= cycle => {
+                due.push(*e);
+                false
+            }
+            _ => true,
+        });
+        due
+    }
+
+    /// Removes and returns every entry due at or before accepted
+    /// submission number `packet` (1-based).
+    pub(crate) fn take_due_packet(&mut self, packet: u64) -> Vec<FaultEntry> {
+        let mut due = Vec::new();
+        self.pending.retain(|e| match e.trigger {
+            FaultTrigger::AtPacket(p) if p <= packet => {
+                due.push(*e);
+                false
+            }
+            _ => true,
+        });
+        due
+    }
+
+    /// The earliest pending cycle trigger, if any — a bound the
+    /// fast-forward horizon must not leap past.
+    pub(crate) fn next_cycle_trigger(&self) -> Option<u64> {
+        self.pending
+            .iter()
+            .filter_map(|e| match e.trigger {
+                FaultTrigger::AtCycle(c) => Some(c),
+                FaultTrigger::AtPacket(_) => None,
+            })
+            .min()
+    }
+
+    /// True when every entry has fired.
+    pub(crate) fn exhausted(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let a = FaultPlan::random(42, 8, 4, 100_000, 50);
+        let b = FaultPlan::random(42, 8, 4, 100_000, 50);
+        assert_eq!(a, b);
+        assert_eq!(a.entries.len(), 8);
+        let c = FaultPlan::random(43, 8, 4, 100_000, 50);
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn random_plan_targets_valid_cores() {
+        let plan = FaultPlan::random(7, 32, 3, 10_000, 20);
+        for e in &plan.entries {
+            let core = e.kind.target_core().expect("engine-level only");
+            assert!(core < 3, "{e:?}");
+            match e.trigger {
+                FaultTrigger::AtCycle(c) => assert!((1..10_000).contains(&c)),
+                FaultTrigger::AtPacket(p) => assert!((1..=20).contains(&p)),
+            }
+        }
+    }
+
+    #[test]
+    fn state_fires_each_entry_once() {
+        let plan = FaultPlan::new()
+            .with(FaultTrigger::AtCycle(10), FaultKind::WedgeCore { core: 0 })
+            .with(
+                FaultTrigger::AtPacket(2),
+                FaultKind::CorruptKeyCache { core: 1 },
+            )
+            .with(
+                FaultTrigger::AtCycle(20),
+                FaultKind::DropDmaWord { core: 2 },
+            );
+        let mut st = FaultState::new(&plan);
+        assert_eq!(st.next_cycle_trigger(), Some(10));
+        assert!(st.take_due_cycle(5).is_empty());
+        assert_eq!(st.take_due_cycle(10).len(), 1);
+        assert_eq!(st.next_cycle_trigger(), Some(20));
+        assert_eq!(st.take_due_packet(2).len(), 1);
+        assert!(st.take_due_packet(2).is_empty(), "fires once");
+        assert_eq!(st.take_due_cycle(100).len(), 1);
+        assert!(st.exhausted());
+    }
+
+    #[test]
+    fn shard_kills_split_from_engine_entries() {
+        let plan = FaultPlan::new()
+            .with(
+                FaultTrigger::AtPacket(1),
+                FaultKind::KillShard {
+                    shard: 1,
+                    after_packets: 5,
+                },
+            )
+            .with(FaultTrigger::AtCycle(9), FaultKind::WedgeCore { core: 0 });
+        assert_eq!(plan.shard_kills(), vec![(1, 5)]);
+        let st = FaultState::new(&plan);
+        assert_eq!(st.pending.len(), 1, "kill entries stay with the cluster");
+    }
+}

@@ -10,7 +10,8 @@
 //! owns a private key cache (its Key Cache), and results flow back over a
 //! second channel.
 
-use crate::backend::{ChannelBackend, Completion};
+use crate::backend::{ChannelBackend, Completion, EngineHealth};
+use crate::fault::{FaultKind, FaultPlan, FaultTrigger};
 use crate::format::Direction;
 use crate::protocol::{Algorithm, ChannelId, MccpError, Mode, RequestId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -248,6 +249,14 @@ pub struct FunctionalBackend {
     next_request: u16,
     now: u64,
     telemetry: Telemetry,
+    /// Armed packet-triggered faults: accepted-submission ordinal → the
+    /// error that submission completes with. The functional engine has no
+    /// cycle model, so cycle-triggered entries are ignored.
+    faults: BTreeMap<u64, MccpError>,
+    /// Accepted submissions, 1-based (drives the packet triggers).
+    packets_submitted: u64,
+    /// Per-channel packet ordinals (1-based), for failure attribution.
+    channel_seq: BTreeMap<u8, u64>,
 }
 
 impl FunctionalBackend {
@@ -259,6 +268,31 @@ impl FunctionalBackend {
             next_request: 1,
             now: 0,
             telemetry: Telemetry::disabled(),
+            faults: BTreeMap::new(),
+            packets_submitted: 0,
+            channel_seq: BTreeMap::new(),
+        }
+    }
+
+    /// Arms the packet-triggered subset of a fault schedule: the `n`-th
+    /// accepted submission completes as failed with the error its fault
+    /// kind maps to (wedge/stall → `CoreFault`, FIFO flip →
+    /// `DataIntegrity`, key corruption → `KeyCorrupt`, DMA loss →
+    /// `Deadline`). Cycle triggers and shard kills are ignored — the
+    /// functional engine models neither a clock nor shards.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        for e in &plan.entries {
+            let FaultTrigger::AtPacket(p) = e.trigger else {
+                continue;
+            };
+            let error = match e.kind {
+                FaultKind::WedgeCore { .. } | FaultKind::StallCore { .. } => MccpError::CoreFault,
+                FaultKind::FlipFifoBit { .. } => MccpError::DataIntegrity,
+                FaultKind::CorruptKeyCache { .. } => MccpError::KeyCorrupt,
+                FaultKind::DropDmaWord { .. } => MccpError::Deadline,
+                FaultKind::KillShard { .. } => continue,
+            };
+            self.faults.insert(p, error);
         }
     }
 }
@@ -328,6 +362,12 @@ impl ChannelBackend for FunctionalBackend {
 
         let id = RequestId(self.next_request);
         self.next_request = self.next_request.wrapping_add(1).max(1);
+        self.packets_submitted += 1;
+        let sequence = {
+            let seq = self.channel_seq.entry(channel.0).or_insert(0);
+            *seq += 1;
+            *seq
+        };
         self.telemetry
             .emit_with(self.now, || Event::RequestSubmitted {
                 request: id.0,
@@ -339,6 +379,37 @@ impl ChannelBackend for FunctionalBackend {
                 },
                 cores: Vec::new(),
             });
+
+        // Armed packet fault: this submission fails instead of producing
+        // output (the functional analogue of the simulator's fault plane).
+        if let Some(error) = self.faults.remove(&self.packets_submitted) {
+            self.telemetry.emit_with(self.now, || Event::FaultInjected {
+                fault: error.to_string(),
+                core: 0,
+            });
+            self.telemetry.emit_with(self.now, || Event::FaultDetected {
+                request: id.0,
+                core: 0,
+                error: error.to_string(),
+            });
+            self.telemetry.emit_with(self.now, || Event::RequestFailed {
+                request: id.0,
+                error: error.to_string(),
+                cycles: 0,
+            });
+            self.completions.push_back((
+                channel.0,
+                Completion {
+                    request: id,
+                    auth_ok: false,
+                    body: Vec::new(),
+                    tag: Vec::new(),
+                    latency_cycles: 0,
+                    fault: Some(error),
+                },
+            ));
+            return Ok(id);
+        }
 
         let result = run_mode(aes, ch.algorithm, direction, iv, aad, body, tag, ch.tag_len);
         let (auth_ok, out_body, out_tag) = match result {
@@ -353,7 +424,15 @@ impl ChannelBackend for FunctionalBackend {
                 (Mode::Ctr, _) => (true, out, Vec::new()),
                 (Mode::CbcMac, _) => (true, Vec::new(), out),
             },
-            Err(ModeError::AuthFail) => (false, Vec::new(), Vec::new()),
+            Err(ModeError::AuthFail) => {
+                let (request, channel) = (id.0, channel.0);
+                self.telemetry.emit_with(self.now, || Event::AuthFailWipe {
+                    request,
+                    channel,
+                    sequence,
+                });
+                (false, Vec::new(), Vec::new())
+            }
             Err(_) => return Err(MccpError::BadInstruction),
         };
         self.telemetry
@@ -370,6 +449,7 @@ impl ChannelBackend for FunctionalBackend {
                 body: out_body,
                 tag: out_tag,
                 latency_cycles: 0,
+                fault: None,
             },
         ));
         Ok(id)
@@ -422,6 +502,17 @@ impl ChannelBackend for FunctionalBackend {
     /// already pollable.
     fn drain(&mut self, _max_cycles: u64) -> u64 {
         0
+    }
+
+    /// No persistent core pool to get sick: always healthy.
+    fn health(&self) -> EngineHealth {
+        EngineHealth::default()
+    }
+
+    /// No cores to reset; the recovery call is accepted as a no-op so
+    /// cluster self-healing code is engine-agnostic.
+    fn reset_core(&mut self, _core: usize) -> Result<(), MccpError> {
+        Ok(())
     }
 }
 

@@ -37,6 +37,7 @@ pub mod core_unit;
 pub mod crossbar;
 mod dispatch;
 mod dma;
+pub mod fault;
 pub mod firmware;
 pub mod format;
 pub mod functional;
@@ -47,7 +48,8 @@ pub mod protocol;
 pub mod reconfig;
 mod scheduler;
 
-pub use backend::{ChannelBackend, Completion};
+pub use backend::{ChannelBackend, Completion, CoreHealth, EngineHealth};
+pub use fault::{FaultKind, FaultPlan, FaultTrigger};
 pub use format::{Direction, ProcessedPacket};
 pub use functional::FunctionalBackend;
 pub use mccp::{DecryptedPacket, EncryptedPacket, Mccp, MccpConfig};

@@ -24,16 +24,18 @@
 //! instruction-execution overhead (a few dozen cycles per packet, identical
 //! for every architecture compared) is abstracted away.
 
+use crate::backend::{CoreHealth, EngineHealth};
 use crate::core_unit::CryptoCore;
 use crate::crossbar::CrossBar;
 use crate::dispatch::Channel;
+use crate::fault::{FaultPlan, FaultState};
 use crate::firmware::FirmwareLibrary;
 use crate::format::Direction;
 use crate::key::{KeyMemory, KeyScheduler};
 use crate::protocol::{ChannelId, MccpError, RequestId};
 use crate::reconfig::ReconfigController;
 use crate::scheduler::{ReqState, Request};
-use mccp_telemetry::{metrics, Snapshot, Telemetry};
+use mccp_telemetry::{metrics, Event, Snapshot, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 
 /// MCCP construction parameters.
@@ -104,6 +106,19 @@ pub struct Mccp {
     /// ticking cycle by cycle. Cycle counts, outputs and telemetry are
     /// identical either way; see [`quiescent_horizon`](Self::quiescent_horizon).
     pub(crate) fast_forward: bool,
+    /// Armed fault schedule (`None` = fault plane off: zero cost, zero
+    /// behavioral difference).
+    pub(crate) faults: Option<FaultState>,
+    /// Watchdog margin: a request's deadline is `margin ×` its modeled
+    /// worst-case cycle bound. `None` disables the watchdog.
+    pub(crate) watchdog_margin: Option<u32>,
+    /// Cores with an injected one-word DMA loss pending (consumed by the
+    /// next word transfer toward that core).
+    pub(crate) pending_dma_drops: Vec<usize>,
+    /// Accepted submissions, 1-based (drives `FaultTrigger::AtPacket`).
+    pub(crate) packets_submitted: u64,
+    /// Per-channel packet ordinals (1-based), for failure attribution.
+    pub(crate) channel_seq: BTreeMap<u8, u64>,
 }
 
 impl Mccp {
@@ -133,6 +148,11 @@ impl Mccp {
             reconfigs: vec![ReconfigController::new(); config.n_cores],
             reconfig_started: vec![0; config.n_cores],
             fast_forward: true,
+            faults: None,
+            watchdog_margin: None,
+            pending_dma_drops: Vec::new(),
+            packets_submitted: 0,
+            channel_seq: BTreeMap::new(),
             config,
         }
     }
@@ -239,6 +259,77 @@ impl Mccp {
     }
 
     // ------------------------------------------------------------------
+    // Fault plane
+    // ------------------------------------------------------------------
+
+    /// Arms a fault schedule. Entries fire at their configured cycle or
+    /// accepted-packet points; shard-kill entries are ignored here (they
+    /// belong to the cluster dispatcher). Arming an empty plan disarms.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        let state = FaultState::new(plan);
+        self.faults = if state.exhausted() { None } else { Some(state) };
+    }
+
+    /// Arms the per-request watchdog: a request whose completion overruns
+    /// `margin ×` its modeled worst-case cycle bound is failed with
+    /// [`MccpError::Deadline`] and its cores are quarantined. A margin
+    /// below 1 is clamped to 1.
+    pub fn arm_watchdog(&mut self, margin: u32) {
+        self.watchdog_margin = Some(margin.max(1));
+    }
+
+    /// Faults injected so far by the armed schedule.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected)
+    }
+
+    /// Core-pool health: total cores and the quarantined subset.
+    pub fn health(&self) -> EngineHealth {
+        EngineHealth {
+            cores: self.cores.len(),
+            quarantined: self
+                .cores
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    c.quarantined_at().map(|q| CoreHealth {
+                        core: i,
+                        quarantined_at: q,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Hard-resets a core — the recovery path for quarantined cores. The
+    /// controller, Cryptographic Unit, FIFOs and key cache all come back
+    /// to power-on state; the next dispatch re-expands the channel key.
+    ///
+    /// Errors with [`MccpError::Busy`] while a live request still
+    /// references the core or a reconfiguration is in flight, and
+    /// [`MccpError::NoResource`] for an out-of-range index.
+    pub fn reset_core(&mut self, core: usize) -> Result<(), MccpError> {
+        if core >= self.cores.len() {
+            return Err(MccpError::NoResource);
+        }
+        if self.reconfigs[core].is_reconfiguring() {
+            return Err(MccpError::Busy);
+        }
+        let referenced = self
+            .requests
+            .values()
+            .any(|r| r.cores.contains(&core) && !matches!(r.state, ReqState::Retrieved));
+        if referenced {
+            return Err(MccpError::Busy);
+        }
+        self.cores[core].hard_reset();
+        let cycle = self.cycle;
+        self.telemetry
+            .emit_with(cycle, || Event::CoreReset { core });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Convenience packet API
     // ------------------------------------------------------------------
 
@@ -289,11 +380,16 @@ impl Mccp {
             .count()
     }
 
-    /// True when the request has reached Data Available.
+    /// True when the request has terminated (Data Available or failed).
     pub fn is_done(&self, id: RequestId) -> bool {
         self.requests
             .get(&id.0)
-            .map(|r| matches!(r.state, ReqState::Done { .. } | ReqState::Retrieved))
+            .map(|r| {
+                matches!(
+                    r.state,
+                    ReqState::Done { .. } | ReqState::Failed { .. } | ReqState::Retrieved
+                )
+            })
             .unwrap_or(false)
     }
 

@@ -245,6 +245,10 @@ pub mod ret {
     pub const ERR_BAD_KEY: u8 = 0xF2;
     pub const ERR_BUSY: u8 = 0xF3;
     pub const ERR_TOO_LARGE: u8 = 0xF4;
+    pub const ERR_CORE_FAULT: u8 = 0xF5;
+    pub const ERR_DEADLINE: u8 = 0xF6;
+    pub const ERR_INTEGRITY: u8 = 0xF7;
+    pub const ERR_KEY_CORRUPT: u8 = 0xF8;
     pub const ERR_BAD_INSTRUCTION: u8 = 0xFF;
 }
 
@@ -268,6 +272,18 @@ pub enum MccpError {
     NoChannelId,
     /// Malformed instruction word.
     BadInstruction,
+    /// A Cryptographic Core faulted mid-request (wedged controller or
+    /// Cryptographic Unit fault); the core is quarantined.
+    CoreFault,
+    /// The per-request watchdog deadline expired (stalled or starved
+    /// core); the involved cores are quarantined.
+    Deadline,
+    /// A FIFO parity check failed — the data was corrupted in flight and
+    /// the output has been wiped rather than returned wrong.
+    DataIntegrity,
+    /// A core's Key Cache failed its integrity check; the cache has been
+    /// wiped and a resubmission re-expands from the Key Memory.
+    KeyCorrupt,
 }
 
 impl MccpError {
@@ -281,7 +297,24 @@ impl MccpError {
             MccpError::TooLarge => ret::ERR_TOO_LARGE,
             MccpError::AuthFail => ret::AUTH_FAIL,
             MccpError::BadInstruction => ret::ERR_BAD_INSTRUCTION,
+            MccpError::CoreFault => ret::ERR_CORE_FAULT,
+            MccpError::Deadline => ret::ERR_DEADLINE,
+            MccpError::DataIntegrity => ret::ERR_INTEGRITY,
+            MccpError::KeyCorrupt => ret::ERR_KEY_CORRUPT,
         }
+    }
+
+    /// True for the fault-plane errors a cluster may recover from by
+    /// retrying on another core or shard (transient or contained faults,
+    /// as opposed to protocol misuse like [`MccpError::BadChannel`]).
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            MccpError::CoreFault
+                | MccpError::Deadline
+                | MccpError::DataIntegrity
+                | MccpError::KeyCorrupt
+        )
     }
 }
 
@@ -296,6 +329,10 @@ impl fmt::Display for MccpError {
             MccpError::AuthFail => "authentication failed",
             MccpError::NoChannelId => "channel table full",
             MccpError::BadInstruction => "malformed instruction",
+            MccpError::CoreFault => "cryptographic core faulted",
+            MccpError::Deadline => "watchdog deadline exceeded",
+            MccpError::DataIntegrity => "FIFO parity error: data corrupted in flight",
+            MccpError::KeyCorrupt => "key cache integrity check failed",
         };
         f.write_str(s)
     }

@@ -7,11 +7,12 @@
 //! block so the public API surface is unchanged.
 
 use crate::core_unit::Personality;
+use crate::fault::FaultKind;
 use crate::firmware::result_code;
 use crate::format::CoreJob;
 use crate::format::Direction;
 use crate::mccp::Mccp;
-use crate::protocol::{ChannelId, RequestId};
+use crate::protocol::{ChannelId, MccpError, RequestId};
 use mccp_telemetry::Event;
 
 /// One in-flight request's scheduler state.
@@ -23,6 +24,11 @@ pub(crate) enum ReqState {
     /// All cores reported and the output is resident (Data Available).
     Done {
         auth_ok: bool,
+    },
+    /// A detected fault or the watchdog terminated the request; no output
+    /// will be produced (RETRIEVE_DATA returns the error).
+    Failed {
+        error: MccpError,
     },
     Retrieved,
 }
@@ -50,6 +56,11 @@ pub(crate) struct Request {
     pub(crate) start_cycle: u64,
     pub(crate) done_cycle: Option<u64>,
     pub(crate) signaled: bool,
+    /// Watchdog deadline (absolute cycle); `None` when the watchdog is
+    /// disarmed.
+    pub(crate) deadline: Option<u64>,
+    /// 1-based packet ordinal within the request's channel.
+    pub(crate) sequence: u64,
 }
 
 impl Mccp {
@@ -76,10 +87,101 @@ impl Mccp {
         })
     }
 
+    /// Applies one scheduled fault to the datapath, emitting the
+    /// `FaultInjected` event. Shard-kill entries are cluster-level and
+    /// ignored here.
+    pub(crate) fn apply_fault(&mut self, kind: FaultKind) {
+        let Some(core) = kind.target_core() else {
+            return;
+        };
+        if core >= self.cores.len() {
+            return;
+        }
+        if let Some(f) = &mut self.faults {
+            f.injected += 1;
+        }
+        let cycle = self.cycle;
+        let label = kind.label();
+        self.telemetry.emit_with(cycle, || Event::FaultInjected {
+            fault: label.to_string(),
+            core,
+        });
+        match kind {
+            FaultKind::WedgeCore { core } => self.cores[core].wedge(),
+            FaultKind::StallCore { core, cycles } => self.cores[core].stall(cycles),
+            FaultKind::FlipFifoBit { core, output, bit } => {
+                let fifo = if output {
+                    &mut self.cores[core].output
+                } else {
+                    &mut self.cores[core].input
+                };
+                // An SEU in the FIFO RAM: hits the word at the head of the
+                // queue; harmless when nothing is queued.
+                fifo.corrupt_word(0, bit);
+            }
+            FaultKind::CorruptKeyCache { core } => {
+                self.cores[core].key_cache.corrupt();
+            }
+            FaultKind::DropDmaWord { core } => self.pending_dma_drops.push(core),
+            FaultKind::KillShard { .. } => {}
+        }
+    }
+
+    /// Terminates a request on a detected fault: containment wipes (no
+    /// possibly-corrupt bytes leave the cores), quarantine for permanent
+    /// faults, telemetry attribution, and the Data Available interrupt so
+    /// pollers observe the failure.
+    pub(crate) fn fail_request(&mut self, id: RequestId, error: MccpError, detected_core: usize) {
+        let cycle = self.cycle;
+        let Some(req) = self.requests.get_mut(&id.0) else {
+            return;
+        };
+        let cores = req.cores.clone();
+        let request = req.id.0;
+        let cycles = cycle - req.start_cycle;
+        req.state = ReqState::Failed { error };
+        req.done_cycle = Some(cycle);
+        req.collected.clear();
+        self.telemetry.emit_with(cycle, || Event::FaultDetected {
+            request,
+            core: detected_core,
+            error: error.to_string(),
+        });
+        // Transient integrity faults don't condemn the core; a wedged or
+        // unresponsive core is fenced off until a hard reset.
+        let quarantine = matches!(error, MccpError::CoreFault | MccpError::Deadline);
+        for &c in &cores {
+            self.cores[c].input.wipe();
+            self.cores[c].output.wipe();
+            if quarantine && !self.cores[c].is_quarantined() {
+                self.cores[c].quarantine(cycle);
+                self.telemetry
+                    .emit_with(cycle, || Event::CoreQuarantined { core: c });
+            }
+        }
+        self.telemetry.emit_with(cycle, || Event::RequestFailed {
+            request,
+            error: error.to_string(),
+            cycles,
+        });
+        self.data_available.push_back(id);
+    }
+
     /// Advances the whole MCCP one clock cycle.
     pub fn tick(&mut self) {
         self.cycle += 1;
         self.key_scheduler.tick();
+
+        // Fault plane: fire every schedule entry due at this cycle.
+        if self.faults.is_some() {
+            let due = match &mut self.faults {
+                Some(f) => f.take_due_cycle(self.cycle),
+                None => Vec::new(),
+            };
+            for e in due {
+                self.apply_fault(e.kind);
+            }
+        }
 
         // Partial-reconfiguration engine: finish any bitstream whose load
         // time has elapsed and bring the core up with its new personality.
@@ -140,14 +242,45 @@ impl Mccp {
             }
         }
 
+        // Fault detection and watchdog containment. Only runs when a plan
+        // or the watchdog is armed, so the unfaulted path is untouched.
+        if self.faults.is_some() || self.watchdog_margin.is_some() {
+            let mut failures: Vec<(RequestId, MccpError, usize)> = Vec::new();
+            for req in self.requests.values() {
+                if !matches!(req.state, ReqState::KeyWait(_) | ReqState::Running) {
+                    continue;
+                }
+                if let Some(&c) = req.cores.iter().find(|&&c| self.cores[c].is_faulted()) {
+                    failures.push((req.id, MccpError::CoreFault, c));
+                } else if let Some(d) = req.deadline {
+                    if self.cycle > d {
+                        failures.push((req.id, MccpError::Deadline, req.producing_core));
+                    }
+                }
+            }
+            for (id, error, core) in failures {
+                self.fail_request(id, error, core);
+            }
+        }
+
         // Completion detection.
         let mut newly_done = Vec::new();
+        let mut integrity_failures: Vec<(RequestId, usize)> = Vec::new();
         for req in self.requests.values_mut() {
             if req.state != ReqState::Running {
                 continue;
             }
             let all_reported = req.cores.iter().all(|&c| self.cores[c].result().is_some());
             if !all_reported {
+                continue;
+            }
+            // FIFO parity: a corrupted word anywhere in the datapath means
+            // the bytes cannot be trusted — fail instead of handing out
+            // silently wrong output (or a bogus auth verdict).
+            if let Some(&bad) = req.cores.iter().find(|&&c| {
+                self.cores[c].input.parity_error() || self.cores[c].output.parity_error()
+            }) {
+                integrity_failures.push((req.id, bad));
                 continue;
             }
             let auth_ok = req
@@ -172,9 +305,12 @@ impl Mccp {
                     self.cores[c].output.wipe();
                 }
                 req.collected.clear();
-                let request = req.id.0;
-                self.telemetry
-                    .emit_with(cycle, || Event::AuthFailWipe { request });
+                let (request, channel, sequence) = (req.id.0, req.channel.0, req.sequence);
+                self.telemetry.emit_with(cycle, || Event::AuthFailWipe {
+                    request,
+                    channel,
+                    sequence,
+                });
             }
             let (request, cycles) = (req.id.0, self.cycle - req.start_cycle);
             self.telemetry.emit_with(cycle, || Event::RequestCompleted {
@@ -188,6 +324,9 @@ impl Mccp {
         }
         for id in newly_done {
             self.data_available.push_back(id);
+        }
+        for (id, core) in integrity_failures {
+            self.fail_request(id, MccpError::DataIntegrity, core);
         }
 
         // High-water FIFO occupancy, sampled after every datapath update
@@ -227,6 +366,17 @@ impl Mccp {
     ///   zero-crossing and never bounds the horizon.
     pub fn quiescent_horizon(&self) -> u64 {
         let mut h = u64::MAX;
+        // Armed fault plane: the leap must land at (or before) the cycle
+        // *preceding* the next trigger — tick() increments the clock first
+        // and then fires entries, so the trigger cycle itself is active.
+        if let Some(f) = &self.faults {
+            if let Some(t) = f.next_cycle_trigger() {
+                if t <= self.cycle {
+                    return 0;
+                }
+                h = h.min(t - 1 - self.cycle);
+            }
+        }
         for rc in &self.reconfigs {
             h = h.min(rc.quiescent_for());
         }
@@ -236,9 +386,17 @@ impl Mccp {
                 ReqState::Running => {}
                 _ => continue,
             }
+            // Watchdog: the deadline check fires on the tick that crosses
+            // it, so a leap may reach the deadline cycle but not pass it.
+            if let Some(d) = req.deadline {
+                h = h.min(d.saturating_sub(self.cycle));
+            }
             if !self.dma_is_quiescent(req) {
                 return 0;
             }
+        }
+        if h == 0 {
+            return 0;
         }
         let n = self.cores.len();
         for (i, core) in self.cores.iter().enumerate() {
@@ -320,8 +478,10 @@ impl Mccp {
             if span == 0 {
                 self.tick();
                 for (c, core) in self.cores.iter().enumerate() {
+                    // Quarantined cores are expected casualties of the
+                    // fault plane, not firmware bugs.
                     assert!(
-                        !core.is_faulted(),
+                        !core.is_faulted() || core.is_quarantined(),
                         "core {c} faulted running {:?}",
                         core.firmware()
                     );
@@ -347,7 +507,7 @@ impl Mccp {
         let start = self.cycle;
         loop {
             let state = self.requests.get(&id.0).expect("request exists").state;
-            if matches!(state, ReqState::Done { .. }) {
+            if matches!(state, ReqState::Done { .. } | ReqState::Failed { .. }) {
                 let req = &self.requests[&id.0];
                 return req.done_cycle.expect("done") - req.start_cycle;
             }
@@ -369,7 +529,7 @@ impl Mccp {
             if let Some(req) = self.requests.get(&id.0) {
                 for &c in &req.cores {
                     assert!(
-                        !self.cores[c].is_faulted(),
+                        !self.cores[c].is_faulted() || self.cores[c].is_quarantined(),
                         "core {c} faulted running {:?}",
                         self.cores[c].firmware()
                     );

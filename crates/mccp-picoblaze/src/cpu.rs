@@ -151,6 +151,15 @@ impl PicoBlaze {
         self.fault
     }
 
+    /// Drives the fault flag externally — the fault-injection plane's
+    /// "wedged controller" model. The CPU stops executing exactly as it
+    /// would after an illegal instruction; only [`reset`](Self::reset)
+    /// (or a program reload) clears it.
+    pub fn inject_fault(&mut self) {
+        self.fault = true;
+        self.sleeping = false;
+    }
+
     /// Zero flag.
     pub fn flag_zero(&self) -> bool {
         self.zero

@@ -26,7 +26,7 @@
 //! [`MccpCluster::run_threaded`] fans them out across OS threads.
 
 use crate::channel::SecureChannel;
-use crate::driver::{verify_records, PacketRecord, RunReport};
+use crate::driver::{verify_records, PacketRecord, RunReport, VerifyError};
 use crate::qos::DispatchPolicy;
 use crate::standards::Standard;
 use crate::workload::Workload;
@@ -45,6 +45,8 @@ pub struct ClusterConfig {
     pub work_stealing: bool,
     /// Enable each shard's telemetry pipeline (ring capacity per shard).
     pub telemetry_capacity: Option<usize>,
+    /// Fault-recovery policy (retry, backoff, core-reset cool-down).
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -53,8 +55,48 @@ impl Default for ClusterConfig {
             shards: 1,
             work_stealing: true,
             telemetry_capacity: None,
+            retry: RetryPolicy::default(),
         }
     }
+}
+
+/// How the dispatcher reacts when an engine reports a fault instead of a
+/// completion.
+///
+/// A faulted packet never produced output (the engine wipes on failure),
+/// so resubmitting it *with its original IV* is safe: same key, same
+/// plaintext, same IV is byte-for-byte the same computation — no nonce is
+/// burned and none is reused across distinct plaintexts.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per packet (first try included). Packets still
+    /// failing after this many are reported in
+    /// [`ClusterReport::abandoned`], never silently dropped.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base << (n - 1)` cycles, capped.
+    pub backoff_base_cycles: u64,
+    pub backoff_cap_cycles: u64,
+    /// Cycles a quarantined core cools down before the dispatcher issues
+    /// a hard reset to reclaim it.
+    pub reset_delay_cycles: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_cycles: 2048,
+            backoff_cap_cycles: 65_536,
+            reset_delay_cycles: 4096,
+        }
+    }
+}
+
+fn backoff_cycles(retry: &RetryPolicy, failed_attempts: u32) -> u64 {
+    retry
+        .backoff_base_cycles
+        .saturating_mul(1u64 << failed_attempts.saturating_sub(1).min(16))
+        .min(retry.backoff_cap_cycles)
 }
 
 /// One shard's share of a cluster run.
@@ -67,8 +109,27 @@ pub struct ShardReport {
     pub stolen: usize,
     /// The shard's own clock at the end of its run.
     pub cycles: u64,
+    /// Resubmissions this shard performed after engine faults.
+    pub retries: u64,
+    /// Quarantined cores this shard hard-reset back into service.
+    pub resets: u64,
+    /// The shard died mid-run (fault-plane shard kill); its unserved
+    /// queue was redistributed to the survivors.
+    pub dead: bool,
     /// The shard's telemetry snapshot (when enabled).
     pub snapshot: Option<Snapshot>,
+}
+
+/// A packet the cluster gave up on: retries exhausted or no shard left to
+/// serve it. Reported, never silently dropped.
+#[derive(Clone, Debug)]
+pub struct AbandonedPacket {
+    pub pkt_idx: usize,
+    pub channel: usize,
+    /// Display form of the final [`MccpError`].
+    pub error: String,
+    /// Attempts made before giving up (0 when no shard survived to try).
+    pub attempts: u32,
 }
 
 /// The aggregate outcome of a cluster run.
@@ -83,6 +144,15 @@ pub struct ClusterReport {
     pub stolen_packets: usize,
     /// Host wall-clock spent inside the shard run loops.
     pub wall_seconds: f64,
+    /// Total fault-recovery resubmissions across all shards.
+    pub retries: u64,
+    /// Total quarantined-core hard resets across all shards.
+    pub core_resets: u64,
+    /// Shards that died mid-run (their queues were redistributed).
+    pub dead_shards: usize,
+    /// Packets the cluster could not deliver (retries exhausted or no
+    /// surviving shard). Delivered + abandoned covers the whole workload.
+    pub abandoned: Vec<AbandonedPacket>,
     /// All shards' telemetry merged (counters add, gauges max, histograms
     /// merge), when telemetry is enabled.
     pub telemetry: Option<Snapshot>,
@@ -98,6 +168,8 @@ impl ClusterReport {
 }
 
 /// A packet with its centrally assigned IV, routed to a shard queue.
+/// Cloned only when a dead shard's queue is redistributed.
+#[derive(Clone)]
 struct Job {
     pkt_idx: usize,
     iv: Vec<u8>,
@@ -113,6 +185,8 @@ pub struct MccpCluster<B: ChannelBackend> {
     keys: Vec<Vec<u8>>,
     /// Channel handles, identical on every shard (asserted at build).
     handles: Vec<ChannelId>,
+    /// Fault-plane shard kills: `(shard, dies after serving N packets)`.
+    shard_kills: Vec<(usize, u64)>,
 }
 
 impl MccpCluster<FunctionalBackend> {
@@ -203,6 +277,7 @@ impl<B: ChannelBackend> MccpCluster<B> {
             channels,
             keys,
             handles,
+            shard_kills: Vec::new(),
         }
     }
 
@@ -212,6 +287,26 @@ impl<B: ChannelBackend> MccpCluster<B> {
 
     pub fn shard_count(&self) -> usize {
         self.backends.len()
+    }
+
+    /// Direct access to one shard's engine — the hook fault-injection
+    /// harnesses use to arm engine-level fault plans and watchdogs.
+    pub fn backend_mut(&mut self, shard: usize) -> &mut B {
+        &mut self.backends[shard]
+    }
+
+    /// Arms shard-level kills (typically from
+    /// [`mccp_core::FaultPlan::shard_kills`]): shard `s` dies after
+    /// serving `n` packets, and the dispatcher redistributes its queue.
+    pub fn set_shard_kills(&mut self, kills: Vec<(usize, u64)>) {
+        self.shard_kills = kills;
+    }
+
+    fn kill_for(&self, shard: usize) -> Option<u64> {
+        self.shard_kills
+            .iter()
+            .find(|&&(s, _)| s == shard)
+            .map(|&(_, n)| n)
     }
 
     /// The central channel table.
@@ -254,25 +349,33 @@ impl<B: ChannelBackend> MccpCluster<B> {
     /// cycles don't care about host parallelism).
     pub fn run(&mut self, workload: &Workload, policy: DispatchPolicy) -> ClusterReport {
         let queues = self.dispatch(workload, policy);
+        let retry = self.config.retry;
+        let kills: Vec<Option<u64>> = (0..self.backends.len()).map(|s| self.kill_for(s)).collect();
         let started = std::time::Instant::now();
         let outcomes: Vec<ShardOutcome> = self
             .backends
             .iter_mut()
             .zip(queues.iter())
-            .map(|(backend, queue)| run_shard(backend, workload, &self.handles, queue))
+            .zip(kills)
+            .map(|((backend, queue), kill)| {
+                run_shard(backend, workload, &self.handles, queue, kill, retry)
+            })
             .collect();
-        let wall_seconds = started.elapsed().as_secs_f64();
-        self.assemble(workload, queues, outcomes, wall_seconds)
+        self.finish(workload, queues, outcomes, started)
     }
 
     /// Serves the workload with one OS thread per shard — the scaling
     /// path for functional shards. Modeled results are identical to
-    /// [`run`](Self::run); only host wall-clock differs.
+    /// [`run`](Self::run); only host wall-clock differs. (Healing passes
+    /// after a shard death run sequentially — they are small by
+    /// construction, one dead shard's leftover queue.)
     pub fn run_threaded(&mut self, workload: &Workload, policy: DispatchPolicy) -> ClusterReport
     where
         B: Send,
     {
         let queues = self.dispatch(workload, policy);
+        let retry = self.config.retry;
+        let kills: Vec<Option<u64>> = (0..self.backends.len()).map(|s| self.kill_for(s)).collect();
         let handles = &self.handles;
         let started = std::time::Instant::now();
         let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
@@ -280,8 +383,9 @@ impl<B: ChannelBackend> MccpCluster<B> {
                 .backends
                 .iter_mut()
                 .zip(queues.iter())
-                .map(|(backend, queue)| {
-                    scope.spawn(move || run_shard(backend, workload, handles, queue))
+                .zip(kills)
+                .map(|((backend, queue), kill)| {
+                    scope.spawn(move || run_shard(backend, workload, handles, queue, kill, retry))
                 })
                 .collect();
             joins
@@ -289,8 +393,76 @@ impl<B: ChannelBackend> MccpCluster<B> {
                 .map(|j| j.join().expect("shard thread"))
                 .collect()
         });
+        self.finish(workload, queues, outcomes, started)
+    }
+
+    /// Post-pass healing: while any shard died holding unserved work,
+    /// redistribute the orphans round-robin over the survivors and run
+    /// those shards again. Packets that outlive every shard are reported
+    /// as abandoned. Terminates: orphans only appear when a shard dies,
+    /// and dead shards never serve again.
+    fn finish(
+        &mut self,
+        workload: &Workload,
+        queues: Vec<VecDeque<Job>>,
+        mut outcomes: Vec<ShardOutcome>,
+        started: std::time::Instant,
+    ) -> ClusterReport {
+        let shards = self.backends.len();
+        let retry = self.config.retry;
+        let mut kill_remaining: Vec<Option<u64>> = (0..shards).map(|s| self.kill_for(s)).collect();
+        let mut orphans: Vec<Job> = Vec::new();
+        for (s, o) in outcomes.iter_mut().enumerate() {
+            if let Some(k) = kill_remaining[s] {
+                kill_remaining[s] = Some(k.saturating_sub(o.records.len() as u64));
+            }
+            orphans.append(&mut o.orphans);
+        }
+        let mut unservable: Vec<AbandonedPacket> = Vec::new();
+        while !orphans.is_empty() {
+            let survivors: Vec<usize> = (0..shards).filter(|&s| !outcomes[s].dead).collect();
+            if survivors.is_empty() {
+                for job in orphans.drain(..) {
+                    unservable.push(AbandonedPacket {
+                        pkt_idx: job.pkt_idx,
+                        channel: workload.packets[job.pkt_idx].channel,
+                        error: "no surviving shard".into(),
+                        attempts: 0,
+                    });
+                }
+                break;
+            }
+            let mut oq: Vec<VecDeque<Job>> = survivors.iter().map(|_| VecDeque::new()).collect();
+            for (i, job) in orphans.drain(..).enumerate() {
+                oq[i % survivors.len()].push_back(job);
+            }
+            for (k, &s) in survivors.iter().enumerate() {
+                if oq[k].is_empty() {
+                    continue;
+                }
+                let out = run_shard(
+                    &mut self.backends[s],
+                    workload,
+                    &self.handles,
+                    &oq[k],
+                    kill_remaining[s],
+                    retry,
+                );
+                if let Some(kr) = kill_remaining[s] {
+                    kill_remaining[s] = Some(kr.saturating_sub(out.records.len() as u64));
+                }
+                let o = &mut outcomes[s];
+                o.records.extend(out.records);
+                o.cycles += out.cycles;
+                o.retries += out.retries;
+                o.resets += out.resets;
+                o.abandoned.extend(out.abandoned);
+                o.dead = out.dead;
+                orphans.extend(out.orphans);
+            }
+        }
         let wall_seconds = started.elapsed().as_secs_f64();
-        self.assemble(workload, queues, outcomes, wall_seconds)
+        self.assemble(workload, queues, outcomes, unservable, wall_seconds)
     }
 
     fn assemble(
@@ -298,15 +470,23 @@ impl<B: ChannelBackend> MccpCluster<B> {
         workload: &Workload,
         queues: Vec<VecDeque<Job>>,
         outcomes: Vec<ShardOutcome>,
+        mut abandoned: Vec<AbandonedPacket>,
         wall_seconds: f64,
     ) -> ClusterReport {
         let mut records = Vec::with_capacity(workload.packets.len());
         let mut shards = Vec::with_capacity(outcomes.len());
         let mut stolen_packets = 0;
+        let mut retries = 0u64;
+        let mut core_resets = 0u64;
+        let mut dead_shards = 0;
         let mut telemetry: Option<Snapshot> = None;
         for (shard, (outcome, queue)) in outcomes.into_iter().zip(queues.iter()).enumerate() {
             let stolen = queue.iter().filter(|j| j.stolen).count();
             stolen_packets += stolen;
+            retries += outcome.retries;
+            core_resets += outcome.resets;
+            dead_shards += outcome.dead as usize;
+            abandoned.extend(outcome.abandoned);
             let backend = &mut self.backends[shard];
             backend.telemetry_counter_add("mccp_cluster_stolen_packets_total", stolen as u64);
             let snapshot = if backend.telemetry_enabled() {
@@ -324,29 +504,47 @@ impl<B: ChannelBackend> MccpCluster<B> {
                 packets: outcome.records.len(),
                 stolen,
                 cycles: outcome.cycles,
+                retries: outcome.retries,
+                resets: outcome.resets,
+                dead: outcome.dead,
                 snapshot,
             });
             records.extend(outcome.records);
         }
         records.sort_by_key(|r| r.packet_idx);
+        abandoned.sort_by_key(|a| a.pkt_idx);
         let cycles = shards.iter().map(|s| s.cycles).max().unwrap_or(0);
+        // Throughput counts delivered bits only — abandoned packets moved
+        // no payload (identical to the full workload when fault-free).
+        let payload_bits: u64 = records
+            .iter()
+            .map(|r| workload.packets[r.packet_idx].payload.len() as u64 * 8)
+            .sum();
         ClusterReport {
             merged: RunReport {
                 cycles,
                 packets: records.len(),
-                payload_bits: workload.payload_bits(),
+                payload_bits,
                 records,
             },
             shards,
             stolen_packets,
             wall_seconds,
+            retries,
+            core_resets,
+            dead_shards,
+            abandoned,
             telemetry,
         }
     }
 
     /// Verifies every merged record against the reference (`mccp-aes`)
     /// implementations. Returns the number of packets checked.
-    pub fn verify(&self, workload: &Workload, report: &ClusterReport) -> Result<usize, String> {
+    pub fn verify(
+        &self,
+        workload: &Workload,
+        report: &ClusterReport,
+    ) -> Result<usize, VerifyError> {
         verify_records(workload, &report.merged.records, &self.channels, &self.keys)
     }
 }
@@ -354,34 +552,97 @@ impl<B: ChannelBackend> MccpCluster<B> {
 struct ShardOutcome {
     records: Vec<PacketRecord>,
     cycles: u64,
+    retries: u64,
+    resets: u64,
+    abandoned: Vec<AbandonedPacket>,
+    /// Jobs left behind when the shard died (queued or in flight).
+    orphans: Vec<Job>,
+    dead: bool,
+}
+
+/// A queued attempt: the job's slot in `queue`, failed attempts so far,
+/// and the shard-local cycle before which backoff holds it back.
+#[derive(Clone, Copy)]
+struct Try {
+    q: usize,
+    attempt: u32,
+    eligible_at: u64,
 }
 
 /// One shard's serving loop: the [`crate::RadioDriver::run`] engine loop
 /// with pre-assigned IVs — submit arrived jobs in queue order until the
-/// engine reports `NoResource`, advance the clock, poll completions.
+/// engine reports `NoResource`, advance the clock, poll completions —
+/// plus the fault-recovery plane: faulted packets are resubmitted with
+/// exponential backoff, quarantined cores are hard-reset after a
+/// cool-down, and a killed shard hands its leftovers back as orphans.
 fn run_shard<B: ChannelBackend>(
     backend: &mut B,
     workload: &Workload,
     handles: &[ChannelId],
     queue: &VecDeque<Job>,
+    kill_after: Option<u64>,
+    retry: RetryPolicy,
 ) -> ShardOutcome {
-    let mut pending: VecDeque<usize> = (0..queue.len()).collect();
-    let mut in_flight: Vec<(mccp_core::RequestId, usize)> = Vec::new();
+    let mut pending: VecDeque<Try> = (0..queue.len())
+        .map(|q| Try {
+            q,
+            attempt: 0,
+            eligible_at: 0,
+        })
+        .collect();
+    let mut in_flight: Vec<(mccp_core::RequestId, usize, u32)> = Vec::new();
     let mut records = Vec::with_capacity(queue.len());
+    let mut abandoned = Vec::new();
+    let mut retries = 0u64;
+    let mut resets = 0u64;
     let start = backend.now();
     let mut guard = 0u64;
 
     while !pending.is_empty() || !in_flight.is_empty() {
+        // Shard kill: the whole engine dies after serving its quota; the
+        // dispatcher inherits everything still queued or in flight (a
+        // faulted engine's in-flight work never produced output, so the
+        // jobs are safe to replay elsewhere with their original IVs).
+        if let Some(k) = kill_after {
+            if records.len() as u64 >= k {
+                let orphans = pending
+                    .iter()
+                    .map(|t| queue[t.q].clone())
+                    .chain(in_flight.iter().map(|&(_, q, _)| queue[q].clone()))
+                    .collect();
+                return ShardOutcome {
+                    records,
+                    cycles: backend.now() - start,
+                    retries,
+                    resets,
+                    abandoned,
+                    orphans,
+                    dead: true,
+                };
+            }
+        }
+
+        // Self-healing: hard-reset quarantined cores once their cool-down
+        // has passed. `reset_core` refuses (Busy) while a live request
+        // still references the core — retried on the next iteration.
+        let now_abs = backend.now();
+        for c in backend.health().quarantined {
+            if now_abs >= c.quarantined_at.saturating_add(retry.reset_delay_cycles)
+                && backend.reset_core(c.core).is_ok()
+            {
+                resets += 1;
+            }
+        }
+
         loop {
             let now = backend.now() - start;
-            let Some(pos) = pending
-                .iter()
-                .position(|&q| workload.packets[queue[q].pkt_idx].arrival_cycle <= now)
-            else {
+            let Some(pos) = pending.iter().position(|t| {
+                t.eligible_at <= now && workload.packets[queue[t.q].pkt_idx].arrival_cycle <= now
+            }) else {
                 break;
             };
-            let q = pending[pos];
-            let job = &queue[q];
+            let t = pending[pos];
+            let job = &queue[t.q];
             let pkt = &workload.packets[job.pkt_idx];
             match backend.submit_packet(
                 handles[pkt.channel],
@@ -396,35 +657,110 @@ fn run_shard<B: ChannelBackend>(
                         &metrics::series("mccp_sdr_offered_packets_total", "channel", pkt.channel),
                         1,
                     );
-                    in_flight.push((id, q));
+                    in_flight.push((id, t.q, t.attempt));
                     pending.remove(pos);
                 }
                 Err(MccpError::NoResource) => break,
+                // Dispatch-time faults (e.g. a corrupted key cache, wiped
+                // on detection) back off and retry like completion faults.
+                Err(e) if e.is_retryable() => {
+                    let failed = t.attempt + 1;
+                    if failed >= retry.max_attempts {
+                        abandoned.push(AbandonedPacket {
+                            pkt_idx: job.pkt_idx,
+                            channel: pkt.channel,
+                            error: e.to_string(),
+                            attempts: failed,
+                        });
+                        pending.remove(pos);
+                    } else {
+                        retries += 1;
+                        backend.telemetry_counter_add("mccp_cluster_retries_total", 1);
+                        pending[pos].attempt = failed;
+                        pending[pos].eligible_at = now + backoff_cycles(&retry, failed);
+                    }
+                }
                 Err(e) => panic!("packet {} rejected: {e}", job.pkt_idx),
             }
         }
 
+        // Clock advance, bounded by the next arrival or backoff release
+        // and by the next quarantine cool-down expiry (else a shard with
+        // every core fenced and nothing in flight would fast-forward
+        // straight past its own recovery point).
         let now = backend.now() - start;
-        let arrival_bound = pending
+        let wait_bound = pending
             .iter()
-            .map(|&q| workload.packets[queue[q].pkt_idx].arrival_cycle)
+            .map(|t| {
+                workload.packets[queue[t.q].pkt_idx]
+                    .arrival_cycle
+                    .max(t.eligible_at)
+            })
             .filter(|&a| a > now)
             .map(|a| a - now)
             .min()
             .unwrap_or(u64::MAX);
-        guard += backend.step(arrival_bound.min(500_000_000 - guard));
+        let now_abs = backend.now();
+        let reset_bound = backend
+            .health()
+            .quarantined
+            .iter()
+            .map(|c| {
+                c.quarantined_at
+                    .saturating_add(retry.reset_delay_cycles)
+                    .saturating_sub(now_abs)
+                    .max(1)
+            })
+            .min()
+            .unwrap_or(u64::MAX);
+        guard += backend.step(wait_bound.min(reset_bound).min(500_000_000 - guard));
         assert!(guard < 500_000_000, "shard wedged");
 
-        while let Some(done) = backend.poll_completion() {
+        loop {
+            // Stop polling at the kill quota — the next iteration's death
+            // check orphans everything still queued or in flight.
+            if let Some(k) = kill_after {
+                if records.len() as u64 >= k {
+                    break;
+                }
+            }
+            let Some(done) = backend.poll_completion() else {
+                break;
+            };
             let pos = in_flight
                 .iter()
-                .position(|(r, _)| *r == done.request)
+                .position(|(r, _, _)| *r == done.request)
                 .expect("tracked request");
-            let (_, q) = in_flight.swap_remove(pos);
-            assert!(done.auth_ok, "encrypt never auth-fails");
+            let (_, q, attempt) = in_flight.swap_remove(pos);
             let job = &queue[q];
             let pkt = &workload.packets[job.pkt_idx];
-            let completed_at = backend.now() - start;
+            let now = backend.now() - start;
+            if let Some(err) = done.fault {
+                // Fault-plane termination: the engine wiped everything, so
+                // the packet replays with its original IV — same key, same
+                // plaintext, byte-identical output on success. No nonce is
+                // burned and none is reused across distinct plaintexts.
+                let failed = attempt + 1;
+                if err.is_retryable() && failed < retry.max_attempts {
+                    retries += 1;
+                    backend.telemetry_counter_add("mccp_cluster_retries_total", 1);
+                    pending.push_back(Try {
+                        q,
+                        attempt: failed,
+                        eligible_at: now + backoff_cycles(&retry, failed),
+                    });
+                } else {
+                    abandoned.push(AbandonedPacket {
+                        pkt_idx: job.pkt_idx,
+                        channel: pkt.channel,
+                        error: err.to_string(),
+                        attempts: failed,
+                    });
+                }
+                continue;
+            }
+            assert!(done.auth_ok, "encrypt never auth-fails");
+            let completed_at = now;
             if backend.telemetry_enabled() {
                 backend.telemetry_counter_add(
                     &metrics::series("mccp_sdr_served_packets_total", "channel", pkt.channel),
@@ -450,6 +786,11 @@ fn run_shard<B: ChannelBackend>(
     ShardOutcome {
         records,
         cycles: backend.now() - start,
+        retries,
+        resets,
+        abandoned,
+        orphans: Vec::new(),
+        dead: false,
     }
 }
 
@@ -457,6 +798,7 @@ fn run_shard<B: ChannelBackend>(
 mod tests {
     use super::*;
     use crate::workload::WorkloadSpec;
+    use mccp_core::{FaultKind, FaultPlan, FaultTrigger};
 
     fn spec(standards: Vec<Standard>, packets: usize) -> WorkloadSpec {
         WorkloadSpec {
@@ -485,6 +827,7 @@ mod tests {
                 shards: 4,
                 work_stealing: true,
                 telemetry_capacity: Some(1024),
+                retry: RetryPolicy::default(),
             },
             &spec.standards,
             7,
@@ -511,6 +854,7 @@ mod tests {
             shards: 4,
             work_stealing: stealing,
             telemetry_capacity: None,
+            retry: RetryPolicy::default(),
         };
         let mut lazy = MccpCluster::functional(cfg(false), &spec.standards, 3);
         let r_lazy = lazy.run(&workload, DispatchPolicy::Fifo);
@@ -543,6 +887,7 @@ mod tests {
                 shards: 1,
                 work_stealing: true,
                 telemetry_capacity: None,
+                retry: RetryPolicy::default(),
             },
             mccp_cfg.clone(),
             &spec.standards,
@@ -554,6 +899,7 @@ mod tests {
                 shards: 2,
                 work_stealing: true,
                 telemetry_capacity: None,
+                retry: RetryPolicy::default(),
             },
             mccp_cfg,
             &spec.standards,
@@ -568,5 +914,145 @@ mod tests {
             two.merged.cycles,
             one.merged.cycles
         );
+    }
+
+    #[test]
+    fn functional_cluster_retries_transient_faults() {
+        let spec = spec(vec![Standard::Wifi, Standard::Wimax], 12);
+        let workload = Workload::generate(spec.clone());
+        let mut cluster = MccpCluster::functional(
+            ClusterConfig {
+                shards: 2,
+                ..Default::default()
+            },
+            &spec.standards,
+            5,
+        );
+        // Two transient faults on shard 0's 2nd and 5th submissions; both
+        // packets must come back on retry with their original IVs.
+        let plan = FaultPlan::new()
+            .with(
+                FaultTrigger::AtPacket(2),
+                FaultKind::FlipFifoBit {
+                    core: 0,
+                    output: false,
+                    bit: 3,
+                },
+            )
+            .with(
+                FaultTrigger::AtPacket(5),
+                FaultKind::CorruptKeyCache { core: 0 },
+            );
+        cluster.backend_mut(0).arm_faults(&plan);
+        let report = cluster.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.merged.packets, 12, "every packet recovered");
+        assert!(report.abandoned.is_empty());
+        assert_eq!(report.retries, 2);
+        assert_eq!(report.shards[0].retries, 2);
+        assert_eq!(cluster.verify(&workload, &report).unwrap(), 12);
+    }
+
+    #[test]
+    fn exhausted_retries_are_abandoned_not_dropped() {
+        let spec = spec(vec![Standard::Wifi], 1);
+        let workload = Workload::generate(spec.clone());
+        let mut cluster = MccpCluster::functional(ClusterConfig::default(), &spec.standards, 5);
+        // The lone packet faults on its first try and on both retries:
+        // max_attempts (3) exhausted, so it is reported abandoned.
+        let mut plan = FaultPlan::new();
+        for p in 1..=3 {
+            plan = plan.with(FaultTrigger::AtPacket(p), FaultKind::WedgeCore { core: 0 });
+        }
+        cluster.backend_mut(0).arm_faults(&plan);
+        let report = cluster.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.merged.packets, 0);
+        assert_eq!(report.retries, 2, "two retries, then give up");
+        assert_eq!(report.abandoned.len(), 1);
+        assert_eq!(report.abandoned[0].pkt_idx, 0);
+        assert_eq!(report.abandoned[0].attempts, 3);
+    }
+
+    #[test]
+    fn dead_shard_queue_redistributes_to_survivors() {
+        let spec = spec(
+            vec![
+                Standard::Wifi,
+                Standard::Wimax,
+                Standard::Umts,
+                Standard::SecureVoice,
+            ],
+            24,
+        );
+        let workload = Workload::generate(spec.clone());
+        let mut cluster = MccpCluster::functional(
+            ClusterConfig {
+                shards: 4,
+                ..Default::default()
+            },
+            &spec.standards,
+            7,
+        );
+        cluster.set_shard_kills(vec![(1, 2)]);
+        let report = cluster.run_threaded(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.dead_shards, 1);
+        assert!(report.shards[1].dead);
+        assert_eq!(report.shards[1].packets, 2, "died after its quota");
+        assert_eq!(report.merged.packets, 24, "survivors absorbed the rest");
+        assert!(report.abandoned.is_empty());
+        assert_eq!(cluster.verify(&workload, &report).unwrap(), 24);
+    }
+
+    #[test]
+    fn all_shards_dead_reports_unserved_packets() {
+        let spec = spec(vec![Standard::Wifi], 3);
+        let workload = Workload::generate(spec.clone());
+        let mut cluster = MccpCluster::functional(ClusterConfig::default(), &spec.standards, 5);
+        cluster.set_shard_kills(vec![(0, 1)]);
+        let report = cluster.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.merged.packets, 1);
+        assert_eq!(report.dead_shards, 1);
+        assert_eq!(report.abandoned.len(), 2, "unserved packets are reported");
+        assert!(report
+            .abandoned
+            .iter()
+            .all(|a| a.error == "no surviving shard"));
+    }
+
+    #[test]
+    fn cycle_cluster_quarantines_wedged_core_and_heals() {
+        let mccp_cfg = MccpConfig {
+            n_cores: 2,
+            ..MccpConfig::default()
+        };
+        let spec = spec(vec![Standard::Wifi, Standard::Wimax], 8);
+        let workload = Workload::generate(spec.clone());
+        let mut cluster = MccpCluster::cycle_accurate(
+            ClusterConfig {
+                shards: 1,
+                retry: RetryPolicy {
+                    backoff_base_cycles: 256,
+                    reset_delay_cycles: 256,
+                    ..RetryPolicy::default()
+                },
+                ..Default::default()
+            },
+            mccp_cfg,
+            &spec.standards,
+            9,
+        );
+        cluster.backend_mut(0).arm_faults(
+            &FaultPlan::new().with(FaultTrigger::AtPacket(2), FaultKind::WedgeCore { core: 0 }),
+        );
+        let report = cluster.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.merged.packets, 8, "wedge recovered, nothing lost");
+        assert!(report.abandoned.is_empty());
+        assert!(report.retries >= 1, "the wedged request was resubmitted");
+        assert!(
+            report.core_resets >= 1,
+            "the core came back after cool-down"
+        );
+        let health = cluster.backend_mut(0).health();
+        assert!(health.quarantined.is_empty(), "no core left fenced");
+        assert_eq!(cluster.verify(&workload, &report).unwrap(), 8);
     }
 }

@@ -77,6 +77,44 @@ impl RunReport {
     }
 }
 
+/// Why a packet record failed reference verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// The engine's ciphertext differs from the reference computation.
+    CiphertextMismatch,
+    /// The engine's authentication tag differs from the reference.
+    TagMismatch,
+    /// The reference implementation rejected the packet's parameters
+    /// (bad IV length, oversize payload, …).
+    Reference(String),
+}
+
+/// A typed verification failure: which packet, on which channel, failed
+/// how — matchable by harnesses, unlike the formatted string it replaced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    pub packet_idx: usize,
+    pub channel: usize,
+    pub kind: VerifyErrorKind,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "packet {} on channel {}: ",
+            self.packet_idx, self.channel
+        )?;
+        match &self.kind {
+            VerifyErrorKind::CiphertextMismatch => write!(f, "ciphertext mismatch"),
+            VerifyErrorKind::TagMismatch => write!(f, "tag mismatch"),
+            VerifyErrorKind::Reference(e) => write!(f, "reference rejected packet: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
 /// Verifies packet records against the reference (`mccp-aes`)
 /// implementations, given the channel table and session keys that
 /// produced them. Returns the number of packets checked.
@@ -88,18 +126,24 @@ pub fn verify_records(
     records: &[PacketRecord],
     channels: &[SecureChannel],
     keys: &[Vec<u8>],
-) -> Result<usize, String> {
+) -> Result<usize, VerifyError> {
     use mccp_aes::modes::{ccm_seal, ctr_xcrypt, gcm_seal, CcmParams};
     use mccp_core::protocol::Mode;
 
     for rec in records {
+        let fail = |kind| VerifyError {
+            packet_idx: rec.packet_idx,
+            channel: rec.channel,
+            kind,
+        };
+        let reference = |e: String| fail(VerifyErrorKind::Reference(e));
         let pkt = &workload.packets[rec.packet_idx];
         let ch = &channels[rec.channel];
         let aes = mccp_aes::Aes::new(&keys[rec.channel]);
         let (expect_ct, expect_tag): (Vec<u8>, Vec<u8>) = match ch.profile.algorithm.mode() {
             Mode::Gcm => {
                 let out = gcm_seal(&aes, &rec.iv, &pkt.aad, &pkt.payload, 16)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| reference(e.to_string()))?;
                 let n = pkt.payload.len();
                 (out[..n].to_vec(), out[n..].to_vec())
             }
@@ -109,27 +153,29 @@ pub fn verify_records(
                     tag_len: ch.profile.tag_len,
                 };
                 let out = ccm_seal(&aes, &params, &rec.iv, &pkt.aad, &pkt.payload)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| reference(e.to_string()))?;
                 let n = pkt.payload.len();
                 (out[..n].to_vec(), out[n..].to_vec())
             }
             Mode::Ctr => {
                 let mut body = pkt.payload.clone();
-                let ctr0: [u8; 16] = rec.iv.as_slice().try_into().unwrap();
-                ctr_xcrypt(&aes, &ctr0, &mut body).map_err(|e| e.to_string())?;
+                let ctr0: [u8; 16] = rec.iv.as_slice().try_into().map_err(|_| {
+                    reference(format!("CTR IV must be 16 bytes, got {}", rec.iv.len()))
+                })?;
+                ctr_xcrypt(&aes, &ctr0, &mut body).map_err(|e| reference(e.to_string()))?;
                 (body, Vec::new())
             }
             Mode::CbcMac => {
-                let mac =
-                    mccp_aes::modes::cbc_mac(&aes, &pkt.payload, 16).map_err(|e| e.to_string())?;
+                let mac = mccp_aes::modes::cbc_mac(&aes, &pkt.payload, 16)
+                    .map_err(|e| reference(e.to_string()))?;
                 (Vec::new(), mac)
             }
         };
         if rec.ciphertext != expect_ct {
-            return Err(format!("packet {} ciphertext mismatch", rec.packet_idx));
+            return Err(fail(VerifyErrorKind::CiphertextMismatch));
         }
         if rec.tag != expect_tag {
-            return Err(format!("packet {} tag mismatch", rec.packet_idx));
+            return Err(fail(VerifyErrorKind::TagMismatch));
         }
     }
     Ok(records.len())
@@ -410,7 +456,7 @@ impl<B: ChannelBackend> RadioDriver<B> {
 
     /// Verifies every record of a run against the reference (`mccp-aes`)
     /// implementations. Returns the number of packets checked.
-    pub fn verify(&self, workload: &Workload, report: &RunReport) -> Result<usize, String> {
+    pub fn verify(&self, workload: &Workload, report: &RunReport) -> Result<usize, VerifyError> {
         verify_records(workload, &report.records, &self.channels, &self.keys)
     }
 }

@@ -28,6 +28,6 @@ pub mod workload;
 
 pub use channel::SecureChannel;
 pub use cluster::{ClusterConfig, ClusterReport, MccpCluster, ShardReport};
-pub use driver::{PacketRecord, RadioDriver, RunReport};
+pub use driver::{PacketRecord, RadioDriver, RunReport, VerifyError, VerifyErrorKind};
 pub use standards::{Standard, StandardProfile};
 pub use workload::{RadioPacket, Workload, WorkloadSpec};

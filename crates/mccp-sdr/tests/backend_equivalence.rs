@@ -8,8 +8,8 @@
 //! (Priority + Poisson arrivals + core backpressure can legitimately
 //! reorder which packet of a channel gets which counter value).
 
-use mccp_core::{FunctionalBackend, MccpConfig};
-use mccp_sdr::cluster::{ClusterConfig, MccpCluster};
+use mccp_core::{FaultPlan, FunctionalBackend, MccpConfig};
+use mccp_sdr::cluster::{ClusterConfig, ClusterReport, MccpCluster, RetryPolicy};
 use mccp_sdr::driver::PacketRecord;
 use mccp_sdr::qos::DispatchPolicy;
 use mccp_sdr::workload::{Workload, WorkloadSpec};
@@ -83,6 +83,7 @@ fn one_shard_cluster_matches_single_backend_run() {
             shards: 1,
             work_stealing: true,
             telemetry_capacity: None,
+            retry: RetryPolicy::default(),
         },
         &spec.standards,
         5,
@@ -110,6 +111,7 @@ fn sharded_cluster_with_stealing_matches_single_backend_bytes() {
             shards: 4,
             work_stealing: true,
             telemetry_capacity: None,
+            retry: RetryPolicy::default(),
         },
         &spec.standards,
         11,
@@ -131,6 +133,7 @@ fn cycle_cluster_matches_functional_cluster() {
         shards: 2,
         work_stealing: true,
         telemetry_capacity: None,
+        retry: RetryPolicy::default(),
     };
     let mut f = MccpCluster::functional(cfg, &spec.standards, 3);
     let rf = f.run(&workload, DispatchPolicy::Fifo);
@@ -141,6 +144,117 @@ fn cycle_cluster_matches_functional_cluster() {
         &rc.merged.records,
         "functional cluster vs cycle cluster",
     );
+}
+
+/// Every packet ends in exactly one of two states: delivered (and then
+/// reference-verified) or reported failed in `abandoned`. No third bucket,
+/// no overlap, no silent drop.
+fn assert_exactly_once(report: &ClusterReport, packets: usize, what: &str) {
+    use std::collections::BTreeSet;
+    let delivered: BTreeSet<usize> = report.merged.records.iter().map(|r| r.packet_idx).collect();
+    let failed: BTreeSet<usize> = report.abandoned.iter().map(|a| a.pkt_idx).collect();
+    assert_eq!(
+        delivered.len(),
+        report.merged.records.len(),
+        "{what}: duplicate delivered packet"
+    );
+    assert!(
+        delivered.is_disjoint(&failed),
+        "{what}: packet both delivered and reported failed"
+    );
+    let all: BTreeSet<usize> = (0..packets).collect();
+    let union: BTreeSet<usize> = delivered.union(&failed).copied().collect();
+    assert_eq!(
+        union, all,
+        "{what}: some packet is neither delivered nor reported"
+    );
+}
+
+#[test]
+fn arming_an_empty_fault_plan_is_byte_identical() {
+    // The fault plane must be zero-cost when off: an engine armed with an
+    // empty schedule runs the exact instruction stream of an unarmed one.
+    let spec = spec(12, 0xE0_05, None);
+    let workload = Workload::generate(spec.clone());
+    let cfg = ClusterConfig {
+        shards: 2,
+        ..ClusterConfig::default()
+    };
+    let mut plain = MccpCluster::cycle_accurate(cfg, MccpConfig::default(), &spec.standards, 13);
+    let r_plain = plain.run(&workload, DispatchPolicy::Fifo);
+    let mut armed = MccpCluster::cycle_accurate(cfg, MccpConfig::default(), &spec.standards, 13);
+    for s in 0..2 {
+        armed.backend_mut(s).arm_faults(&FaultPlan::new());
+    }
+    let r_armed = armed.run(&workload, DispatchPolicy::Fifo);
+    assert_bytes_equal(
+        &r_plain.merged.records,
+        &r_armed.merged.records,
+        "unarmed vs empty-plan",
+    );
+    assert_eq!(r_plain.merged.cycles, r_armed.merged.cycles, "makespan");
+    assert_eq!(r_armed.retries, 0);
+    assert_eq!(r_armed.abandoned.len(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The fault-plane safety property: under *any* seeded fault schedule,
+    /// on both engines, every packet is exactly one of
+    /// {delivered-and-verified, reported-failed}. Delivered bytes still
+    /// pass the independent reference check (no silent corruption).
+    #[test]
+    fn any_fault_schedule_delivers_or_reports_every_packet(
+        seed in any::<u64>(),
+        faults_per_shard in 1usize..5,
+        packets in 8usize..16,
+    ) {
+        let spec = spec(packets, seed ^ 0xFA_17, Some(96));
+        let workload = Workload::generate(spec.clone());
+        let cfg = ClusterConfig {
+            shards: 2,
+            ..ClusterConfig::default()
+        };
+        let n_cores = MccpConfig::default().n_cores;
+        let plans: Vec<FaultPlan> = (0..2)
+            .map(|s| {
+                FaultPlan::random(
+                    seed.wrapping_add(s),
+                    faults_per_shard,
+                    n_cores,
+                    50_000,
+                    (packets / 2) as u64,
+                )
+            })
+            .collect();
+
+        let mut cycle =
+            MccpCluster::cycle_accurate(cfg, MccpConfig::default(), &spec.standards, seed ^ 2);
+        for (s, plan) in plans.iter().enumerate() {
+            cycle.backend_mut(s).arm_faults(plan);
+            cycle.backend_mut(s).arm_watchdog(4);
+        }
+        let rc = cycle.run(&workload, DispatchPolicy::Fifo);
+        assert_exactly_once(&rc, packets, "cycle engine");
+        prop_assert_eq!(
+            cycle.verify(&workload, &rc).unwrap(),
+            rc.merged.packets,
+            "cycle engine delivered records must reference-verify"
+        );
+
+        let mut functional = MccpCluster::functional(cfg, &spec.standards, seed ^ 2);
+        for (s, plan) in plans.iter().enumerate() {
+            functional.backend_mut(s).arm_faults(plan);
+        }
+        let rf = functional.run(&workload, DispatchPolicy::Fifo);
+        assert_exactly_once(&rf, packets, "functional engine");
+        prop_assert_eq!(
+            functional.verify(&workload, &rf).unwrap(),
+            rf.merged.packets,
+            "functional engine delivered records must reference-verify"
+        );
+    }
 }
 
 proptest! {

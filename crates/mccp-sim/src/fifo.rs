@@ -20,6 +20,11 @@ pub struct HwFifo {
     pushed: u64,
     /// High-water mark of occupancy.
     high_water: usize,
+    /// Sticky per-word parity-error flag: set when a queued word is
+    /// corrupted (fault injection models an SEU here), cleared only by
+    /// [`wipe`](Self::wipe). The hardware analogue is a parity bit stored
+    /// alongside each word and checked on read-out.
+    parity_error: bool,
 }
 
 impl Default for HwFifo {
@@ -40,6 +45,7 @@ impl HwFifo {
             depth,
             pushed: 0,
             high_water: 0,
+            parity_error: false,
         }
     }
 
@@ -91,9 +97,32 @@ impl HwFifo {
     }
 
     /// Reinitializes the FIFO, discarding all contents — the paper's
-    /// defense on authentication failure.
+    /// defense on authentication failure. Also clears the sticky parity
+    /// flag: wiped words take their bad parity bits with them.
     pub fn wipe(&mut self) {
         self.words.clear();
+        self.parity_error = false;
+    }
+
+    /// Flips one bit of the `idx`-th queued word (fault injection: a
+    /// single-event upset in the FIFO RAM) and latches the sticky parity
+    /// flag. Returns `false` (no change) when the FIFO holds no word at
+    /// `idx`.
+    pub fn corrupt_word(&mut self, idx: usize, bit: u8) -> bool {
+        match self.words.get_mut(idx) {
+            Some(w) => {
+                *w ^= 1u32 << (bit % 32);
+                self.parity_error = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if any word queued since the last [`wipe`](Self::wipe) failed
+    /// its parity check.
+    pub fn parity_error(&self) -> bool {
+        self.parity_error
     }
 
     /// Pushes a byte slice as big-endian 32-bit words, zero-padding the

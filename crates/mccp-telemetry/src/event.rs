@@ -106,7 +106,33 @@ pub enum Event {
         cycles: u64,
     },
     /// The auth-failure defense wiped the request's output FIFOs.
-    AuthFailWipe { request: u16 },
+    /// `channel`/`sequence` locate the offending packet in the stream so
+    /// an operator can tell *which* traffic failed authentication.
+    AuthFailWipe {
+        request: u16,
+        channel: u8,
+        /// 1-based packet ordinal within the channel.
+        sequence: u64,
+    },
+    /// The fault-injection plane fired a scheduled fault (`fault` is the
+    /// schedule entry's label, e.g. `wedge_core`).
+    FaultInjected { fault: String, core: usize },
+    /// The engine attributed a request failure to a detected fault.
+    FaultDetected {
+        request: u16,
+        core: usize,
+        error: String,
+    },
+    /// The watchdog fenced a core off from dispatch.
+    CoreQuarantined { core: usize },
+    /// A quarantined core was hard-reset and returned to the idle pool.
+    CoreReset { core: usize },
+    /// A request terminated without producing output (fault path).
+    RequestFailed {
+        request: u16,
+        error: String,
+        cycles: u64,
+    },
 }
 
 impl Event {
@@ -129,6 +155,11 @@ impl Event {
             Event::ReconfigBegin { .. } => "reconfig_begin",
             Event::ReconfigEnd { .. } => "reconfig_end",
             Event::AuthFailWipe { .. } => "auth_fail_wipe",
+            Event::FaultInjected { .. } => "fault_injected",
+            Event::FaultDetected { .. } => "fault_detected",
+            Event::CoreQuarantined { .. } => "core_quarantined",
+            Event::CoreReset { .. } => "core_reset",
+            Event::RequestFailed { .. } => "request_failed",
         }
     }
 
@@ -224,8 +255,40 @@ impl Event {
                 json_string(out, personality);
                 let _ = write!(out, ",\"cycles\":{cycles}");
             }
-            Event::AuthFailWipe { request } => {
-                let _ = write!(out, "\"request\":{request}");
+            Event::AuthFailWipe {
+                request,
+                channel,
+                sequence,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"request\":{request},\"channel\":{channel},\"sequence\":{sequence}"
+                );
+            }
+            Event::FaultInjected { fault, core } => {
+                let _ = write!(out, "\"fault\":");
+                json_string(out, fault);
+                let _ = write!(out, ",\"core\":{core}");
+            }
+            Event::FaultDetected {
+                request,
+                core,
+                error,
+            } => {
+                let _ = write!(out, "\"request\":{request},\"core\":{core},\"error\":");
+                json_string(out, error);
+            }
+            Event::CoreQuarantined { core } | Event::CoreReset { core } => {
+                let _ = write!(out, "\"core\":{core}");
+            }
+            Event::RequestFailed {
+                request,
+                error,
+                cycles,
+            } => {
+                let _ = write!(out, "\"request\":{request},\"error\":");
+                json_string(out, error);
+                let _ = write!(out, ",\"cycles\":{cycles}");
             }
         }
     }
@@ -310,9 +373,36 @@ impl fmt::Display for Event {
                 f,
                 "core {core} reconfigured to {personality} after {cycles} cycles"
             ),
-            Event::AuthFailWipe { request } => {
+            // Channel/sequence are JSON-only: the rendered line must stay
+            // byte-identical to the legacy tracer's message.
+            Event::AuthFailWipe { request, .. } => {
                 write!(f, "AUTH_FAIL on RequestId({request}): output FIFOs wiped")
             }
+            Event::FaultInjected { fault, core } => {
+                write!(f, "FAULT injected on core {core}: {fault}")
+            }
+            Event::FaultDetected {
+                request,
+                core,
+                error,
+            } => write!(
+                f,
+                "FAULT detected on core {core} for RequestId({request}): {error}"
+            ),
+            Event::CoreQuarantined { core } => {
+                write!(f, "core {core} quarantined (fenced from dispatch)")
+            }
+            Event::CoreReset { core } => {
+                write!(f, "core {core} hard reset: returned to idle pool")
+            }
+            Event::RequestFailed {
+                request,
+                error,
+                cycles,
+            } => write!(
+                f,
+                "RequestId({request}) FAILED after {cycles} cycles: {error}"
+            ),
         }
     }
 }
@@ -395,10 +485,55 @@ mod tests {
             e.to_string(),
             "RequestId(1) done (auth_ok=true) after 3305 cycles"
         );
-        let e = Event::AuthFailWipe { request: 2 };
+        let e = Event::AuthFailWipe {
+            request: 2,
+            channel: 5,
+            sequence: 17,
+        };
         assert_eq!(
             e.to_string(),
             "AUTH_FAIL on RequestId(2): output FIFOs wiped"
+        );
+    }
+
+    #[test]
+    fn auth_fail_json_carries_channel_and_sequence() {
+        let t = TimedEvent {
+            cycle: 100,
+            event: Event::AuthFailWipe {
+                request: 2,
+                channel: 5,
+                sequence: 17,
+            },
+        };
+        assert_eq!(
+            t.to_json(),
+            "{\"cycle\":100,\"kind\":\"auth_fail_wipe\",\"request\":2,\"channel\":5,\"sequence\":17}"
+        );
+    }
+
+    #[test]
+    fn fault_events_render_and_serialize() {
+        let t = TimedEvent {
+            cycle: 7,
+            event: Event::FaultInjected {
+                fault: "wedge_core".into(),
+                core: 2,
+            },
+        };
+        assert_eq!(
+            t.to_json(),
+            "{\"cycle\":7,\"kind\":\"fault_injected\",\"fault\":\"wedge_core\",\"core\":2}"
+        );
+        assert_eq!(t.event.to_string(), "FAULT injected on core 2: wedge_core");
+        let e = Event::RequestFailed {
+            request: 3,
+            error: "watchdog deadline exceeded".into(),
+            cycles: 9000,
+        };
+        assert_eq!(
+            e.to_string(),
+            "RequestId(3) FAILED after 9000 cycles: watchdog deadline exceeded"
         );
     }
 
@@ -518,12 +653,36 @@ mod tests {
                 cycles: 0,
             }
             .kind(),
-            Event::AuthFailWipe { request: 0 }.kind(),
+            Event::AuthFailWipe {
+                request: 0,
+                channel: 0,
+                sequence: 0,
+            }
+            .kind(),
+            Event::FaultInjected {
+                fault: String::new(),
+                core: 0,
+            }
+            .kind(),
+            Event::FaultDetected {
+                request: 0,
+                core: 0,
+                error: String::new(),
+            }
+            .kind(),
+            Event::CoreQuarantined { core: 0 }.kind(),
+            Event::CoreReset { core: 0 }.kind(),
+            Event::RequestFailed {
+                request: 0,
+                error: String::new(),
+                cycles: 0,
+            }
+            .kind(),
         ];
         let mut set = std::collections::HashSet::new();
         for k in kinds {
             assert!(set.insert(k), "duplicate kind {k}");
         }
-        assert_eq!(set.len(), 15);
+        assert_eq!(set.len(), 20);
     }
 }

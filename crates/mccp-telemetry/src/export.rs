@@ -180,7 +180,11 @@ mod tests {
             },
             TimedEvent {
                 cycle: 2,
-                event: Event::AuthFailWipe { request: 3 },
+                event: Event::AuthFailWipe {
+                    request: 3,
+                    channel: 0,
+                    sequence: 1,
+                },
             },
         ];
         let text = json_lines(&events);

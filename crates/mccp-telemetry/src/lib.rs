@@ -183,6 +183,23 @@ impl Telemetry {
                 self.registry
                     .histogram_record("mccp_reconfig_cycles", *cycles);
             }
+            Event::FaultInjected { .. } => {
+                self.registry.counter_add("mccp_faults_injected_total", 1);
+            }
+            Event::FaultDetected { .. } => {
+                self.registry.counter_add("mccp_faults_detected_total", 1);
+            }
+            Event::CoreQuarantined { .. } => {
+                self.registry.counter_add("mccp_core_quarantines_total", 1);
+            }
+            Event::CoreReset { .. } => {
+                self.registry.counter_add("mccp_core_resets_total", 1);
+            }
+            Event::RequestFailed { cycles, .. } => {
+                self.registry.counter_add("mccp_requests_failed_total", 1);
+                self.registry
+                    .histogram_record("mccp_request_latency_cycles", *cycles);
+            }
             _ => {}
         }
     }

@@ -13,7 +13,7 @@
 
 use crate::format::Direction;
 use crate::protocol::{Algorithm, ChannelId, KeyId, MccpError, RequestId};
-use mccp_telemetry::Snapshot;
+use mccp_telemetry::{Snapshot, Telemetry};
 
 /// One finished request, as surfaced by [`ChannelBackend::poll_completion`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -150,6 +150,13 @@ pub trait ChannelBackend {
     /// Publishes engine-owned gauges and snapshots the metrics registry.
     fn telemetry_snapshot(&mut self) -> Snapshot;
 
+    /// The engine's telemetry hub (events, spans, registry).
+    fn telemetry(&self) -> &Telemetry;
+
+    /// Mutable telemetry hub access — the cluster layer uses this to close
+    /// spans for packets it abandons (no engine event exists for those).
+    fn telemetry_mut(&mut self) -> &mut Telemetry;
+
     /// Runs the engine until every accepted request is pollable or the
     /// guard expires. Returns cycles advanced.
     ///
@@ -278,6 +285,14 @@ impl ChannelBackend for Mccp {
 
     fn telemetry_snapshot(&mut self) -> Snapshot {
         Mccp::telemetry_snapshot(self)
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        Mccp::telemetry(self)
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Telemetry {
+        Mccp::telemetry_mut(self)
     }
 
     fn drain(&mut self, max_cycles: u64) -> u64 {

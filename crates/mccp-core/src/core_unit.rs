@@ -32,6 +32,16 @@ impl Personality {
     pub fn runs_mode_firmware(self) -> bool {
         matches!(self, Personality::AesUnit | Personality::TwofishUnit)
     }
+
+    /// Static name, identical to the `Debug` rendering but allocation-free
+    /// for hot telemetry paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            Personality::AesUnit => "AesUnit",
+            Personality::TwofishUnit => "TwofishUnit",
+            Personality::WhirlpoolUnit => "WhirlpoolUnit",
+        }
+    }
 }
 
 /// One Cryptographic Core.
@@ -258,6 +268,21 @@ impl CryptoCore {
     /// `mccp_cryptounit::isa::MNEMONICS`.
     pub fn cu_op_counts(&self) -> &[u64; mccp_cryptounit::isa::OP_COUNT] {
         self.cu.op_counts()
+    }
+
+    /// Cycles this core's CU background AES engine spent computing.
+    pub fn cu_aes_busy_cycles(&self) -> u64 {
+        self.cu.aes_busy_cycles()
+    }
+
+    /// Cycles this core's CU background GHASH multiplier spent accumulating.
+    pub fn cu_ghash_busy_cycles(&self) -> u64 {
+        self.cu.ghash_busy_cycles()
+    }
+
+    /// Cycles a staged CU instruction waited on FIFO/mailbox resources.
+    pub fn cu_fg_wait_cycles(&self) -> u64 {
+        self.cu.fg_wait_cycles()
     }
 
     /// Conservative fast-forward horizon for the whole core (see

@@ -219,6 +219,7 @@ impl Mccp {
                 };
                 let this_delay = self.key_scheduler.busy_cycles() - before;
                 key_delay = key_delay.max(this_delay);
+                self.stage_key_expand[c] += u64::from(this_delay);
                 self.cores[c].key_cache.install(ch.key, ch.cipher, engine);
                 self.telemetry
                     .emit_with(self.cycle, || Event::KeyCacheMiss {
@@ -294,7 +295,7 @@ impl Mccp {
             .emit_with(self.cycle, || Event::RequestSubmitted {
                 request: id.0,
                 channel: channel.0,
-                algorithm: ch.algorithm.to_string(),
+                algorithm: ch.algorithm.name(),
                 direction: match direction {
                     Direction::Encrypt => "Encrypt",
                     Direction::Decrypt => "Decrypt",
@@ -442,7 +443,7 @@ impl Mccp {
         self.telemetry
             .emit_with(self.cycle, || Event::ReconfigBegin {
                 core,
-                personality: format!("{personality:?}"),
+                personality: personality.name(),
             });
         Ok(budget)
     }

@@ -45,34 +45,33 @@ impl Mccp {
                     if self.cores[*core].input.push(u32::from_be_bytes(w)) {
                         *offset = end;
                         *stalled = false;
-                        if self.telemetry.is_enabled() {
-                            self.telemetry
-                                .registry_mut()
-                                .counter_add("mccp_dma_words_total", 1);
-                            if *offset == stream.len() {
-                                // One push event per completed upload, not
-                                // per word, to keep the log proportional to
-                                // requests rather than bytes.
-                                let level = self.cores[*core].input.len();
-                                let core = *core;
-                                self.telemetry.emit_with(self.cycle, || Event::FifoPush {
-                                    core,
-                                    port: FifoPort::Input,
-                                    level,
-                                });
-                            }
-                        }
-                    } else if self.telemetry.is_enabled() {
-                        self.telemetry
-                            .registry_mut()
-                            .counter_add("mccp_dma_backpressure_cycles_total", 1);
-                        if !*stalled {
-                            *stalled = true;
+                        // Architectural accumulator (published at snapshot):
+                        // a registry lookup per word would dominate the
+                        // observability overhead budget.
+                        self.dma_words += 1;
+                        if self.telemetry.is_enabled() && *offset == stream.len() {
+                            // One push event per completed upload, not
+                            // per word, to keep the log proportional to
+                            // requests rather than bytes.
+                            let level = self.cores[*core].input.len();
                             let core = *core;
-                            self.telemetry.emit_with(self.cycle, || Event::FifoFull {
+                            self.telemetry.emit_with(self.cycle, || Event::FifoPush {
                                 core,
                                 port: FifoPort::Input,
+                                level,
                             });
+                        }
+                    } else {
+                        self.dma_backpressure_cycles += 1;
+                        if !*stalled {
+                            *stalled = true;
+                            if self.telemetry.is_enabled() {
+                                let core = *core;
+                                self.telemetry.emit_with(self.cycle, || Event::FifoFull {
+                                    core,
+                                    port: FifoPort::Input,
+                                });
+                            }
                         }
                     }
                 }
@@ -99,7 +98,10 @@ impl Mccp {
                 if self.cores[*core].input.free() > 0 {
                     return false;
                 }
-                if self.telemetry.is_enabled() && !*stalled {
+                if !*stalled {
+                    // The stall edge (flag flip + backpressure accounting +
+                    // optional FifoFull event) needs one live tick; the
+                    // schedule is identical with telemetry on or off.
                     return false;
                 }
             }
@@ -114,20 +116,17 @@ impl Mccp {
     /// stalled on a full FIFO (the only DMA state that moves during a
     /// quiescent span).
     pub(crate) fn dma_skip(&mut self, n: u64) {
-        if !self.telemetry.is_enabled() {
-            return;
-        }
+        let mut stalled_streams = 0u64;
         for req in self.requests.values() {
             if !matches!(req.state, ReqState::KeyWait(_) | ReqState::Running) {
                 continue;
             }
             for (_, stream, offset, stalled) in &req.pending_input {
                 if *offset < stream.len() && *stalled {
-                    self.telemetry
-                        .registry_mut()
-                        .counter_add("mccp_dma_backpressure_cycles_total", n);
+                    stalled_streams += 1;
                 }
             }
         }
+        self.dma_backpressure_cycles += stalled_streams * n;
     }
 }

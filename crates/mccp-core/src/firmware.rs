@@ -94,6 +94,23 @@ pub enum FirmwareId {
 }
 
 impl FirmwareId {
+    /// Static name, identical to the `Debug` rendering but allocation-free
+    /// for hot telemetry paths.
+    pub fn name(self) -> &'static str {
+        match self {
+            FirmwareId::GcmEnc => "GcmEnc",
+            FirmwareId::GcmDec => "GcmDec",
+            FirmwareId::Ccm1Enc => "Ccm1Enc",
+            FirmwareId::Ccm1Dec => "Ccm1Dec",
+            FirmwareId::Ccm2CbcEnc => "Ccm2CbcEnc",
+            FirmwareId::Ccm2CtrEnc => "Ccm2CtrEnc",
+            FirmwareId::Ccm2CtrDec => "Ccm2CtrDec",
+            FirmwareId::Ccm2CbcDec => "Ccm2CbcDec",
+            FirmwareId::Ctr => "Ctr",
+            FirmwareId::CbcMac => "CbcMac",
+        }
+    }
+
     pub const ALL: [FirmwareId; 10] = [
         FirmwareId::GcmEnc,
         FirmwareId::GcmDec,

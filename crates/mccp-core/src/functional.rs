@@ -372,7 +372,7 @@ impl ChannelBackend for FunctionalBackend {
             .emit_with(self.now, || Event::RequestSubmitted {
                 request: id.0,
                 channel: channel.0,
-                algorithm: ch.algorithm.to_string(),
+                algorithm: ch.algorithm.name(),
                 direction: match direction {
                     Direction::Encrypt => "Encrypt",
                     Direction::Decrypt => "Decrypt",
@@ -496,6 +496,14 @@ impl ChannelBackend for FunctionalBackend {
                 .gauge_set("mccp_cycles", self.now);
         }
         self.telemetry.snapshot()
+    }
+
+    fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// Processing is synchronous at submission — everything accepted is

@@ -119,6 +119,18 @@ pub struct Mccp {
     pub(crate) packets_submitted: u64,
     /// Per-channel packet ordinals (1-based), for failure attribution.
     pub(crate) channel_seq: BTreeMap<u8, u64>,
+    /// Stage-attribution accumulators for the cycle profiler, per core.
+    /// These are architectural counters (they advance identically with
+    /// telemetry on or off) published as `mccp_stage_cycles` gauges at
+    /// snapshot time, alongside the CU-internal stage counters.
+    pub(crate) stage_key_expand: Vec<u64>,
+    pub(crate) stage_reconfig_stall: Vec<u64>,
+    pub(crate) stage_quarantine_idle: Vec<u64>,
+    /// DMA totals, also architectural: incremented on the word-transfer
+    /// hot path as plain adds (a registry map lookup per word costs ~7%
+    /// wall clock) and published as counters at snapshot time.
+    pub(crate) dma_words: u64,
+    pub(crate) dma_backpressure_cycles: u64,
 }
 
 impl Mccp {
@@ -153,6 +165,11 @@ impl Mccp {
             pending_dma_drops: Vec::new(),
             packets_submitted: 0,
             channel_seq: BTreeMap::new(),
+            stage_key_expand: vec![0; config.n_cores],
+            stage_reconfig_stall: vec![0; config.n_cores],
+            stage_quarantine_idle: vec![0; config.n_cores],
+            dma_words: 0,
+            dma_backpressure_cycles: 0,
             config,
         }
     }
@@ -185,6 +202,17 @@ impl Mccp {
             reg.gauge_set("mccp_cycles", self.cycle);
             reg.gauge_set("mccp_key_expansions", self.key_scheduler.expansions());
             reg.gauge_set("mccp_crossbar_switches", self.crossbar.switches());
+            // DMA totals accumulate in plain fields on the word-transfer
+            // hot path; publish them with counter semantics here.
+            if self.dma_words > 0 {
+                reg.counter_set("mccp_dma_words_total", self.dma_words);
+            }
+            if self.dma_backpressure_cycles > 0 {
+                reg.counter_set(
+                    "mccp_dma_backpressure_cycles_total",
+                    self.dma_backpressure_cycles,
+                );
+            }
             for (i, core) in self.cores.iter().enumerate() {
                 let core_label = |name: &str| metrics::series(name, "core", i);
                 reg.gauge_set(&core_label("mccp_core_busy_cycles"), core.busy_cycles());
@@ -203,6 +231,28 @@ impl Mccp {
                 {
                     if count > 0 {
                         reg.gauge_set(&format!("mccp_cu_ops{{core=\"{i}\",op=\"{op}\"}}"), count);
+                    }
+                }
+                // Stage attribution (shard → core → stage cycle profile).
+                // A still-quarantined core contributes its live fenced span.
+                let quarantine_idle = self.stage_quarantine_idle[i]
+                    + core
+                        .quarantined_at()
+                        .map_or(0, |q| self.cycle.saturating_sub(q));
+                let stages = [
+                    ("key_expand", self.stage_key_expand[i]),
+                    ("aes_rounds", core.cu_aes_busy_cycles()),
+                    ("ghash", core.cu_ghash_busy_cycles()),
+                    ("fifo_wait", core.cu_fg_wait_cycles()),
+                    ("reconfig_stall", self.stage_reconfig_stall[i]),
+                    ("quarantine_idle", quarantine_idle),
+                ];
+                for (stage, cycles) in stages {
+                    if cycles > 0 {
+                        reg.gauge_set(
+                            &format!("mccp_stage_cycles{{core=\"{i}\",stage=\"{stage}\"}}"),
+                            cycles,
+                        );
                     }
                 }
             }
@@ -321,6 +371,9 @@ impl Mccp {
             .any(|r| r.cores.contains(&core) && !matches!(r.state, ReqState::Retrieved));
         if referenced {
             return Err(MccpError::Busy);
+        }
+        if let Some(q) = self.cores[core].quarantined_at() {
+            self.stage_quarantine_idle[core] += self.cycle.saturating_sub(q);
         }
         self.cores[core].hard_reset();
         let cycle = self.cycle;

@@ -117,17 +117,31 @@ impl Algorithm {
     pub fn is_authenticated(self) -> bool {
         matches!(self.mode(), Mode::Gcm | Mode::Ccm | Mode::CbcMac)
     }
+
+    /// Static display name, identical to the [`fmt::Display`] rendering
+    /// (e.g. `AES-128-GCM`) but allocation-free for hot telemetry paths.
+    pub fn name(self) -> &'static str {
+        use Algorithm::*;
+        match self {
+            AesGcm128 => "AES-128-GCM",
+            AesGcm192 => "AES-192-GCM",
+            AesGcm256 => "AES-256-GCM",
+            AesCcm128 => "AES-128-CCM",
+            AesCcm192 => "AES-192-CCM",
+            AesCcm256 => "AES-256-CCM",
+            AesCtr128 => "AES-128-CTR",
+            AesCtr192 => "AES-192-CTR",
+            AesCtr256 => "AES-256-CTR",
+            AesCbcMac128 => "AES-128-CBC-MAC",
+            AesCbcMac192 => "AES-192-CBC-MAC",
+            AesCbcMac256 => "AES-256-CBC-MAC",
+        }
+    }
 }
 
 impl fmt::Display for Algorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mode = match self.mode() {
-            Mode::Gcm => "GCM",
-            Mode::Ccm => "CCM",
-            Mode::Ctr => "CTR",
-            Mode::CbcMac => "CBC-MAC",
-        };
-        write!(f, "AES-{}-{}", self.key_size().key_bits(), mode)
+        f.write_str(self.name())
     }
 }
 
@@ -359,6 +373,21 @@ mod tests {
         assert!(Algorithm::AesCcm128.is_authenticated());
         assert!(!Algorithm::AesCtr128.is_authenticated());
         assert_eq!(Algorithm::AesGcm192.to_string(), "AES-192-GCM");
+    }
+
+    #[test]
+    fn static_names_cover_the_mode_keysize_grid() {
+        for alg in Algorithm::ALL {
+            let mode = match alg.mode() {
+                Mode::Gcm => "GCM",
+                Mode::Ccm => "CCM",
+                Mode::Ctr => "CTR",
+                Mode::CbcMac => "CBC-MAC",
+            };
+            let expect = format!("AES-{}-{}", alg.key_size().key_bits(), mode);
+            assert_eq!(alg.name(), expect);
+            assert_eq!(alg.to_string(), expect);
+        }
     }
 
     #[test]

@@ -191,9 +191,10 @@ impl Mccp {
                 self.cores[i].finish();
                 let started = self.reconfig_started[i];
                 let cycle = self.cycle;
+                self.stage_reconfig_stall[i] += cycle - started;
                 self.telemetry.emit_with(cycle, || Event::ReconfigEnd {
                     core: i,
-                    personality: format!("{p:?}"),
+                    personality: p.name(),
                     cycles: cycle - started,
                 });
             }
@@ -211,7 +212,7 @@ impl Mccp {
                         self.telemetry.emit_with(cycle, || Event::CoreStarted {
                             request,
                             core,
-                            firmware: format!("{firmware:?}"),
+                            firmware: firmware.name(),
                         });
                     }
                     req.state = ReqState::Running;

@@ -100,6 +100,14 @@ pub struct CryptoUnit {
     dropped_strobes: u64,
     cycles: u64,
     op_counts: [u64; crate::isa::OP_COUNT],
+
+    // Stage-attribution counters (cycle profiling). These advance
+    // identically whether telemetry is enabled or not — they are part of
+    // the model's architectural state, sampled only at snapshot time —
+    // and must stay consistent between `tick` and `skip`.
+    aes_busy_cycles: u64,
+    ghash_busy_cycles: u64,
+    fg_wait_cycles: u64,
 }
 
 impl Default for CryptoUnit {
@@ -131,6 +139,9 @@ impl CryptoUnit {
             dropped_strobes: 0,
             cycles: 0,
             op_counts: [0; crate::isa::OP_COUNT],
+            aes_busy_cycles: 0,
+            ghash_busy_cycles: 0,
+            fg_wait_cycles: 0,
         }
     }
 
@@ -269,6 +280,22 @@ impl CryptoUnit {
         self.cycles
     }
 
+    /// Cycles the background AES engine spent computing a block.
+    pub fn aes_busy_cycles(&self) -> u64 {
+        self.aes_busy_cycles
+    }
+
+    /// Cycles the background GHASH multiplier spent accumulating.
+    pub fn ghash_busy_cycles(&self) -> u64 {
+        self.ghash_busy_cycles
+    }
+
+    /// Cycles a staged foreground instruction waited on FIFO / mailbox
+    /// resources (or on a background engine it depends on).
+    pub fn fg_wait_cycles(&self) -> u64 {
+        self.fg_wait_cycles
+    }
+
     /// Security wipe: clears bank registers, engines, flags and pending
     /// state. Round keys are cleared too (a closed channel must not leave
     /// key material in the unit).
@@ -278,6 +305,9 @@ impl CryptoUnit {
             retired: self.retired,
             dropped_strobes: self.dropped_strobes,
             op_counts: self.op_counts,
+            aes_busy_cycles: self.aes_busy_cycles,
+            ghash_busy_cycles: self.ghash_busy_cycles,
+            fg_wait_cycles: self.fg_wait_cycles,
             ..CryptoUnit::new()
         };
     }
@@ -375,15 +405,24 @@ impl CryptoUnit {
         self.done_pulse = false;
         if self.aes_busy > 0 {
             debug_assert!(n < self.aes_busy as u64);
+            self.aes_busy_cycles += n;
             self.aes_busy -= n as u32;
         }
         if self.ghash_busy > 0 {
             debug_assert!(n < self.ghash_busy as u64);
+            self.ghash_busy_cycles += n;
             self.ghash_busy -= n as u32;
         }
-        if let Phase::Run(instr, left) = self.phase {
-            debug_assert!(n < left as u64);
-            self.phase = Phase::Run(instr, left - n as u32);
+        match self.phase {
+            Phase::Run(instr, left) => {
+                debug_assert!(n < left as u64);
+                self.phase = Phase::Run(instr, left - n as u32);
+            }
+            // A staged instruction inside a skippable window is by
+            // definition not ready (quiescent_for returns 0 otherwise), so
+            // the whole window counts as foreground wait.
+            Phase::Staged(_) => self.fg_wait_cycles += n,
+            Phase::Idle => {}
         }
     }
 
@@ -485,6 +524,7 @@ impl CryptoUnit {
 
         // 1. Background engines.
         if self.aes_busy > 0 {
+            self.aes_busy_cycles += 1;
             self.aes_busy -= 1;
             if self.aes_busy == 0 {
                 let engine = self.engine.as_ref().expect("armed with a key");
@@ -494,6 +534,7 @@ impl CryptoUnit {
             }
         }
         if self.ghash_busy > 0 {
+            self.ghash_busy_cycles += 1;
             self.ghash_busy -= 1;
             if self.ghash_busy == 0 {
                 let m = self.ghash_mult.as_ref().expect("armed with H");
@@ -526,6 +567,8 @@ impl CryptoUnit {
                     } else {
                         self.phase = Phase::Run(instr, left);
                     }
+                } else {
+                    self.fg_wait_cycles += 1;
                 }
             }
             Phase::Run(instr, left) => {

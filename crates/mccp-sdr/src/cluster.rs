@@ -27,12 +27,14 @@
 
 use crate::channel::SecureChannel;
 use crate::driver::{verify_records, PacketRecord, RunReport, VerifyError};
-use crate::qos::DispatchPolicy;
+use crate::qos::{channel_slo, DispatchPolicy};
 use crate::standards::Standard;
 use crate::workload::Workload;
 use mccp_core::protocol::{ChannelId, KeyId, MccpError};
 use mccp_core::{ChannelBackend, Direction, FunctionalBackend, Mccp, MccpConfig};
-use mccp_telemetry::{metrics, Snapshot};
+use mccp_telemetry::slo::{ChannelAttainment, HealthScore, SloEngine};
+use mccp_telemetry::trace::{Attempt, AttemptOutcome, PacketJourney};
+use mccp_telemetry::{metrics, Snapshot, WallProfile};
 use std::collections::VecDeque;
 
 /// Cluster shape and dispatch policy knobs.
@@ -47,6 +49,11 @@ pub struct ClusterConfig {
     pub telemetry_capacity: Option<usize>,
     /// Fault-recovery policy (retry, backoff, core-reset cool-down).
     pub retry: RetryPolicy,
+    /// Enable the observability plane: per-packet causal journeys
+    /// ([`ClusterReport::journeys`]) and the per-channel SLO attainment
+    /// table ([`ClusterReport::slo`]). Off by default; when off, the
+    /// serving loop's only extra cost is one branch per recording site.
+    pub observe: bool,
 }
 
 impl Default for ClusterConfig {
@@ -56,6 +63,7 @@ impl Default for ClusterConfig {
             work_stealing: true,
             telemetry_capacity: None,
             retry: RetryPolicy::default(),
+            observe: false,
         }
     }
 }
@@ -116,6 +124,9 @@ pub struct ShardReport {
     /// The shard died mid-run (fault-plane shard kill); its unserved
     /// queue was redistributed to the survivors.
     pub dead: bool,
+    /// Host wall-clock seconds spent inside this shard's serving loop
+    /// (across the main pass and any healing passes).
+    pub busy_seconds: f64,
     /// The shard's telemetry snapshot (when enabled).
     pub snapshot: Option<Snapshot>,
 }
@@ -156,6 +167,19 @@ pub struct ClusterReport {
     /// All shards' telemetry merged (counters add, gauges max, histograms
     /// merge), when telemetry is enabled.
     pub telemetry: Option<Snapshot>,
+    /// One causal journey per workload packet (trace id = packet index),
+    /// covering every retry attempt and steal/failover hop. Populated when
+    /// [`ClusterConfig::observe`] is on.
+    pub journeys: Option<Vec<PacketJourney>>,
+    /// Per-channel SLO attainment against deadlines derived from each
+    /// channel's radio standard. Populated when observe is on.
+    pub slo: Option<Vec<ChannelAttainment>>,
+    /// Per-shard health scores from the fault-plane counters (100 = no
+    /// fault activity; empty-snapshot shards score 100).
+    pub health: Vec<HealthScore>,
+    /// Host wall-clock profile: per-shard-thread busy time against the
+    /// run's makespan, next to the host's available parallelism.
+    pub wall: WallProfile,
 }
 
 impl ClusterReport {
@@ -350,6 +374,7 @@ impl<B: ChannelBackend> MccpCluster<B> {
     pub fn run(&mut self, workload: &Workload, policy: DispatchPolicy) -> ClusterReport {
         let queues = self.dispatch(workload, policy);
         let retry = self.config.retry;
+        let observe = self.config.observe;
         let kills: Vec<Option<u64>> = (0..self.backends.len()).map(|s| self.kill_for(s)).collect();
         let started = std::time::Instant::now();
         let outcomes: Vec<ShardOutcome> = self
@@ -358,7 +383,15 @@ impl<B: ChannelBackend> MccpCluster<B> {
             .zip(queues.iter())
             .zip(kills)
             .map(|((backend, queue), kill)| {
-                run_shard(backend, workload, &self.handles, queue, kill, retry)
+                run_shard(
+                    backend,
+                    workload,
+                    &self.handles,
+                    queue,
+                    kill,
+                    retry,
+                    observe,
+                )
             })
             .collect();
         self.finish(workload, queues, outcomes, started)
@@ -375,6 +408,7 @@ impl<B: ChannelBackend> MccpCluster<B> {
     {
         let queues = self.dispatch(workload, policy);
         let retry = self.config.retry;
+        let observe = self.config.observe;
         let kills: Vec<Option<u64>> = (0..self.backends.len()).map(|s| self.kill_for(s)).collect();
         let handles = &self.handles;
         let started = std::time::Instant::now();
@@ -385,7 +419,9 @@ impl<B: ChannelBackend> MccpCluster<B> {
                 .zip(queues.iter())
                 .zip(kills)
                 .map(|((backend, queue), kill)| {
-                    scope.spawn(move || run_shard(backend, workload, handles, queue, kill, retry))
+                    scope.spawn(move || {
+                        run_shard(backend, workload, handles, queue, kill, retry, observe)
+                    })
                 })
                 .collect();
             joins
@@ -410,16 +446,23 @@ impl<B: ChannelBackend> MccpCluster<B> {
     ) -> ClusterReport {
         let shards = self.backends.len();
         let retry = self.config.retry;
+        let observe = self.config.observe;
         let mut kill_remaining: Vec<Option<u64>> = (0..shards).map(|s| self.kill_for(s)).collect();
         let mut orphans: Vec<Job> = Vec::new();
         for (s, o) in outcomes.iter_mut().enumerate() {
             if let Some(k) = kill_remaining[s] {
                 kill_remaining[s] = Some(k.saturating_sub(o.records.len() as u64));
             }
+            // Stamp shard identity on the main pass's attempts (round 0).
+            for a in &mut o.attempts {
+                a.shard = s;
+            }
             orphans.append(&mut o.orphans);
         }
         let mut unservable: Vec<AbandonedPacket> = Vec::new();
+        let mut round = 0u32;
         while !orphans.is_empty() {
+            round += 1;
             let survivors: Vec<usize> = (0..shards).filter(|&s| !outcomes[s].dead).collect();
             if survivors.is_empty() {
                 for job in orphans.drain(..) {
@@ -440,16 +483,21 @@ impl<B: ChannelBackend> MccpCluster<B> {
                 if oq[k].is_empty() {
                     continue;
                 }
-                let out = run_shard(
+                let mut out = run_shard(
                     &mut self.backends[s],
                     workload,
                     &self.handles,
                     &oq[k],
                     kill_remaining[s],
                     retry,
+                    observe,
                 );
                 if let Some(kr) = kill_remaining[s] {
                     kill_remaining[s] = Some(kr.saturating_sub(out.records.len() as u64));
+                }
+                for a in &mut out.attempts {
+                    a.shard = s;
+                    a.round = round;
                 }
                 let o = &mut outcomes[s];
                 o.records.extend(out.records);
@@ -457,6 +505,8 @@ impl<B: ChannelBackend> MccpCluster<B> {
                 o.retries += out.retries;
                 o.resets += out.resets;
                 o.abandoned.extend(out.abandoned);
+                o.attempts.extend(out.attempts);
+                o.busy_seconds += out.busy_seconds;
                 o.dead = out.dead;
                 orphans.extend(out.orphans);
             }
@@ -480,13 +530,19 @@ impl<B: ChannelBackend> MccpCluster<B> {
         let mut core_resets = 0u64;
         let mut dead_shards = 0;
         let mut telemetry: Option<Snapshot> = None;
-        for (shard, (outcome, queue)) in outcomes.into_iter().zip(queues.iter()).enumerate() {
+        let mut served: Vec<Option<usize>> = vec![None; workload.packets.len()];
+        let mut attempt_events: Vec<AttemptEvent> = Vec::new();
+        for (shard, (mut outcome, queue)) in outcomes.into_iter().zip(queues.iter()).enumerate() {
             let stolen = queue.iter().filter(|j| j.stolen).count();
             stolen_packets += stolen;
             retries += outcome.retries;
             core_resets += outcome.resets;
             dead_shards += outcome.dead as usize;
             abandoned.extend(outcome.abandoned);
+            for r in &outcome.records {
+                served[r.packet_idx] = Some(shard);
+            }
+            attempt_events.append(&mut outcome.attempts);
             let backend = &mut self.backends[shard];
             backend.telemetry_counter_add("mccp_cluster_stolen_packets_total", stolen as u64);
             let snapshot = if backend.telemetry_enabled() {
@@ -507,6 +563,7 @@ impl<B: ChannelBackend> MccpCluster<B> {
                 retries: outcome.retries,
                 resets: outcome.resets,
                 dead: outcome.dead,
+                busy_seconds: outcome.busy_seconds,
                 snapshot,
             });
             records.extend(outcome.records);
@@ -520,6 +577,42 @@ impl<B: ChannelBackend> MccpCluster<B> {
             .iter()
             .map(|r| workload.packets[r.packet_idx].payload.len() as u64 * 8)
             .sum();
+
+        let journeys = self
+            .config
+            .observe
+            .then(|| self.build_journeys(workload, &queues, &served, attempt_events));
+        let slo = self.config.observe.then(|| {
+            let mut engine = SloEngine::new(
+                self.channels
+                    .iter()
+                    .enumerate()
+                    .map(|(i, ch)| channel_slo(i as u8, &ch.profile)),
+            );
+            for r in &records {
+                engine.record_completion(r.channel as u8, r.completed_at, r.latency);
+            }
+            for a in &abandoned {
+                engine.record_abandonment(a.channel as u8, cycles);
+            }
+            engine.attainment(cycles, cycles / 4)
+        });
+        if let (Some(rows), Some(t)) = (slo.as_deref(), telemetry.as_mut()) {
+            SloEngine::publish(rows, t);
+        }
+        let health = shards
+            .iter()
+            .map(|s| {
+                let empty = Snapshot::default();
+                HealthScore::from_snapshot(s.shard, s.snapshot.as_ref().unwrap_or(&empty))
+            })
+            .collect();
+        let wall = WallProfile {
+            host_parallelism: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            wall_seconds,
+            shard_busy_seconds: shards.iter().map(|s| s.busy_seconds).collect(),
+        };
+
         ClusterReport {
             merged: RunReport {
                 cycles,
@@ -535,7 +628,72 @@ impl<B: ChannelBackend> MccpCluster<B> {
             dead_shards,
             abandoned,
             telemetry,
+            journeys,
+            slo,
+            health,
+            wall,
         }
+    }
+
+    /// Assembles one [`PacketJourney`] per workload packet from the raw
+    /// attempt events: attempts sort causally by healing round (a packet
+    /// sits in exactly one shard's queue per round) and are renumbered
+    /// 1..n, since a failover replay restarts the shard-local counter.
+    fn build_journeys(
+        &self,
+        workload: &Workload,
+        queues: &[VecDeque<Job>],
+        served: &[Option<usize>],
+        mut events: Vec<AttemptEvent>,
+    ) -> Vec<PacketJourney> {
+        let shards = self.backends.len();
+        // Which original dispatch queue held each packet, and whether it
+        // got there by stealing.
+        let mut queue_shard: Vec<usize> = vec![0; workload.packets.len()];
+        let mut stolen: Vec<bool> = vec![false; workload.packets.len()];
+        for (s, queue) in queues.iter().enumerate() {
+            for job in queue {
+                queue_shard[job.pkt_idx] = s;
+                stolen[job.pkt_idx] = job.stolen;
+            }
+        }
+        events.sort_by_key(|e| (e.pkt_idx, e.round));
+        let mut per_pkt: Vec<Vec<Attempt>> = vec![Vec::new(); workload.packets.len()];
+        for e in events {
+            let list = &mut per_pkt[e.pkt_idx];
+            list.push(Attempt {
+                attempt: list.len() as u32 + 1,
+                shard: e.shard,
+                request: e.request,
+                submitted_at: e.submitted_at,
+                finished_at: e.finished_at,
+                outcome: e.outcome,
+                error: e.error,
+            });
+        }
+        per_pkt
+            .into_iter()
+            .enumerate()
+            .map(|(pkt_idx, attempts)| {
+                let channel = workload.packets[pkt_idx].channel;
+                let failover = attempts.iter().any(|a| a.shard != queue_shard[pkt_idx]);
+                let outcome = if served[pkt_idx].is_some() {
+                    AttemptOutcome::Completed
+                } else {
+                    AttemptOutcome::Abandoned
+                };
+                PacketJourney {
+                    trace_id: pkt_idx,
+                    channel: channel as u8,
+                    home_shard: channel % shards,
+                    served_shard: served[pkt_idx].or_else(|| attempts.last().map(|a| a.shard)),
+                    stolen: stolen[pkt_idx],
+                    failover,
+                    attempts,
+                    outcome,
+                }
+            })
+            .collect()
     }
 
     /// Verifies every merged record against the reference (`mccp-aes`)
@@ -558,6 +716,26 @@ struct ShardOutcome {
     /// Jobs left behind when the shard died (queued or in flight).
     orphans: Vec<Job>,
     dead: bool,
+    /// Host wall-clock seconds inside this serving-loop call.
+    busy_seconds: f64,
+    /// Raw attempt spans recorded when observe is on. `shard` and `round`
+    /// are stamped by the caller (the loop doesn't know its shard index).
+    attempts: Vec<AttemptEvent>,
+}
+
+/// One submission attempt of one packet, as recorded inside a shard's
+/// serving loop. Assembled into [`Attempt`] child spans per journey;
+/// `round` orders attempts across healing passes (a packet is in exactly
+/// one shard's queue per round, so `(round, recording order)` is causal).
+struct AttemptEvent {
+    pkt_idx: usize,
+    shard: usize,
+    round: u32,
+    request: u16,
+    submitted_at: u64,
+    finished_at: u64,
+    outcome: AttemptOutcome,
+    error: Option<String>,
 }
 
 /// A queued attempt: the job's slot in `queue`, failed attempts so far,
@@ -582,7 +760,9 @@ fn run_shard<B: ChannelBackend>(
     queue: &VecDeque<Job>,
     kill_after: Option<u64>,
     retry: RetryPolicy,
+    observe: bool,
 ) -> ShardOutcome {
+    let host_started = std::time::Instant::now();
     let mut pending: VecDeque<Try> = (0..queue.len())
         .map(|q| Try {
             q,
@@ -590,9 +770,11 @@ fn run_shard<B: ChannelBackend>(
             eligible_at: 0,
         })
         .collect();
-    let mut in_flight: Vec<(mccp_core::RequestId, usize, u32)> = Vec::new();
+    // (request, queue slot, failed attempts so far, shard-local submit cycle)
+    let mut in_flight: Vec<(mccp_core::RequestId, usize, u32, u64)> = Vec::new();
     let mut records = Vec::with_capacity(queue.len());
     let mut abandoned = Vec::new();
+    let mut attempts: Vec<AttemptEvent> = Vec::new();
     let mut retries = 0u64;
     let mut resets = 0u64;
     let start = backend.now();
@@ -605,19 +787,41 @@ fn run_shard<B: ChannelBackend>(
         // jobs are safe to replay elsewhere with their original IVs).
         if let Some(k) = kill_after {
             if records.len() as u64 >= k {
+                let now = backend.now() - start;
+                let now_abs = backend.now();
+                // In-flight work dies with the shard: close its spans (no
+                // engine event will) and record the failed attempts — the
+                // jobs replay on a survivor as a failover hop.
+                for &(id, q, _, submitted_at) in &in_flight {
+                    backend.telemetry_mut().abandon_request(id.0, now_abs);
+                    if observe {
+                        attempts.push(AttemptEvent {
+                            pkt_idx: queue[q].pkt_idx,
+                            shard: 0,
+                            round: 0,
+                            request: id.0,
+                            submitted_at,
+                            finished_at: now,
+                            outcome: AttemptOutcome::Failed,
+                            error: Some("shard died".into()),
+                        });
+                    }
+                }
                 let orphans = pending
                     .iter()
                     .map(|t| queue[t.q].clone())
-                    .chain(in_flight.iter().map(|&(_, q, _)| queue[q].clone()))
+                    .chain(in_flight.iter().map(|&(_, q, _, _)| queue[q].clone()))
                     .collect();
                 return ShardOutcome {
                     records,
-                    cycles: backend.now() - start,
+                    cycles: now,
                     retries,
                     resets,
                     abandoned,
                     orphans,
                     dead: true,
+                    busy_seconds: host_started.elapsed().as_secs_f64(),
+                    attempts,
                 };
             }
         }
@@ -657,7 +861,7 @@ fn run_shard<B: ChannelBackend>(
                         &metrics::series("mccp_sdr_offered_packets_total", "channel", pkt.channel),
                         1,
                     );
-                    in_flight.push((id, t.q, t.attempt));
+                    in_flight.push((id, t.q, t.attempt, now));
                     pending.remove(pos);
                 }
                 Err(MccpError::NoResource) => break,
@@ -665,7 +869,26 @@ fn run_shard<B: ChannelBackend>(
                 // on detection) back off and retry like completion faults.
                 Err(e) if e.is_retryable() => {
                     let failed = t.attempt + 1;
-                    if failed >= retry.max_attempts {
+                    let terminal = failed >= retry.max_attempts;
+                    if observe {
+                        // A refused submission never got a request id; the
+                        // attempt still happened, at dispatch time.
+                        attempts.push(AttemptEvent {
+                            pkt_idx: job.pkt_idx,
+                            shard: 0,
+                            round: 0,
+                            request: 0,
+                            submitted_at: now,
+                            finished_at: now,
+                            outcome: if terminal {
+                                AttemptOutcome::Abandoned
+                            } else {
+                                AttemptOutcome::Failed
+                            },
+                            error: Some(e.to_string()),
+                        });
+                    }
+                    if terminal {
                         abandoned.push(AbandonedPacket {
                             pkt_idx: job.pkt_idx,
                             channel: pkt.channel,
@@ -729,9 +952,9 @@ fn run_shard<B: ChannelBackend>(
             };
             let pos = in_flight
                 .iter()
-                .position(|(r, _, _)| *r == done.request)
+                .position(|(r, _, _, _)| *r == done.request)
                 .expect("tracked request");
-            let (_, q, attempt) = in_flight.swap_remove(pos);
+            let (_, q, attempt, submitted_at) = in_flight.swap_remove(pos);
             let job = &queue[q];
             let pkt = &workload.packets[job.pkt_idx];
             let now = backend.now() - start;
@@ -741,7 +964,24 @@ fn run_shard<B: ChannelBackend>(
                 // plaintext, byte-identical output on success. No nonce is
                 // burned and none is reused across distinct plaintexts.
                 let failed = attempt + 1;
-                if err.is_retryable() && failed < retry.max_attempts {
+                let will_retry = err.is_retryable() && failed < retry.max_attempts;
+                if observe {
+                    attempts.push(AttemptEvent {
+                        pkt_idx: job.pkt_idx,
+                        shard: 0,
+                        round: 0,
+                        request: done.request.0,
+                        submitted_at,
+                        finished_at: now,
+                        outcome: if will_retry {
+                            AttemptOutcome::Failed
+                        } else {
+                            AttemptOutcome::Abandoned
+                        },
+                        error: Some(err.to_string()),
+                    });
+                }
+                if will_retry {
                     retries += 1;
                     backend.telemetry_counter_add("mccp_cluster_retries_total", 1);
                     pending.push_back(Try {
@@ -750,6 +990,12 @@ fn run_shard<B: ChannelBackend>(
                         eligible_at: now + backoff_cycles(&retry, failed),
                     });
                 } else {
+                    // The engine's RequestFailed already closed the span's
+                    // failure milestone; stamp the cluster-level terminal.
+                    let now_abs = backend.now();
+                    backend
+                        .telemetry_mut()
+                        .abandon_request(done.request.0, now_abs);
                     abandoned.push(AbandonedPacket {
                         pkt_idx: job.pkt_idx,
                         channel: pkt.channel,
@@ -761,6 +1007,18 @@ fn run_shard<B: ChannelBackend>(
             }
             assert!(done.auth_ok, "encrypt never auth-fails");
             let completed_at = now;
+            if observe {
+                attempts.push(AttemptEvent {
+                    pkt_idx: job.pkt_idx,
+                    shard: 0,
+                    round: 0,
+                    request: done.request.0,
+                    submitted_at,
+                    finished_at: now,
+                    outcome: AttemptOutcome::Completed,
+                    error: None,
+                });
+            }
             if backend.telemetry_enabled() {
                 backend.telemetry_counter_add(
                     &metrics::series("mccp_sdr_served_packets_total", "channel", pkt.channel),
@@ -791,6 +1049,8 @@ fn run_shard<B: ChannelBackend>(
         abandoned,
         orphans: Vec::new(),
         dead: false,
+        busy_seconds: host_started.elapsed().as_secs_f64(),
+        attempts,
     }
 }
 
@@ -828,6 +1088,7 @@ mod tests {
                 work_stealing: true,
                 telemetry_capacity: Some(1024),
                 retry: RetryPolicy::default(),
+                observe: true,
             },
             &spec.standards,
             7,
@@ -842,6 +1103,24 @@ mod tests {
         // Merged telemetry sums the per-shard serving counters.
         let t = report.telemetry.as_ref().expect("telemetry on");
         assert_eq!(t.counter("mccp_requests_submitted_total"), 24);
+        // Observability plane: one complete single-attempt journey per
+        // packet (fault-free), served on the packet's home shard.
+        let journeys = report.journeys.as_ref().expect("observe on");
+        assert_eq!(journeys.len(), 24);
+        for j in journeys {
+            assert!(j.is_complete(), "incomplete journey: {j:?}");
+            assert_eq!(j.attempts.len(), 1);
+            assert_eq!(j.served_shard, Some(j.home_shard));
+            assert!(!j.stolen && !j.failover);
+        }
+        // SLO rows cover every channel; a fault-free run attains 1000‰.
+        let slo = report.slo.as_ref().expect("observe on");
+        assert_eq!(slo.len(), 4);
+        assert!(slo.iter().all(|row| row.attained_permille == 1000));
+        // SLO gauges land in the merged snapshot; health is fully green.
+        assert_eq!(t.gauge("mccp_slo_attained_permille{channel=\"0\"}"), 1000);
+        assert!(report.health.iter().all(|h| h.score == 100));
+        assert_eq!(report.wall.shard_busy_seconds.len(), 4);
     }
 
     #[test]
@@ -855,6 +1134,7 @@ mod tests {
             work_stealing: stealing,
             telemetry_capacity: None,
             retry: RetryPolicy::default(),
+            observe: false,
         };
         let mut lazy = MccpCluster::functional(cfg(false), &spec.standards, 3);
         let r_lazy = lazy.run(&workload, DispatchPolicy::Fifo);
@@ -888,6 +1168,7 @@ mod tests {
                 work_stealing: true,
                 telemetry_capacity: None,
                 retry: RetryPolicy::default(),
+                observe: false,
             },
             mccp_cfg.clone(),
             &spec.standards,
@@ -900,6 +1181,7 @@ mod tests {
                 work_stealing: true,
                 telemetry_capacity: None,
                 retry: RetryPolicy::default(),
+                observe: false,
             },
             mccp_cfg,
             &spec.standards,

@@ -8,7 +8,9 @@
 //! within a class), which is the simple realization of the paper's QoS
 //! discussion.
 
+use crate::standards::StandardProfile;
 use crate::workload::RadioPacket;
+use mccp_telemetry::slo::ChannelSlo;
 
 /// The packet-dispatch policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,6 +30,24 @@ impl DispatchPolicy {
             idx.sort_by_key(|&i| (packets[i].priority, i));
         }
         idx
+    }
+}
+
+/// Derives the per-channel latency SLO from a radio standard's traffic
+/// profile: the deadline scales with the largest packet the standard
+/// emits (DMA is one 32-bit word per cycle, the crypto pipeline adds a
+/// per-block cost, and the constant absorbs key expansion and scheduling),
+/// and the attainment target reflects the standard's latency demand —
+/// secure voice is the paper's low-latency stream and gets the tightest
+/// objective.
+pub fn channel_slo(channel: u8, profile: &StandardProfile) -> ChannelSlo {
+    ChannelSlo {
+        channel,
+        deadline_cycles: 5_000 + 16 * profile.max_packet() as u64,
+        target_permille: match profile.standard {
+            crate::standards::Standard::SecureVoice => 999,
+            _ => 990,
+        },
     }
 }
 
@@ -97,6 +117,19 @@ mod tests {
     fn priority_sorts_stably() {
         let pkts = vec![pkt(2), pkt(0), pkt(1), pkt(0)];
         assert_eq!(DispatchPolicy::Priority.order(&pkts), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn slo_derivation_scales_with_packet_size() {
+        use crate::standards::Standard;
+        let wifi = channel_slo(0, &Standard::Wifi.profile());
+        let voice = channel_slo(3, &Standard::SecureVoice.profile());
+        assert!(
+            wifi.deadline_cycles > voice.deadline_cycles,
+            "bigger packets get a proportionally longer deadline"
+        );
+        assert_eq!(voice.target_permille, 999, "voice is the tight objective");
+        assert!(voice.error_budget() < wifi.error_budget());
     }
 
     #[test]

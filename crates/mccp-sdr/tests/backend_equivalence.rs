@@ -8,12 +8,13 @@
 //! (Priority + Poisson arrivals + core backpressure can legitimately
 //! reorder which packet of a channel gets which counter value).
 
-use mccp_core::{FaultPlan, FunctionalBackend, MccpConfig};
+use mccp_core::{ChannelBackend, FaultPlan, FunctionalBackend, MccpConfig};
 use mccp_sdr::cluster::{ClusterConfig, ClusterReport, MccpCluster, RetryPolicy};
 use mccp_sdr::driver::PacketRecord;
 use mccp_sdr::qos::DispatchPolicy;
 use mccp_sdr::workload::{Workload, WorkloadSpec};
 use mccp_sdr::{RadioDriver, Standard};
+use mccp_telemetry::trace::AttemptOutcome;
 use proptest::prelude::*;
 
 const STANDARDS: [Standard; 4] = [
@@ -84,6 +85,7 @@ fn one_shard_cluster_matches_single_backend_run() {
             work_stealing: true,
             telemetry_capacity: None,
             retry: RetryPolicy::default(),
+            observe: false,
         },
         &spec.standards,
         5,
@@ -112,6 +114,7 @@ fn sharded_cluster_with_stealing_matches_single_backend_bytes() {
             work_stealing: true,
             telemetry_capacity: None,
             retry: RetryPolicy::default(),
+            observe: false,
         },
         &spec.standards,
         11,
@@ -134,6 +137,7 @@ fn cycle_cluster_matches_functional_cluster() {
         work_stealing: true,
         telemetry_capacity: None,
         retry: RetryPolicy::default(),
+        observe: false,
     };
     let mut f = MccpCluster::functional(cfg, &spec.standards, 3);
     let rf = f.run(&workload, DispatchPolicy::Fifo);
@@ -168,6 +172,36 @@ fn assert_exactly_once(report: &ClusterReport, packets: usize, what: &str) {
         union, all,
         "{what}: some packet is neither delivered nor reported"
     );
+}
+
+/// The tracing plane's exactly-once mirror of [`assert_exactly_once`]:
+/// every packet has exactly one journey, every journey is causally
+/// complete (ordinals 1..n, non-final attempts failed, terminal outcome
+/// matches), and a journey completed iff the packet was delivered.
+fn assert_journeys_complete(report: &ClusterReport, packets: usize, what: &str) {
+    use std::collections::BTreeSet;
+    let delivered: BTreeSet<usize> = report.merged.records.iter().map(|r| r.packet_idx).collect();
+    let journeys = report.journeys.as_ref().expect("observe on");
+    assert_eq!(journeys.len(), packets, "{what}: one journey per packet");
+    for (i, j) in journeys.iter().enumerate() {
+        assert_eq!(j.trace_id, i, "{what}: journey order");
+        assert!(j.is_complete(), "{what}: incomplete journey: {j:?}");
+        assert_eq!(
+            j.outcome == AttemptOutcome::Completed,
+            delivered.contains(&i),
+            "{what}: journey {i} outcome disagrees with delivery"
+        );
+    }
+}
+
+/// SpanTracker balance: after a run, no shard may hold an open span —
+/// every accepted request reached completed/failed, and everything the
+/// cluster gave up on was explicitly abandoned.
+fn assert_span_balance<B: ChannelBackend>(cluster: &mut MccpCluster<B>, what: &str) {
+    for s in 0..cluster.shard_count() {
+        let spans = cluster.backend_mut(s).telemetry().spans();
+        assert_eq!(spans.open_count(), 0, "{what}: shard {s} leaked open spans");
+    }
 }
 
 #[test]
@@ -214,6 +248,8 @@ proptest! {
         let workload = Workload::generate(spec.clone());
         let cfg = ClusterConfig {
             shards: 2,
+            telemetry_capacity: Some(256),
+            observe: true,
             ..ClusterConfig::default()
         };
         let n_cores = MccpConfig::default().n_cores;
@@ -237,6 +273,8 @@ proptest! {
         }
         let rc = cycle.run(&workload, DispatchPolicy::Fifo);
         assert_exactly_once(&rc, packets, "cycle engine");
+        assert_journeys_complete(&rc, packets, "cycle engine");
+        assert_span_balance(&mut cycle, "cycle engine");
         prop_assert_eq!(
             cycle.verify(&workload, &rc).unwrap(),
             rc.merged.packets,
@@ -249,6 +287,8 @@ proptest! {
         }
         let rf = functional.run(&workload, DispatchPolicy::Fifo);
         assert_exactly_once(&rf, packets, "functional engine");
+        assert_journeys_complete(&rf, packets, "functional engine");
+        assert_span_balance(&mut functional, "functional engine");
         prop_assert_eq!(
             functional.verify(&workload, &rf).unwrap(),
             rf.merged.packets,

@@ -47,7 +47,7 @@ pub enum Event {
         request: u16,
         channel: u8,
         /// `Algorithm`'s display name, e.g. `AES-128-GCM`.
-        algorithm: String,
+        algorithm: &'static str,
         /// `Encrypt` or `Decrypt`.
         direction: &'static str,
         cores: Vec<usize>,
@@ -59,7 +59,7 @@ pub enum Event {
         request: u16,
         core: usize,
         /// `FirmwareId`'s debug name, e.g. `GcmEnc`.
-        firmware: String,
+        firmware: &'static str,
     },
     /// All cores reported and the output is resident (Data Available).
     RequestCompleted {
@@ -93,16 +93,20 @@ pub enum Event {
         key: u8,
         expansion_cycles: u32,
     },
-    /// A Cryptographic Unit instruction was accepted by the decoder.
-    CuOpStarted { core: usize, op: String },
+    /// A Cryptographic Unit instruction was accepted by the decoder
+    /// (`op` is the ISA mnemonic, see `mccp_cryptounit::isa::MNEMONICS`).
+    CuOpStarted { core: usize, op: &'static str },
     /// A Cryptographic Unit instruction retired.
-    CuOpFinished { core: usize, op: String },
+    CuOpFinished { core: usize, op: &'static str },
     /// A partial bitstream started streaming into a core's CU region.
-    ReconfigBegin { core: usize, personality: String },
+    ReconfigBegin {
+        core: usize,
+        personality: &'static str,
+    },
     /// Reconfiguration completed; the new personality is active.
     ReconfigEnd {
         core: usize,
-        personality: String,
+        personality: &'static str,
         cycles: u64,
     },
     /// The auth-failure defense wiped the request's output FIFOs.
@@ -462,7 +466,7 @@ mod tests {
         let e = Event::RequestSubmitted {
             request: 1,
             channel: 0,
-            algorithm: "AES-128-GCM".into(),
+            algorithm: "AES-128-GCM",
             direction: "Encrypt",
             cores: vec![0],
         };
@@ -473,7 +477,7 @@ mod tests {
         let e = Event::CoreStarted {
             request: 1,
             core: 0,
-            firmware: "GcmEnc".into(),
+            firmware: "GcmEnc",
         };
         assert_eq!(e.to_string(), "core 0 starts GcmEnc for RequestId(1)");
         let e = Event::RequestCompleted {
@@ -544,7 +548,7 @@ mod tests {
             event: Event::RequestSubmitted {
                 request: 7,
                 channel: 3,
-                algorithm: "AES-256-CCM".into(),
+                algorithm: "AES-256-CCM",
                 direction: "Decrypt",
                 cores: vec![1, 2],
             },
@@ -581,7 +585,7 @@ mod tests {
             Event::RequestSubmitted {
                 request: 0,
                 channel: 0,
-                algorithm: String::new(),
+                algorithm: "",
                 direction: "Encrypt",
                 cores: vec![],
             }
@@ -594,7 +598,7 @@ mod tests {
             Event::CoreStarted {
                 request: 0,
                 core: 0,
-                firmware: String::new(),
+                firmware: "",
             }
             .kind(),
             Event::RequestCompleted {
@@ -632,24 +636,16 @@ mod tests {
                 expansion_cycles: 0,
             }
             .kind(),
-            Event::CuOpStarted {
-                core: 0,
-                op: String::new(),
-            }
-            .kind(),
-            Event::CuOpFinished {
-                core: 0,
-                op: String::new(),
-            }
-            .kind(),
+            Event::CuOpStarted { core: 0, op: "" }.kind(),
+            Event::CuOpFinished { core: 0, op: "" }.kind(),
             Event::ReconfigBegin {
                 core: 0,
-                personality: String::new(),
+                personality: "",
             }
             .kind(),
             Event::ReconfigEnd {
                 core: 0,
-                personality: String::new(),
+                personality: "",
                 cycles: 0,
             }
             .kind(),

@@ -231,6 +231,66 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_renders_label_blocks_verbatim_and_sorted() {
+        let mut r = Registry::new(true);
+        r.gauge_set("mccp_slo_attained_permille{channel=\"0\"}", 1000);
+        r.gauge_set("mccp_slo_attained_permille{channel=\"10\"}", 990);
+        r.gauge_set("mccp_stage_cycles{core=\"0\",stage=\"aes_rounds\"}", 7);
+        r.gauge_set("mccp_stage_cycles{core=\"0\",stage=\"ghash\"}", 3);
+        let text = prometheus_text(&r.snapshot());
+        // One TYPE header per base name, however many label variants.
+        assert_eq!(
+            text.matches("# TYPE mccp_slo_attained_permille gauge")
+                .count(),
+            1
+        );
+        assert_eq!(text.matches("# TYPE mccp_stage_cycles gauge").count(), 1);
+        // Label blocks round-trip byte-for-byte, quotes intact.
+        assert!(text.contains("mccp_slo_attained_permille{channel=\"0\"} 1000\n"));
+        assert!(text.contains("mccp_slo_attained_permille{channel=\"10\"} 990\n"));
+        assert!(text.contains("mccp_stage_cycles{core=\"0\",stage=\"aes_rounds\"} 7\n"));
+        assert!(text.contains("mccp_stage_cycles{core=\"0\",stage=\"ghash\"} 3\n"));
+        // Series order is lexicographic by full key — deterministic.
+        let i0 = text.find("channel=\"0\"").unwrap();
+        let i10 = text.find("channel=\"10\"").unwrap();
+        assert!(i0 < i10);
+    }
+
+    #[test]
+    fn prometheus_labelled_histogram_keeps_labels_on_every_series() {
+        let mut r = Registry::new(true);
+        r.histogram_record("lat{channel=\"2\"}", 3);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE lat histogram\n"));
+        assert!(text.contains("lat_bucket{channel=\"2\",le=\"3\"} 1\n"));
+        assert!(text.contains("lat_bucket{channel=\"2\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_sum{channel=\"2\"} 3\n"));
+        assert!(text.contains("lat_count{channel=\"2\"} 1\n"));
+    }
+
+    #[test]
+    fn label_value_requires_exact_base_and_label() {
+        assert_eq!(
+            label_value("mccp_stage_cycles{core=\"3\"}", "mccp_stage_cycles", "core"),
+            Some("3")
+        );
+        // A base that is merely a prefix of the series name must not match.
+        assert_eq!(
+            label_value("mccp_stage_cycles{core=\"3\"}", "mccp_stage", "core"),
+            None
+        );
+        // Nor a different label name.
+        assert_eq!(
+            label_value(
+                "mccp_stage_cycles{core=\"3\"}",
+                "mccp_stage_cycles",
+                "stage"
+            ),
+            None
+        );
+    }
+
+    #[test]
     fn utilization_report_computes_percentages() {
         let mut r = Registry::new(true);
         r.gauge_set("mccp_cycles", 1000);

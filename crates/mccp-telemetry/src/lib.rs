@@ -11,8 +11,17 @@
 //!   cycle-latency histograms with deterministic (`BTreeMap`-ordered)
 //!   snapshots.
 //! * **Spans** ([`SpanTracker`]) — per-request lifecycle milestones
-//!   (submitted → started → completed → retrieved) derived from the event
-//!   stream, feeding latency metrics and the VCD bridge.
+//!   (submitted → started → completed/failed/abandoned → retrieved)
+//!   derived from the event stream, feeding latency metrics and the VCD
+//!   bridge.
+//! * **Causal traces** ([`trace`]) — cluster-level [`trace::PacketJourney`]
+//!   records (one per packet, spanning retries, steals and failover hops)
+//!   with JSON-lines and Chrome `trace_event` exporters.
+//! * **Cycle-attribution profiles** ([`profile`]) — hierarchical
+//!   shard → core → stage cycle accounting rendered as a
+//!   flamegraph-compatible collapsed-stack file and a top-N report.
+//! * **SLO engine** ([`slo`]) — per-channel deadline attainment, rolling
+//!   burn-rate windows, and fault-counter-driven health scores.
 //! * **Exporters** ([`export`], [`vcd_bridge`]) — JSON-lines event logs,
 //!   Prometheus text exposition, a human-readable utilization report, and
 //!   a waveform bridge into `mccp-sim`'s VCD writer.
@@ -35,12 +44,18 @@
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod profile;
+pub mod slo;
 pub mod span;
+pub mod trace;
 pub mod vcd_bridge;
 
 pub use event::{Event, FifoPort, TimedEvent};
 pub use metrics::{Histogram, Registry, Snapshot};
+pub use profile::WallProfile;
+pub use slo::{ChannelAttainment, ChannelSlo, HealthScore, SloEngine};
 pub use span::{RequestSpan, SpanTracker};
+pub use trace::{Attempt, AttemptOutcome, PacketJourney};
 
 use std::collections::VecDeque;
 
@@ -237,6 +252,17 @@ impl Telemetry {
         &self.spans
     }
 
+    /// Closes the span of a packet the cluster abandoned (retry budget
+    /// exhausted or dead shard) — no engine event exists for that terminal,
+    /// so the cluster layer records it directly. One branch when disabled.
+    pub fn abandon_request(&mut self, request: u16, cycle: u64) {
+        if self.enabled {
+            self.spans.abandon(request, cycle);
+            self.registry
+                .counter_add("mccp_requests_abandoned_total", 1);
+        }
+    }
+
     /// Recorded events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
         self.events.iter()
@@ -304,7 +330,7 @@ mod tests {
             Event::RequestSubmitted {
                 request: 1,
                 channel: 0,
-                algorithm: "AES-128-GCM".into(),
+                algorithm: "AES-128-GCM",
                 direction: "Encrypt",
                 cores: vec![0],
             },

@@ -162,6 +162,17 @@ impl Registry {
         self.insert_gauge(key, value);
     }
 
+    /// Publishes a counter's absolute value — for architectural totals the
+    /// engine accumulates in plain fields on the hot path and samples at
+    /// snapshot time. Idempotent across repeated snapshots; the value must
+    /// be monotone between calls for counter semantics to hold.
+    pub fn counter_set(&mut self, key: &str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self.entry_or_insert_counter(key) = value;
+    }
+
     /// Raises a gauge to `value` if it is below it (high-water marks).
     pub fn gauge_max(&mut self, key: &str, value: u64) {
         if !self.enabled {
@@ -326,6 +337,61 @@ mod tests {
             all.histogram_record("lat", v);
         }
         assert_eq!(merged.histograms["lat"], all.snapshot().histograms["lat"]);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_with_empty_identity() {
+        // Cluster assembly folds shard snapshots left-to-right; healing
+        // rounds fold extra snapshots later. The result must not depend
+        // on that grouping.
+        let reg = |vals: &[u64], c: u64| {
+            let mut r = Registry::new(true);
+            r.counter_add("pkts_total", c);
+            r.gauge_set("hw", c);
+            for &v in vals {
+                r.histogram_record("lat", v);
+            }
+            r.snapshot()
+        };
+        let a = reg(&[1, 3], 2);
+        let b = reg(&[49], 5);
+        let c = reg(&[104, 0], 1);
+
+        let mut left = a.clone(); // (a ⊕ b) ⊕ c
+        left.merge_from(&b);
+        left.merge_from(&c);
+        let mut bc = b.clone(); // a ⊕ (b ⊕ c)
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        assert_eq!(left, right, "merge_from must be associative");
+
+        let mut with_empty = a.clone();
+        with_empty.merge_from(&Snapshot::default());
+        assert_eq!(with_empty, a, "the empty snapshot is the identity");
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let h = |vals: &[u64]| {
+            let mut h = Histogram::default();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (h(&[0, 7]), h(&[49]), h(&[3, 104]));
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a;
+        right.merge_from(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.min, 0);
+        assert_eq!(left.max, 104);
+        assert_eq!(left.count, 5);
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Cycle-domain spans tying together a packet's lifecycle.
 //!
 //! A [`RequestSpan`] collects the timestamps of one request's milestones —
-//! submission, first core start, completion (Data Available), and
-//! retrieval — by watching the typed event stream. The tracker is fed by
-//! [`crate::Telemetry::emit`]; nothing needs to be recorded manually.
+//! submission, first core start, completion (Data Available), retrieval,
+//! and the failure-path terminals (failed / abandoned) — by watching the
+//! typed event stream. The tracker is fed by [`crate::Telemetry::emit`];
+//! nothing needs to be recorded manually except [`SpanTracker::abandon`],
+//! which the cluster layer calls for packets that exhaust their retry
+//! budget or die with their shard (no engine event exists for those).
 
 use std::collections::BTreeMap;
 
@@ -15,12 +18,17 @@ use crate::event::Event;
 pub struct RequestSpan {
     pub request: u16,
     pub channel: u8,
-    pub algorithm: String,
+    pub algorithm: &'static str,
     pub cores: Vec<usize>,
     pub submitted: Option<u64>,
     pub started: Option<u64>,
     pub completed: Option<u64>,
     pub retrieved: Option<u64>,
+    /// Cycle the engine terminated the request on a detected fault.
+    pub failed: Option<u64>,
+    /// Cycle the cluster gave the request up for good (retry budget
+    /// exhausted or the owning shard died before completion).
+    pub abandoned: Option<u64>,
     pub auth_ok: Option<bool>,
 }
 
@@ -39,6 +47,13 @@ impl RequestSpan {
             (Some(s), Some(r)) => Some(r.saturating_sub(s)),
             _ => None,
         }
+    }
+
+    /// True once the span has reached a terminal milestone: completion,
+    /// an engine-detected failure, or cluster-level abandonment. A span
+    /// that never closes is a leak (asserted by the chaos proptest).
+    pub fn is_closed(&self) -> bool {
+        self.completed.is_some() || self.failed.is_some() || self.abandoned.is_some()
     }
 }
 
@@ -68,7 +83,7 @@ impl SpanTracker {
             } => {
                 let span = self.span(*request);
                 span.channel = *channel;
-                span.algorithm = algorithm.clone();
+                span.algorithm = *algorithm;
                 span.cores = cores.clone();
                 span.submitted = Some(cycle);
             }
@@ -88,8 +103,26 @@ impl SpanTracker {
             Event::RequestRetrieved { request, .. } => {
                 self.span(*request).retrieved = Some(cycle);
             }
+            Event::RequestFailed { request, .. } => {
+                self.span(*request).failed = Some(cycle);
+            }
             _ => {}
         }
+    }
+
+    /// Closes a span for a packet the cluster gave up on (retry budget
+    /// exhausted or dead shard). Creates the span if the request never even
+    /// reached submission — every packet must end with a closed span.
+    pub fn abandon(&mut self, request: u16, cycle: u64) {
+        let span = self.span(request);
+        if span.abandoned.is_none() {
+            span.abandoned = Some(cycle);
+        }
+    }
+
+    /// Number of spans that have not reached a terminal milestone.
+    pub fn open_count(&self) -> usize {
+        self.spans.values().filter(|s| !s.is_closed()).count()
     }
 
     /// All spans, ordered by request id.
@@ -122,7 +155,7 @@ mod tests {
             &Event::RequestSubmitted {
                 request: 1,
                 channel: 2,
-                algorithm: "AES-128-GCM".into(),
+                algorithm: "AES-128-GCM",
                 direction: "Encrypt",
                 cores: vec![0, 1],
             },
@@ -132,7 +165,7 @@ mod tests {
             &Event::CoreStarted {
                 request: 1,
                 core: 0,
-                firmware: "GcmEnc".into(),
+                firmware: "GcmEnc",
             },
         );
         // A second core start must not move the started milestone.
@@ -141,7 +174,7 @@ mod tests {
             &Event::CoreStarted {
                 request: 1,
                 core: 1,
-                firmware: "GcmEnc".into(),
+                firmware: "GcmEnc",
             },
         );
         t.observe(
@@ -170,6 +203,47 @@ mod tests {
         assert_eq!(span.auth_ok, Some(true));
         assert_eq!(span.completion_latency(), Some(490));
         assert_eq!(span.retrieval_latency(), Some(510));
+        assert!(span.is_closed());
+        assert_eq!(t.open_count(), 0);
+    }
+
+    #[test]
+    fn failed_and_abandoned_requests_close_their_spans() {
+        let mut t = SpanTracker::default();
+        t.observe(
+            5,
+            &Event::RequestSubmitted {
+                request: 4,
+                channel: 1,
+                algorithm: "AES-128-CCM",
+                direction: "Encrypt",
+                cores: vec![0],
+            },
+        );
+        assert_eq!(t.open_count(), 1);
+        t.observe(
+            90,
+            &Event::RequestFailed {
+                request: 4,
+                error: "watchdog deadline exceeded".into(),
+                cycles: 85,
+            },
+        );
+        let span = t.get(4).unwrap();
+        assert_eq!(span.failed, Some(90));
+        assert!(span.is_closed());
+        assert_eq!(t.open_count(), 0);
+
+        // Cluster-level abandonment closes a span with no engine event —
+        // including one the engine never accepted (submission refused).
+        t.abandon(7, 120);
+        let span = t.get(7).unwrap();
+        assert_eq!(span.abandoned, Some(120));
+        assert!(span.is_closed());
+        assert_eq!(t.open_count(), 0);
+        // Idempotent: a second abandon keeps the first cycle stamp.
+        t.abandon(7, 400);
+        assert_eq!(t.get(7).unwrap().abandoned, Some(120));
     }
 
     #[test]
@@ -194,7 +268,7 @@ mod tests {
             &Event::RequestSubmitted {
                 request: 9,
                 channel: 0,
-                algorithm: "AES-256-CCM".into(),
+                algorithm: "AES-256-CCM",
                 direction: "Decrypt",
                 cores: vec![2],
             },

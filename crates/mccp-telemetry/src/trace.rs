@@ -1,0 +1,396 @@
+//! Cluster-wide causal tracing: one [`PacketJourney`] per packet.
+//!
+//! The trace id is the packet's workload index — globally unique across
+//! the cluster because central dispatch assigns IVs (and indices) before
+//! sharding. A journey records where the packet was *supposed* to run
+//! (its channel-affinity home shard), where it actually ran (after
+//! work-stealing or dead-shard failover), and every submission attempt
+//! with its engine-side request id, cycle window and outcome. Attempts are
+//! the child spans of the journey; steal/failover hops are edges derived
+//! from `home_shard` vs the attempt's shard.
+//!
+//! Two exporters render journeys: JSON-lines (one journey object per
+//! line) and the Chrome `trace_event` format (`chrome://tracing` /
+//! Perfetto — attempts become complete `"ph":"X"` slices with the shard
+//! as `pid` and the channel as `tid`). Both are hand-formatted and
+//! deterministic: identical runs export byte-identical text.
+
+use std::fmt::Write as _;
+
+/// How one submission attempt of a packet ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The engine delivered verified output.
+    Completed,
+    /// The engine detected a fault; the cluster may retry.
+    Failed,
+    /// The cluster refused to retry further (budget exhausted), or the
+    /// shard died with the attempt in flight.
+    Abandoned,
+}
+
+impl AttemptOutcome {
+    /// Lower-case name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttemptOutcome::Completed => "completed",
+            AttemptOutcome::Failed => "failed",
+            AttemptOutcome::Abandoned => "abandoned",
+        }
+    }
+}
+
+/// One submission attempt: a child span of a [`PacketJourney`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attempt {
+    /// 1-based attempt ordinal within the journey.
+    pub attempt: u32,
+    /// Shard the attempt ran on.
+    pub shard: usize,
+    /// Engine-side request id the attempt was accepted as.
+    pub request: u16,
+    /// Cycle the engine accepted the submission (shard-local clock).
+    pub submitted_at: u64,
+    /// Cycle the attempt reached a terminal state (shard-local clock).
+    pub finished_at: u64,
+    pub outcome: AttemptOutcome,
+    /// Error string for failed/abandoned attempts.
+    pub error: Option<String>,
+}
+
+/// The complete causal record of one packet through the cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PacketJourney {
+    /// Trace id = workload packet index (globally unique).
+    pub trace_id: usize,
+    pub channel: u8,
+    /// Channel-affinity shard the dispatcher routed the packet to.
+    pub home_shard: usize,
+    /// Shard whose queue finally held the packet (after stealing and
+    /// failover); `None` only if no shard survived to take it.
+    pub served_shard: Option<usize>,
+    /// The packet was work-stolen off its home shard's queue tail.
+    pub stolen: bool,
+    /// The packet was re-queued onto a survivor after its shard died.
+    pub failover: bool,
+    /// Submission attempts, in causal order.
+    pub attempts: Vec<Attempt>,
+    /// Terminal outcome of the whole journey (the last attempt's outcome,
+    /// or `Abandoned` if the packet never reached an engine).
+    pub outcome: AttemptOutcome,
+}
+
+impl PacketJourney {
+    /// True when the journey reached a terminal state and its attempt
+    /// chain is causally ordered (attempt ordinals increase by one and
+    /// cycle windows are well-formed).
+    pub fn is_complete(&self) -> bool {
+        if self.outcome == AttemptOutcome::Completed
+            && self.attempts.last().map(|a| a.outcome) != Some(AttemptOutcome::Completed)
+        {
+            return false;
+        }
+        for (i, a) in self.attempts.iter().enumerate() {
+            if a.attempt != (i + 1) as u32 || a.finished_at < a.submitted_at {
+                return false;
+            }
+            // Every attempt before the last must have failed (otherwise
+            // there would have been no retry).
+            if i + 1 < self.attempts.len() && a.outcome != AttemptOutcome::Failed {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of hops beyond the home shard (steal + failover edges).
+    pub fn hops(&self) -> usize {
+        usize::from(self.stolen) + usize::from(self.failover)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"trace_id\":{},\"channel\":{},\"home_shard\":{},\"served_shard\":",
+            self.trace_id, self.channel, self.home_shard
+        );
+        match self.served_shard {
+            Some(s) => {
+                let _ = write!(out, "{s}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"stolen\":{},\"failover\":{},\"outcome\":\"{}\",\"attempts\":[",
+            self.stolen,
+            self.failover,
+            self.outcome.as_str()
+        );
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"attempt\":{},\"shard\":{},\"request\":{},\"submitted_at\":{},\
+                 \"finished_at\":{},\"outcome\":\"{}\"",
+                a.attempt,
+                a.shard,
+                a.request,
+                a.submitted_at,
+                a.finished_at,
+                a.outcome.as_str()
+            );
+            if let Some(e) = &a.error {
+                out.push_str(",\"error\":");
+                json_string(out, e);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Renders journeys as JSON-lines, one journey per line, in trace-id
+/// order of the input slice.
+pub fn journeys_json_lines(journeys: &[PacketJourney]) -> String {
+    let mut out = String::with_capacity(journeys.len() * 160);
+    for j in journeys {
+        j.write_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders journeys in the Chrome `trace_event` JSON format: each attempt
+/// is a complete (`"ph":"X"`) slice with the shard as `pid`, the channel
+/// as `tid`, the shard-local submission cycle as `ts` and the attempt
+/// duration in cycles as `dur`. Loadable in `chrome://tracing`/Perfetto
+/// (cycles stand in for microseconds).
+pub fn chrome_trace(journeys: &[PacketJourney]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for j in journeys {
+        for a in &j.attempts {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"pkt{} attempt{}\",\"cat\":\"{}\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\
+                 \"trace_id\":{},\"outcome\":\"{}\",\"home_shard\":{},\
+                 \"stolen\":{},\"failover\":{}}}}}",
+                j.trace_id,
+                a.attempt,
+                a.outcome.as_str(),
+                a.submitted_at,
+                a.finished_at.saturating_sub(a.submitted_at),
+                a.shard,
+                j.channel,
+                j.trace_id,
+                a.outcome.as_str(),
+                j.home_shard,
+                j.stolen,
+                j.failover
+            );
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Structural schema check for the Chrome `trace_event` exporter output:
+/// top-level `traceEvents` array, every event object carrying the
+/// mandatory `name`/`cat`/`ph`/`ts`/`pid`/`tid` keys, and balanced JSON
+/// delimiters. A hand-rolled validator — the vendored serde is a stub, so
+/// no JSON parser exists in-tree.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let text = text.trim_end();
+    if !text.starts_with('{') || !text.ends_with('}') {
+        return Err("not a JSON object".into());
+    }
+    if !text.contains("\"traceEvents\":[") {
+        return Err("missing traceEvents array".into());
+    }
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("unbalanced delimiters".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return Err("unbalanced delimiters".into());
+    }
+    let starts: Vec<usize> = text.match_indices("{\"name\":").map(|(i, _)| i).collect();
+    for (k, &i) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).copied().unwrap_or(text.len());
+        let obj = &text[i..end];
+        for key in [
+            "\"name\":",
+            "\"cat\":",
+            "\"ph\":",
+            "\"ts\":",
+            "\"pid\":",
+            "\"tid\":",
+        ] {
+            if !obj.contains(key) {
+                return Err(format!("event at byte {i} missing {key}"));
+            }
+        }
+    }
+    Ok(starts.len())
+}
+
+/// Appends `s` to `out` as a JSON string literal with escaping (local
+/// copy of the event exporter's escaper; the field is module-private).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journey() -> PacketJourney {
+        PacketJourney {
+            trace_id: 7,
+            channel: 3,
+            home_shard: 1,
+            served_shard: Some(0),
+            stolen: true,
+            failover: false,
+            attempts: vec![
+                Attempt {
+                    attempt: 1,
+                    shard: 0,
+                    request: 4,
+                    submitted_at: 100,
+                    finished_at: 900,
+                    outcome: AttemptOutcome::Failed,
+                    error: Some("cryptographic core faulted".into()),
+                },
+                Attempt {
+                    attempt: 2,
+                    shard: 0,
+                    request: 6,
+                    submitted_at: 3000,
+                    finished_at: 6200,
+                    outcome: AttemptOutcome::Completed,
+                    error: None,
+                },
+            ],
+            outcome: AttemptOutcome::Completed,
+        }
+    }
+
+    #[test]
+    fn journeys_export_one_line_each() {
+        let text = journeys_json_lines(&[journey()]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("{\"trace_id\":7,\"channel\":3,\"home_shard\":1"));
+        assert!(lines[0].contains("\"served_shard\":0"));
+        assert!(lines[0].contains("\"stolen\":true"));
+        assert!(lines[0].contains("\"outcome\":\"completed\""));
+        assert!(lines[0].contains("\"error\":\"cryptographic core faulted\""));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn completeness_checks_causal_order() {
+        let mut j = journey();
+        assert!(j.is_complete());
+        assert_eq!(j.hops(), 1);
+        // A non-final completed attempt breaks causality.
+        j.attempts[0].outcome = AttemptOutcome::Completed;
+        assert!(!j.is_complete());
+        let mut j = journey();
+        j.attempts[1].attempt = 5;
+        assert!(!j.is_complete());
+        let mut j = journey();
+        j.attempts[1].finished_at = j.attempts[1].submitted_at - 1;
+        assert!(!j.is_complete());
+        // A journey claiming completion must end with a completed attempt.
+        let mut j = journey();
+        j.attempts.pop();
+        assert!(!j.is_complete());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_schema_check() {
+        let mut j2 = journey();
+        j2.trace_id = 8;
+        j2.attempts.truncate(1);
+        j2.attempts[0].outcome = AttemptOutcome::Abandoned;
+        j2.outcome = AttemptOutcome::Abandoned;
+        let text = chrome_trace(&[journey(), j2]);
+        let events = validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(events, 3, "two attempts + one abandoned attempt");
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"pid\":0"));
+        assert!(text.contains("\"tid\":3"));
+        // Determinism: identical inputs export byte-identical text.
+        assert_eq!(
+            text,
+            chrome_trace(&[journey(), {
+                let mut j = journey();
+                j.trace_id = 8;
+                j.attempts.truncate(1);
+                j.attempts[0].outcome = AttemptOutcome::Abandoned;
+                j.outcome = AttemptOutcome::Abandoned;
+                j
+            }])
+        );
+    }
+
+    #[test]
+    fn schema_check_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("[]").is_err(), "no traceEvents");
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[").is_err(),
+            "unbalanced delimiters"
+        );
+        assert!(
+            validate_chrome_trace("{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\"}]}").is_err(),
+            "missing mandatory keys must be rejected"
+        );
+        assert_eq!(validate_chrome_trace("{\"traceEvents\":[]}"), Ok(0));
+    }
+}

@@ -31,6 +31,22 @@ pub trait BlockCipher128 {
         self.decrypt_block(&mut out);
         out
     }
+
+    /// Encrypts four independent 16-byte blocks in place.
+    ///
+    /// The batched CTR/GCM kernels feed independent counter blocks through
+    /// this seam. The default loops over [`encrypt_block`]
+    /// (byte-identical, no speedup); implementors with an interleavable
+    /// datapath (like [`crate::Aes`]'s T-table path) override it to give
+    /// the host four dependency chains to overlap.
+    ///
+    /// [`encrypt_block`]: BlockCipher128::encrypt_block
+    fn encrypt_blocks4(&self, blocks: &mut [u8; 64]) {
+        for chunk in blocks.chunks_exact_mut(16) {
+            let b: &mut [u8; 16] = chunk.try_into().expect("16-byte chunk");
+            self.encrypt_block(b);
+        }
+    }
 }
 
 impl<T: BlockCipher128 + ?Sized> BlockCipher128 for &T {
@@ -42,6 +58,9 @@ impl<T: BlockCipher128 + ?Sized> BlockCipher128 for &T {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn encrypt_blocks4(&self, blocks: &mut [u8; 64]) {
+        (**self).encrypt_blocks4(blocks)
     }
 }
 

@@ -33,6 +33,7 @@
 //! assert_eq!(block, [0u8; 16]);
 //! ```
 
+pub mod aesni;
 pub mod block;
 pub mod cipher;
 pub mod column_serial;
@@ -100,6 +101,16 @@ impl BlockCipher128 for Aes {
 
     fn decrypt_block(&self, block: &mut [u8; 16]) {
         decrypt_with_round_keys(&self.round_keys, block);
+    }
+
+    fn encrypt_blocks4(&self, blocks: &mut [u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if crate::aesni::supported() {
+            // SAFETY: feature presence just checked.
+            unsafe { crate::aesni::encrypt_blocks4(&self.round_keys, blocks) };
+            return;
+        }
+        crate::tables::encrypt_blocks4_ttable(&self.round_keys, blocks);
     }
 
     fn name(&self) -> &'static str {

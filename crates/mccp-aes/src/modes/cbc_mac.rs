@@ -47,6 +47,80 @@ pub fn cbc_mac<C: BlockCipher128>(
     Ok(mac[..tag_len].to_vec())
 }
 
+/// Incremental CBC-MAC with a 16-byte carry buffer.
+///
+/// Lets CCM absorb `B0 ‖ len(A) ‖ A ‖ pad ‖ P ‖ pad` section by section
+/// without materializing the formatted byte stream — the streaming analogue
+/// of feeding a core's input FIFO. Byte-identical to [`cbc_mac_raw`] over
+/// the concatenated stream.
+#[derive(Clone)]
+pub struct CbcMacState {
+    mac: [u8; 16],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl CbcMacState {
+    /// A fresh state (zero IV, empty carry buffer).
+    pub fn new() -> Self {
+        CbcMacState {
+            mac: [0u8; 16],
+            buf: [0u8; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data`, encrypting each completed 16-byte block.
+    pub fn absorb<C: BlockCipher128>(&mut self, cipher: &C, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = data.len().min(16 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 16 {
+                return; // data exhausted without completing the block
+            }
+            let buf = self.buf;
+            xor_in_place(&mut self.mac, &buf);
+            cipher.encrypt_block(&mut self.mac);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(16);
+        for chunk in &mut chunks {
+            xor_in_place(&mut self.mac, chunk);
+            cipher.encrypt_block(&mut self.mac);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Zero-pads and closes the pending partial block, if any. SP 800-38C
+    /// pads the AAD section and the payload section independently, so CCM
+    /// calls this at each section boundary.
+    pub fn pad_block<C: BlockCipher128>(&mut self, cipher: &C) {
+        if self.buf_len > 0 {
+            let buf = self.buf;
+            xor_in_place(&mut self.mac, &buf[..self.buf_len]);
+            cipher.encrypt_block(&mut self.mac);
+            self.buf_len = 0;
+        }
+    }
+
+    /// The chaining value. The stream must be block-aligned — close any
+    /// partial block with [`CbcMacState::pad_block`] first.
+    pub fn mac(&self) -> [u8; 16] {
+        debug_assert_eq!(self.buf_len, 0, "unclosed partial block");
+        self.mac
+    }
+}
+
+impl Default for CbcMacState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +162,39 @@ mod tests {
         assert_eq!(short, full[..8]);
         assert!(cbc_mac(&aes, b"x", 0).is_err());
         assert!(cbc_mac(&aes, b"x", 17).is_err());
+    }
+
+    #[test]
+    fn streaming_state_matches_raw_any_split() {
+        let aes = Aes::new_128(&[0x42u8; 16]);
+        let data: Vec<u8> = (0..96u8).map(|i| i.wrapping_mul(11)).collect();
+        let expect = cbc_mac_raw(&aes, &data).unwrap();
+        for split in [0usize, 1, 5, 16, 17, 31, 48, 95, 96] {
+            let mut st = CbcMacState::new();
+            st.absorb(&aes, &data[..split]);
+            st.absorb(&aes, &data[split..]);
+            assert_eq!(st.mac(), expect, "split {split}");
+        }
+        // Byte-at-a-time absorption drains the carry buffer path.
+        let mut st = CbcMacState::new();
+        for b in &data {
+            st.absorb(&aes, std::slice::from_ref(b));
+        }
+        assert_eq!(st.mac(), expect);
+    }
+
+    #[test]
+    fn pad_block_matches_padded_mac() {
+        let aes = Aes::new_128(&[0x42u8; 16]);
+        let data = [0xCDu8; 37];
+        let mut st = CbcMacState::new();
+        st.absorb(&aes, &data);
+        st.pad_block(&aes);
+        assert_eq!(st.mac().to_vec(), cbc_mac(&aes, &data, 16).unwrap());
+        // pad_block on an aligned stream is a no-op.
+        let before = st.mac();
+        st.pad_block(&aes);
+        assert_eq!(st.mac(), before);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //! communication controller's job (paper §VI.B); `mccp-sdr` reuses the
 //! functions exposed here.
 
-use super::{tags_equal, xor_in_place, xor_keystream, ModeError};
+use super::{tags_equal, xor_keystream_blocks, ModeError};
 use crate::cipher::BlockCipher128;
+use crate::modes::cbc_mac::CbcMacState;
 
 /// CCM parameters: nonce and tag lengths.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,19 +71,30 @@ pub fn format_b0(params: &CcmParams, nonce: &[u8], aad_len: usize, payload_len: 
 
 /// Encodes the AAD length prefix (SP 800-38C A.2.2): 2, 6 or 10 bytes.
 pub fn encode_aad_len(aad_len: usize) -> Vec<u8> {
+    let mut buf = [0u8; 10];
+    let n = encode_aad_len_into(aad_len, &mut buf);
+    buf[..n].to_vec()
+}
+
+/// Stack-buffer variant of [`encode_aad_len`]: writes the prefix into
+/// `buf` and returns its length (0, 2, 6 or 10).
+fn encode_aad_len_into(aad_len: usize, buf: &mut [u8; 10]) -> usize {
     let a = aad_len as u64;
     if a == 0 {
-        Vec::new()
+        0
     } else if a < 0xFF00 {
-        (a as u16).to_be_bytes().to_vec()
+        buf[..2].copy_from_slice(&(a as u16).to_be_bytes());
+        2
     } else if a <= u32::MAX as u64 {
-        let mut v = vec![0xFF, 0xFE];
-        v.extend_from_slice(&(a as u32).to_be_bytes());
-        v
+        buf[0] = 0xFF;
+        buf[1] = 0xFE;
+        buf[2..6].copy_from_slice(&(a as u32).to_be_bytes());
+        6
     } else {
-        let mut v = vec![0xFF, 0xFF];
-        v.extend_from_slice(&a.to_be_bytes());
-        v
+        buf[0] = 0xFF;
+        buf[1] = 0xFF;
+        buf[2..10].copy_from_slice(&a.to_be_bytes());
+        10
     }
 }
 
@@ -116,6 +128,9 @@ pub fn format_mac_input(params: &CcmParams, nonce: &[u8], aad: &[u8], payload: &
     blocks
 }
 
+/// Streams `B0 ‖ len(A) ‖ A ‖ pad ‖ P ‖ pad` through the incremental
+/// CBC-MAC — byte-identical to MACing [`format_mac_input`]'s output, but
+/// without materializing the formatted stream.
 fn raw_cbc_mac_tag<C: BlockCipher128>(
     cipher: &C,
     params: &CcmParams,
@@ -123,13 +138,18 @@ fn raw_cbc_mac_tag<C: BlockCipher128>(
     aad: &[u8],
     payload: &[u8],
 ) -> [u8; 16] {
-    let input = format_mac_input(params, nonce, aad, payload);
-    let mut mac = [0u8; 16];
-    for chunk in input.chunks_exact(16) {
-        xor_in_place(&mut mac, chunk);
-        cipher.encrypt_block(&mut mac);
+    let mut st = CbcMacState::new();
+    st.absorb(cipher, &format_b0(params, nonce, aad.len(), payload.len()));
+    if !aad.is_empty() {
+        let mut lenbuf = [0u8; 10];
+        let n = encode_aad_len_into(aad.len(), &mut lenbuf);
+        st.absorb(cipher, &lenbuf[..n]);
+        st.absorb(cipher, aad);
+        st.pad_block(cipher);
     }
-    mac
+    st.absorb(cipher, payload);
+    st.pad_block(cipher);
+    st.mac()
 }
 
 /// CCM authenticated encryption. Returns `ciphertext || tag`.
@@ -140,6 +160,21 @@ pub fn ccm_seal<C: BlockCipher128>(
     aad: &[u8],
     payload: &[u8],
 ) -> Result<Vec<u8>, ModeError> {
+    let mut out = Vec::new();
+    ccm_seal_into(cipher, params, nonce, aad, payload, &mut out)?;
+    Ok(out)
+}
+
+/// CCM seal writing `ciphertext || tag` into `out` (cleared first; a warm
+/// buffer makes the call allocation-free).
+pub fn ccm_seal_into<C: BlockCipher128>(
+    cipher: &C,
+    params: &CcmParams,
+    nonce: &[u8],
+    aad: &[u8],
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), ModeError> {
     params.validate()?;
     if nonce.len() != params.nonce_len {
         return Err(ModeError::InvalidParams("nonce length mismatch"));
@@ -150,12 +185,12 @@ pub fn ccm_seal<C: BlockCipher128>(
 
     let t = raw_cbc_mac_tag(cipher, params, nonce, aad, payload);
 
-    let mut out = payload.to_vec();
-    // CTR over the payload starts at Ctr_1.
-    for (i, chunk) in out.chunks_mut(16).enumerate() {
-        let ctr = format_counter(params, nonce, (i + 1) as u64);
-        xor_keystream(cipher, &ctr, chunk);
-    }
+    out.clear();
+    out.reserve(payload.len() + params.tag_len);
+    out.extend_from_slice(payload);
+    // CTR over the payload starts at Ctr_1; the counter blocks are
+    // independent, so they go four at a time through `encrypt_blocks4`.
+    xor_keystream_blocks(cipher, out, |i| format_counter(params, nonce, i + 1));
     // The tag is masked with Ctr_0.
     let ctr0 = format_counter(params, nonce, 0);
     let s0 = cipher.encrypt_copy(&ctr0);
@@ -164,7 +199,7 @@ pub fn ccm_seal<C: BlockCipher128>(
         tag[i] = t[i] ^ s0[i];
     }
     out.extend_from_slice(&tag[..params.tag_len]);
-    Ok(out)
+    Ok(())
 }
 
 /// CCM authenticated decryption of `ciphertext || tag`. Returns the
@@ -196,6 +231,24 @@ pub fn ccm_open_detached<C: BlockCipher128>(
     ct: &[u8],
     tag: &[u8],
 ) -> Result<Vec<u8>, ModeError> {
+    let mut out = Vec::new();
+    ccm_open_detached_into(cipher, params, nonce, aad, ct, tag, &mut out)?;
+    Ok(out)
+}
+
+/// Detached CCM open writing the plaintext into `out` (cleared first; warm
+/// buffers make the call allocation-free). On tag mismatch `out` is wiped
+/// — the software analogue of the MCCP clearing the output FIFO on
+/// `AUTH_FAIL`.
+pub fn ccm_open_detached_into<C: BlockCipher128>(
+    cipher: &C,
+    params: &CcmParams,
+    nonce: &[u8],
+    aad: &[u8],
+    ct: &[u8],
+    tag: &[u8],
+    out: &mut Vec<u8>,
+) -> Result<(), ModeError> {
     params.validate()?;
     if nonce.len() != params.nonce_len {
         return Err(ModeError::InvalidParams("nonce length mismatch"));
@@ -204,13 +257,12 @@ pub fn ccm_open_detached<C: BlockCipher128>(
         return Err(ModeError::InvalidParams("tag length mismatch"));
     }
 
-    let mut pt = ct.to_vec();
-    for (i, chunk) in pt.chunks_mut(16).enumerate() {
-        let ctr = format_counter(params, nonce, (i + 1) as u64);
-        xor_keystream(cipher, &ctr, chunk);
-    }
+    out.clear();
+    out.reserve(ct.len());
+    out.extend_from_slice(ct);
+    xor_keystream_blocks(cipher, out, |i| format_counter(params, nonce, i + 1));
 
-    let t = raw_cbc_mac_tag(cipher, params, nonce, aad, &pt);
+    let t = raw_cbc_mac_tag(cipher, params, nonce, aad, out);
     let ctr0 = format_counter(params, nonce, 0);
     let s0 = cipher.encrypt_copy(&ctr0);
     let mut expect = [0u8; 16];
@@ -218,9 +270,10 @@ pub fn ccm_open_detached<C: BlockCipher128>(
         expect[i] = t[i] ^ s0[i];
     }
     if !tags_equal(tag, &expect[..params.tag_len]) {
+        out.clear();
         return Err(ModeError::AuthFail);
     }
-    Ok(pt)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -343,6 +396,58 @@ mod tests {
         }
         .validate()
         .is_ok());
+    }
+
+    #[test]
+    fn streaming_mac_matches_formatted_input() {
+        use crate::modes::cbc_mac::cbc_mac_raw;
+        let params = CcmParams {
+            nonce_len: 11,
+            tag_len: 12,
+        };
+        let nonce = [3u8; 11];
+        let data: Vec<u8> = (0..400u16).map(|i| (i * 13) as u8).collect();
+        for &(aad_len, pt_len) in &[(0usize, 0usize), (0, 37), (8, 4), (20, 60), (300, 259)] {
+            let aad = &data[..aad_len];
+            let payload = &data[..pt_len];
+            let streamed = raw_cbc_mac_tag(&k(), &params, &nonce, aad, payload);
+            let formatted = format_mac_input(&params, &nonce, aad, payload);
+            assert_eq!(
+                streamed,
+                cbc_mac_raw(&k(), &formatted).unwrap(),
+                "aad {aad_len} pt {pt_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn seal_into_reuses_buffer() {
+        let params = CcmParams {
+            nonce_len: 13,
+            tag_len: 8,
+        };
+        let nonce = [7u8; 13];
+        let mut buf = Vec::new();
+        ccm_seal_into(&k(), &params, &nonce, b"hdr", &[0x5Au8; 500], &mut buf).unwrap();
+        let first = buf.clone();
+        let cap = buf.capacity();
+        ccm_seal_into(&k(), &params, &nonce, b"hdr", &[0x5Au8; 500], &mut buf).unwrap();
+        assert_eq!(buf, first);
+        assert_eq!(buf.capacity(), cap);
+
+        let (ct, tag) = first.split_at(first.len() - params.tag_len);
+        let mut pt = Vec::new();
+        ccm_open_detached_into(&k(), &params, &nonce, b"hdr", ct, tag, &mut pt).unwrap();
+        assert_eq!(pt, vec![0x5Au8; 500]);
+
+        // Auth failure wipes the output buffer.
+        let mut bad = tag.to_vec();
+        bad[0] ^= 1;
+        assert_eq!(
+            ccm_open_detached_into(&k(), &params, &nonce, b"hdr", ct, &bad, &mut pt),
+            Err(ModeError::AuthFail)
+        );
+        assert!(pt.is_empty());
     }
 
     #[test]

@@ -19,11 +19,15 @@ pub mod ecb;
 pub mod gcm;
 
 pub use cbc::{cbc_decrypt, cbc_encrypt};
-pub use cbc_mac::cbc_mac;
-pub use ccm::{ccm_open, ccm_open_detached, ccm_seal, CcmParams};
-pub use ctr::ctr_xcrypt;
+pub use cbc_mac::{cbc_mac, CbcMacState};
+pub use ccm::{
+    ccm_open, ccm_open_detached, ccm_open_detached_into, ccm_seal, ccm_seal_into, CcmParams,
+};
+pub use ctr::{ctr_xcrypt, ctr_xcrypt_scalar};
 pub use ecb::{ecb_decrypt, ecb_encrypt};
-pub use gcm::{gcm_open, gcm_open_detached, gcm_seal};
+pub use gcm::{
+    gcm_open, gcm_open_detached, gcm_open_detached_scalar, gcm_seal, gcm_seal_scalar, GcmContext,
+};
 
 use crate::cipher::BlockCipher128;
 
@@ -48,7 +52,7 @@ impl std::fmt::Display for ModeError {
 
 impl std::error::Error for ModeError {}
 
-/// XORs `src` into `dst` (up to 16 bytes each).
+/// XORs `src` into `dst` (element-wise over the shorter of the two).
 #[inline]
 pub(crate) fn xor_in_place(dst: &mut [u8], src: &[u8]) {
     for (d, s) in dst.iter_mut().zip(src.iter()) {
@@ -74,6 +78,37 @@ pub(crate) fn tags_equal(a: &[u8], b: &[u8]) -> bool {
 pub(crate) fn xor_keystream<C: BlockCipher128>(cipher: &C, counter: &[u8; 16], chunk: &mut [u8]) {
     let ks = cipher.encrypt_copy(counter);
     xor_in_place(chunk, &ks[..chunk.len().min(16)]);
+}
+
+/// XORs the keystream `E(K, counter_for(0)) ‖ E(K, counter_for(1)) ‖ …`
+/// over `data`, feeding four counter blocks at a time through
+/// [`BlockCipher128::encrypt_blocks4`].
+///
+/// `counter_for(i)` returns the counter block for keystream block `i`
+/// (0-based). The output is byte-identical to calling [`xor_keystream`] per
+/// block — batching only changes how many independent AES dependency chains
+/// are in flight at once. Shared by the CTR, GCM and CCM kernels.
+pub(crate) fn xor_keystream_blocks<C: BlockCipher128>(
+    cipher: &C,
+    data: &mut [u8],
+    mut counter_for: impl FnMut(u64) -> [u8; 16],
+) {
+    let mut i = 0u64;
+    let mut chunks = data.chunks_exact_mut(64);
+    for chunk in &mut chunks {
+        let mut ks = [0u8; 64];
+        for (j, blk) in ks.chunks_exact_mut(16).enumerate() {
+            blk.copy_from_slice(&counter_for(i + j as u64));
+        }
+        i += 4;
+        cipher.encrypt_blocks4(&mut ks);
+        xor_in_place(chunk, &ks);
+    }
+    for chunk in chunks.into_remainder().chunks_mut(16) {
+        let counter = counter_for(i);
+        i += 1;
+        xor_keystream(cipher, &counter, chunk);
+    }
 }
 
 #[cfg(test)]

@@ -13,8 +13,14 @@
 //!   (`host_parallelism` is recorded), wall-clock cannot scale with the
 //!   shard count; the modeled curve is the scaling claim.
 //!
+//! A payload-size sweep (64 B – 8 KiB, functional engine at 4 shards)
+//! rides along in full mode, and `--quick` turns the binary into the CI
+//! perf smoke: a reduced scaling run plus a re-measurement of the batched
+//! kernels against the regression floors checked in via
+//! `BENCH_functional_kernels.json` (fails on a >20% drop below a floor).
+//!
 //! ```sh
-//! cargo run --release -p mccp-bench --bin bench_cluster
+//! cargo run --release -p mccp-bench --bin bench_cluster [-- --quick]
 //! ```
 
 use mccp_core::MccpConfig;
@@ -22,6 +28,7 @@ use mccp_sdr::cluster::{ClusterConfig, MccpCluster, RetryPolicy};
 use mccp_sdr::qos::DispatchPolicy;
 use mccp_sdr::workload::{Workload, WorkloadSpec};
 use mccp_sdr::Standard;
+use std::time::Instant;
 
 const PACKETS: usize = 160;
 const PAYLOAD_LEN: usize = 512;
@@ -39,7 +46,17 @@ struct Point {
     stolen_packets: usize,
 }
 
+struct SweepPoint {
+    payload_bytes: usize,
+    serial_wall_seconds: f64,
+    serial_mbps: f64,
+    serial_packets_per_sec: f64,
+    threaded_wall_seconds: f64,
+    threaded_mbps: f64,
+}
+
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     // Eight channels (each standard twice) so affinity dispatch has work
     // for every shard at the 8-shard point.
     let standards = vec![
@@ -52,25 +69,26 @@ fn main() {
         Standard::Umts,
         Standard::SecureVoice,
     ];
+    let packets = if quick { 48 } else { PACKETS };
     let spec = WorkloadSpec {
         standards: standards.clone(),
-        packets: PACKETS,
+        packets,
         seed: SEED,
         fixed_payload_len: Some(PAYLOAD_LEN),
         mean_interarrival_cycles: None,
     };
     let workload = Workload::generate(spec);
-    let host_parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_parallelism = mccp_sdr::host_parallelism();
     println!(
-        "bench_cluster: {PACKETS} packets x {PAYLOAD_LEN} B over {} channels, \
+        "bench_cluster{}: {packets} packets x {PAYLOAD_LEN} B over {} channels, \
          host parallelism {host_parallelism}",
+        if quick { " (--quick)" } else { "" },
         standards.len()
     );
 
+    let shard_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let mut points = Vec::new();
-    for shards in [1usize, 2, 4, 8] {
+    for &shards in shard_counts {
         let cfg = ClusterConfig {
             shards,
             work_stealing: true,
@@ -86,7 +104,7 @@ fn main() {
         let modeled = cycle.run(&workload, DispatchPolicy::Fifo);
         assert_eq!(
             cycle.verify(&workload, &modeled).expect("cycle verify"),
-            PACKETS
+            packets
         );
 
         // Functional wall-clock curves. The serial run is the honest
@@ -100,7 +118,7 @@ fn main() {
             serial
                 .verify(&workload, &serial_wall)
                 .expect("serial verify"),
-            PACKETS
+            packets
         );
         let mut functional = MccpCluster::functional(cfg, &standards, KEY_SEED);
         let wall = functional.run_threaded(&workload, DispatchPolicy::Fifo);
@@ -108,7 +126,7 @@ fn main() {
             functional
                 .verify(&workload, &wall)
                 .expect("functional verify"),
-            PACKETS
+            packets
         );
 
         let bits = modeled.merged.payload_bits as f64;
@@ -145,6 +163,74 @@ fn main() {
         "4 shards must at least double aggregate modeled throughput, got {modeled_speedup_4:.2}x"
     );
 
+    // Payload-size sweep: the functional engine at 4 shards across packet
+    // sizes from a voice frame to a jumbo frame. Per-packet fixed costs
+    // (J0 derivation, tag finalization, queue hops) dominate at 64 B and
+    // wash out by 8 KiB, so packets/s and Mbps move in opposite directions.
+    let sweep_payloads: &[usize] = if quick {
+        &[64, 1500]
+    } else {
+        &[64, 512, 1500, 8192]
+    };
+    let sweep_packets = if quick { 32 } else { 128 };
+    let mut sweep = Vec::new();
+    for &payload in sweep_payloads {
+        let spec = WorkloadSpec {
+            standards: standards.clone(),
+            packets: sweep_packets,
+            seed: SEED ^ payload as u64,
+            fixed_payload_len: Some(payload),
+            mean_interarrival_cycles: None,
+        };
+        let wl = Workload::generate(spec);
+        let cfg = ClusterConfig {
+            shards: 4,
+            work_stealing: true,
+            telemetry_capacity: None,
+            retry: RetryPolicy::default(),
+            observe: false,
+        };
+        let mut serial = MccpCluster::functional(cfg, &standards, KEY_SEED);
+        let serial_run = serial.run(&wl, DispatchPolicy::Fifo);
+        assert_eq!(
+            serial
+                .verify(&wl, &serial_run)
+                .expect("sweep serial verify"),
+            sweep_packets
+        );
+        let mut threaded = MccpCluster::functional(cfg, &standards, KEY_SEED);
+        let threaded_run = threaded.run_threaded(&wl, DispatchPolicy::Fifo);
+        assert_eq!(
+            threaded
+                .verify(&wl, &threaded_run)
+                .expect("sweep threaded verify"),
+            sweep_packets
+        );
+        let bits = serial_run.merged.payload_bits as f64;
+        let point = SweepPoint {
+            payload_bytes: payload,
+            serial_wall_seconds: serial_run.wall_seconds,
+            serial_mbps: bits / serial_run.wall_seconds.max(1e-12) / 1e6,
+            serial_packets_per_sec: sweep_packets as f64 / serial_run.wall_seconds.max(1e-12),
+            threaded_wall_seconds: threaded_run.wall_seconds,
+            threaded_mbps: bits / threaded_run.wall_seconds.max(1e-12) / 1e6,
+        };
+        println!(
+            "  sweep {payload} B: serial {:.0} Mbps ({:.0} pkt/s), threaded {:.0} Mbps",
+            point.serial_mbps, point.serial_packets_per_sec, point.threaded_mbps
+        );
+        sweep.push(point);
+    }
+
+    if quick {
+        perf_smoke_against_floors();
+        println!(
+            "bench_cluster --quick PASSED: scaling {modeled_speedup_4:.2}x at 4 shards, \
+             kernel floors held (BENCH files not rewritten)"
+        );
+        return;
+    }
+
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
@@ -169,17 +255,133 @@ fn main() {
             )
         })
         .collect();
+    let sweep_rows: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"payload_bytes\": {}, \"serial_wall_seconds\": {:.6}, \
+                 \"serial_mbps\": {:.1}, \"serial_packets_per_sec\": {:.0}, \
+                 \"threaded_wall_seconds\": {:.6}, \"threaded_mbps\": {:.1}}}",
+                p.payload_bytes,
+                p.serial_wall_seconds,
+                p.serial_mbps,
+                p.serial_packets_per_sec,
+                p.threaded_wall_seconds,
+                p.threaded_mbps
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"benchmark\": \"cluster_scaling\",\n  \"workload\": {{\"channels\": {}, \
          \"packets\": {PACKETS}, \"payload_bytes\": {PAYLOAD_LEN}, \"cores_per_shard\": 4}},\n  \
          \"host_parallelism\": {host_parallelism},\n  \
          \"note\": \"modeled curve is host-independent serving capacity (makespan at 190 MHz); \
          functional_thread_speedup compares the same shard count serial vs threaded and is \
-         bounded by host_parallelism\",\n  \"points\": [\n{}\n  ]\n}}\n",
+         bounded by host_parallelism\",\n  \"points\": [\n{}\n  ],\n  \
+         \"payload_sweep\": {{\"shards\": 4, \"packets\": {}, \"engine\": \"functional\", \
+         \"points\": [\n{}\n  ]}}\n}}\n",
         standards.len(),
-        rows.join(",\n")
+        rows.join(",\n"),
+        sweep_packets,
+        sweep_rows.join(",\n")
     );
     std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
     print!("{json}");
     println!("modeled aggregate speedup at 4 shards: {modeled_speedup_4:.2}x (>= 2x required)");
+}
+
+/// The CI perf smoke: re-measures the batched kernel arms briefly and
+/// fails if any lands more than 20% below its checked-in regression
+/// floor from `BENCH_functional_kernels.json`. Floors are deliberate
+/// underestimates (see `bench_kernels`), so tripping this means a real
+/// kernel regression, not host noise.
+fn perf_smoke_against_floors() {
+    use mccp_aes::modes::GcmContext;
+    use mccp_gf128::{ghash_batched, Gf128, GhashPowers};
+
+    let floors = std::fs::read_to_string("BENCH_functional_kernels.json")
+        .expect("BENCH_functional_kernels.json must be checked in for the perf smoke");
+    let floor = |key: &str| -> f64 {
+        let tail = floors
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .unwrap_or_else(|| panic!("{key} missing from BENCH_functional_kernels.json"));
+        tail.trim_start()
+            .split([',', '\n', '}'])
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("{key}: unparseable floor: {e}"))
+    };
+
+    let measure = |mut f: Box<dyn FnMut()>| -> f64 {
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if dt >= 0.08 || iters >= (1 << 30) {
+                return iters as f64 / dt.max(1e-12);
+            }
+            iters = iters.saturating_mul(((0.08 / dt.max(1e-9)) * 1.25).ceil().max(2.0) as u64);
+        }
+    };
+
+    let buf = vec![0x5Au8; 8192];
+    let powers = GhashPowers::new(Gf128::from_bytes(&[0xB8; 16]));
+    let ghash_gb_s = {
+        let powers = &powers;
+        let buf = &buf;
+        measure(Box::new(move || {
+            std::hint::black_box(ghash_batched(powers, &[], buf));
+        })) * 8192.0
+            / 1e9
+    };
+
+    let ctx = GcmContext::new(mccp_aes::Aes::new(&[0x42; 16]));
+    let payload = vec![0xC3u8; 512];
+    let mut ct = vec![0x99u8; 8192];
+    let ctr_gb_s = {
+        let aes = mccp_aes::Aes::new(&[0x42; 16]);
+        measure(Box::new(move || {
+            mccp_aes::modes::ctr_xcrypt(&aes, &[0xA5; 16], std::hint::black_box(&mut ct)).unwrap();
+        })) * 8192.0
+            / 1e9
+    };
+    let mut out = Vec::with_capacity(512 + 16);
+    let gcm_pps = {
+        let ctx = &ctx;
+        let payload = &payload;
+        measure(Box::new(move || {
+            ctx.seal_into(&[0x11; 12], &[0x22; 16], payload, 16, &mut out)
+                .unwrap();
+        }))
+    };
+
+    for (label, measured, floor) in [
+        (
+            "ghash_batched_gb_s",
+            ghash_gb_s,
+            floor("floor_ghash_batched_gb_s"),
+        ),
+        (
+            "ctr_batched_gb_s",
+            ctr_gb_s,
+            floor("floor_ctr_batched_gb_s"),
+        ),
+        (
+            "gcm512_batched_packets_per_sec",
+            gcm_pps,
+            floor("floor_gcm512_batched_packets_per_sec"),
+        ),
+    ] {
+        println!("  perf smoke {label}: measured {measured:.4}, floor {floor:.4}");
+        assert!(
+            measured >= 0.8 * floor,
+            "{label} regressed: measured {measured:.4} < 80% of checked-in floor {floor:.4}"
+        );
+    }
 }

@@ -233,10 +233,12 @@ fn main() {
     let json = format!(
         "{{\n  \"benchmark\": \"chaos_soak\",\n  \"seed\": {seed},\n  \"packets\": {packets},\n  \
          \"shards\": {shards},\n  \"faults_per_shard\": {faults_per_shard},\n  \
+         \"host_parallelism\": {},\n  \
          \"faults\": [{}],\n  \
          \"note\": \"deterministic: same arguments reproduce this file byte-for-byte; \
          all delivered packets reference-verified (zero silent corruption)\",\n  \
          \"engines\": [\n{}\n  ]\n}}\n",
+        mccp_sdr::host_parallelism(),
         fault_labels.join(", "),
         json_rows.join(",\n")
     );

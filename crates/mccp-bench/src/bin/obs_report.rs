@@ -191,6 +191,7 @@ fn main() {
     let json = format!(
         "{{\n  \"benchmark\": \"obs_overhead\",\n  \"seed\": {seed},\n  \
          \"packets\": {packets},\n  \"shards\": {shards},\n  \"iters\": {iters},\n  \
+         \"host_parallelism\": {},\n  \
          \"disabled_wall_seconds\": {off_wall:.6},\n  \"enabled_wall_seconds\": {on_wall:.6},\n  \
          \"overhead_fraction\": {overhead:.4},\n  \"overhead_budget\": {OVERHEAD_BUDGET},\n  \
          \"makespan_cycles\": {},\n  \"byte_identical_disabled\": true,\n  \
@@ -198,6 +199,7 @@ fn main() {
          \"note\": \"byte_identical_disabled is asserted: records, cycle counts and retry \
          behavior match with observability on and off; overhead is best-of-{iters} \
          wall-clock\",\n  \"slo\": [\n{}\n  ]\n}}\n",
+        mccp_sdr::host_parallelism(),
         on.merged.cycles,
         journeys.len(),
         slo_rows.join(",\n")

@@ -16,8 +16,7 @@ use crate::format::Direction;
 use crate::protocol::{Algorithm, ChannelId, MccpError, Mode, RequestId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mccp_aes::modes::{
-    cbc_mac, ccm_open_detached, ccm_seal, ctr_xcrypt, gcm_open_detached, gcm_seal, CcmParams,
-    ModeError,
+    cbc_mac, ccm_open_detached, ccm_seal, ctr_xcrypt, CcmParams, GcmContext, ModeError,
 };
 use mccp_aes::Aes;
 use mccp_telemetry::{Event, Snapshot, Telemetry};
@@ -53,11 +52,39 @@ pub struct PacketOutcome {
     pub result: Result<Vec<u8>, ModeError>,
 }
 
+/// A Key Cache entry: the expanded AES key schedule plus, lazily, the GCM
+/// hash-key powers `H^1..H^8`.
+///
+/// Building the GHASH tables costs far more than a packet's worth of field
+/// multiplications, so it must happen once per key, not once per packet —
+/// exactly like the hardware, where the Key Scheduler expands a key into
+/// the Key Cache when the channel opens, not on every frame.
+struct KeyCtx {
+    aes: Aes,
+    gcm: Option<GcmContext<Aes>>,
+}
+
+impl KeyCtx {
+    fn new(key: &[u8]) -> Self {
+        KeyCtx {
+            aes: Aes::new(key),
+            gcm: None,
+        }
+    }
+
+    /// The GCM context for this key, built on first GCM packet.
+    fn gcm(&mut self) -> &GcmContext<Aes> {
+        self.gcm
+            .get_or_insert_with(|| GcmContext::new(self.aes.clone()))
+    }
+}
+
 /// The mode dispatch shared by the worker pool and [`FunctionalBackend`]:
-/// one packet through the reference implementation of its mode.
+/// one packet through the reference implementation of its mode, using the
+/// per-key cached state (key schedule + GHASH powers) in `ctx`.
 #[allow(clippy::too_many_arguments)]
 fn run_mode(
-    aes: &Aes,
+    ctx: &mut KeyCtx,
     algorithm: Algorithm,
     direction: Direction,
     iv: &[u8],
@@ -68,16 +95,16 @@ fn run_mode(
 ) -> Result<Vec<u8>, ModeError> {
     let tag = tag.unwrap_or(&[]);
     match (algorithm.mode(), direction) {
-        (Mode::Gcm, Direction::Encrypt) => gcm_seal(aes, iv, aad, body, tag_len),
-        (Mode::Gcm, Direction::Decrypt) => gcm_open_detached(aes, iv, aad, body, tag),
+        (Mode::Gcm, Direction::Encrypt) => ctx.gcm().seal(iv, aad, body, tag_len),
+        (Mode::Gcm, Direction::Decrypt) => ctx.gcm().open_detached(iv, aad, body, tag),
         (Mode::Ccm, dir) => {
             let params = CcmParams {
                 nonce_len: iv.len(),
                 tag_len,
             };
             match dir {
-                Direction::Encrypt => ccm_seal(aes, &params, iv, aad, body),
-                Direction::Decrypt => ccm_open_detached(aes, &params, iv, aad, body, tag),
+                Direction::Encrypt => ccm_seal(&ctx.aes, &params, iv, aad, body),
+                Direction::Decrypt => ccm_open_detached(&ctx.aes, &params, iv, aad, body, tag),
             }
         }
         (Mode::Ctr, _) => {
@@ -85,22 +112,22 @@ fn run_mode(
             let ctr0: [u8; 16] = iv
                 .try_into()
                 .map_err(|_| ModeError::InvalidParams("CTR needs a 16-byte counter"))?;
-            ctr_xcrypt(aes, &ctr0, &mut body)?;
+            ctr_xcrypt(&ctx.aes, &ctr0, &mut body)?;
             Ok(body)
         }
-        (Mode::CbcMac, _) => cbc_mac(aes, body, tag_len),
+        (Mode::CbcMac, _) => cbc_mac(&ctx.aes, body, tag_len),
     }
 }
 
-fn process(job: &PacketJob, cache: &mut HashMap<Vec<u8>, Aes>) -> Result<Vec<u8>, ModeError> {
+fn process(job: &PacketJob, cache: &mut HashMap<Vec<u8>, KeyCtx>) -> Result<Vec<u8>, ModeError> {
     // Lookup-before-insert: the steady state is a cache hit, which must not
     // clone the key bytes just to probe the map.
     if !cache.contains_key(&job.key) {
-        cache.insert(job.key.clone(), Aes::new(&job.key));
+        cache.insert(job.key.clone(), KeyCtx::new(&job.key));
     }
-    let aes = cache.get(&job.key).expect("just inserted");
+    let ctx = cache.get_mut(&job.key).expect("just inserted");
     run_mode(
-        aes,
+        ctx,
         job.algorithm,
         job.direction,
         &job.iv,
@@ -142,7 +169,7 @@ impl ParallelMccp {
                     .name(format!("mccp-core-{core}"))
                     .spawn(move || {
                         // Per-core key cache, like the hardware Key Cache.
-                        let mut cache: HashMap<Vec<u8>, Aes> = HashMap::new();
+                        let mut cache: HashMap<Vec<u8>, KeyCtx> = HashMap::new();
                         while let Ok(job) = rx.recv() {
                             let result = process(&job, &mut cache);
                             counts[core].fetch_add(1, Ordering::Relaxed);
@@ -240,9 +267,10 @@ struct FunctionalChannel {
 /// cycle fidelity for).
 pub struct FunctionalBackend {
     channels: BTreeMap<u8, FunctionalChannel>,
-    /// Per-key block-cipher cache (the hardware Key Cache, degenerated to
-    /// one shared cache since there is no per-core state to model).
-    cache: HashMap<Vec<u8>, Aes>,
+    /// Per-key context cache (the hardware Key Cache, degenerated to one
+    /// shared cache since there is no per-core state to model): expanded
+    /// key schedule plus lazily-built GCM hash-key powers.
+    cache: HashMap<Vec<u8>, KeyCtx>,
     /// Finished packets in submission order, tagged with their channel so
     /// CLOSE can refuse while results are undrained.
     completions: VecDeque<(u8, Completion)>,
@@ -350,15 +378,14 @@ impl ChannelBackend for FunctionalBackend {
         body: &[u8],
         tag: Option<&[u8]>,
     ) -> Result<RequestId, MccpError> {
-        let ch = self
-            .channels
-            .get(&channel.0)
-            .ok_or(MccpError::BadChannel)?
-            .clone();
+        // Disjoint field borrows: the channel table is read-only here while
+        // the key-context cache is mutated, so no per-submit clone of the
+        // channel (and its key bytes) is needed.
+        let ch = self.channels.get(&channel.0).ok_or(MccpError::BadChannel)?;
         if !self.cache.contains_key(&ch.key) {
-            self.cache.insert(ch.key.clone(), Aes::new(&ch.key));
+            self.cache.insert(ch.key.clone(), KeyCtx::new(&ch.key));
         }
-        let aes = self.cache.get(&ch.key).expect("just inserted");
+        let ctx = self.cache.get_mut(&ch.key).expect("just inserted");
 
         let id = RequestId(self.next_request);
         self.next_request = self.next_request.wrapping_add(1).max(1);
@@ -411,7 +438,7 @@ impl ChannelBackend for FunctionalBackend {
             return Ok(id);
         }
 
-        let result = run_mode(aes, ch.algorithm, direction, iv, aad, body, tag, ch.tag_len);
+        let result = run_mode(ctx, ch.algorithm, direction, iv, aad, body, tag, ch.tag_len);
         let (auth_ok, out_body, out_tag) = match result {
             Ok(out) => match (ch.algorithm.mode(), direction) {
                 (Mode::Gcm | Mode::Ccm, Direction::Encrypt) => {
@@ -527,6 +554,7 @@ impl ChannelBackend for FunctionalBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mccp_aes::modes::gcm_seal;
 
     fn gcm_job(id: u64, payload: &[u8]) -> PacketJob {
         PacketJob {

@@ -1,0 +1,71 @@
+//! Asserts the arena contract of the functional packet path: in the steady
+//! state (channel open, key context warm) a GCM packet through
+//! [`FunctionalBackend`] performs only the handful of allocations that own
+//! the output (`Completion.body` / `Completion.tag`) — no per-packet key
+//! schedule, no GHASH table build, no channel clone, no formatting scratch.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; everything
+//! runs in one `#[test]` so parallel test threads can't perturb the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_packet_allocs_are_bounded() {
+    use mccp_core::backend::ChannelBackend;
+    use mccp_core::format::Direction;
+    use mccp_core::functional::FunctionalBackend;
+    use mccp_core::protocol::Algorithm;
+
+    let mut be = FunctionalBackend::new();
+    let ch = be
+        .open_channel(Algorithm::AesGcm128, &[0x41u8; 16], 16)
+        .unwrap();
+    let iv = [5u8; 12];
+    let aad = [1u8; 16];
+    let body = [0xC3u8; 512];
+
+    // Warm-up: first packet expands the key schedule, builds the GHASH
+    // powers and grows the completion queue.
+    be.submit_packet(ch, Direction::Encrypt, &iv, &aad, &body, None)
+        .unwrap();
+    be.poll_completion().unwrap();
+
+    const PACKETS: usize = 100;
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..PACKETS {
+        be.submit_packet(ch, Direction::Encrypt, &iv, &aad, &body, None)
+            .unwrap();
+        be.poll_completion().unwrap();
+    }
+    let per_packet = (ALLOC_CALLS.load(Ordering::Relaxed) - before) as f64 / PACKETS as f64;
+
+    // Output ownership costs: the sealed buffer, the split-off tag, and
+    // amortized queue churn. Anything above this bound means per-packet
+    // key-schedule / GHASH-table / clone work crept back in.
+    assert!(
+        per_packet <= 4.0,
+        "functional path allocates {per_packet} times per packet (expected <= 4)"
+    );
+}

@@ -5,6 +5,14 @@
 //! single-lookup `x^8` reductions instead of 128 shift/XOR steps. [`Ghash`]
 //! is the incremental hasher built on top, and [`ghash`] is the one-shot
 //! convenience over an AAD / ciphertext pair.
+//!
+//! [`GhashPowers`] layers block batching on top: with `H^1..H^8`
+//! precomputed (each with its own Shoup table), eight blocks fold in one
+//! step as `(Y + X_1)·H^8 + X_2·H^7 + … + X_8·H^1` — the same value the
+//! serial Horner recurrence produces, but as eight *independent* table
+//! multiplications a superscalar host can overlap, instead of a serial
+//! chain where each multiply waits on the previous one.
+//! [`GhashBatched`] is the incremental hasher over that kernel.
 
 use crate::element::Gf128;
 
@@ -61,9 +69,12 @@ impl GhashKey {
 /// Feed AAD first, then ciphertext, then call [`Ghash::finalize`]; the
 /// length block is appended automatically. Partial final blocks of either
 /// section are zero-padded, per the specification.
+///
+/// Borrows its key: the 4 KiB Shoup table is never copied per hash, so
+/// starting a `Ghash` is free and packet paths can share one cached key.
 #[derive(Clone)]
-pub struct Ghash {
-    key: GhashKey,
+pub struct Ghash<'k> {
+    key: &'k GhashKey,
     y: Gf128,
     aad_bits: u64,
     ct_bits: u64,
@@ -73,9 +84,9 @@ pub struct Ghash {
     in_ciphertext: bool,
 }
 
-impl Ghash {
+impl<'k> Ghash<'k> {
     /// Starts a fresh GHASH computation under `key`.
-    pub fn new(key: GhashKey) -> Self {
+    pub fn new(key: &'k GhashKey) -> Self {
         Ghash {
             key,
             y: Gf128::ZERO,
@@ -160,7 +171,201 @@ impl Ghash {
 
 /// One-shot GHASH over an (AAD, ciphertext) pair.
 pub fn ghash(key: &GhashKey, aad: &[u8], ciphertext: &[u8]) -> Gf128 {
-    let mut g = Ghash::new(key.clone());
+    let mut g = Ghash::new(key);
+    g.update_aad(aad);
+    g.update_ciphertext(ciphertext);
+    g.finalize()
+}
+
+/// How many blocks [`GhashPowers::fold`] aggregates per step.
+pub const GHASH_BATCH_BLOCKS: usize = 8;
+
+/// The batch width in bytes (eight 16-byte blocks).
+pub const GHASH_BATCH_BYTES: usize = GHASH_BATCH_BLOCKS * 16;
+
+/// Precomputed powers `H^1..H^8` of a GHASH subkey, each with its own
+/// 8-bit Shoup table (8 × 4 KiB, heap-allocated, built once per key).
+///
+/// The serial recurrence `Y_i = (Y_{i-1} + X_i)·H` unrolled eight times is
+///
+/// ```text
+/// Y_8 = (Y_0 + X_1)·H^8 + X_2·H^7 + … + X_8·H^1
+/// ```
+///
+/// — eight multiplications that no longer depend on each other. GF(2^128)
+/// arithmetic is exact, so the folded value is bit-identical to eight
+/// Horner steps; the equivalence is property-tested.
+pub struct GhashPowers {
+    /// `powers[i]` multiplies by `H^(i+1)`.
+    powers: Vec<GhashKey>,
+}
+
+impl GhashPowers {
+    /// Precomputes `H^1..H^8` and their tables for hash subkey `h`.
+    pub fn new(h: Gf128) -> Self {
+        let mut powers = Vec::with_capacity(GHASH_BATCH_BLOCKS);
+        let mut hp = h;
+        for _ in 0..GHASH_BATCH_BLOCKS {
+            powers.push(GhashKey::new(hp));
+            hp = hp.mul_bitwise(h);
+        }
+        GhashPowers { powers }
+    }
+
+    /// The `H^1` key — the plain Shoup table for serial steps.
+    pub fn key(&self) -> &GhashKey {
+        &self.powers[0]
+    }
+
+    /// The raw hash subkey `H`.
+    pub fn h(&self) -> Gf128 {
+        self.powers[0].h()
+    }
+
+    /// Folds one batch of eight 16-byte blocks into the running hash.
+    ///
+    /// # Panics
+    /// Panics if `blocks.len() != 128`.
+    #[inline]
+    pub fn fold(&self, y: Gf128, blocks: &[u8]) -> Gf128 {
+        assert_eq!(blocks.len(), GHASH_BATCH_BYTES, "fold takes 8 blocks");
+        let x = |i: usize| {
+            let b: &[u8; 16] = blocks[16 * i..16 * i + 16].try_into().expect("16");
+            Gf128::from_bytes(b)
+        };
+        // Eight independent table multiplications, one per power.
+        let mut acc = self.powers[7].mul_h(y + x(0));
+        acc += self.powers[6].mul_h(x(1));
+        acc += self.powers[5].mul_h(x(2));
+        acc += self.powers[4].mul_h(x(3));
+        acc += self.powers[3].mul_h(x(4));
+        acc += self.powers[2].mul_h(x(5));
+        acc += self.powers[1].mul_h(x(6));
+        acc += self.powers[0].mul_h(x(7));
+        acc
+    }
+}
+
+/// Incremental GHASH over the batched kernel: byte-identical results to
+/// [`Ghash`], but whole blocks are absorbed eight at a time through
+/// [`GhashPowers::fold`].
+///
+/// The GHASH input stream is uniform once each section is zero-padded —
+/// `pad(AAD) || pad(C) || len` — so one 128-byte staging buffer carries
+/// batches across the AAD/ciphertext boundary; the tail that doesn't fill
+/// a batch at finalization falls back to serial Horner steps with `H^1`.
+pub struct GhashBatched<'k> {
+    powers: &'k GhashPowers,
+    y: Gf128,
+    aad_bits: u64,
+    ct_bits: u64,
+    /// Staging for up to one batch of padded blocks.
+    buf: [u8; GHASH_BATCH_BYTES],
+    buf_len: usize,
+    in_ciphertext: bool,
+}
+
+impl<'k> GhashBatched<'k> {
+    /// Starts a fresh batched GHASH computation under `powers`.
+    pub fn new(powers: &'k GhashPowers) -> Self {
+        GhashBatched {
+            powers,
+            y: Gf128::ZERO,
+            aad_bits: 0,
+            ct_bits: 0,
+            buf: [0u8; GHASH_BATCH_BYTES],
+            buf_len: 0,
+            in_ciphertext: false,
+        }
+    }
+
+    /// Absorbs raw padded-stream bytes, folding full batches as they fill.
+    fn absorb(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (GHASH_BATCH_BYTES - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == GHASH_BATCH_BYTES {
+                self.y = self.powers.fold(self.y, &self.buf);
+                self.buf_len = 0;
+            }
+        }
+        let mut chunks = data.chunks_exact(GHASH_BATCH_BYTES);
+        for chunk in &mut chunks {
+            self.y = self.powers.fold(self.y, chunk);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            self.buf[..rem.len()].copy_from_slice(rem);
+            self.buf_len = rem.len();
+        }
+    }
+
+    /// Zero-pads the staging buffer to the next 16-byte block boundary
+    /// (closing the current section per the specification).
+    fn pad_to_block(&mut self) {
+        let rem = self.buf_len % 16;
+        if rem != 0 {
+            let pad = 16 - rem;
+            self.buf[self.buf_len..self.buf_len + pad].fill(0);
+            self.buf_len += pad;
+            if self.buf_len == GHASH_BATCH_BYTES {
+                self.y = self.powers.fold(self.y, &self.buf);
+                self.buf_len = 0;
+            }
+        }
+    }
+
+    /// Absorbs additional authenticated data. Must precede all ciphertext.
+    ///
+    /// # Panics
+    /// Panics if ciphertext has already been absorbed.
+    pub fn update_aad(&mut self, aad: &[u8]) {
+        assert!(
+            !self.in_ciphertext,
+            "AAD must be absorbed before ciphertext"
+        );
+        self.aad_bits += (aad.len() as u64) * 8;
+        self.absorb(aad);
+    }
+
+    /// Absorbs ciphertext. The first call zero-pads and closes the AAD
+    /// section.
+    pub fn update_ciphertext(&mut self, ct: &[u8]) {
+        if !self.in_ciphertext {
+            self.pad_to_block();
+            self.in_ciphertext = true;
+        }
+        self.ct_bits += (ct.len() as u64) * 8;
+        self.absorb(ct);
+    }
+
+    /// Pads the final section, absorbs the 128-bit length block and
+    /// returns the hash value. Whatever whole blocks remain staged fold
+    /// serially with `H^1`.
+    pub fn finalize(mut self) -> Gf128 {
+        self.pad_to_block();
+        let len_block = ((self.aad_bits as u128) << 64) | self.ct_bits as u128;
+        let len_bytes = len_block.to_be_bytes();
+        self.buf[self.buf_len..self.buf_len + 16].copy_from_slice(&len_bytes);
+        self.buf_len += 16;
+        if self.buf_len == GHASH_BATCH_BYTES {
+            self.y = self.powers.fold(self.y, &self.buf);
+            self.buf_len = 0;
+        }
+        let key = self.powers.key();
+        for block in self.buf[..self.buf_len].chunks_exact(16) {
+            let b: &[u8; 16] = block.try_into().expect("16");
+            self.y = key.mul_h(self.y + Gf128::from_bytes(b));
+        }
+        self.y
+    }
+}
+
+/// One-shot batched GHASH over an (AAD, ciphertext) pair.
+pub fn ghash_batched(powers: &GhashPowers, aad: &[u8], ciphertext: &[u8]) -> Gf128 {
+    let mut g = GhashBatched::new(powers);
     g.update_aad(aad);
     g.update_ciphertext(ciphertext);
     g.finalize()
@@ -248,13 +453,69 @@ mod tests {
         let ct: Vec<u8> = (0u8..100).map(|i| i.wrapping_mul(7)).collect();
         let oneshot = ghash(&key, &aad, &ct);
 
-        let mut inc = Ghash::new(key.clone());
+        let mut inc = Ghash::new(&key);
         inc.update_aad(&aad[..10]);
         inc.update_aad(&aad[10..]);
         inc.update_ciphertext(&ct[..1]);
         inc.update_ciphertext(&ct[1..50]);
         inc.update_ciphertext(&ct[50..]);
         assert_eq!(inc.finalize(), oneshot);
+    }
+
+    #[test]
+    fn fold_matches_eight_horner_steps() {
+        let powers = GhashPowers::new(h_case2());
+        let key = powers.key();
+        let blocks: Vec<u8> = (0..128u8).map(|i| i.wrapping_mul(13)).collect();
+        let y0 = Gf128(0xfeed_0000_dead_0000_beef_0000_cafe_0000);
+        let mut y = y0;
+        for block in blocks.chunks_exact(16) {
+            let b: &[u8; 16] = block.try_into().unwrap();
+            y = key.mul_h(y + Gf128::from_bytes(b));
+        }
+        assert_eq!(powers.fold(y0, &blocks), y);
+    }
+
+    #[test]
+    fn batched_matches_scalar_all_lengths() {
+        let powers = GhashPowers::new(h_case2());
+        let key = powers.key();
+        // Every (aad, ct) length split around the batch and block
+        // boundaries, including AAD-only and empty inputs.
+        let data: Vec<u8> = (0..1200u32).map(|i| (i * 31 % 251) as u8).collect();
+        for aad_len in [0usize, 1, 15, 16, 17, 127, 128, 129, 300] {
+            for ct_len in [0usize, 1, 15, 16, 17, 64, 127, 128, 129, 512, 800] {
+                let aad = &data[..aad_len];
+                let ct = &data[aad_len..aad_len + ct_len];
+                assert_eq!(
+                    ghash_batched(&powers, aad, ct),
+                    ghash(key, aad, ct),
+                    "aad {aad_len} ct {ct_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_incremental_split_points_agree() {
+        let powers = GhashPowers::new(h_case2());
+        let aad: Vec<u8> = (0u8..37).collect();
+        let ct: Vec<u8> = (0..300u32).map(|i| (i * 7 % 256) as u8).collect();
+        let oneshot = ghash_batched(&powers, &aad, &ct);
+        for split in [0usize, 1, 16, 128, 129, 200, 300] {
+            let mut inc = GhashBatched::new(&powers);
+            inc.update_aad(&aad);
+            inc.update_ciphertext(&ct[..split]);
+            inc.update_ciphertext(&ct[split..]);
+            assert_eq!(inc.finalize(), oneshot, "split {split}");
+        }
+    }
+
+    #[test]
+    fn powers_key_is_h1() {
+        let powers = GhashPowers::new(h_case2());
+        assert_eq!(powers.h(), h_case2());
+        assert_eq!(powers.key().h(), h_case2());
     }
 
     #[test]
@@ -277,7 +538,7 @@ mod tests {
     #[should_panic(expected = "AAD must be absorbed before ciphertext")]
     fn aad_after_ciphertext_panics() {
         let key = GhashKey::new(h_case2());
-        let mut g = Ghash::new(key);
+        let mut g = Ghash::new(&key);
         g.update_ciphertext(&[1, 2, 3]);
         g.update_aad(&[4]);
     }

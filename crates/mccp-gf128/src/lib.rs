@@ -35,4 +35,7 @@ pub mod element;
 pub mod ghash;
 
 pub use element::Gf128;
-pub use ghash::{ghash, Ghash, GhashKey};
+pub use ghash::{
+    ghash, ghash_batched, Ghash, GhashBatched, GhashKey, GhashPowers, GHASH_BATCH_BLOCKS,
+    GHASH_BATCH_BYTES,
+};

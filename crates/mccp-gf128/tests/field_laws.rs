@@ -78,7 +78,7 @@ proptest! {
     ) {
         let key = GhashKey::new(h);
         let oneshot = ghash(&key, &aad, &ct);
-        let mut inc = Ghash::new(key.clone());
+        let mut inc = Ghash::new(&key);
         let a_split = if aad.is_empty() { 0 } else { split % aad.len() };
         inc.update_aad(&aad[..a_split]);
         inc.update_aad(&aad[a_split..]);

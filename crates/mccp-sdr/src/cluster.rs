@@ -211,6 +211,11 @@ pub struct MccpCluster<B: ChannelBackend> {
     handles: Vec<ChannelId>,
     /// Fault-plane shard kills: `(shard, dies after serving N packets)`.
     shard_kills: Vec<(usize, u64)>,
+    /// Persistent worker pool for [`run_threaded`](Self::run_threaded),
+    /// built lazily on the first threaded run and reused afterwards —
+    /// sized `min(shards, host_parallelism())`, so no per-run spawning and
+    /// no oversubscription.
+    pool: Option<crate::pool::ShardPool>,
 }
 
 impl MccpCluster<FunctionalBackend> {
@@ -302,6 +307,7 @@ impl<B: ChannelBackend> MccpCluster<B> {
             keys,
             handles,
             shard_kills: Vec::new(),
+            pool: None,
         }
     }
 
@@ -397,11 +403,17 @@ impl<B: ChannelBackend> MccpCluster<B> {
         self.finish(workload, queues, outcomes, started)
     }
 
-    /// Serves the workload with one OS thread per shard — the scaling
+    /// Serves the workload across the persistent shard pool — the scaling
     /// path for functional shards. Modeled results are identical to
     /// [`run`](Self::run); only host wall-clock differs. (Healing passes
     /// after a shard death run sequentially — they are small by
     /// construction, one dead shard's leftover queue.)
+    ///
+    /// The pool is created on the first call and reused afterwards, sized
+    /// `min(shards, host_parallelism())`: shard `i` runs on lane
+    /// `i % threads`, so on a host with fewer cores than shards the excess
+    /// shards serialize on a lane instead of oversubscribing the
+    /// scheduler (the root cause of the old sub-1× "speedup").
     pub fn run_threaded(&mut self, workload: &Workload, policy: DispatchPolicy) -> ClusterReport
     where
         B: Send,
@@ -410,25 +422,25 @@ impl<B: ChannelBackend> MccpCluster<B> {
         let retry = self.config.retry;
         let observe = self.config.observe;
         let kills: Vec<Option<u64>> = (0..self.backends.len()).map(|s| self.kill_for(s)).collect();
-        let handles = &self.handles;
+        let threads = self.backends.len().min(crate::pool::host_parallelism());
         let started = std::time::Instant::now();
-        let outcomes: Vec<ShardOutcome> = std::thread::scope(|scope| {
-            let joins: Vec<_> = self
+        let outcomes: Vec<ShardOutcome> = {
+            if self.pool.is_none() {
+                self.pool = Some(crate::pool::ShardPool::new(threads));
+            }
+            let pool = self.pool.as_ref().expect("pool just built");
+            let handles = &self.handles;
+            let tasks: Vec<_> = self
                 .backends
                 .iter_mut()
                 .zip(queues.iter())
                 .zip(kills)
                 .map(|((backend, queue), kill)| {
-                    scope.spawn(move || {
-                        run_shard(backend, workload, handles, queue, kill, retry, observe)
-                    })
+                    move || run_shard(backend, workload, handles, queue, kill, retry, observe)
                 })
                 .collect();
-            joins
-                .into_iter()
-                .map(|j| j.join().expect("shard thread"))
-                .collect()
-        });
+            pool.run_batch(tasks)
+        };
         self.finish(workload, queues, outcomes, started)
     }
 

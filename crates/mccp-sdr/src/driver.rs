@@ -127,8 +127,14 @@ pub fn verify_records(
     channels: &[SecureChannel],
     keys: &[Vec<u8>],
 ) -> Result<usize, VerifyError> {
-    use mccp_aes::modes::{ccm_seal, ctr_xcrypt, gcm_seal, CcmParams};
+    use mccp_aes::modes::{ccm_seal, ctr_xcrypt, CcmParams, GcmContext};
     use mccp_core::protocol::Mode;
+
+    // One expanded key schedule — and, for GCM channels, one set of cached
+    // hash-key powers — per *channel*, not per record.
+    let mut aes_by_ch: Vec<Option<mccp_aes::Aes>> = (0..channels.len()).map(|_| None).collect();
+    let mut gcm_by_ch: Vec<Option<GcmContext<mccp_aes::Aes>>> =
+        (0..channels.len()).map(|_| None).collect();
 
     for rec in records {
         let fail = |kind| VerifyError {
@@ -139,10 +145,14 @@ pub fn verify_records(
         let reference = |e: String| fail(VerifyErrorKind::Reference(e));
         let pkt = &workload.packets[rec.packet_idx];
         let ch = &channels[rec.channel];
-        let aes = mccp_aes::Aes::new(&keys[rec.channel]);
+        let aes =
+            aes_by_ch[rec.channel].get_or_insert_with(|| mccp_aes::Aes::new(&keys[rec.channel]));
         let (expect_ct, expect_tag): (Vec<u8>, Vec<u8>) = match ch.profile.algorithm.mode() {
             Mode::Gcm => {
-                let out = gcm_seal(&aes, &rec.iv, &pkt.aad, &pkt.payload, 16)
+                let ctx =
+                    gcm_by_ch[rec.channel].get_or_insert_with(|| GcmContext::new(aes.clone()));
+                let out = ctx
+                    .seal(&rec.iv, &pkt.aad, &pkt.payload, 16)
                     .map_err(|e| reference(e.to_string()))?;
                 let n = pkt.payload.len();
                 (out[..n].to_vec(), out[n..].to_vec())
@@ -152,7 +162,7 @@ pub fn verify_records(
                     nonce_len: rec.iv.len(),
                     tag_len: ch.profile.tag_len,
                 };
-                let out = ccm_seal(&aes, &params, &rec.iv, &pkt.aad, &pkt.payload)
+                let out = ccm_seal(&*aes, &params, &rec.iv, &pkt.aad, &pkt.payload)
                     .map_err(|e| reference(e.to_string()))?;
                 let n = pkt.payload.len();
                 (out[..n].to_vec(), out[n..].to_vec())
@@ -162,11 +172,11 @@ pub fn verify_records(
                 let ctr0: [u8; 16] = rec.iv.as_slice().try_into().map_err(|_| {
                     reference(format!("CTR IV must be 16 bytes, got {}", rec.iv.len()))
                 })?;
-                ctr_xcrypt(&aes, &ctr0, &mut body).map_err(|e| reference(e.to_string()))?;
+                ctr_xcrypt(&*aes, &ctr0, &mut body).map_err(|e| reference(e.to_string()))?;
                 (body, Vec::new())
             }
             Mode::CbcMac => {
-                let mac = mccp_aes::modes::cbc_mac(&aes, &pkt.payload, 16)
+                let mac = mccp_aes::modes::cbc_mac(&*aes, &pkt.payload, 16)
                     .map_err(|e| reference(e.to_string()))?;
                 (Vec::new(), mac)
             }

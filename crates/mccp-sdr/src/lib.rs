@@ -22,6 +22,7 @@
 pub mod channel;
 pub mod cluster;
 pub mod driver;
+pub mod pool;
 pub mod qos;
 pub mod standards;
 pub mod workload;
@@ -29,5 +30,6 @@ pub mod workload;
 pub use channel::SecureChannel;
 pub use cluster::{ClusterConfig, ClusterReport, MccpCluster, ShardReport};
 pub use driver::{PacketRecord, RadioDriver, RunReport, VerifyError, VerifyErrorKind};
+pub use pool::{host_parallelism, ShardPool};
 pub use standards::{Standard, StandardProfile};
 pub use workload::{RadioPacket, Workload, WorkloadSpec};

@@ -1,0 +1,266 @@
+//! A persistent shard thread pool.
+//!
+//! [`MccpCluster::run_threaded`](crate::MccpCluster::run_threaded) used to
+//! spawn one OS thread per shard *per run*. For the short bursts the
+//! benchmarks drive, thread creation and teardown dominated — and on hosts
+//! with fewer cores than shards, eight runnable threads on one CPU is pure
+//! oversubscription (the measured 0.65× "speedup" at 8 shards). This pool
+//! fixes both: workers are spawned once and reused across runs, and the
+//! pool is sized `min(shards, host_parallelism())` so shards queue on a
+//! lane instead of thrashing the scheduler.
+//!
+//! Shard `i` always executes on lane `i % threads`: work for one shard is
+//! serialized in submission order, work on different lanes runs
+//! concurrently.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// The host's available parallelism (1 if it cannot be determined) — the
+/// value every BENCH file records as `host_parallelism`.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct BatchState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<String>>,
+}
+
+/// Waits for the batch to drain — including on unwind, which is what makes
+/// lending `'scope`-borrowed closures to `'static` workers sound: the
+/// borrows cannot be invalidated while any task that holds them can still
+/// run.
+struct WaitGuard<'a>(&'a BatchState);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        let mut pending = self.0.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.0.done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// A fixed set of worker threads with one task lane each, reused across
+/// cluster runs.
+pub struct ShardPool {
+    lanes: Vec<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut lanes = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx): (Sender<Task>, Receiver<Task>) = unbounded();
+            lanes.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mccp-shard-{i}"))
+                    .spawn(move || {
+                        // Tasks handle their own panics (see `run_batch`),
+                        // so a worker lives as long as its lane.
+                        while let Ok(task) = rx.recv() {
+                            task();
+                        }
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+        ShardPool { lanes, workers }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Runs `tasks` to completion and returns their results in order.
+    ///
+    /// `tasks[i]` executes on lane `i % threads()`. The call blocks until
+    /// every task has finished; a panic inside any task is captured and
+    /// re-raised here once the whole batch has drained.
+    pub fn run_batch<'scope, F, T>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let n = tasks.len();
+        let state = Arc::new(BatchState {
+            pending: Mutex::new(n),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let results: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+
+        {
+            let guard = WaitGuard(&state);
+            for (i, task) in tasks.into_iter().enumerate() {
+                let state = Arc::clone(&state);
+                let results = Arc::clone(&results);
+                let wrapped = move || {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                        Ok(v) => *results[i].lock().unwrap() = Some(v),
+                        Err(p) => {
+                            let msg = p
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| p.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "opaque panic payload".into());
+                            *state.panic.lock().unwrap() = Some(msg);
+                        }
+                    }
+                    // Release this task's handle on the results *before*
+                    // signalling completion, so the caller's
+                    // `Arc::try_unwrap` cannot race a worker that is still
+                    // unwinding its stack frame.
+                    drop(results);
+                    let mut pending = state.pending.lock().unwrap();
+                    *pending -= 1;
+                    if *pending == 0 {
+                        state.done.notify_all();
+                    }
+                };
+                let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(wrapped);
+                // SAFETY: the fat-pointer layout is identical across
+                // lifetimes; `WaitGuard` blocks this frame (on return *and*
+                // on unwind) until every queued task has run, so nothing
+                // the closures borrow for `'scope` can be dropped while a
+                // worker can still observe it.
+                let boxed: Task = unsafe { std::mem::transmute(boxed) };
+                if let Err(rejected) = self.lanes[i % self.lanes.len()].send(boxed) {
+                    // A lane can only close while the pool is being torn
+                    // down; degrade to inline execution so the batch still
+                    // completes and `pending` still reaches zero.
+                    (rejected.0)();
+                }
+            }
+            drop(guard); // blocks until pending == 0
+        }
+
+        if let Some(msg) = state.panic.lock().unwrap().take() {
+            panic!("shard task panicked: {msg}");
+        }
+        let results = Arc::try_unwrap(results)
+            .ok()
+            .expect("all workers have released the batch results");
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("task completed"))
+            .collect()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.lanes.clear(); // close every lane
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_borrowed_tasks_and_orders_results() {
+        let pool = ShardPool::new(3);
+        let data: Vec<u64> = (0..10).collect();
+        let tasks: Vec<_> = data
+            .iter()
+            .map(|v| move || v * 2) // borrows `data`
+            .collect();
+        let out = pool.run_batch(tasks);
+        assert_eq!(out, (0..10).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reused_across_batches_without_respawn() {
+        let pool = ShardPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        for round in 0..5u64 {
+            let out = pool.run_batch((0..8).map(|i| move || round * 100 + i).collect::<Vec<_>>());
+            assert_eq!(out, (0..8).map(|i| round * 100 + i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn same_lane_tasks_serialize_in_order() {
+        // With one thread, everything shares lane 0 and must run in
+        // submission order.
+        let pool = ShardPool::new(1);
+        let seq = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..16)
+            .map(|i| {
+                let seq = &seq;
+                move || {
+                    seq.compare_exchange(i, i + 1, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                }
+            })
+            .collect();
+        assert!(pool.run_batch(tasks).into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn mutable_borrows_written_back() {
+        let pool = ShardPool::new(4);
+        let mut cells = vec![0u32; 6];
+        let tasks: Vec<_> = cells
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| {
+                move || {
+                    *c = i as u32 + 1;
+                }
+            })
+            .collect();
+        pool.run_batch(tasks);
+        assert_eq!(cells, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_batch_drains() {
+        let pool = ShardPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+                Box::new(|| panic!("boom")),
+                Box::new(|| {
+                    finished.fetch_add(1, Ordering::SeqCst);
+                }),
+            ];
+            pool.run_batch(tasks.into_iter().map(|t| move || t()).collect::<Vec<_>>());
+        }));
+        assert!(result.is_err());
+        assert_eq!(finished.load(Ordering::SeqCst), 1, "other tasks still ran");
+        // The pool survives a panicked batch.
+        assert_eq!(pool.run_batch(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = ShardPool::new(2);
+        let out: Vec<u8> = pool.run_batch(Vec::<fn() -> u8>::new().into_iter().collect::<Vec<_>>());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn host_parallelism_is_positive() {
+        assert!(host_parallelism() >= 1);
+    }
+}

@@ -26,8 +26,8 @@
 use mccp_core::MccpConfig;
 use mccp_sdr::cluster::{ClusterConfig, MccpCluster, RetryPolicy};
 use mccp_sdr::qos::DispatchPolicy;
-use mccp_sdr::workload::{Workload, WorkloadSpec};
-use mccp_sdr::Standard;
+use mccp_sdr::workload::{RadioPacket, Workload, WorkloadSpec};
+use mccp_sdr::{Standard, SERIAL_FALLBACK_BYTES};
 use std::time::Instant;
 
 const PACKETS: usize = 160;
@@ -222,11 +222,37 @@ fn main() {
         sweep.push(point);
     }
 
+    // Skewed-load arm: the affinity dispatcher's worst case. All traffic
+    // lands on channels 0 and 4, which both hash to affinity shard 0 at
+    // 4 shards — without stealing one shard serves everything while three
+    // idle; with stealing the queues rebalance. Modeled makespans isolate
+    // the effect from host scheduling noise.
+    let skew_packets = if quick { 16 } else { 64 };
+    let skew = run_skewed_arm(&standards, skew_packets);
+    println!(
+        "  skewed hotspot ({skew_packets} pkts on 2 of 8 channels, 4 shards): \
+         no-steal {} cyc, stealing {} cyc ({:.2}x), {} stolen",
+        skew.no_steal_makespan_cycles,
+        skew.stealing_makespan_cycles,
+        skew.stealing_speedup,
+        skew.stolen_packets
+    );
+    assert!(
+        skew.stolen_packets > 0,
+        "hotspot traffic must exercise work stealing"
+    );
+    assert!(
+        skew.stealing_speedup > 1.0,
+        "stealing must shorten the skewed makespan, got {:.2}x",
+        skew.stealing_speedup
+    );
+
     if quick {
         perf_smoke_against_floors();
         println!(
             "bench_cluster --quick PASSED: scaling {modeled_speedup_4:.2}x at 4 shards, \
-             kernel floors held (BENCH files not rewritten)"
+             stealing {:.2}x on the skewed arm, kernel floors held (BENCH files not rewritten)",
+            skew.stealing_speedup
         );
         return;
     }
@@ -275,19 +301,97 @@ fn main() {
         "{{\n  \"benchmark\": \"cluster_scaling\",\n  \"workload\": {{\"channels\": {}, \
          \"packets\": {PACKETS}, \"payload_bytes\": {PAYLOAD_LEN}, \"cores_per_shard\": 4}},\n  \
          \"host_parallelism\": {host_parallelism},\n  \
+         \"serial_fallback_bytes\": {SERIAL_FALLBACK_BYTES},\n  \
          \"note\": \"modeled curve is host-independent serving capacity (makespan at 190 MHz); \
          functional_thread_speedup compares the same shard count serial vs threaded and is \
-         bounded by host_parallelism\",\n  \"points\": [\n{}\n  ],\n  \
+         bounded by host_parallelism; batches under serial_fallback_bytes of queued payload \
+         run on the caller thread (no cross-thread hand-off)\",\n  \"points\": [\n{}\n  ],\n  \
          \"payload_sweep\": {{\"shards\": 4, \"packets\": {}, \"engine\": \"functional\", \
-         \"points\": [\n{}\n  ]}}\n}}\n",
+         \"points\": [\n{}\n  ]}},\n  \
+         \"skewed_load\": {{\"shards\": 4, \"packets\": {}, \"hot_channels\": [0, 4], \
+         \"engine\": \"cycle\", \"no_steal_makespan_cycles\": {}, \
+         \"stealing_makespan_cycles\": {}, \"stealing_speedup\": {:.2}, \
+         \"stolen_packets\": {}, \"hot_shard_packets_no_steal\": {}, \
+         \"max_shard_packets_stealing\": {}}}\n}}\n",
         standards.len(),
         rows.join(",\n"),
         sweep_packets,
-        sweep_rows.join(",\n")
+        sweep_rows.join(",\n"),
+        skew.packets,
+        skew.no_steal_makespan_cycles,
+        skew.stealing_makespan_cycles,
+        skew.stealing_speedup,
+        skew.stolen_packets,
+        skew.hot_shard_packets_no_steal,
+        skew.max_shard_packets_stealing
     );
     std::fs::write("BENCH_cluster.json", &json).expect("write BENCH_cluster.json");
     print!("{json}");
     println!("modeled aggregate speedup at 4 shards: {modeled_speedup_4:.2}x (>= 2x required)");
+}
+
+struct SkewResult {
+    packets: usize,
+    no_steal_makespan_cycles: u64,
+    stealing_makespan_cycles: u64,
+    stealing_speedup: f64,
+    stolen_packets: usize,
+    hot_shard_packets_no_steal: usize,
+    max_shard_packets_stealing: usize,
+}
+
+/// Serves a traffic hotspot (every packet on channels 0 and 4, both
+/// affinity shard 0 of 4) twice on cycle-accurate shards — stealing off,
+/// then on — and reports the modeled makespans.
+fn run_skewed_arm(standards: &[Standard], packets: usize) -> SkewResult {
+    let spec = WorkloadSpec {
+        standards: standards.to_vec(),
+        packets,
+        seed: SEED ^ 0x5E_77,
+        fixed_payload_len: Some(PAYLOAD_LEN),
+        mean_interarrival_cycles: None,
+    };
+    let skewed: Vec<RadioPacket> = (0..packets)
+        .map(|i| RadioPacket {
+            channel: if i % 2 == 0 { 0 } else { 4 },
+            aad: vec![0xA5; 8],
+            payload: vec![i as u8; PAYLOAD_LEN],
+            priority: 1,
+            arrival_cycle: 0,
+        })
+        .collect();
+    let workload = Workload {
+        spec,
+        packets: skewed,
+    };
+    let cfg = |stealing| ClusterConfig {
+        shards: 4,
+        work_stealing: stealing,
+        telemetry_capacity: None,
+        retry: RetryPolicy::default(),
+        observe: false,
+    };
+    let mut lazy = MccpCluster::cycle_accurate(cfg(false), MccpConfig::default(), standards, 21);
+    let r_lazy = lazy.run(&workload, DispatchPolicy::Fifo);
+    assert_eq!(
+        lazy.verify(&workload, &r_lazy).expect("no-steal verify"),
+        packets
+    );
+    let mut eager = MccpCluster::cycle_accurate(cfg(true), MccpConfig::default(), standards, 21);
+    let r_eager = eager.run(&workload, DispatchPolicy::Fifo);
+    assert_eq!(
+        eager.verify(&workload, &r_eager).expect("stealing verify"),
+        packets
+    );
+    SkewResult {
+        packets,
+        no_steal_makespan_cycles: r_lazy.merged.cycles,
+        stealing_makespan_cycles: r_eager.merged.cycles,
+        stealing_speedup: r_lazy.merged.cycles as f64 / r_eager.merged.cycles.max(1) as f64,
+        stolen_packets: r_eager.stolen_packets,
+        hot_shard_packets_no_steal: r_lazy.shards[0].packets,
+        max_shard_packets_stealing: r_eager.shards.iter().map(|s| s.packets).max().unwrap_or(0),
+    }
 }
 
 /// The CI perf smoke: re-measures the batched kernel arms briefly and

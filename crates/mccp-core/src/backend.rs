@@ -104,6 +104,14 @@ pub trait ChannelBackend {
 
     /// CLOSE: releases a channel. Errors with [`MccpError::Busy`] while
     /// the channel has in-flight requests.
+    ///
+    /// Engine resources (the channel id and, for engines that allocate
+    /// one per open, the key slot) are recycled: a later
+    /// [`open_channel`](Self::open_channel) may return the *same*
+    /// [`ChannelId`]. A caller serving open/close churn must therefore
+    /// layer its own aliasing protection over the raw handle — the
+    /// service plane's generational slab ids exist precisely so a stale
+    /// handle can never address a recycled slot.
     fn close_channel(&mut self, channel: ChannelId) -> Result<(), MccpError>;
 
     /// ENCRYPT/DECRYPT: submits one packet on a channel.
@@ -198,8 +206,21 @@ impl ChannelBackend for Mccp {
         self.open_with_tag_len(algorithm, kid, tag_len)
     }
 
+    /// CLOSE, recycling the session key [`open_channel`] allocated: once
+    /// no other channel references the [`KeyId`], it is erased (zeroized)
+    /// from the Key Memory. Without this, open/close churn through the
+    /// trait would exhaust the 255-slot Key Memory after 255 opens —
+    /// long-lived service operation demands that both the channel id and
+    /// the key slot come back.
+    ///
+    /// [`open_channel`]: ChannelBackend::open_channel
     fn close_channel(&mut self, channel: ChannelId) -> Result<(), MccpError> {
-        self.close(channel)
+        let key = self.channel(channel)?.key;
+        self.close(channel)?;
+        if !self.channels.values().any(|c| c.key == key) {
+            self.key_memory_mut().erase(key);
+        }
+        Ok(())
     }
 
     fn submit_packet(

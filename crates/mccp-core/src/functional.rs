@@ -14,13 +14,14 @@ use crate::backend::{ChannelBackend, Completion, EngineHealth};
 use crate::fault::{FaultKind, FaultPlan, FaultTrigger};
 use crate::format::Direction;
 use crate::protocol::{Algorithm, ChannelId, MccpError, Mode, RequestId};
+use crate::warmcache::{WarmCache, WarmStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mccp_aes::modes::{
     cbc_mac, ccm_open_detached, ccm_seal, ctr_xcrypt, CcmParams, GcmContext, ModeError,
 };
 use mccp_aes::Aes;
 use mccp_telemetry::{Event, Snapshot, Telemetry};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -119,13 +120,13 @@ fn run_mode(
     }
 }
 
-fn process(job: &PacketJob, cache: &mut HashMap<Vec<u8>, KeyCtx>) -> Result<Vec<u8>, ModeError> {
-    // Lookup-before-insert: the steady state is a cache hit, which must not
-    // clone the key bytes just to probe the map.
-    if !cache.contains_key(&job.key) {
-        cache.insert(job.key.clone(), KeyCtx::new(&job.key));
-    }
-    let ctx = cache.get_mut(&job.key).expect("just inserted");
+/// Default warm-set bound for key contexts: far above any batch
+/// workload's key count, far below a million-channel service's — idle
+/// channels' schedules age out instead of pinning memory.
+pub const DEFAULT_KEY_CACHE_CAPACITY: usize = 4096;
+
+fn process(job: &PacketJob, cache: &mut WarmCache<Vec<u8>, KeyCtx>) -> Result<Vec<u8>, ModeError> {
+    let ctx = cache.get_or_insert_with(&job.key, || KeyCtx::new(&job.key));
     run_mode(
         ctx,
         job.algorithm,
@@ -168,8 +169,10 @@ impl ParallelMccp {
                 std::thread::Builder::new()
                     .name(format!("mccp-core-{core}"))
                     .spawn(move || {
-                        // Per-core key cache, like the hardware Key Cache.
-                        let mut cache: HashMap<Vec<u8>, KeyCtx> = HashMap::new();
+                        // Per-core key cache, like the hardware Key Cache:
+                        // bounded, LRU — idle keys' schedules age out.
+                        let mut cache: WarmCache<Vec<u8>, KeyCtx> =
+                            WarmCache::new(DEFAULT_KEY_CACHE_CAPACITY);
                         while let Ok(job) = rx.recv() {
                             let result = process(&job, &mut cache);
                             counts[core].fetch_add(1, Ordering::Relaxed);
@@ -269,8 +272,10 @@ pub struct FunctionalBackend {
     channels: BTreeMap<u8, FunctionalChannel>,
     /// Per-key context cache (the hardware Key Cache, degenerated to one
     /// shared cache since there is no per-core state to model): expanded
-    /// key schedule plus lazily-built GCM hash-key powers.
-    cache: HashMap<Vec<u8>, KeyCtx>,
+    /// key schedule plus lazily-built GCM hash-key powers. Bounded LRU —
+    /// under channel churn the schedules of keys no longer seen age out
+    /// instead of growing the cache without limit.
+    cache: WarmCache<Vec<u8>, KeyCtx>,
     /// Finished packets in submission order, tagged with their channel so
     /// CLOSE can refuse while results are undrained.
     completions: VecDeque<(u8, Completion)>,
@@ -289,9 +294,16 @@ pub struct FunctionalBackend {
 
 impl FunctionalBackend {
     pub fn new() -> Self {
+        Self::with_key_cache_capacity(DEFAULT_KEY_CACHE_CAPACITY)
+    }
+
+    /// A backend whose key-context warm set holds at most `capacity`
+    /// expanded schedules (0 = unbounded). The service plane sizes this
+    /// to its hot working set; batch drivers keep the default.
+    pub fn with_key_cache_capacity(capacity: usize) -> Self {
         FunctionalBackend {
             channels: BTreeMap::new(),
-            cache: HashMap::new(),
+            cache: WarmCache::new(capacity),
             completions: VecDeque::new(),
             next_request: 1,
             now: 0,
@@ -300,6 +312,16 @@ impl FunctionalBackend {
             packets_submitted: 0,
             channel_seq: BTreeMap::new(),
         }
+    }
+
+    /// Warm-set hit/miss/eviction counters for the key-context cache.
+    pub fn key_cache_stats(&self) -> WarmStats {
+        self.cache.stats()
+    }
+
+    /// Expanded key schedules currently resident.
+    pub fn key_cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Arms the packet-triggered subset of a fault schedule: the `n`-th
@@ -380,12 +402,13 @@ impl ChannelBackend for FunctionalBackend {
     ) -> Result<RequestId, MccpError> {
         // Disjoint field borrows: the channel table is read-only here while
         // the key-context cache is mutated, so no per-submit clone of the
-        // channel (and its key bytes) is needed.
+        // channel (and its key bytes) is needed. A warm-set hit costs one
+        // hash probe; a miss re-expands the schedule and may age out the
+        // least-recently-used key.
         let ch = self.channels.get(&channel.0).ok_or(MccpError::BadChannel)?;
-        if !self.cache.contains_key(&ch.key) {
-            self.cache.insert(ch.key.clone(), KeyCtx::new(&ch.key));
-        }
-        let ctx = self.cache.get_mut(&ch.key).expect("just inserted");
+        let ctx = self
+            .cache
+            .get_or_insert_with(&ch.key, || KeyCtx::new(&ch.key));
 
         let id = RequestId(self.next_request);
         self.next_request = self.next_request.wrapping_add(1).max(1);

@@ -47,6 +47,7 @@ pub mod model;
 pub mod protocol;
 pub mod reconfig;
 mod scheduler;
+pub mod warmcache;
 
 pub use backend::{ChannelBackend, Completion, CoreHealth, EngineHealth};
 pub use fault::{FaultKind, FaultPlan, FaultTrigger};
@@ -54,3 +55,4 @@ pub use format::{Direction, ProcessedPacket};
 pub use functional::FunctionalBackend;
 pub use mccp::{DecryptedPacket, EncryptedPacket, Mccp, MccpConfig};
 pub use protocol::{Algorithm, ChannelId, KeyId, MccpError, Mode, RequestId};
+pub use warmcache::{WarmCache, WarmStats};

@@ -1,0 +1,224 @@
+//! A bounded warm-set cache with LRU eviction.
+//!
+//! The always-on service plane keeps millions of mostly-idle channels
+//! resident, but only a small *working set* of them is hot at any moment.
+//! Everything expensive that a channel needs — an expanded AES key
+//! schedule, GHASH hash-key powers, a live backend channel binding — is
+//! therefore kept in a bounded warm set in front of the cheap per-channel
+//! slab state: hits pay a hash lookup, misses rebuild (or rebind) and
+//! evict the least-recently-used entry. This mirrors the hardware's Key
+//! Cache, which holds the expanded schedules of the *recently served*
+//! channels while the Key Memory holds every session key.
+//!
+//! The cache is deterministic: eviction order depends only on the access
+//! sequence, never on hashing order or time.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Hit/miss/eviction counters for one warm cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+/// One resident entry: the value plus its position in the LRU order.
+struct Entry<V> {
+    value: V,
+    /// Monotonic access stamp; the smallest stamp is the LRU entry.
+    stamp: u64,
+}
+
+/// A bounded map with least-recently-used eviction and access stats.
+///
+/// `capacity == 0` means unbounded (the pre-service behaviour of the
+/// functional engine's key-context cache).
+pub struct WarmCache<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    capacity: usize,
+    clock: u64,
+    stats: WarmStats,
+}
+
+impl<K: Eq + Hash + Clone, V> WarmCache<K, V> {
+    /// A cache holding at most `capacity` entries (0 = unbounded).
+    pub fn new(capacity: usize) -> Self {
+        WarmCache {
+            entries: HashMap::new(),
+            capacity,
+            clock: 0,
+            stats: WarmStats::default(),
+        }
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Access counters since construction.
+    pub fn stats(&self) -> WarmStats {
+        self.stats
+    }
+
+    /// Looks up `key`, building and inserting the value on a miss — the
+    /// single access path, so every touch refreshes the LRU stamp and is
+    /// counted. On insertion beyond capacity the least-recently-used
+    /// entry is dropped (its destructor runs, which is where key material
+    /// zeroization lives for key-schedule values).
+    pub fn get_or_insert_with(&mut self, key: &K, build: impl FnOnce() -> V) -> &mut V {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.entries.get_mut(key) {
+            self.stats.hits += 1;
+            e.stamp = clock;
+            // Polonius limitation: re-borrow via the map to end the
+            // conditional borrow before returning.
+            return &mut self.entries.get_mut(key).expect("just probed").value;
+        }
+        self.stats.misses += 1;
+        if self.capacity > 0 && self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            key.clone(),
+            Entry {
+                value: build(),
+                stamp: clock,
+            },
+        );
+        &mut self.entries.get_mut(key).expect("just inserted").value
+    }
+
+    /// Peeks without refreshing the LRU stamp or counting a hit.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).map(|e| &e.value)
+    }
+
+    /// Removes one entry (e.g. the service layer unbinding a closed
+    /// channel). Not counted as an eviction.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.entries.remove(key).map(|e| e.value)
+    }
+
+    /// Drops every entry (key-cache wipe on integrity failure).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The key of the least-recently-used entry, if any — the service
+    /// layer's eviction *candidate* when an eviction needs side effects
+    /// (closing a backend binding) before the entry can be dropped.
+    pub fn lru_key(&self) -> Option<&K> {
+        self.entries
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(k, _)| k)
+    }
+
+    /// Every entry in least-recently-used-first order — the eviction
+    /// *candidate list* for callers whose eviction has side effects and
+    /// may need to skip entries (a backend binding with in-flight work
+    /// cannot be closed yet, so the next-oldest idle one goes instead).
+    pub fn entries_by_lru(&self) -> Vec<(&K, &V)> {
+        let mut ordered: Vec<(&K, &Entry<V>)> = self.entries.iter().collect();
+        ordered.sort_by_key(|(_, e)| e.stamp);
+        ordered.into_iter().map(|(k, e)| (k, &e.value)).collect()
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(k) = self.lru_key().cloned() {
+            self.entries.remove(&k);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_refresh_lru_order() {
+        let mut c: WarmCache<u32, u32> = WarmCache::new(2);
+        c.get_or_insert_with(&1, || 10);
+        c.get_or_insert_with(&2, || 20);
+        // Touch 1 so 2 becomes LRU, then insert 3: 2 must be evicted.
+        c.get_or_insert_with(&1, || unreachable!("hit"));
+        c.get_or_insert_with(&3, || 30);
+        assert!(c.peek(&1).is_some());
+        assert!(c.peek(&2).is_none(), "LRU entry evicted");
+        assert!(c.peek(&3).is_some());
+        assert_eq!(
+            c.stats(),
+            WarmStats {
+                hits: 1,
+                misses: 3,
+                evictions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut c: WarmCache<u32, u32> = WarmCache::new(0);
+        for i in 0..1000 {
+            c.get_or_insert_with(&i, || i);
+        }
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c: WarmCache<u32, u32> = WarmCache::new(4);
+        c.get_or_insert_with(&1, || 10);
+        c.get_or_insert_with(&2, || 20);
+        assert_eq!(c.remove(&1), Some(10));
+        assert_eq!(c.remove(&1), None);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().evictions, 0, "removals are not evictions");
+    }
+
+    #[test]
+    fn lru_key_tracks_access_order() {
+        let mut c: WarmCache<u32, u32> = WarmCache::new(8);
+        c.get_or_insert_with(&5, || 0);
+        c.get_or_insert_with(&6, || 0);
+        c.get_or_insert_with(&7, || 0);
+        assert_eq!(c.lru_key(), Some(&5));
+        c.get_or_insert_with(&5, || unreachable!());
+        assert_eq!(c.lru_key(), Some(&6));
+    }
+
+    #[test]
+    fn eviction_is_deterministic_across_runs() {
+        let run = || {
+            let mut c: WarmCache<u64, u64> = WarmCache::new(16);
+            let mut survivors = Vec::new();
+            for i in 0..200u64 {
+                c.get_or_insert_with(&(i % 37), || i);
+            }
+            for k in 0..37u64 {
+                if c.peek(&k).is_some() {
+                    survivors.push(k);
+                }
+            }
+            survivors
+        };
+        assert_eq!(run(), run());
+    }
+}

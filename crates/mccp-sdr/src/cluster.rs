@@ -30,8 +30,8 @@ use crate::driver::{verify_records, PacketRecord, RunReport, VerifyError};
 use crate::qos::{channel_slo, DispatchPolicy};
 use crate::standards::Standard;
 use crate::workload::Workload;
-use mccp_core::protocol::{ChannelId, KeyId, MccpError};
-use mccp_core::{ChannelBackend, Direction, FunctionalBackend, Mccp, MccpConfig};
+use mccp_core::protocol::{ChannelId, KeyId, MccpError, RequestId};
+use mccp_core::{ChannelBackend, Completion, Direction, FunctionalBackend, Mccp, MccpConfig};
 use mccp_telemetry::slo::{ChannelAttainment, HealthScore, SloEngine};
 use mccp_telemetry::trace::{Attempt, AttemptOutcome, PacketJourney};
 use mccp_telemetry::{metrics, Snapshot, WallProfile};
@@ -216,6 +216,12 @@ pub struct MccpCluster<B: ChannelBackend> {
     /// sized `min(shards, host_parallelism())`, so no per-run spawning and
     /// no oversubscription.
     pool: Option<crate::pool::ShardPool>,
+    /// Monotonic salt sequence for runtime opens — disjoint from the
+    /// construction-time `0x1000_0000 + i` salts, so churned channels
+    /// never share an IV salt with the static table or each other.
+    salt_seq: u32,
+    /// Lifecycle churn counters: runtime (opens, closes).
+    churn: (u64, u64),
 }
 
 impl MccpCluster<FunctionalBackend> {
@@ -308,6 +314,8 @@ impl<B: ChannelBackend> MccpCluster<B> {
             handles,
             shard_kills: Vec::new(),
             pool: None,
+            salt_seq: 0,
+            churn: (0, 0),
         }
     }
 
@@ -342,6 +350,128 @@ impl<B: ChannelBackend> MccpCluster<B> {
     /// The central channel table.
     pub fn channels(&self) -> &[SecureChannel] {
         &self.channels
+    }
+
+    /// OPEN at runtime on *every* shard (work-stealing and failover can
+    /// move any channel's packets to any shard, so all engines must hold
+    /// the binding). The salt comes from the cluster's monotonic
+    /// sequence, so churned channels never reuse an IV. Returns the
+    /// channel's index into [`channels`](Self::channels); indices are
+    /// never recycled.
+    ///
+    /// # Panics
+    /// Panics if a shard allocates a divergent handle (determinism-
+    /// contract violation, same as at construction).
+    pub fn open_channel(&mut self, standard: Standard, key: &[u8]) -> Result<usize, MccpError> {
+        let profile = standard.profile();
+        let tag_len = if profile.tag_len == 0 {
+            16
+        } else {
+            profile.tag_len
+        };
+        let mut handle = None;
+        for (s, b) in self.backends.iter_mut().enumerate() {
+            let h = b.open_channel(profile.algorithm, key, tag_len)?;
+            match handle {
+                None => handle = Some(h),
+                Some(h0) => assert_eq!(h0, h, "shard {s} diverged on runtime channel handle"),
+            }
+        }
+        let handle = handle.expect("at least one shard");
+        self.salt_seq = self.salt_seq.wrapping_add(1);
+        let idx = self.channels.len();
+        let mut ch = SecureChannel::new(
+            profile,
+            KeyId(0),
+            0x2000_0000u32.wrapping_add(self.salt_seq),
+        );
+        ch.handle = Some(handle);
+        self.channels.push(ch);
+        self.keys.push(key.to_vec());
+        self.handles.push(handle);
+        self.churn.0 += 1;
+        self.backends[0].telemetry_counter_add("mccp_cluster_channels_opened_total", 1);
+        Ok(idx)
+    }
+
+    /// CLOSE on every shard. Errors with [`MccpError::Busy`] if any shard
+    /// still holds in-flight work for the channel (shards already closed
+    /// in the same call stay closed — re-invoke after draining to finish).
+    pub fn close_channel(&mut self, channel: usize) -> Result<(), MccpError> {
+        let ch = self
+            .channels
+            .get_mut(channel)
+            .ok_or(MccpError::BadChannel)?;
+        let handle = ch.handle.ok_or(MccpError::BadChannel)?;
+        for b in &mut self.backends {
+            match b.close_channel(handle) {
+                // A shard that never served the channel after a previous
+                // partial close reports BadChannel — already closed there.
+                Ok(()) | Err(MccpError::BadChannel) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        ch.handle = None;
+        self.churn.1 += 1;
+        self.backends[0].telemetry_counter_add("mccp_cluster_channels_closed_total", 1);
+        Ok(())
+    }
+
+    /// ENCRYPT: submits one packet on `channel`'s affinity shard with a
+    /// centrally assigned IV (peek/commit — a backpressured submission
+    /// never burns a nonce). Returns the serving shard and request id.
+    pub fn submit(
+        &mut self,
+        channel: usize,
+        aad: &[u8],
+        payload: &[u8],
+    ) -> Result<(usize, RequestId), MccpError> {
+        let shards = self.backends.len();
+        let ch = self
+            .channels
+            .get_mut(channel)
+            .ok_or(MccpError::BadChannel)?;
+        let handle = ch.handle.ok_or(MccpError::BadChannel)?;
+        let iv = ch.peek_iv();
+        let shard = channel % shards;
+        let id = self.backends[shard].submit_packet(
+            handle,
+            Direction::Encrypt,
+            &iv,
+            aad,
+            payload,
+            None,
+        )?;
+        self.channels[channel].commit_iv();
+        Ok((shard, id))
+    }
+
+    /// Advances every shard's clock by at most `bound` cycles; returns
+    /// the largest advance.
+    pub fn step_all(&mut self, bound: u64) -> u64 {
+        self.backends
+            .iter_mut()
+            .map(|b| if b.in_flight() > 0 { b.step(bound) } else { 0 })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pops the next finished lifecycle request from any shard, with the
+    /// shard it completed on.
+    pub fn poll(&mut self) -> Option<(usize, Completion)> {
+        for (s, b) in self.backends.iter_mut().enumerate() {
+            if let Some(c) = b.poll_completion() {
+                return Some((s, c));
+            }
+        }
+        None
+    }
+
+    /// Runtime lifecycle churn: `(channels opened, channels closed)` via
+    /// [`open_channel`](Self::open_channel) /
+    /// [`close_channel`](Self::close_channel).
+    pub fn churn_stats(&self) -> (u64, u64) {
+        self.churn
     }
 
     /// Assigns IVs centrally in policy order and routes each packet to
@@ -423,6 +553,14 @@ impl<B: ChannelBackend> MccpCluster<B> {
         let observe = self.config.observe;
         let kills: Vec<Option<u64>> = (0..self.backends.len()).map(|s| self.kill_for(s)).collect();
         let threads = self.backends.len().min(crate::pool::host_parallelism());
+        // Total queued payload bytes — the work-size hint that lets the
+        // pool run tiny batches serially instead of paying a cross-thread
+        // hand-off that costs more than the crypto itself.
+        let work_bytes: u64 = queues
+            .iter()
+            .flatten()
+            .map(|job| workload.packets[job.pkt_idx].payload.len() as u64)
+            .sum();
         let started = std::time::Instant::now();
         let outcomes: Vec<ShardOutcome> = {
             if self.pool.is_none() {
@@ -439,7 +577,7 @@ impl<B: ChannelBackend> MccpCluster<B> {
                     move || run_shard(backend, workload, handles, queue, kill, retry, observe)
                 })
                 .collect();
-            pool.run_batch(tasks)
+            pool.run_batch_hinted(tasks, work_bytes)
         };
         self.finish(workload, queues, outcomes, started)
     }
@@ -1162,6 +1300,121 @@ mod tests {
         );
         // Stolen or not, every packet still verifies (IVs are central).
         assert_eq!(stealing.verify(&workload, &r).unwrap(), 16);
+    }
+
+    #[test]
+    fn work_stealing_rebalances_channel_affinity_hotspot() {
+        // 8 channels over 4 shards: channels 0 and 4 both have affinity
+        // shard 0. A traffic hotspot on exactly those two channels loads
+        // shard 0 with everything while 3 shards idle — the case affinity
+        // dispatch cannot balance and *only* work stealing fixes. (The
+        // older skewed test uses fewer channels than shards; this one
+        // proves stealing also fires when every shard owns channels but
+        // the *traffic* is skewed.)
+        let standards = vec![
+            Standard::Wifi,
+            Standard::Wimax,
+            Standard::Umts,
+            Standard::SecureVoice,
+            Standard::Wifi,
+            Standard::Wimax,
+            Standard::Umts,
+            Standard::SecureVoice,
+        ];
+        let spec = WorkloadSpec {
+            standards: standards.clone(),
+            packets: 16,
+            seed: 0,
+            fixed_payload_len: Some(160),
+            mean_interarrival_cycles: None,
+        };
+        let packets: Vec<crate::workload::RadioPacket> = (0..16)
+            .map(|i| crate::workload::RadioPacket {
+                channel: if i % 2 == 0 { 0 } else { 4 },
+                aad: vec![0xA5; 8],
+                payload: vec![i as u8; 160],
+                priority: 1,
+                arrival_cycle: 0,
+            })
+            .collect();
+        let workload = Workload { spec, packets };
+        let cfg = |stealing| ClusterConfig {
+            shards: 4,
+            work_stealing: stealing,
+            telemetry_capacity: None,
+            retry: RetryPolicy::default(),
+            observe: false,
+        };
+        let mut lazy = MccpCluster::functional(cfg(false), &standards, 3);
+        let r_lazy = lazy.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(r_lazy.stolen_packets, 0);
+        assert_eq!(
+            r_lazy.shards[0].packets, 16,
+            "without stealing the hotspot shard serves everything"
+        );
+
+        let mut stealing = MccpCluster::functional(cfg(true), &standards, 3);
+        let r = stealing.run(&workload, DispatchPolicy::Fifo);
+        assert!(
+            r.stolen_packets > 0,
+            "hotspot traffic must trigger steals even when all shards own channels"
+        );
+        assert!(
+            r.shards.iter().all(|s| s.packets == 4),
+            "stealing balances the hotspot: {:?}",
+            r.shards.iter().map(|s| s.packets).collect::<Vec<_>>()
+        );
+        assert_eq!(stealing.verify(&workload, &r).unwrap(), 16);
+    }
+
+    #[test]
+    fn cluster_lifecycle_open_submit_poll_close() {
+        let standards = vec![Standard::Wifi, Standard::Wimax];
+        let mut cluster = MccpCluster::functional(
+            ClusterConfig {
+                shards: 2,
+                work_stealing: false,
+                telemetry_capacity: None,
+                retry: RetryPolicy::default(),
+                observe: false,
+            },
+            &standards,
+            7,
+        );
+        // Runtime channel 2 → affinity shard 0 (2 % 2).
+        let idx = cluster
+            .open_channel(Standard::Umts, &[0x33; 16])
+            .expect("runtime open");
+        assert_eq!(idx, 2);
+        let (shard, id) = cluster.submit(idx, b"", &[9u8; 80]).expect("accepted");
+        assert_eq!(shard, 0);
+        let (done_shard, done) = loop {
+            if let Some(c) = cluster.poll() {
+                break c;
+            }
+            cluster.step_all(100_000);
+        };
+        assert_eq!((done_shard, done.request), (shard, id));
+        assert!(done.auth_ok);
+        assert_eq!(done.body.len(), 80);
+        cluster.close_channel(idx).expect("drained channel closes");
+        assert_eq!(
+            cluster.submit(idx, b"", &[1u8; 8]),
+            Err(MccpError::BadChannel)
+        );
+        assert_eq!(cluster.churn_stats(), (1, 1));
+        // The batch path still serves the static table afterwards.
+        let spec = WorkloadSpec {
+            standards: standards.clone(),
+            packets: 4,
+            seed: 11,
+            fixed_payload_len: Some(160),
+            mean_interarrival_cycles: None,
+        };
+        let workload = Workload::generate(spec);
+        let r = cluster.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(r.merged.packets, 4);
+        assert_eq!(cluster.verify(&workload, &r).unwrap(), 4);
     }
 
     #[test]

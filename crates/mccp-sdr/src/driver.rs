@@ -269,6 +269,90 @@ impl<B: ChannelBackend> RadioDriver<B> {
         &self.keys[channel]
     }
 
+    /// OPEN at runtime: adds a channel beyond the construction-time table
+    /// — the driver-level door to open/close churn (the service plane
+    /// builds its generational slab on the same primitive). The channel's
+    /// salt must be unique among live *and past* channels of this driver
+    /// if IV uniqueness per key is to hold; callers serving churn should
+    /// draw salts from a monotonic sequence exactly as
+    /// [`MccpService`](crate::service::MccpService) does. Returns the
+    /// channel's index into [`channels`](Self::channels).
+    pub fn open_channel(
+        &mut self,
+        standard: Standard,
+        key: &[u8],
+        salt: u32,
+    ) -> Result<usize, MccpError> {
+        let profile = standard.profile();
+        let tag_len = if profile.tag_len == 0 {
+            16
+        } else {
+            profile.tag_len
+        };
+        let handle = self.backend.open_channel(profile.algorithm, key, tag_len)?;
+        let idx = self.channels.len();
+        let mut ch = SecureChannel::new(profile, KeyId(0), salt);
+        ch.handle = Some(handle);
+        self.channels.push(ch);
+        self.keys.push(key.to_vec());
+        self.backend
+            .telemetry_counter_add("mccp_sdr_channels_opened_total", 1);
+        Ok(idx)
+    }
+
+    /// CLOSE: releases a runtime channel's engine resources. Errors with
+    /// [`MccpError::Busy`] while the channel has in-flight work and
+    /// [`MccpError::BadChannel`] if already closed. The channel *index* is
+    /// never recycled (the table only grows), so a closed index can't
+    /// alias a later open — slot recycling with generation protection is
+    /// the service plane's job.
+    pub fn close_channel(&mut self, channel: usize) -> Result<(), MccpError> {
+        let ch = self
+            .channels
+            .get_mut(channel)
+            .ok_or(MccpError::BadChannel)?;
+        let handle = ch.handle.ok_or(MccpError::BadChannel)?;
+        self.backend.close_channel(handle)?;
+        ch.handle = None;
+        self.backend
+            .telemetry_counter_add("mccp_sdr_channels_closed_total", 1);
+        Ok(())
+    }
+
+    /// ENCRYPT: submits one packet on an open channel, assigning the
+    /// channel's next IV only once the engine accepts (a
+    /// [`MccpError::NoResource`] rejection never burns a nonce — same
+    /// discipline as [`run`](Self::run)).
+    pub fn submit(
+        &mut self,
+        channel: usize,
+        aad: &[u8],
+        payload: &[u8],
+    ) -> Result<RequestId, MccpError> {
+        let ch = self
+            .channels
+            .get_mut(channel)
+            .ok_or(MccpError::BadChannel)?;
+        let handle = ch.handle.ok_or(MccpError::BadChannel)?;
+        let iv = ch.peek_iv();
+        let id = self
+            .backend
+            .submit_packet(handle, Direction::Encrypt, &iv, aad, payload, None)?;
+        self.channels[channel].commit_iv();
+        Ok(id)
+    }
+
+    /// Advances the engine clock by at most `bound` cycles.
+    pub fn step(&mut self, bound: u64) -> u64 {
+        self.backend.step(bound)
+    }
+
+    /// Pops the next finished request submitted via
+    /// [`submit`](Self::submit) (or any other path into the engine).
+    pub fn poll(&mut self) -> Option<Completion> {
+        self.backend.poll_completion()
+    }
+
     /// Encrypts a whole workload, keeping all cores as busy as the packet
     /// stream allows. Returns the run report.
     ///
@@ -605,6 +689,68 @@ mod tests {
         // The simulator-side lifecycle counters agree with the run report.
         assert_eq!(snap.counter("mccp_requests_submitted_total"), 10);
         assert_eq!(snap.counter("mccp_requests_completed_total"), 10);
+    }
+
+    #[test]
+    fn lifecycle_open_submit_poll_close() {
+        let mut radio = RadioDriver::new(MccpConfig::default(), &[Standard::Wifi], 3);
+        let idx = radio
+            .open_channel(Standard::Wimax, &[0x42; 16], 0x2000_0001)
+            .expect("runtime open");
+        assert_eq!(idx, 1, "appended after the construction-time table");
+        let id = radio.submit(idx, b"hdr", &[5u8; 128]).expect("accepted");
+        // In-flight work pins the channel.
+        assert_eq!(radio.close_channel(idx), Err(MccpError::Busy));
+        let done = loop {
+            if let Some(c) = radio.poll() {
+                break c;
+            }
+            radio.step(100_000);
+        };
+        assert_eq!(done.request, id);
+        assert!(done.auth_ok);
+        assert_eq!(done.body.len(), 128);
+        radio.close_channel(idx).expect("drained channel closes");
+        assert_eq!(
+            radio.submit(idx, b"", &[0u8; 8]),
+            Err(MccpError::BadChannel),
+            "closed channel refuses work"
+        );
+        assert_eq!(radio.close_channel(idx), Err(MccpError::BadChannel));
+        // The construction-time channel still works via the batch path.
+        let spec = WorkloadSpec {
+            standards: vec![Standard::Wifi],
+            packets: 2,
+            seed: 9,
+            fixed_payload_len: Some(64),
+            mean_interarrival_cycles: None,
+        };
+        let workload = Workload::generate(spec);
+        let report = radio.run(&workload, DispatchPolicy::Fifo);
+        assert_eq!(report.packets, 2);
+    }
+
+    #[test]
+    fn runtime_channels_churn_without_exhausting_keys() {
+        // 300 open/close cycles through the cycle engine: key slots and
+        // channel handles must recycle (the 255-slot Key Memory would
+        // exhaust after 255 opens otherwise).
+        let mut radio = RadioDriver::new(MccpConfig::default(), &[], 1);
+        radio.mccp_mut().set_fast_forward(true);
+        for i in 0..300u32 {
+            let idx = radio
+                .open_channel(Standard::Umts, &[7u8; 16], i)
+                .expect("key slots recycle");
+            let id = radio.submit(idx, b"", &[1u8; 40]).unwrap();
+            let done = loop {
+                if let Some(c) = radio.poll() {
+                    break c;
+                }
+                radio.step(100_000);
+            };
+            assert_eq!(done.request, id);
+            radio.close_channel(idx).unwrap();
+        }
     }
 
     #[test]

@@ -17,19 +17,29 @@
 //!   drives the MCCP's control protocol, keeps all cores fed, and measures
 //!   aggregate throughput and per-packet latency.
 //! * [`qos`] — a priority-aware dispatch policy (the paper's §VIII
-//!   future-work discussion made concrete).
+//!   future-work discussion made concrete) plus the service plane's QoS
+//!   classes and admission watermarks.
+//! * [`slab`] / [`service`] — the always-on service plane: a sharded
+//!   generational channel slab, bounded ingestion queues with per-class
+//!   admission control, and an LRU warm set of engine bindings, so
+//!   100k+ mostly-idle sessions are held open safely and cheaply.
 
 pub mod channel;
 pub mod cluster;
 pub mod driver;
 pub mod pool;
 pub mod qos;
+pub mod service;
+pub mod slab;
 pub mod standards;
 pub mod workload;
 
 pub use channel::SecureChannel;
 pub use cluster::{ClusterConfig, ClusterReport, MccpCluster, ShardReport};
 pub use driver::{PacketRecord, RadioDriver, RunReport, VerifyError, VerifyErrorKind};
-pub use pool::{host_parallelism, ShardPool};
+pub use pool::{host_parallelism, ShardPool, SERIAL_FALLBACK_BYTES};
+pub use qos::{qos_class, AdmissionConfig, QosClass};
+pub use service::{Delivery, MccpService, ServiceConfig, ServiceError, ServiceReport};
+pub use slab::{ChannelSlab, LiveChannel, ServiceChannelId, SlabError};
 pub use standards::{Standard, StandardProfile};
 pub use workload::{RadioPacket, Workload, WorkloadSpec};

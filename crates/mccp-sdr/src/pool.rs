@@ -27,6 +27,16 @@ pub fn host_parallelism() -> usize {
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Work-size cutoff (total payload bytes across the whole batch) below
+/// which [`ShardPool::run_batch_hinted`] runs the tasks serially on the
+/// caller's thread instead of dispatching them to worker lanes.
+///
+/// Cross-thread hand-off costs a send, a wakeup, and a condvar round-trip
+/// per batch — tens of microseconds that dwarf the work itself when the
+/// batch is a handful of small packets. The benchmarks record this value
+/// as `serial_fallback_bytes` so the measured regimes are attributable.
+pub const SERIAL_FALLBACK_BYTES: u64 = 64 * 1024;
+
 struct BatchState {
     pending: Mutex<usize>,
     done: Condvar,
@@ -83,6 +93,28 @@ impl ShardPool {
     /// Worker count.
     pub fn threads(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// Like [`run_batch`](Self::run_batch), but falls back to serial
+    /// in-place execution when the batch is too small to amortize the
+    /// cross-thread hand-off.
+    ///
+    /// `work_bytes` is the caller's estimate of the total work in the
+    /// batch (for the cluster: queued payload bytes across all shards).
+    /// Batches under [`SERIAL_FALLBACK_BYTES`] — and any batch when the
+    /// pool has a single worker, where there is no parallelism to win —
+    /// run on the caller's thread in submission order. On the serial path
+    /// a task panic propagates immediately without running the remaining
+    /// tasks, matching plain sequential code.
+    pub fn run_batch_hinted<'scope, F, T>(&self, tasks: Vec<F>, work_bytes: u64) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        if work_bytes < SERIAL_FALLBACK_BYTES || self.threads() == 1 {
+            return tasks.into_iter().map(|task| task()).collect();
+        }
+        self.run_batch(tasks)
     }
 
     /// Runs `tasks` to completion and returns their results in order.
@@ -262,5 +294,48 @@ mod tests {
     #[test]
     fn host_parallelism_is_positive() {
         assert!(host_parallelism() >= 1);
+    }
+
+    #[test]
+    fn hinted_small_batch_runs_serially_on_caller_thread() {
+        let pool = ShardPool::new(4);
+        let caller = std::thread::current().id();
+        let tasks: Vec<_> = (0..6)
+            .map(|i: u64| move || (i, std::thread::current().id()))
+            .collect();
+        let out = pool.run_batch_hinted(tasks, SERIAL_FALLBACK_BYTES - 1);
+        for (i, (v, tid)) in out.into_iter().enumerate() {
+            assert_eq!(v, i as u64);
+            assert_eq!(tid, caller, "small batch must not hop threads");
+        }
+    }
+
+    #[test]
+    fn hinted_large_batch_uses_worker_lanes() {
+        let pool = ShardPool::new(2);
+        let caller = std::thread::current().id();
+        let tasks: Vec<_> = (0..4)
+            .map(|i: u64| move || (i, std::thread::current().id()))
+            .collect();
+        let out = pool.run_batch_hinted(tasks, SERIAL_FALLBACK_BYTES);
+        assert_eq!(
+            out.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert!(
+            out.iter().all(|(_, tid)| *tid != caller),
+            "at-cutoff batch must dispatch to the pool"
+        );
+    }
+
+    #[test]
+    fn hinted_single_thread_pool_stays_serial_regardless_of_size() {
+        let pool = ShardPool::new(1);
+        let caller = std::thread::current().id();
+        let out = pool.run_batch_hinted(
+            vec![move || std::thread::current().id()],
+            SERIAL_FALLBACK_BYTES * 100,
+        );
+        assert_eq!(out, vec![caller]);
     }
 }

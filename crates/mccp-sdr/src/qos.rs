@@ -33,6 +33,116 @@ impl DispatchPolicy {
     }
 }
 
+/// The service plane's QoS classes — the coarse admission grain the
+/// always-on front-end controls at, as opposed to the per-packet
+/// `priority` byte the batch dispatch policies sort on. Ordering matters:
+/// a *lower* discriminant is a more important class, and admission
+/// watermarks rise with importance so critical traffic is the last to be
+/// shed under overload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosClass {
+    /// Latency-critical streams (secure voice): admitted until the queue
+    /// is completely full.
+    Critical = 0,
+    /// Default data streams: shed once the queue passes its high
+    /// watermark.
+    Standard = 1,
+    /// Bulk/background streams: the first to be shed under pressure.
+    BestEffort = 2,
+}
+
+impl QosClass {
+    pub const ALL: [QosClass; 3] = [QosClass::Critical, QosClass::Standard, QosClass::BestEffort];
+
+    /// Stable index for per-class counter arrays
+    /// (matches `mccp_telemetry::service::CLASS_NAMES` order).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Label for reports ("critical", "standard", "best_effort").
+    pub fn name(self) -> &'static str {
+        mccp_telemetry::service::CLASS_NAMES[self.index()]
+    }
+}
+
+/// Maps a radio standard to its service QoS class: secure voice is the
+/// paper's low-latency stream (critical); UMTS cell traffic rides as
+/// best-effort bulk; the WLAN/WMAN standards are ordinary data.
+pub fn qos_class(standard: crate::standards::Standard) -> QosClass {
+    use crate::standards::Standard;
+    match standard {
+        Standard::SecureVoice => QosClass::Critical,
+        Standard::Umts => QosClass::BestEffort,
+        Standard::Wifi | Standard::Wimax => QosClass::Standard,
+    }
+}
+
+/// Admission-control watermarks: the fraction of a shard's queue capacity
+/// each class may fill before its traffic is shed. Critical traffic runs
+/// to 100%; lower classes are cut off earlier, which *reserves* the
+/// remaining headroom for more important streams — the mechanism that
+/// lets secure voice preempt best-effort under overload without explicit
+/// preemption.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionConfig {
+    /// Queue-fill fraction above which [`QosClass::BestEffort`] is shed.
+    pub best_effort_watermark: f64,
+    /// Queue-fill fraction above which [`QosClass::Standard`] is shed.
+    pub standard_watermark: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            best_effort_watermark: 0.50,
+            standard_watermark: 0.85,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The queue depth (in packets) at which `class` stops being admitted,
+    /// for a queue of `capacity` packets.
+    pub fn limit(&self, class: QosClass, capacity: usize) -> usize {
+        let frac = match class {
+            QosClass::Critical => 1.0,
+            QosClass::Standard => self.standard_watermark,
+            QosClass::BestEffort => self.best_effort_watermark,
+        };
+        ((capacity as f64 * frac).floor() as usize).min(capacity)
+    }
+
+    /// Admission decision for one packet: `Ok` to enqueue, or the
+    /// backpressure verdict. `queued` is the shard queue's current depth,
+    /// `drain_budget` its per-pump service rate (used to estimate
+    /// `retry_after_pumps`, the number of pump rounds after which the
+    /// queue will plausibly have drained below the class watermark).
+    pub fn admit(
+        &self,
+        class: QosClass,
+        queued: usize,
+        capacity: usize,
+        drain_budget: usize,
+    ) -> Result<(), AdmitError> {
+        let limit = self.limit(class, capacity);
+        if queued < limit {
+            return Ok(());
+        }
+        let excess = queued + 1 - limit;
+        let retry_after_pumps = excess.div_ceil(drain_budget.max(1)) as u64;
+        Err(AdmitError::Busy { retry_after_pumps })
+    }
+}
+
+/// Why a submission was refused at the front door.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The shard queue is past this class's watermark; retry after the
+    /// estimated number of pump rounds.
+    Busy { retry_after_pumps: u64 },
+}
+
 /// Derives the per-channel latency SLO from a radio standard's traffic
 /// profile: the deadline scales with the largest packet the standard
 /// emits (DMA is one 32-bit word per cycle, the crypto pipeline adds a
@@ -105,6 +215,54 @@ mod tests {
             priority,
             arrival_cycle: 0,
         }
+    }
+
+    #[test]
+    fn class_watermarks_are_ordered() {
+        let cfg = AdmissionConfig::default();
+        let cap = 100;
+        let be = cfg.limit(QosClass::BestEffort, cap);
+        let std_ = cfg.limit(QosClass::Standard, cap);
+        let crit = cfg.limit(QosClass::Critical, cap);
+        assert!(be < std_ && std_ < crit);
+        assert_eq!(crit, cap, "critical runs to a full queue");
+    }
+
+    #[test]
+    fn admission_sheds_lower_classes_first() {
+        let cfg = AdmissionConfig::default();
+        // Queue at 60/100: best-effort (watermark 50) is shed, standard
+        // (85) and critical still go through.
+        assert!(matches!(
+            cfg.admit(QosClass::BestEffort, 60, 100, 8),
+            Err(AdmitError::Busy { .. })
+        ));
+        assert!(cfg.admit(QosClass::Standard, 60, 100, 8).is_ok());
+        assert!(cfg.admit(QosClass::Critical, 60, 100, 8).is_ok());
+        // A full queue sheds everything, critical included.
+        assert!(cfg.admit(QosClass::Critical, 100, 100, 8).is_err());
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog() {
+        let cfg = AdmissionConfig::default();
+        let Err(AdmitError::Busy { retry_after_pumps }) =
+            cfg.admit(QosClass::BestEffort, 90, 100, 8)
+        else {
+            panic!("must shed")
+        };
+        // 41 packets past the watermark at 8 per pump → 6 pump rounds.
+        assert_eq!(retry_after_pumps, 6);
+    }
+
+    #[test]
+    fn standards_map_to_classes() {
+        use crate::standards::Standard;
+        assert_eq!(qos_class(Standard::SecureVoice), QosClass::Critical);
+        assert_eq!(qos_class(Standard::Umts), QosClass::BestEffort);
+        assert_eq!(qos_class(Standard::Wifi), QosClass::Standard);
+        assert_eq!(QosClass::Critical.name(), "critical");
+        assert!(QosClass::Critical < QosClass::BestEffort);
     }
 
     #[test]

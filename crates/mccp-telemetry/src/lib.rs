@@ -45,6 +45,7 @@ pub mod event;
 pub mod export;
 pub mod metrics;
 pub mod profile;
+pub mod service;
 pub mod slo;
 pub mod span;
 pub mod trace;
@@ -53,6 +54,7 @@ pub mod vcd_bridge;
 pub use event::{Event, FifoPort, TimedEvent};
 pub use metrics::{Histogram, Registry, Snapshot};
 pub use profile::WallProfile;
+pub use service::{ClassCounters, ServiceCounters};
 pub use slo::{ChannelAttainment, ChannelSlo, HealthScore, SloEngine};
 pub use span::{RequestSpan, SpanTracker};
 pub use trace::{Attempt, AttemptOutcome, PacketJourney};

@@ -2,13 +2,15 @@
 //!
 //! "AES core may be easily replaced by any other 128-bit block cipher
 //! (such as Twofish) according to the user needs." Here one core is
-//! reconfigured to the Twofish unit and the *same GCM firmware* runs on
-//! both engines; throughput shifts only by the engines' per-block
-//! latencies (44 vs 48 modeled cycles).
+//! live-reconfigured to the Twofish unit through the demand-policy swap
+//! path — charging the full Table IV RAM load latency before the first
+//! packet — and the *same GCM firmware* runs on both engines; throughput
+//! shifts only by the engines' per-block latencies (44 vs 48 modeled
+//! cycles).
 
 use mccp_core::core_unit::Personality;
 use mccp_core::protocol::{Algorithm, CipherSel, KeyId};
-use mccp_core::{Mccp, MccpConfig};
+use mccp_core::{Mccp, MccpConfig, PolicyConfig};
 use mccp_cryptounit::engine::TWOFISH_CYCLES;
 use mccp_cryptounit::timing::T_FINALIZE;
 use mccp_sim::throughput_mbps;
@@ -17,7 +19,15 @@ fn measure(cipher: CipherSel) -> f64 {
     let mut m = Mccp::new(MccpConfig::default());
     m.key_memory_mut().store(KeyId(1), &[0x42; 16]);
     if cipher == CipherSel::Twofish {
-        m.core_mut(0).set_personality(Personality::TwofishUnit);
+        // A policy-accounted live swap, not a teleport: the region is
+        // reserved for the whole RAM load budget and only then comes up
+        // with the Twofish personality.
+        m.enable_reconfig_policy(PolicyConfig::default());
+        let budget = m.policy_swap(0, Personality::TwofishUnit).unwrap();
+        let target = m.cycle() + budget + 1;
+        m.run_until(target);
+        assert!(!m.is_reconfiguring(0), "swap must complete within budget");
+        assert_eq!(m.policy().unwrap().swaps(), 1);
     }
     let ch = m
         .open_with_cipher(Algorithm::AesGcm128, KeyId(1), 16, cipher)

@@ -89,10 +89,12 @@ fn main() {
 
     let speedup = fast.cycles_per_second() / per_tick.cycles_per_second();
     let json = format!(
-        "{{\n  \"benchmark\": \"sim_speed\",\n  \"workload\": {{\"standard\": \"Wimax (GCM-128)\", \
+        "{{\n  \"benchmark\": \"sim_speed\",\n  \"host_parallelism\": {},\n  \
+         \"workload\": {{\"standard\": \"Wimax (GCM-128)\", \
          \"packets\": {PACKETS}, \"payload_bytes\": {PAYLOAD_LEN}, \
          \"mean_interarrival_cycles\": {MEAN_INTERARRIVAL:.0}, \"cores\": 4}},\n  \
          \"per_tick\": {},\n  \"fast_forward\": {},\n  \"speedup\": {:.2}\n}}\n",
+        mccp_sdr::host_parallelism(),
         json_mode(&per_tick),
         json_mode(&fast),
         speedup

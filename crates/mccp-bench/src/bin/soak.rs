@@ -133,6 +133,12 @@ fn main() {
         ),
         Engine::Functional => service_churn_scenario(FunctionalBackend::new, "functional"),
     }
+    // The reconfiguration leg: a standards-mix shift mid-soak must flip a
+    // CU personality live, losslessly (cycle engine only — the functional
+    // engine has no reconfigurable region model).
+    if engine == Engine::Cycle {
+        mix_shift_scenario();
+    }
 
     println!(
         "\nsoak PASSED: {verified} packets verified both directions; \
@@ -254,6 +260,63 @@ fn service_churn_scenario<B: ChannelBackend>(mk: impl Fn() -> B, engine_name: &s
         "  flash crowd ({engine_name} engine): {CROWD} sessions surged over {BASE} base; \
          {crowd_served} crowd pkts served, {crowd_shed} shed under burst \
          ({critical_shed} SecureVoice); crowd departed, slab back to {BASE}"
+    );
+}
+
+/// Standards-mix shift mid-soak: an AES-GCM phase saturates the pool,
+/// then the mix turns Twofish-only. The demand policy must flip at least
+/// one CU live — while every packet (including the ones requeued during
+/// the ~12M-cycle bitstream load) is delivered exactly once.
+fn mix_shift_scenario() {
+    use mccp_core::core_unit::Personality;
+    use mccp_core::protocol::{Algorithm, CipherSel, KeyId, MccpError};
+    use mccp_core::reconfig::PolicyConfig;
+    use mccp_core::Direction;
+
+    let mut m = Mccp::new(MccpConfig::default());
+    m.enable_reconfig_policy(PolicyConfig::default());
+    m.key_memory_mut().store(KeyId(1), &[0xA1; 16]);
+    m.key_memory_mut().store(KeyId(2), &[0xB2; 16]);
+    let aes = m.open(Algorithm::AesGcm128, KeyId(1)).unwrap();
+    let tf = m
+        .open_with_cipher(Algorithm::AesGcm128, KeyId(2), 16, CipherSel::Twofish)
+        .unwrap();
+
+    let body = [0x5Cu8; 192];
+    let mut delivered = 0usize;
+    let mut requeued = 0usize;
+    // Phase 1: AES traffic. Phase 2: the same offered load, now Twofish.
+    for (n, ch) in [(8usize, aes), (8usize, tf)] {
+        for i in 0..n {
+            let iv = [(i + 1) as u8; 12];
+            let id = loop {
+                match m.submit(ch, Direction::Encrypt, &iv, &[], &body, None) {
+                    Ok(id) => break id,
+                    Err(MccpError::NoResource) => {
+                        requeued += 1;
+                        let now = m.cycle();
+                        m.run_until(now + 2_000_000);
+                    }
+                    Err(e) => panic!("mix-shift submit: {e:?}"),
+                }
+            };
+            m.run_until_done(id, 100_000_000);
+            m.retrieve(id).expect("retrieve");
+            m.transfer_done(id).expect("transfer_done");
+            delivered += 1;
+        }
+    }
+    let swaps = m.policy().unwrap().swaps();
+    let tf_cores = (0..4)
+        .filter(|&i| m.core(i).personality() == Personality::TwofishUnit)
+        .count();
+    assert!(swaps >= 1, "the mix shift must flip a CU live");
+    assert!(tf_cores >= 1, "a Twofish core must exist after the shift");
+    assert_eq!(delivered, 16, "mix shift is lossless");
+    println!(
+        "  mix shift (cycle engine): {swaps} live CU swap(s) to Twofish \
+         ({tf_cores} core(s) now Twofish); 16/16 packets delivered, \
+         {requeued} requeued during bitstream loads"
     );
 }
 

@@ -1,8 +1,34 @@
 //! Table IV — partial reconfiguration results: bitstream sizes and
 //! reconfiguration times for the AES and Whirlpool Cryptographic Unit
 //! configurations, from CompactFlash and from RAM.
+//!
+//! The load latencies are charged through the demand-policy swap path
+//! ([`Mccp::policy_swap`]) — the same accounting every policy-driven
+//! personality flip uses — and cross-checked against the bitstreams'
+//! published budgets, so the table reports what the engine actually
+//! charges.
 
-use mccp_core::reconfig::{BitstreamSource, AES_BITSTREAM, REGION, WHIRLPOOL_BITSTREAM};
+use mccp_core::core_unit::Personality;
+use mccp_core::reconfig::{
+    BitstreamSource, PolicyConfig, AES_BITSTREAM, REGION, WHIRLPOOL_BITSTREAM,
+};
+use mccp_core::{Mccp, MccpConfig};
+
+/// Charges one AES and one Whirlpool personality load through the policy
+/// engine's swap path, returning the (aes, whirlpool) cycle budgets.
+fn charge_swaps(source: BitstreamSource) -> (u64, u64) {
+    let mut m = Mccp::new(MccpConfig::default());
+    m.enable_reconfig_policy(PolicyConfig {
+        source,
+        ..PolicyConfig::default()
+    });
+    // Core 0 starts as an AES unit: make the AES load a real flip.
+    m.core_mut(0).set_personality(Personality::WhirlpoolUnit);
+    let aes = m.policy_swap(0, Personality::AesUnit).unwrap();
+    let wp = m.policy_swap(1, Personality::WhirlpoolUnit).unwrap();
+    assert_eq!(m.policy().unwrap().swaps(), 2);
+    (aes, wp)
+}
 
 fn main() {
     println!("Table IV — Partial reconfiguration results");
@@ -50,6 +76,11 @@ fn main() {
         );
         assert!((aes - paper.0).abs() / paper.0 < 0.02);
         assert!((wp - paper.1).abs() / paper.1 < 0.02);
+        // The policy engine must charge exactly these budgets when it
+        // flips a core — Table IV is what swaps actually cost.
+        let (aes_cycles, wp_cycles) = charge_swaps(src);
+        assert_eq!(aes_cycles, AES_BITSTREAM.load_time_cycles(src));
+        assert_eq!(wp_cycles, WHIRLPOOL_BITSTREAM.load_time_cycles(src));
     }
 
     let cycles = AES_BITSTREAM.load_time_cycles(BitstreamSource::Ram);

@@ -52,12 +52,18 @@ pub struct EngineHealth {
     pub cores: usize,
     /// The quarantined subset (empty when fully healthy).
     pub quarantined: Vec<CoreHealth>,
+    /// Cores whose CU region is mid-reconfiguration (a capacity dip the
+    /// service plane's admission control must see). Always 0 for engines
+    /// without a reconfigurable region model.
+    pub reconfiguring: usize,
 }
 
 impl EngineHealth {
     /// Cores currently eligible for dispatch.
     pub fn available(&self) -> usize {
-        self.cores - self.quarantined.len()
+        self.cores
+            .saturating_sub(self.quarantined.len())
+            .saturating_sub(self.reconfiguring)
     }
 
     /// True when no core can serve work.

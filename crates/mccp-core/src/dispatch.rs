@@ -10,10 +10,15 @@ use crate::core_unit::Personality;
 use crate::crossbar::Route;
 use crate::format::{format_request, parse_output, Direction, FormattedRequest, ProcessedPacket};
 use crate::mccp::Mccp;
+use crate::pipeline::{
+    stage_counter, whirlpool_hmac, whirlpool_hmac_cycles, PipelineGraph, PipelineKind,
+    PipelinePlan, ResolvedPipeline, ResolvedStage, StageOp,
+};
 use crate::protocol::{Algorithm, ChannelId, CipherSel, KeyId, MccpError, Mode, RequestId};
-use crate::reconfig::{Bitstream, BitstreamSource};
+use crate::reconfig::{bitstream_for, Bitstream, BitstreamSource, PolicyConfig, PolicyEngine};
 use crate::scheduler::{ReqState, Request};
 use mccp_telemetry::{Event, FifoPort};
+use std::sync::Arc;
 
 /// A live channel binding (algorithm, session key, tag length, cipher).
 #[derive(Clone, Debug)]
@@ -24,6 +29,12 @@ pub(crate) struct Channel {
     /// The block cipher this channel runs on; Twofish channels dispatch
     /// only to cores whose reconfigurable region hosts the Twofish unit.
     pub(crate) cipher: CipherSel,
+    /// Multi-stage pipeline graph, for channels opened through
+    /// [`Mccp::open_pipeline`].
+    pub(crate) pipeline: Option<Arc<ResolvedPipeline>>,
+    /// Prefer the two-core CCM schedule on this channel regardless of
+    /// `MccpConfig::ccm_two_core` (the `FusedCcm2` pipeline form).
+    pub(crate) fused_two_core: bool,
 }
 
 impl Mccp {
@@ -68,9 +79,81 @@ impl Mccp {
                 key,
                 tag_len,
                 cipher,
+                pipeline: None,
+                fused_two_core: false,
             },
         );
         Ok(ChannelId(id))
+    }
+
+    /// OPEN a pipeline channel: the channel's transform is the graph's
+    /// ordered stage chain, each stage dispatched to a core hosting the
+    /// matching personality, intermediate bytes handed core-to-core. The
+    /// `FusedCcm2` form lowers to the legacy two-core CCM schedule and is
+    /// byte- and cycle-identical to a `ccm_two_core` channel.
+    ///
+    /// Stage keys are carried as bytes and stored into free Key Memory
+    /// slots here (the main controller's key-load step).
+    pub fn open_pipeline(&mut self, graph: &PipelineGraph) -> Result<ChannelId, MccpError> {
+        graph.validate()?;
+        match &graph.kind {
+            PipelineKind::FusedCcm2 { algorithm } => {
+                let key = self.alloc_key(graph.fused_key().unwrap_or(&[]))?;
+                let ch = self.open_with_cipher(*algorithm, key, graph.tag_len, CipherSel::Aes)?;
+                if let Some(c) = self.channels.get_mut(&ch.0) {
+                    c.fused_two_core = true;
+                }
+                Ok(ch)
+            }
+            PipelineKind::Stages(stages) => {
+                let mut resolved = Vec::with_capacity(stages.len());
+                for st in stages {
+                    // Whirlpool stages hash key bytes directly; CU stages
+                    // go through the write-protected Key Memory.
+                    let key = if st.op == StageOp::WhirlpoolHmac {
+                        KeyId(0)
+                    } else {
+                        self.alloc_key(&st.key)?
+                    };
+                    resolved.push(ResolvedStage {
+                        op: st.op,
+                        cipher: st.cipher,
+                        key,
+                        key_bytes: st.key.clone(),
+                        algorithm: st.algorithm()?,
+                    });
+                }
+                let id = (0..=u8::MAX)
+                    .find(|i| !self.channels.contains_key(i))
+                    .ok_or(MccpError::NoChannelId)?;
+                let first_cu = resolved.iter().find(|s| s.op != StageOp::WhirlpoolHmac);
+                self.channels.insert(
+                    id,
+                    Channel {
+                        algorithm: resolved[0].algorithm,
+                        key: first_cu.map(|s| s.key).unwrap_or(KeyId(0)),
+                        tag_len: graph.tag_len,
+                        cipher: first_cu.map(|s| s.cipher).unwrap_or(CipherSel::Aes),
+                        pipeline: Some(Arc::new(ResolvedPipeline {
+                            stages: resolved,
+                            tag_len: graph.tag_len,
+                        })),
+                        fused_two_core: false,
+                    },
+                );
+                Ok(ChannelId(id))
+            }
+        }
+    }
+
+    /// Stores key bytes into the first free Key Memory slot.
+    fn alloc_key(&mut self, bytes: &[u8]) -> Result<KeyId, MccpError> {
+        let id = (1..=u8::MAX)
+            .map(KeyId)
+            .find(|&k| !self.key_memory.contains(k))
+            .ok_or(MccpError::BadKey)?;
+        self.key_memory.store(id, bytes);
+        Ok(id)
     }
 
     /// Rebinds a live channel to a new session key (rekeying: the main
@@ -136,9 +219,21 @@ impl Mccp {
         tag: Option<&[u8]>,
     ) -> Result<RequestId, MccpError> {
         let ch = self.channel(channel)?.clone();
-        let two_core = self.config.ccm_two_core
+        if let Some(pl) = ch.pipeline.clone() {
+            // Pipeline channels carry their whole transform in the graph:
+            // AAD and caller-side tags have no stage to run on.
+            if direction != Direction::Encrypt || !aad.is_empty() || tag.is_some() {
+                return Err(MccpError::BadInstruction);
+            }
+            return self.submit_pipeline(channel, &pl, iv, body);
+        }
+        let want = Self::personality_for(ch.cipher);
+        if let Some(pe) = &mut self.policy {
+            pe.record_offered(want);
+        }
+        let two_core = (self.config.ccm_two_core || ch.fused_two_core)
             && ch.algorithm.mode() == Mode::Ccm
-            && self.idle_pair(Self::personality_for(ch.cipher)).is_some();
+            && self.idle_pair(want).is_some();
         let fmt = format_request(
             ch.algorithm,
             direction,
@@ -149,7 +244,21 @@ impl Mccp {
             tag,
             ch.tag_len,
         )?;
-        self.submit_formatted(channel, direction, fmt)
+        match self.submit_formatted(channel, direction, fmt) {
+            Ok(id) => {
+                if let Some(pe) = &mut self.policy {
+                    pe.record_served(want);
+                }
+                Ok(id)
+            }
+            Err(MccpError::NoResource) => {
+                // Demand outran the personality mix: let the policy engine
+                // consider flipping an idle core before the caller retries.
+                self.maybe_reconfigure();
+                Err(MccpError::NoResource)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Submits a pre-formatted request (the data the communication
@@ -329,6 +438,7 @@ impl Mccp {
                 signaled: false,
                 deadline,
                 sequence,
+                pipeline: None,
             },
         );
 
@@ -362,6 +472,18 @@ impl Mccp {
         req.state = ReqState::Retrieved;
         if !auth_ok {
             return Err(MccpError::AuthFail);
+        }
+        if let Some(plan) = &req.pipeline {
+            // Pipeline output was collected stage by stage; the final body
+            // and tag are already assembled in the plan.
+            let packet = ProcessedPacket {
+                body: plan.out_body.clone(),
+                tag: plan.tag.clone(),
+            };
+            let (request, core) = (id.0, req.producing_core);
+            self.telemetry
+                .emit_with(self.cycle, || Event::RequestRetrieved { request, core });
+            return Ok(packet);
         }
         self.crossbar.select(Route::ReadFrom(req.producing_core));
         let mut raw = std::mem::take(&mut req.collected);
@@ -411,6 +533,469 @@ impl Mccp {
         }
         self.crossbar.release();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline graphs
+    // ------------------------------------------------------------------
+
+    /// Submits one packet on a pipeline channel: admission requires an
+    /// idle core for stage 0 *now* and every stage personality somewhere
+    /// in the pool (live or already loading); later stages queue in
+    /// `StageWait` until a matching core frees up.
+    fn submit_pipeline(
+        &mut self,
+        channel: ChannelId,
+        pl: &Arc<ResolvedPipeline>,
+        iv: &[u8],
+        body: &[u8],
+    ) -> Result<RequestId, MccpError> {
+        // Per-personality demand accounting feeds the swap policy; every
+        // attempt is an offered-load sample, rejections included.
+        if self.policy.is_some() {
+            for st in &pl.stages {
+                let p = st.personality();
+                if let Some(pe) = &mut self.policy {
+                    pe.record_offered(p);
+                }
+            }
+        }
+        if pl.stages.iter().any(|s| s.op == StageOp::Ctr) && iv.len() < 16 {
+            return Err(MccpError::BadInstruction);
+        }
+        // Pipelines run stage-at-a-time inside the FIFOs (no streaming).
+        let fifo_bytes = self.config.fifo_depth * 4;
+        if body.len().div_ceil(16) * 16 + 32 > fifo_bytes {
+            return Err(MccpError::TooLarge);
+        }
+        for st in &pl.stages {
+            let want = st.personality();
+            let present = self.cores.iter().enumerate().any(|(i, c)| {
+                !c.is_quarantined()
+                    && if self.reconfigs[i].is_reconfiguring() {
+                        self.reconfigs[i].target() == Some(want)
+                    } else {
+                        c.personality() == want
+                    }
+            });
+            if !present {
+                self.maybe_reconfigure();
+                return Err(MccpError::NoResource);
+            }
+        }
+        if self
+            .idle_for_stage(pl.stages[0].personality(), None)
+            .is_none()
+        {
+            self.maybe_reconfigure();
+            return Err(MccpError::NoResource);
+        }
+
+        let ch = self.channel(channel)?.clone();
+        let id = RequestId(self.next_request);
+        self.next_request = self.next_request.wrapping_add(1).max(1);
+        let sequence = {
+            let seq = self.channel_seq.entry(channel.0).or_insert(0);
+            *seq += 1;
+            *seq
+        };
+        self.telemetry
+            .emit_with(self.cycle, || Event::RequestSubmitted {
+                request: id.0,
+                channel: channel.0,
+                algorithm: ch.algorithm.name(),
+                direction: "Encrypt",
+                cores: Vec::new(),
+            });
+        self.requests.insert(
+            id.0,
+            Request {
+                id,
+                channel,
+                algorithm: ch.algorithm,
+                direction: Direction::Encrypt,
+                cores: Vec::new(),
+                producing_core: 0,
+                payload_len: body.len(),
+                tag_len: pl.tag_len,
+                expected_output: 0,
+                pending_input: Vec::new(),
+                jobs: Vec::new(),
+                collected: Vec::new(),
+                streaming: false,
+                state: ReqState::StageWait,
+                start_cycle: self.cycle,
+                done_cycle: None,
+                signaled: false,
+                deadline: None,
+                sequence,
+                pipeline: Some(PipelinePlan {
+                    pipeline: pl.clone(),
+                    current: 0,
+                    iv: iv.to_vec(),
+                    body: body.to_vec(),
+                    out_body: Vec::new(),
+                    tag: None,
+                    prev_core: None,
+                }),
+            },
+        );
+        self.packets_submitted += 1;
+        if self.faults.is_some() {
+            let due = match &mut self.faults {
+                Some(f) => f.take_due_packet(self.packets_submitted),
+                None => Vec::new(),
+            };
+            for e in due {
+                self.apply_fault(e.kind);
+            }
+        }
+        self.try_start_stage(id);
+        if self.policy.is_some() {
+            for st in &pl.stages {
+                let p = st.personality();
+                if let Some(pe) = &mut self.policy {
+                    pe.record_served(p);
+                }
+            }
+        }
+        Ok(id)
+    }
+
+    /// Tries to dispatch a pipeline request's current stage onto an idle
+    /// core of the right personality; parks it in `StageWait` otherwise
+    /// (retried every active tick).
+    pub(crate) fn try_start_stage(&mut self, id: RequestId) {
+        let (stage, idx, prev, body, iv, tag_len) = {
+            let Some(req) = self.requests.get(&id.0) else {
+                return;
+            };
+            let Some(plan) = &req.pipeline else {
+                return;
+            };
+            (
+                plan.pipeline.stages[plan.current].clone(),
+                plan.current,
+                plan.prev_core,
+                plan.body.clone(),
+                plan.iv.clone(),
+                plan.pipeline.tag_len,
+            )
+        };
+        let Some(core) = self.idle_for_stage(stage.personality(), prev) else {
+            if let Some(r) = self.requests.get_mut(&id.0) {
+                r.state = ReqState::StageWait;
+            }
+            return;
+        };
+        let cycle = self.cycle;
+        if stage.op == StageOp::WhirlpoolHmac {
+            // The digest is computed with the same `mccp-aes` code the
+            // functional engine uses; the Whirlpool core is held for the
+            // modeled hash latency and the tag lands when it expires.
+            self.cores[core].reserve();
+            let digest = whirlpool_hmac(&stage.key_bytes, &body);
+            let cycles = whirlpool_hmac_cycles(body.len());
+            let deadline = self
+                .watchdog_margin
+                .map(|m| cycle + u64::from(m) * (cycles + 4096));
+            let request = id.0;
+            self.telemetry
+                .emit_with(cycle, || Event::RequestDispatched { request, core });
+            let req = self.requests.get_mut(&id.0).expect("request exists");
+            req.cores = vec![core];
+            req.producing_core = core;
+            req.expected_output = 0;
+            req.pending_input = Vec::new();
+            req.jobs = Vec::new();
+            req.deadline = deadline;
+            req.state = ReqState::Hashing { left: cycles };
+            let plan = req.pipeline.as_mut().expect("pipeline plan");
+            plan.tag = Some(digest[..tag_len.min(64)].to_vec());
+            return;
+        }
+
+        // A CU stage (CTR or CBC-MAC): the ordinary single-core dispatch —
+        // reserve, key-cache gate, format, upload via the crossbar.
+        self.cores[core].reserve();
+        if self.cores[core].key_cache.is_corrupt() {
+            self.cores[core].key_cache.wipe();
+            self.cores[core].finish();
+            self.fail_request(id, MccpError::KeyCorrupt, core);
+            return;
+        }
+        let mut key_delay = 0u32;
+        if self.cores[core]
+            .key_cache
+            .get(stage.key, stage.cipher)
+            .is_none()
+        {
+            let before = self.key_scheduler.busy_cycles();
+            let Some(engine) =
+                self.key_scheduler
+                    .expand_engine(&self.key_memory, stage.key, stage.cipher)
+            else {
+                self.cores[core].finish();
+                self.fail_request(id, MccpError::BadKey, core);
+                return;
+            };
+            key_delay = self.key_scheduler.busy_cycles() - before;
+            self.stage_key_expand[core] += u64::from(key_delay);
+            self.cores[core]
+                .key_cache
+                .install(stage.key, stage.cipher, engine);
+            let (key, expansion_cycles) = (stage.key.0, key_delay);
+            self.telemetry.emit_with(cycle, || Event::KeyCacheMiss {
+                core,
+                key,
+                expansion_cycles,
+            });
+        } else {
+            let key = stage.key.0;
+            self.telemetry
+                .emit_with(cycle, || Event::KeyCacheHit { core, key });
+        }
+        let engine = match self.cores[core].key_cache.get(stage.key, stage.cipher) {
+            Some(e) => e.clone(),
+            None => {
+                self.cores[core].finish();
+                self.fail_request(id, MccpError::BadKey, core);
+                return;
+            }
+        };
+        self.cores[core].load_engine(engine);
+        let fmt = match stage.op {
+            StageOp::Ctr => format_request(
+                stage.algorithm,
+                Direction::Encrypt,
+                false,
+                &stage_counter(&iv, idx),
+                &[],
+                &body,
+                None,
+                16,
+            ),
+            _ => format_request(
+                stage.algorithm,
+                Direction::Encrypt,
+                false,
+                &[],
+                &[],
+                &body,
+                None,
+                tag_len.min(16),
+            ),
+        };
+        let fmt = match fmt {
+            Ok(f) => f,
+            Err(e) => {
+                self.cores[core].finish();
+                self.fail_request(id, e, core);
+                return;
+            }
+        };
+        let Some(job) = fmt.jobs.into_iter().next() else {
+            self.cores[core].finish();
+            self.fail_request(id, MccpError::BadInstruction, core);
+            return;
+        };
+        let words = job.stream.len().div_ceil(4) + job.output_bytes.div_ceil(4);
+        let deadline = self
+            .watchdog_margin
+            .map(|m| cycle + u64::from(m) * (u64::from(key_delay) + 4096 + 64 * words as u64));
+        self.crossbar.select(Route::WriteTo(core));
+        let request = id.0;
+        self.telemetry
+            .emit_with(cycle, || Event::RequestDispatched { request, core });
+        let req = self.requests.get_mut(&id.0).expect("request exists");
+        req.algorithm = stage.algorithm;
+        req.payload_len = fmt.payload_len;
+        req.tag_len = fmt.tag_len;
+        req.expected_output = job.output_bytes;
+        req.producing_core = core;
+        req.cores = vec![core];
+        req.pending_input = vec![(core, job.stream.clone(), 0usize, false)];
+        req.jobs = vec![(core, job)];
+        req.collected = Vec::new();
+        req.deadline = deadline;
+        req.state = ReqState::KeyWait(key_delay);
+    }
+
+    /// A pipeline stage completed on its core: collect the stage output,
+    /// fold it into the plan, release the stage's core and hand off to the
+    /// next stage (or finish the request after the last one).
+    pub(crate) fn advance_pipeline(&mut self, id: RequestId) {
+        let (producing, expected, payload_len, cores, idx, op, tag_len, n_stages) = {
+            let Some(req) = self.requests.get(&id.0) else {
+                return;
+            };
+            let Some(plan) = &req.pipeline else {
+                return;
+            };
+            (
+                req.producing_core,
+                req.expected_output,
+                req.payload_len,
+                req.cores.clone(),
+                plan.current,
+                plan.pipeline.stages[plan.current].op,
+                plan.pipeline.tag_len,
+                plan.pipeline.stages.len(),
+            )
+        };
+        let raw = if expected > 0 {
+            self.cores[producing]
+                .output
+                .pop_bytes(expected)
+                .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        {
+            let req = self.requests.get_mut(&id.0).expect("request exists");
+            let plan = req.pipeline.as_mut().expect("pipeline plan");
+            match op {
+                StageOp::Ctr => {
+                    plan.body = raw[..payload_len.min(raw.len())].to_vec();
+                    plan.out_body = plan.body.clone();
+                }
+                StageOp::CbcMac => {
+                    plan.tag = Some(raw[..tag_len.min(raw.len())].to_vec());
+                }
+                // The Whirlpool tag landed when the hash countdown expired.
+                StageOp::WhirlpoolHmac => {}
+            }
+        }
+        if idx + 1 == n_stages {
+            self.finish_pipeline(id);
+            return;
+        }
+        // Release the finished stage's core; the next stage prefers a
+        // different one (the inter-core handoff is the pipeline's point).
+        for &c in &cores {
+            self.cores[c].finish();
+            self.cores[c].input.wipe();
+            self.cores[c].output.wipe();
+        }
+        self.crossbar.release();
+        {
+            let req = self.requests.get_mut(&id.0).expect("request exists");
+            req.cores = Vec::new();
+            req.deadline = None;
+            req.state = ReqState::StageWait;
+            let plan = req.pipeline.as_mut().expect("pipeline plan");
+            plan.current = idx + 1;
+            plan.prev_core = Some(producing);
+        }
+        self.try_start_stage(id);
+    }
+
+    /// Terminates a pipeline request successfully (Data Available). The
+    /// final stage's core stays reserved until TRANSFER_DONE, like any
+    /// completed request.
+    pub(crate) fn finish_pipeline(&mut self, id: RequestId) {
+        let cycle = self.cycle;
+        let Some(req) = self.requests.get_mut(&id.0) else {
+            return;
+        };
+        req.state = ReqState::Done { auth_ok: true };
+        req.done_cycle = Some(cycle);
+        let (request, cycles) = (req.id.0, cycle - req.start_cycle);
+        self.telemetry.emit_with(cycle, || Event::RequestCompleted {
+            request,
+            auth_ok: true,
+            cycles,
+        });
+        self.data_available.push_back(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Demand-driven reconfiguration policy
+    // ------------------------------------------------------------------
+
+    /// Installs the demand-driven reconfiguration policy: from here on the
+    /// Task Scheduler samples per-personality offered load on every
+    /// submission and may flip an *idle* core's CU region toward starved
+    /// demand (charging the Table IV load latency of the configured
+    /// bitstream source).
+    pub fn enable_reconfig_policy(&mut self, cfg: PolicyConfig) {
+        self.policy = Some(PolicyEngine::new(cfg));
+    }
+
+    /// The policy engine's state, when enabled.
+    pub fn policy(&self) -> Option<&PolicyEngine> {
+        self.policy.as_ref()
+    }
+
+    /// Consults the policy engine and begins at most one swap. Called on
+    /// every `NoResource` rejection — never from `tick()`, so the
+    /// fast-forward identity is untouched (decisions depend only on
+    /// submission-time state).
+    pub(crate) fn maybe_reconfigure(&mut self) {
+        let Some(pe) = &self.policy else {
+            return;
+        };
+        let cores: Vec<(Personality, bool, bool)> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                // A core mid-load already counts for its target personality.
+                let p = self.reconfigs[i]
+                    .target()
+                    .unwrap_or_else(|| c.personality());
+                let out = self.reconfigs[i].is_reconfiguring() || c.is_quarantined();
+                (p, c.is_idle() && !out, out)
+            })
+            .collect();
+        // Personalities that in-flight pipeline stages still need keep at
+        // least one core: a swap may never strand queued work.
+        let mut pinned: Vec<Personality> = Vec::new();
+        for req in self.requests.values() {
+            if !matches!(
+                req.state,
+                ReqState::KeyWait(_)
+                    | ReqState::Running
+                    | ReqState::StageWait
+                    | ReqState::Hashing { .. }
+            ) {
+                continue;
+            }
+            if let Some(plan) = &req.pipeline {
+                for st in &plan.pipeline.stages[plan.current..] {
+                    pinned.push(st.personality());
+                }
+            }
+        }
+        let Some(d) = pe.decide(self.cycle, &cores, &pinned) else {
+            return;
+        };
+        let source = pe.config().source;
+        if self
+            .begin_reconfiguration(d.core, bitstream_for(d.target), source)
+            .is_ok()
+        {
+            if let Some(pe) = &mut self.policy {
+                pe.note_swap(self.cycle);
+            }
+        }
+    }
+
+    /// Begins a policy-accounted swap of one idle core to `target`,
+    /// charging the policy's configured bitstream source. The benches use
+    /// this to drive explicit mix-shift swaps through the same accounting
+    /// path the demand policy uses. Returns the load-time budget.
+    pub fn policy_swap(&mut self, core: usize, target: Personality) -> Result<u64, MccpError> {
+        let source = self
+            .policy
+            .as_ref()
+            .map(|p| p.config().source)
+            .unwrap_or(BitstreamSource::Ram);
+        let budget = self.begin_reconfiguration(core, bitstream_for(target), source)?;
+        if let Some(pe) = &mut self.policy {
+            pe.note_swap(self.cycle);
+        }
+        Ok(budget)
     }
 
     // ------------------------------------------------------------------

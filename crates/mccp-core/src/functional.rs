@@ -13,6 +13,7 @@
 use crate::backend::{ChannelBackend, Completion, EngineHealth};
 use crate::fault::{FaultKind, FaultPlan, FaultTrigger};
 use crate::format::Direction;
+use crate::pipeline::{run_stages_functional, PipelineGraph, PipelineKind};
 use crate::protocol::{Algorithm, ChannelId, MccpError, Mode, RequestId};
 use crate::warmcache::{WarmCache, WarmStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -257,6 +258,9 @@ struct FunctionalChannel {
     algorithm: Algorithm,
     key: Vec<u8>,
     tag_len: usize,
+    /// Stage-chain transform for pipeline channels (the graph itself is
+    /// the datapath here — no cores to map stages onto).
+    pipeline: Option<PipelineGraph>,
 }
 
 /// The functional engine behind the [`ChannelBackend`] trait: the same
@@ -324,6 +328,35 @@ impl FunctionalBackend {
         self.cache.len()
     }
 
+    /// OPEN a pipeline channel — the functional mirror of
+    /// [`Mccp::open_pipeline`](crate::Mccp::open_pipeline). Stage chains
+    /// run through [`run_stages_functional`] at submission; the `FusedCcm2`
+    /// form is an ordinary CCM channel (no cores to schedule in pairs).
+    pub fn open_pipeline(&mut self, graph: &PipelineGraph) -> Result<ChannelId, MccpError> {
+        graph.validate()?;
+        let id = (0..=u8::MAX)
+            .find(|i| !self.channels.contains_key(i))
+            .ok_or(MccpError::NoChannelId)?;
+        let ch = match &graph.kind {
+            PipelineKind::FusedCcm2 { algorithm } => FunctionalChannel {
+                algorithm: *algorithm,
+                key: graph.fused_key().unwrap_or_default().to_vec(),
+                tag_len: graph.tag_len,
+                pipeline: None,
+            },
+            // The algorithm field is bookkeeping only for stage chains
+            // (telemetry labels); the graph drives the processing.
+            PipelineKind::Stages(_) => FunctionalChannel {
+                algorithm: Algorithm::AesCtr128,
+                key: Vec::new(),
+                tag_len: graph.tag_len,
+                pipeline: Some(graph.clone()),
+            },
+        };
+        self.channels.insert(id, ch);
+        Ok(ChannelId(id))
+    }
+
     /// Arms the packet-triggered subset of a fault schedule: the `n`-th
     /// accepted submission completes as failed with the error its fault
     /// kind maps to (wedge/stall → `CoreFault`, FIFO flip →
@@ -376,6 +409,7 @@ impl ChannelBackend for FunctionalBackend {
                 algorithm,
                 key: key.to_vec(),
                 tag_len,
+                pipeline: None,
             },
         );
         Ok(ChannelId(id))
@@ -406,9 +440,14 @@ impl ChannelBackend for FunctionalBackend {
         // hash probe; a miss re-expands the schedule and may age out the
         // least-recently-used key.
         let ch = self.channels.get(&channel.0).ok_or(MccpError::BadChannel)?;
-        let ctx = self
-            .cache
-            .get_or_insert_with(&ch.key, || KeyCtx::new(&ch.key));
+        // Pipeline channels carry their whole transform in the graph: AAD
+        // and caller-side tags have no stage to run on (mirrors the
+        // cycle-accurate engine's pipeline admission).
+        if ch.pipeline.is_some()
+            && (direction != Direction::Encrypt || !aad.is_empty() || tag.is_some())
+        {
+            return Err(MccpError::BadInstruction);
+        }
 
         let id = RequestId(self.next_request);
         self.next_request = self.next_request.wrapping_add(1).max(1);
@@ -461,29 +500,38 @@ impl ChannelBackend for FunctionalBackend {
             return Ok(id);
         }
 
-        let result = run_mode(ctx, ch.algorithm, direction, iv, aad, body, tag, ch.tag_len);
-        let (auth_ok, out_body, out_tag) = match result {
-            Ok(out) => match (ch.algorithm.mode(), direction) {
-                (Mode::Gcm | Mode::Ccm, Direction::Encrypt) => {
-                    let split = out.len() - ch.tag_len;
-                    let mut out = out;
-                    let tag = out.split_off(split);
-                    (true, out, tag)
+        let (auth_ok, out_body, out_tag) = if let Some(graph) = &ch.pipeline {
+            let (out_body, out_tag) =
+                run_stages_functional(graph.stages(), iv, body, graph.tag_len)?;
+            (true, out_body, out_tag.unwrap_or_default())
+        } else {
+            let ctx = self
+                .cache
+                .get_or_insert_with(&ch.key, || KeyCtx::new(&ch.key));
+            let result = run_mode(ctx, ch.algorithm, direction, iv, aad, body, tag, ch.tag_len);
+            match result {
+                Ok(out) => match (ch.algorithm.mode(), direction) {
+                    (Mode::Gcm | Mode::Ccm, Direction::Encrypt) => {
+                        let split = out.len() - ch.tag_len;
+                        let mut out = out;
+                        let tag = out.split_off(split);
+                        (true, out, tag)
+                    }
+                    (Mode::Gcm | Mode::Ccm, Direction::Decrypt) => (true, out, Vec::new()),
+                    (Mode::Ctr, _) => (true, out, Vec::new()),
+                    (Mode::CbcMac, _) => (true, Vec::new(), out),
+                },
+                Err(ModeError::AuthFail) => {
+                    let (request, channel) = (id.0, channel.0);
+                    self.telemetry.emit_with(self.now, || Event::AuthFailWipe {
+                        request,
+                        channel,
+                        sequence,
+                    });
+                    (false, Vec::new(), Vec::new())
                 }
-                (Mode::Gcm | Mode::Ccm, Direction::Decrypt) => (true, out, Vec::new()),
-                (Mode::Ctr, _) => (true, out, Vec::new()),
-                (Mode::CbcMac, _) => (true, Vec::new(), out),
-            },
-            Err(ModeError::AuthFail) => {
-                let (request, channel) = (id.0, channel.0);
-                self.telemetry.emit_with(self.now, || Event::AuthFailWipe {
-                    request,
-                    channel,
-                    sequence,
-                });
-                (false, Vec::new(), Vec::new())
+                Err(_) => return Err(MccpError::BadInstruction),
             }
-            Err(_) => return Err(MccpError::BadInstruction),
         };
         self.telemetry
             .emit_with(self.now, || Event::RequestCompleted {

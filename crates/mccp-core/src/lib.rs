@@ -44,6 +44,7 @@ pub mod functional;
 pub mod key;
 pub mod mccp;
 pub mod model;
+pub mod pipeline;
 pub mod protocol;
 pub mod reconfig;
 mod scheduler;
@@ -54,5 +55,7 @@ pub use fault::{FaultKind, FaultPlan, FaultTrigger};
 pub use format::{Direction, ProcessedPacket};
 pub use functional::FunctionalBackend;
 pub use mccp::{DecryptedPacket, EncryptedPacket, Mccp, MccpConfig};
+pub use pipeline::{PipelineGraph, PipelineKind, PipelineStage, StageOp};
 pub use protocol::{Algorithm, ChannelId, KeyId, MccpError, Mode, RequestId};
+pub use reconfig::{PolicyConfig, PolicyEngine};
 pub use warmcache::{WarmCache, WarmStats};

@@ -33,7 +33,7 @@ use crate::firmware::FirmwareLibrary;
 use crate::format::Direction;
 use crate::key::{KeyMemory, KeyScheduler};
 use crate::protocol::{ChannelId, MccpError, RequestId};
-use crate::reconfig::ReconfigController;
+use crate::reconfig::{PolicyEngine, ReconfigController};
 use crate::scheduler::{ReqState, Request};
 use mccp_telemetry::{metrics, Event, Snapshot, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
@@ -101,6 +101,9 @@ pub struct Mccp {
     /// in-flight reconfiguration began.
     pub(crate) reconfigs: Vec<ReconfigController>,
     pub(crate) reconfig_started: Vec<u64>,
+    /// Demand-driven reconfiguration policy (`None` = manual
+    /// reconfiguration only, the pre-policy behavior).
+    pub(crate) policy: Option<PolicyEngine>,
     /// Event-driven fast path: when set, the `run_*` helpers leap over
     /// spans where every component is provably quiescent instead of
     /// ticking cycle by cycle. Cycle counts, outputs and telemetry are
@@ -159,6 +162,7 @@ impl Mccp {
             telemetry: Telemetry::disabled(),
             reconfigs: vec![ReconfigController::new(); config.n_cores],
             reconfig_started: vec![0; config.n_cores],
+            policy: None,
             fast_forward: true,
             faults: None,
             watchdog_margin: None,
@@ -212,6 +216,17 @@ impl Mccp {
                     "mccp_dma_backpressure_cycles_total",
                     self.dma_backpressure_cycles,
                 );
+            }
+            // Reconfiguration-policy demand plane (plain fields on the
+            // submission hot path, published here like the DMA totals).
+            if let Some(pe) = &self.policy {
+                let counters = mccp_telemetry::DemandCounters {
+                    offered: pe.offered_total(),
+                    served: pe.served_total(),
+                    swaps: pe.swaps(),
+                    swap_stall_cycles: self.stage_reconfig_stall.iter().sum(),
+                };
+                counters.publish(reg);
             }
             for (i, core) in self.cores.iter().enumerate() {
                 let core_label = |name: &str| metrics::series(name, "core", i);
@@ -333,7 +348,8 @@ impl Mccp {
         self.faults.as_ref().map_or(0, |f| f.injected)
     }
 
-    /// Core-pool health: total cores and the quarantined subset.
+    /// Core-pool health: total cores, the quarantined subset, and the
+    /// cores mid-reconfiguration (a transient capacity dip).
     pub fn health(&self) -> EngineHealth {
         EngineHealth {
             cores: self.cores.len(),
@@ -348,7 +364,18 @@ impl Mccp {
                     })
                 })
                 .collect(),
+            reconfiguring: self
+                .reconfigs
+                .iter()
+                .filter(|rc| rc.is_reconfiguring())
+                .count(),
         }
+    }
+
+    /// Total cycles cores have spent stalled in partial reconfiguration
+    /// (the Table IV load latencies, as charged by completed swaps).
+    pub fn reconfig_stall_cycles(&self) -> u64 {
+        self.stage_reconfig_stall.iter().sum()
     }
 
     /// Hard-resets a core — the recovery path for quarantined cores. The

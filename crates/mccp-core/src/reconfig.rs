@@ -184,6 +184,219 @@ impl ReconfigController {
     pub fn completed(&self) -> u64 {
         self.completed
     }
+
+    /// The personality the in-flight bitstream will install, if any.
+    pub fn target(&self) -> Option<Personality> {
+        self.in_flight.as_ref().map(|(bs, _)| bs.personality)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Demand-driven reconfiguration policy
+// ----------------------------------------------------------------------
+
+/// Index of a personality in the policy's demand arrays (and in
+/// `mccp_telemetry::demand::PERSONALITY_NAMES`).
+pub fn personality_index(p: Personality) -> usize {
+    match p {
+        Personality::AesUnit => 0,
+        Personality::TwofishUnit => 1,
+        Personality::WhirlpoolUnit => 2,
+    }
+}
+
+/// The bitstream that installs a personality (Table IV rows, plus the
+/// §IX Twofish estimate).
+pub fn bitstream_for(p: Personality) -> Bitstream {
+    match p {
+        Personality::AesUnit => AES_BITSTREAM,
+        Personality::TwofishUnit => TWOFISH_BITSTREAM,
+        Personality::WhirlpoolUnit => WHIRLPOOL_BITSTREAM,
+    }
+}
+
+/// Policy-engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct PolicyConfig {
+    /// Where partial bitstreams load from — this is what charges the
+    /// paper's Table IV latency to every policy-driven swap.
+    pub source: BitstreamSource,
+    /// Minimum cycles between swaps of the same core (a swap costs
+    /// millions of cycles; thrashing would starve the pool).
+    pub min_dwell_cycles: u64,
+    /// Offered-load samples (submissions) a personality must accumulate
+    /// in the current window before the policy acts on its demand.
+    pub min_samples: u64,
+    /// How much more per-core demand the winning personality must show
+    /// over the victim before a swap triggers (×, ≥ 1).
+    pub demand_ratio: u64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            source: BitstreamSource::Ram,
+            min_dwell_cycles: 0,
+            min_samples: 4,
+            demand_ratio: 2,
+        }
+    }
+}
+
+/// A demand-driven reconfiguration decision (one idle core → one new
+/// personality).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SwapDecision {
+    pub core: usize,
+    pub target: Personality,
+}
+
+/// The demand-driven policy engine the Task Scheduler consults: it
+/// watches per-personality offered-load counters (every submission
+/// attempt, including `NoResource` rejections, is a demand sample) and
+/// decides when an idle core's CU region should flip to a starved
+/// personality. Swaps are applied through the ordinary
+/// [`begin_reconfiguration`](crate::Mccp::begin_reconfiguration) path, so
+/// they charge the Table IV load latency of the configured
+/// [`BitstreamSource`] and only ever claim *idle* cores — in-flight work
+/// is never interrupted, which is how the no-packet-loss / no-nonce-reuse
+/// contract holds across swaps (rejected submissions are requeued by the
+/// caller with their already-committed IV).
+#[derive(Clone, Debug)]
+pub struct PolicyEngine {
+    cfg: PolicyConfig,
+    /// Demand window since the last swap (per personality).
+    window_offered: [u64; 3],
+    /// Lifetime counters, published to telemetry.
+    offered_total: [u64; 3],
+    served_total: [u64; 3],
+    swaps: u64,
+    last_swap: u64,
+}
+
+impl PolicyEngine {
+    pub fn new(cfg: PolicyConfig) -> Self {
+        PolicyEngine {
+            cfg,
+            window_offered: [0; 3],
+            offered_total: [0; 3],
+            served_total: [0; 3],
+            swaps: 0,
+            last_swap: 0,
+        }
+    }
+
+    pub fn config(&self) -> &PolicyConfig {
+        &self.cfg
+    }
+
+    /// Records one offered-load sample for a personality (called on every
+    /// submission attempt, accepted or refused).
+    pub fn record_offered(&mut self, p: Personality) {
+        self.window_offered[personality_index(p)] += 1;
+        self.offered_total[personality_index(p)] += 1;
+    }
+
+    /// Records an accepted submission for a personality.
+    pub fn record_served(&mut self, p: Personality) {
+        self.served_total[personality_index(p)] += 1;
+    }
+
+    /// Lifetime offered-load counters, indexed by [`personality_index`].
+    pub fn offered_total(&self) -> [u64; 3] {
+        self.offered_total
+    }
+
+    /// Lifetime served counters, indexed by [`personality_index`].
+    pub fn served_total(&self) -> [u64; 3] {
+        self.served_total
+    }
+
+    /// Policy-driven swaps begun so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Decides whether an idle core should flip. `cores` describes the
+    /// pool: `(personality, idle, reconfiguring-or-quarantined)` per
+    /// core; `pinned` are personalities that must keep at least one core
+    /// (in-flight pipeline stages still waiting to run on them).
+    ///
+    /// The rule: pick the personality with the highest per-core demand in
+    /// the current window as the *target* and the lowest as the *victim*;
+    /// swap one idle victim core when the target is starved (no core at
+    /// all) or out-demands the victim by [`PolicyConfig::demand_ratio`].
+    pub fn decide(
+        &self,
+        now: u64,
+        cores: &[(Personality, bool, bool)],
+        pinned: &[Personality],
+    ) -> Option<SwapDecision> {
+        if now < self.last_swap.saturating_add(self.cfg.min_dwell_cycles) && self.swaps > 0 {
+            return None;
+        }
+        let mut count = [0u64; 3];
+        // A core mid-reconfiguration already counts toward its *target*
+        // personality: demand it will serve is not starved, just waiting.
+        for &(p, _, _) in cores {
+            count[personality_index(p)] += 1;
+        }
+        let per_core = |i: usize| match self.window_offered[i].checked_div(count[i]) {
+            // Starved personality: demand with no server dominates.
+            None => self.window_offered[i].saturating_mul(u64::from(u32::MAX)),
+            Some(share) => share,
+        };
+        let target = (0..3).max_by_key(|&i| (per_core(i), self.window_offered[i]))?;
+        if self.window_offered[target] < self.cfg.min_samples {
+            return None;
+        }
+        const PERSONALITIES: [Personality; 3] = [
+            Personality::AesUnit,
+            Personality::TwofishUnit,
+            Personality::WhirlpoolUnit,
+        ];
+        // Never give away the last available core of the whole pool.
+        let available = cores.iter().filter(|&&(_, _, out)| !out).count();
+        if available <= 1 {
+            return None;
+        }
+        // Victim: the lowest per-core demand among personalities that can
+        // spare a core — an idle core exists, and taking it strands
+        // neither pinned in-flight work nor the personality's last core
+        // when live work still needs it.
+        let victim = (0..3)
+            .filter(|&i| i != target && count[i] > 0)
+            .filter(|&i| count[i] > 1 || !pinned.contains(&PERSONALITIES[i]))
+            .filter(|&i| {
+                cores
+                    .iter()
+                    .any(|&(p, idle, out)| p == PERSONALITIES[i] && idle && !out)
+            })
+            .min_by_key(|&i| per_core(i))?;
+        if count[target] > 0
+            && per_core(target)
+                < per_core(victim)
+                    .saturating_mul(self.cfg.demand_ratio)
+                    .max(1)
+        {
+            return None;
+        }
+        let core = cores
+            .iter()
+            .position(|&(p, idle, out)| p == PERSONALITIES[victim] && idle && !out)?;
+        Some(SwapDecision {
+            core,
+            target: PERSONALITIES[target],
+        })
+    }
+
+    /// Records that a decided swap has begun: resets the demand window so
+    /// the next decision re-samples the post-swap mix.
+    pub fn note_swap(&mut self, now: u64) {
+        self.swaps += 1;
+        self.last_swap = now;
+        self.window_offered = [0; 3];
+    }
 }
 
 #[cfg(test)]
@@ -240,5 +453,59 @@ mod tests {
         assert_eq!(rc.current(), Personality::WhirlpoolUnit);
         assert_eq!(rc.completed(), 1);
         assert!(!rc.is_reconfiguring());
+    }
+
+    #[test]
+    fn policy_flips_an_idle_core_toward_starved_demand() {
+        let mut pe = PolicyEngine::new(PolicyConfig::default());
+        // Four AES cores, Twofish demand building up.
+        let cores = [
+            (Personality::AesUnit, true, false),
+            (Personality::AesUnit, false, false),
+            (Personality::AesUnit, true, false),
+            (Personality::AesUnit, true, false),
+        ];
+        assert_eq!(pe.decide(0, &cores, &[]), None, "no demand yet");
+        for _ in 0..4 {
+            pe.record_offered(Personality::TwofishUnit);
+        }
+        let d = pe.decide(100, &cores, &[]).expect("swap");
+        assert_eq!(d.target, Personality::TwofishUnit);
+        assert!(cores[d.core].1, "victim core is idle");
+        pe.note_swap(100);
+        assert_eq!(pe.swaps(), 1);
+        // Window reset: the same demand no longer retriggers.
+        assert_eq!(pe.decide(101, &cores, &[]), None);
+    }
+
+    #[test]
+    fn policy_respects_dwell_pins_and_last_core() {
+        let mut pe = PolicyEngine::new(PolicyConfig {
+            min_dwell_cycles: 1_000,
+            ..PolicyConfig::default()
+        });
+        for _ in 0..8 {
+            pe.record_offered(Personality::WhirlpoolUnit);
+        }
+        // Single-core pool: never give away the last available core.
+        let one = [(Personality::AesUnit, true, false)];
+        assert_eq!(pe.decide(0, &one, &[]), None);
+        // Pinned victim personality with only one core: refused.
+        let two = [
+            (Personality::AesUnit, true, false),
+            (Personality::TwofishUnit, true, false),
+        ];
+        assert!(pe.decide(0, &two, &[Personality::AesUnit]).is_some());
+        assert_eq!(
+            pe.decide(0, &two, &[Personality::AesUnit, Personality::TwofishUnit]),
+            None
+        );
+        // Dwell: after a swap, decisions pause for min_dwell_cycles.
+        pe.note_swap(500);
+        for _ in 0..8 {
+            pe.record_offered(Personality::WhirlpoolUnit);
+        }
+        assert_eq!(pe.decide(600, &two, &[]), None, "inside dwell");
+        assert!(pe.decide(1_501, &two, &[]).is_some(), "dwell elapsed");
     }
 }

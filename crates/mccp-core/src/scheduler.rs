@@ -21,6 +21,18 @@ pub(crate) enum ReqState {
     /// Waiting on the Key Scheduler before the cores start.
     KeyWait(u32),
     Running,
+    /// A pipeline request between stages: the next stage's personality has
+    /// no idle core yet. Retried every active tick; contributes to the
+    /// fast-forward horizon only when an eligible core is idle (the
+    /// unblocking events — completions, reconfigurations — all land on
+    /// active ticks, so the retry can never be leapt over).
+    StageWait,
+    /// A Whirlpool pipeline stage's modeled hash countdown; the digest is
+    /// already computed (same `mccp-aes` code as the functional engine)
+    /// and lands when the countdown expires, `left + 1` ticks out.
+    Hashing {
+        left: u64,
+    },
     /// All cores reported and the output is resident (Data Available).
     Done {
         auth_ok: bool,
@@ -61,6 +73,9 @@ pub(crate) struct Request {
     pub(crate) deadline: Option<u64>,
     /// 1-based packet ordinal within the request's channel.
     pub(crate) sequence: u64,
+    /// Pipeline-graph progress for multi-stage requests (`None` for the
+    /// classic single-transform requests).
+    pub(crate) pipeline: Option<crate::pipeline::PipelinePlan>,
 }
 
 impl Mccp {
@@ -70,6 +85,38 @@ impl Mccp {
         self.cores
             .iter()
             .position(|c| c.is_idle() && c.personality() == personality)
+    }
+
+    /// Finds an idle core for a pipeline stage, preferring one *different*
+    /// from the previous stage's core (the inter-core transfer is the
+    /// point of the pipeline; only a pool with a single matching core
+    /// falls back to reusing it).
+    pub(crate) fn idle_for_stage(
+        &self,
+        personality: Personality,
+        avoid: Option<usize>,
+    ) -> Option<usize> {
+        let mut fallback = None;
+        for (i, c) in self.cores.iter().enumerate() {
+            if !c.is_idle() || c.personality() != personality {
+                continue;
+            }
+            if Some(i) != avoid {
+                return Some(i);
+            }
+            fallback = Some(i);
+        }
+        fallback
+    }
+
+    /// True when a stage-waiting pipeline request could start now.
+    pub(crate) fn stage_core_ready(&self, req: &Request) -> bool {
+        let Some(plan) = &req.pipeline else {
+            return false;
+        };
+        let stage = &plan.pipeline.stages[plan.current];
+        self.idle_for_stage(stage.personality(), plan.prev_core)
+            .is_some()
     }
 
     /// Finds an adjacent idle pair `(i, i+1 mod n)` for two-core CCM.
@@ -200,26 +247,47 @@ impl Mccp {
             }
         }
 
-        // Task-scheduler state machine: start cores whose key is ready.
+        // Task-scheduler state machine: start cores whose key is ready,
+        // count down modeled hash stages, and retry pipeline stages that
+        // are waiting for a core with the right personality.
         let cycle = self.cycle;
+        let mut stage_retry = Vec::new();
+        let mut hash_done = Vec::new();
         for req in self.requests.values_mut() {
-            if let ReqState::KeyWait(left) = req.state {
-                if left == 0 {
-                    for (core, job) in &req.jobs {
-                        let image = self.firmware.image(job.firmware);
-                        self.cores[*core].start(job.firmware, image, job.params);
-                        let (core, firmware, request) = (*core, job.firmware, req.id.0);
-                        self.telemetry.emit_with(cycle, || Event::CoreStarted {
-                            request,
-                            core,
-                            firmware: firmware.name(),
-                        });
+            match req.state {
+                ReqState::KeyWait(left) => {
+                    if left == 0 {
+                        for (core, job) in &req.jobs {
+                            let image = self.firmware.image(job.firmware);
+                            self.cores[*core].start(job.firmware, image, job.params);
+                            let (core, firmware, request) = (*core, job.firmware, req.id.0);
+                            self.telemetry.emit_with(cycle, || Event::CoreStarted {
+                                request,
+                                core,
+                                firmware: firmware.name(),
+                            });
+                        }
+                        req.state = ReqState::Running;
+                    } else {
+                        req.state = ReqState::KeyWait(left - 1);
                     }
-                    req.state = ReqState::Running;
-                } else {
-                    req.state = ReqState::KeyWait(left - 1);
                 }
+                ReqState::StageWait => stage_retry.push(req.id),
+                ReqState::Hashing { left } => {
+                    if left == 0 {
+                        hash_done.push(req.id);
+                    } else {
+                        req.state = ReqState::Hashing { left: left - 1 };
+                    }
+                }
+                _ => {}
             }
+        }
+        for id in stage_retry {
+            self.try_start_stage(id);
+        }
+        for id in hash_done {
+            self.finish_pipeline(id);
         }
 
         // Communication-controller DMA: one 32-bit word per core per cycle.
@@ -248,7 +316,13 @@ impl Mccp {
         if self.faults.is_some() || self.watchdog_margin.is_some() {
             let mut failures: Vec<(RequestId, MccpError, usize)> = Vec::new();
             for req in self.requests.values() {
-                if !matches!(req.state, ReqState::KeyWait(_) | ReqState::Running) {
+                if !matches!(
+                    req.state,
+                    ReqState::KeyWait(_)
+                        | ReqState::Running
+                        | ReqState::StageWait
+                        | ReqState::Hashing { .. }
+                ) {
                     continue;
                 }
                 if let Some(&c) = req.cores.iter().find(|&&c| self.cores[c].is_faulted()) {
@@ -266,6 +340,7 @@ impl Mccp {
 
         // Completion detection.
         let mut newly_done = Vec::new();
+        let mut stage_complete = Vec::new();
         let mut integrity_failures: Vec<(RequestId, usize)> = Vec::new();
         for req in self.requests.values_mut() {
             if req.state != ReqState::Running {
@@ -299,6 +374,13 @@ impl Mccp {
             if auth_ok && !resident {
                 continue;
             }
+            // A completed pipeline stage hands off to the next stage
+            // instead of terminating the request (the final stage ends the
+            // pipeline inside `advance_pipeline`).
+            if req.pipeline.is_some() && auth_ok {
+                stage_complete.push(req.id);
+                continue;
+            }
             if !auth_ok {
                 // The paper's defense: reinitialize the output FIFO(s) so
                 // no unauthenticated plaintext can be read out.
@@ -325,6 +407,9 @@ impl Mccp {
         }
         for id in newly_done {
             self.data_available.push_back(id);
+        }
+        for id in stage_complete {
+            self.advance_pipeline(id);
         }
         for (id, core) in integrity_failures {
             self.fail_request(id, MccpError::DataIntegrity, core);
@@ -385,6 +470,17 @@ impl Mccp {
             match req.state {
                 ReqState::KeyWait(left) => h = h.min(left as u64),
                 ReqState::Running => {}
+                // A hash countdown is pure decrement, like KeyWait.
+                ReqState::Hashing { left } => h = h.min(left),
+                // A stage waiting for a core is active the moment an
+                // eligible core is idle; while none is, the unblocking
+                // event (a completion or reconfiguration elsewhere) is
+                // itself horizon-bounded, so the wait contributes nothing.
+                ReqState::StageWait => {
+                    if self.stage_core_ready(req) {
+                        return 0;
+                    }
+                }
                 _ => continue,
             }
             // Watchdog: the deadline check fires on the tick that crosses
@@ -427,8 +523,10 @@ impl Mccp {
             rc.skip(n);
         }
         for req in self.requests.values_mut() {
-            if let ReqState::KeyWait(left) = req.state {
-                req.state = ReqState::KeyWait(left - n as u32);
+            match req.state {
+                ReqState::KeyWait(left) => req.state = ReqState::KeyWait(left - n as u32),
+                ReqState::Hashing { left } => req.state = ReqState::Hashing { left: left - n },
+                _ => {}
             }
         }
         self.dma_skip(n);
@@ -461,11 +559,15 @@ impl Mccp {
     /// Panics if a core faults or the guard expires (firmware bug).
     pub fn run_to_completion(&mut self, max_cycles: u64) -> u64 {
         let start = self.cycle;
-        while self
-            .requests
-            .values()
-            .any(|r| matches!(r.state, ReqState::KeyWait(_) | ReqState::Running))
-        {
+        while self.requests.values().any(|r| {
+            matches!(
+                r.state,
+                ReqState::KeyWait(_)
+                    | ReqState::Running
+                    | ReqState::StageWait
+                    | ReqState::Hashing { .. }
+            )
+        }) {
             assert!(
                 self.cycle - start < max_cycles,
                 "requests wedged after {max_cycles} cycles"

@@ -290,6 +290,19 @@ impl<B: ChannelBackend> ServiceShard<B> {
         }
     }
 
+    /// The drain budget scaled by live core availability: a shard whose
+    /// engine has cores quarantined or mid-reconfiguration serves
+    /// proportionally fewer packets per pump, and both the pump and QoS
+    /// admission must see that capacity dip (earlier backpressure for the
+    /// lower classes, honest retry-after estimates).
+    fn effective_drain_budget(&self, cfg_budget: usize) -> usize {
+        let h = self.backend.health();
+        if h.cores == 0 {
+            return cfg_budget;
+        }
+        (cfg_budget * h.available() / h.cores).max(1)
+    }
+
     /// One shard pump: feed up to `drain_budget` queued packets to the
     /// engine, advance its clock, and collect completions.
     fn pump(
@@ -299,7 +312,9 @@ impl<B: ChannelBackend> ServiceShard<B> {
         slo: &mut SloEngine,
         out: &mut Vec<Delivery>,
     ) {
-        let budget = cfg.drain_budget.min(self.queue.len());
+        let budget = self
+            .effective_drain_budget(cfg.drain_budget)
+            .min(self.queue.len());
         for _ in 0..budget {
             let pkt = self.queue.pop_front().expect("budget <= len");
             // `queued > 0` pins the slot for the whole time the packet is
@@ -513,8 +528,11 @@ impl<B: ChannelBackend> MccpService<B> {
         user_tag: u64,
     ) -> Result<(), ServiceError> {
         let cfg_cap = self.config.queue_capacity;
-        let cfg_budget = self.config.drain_budget;
         let shard = self.shards.get_mut(id.shard()).ok_or(ServiceError::Stale)?;
+        // Admission judges the queue against the *effective* service rate:
+        // a reconfiguration-induced capacity dip shortens the budget and
+        // backpressure arrives earlier (and retry-after honestly longer).
+        let cfg_budget = shard.effective_drain_budget(self.config.drain_budget);
         let live = match shard.slab.get_mut(id) {
             Ok(l) => l,
             Err(_) => {

@@ -1,0 +1,108 @@
+//! Reconfiguration-policy metrics: per-personality offered/served demand
+//! and swap accounting, the observability surface of the demand-driven
+//! reconfiguration policy.
+//!
+//! Same discipline as [`crate::service`]: the engine keeps these as plain
+//! fields on the submission hot path and publishes them to a [`Registry`]
+//! only at snapshot time (counter_set semantics — authoritative fields,
+//! re-publication overwrites and never double-counts).
+
+use crate::metrics::{series, Registry, Snapshot};
+
+/// Label values for the CU personalities, in personality-index order
+/// (matches `mccp_core::reconfig::personality_index`).
+pub const PERSONALITY_NAMES: [&str; 3] = ["aes", "twofish", "whirlpool"];
+
+/// The policy plane's counter set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DemandCounters {
+    /// Offered-load samples per personality (every submission attempt,
+    /// accepted or refused with backpressure).
+    pub offered: [u64; PERSONALITY_NAMES.len()],
+    /// Accepted submissions per personality.
+    pub served: [u64; PERSONALITY_NAMES.len()],
+    /// Policy-driven personality swaps begun.
+    pub swaps: u64,
+    /// Cycles cores have spent stalled in partial reconfiguration (the
+    /// Table IV load latencies, summed over completed swaps).
+    pub swap_stall_cycles: u64,
+}
+
+impl DemandCounters {
+    /// Publishes the counter set under `mccp_reconfig_*` keys.
+    pub fn publish(&self, registry: &mut Registry) {
+        for (i, name) in PERSONALITY_NAMES.iter().enumerate() {
+            registry.counter_set(
+                &series("mccp_reconfig_offered_total", "personality", name),
+                self.offered[i],
+            );
+            registry.counter_set(
+                &series("mccp_reconfig_served_total", "personality", name),
+                self.served[i],
+            );
+        }
+        registry.counter_set("mccp_reconfig_swaps_total", self.swaps);
+        registry.counter_set("mccp_reconfig_stall_cycles_total", self.swap_stall_cycles);
+    }
+
+    /// Merges two counter sets (shard roll-up).
+    pub fn merge_from(&mut self, other: &DemandCounters) {
+        for i in 0..PERSONALITY_NAMES.len() {
+            self.offered[i] += other.offered[i];
+            self.served[i] += other.served[i];
+        }
+        self.swaps += other.swaps;
+        self.swap_stall_cycles += other.swap_stall_cycles;
+    }
+}
+
+/// Convenience read of the published swap count from a snapshot.
+pub fn swaps_total(snapshot: &Snapshot) -> u64 {
+    snapshot.counter("mccp_reconfig_swaps_total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_read_back() {
+        let mut c = DemandCounters {
+            swaps: 2,
+            swap_stall_cycles: 24_000_000,
+            ..DemandCounters::default()
+        };
+        c.offered[0] = 100;
+        c.offered[1] = 40;
+        c.served[1] = 38;
+        let mut reg = Registry::new(true);
+        c.publish(&mut reg);
+        // Re-publish after more traffic: counter_set overwrites.
+        c.offered[0] = 150;
+        c.publish(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("mccp_reconfig_offered_total{personality=\"aes\"}"),
+            150
+        );
+        assert_eq!(
+            snap.counter("mccp_reconfig_served_total{personality=\"twofish\"}"),
+            38
+        );
+        assert_eq!(swaps_total(&snap), 2);
+    }
+
+    #[test]
+    fn merge_rolls_up_shards() {
+        let mut a = DemandCounters::default();
+        a.offered[2] = 7;
+        a.swaps = 1;
+        let mut b = DemandCounters::default();
+        b.offered[2] = 3;
+        b.swap_stall_cycles = 5;
+        a.merge_from(&b);
+        assert_eq!(a.offered[2], 10);
+        assert_eq!(a.swaps, 1);
+        assert_eq!(a.swap_stall_cycles, 5);
+    }
+}

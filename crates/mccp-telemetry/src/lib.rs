@@ -41,6 +41,7 @@
 //! exporters are pure functions — two identical runs export byte-identical
 //! text.
 
+pub mod demand;
 pub mod event;
 pub mod export;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod span;
 pub mod trace;
 pub mod vcd_bridge;
 
+pub use demand::DemandCounters;
 pub use event::{Event, FifoPort, TimedEvent};
 pub use metrics::{Histogram, Registry, Snapshot};
 pub use profile::WallProfile;

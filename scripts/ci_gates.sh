@@ -1,0 +1,179 @@
+#!/usr/bin/env bash
+# The single source of truth for every CI gate. Both CI jobs invoke this
+# script, so a local `./scripts/ci_gates.sh all` is byte-for-byte the CI
+# run. Stages are selectable by name:
+#
+#   ./scripts/ci_gates.sh all              # everything (both CI jobs)
+#   ./scripts/ci_gates.sh build-test       # the Build & test job
+#   ./scripts/ci_gates.sh lint             # the Clippy & rustfmt job
+#   ./scripts/ci_gates.sh build test ...   # any stages, in order
+#
+# Run `./scripts/ci_gates.sh list` for the stage catalogue.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage_build() { cargo build --release --workspace; }
+
+stage_test() { cargo test --workspace -q; }
+
+stage_cycle_identity() { cargo test -p mccp-core --test cycle_identity -q; }
+
+stage_backend_equivalence() { cargo test -p mccp-sdr --test backend_equivalence -q; }
+
+stage_fault_plane() {
+  cargo test -p mccp-core fault -q
+  cargo test -p mccp-sdr cluster::tests -q
+}
+
+stage_service_churn() { cargo test -p mccp-sdr --test service_churn -q; }
+
+stage_pipeline_equivalence() { cargo test --test pipeline_equivalence -q; }
+
+# bench_service --quick asserts zero SecureVoice sheds below the knee,
+# ordered shed rates at 3x, <4 KiB per idle channel, and a leak-free
+# churn loop without rewriting BENCH_service.json.
+stage_service_smoke() { cargo run --release -p mccp-bench --bin bench_service -- --quick; }
+
+stage_chaos_smoke() { cargo run --release -p mccp-bench --bin chaos_soak -- --packets 200; }
+
+# obs_report asserts both contracts and exits non-zero on breach:
+# best-of-N wall overhead under the 5% budget, and records/cycles/
+# retries byte-identical between observe-on and observe-off runs.
+stage_obs_overhead() { cargo run --release -p mccp-bench --bin obs_report -- --packets 200 --iters 5; }
+
+stage_kernel_equivalence() {
+  cargo test -p mccp-aes --test kernel_equivalence -q
+  cargo test -p mccp-aes --test zero_alloc -q
+  cargo test -p mccp-core --test alloc_bound -q
+}
+
+# Re-measures the batched GHASH/CTR/GCM arms and fails if any lands
+# below 80% of its floor_* in BENCH_functional_kernels.json.
+stage_perf_smoke() { cargo run --release -p mccp-bench --bin bench_cluster -- --quick; }
+
+# bench_reconfig --quick drives a standards-mix shift through the demand
+# policy (live CU swaps, Table IV latencies charged exactly, zero drops/
+# nonce reuse) and a steady-drain service soak inside a swap window
+# (zero Critical sheds), without rewriting BENCH_reconfig.json.
+stage_bench_reconfig() { cargo run --release -p mccp-bench --bin bench_reconfig -- --quick; }
+
+# Every checked-in BENCH_*.json must parse, declare host_parallelism,
+# and keep the fields other gates read (the perf smoke's floor_* values,
+# the reconfig gate's loss/shed invariants).
+stage_bench_schema() {
+  python3 - <<'PY'
+import glob, json, sys
+
+failures = []
+files = sorted(glob.glob("BENCH_*.json"))
+if not files:
+    failures.append("no BENCH_*.json files found")
+for path in files:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except ValueError as e:
+        failures.append(f"{path}: invalid JSON ({e})")
+        continue
+    if "host_parallelism" not in doc:
+        failures.append(f"{path}: missing host_parallelism")
+    if path == "BENCH_functional_kernels.json":
+        for key in (
+            "floor_ghash_batched_gb_s",
+            "floor_ctr_batched_gb_s",
+            "floor_gcm512_batched_packets_per_sec",
+        ):
+            if key not in doc:
+                failures.append(f"{path}: missing {key} (perf smoke reads it)")
+    if path == "BENCH_reconfig.json":
+        mix = doc.get("mix_shift", {})
+        svc = doc.get("service_swap_window", {})
+        if mix.get("dropped_packets") != 0:
+            failures.append(f"{path}: mix_shift.dropped_packets must be 0")
+        if mix.get("nonce_reuse") != 0:
+            failures.append(f"{path}: mix_shift.nonce_reuse must be 0")
+        if not mix.get("swaps", 0) >= 1:
+            failures.append(f"{path}: mix_shift.swaps must be >= 1")
+        if mix.get("stall_cycles") != mix.get("expected_stall_cycles"):
+            failures.append(f"{path}: stall_cycles must equal expected_stall_cycles")
+        if svc.get("critical_sheds_during_swaps") != 0:
+            failures.append(f"{path}: critical_sheds_during_swaps must be 0")
+for f in failures:
+    print(f"bench-schema: {f}", file=sys.stderr)
+if failures:
+    sys.exit(1)
+print(f"bench-schema: {len(files)} BENCH files valid")
+PY
+}
+
+stage_benches_compile() { cargo bench -p mccp-bench --no-run; }
+
+stage_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
+
+stage_fmt() { cargo fmt --all -- --check; }
+
+# Stage catalogue: name -> function. Order here is the `all` order.
+STAGES=(
+  build
+  test
+  cycle-identity
+  backend-equivalence
+  fault-plane
+  service-churn
+  pipeline-equivalence
+  service-smoke
+  chaos-smoke
+  obs-overhead
+  kernel-equivalence
+  perf-smoke
+  bench-reconfig
+  bench-schema
+  benches-compile
+  clippy
+  fmt
+)
+
+BUILD_TEST_STAGES=(
+  build test cycle-identity backend-equivalence fault-plane service-churn
+  pipeline-equivalence service-smoke chaos-smoke obs-overhead
+  kernel-equivalence perf-smoke bench-reconfig bench-schema benches-compile
+)
+
+LINT_STAGES=(clippy fmt)
+
+run_stage() {
+  local name="$1"
+  local fn="stage_${name//-/_}"
+  if ! declare -F "$fn" >/dev/null; then
+    echo "ci_gates: unknown stage '$name' (try: $0 list)" >&2
+    exit 2
+  fi
+  echo "==> ${name}"
+  "$fn"
+}
+
+main() {
+  if [ "$#" -eq 0 ]; then
+    echo "usage: $0 all | build-test | lint | list | <stage>..." >&2
+    exit 2
+  fi
+  local selected=()
+  for arg in "$@"; do
+    case "$arg" in
+      all) selected+=("${STAGES[@]}") ;;
+      build-test) selected+=("${BUILD_TEST_STAGES[@]}") ;;
+      lint) selected+=("${LINT_STAGES[@]}") ;;
+      list)
+        printf '%s\n' "${STAGES[@]}"
+        exit 0
+        ;;
+      *) selected+=("$arg") ;;
+    esac
+  done
+  for stage in "${selected[@]}"; do
+    run_stage "$stage"
+  done
+  echo "ci_gates: ${#selected[@]} stage(s) passed"
+}
+
+main "$@"

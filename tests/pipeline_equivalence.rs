@@ -1,0 +1,267 @@
+//! Pipeline-graph equivalence: any 1–3 stage pipeline graph over random
+//! payloads must produce identical bytes on the cycle-accurate and
+//! functional engines, and the two-core CCM schedule re-expressed as a
+//! 2-stage `FusedCcm2` graph must match the legacy `ccm_two_core`
+//! configuration byte-for-byte AND cycle-for-cycle.
+
+use mccp::core::core_unit::Personality;
+use mccp::core::protocol::{Algorithm, CipherSel, KeyId};
+use mccp::core::{
+    ChannelBackend, Direction, FunctionalBackend, Mccp, MccpConfig, PipelineGraph, PipelineStage,
+    StageOp,
+};
+use proptest::prelude::*;
+
+fn cfg(cases: u32) -> ProptestConfig {
+    ProptestConfig {
+        cases,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    }
+}
+
+/// Deterministic per-test key/shape material (splitmix64).
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn key_bytes(seed: &mut u64, len: usize) -> Vec<u8> {
+    (0..len).map(|_| mix(seed) as u8).collect()
+}
+
+/// Derives a random legal 1–3 stage pipeline graph from two seeds:
+/// non-final stages are CTR (AES or Twofish), the final stage is CTR,
+/// AES/Twofish CBC-MAC, or HMAC-Whirlpool, with legal key and tag sizes.
+fn derive_graph(shape_seed: u64, key_seed: u64) -> PipelineGraph {
+    let mut s = shape_seed;
+    let mut k = key_seed;
+    let n_stages = 1 + (mix(&mut s) % 3) as usize;
+    let mut stages = Vec::with_capacity(n_stages);
+    let mut tag_len = 16;
+    for i in 0..n_stages {
+        let last = i + 1 == n_stages;
+        let op = if last {
+            match mix(&mut s) % 3 {
+                0 => StageOp::Ctr,
+                1 => StageOp::CbcMac,
+                _ => StageOp::WhirlpoolHmac,
+            }
+        } else {
+            StageOp::Ctr
+        };
+        let cipher = if mix(&mut s).is_multiple_of(2) {
+            CipherSel::Aes
+        } else {
+            CipherSel::Twofish
+        };
+        let key = match (op, cipher) {
+            (StageOp::WhirlpoolHmac, _) => key_bytes(&mut k, 1 + (mix(&mut s) % 64) as usize),
+            (_, CipherSel::Twofish) => key_bytes(&mut k, 16),
+            (_, CipherSel::Aes) => key_bytes(&mut k, [16, 24, 32][(mix(&mut s) % 3) as usize]),
+        };
+        if last {
+            tag_len = match op {
+                StageOp::CbcMac => 1 + (mix(&mut s) % 16) as usize,
+                StageOp::WhirlpoolHmac => 1 + (mix(&mut s) % 64) as usize,
+                StageOp::Ctr => 16,
+            };
+        }
+        stages.push(PipelineStage { op, cipher, key });
+    }
+    PipelineGraph::new(stages, tag_len)
+}
+
+/// A 4-core engine with every stage personality resident: cores 0 and 3
+/// stay AES, core 1 hosts Twofish, core 2 hosts Whirlpool.
+fn personalized_mccp() -> Mccp {
+    let mut m = Mccp::new(MccpConfig::default());
+    m.core_mut(1).set_personality(Personality::TwofishUnit);
+    m.core_mut(2).set_personality(Personality::WhirlpoolUnit);
+    m
+}
+
+proptest! {
+    #![proptest_config(cfg(24))]
+    #[test]
+    fn random_pipeline_graphs_match_functional(
+        shape_seed in any::<u64>(),
+        key_seed in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 1..160),
+        iv_head in proptest::array::uniform12(any::<u8>()),
+    ) {
+        // Counter blocks keep INC headroom in the low 4 bytes.
+        let mut iv = [0u8; 16];
+        iv[..12].copy_from_slice(&iv_head);
+
+        let graph = derive_graph(shape_seed, key_seed);
+        prop_assert!(graph.validate().is_ok());
+
+        // Cycle-accurate engine.
+        let mut m = personalized_mccp();
+        let ch = m.open_pipeline(&graph).unwrap();
+        let id = m
+            .submit(ch, Direction::Encrypt, &iv, &[], &body, None)
+            .unwrap();
+        m.run_until_done(id, 50_000_000);
+        let pkt = m.retrieve(id).unwrap();
+        m.transfer_done(id).unwrap();
+
+        // Functional engine, same graph and inputs.
+        let mut f = FunctionalBackend::new();
+        let fch = f.open_pipeline(&graph).unwrap();
+        f.submit_packet(fch, Direction::Encrypt, &iv, &[], &body, None)
+            .unwrap();
+        let comp = f.poll_completion().unwrap();
+
+        prop_assert!(comp.auth_ok);
+        prop_assert_eq!(&pkt.body[..], &comp.body[..]);
+        prop_assert_eq!(pkt.tag.unwrap_or_default(), comp.tag);
+    }
+}
+
+proptest! {
+    #![proptest_config(cfg(12))]
+    #[test]
+    fn fused_ccm_graph_matches_legacy_two_core(
+        key in proptest::array::uniform16(any::<u8>()),
+        body in proptest::collection::vec(any::<u8>(), 1..200),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        tag_sel in 0usize..=6,
+    ) {
+        let tag_len = 4 + 2 * tag_sel; // 4..=16, even
+        let nonce = [0x4Du8; 12];
+
+        // Legacy path: the concurrent two-core CCM schedule by config flag.
+        let mut legacy = Mccp::new(MccpConfig {
+            ccm_two_core: true,
+            ..MccpConfig::default()
+        });
+        legacy.key_memory_mut().store(KeyId(1), &key);
+        let lch = legacy
+            .open_with_tag_len(Algorithm::AesCcm128, KeyId(1), tag_len)
+            .unwrap();
+        let start = legacy.cycle();
+        let lpkt = legacy.encrypt_packet(lch, &aad, &body, &nonce).unwrap();
+        let legacy_cycles = legacy.cycle() - start;
+
+        // Graph path: the same schedule as a 2-stage FusedCcm2 graph on a
+        // default (single-core CCM) configuration.
+        let mut fused = Mccp::new(MccpConfig::default());
+        let fch = fused
+            .open_pipeline(&PipelineGraph::two_core_ccm(
+                Algorithm::AesCcm128,
+                key.to_vec(),
+                tag_len,
+            ))
+            .unwrap();
+        let start = fused.cycle();
+        let fpkt = fused.encrypt_packet(fch, &aad, &body, &nonce).unwrap();
+        let fused_cycles = fused.cycle() - start;
+
+        prop_assert_eq!(&lpkt.ciphertext[..], &fpkt.ciphertext[..]);
+        prop_assert_eq!(&lpkt.tag[..], &fpkt.tag[..]);
+        prop_assert_eq!(legacy_cycles, fused_cycles);
+
+        // And the functional engine agrees on the bytes.
+        let mut f = FunctionalBackend::new();
+        let ffch = f
+            .open_pipeline(&PipelineGraph::two_core_ccm(
+                Algorithm::AesCcm128,
+                key.to_vec(),
+                tag_len,
+            ))
+            .unwrap();
+        f.submit_packet(ffch, Direction::Encrypt, &nonce, &aad, &body, None)
+            .unwrap();
+        let comp = f.poll_completion().unwrap();
+        prop_assert!(comp.auth_ok);
+        prop_assert_eq!(&comp.body[..], &fpkt.ciphertext[..]);
+        prop_assert_eq!(&comp.tag[..], &fpkt.tag[..]);
+    }
+}
+
+/// The flagship heterogeneous chain from the issue — AES-CTR into
+/// HMAC-Whirlpool across two differently-personalized cores — runs
+/// deterministically and matches the functional engine, including an
+/// exercised second packet on the same channel (stage keys stay cached).
+#[test]
+fn ctr_then_whirlpool_hmac_two_packets() {
+    let graph = PipelineGraph::new(
+        vec![
+            PipelineStage {
+                op: StageOp::Ctr,
+                cipher: CipherSel::Aes,
+                key: vec![0xA5; 16],
+            },
+            PipelineStage {
+                op: StageOp::WhirlpoolHmac,
+                cipher: CipherSel::Aes,
+                key: vec![0x5A; 32],
+            },
+        ],
+        32,
+    );
+    let mut m = personalized_mccp();
+    let ch = m.open_pipeline(&graph).unwrap();
+    let mut f = FunctionalBackend::new();
+    let fch = f.open_pipeline(&graph).unwrap();
+
+    for round in 0u8..2 {
+        let iv = [round.wrapping_add(1); 16];
+        let body: Vec<u8> = (0..100u8).map(|b| b ^ round).collect();
+        let id = m
+            .submit(ch, Direction::Encrypt, &iv, &[], &body, None)
+            .unwrap();
+        m.run_until_done(id, 50_000_000);
+        let pkt = m.retrieve(id).unwrap();
+        m.transfer_done(id).unwrap();
+        f.submit_packet(fch, Direction::Encrypt, &iv, &[], &body, None)
+            .unwrap();
+        let comp = f.poll_completion().unwrap();
+        assert!(comp.auth_ok);
+        assert_eq!(pkt.body, comp.body);
+        assert_eq!(pkt.tag.unwrap(), comp.tag);
+        assert_eq!(comp.tag.len(), 32);
+        assert_ne!(pkt.body, body, "CTR stage must actually transform");
+    }
+}
+
+/// A MAC-only chain delivers an empty body and only the tag — on both
+/// engines.
+#[test]
+fn mac_only_chain_delivers_empty_body() {
+    let graph = PipelineGraph::new(
+        vec![PipelineStage {
+            op: StageOp::CbcMac,
+            cipher: CipherSel::Twofish,
+            key: vec![0x11; 16],
+        }],
+        12,
+    );
+    let body = vec![0xC3u8; 64];
+    let iv = [0u8; 16];
+
+    let mut m = personalized_mccp();
+    let ch = m.open_pipeline(&graph).unwrap();
+    let id = m
+        .submit(ch, Direction::Encrypt, &iv, &[], &body, None)
+        .unwrap();
+    m.run_until_done(id, 50_000_000);
+    let pkt = m.retrieve(id).unwrap();
+    m.transfer_done(id).unwrap();
+
+    let mut f = FunctionalBackend::new();
+    let fch = f.open_pipeline(&graph).unwrap();
+    f.submit_packet(fch, Direction::Encrypt, &iv, &[], &body, None)
+        .unwrap();
+    let comp = f.poll_completion().unwrap();
+
+    assert!(pkt.body.is_empty());
+    assert!(comp.body.is_empty());
+    assert_eq!(pkt.tag.unwrap(), comp.tag);
+    assert_eq!(comp.tag.len(), 12);
+}

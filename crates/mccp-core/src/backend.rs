@@ -35,6 +35,10 @@ pub struct Completion {
     /// see [`MccpError::is_retryable`] — are safe to resubmit elsewhere:
     /// no output ever left the engine.
     pub fault: Option<MccpError>,
+    /// The channel's key epoch at submission time: a packet in flight
+    /// across a [`ChannelBackend::rekey_channel`] finishes on the epoch
+    /// (and key) it started with.
+    pub epoch: u32,
 }
 
 /// One quarantined core, as reported by [`ChannelBackend::health`].
@@ -119,6 +123,57 @@ pub trait ChannelBackend {
     /// service plane's generational slab ids exist precisely so a stale
     /// handle can never address a recycled slot.
     fn close_channel(&mut self, channel: ChannelId) -> Result<(), MccpError>;
+
+    /// OPEN with a modeled channel-establishment cost: identical to
+    /// [`open_channel`](Self::open_channel), except submissions on the new
+    /// channel are refused with [`MccpError::HandshakePending`] until the
+    /// engine clock passes `now() + handshake_cycles` (the ECC
+    /// scalar-multiplication budget; see
+    /// `mccp_core::model::ECC_SCALAR_MULT_CYCLES`). The handshake runs on
+    /// the platform's asymmetric unit, not a Cryptographic Core — other
+    /// channels keep serving throughout, which is what lets a scheduler
+    /// hide establishment behind live traffic.
+    fn open_channel_handshake(
+        &mut self,
+        algorithm: Algorithm,
+        key: &[u8],
+        tag_len: usize,
+        handshake_cycles: u64,
+    ) -> Result<ChannelId, MccpError>;
+
+    /// REKEY: rotates a live channel onto new session-key bytes, bumping
+    /// its epoch (returned). In-flight packets finish on the old key and
+    /// carry their submission epoch in [`Completion::epoch`]; submissions
+    /// accepted after this call use the new key. The old key is zeroized
+    /// once the last old-epoch request drains — never earlier, never from
+    /// the tick path.
+    fn rekey_channel(&mut self, channel: ChannelId, new_key: &[u8]) -> Result<u32, MccpError>;
+
+    /// The channel's current key epoch (0 until the first rekey).
+    fn channel_epoch(&self, channel: ChannelId) -> Result<u32, MccpError>;
+
+    /// ENCRYPT/DECRYPT pinned to a key epoch: exactly
+    /// [`submit_packet`](Self::submit_packet), except the submission is
+    /// refused with [`MccpError::StaleEpoch`] when `epoch` is not the
+    /// channel's current one — *before* any core reservation, nonce or
+    /// packet accounting. A delayed or replayed frame carrying a retired
+    /// epoch burns nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_packet_epoch(
+        &mut self,
+        channel: ChannelId,
+        epoch: u32,
+        direction: Direction,
+        iv: &[u8],
+        aad: &[u8],
+        body: &[u8],
+        tag: Option<&[u8]>,
+    ) -> Result<RequestId, MccpError> {
+        if self.channel_epoch(channel)? != epoch {
+            return Err(MccpError::StaleEpoch);
+        }
+        self.submit_packet(channel, direction, iv, aad, body, tag)
+    }
 
     /// ENCRYPT/DECRYPT: submits one packet on a channel.
     ///
@@ -229,6 +284,51 @@ impl ChannelBackend for Mccp {
         Ok(())
     }
 
+    fn open_channel_handshake(
+        &mut self,
+        algorithm: Algorithm,
+        key: &[u8],
+        tag_len: usize,
+        handshake_cycles: u64,
+    ) -> Result<ChannelId, MccpError> {
+        let kid = (1..=u8::MAX)
+            .map(KeyId)
+            .find(|&k| !self.key_memory_mut().contains(k))
+            .ok_or(MccpError::BadKey)?;
+        self.key_memory_mut().store(kid, key);
+        self.open_with_handshake(algorithm, kid, tag_len, handshake_cycles)
+    }
+
+    /// Stores the new key under a fresh [`KeyId`], rotates the channel and
+    /// retires the old id: its Key Memory slot (and any per-core cache
+    /// expansion) is zeroized the moment the last request submitted under
+    /// the old epoch drains.
+    fn rekey_channel(&mut self, channel: ChannelId, new_key: &[u8]) -> Result<u32, MccpError> {
+        use mccp_aes::KeySize;
+        let (algorithm, old_key) = {
+            let ch = self.channel(channel)?;
+            (ch.algorithm, ch.key)
+        };
+        if KeySize::from_key_len(new_key.len()) != Some(algorithm.key_size()) {
+            return Err(MccpError::BadKey);
+        }
+        let kid = (1..=u8::MAX)
+            .map(KeyId)
+            .find(|&k| !self.key_memory_mut().contains(k))
+            .ok_or(MccpError::BadKey)?;
+        self.key_memory_mut().store(kid, new_key);
+        if let Err(e) = self.rekey(channel, kid) {
+            self.key_memory_mut().erase(kid);
+            return Err(e);
+        }
+        self.retire_key(old_key);
+        self.epoch_of(channel)
+    }
+
+    fn channel_epoch(&self, channel: ChannelId) -> Result<u32, MccpError> {
+        self.epoch_of(channel)
+    }
+
     fn submit_packet(
         &mut self,
         channel: ChannelId,
@@ -267,6 +367,7 @@ impl ChannelBackend for Mccp {
     fn poll_completion(&mut self) -> Option<Completion> {
         let id = self.poll_data_available()?;
         let latency_cycles = self.request_cycles(id).unwrap_or(0);
+        let epoch = self.requests.get(&id.0).map(|r| r.epoch).unwrap_or(0);
         let (auth_ok, body, tag, fault) = match self.retrieve(id) {
             Ok(out) => (true, out.body, out.tag.unwrap_or_default(), None),
             Err(MccpError::AuthFail) => (false, Vec::new(), Vec::new(), None),
@@ -285,6 +386,7 @@ impl ChannelBackend for Mccp {
             tag,
             latency_cycles,
             fault,
+            epoch,
         })
     }
 

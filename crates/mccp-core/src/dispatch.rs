@@ -35,6 +35,14 @@ pub(crate) struct Channel {
     /// Prefer the two-core CCM schedule on this channel regardless of
     /// `MccpConfig::ccm_two_core` (the `FusedCcm2` pipeline form).
     pub(crate) fused_two_core: bool,
+    /// Key epoch: bumped by every REKEY. Submissions are stamped with the
+    /// epoch they were accepted under, so in-flight packets finish on the
+    /// key they started with while new traffic uses the rotated one.
+    pub(crate) epoch: u32,
+    /// Cycle the channel's modeled asymmetric establishment completes;
+    /// submissions before this horizon are rejected with
+    /// [`MccpError::HandshakePending`]. Zero for instant opens.
+    pub(crate) ready_at: u64,
 }
 
 impl Mccp {
@@ -81,9 +89,43 @@ impl Mccp {
                 cipher,
                 pipeline: None,
                 fused_two_core: false,
+                epoch: 0,
+                ready_at: 0,
             },
         );
         Ok(ChannelId(id))
+    }
+
+    /// OPEN with a modeled channel-establishment phase: the platform's
+    /// asymmetric unit runs the ECC scalar multiplication for
+    /// `handshake_cycles` while the MCCP keeps serving other channels.
+    /// Submissions on this channel before the horizon elapses are refused
+    /// with [`MccpError::HandshakePending`]; nothing is scheduled onto a
+    /// Cryptographic Core for the handshake itself, so live traffic
+    /// overlaps it for free.
+    pub fn open_with_handshake(
+        &mut self,
+        algorithm: Algorithm,
+        key: KeyId,
+        tag_len: usize,
+        handshake_cycles: u64,
+    ) -> Result<ChannelId, MccpError> {
+        let id = self.open_with_cipher(algorithm, key, tag_len, CipherSel::Aes)?;
+        if let Some(c) = self.channels.get_mut(&id.0) {
+            c.ready_at = self.cycle + handshake_cycles;
+        }
+        Ok(id)
+    }
+
+    /// Cycles left until a channel's establishment completes (0 = ready).
+    pub fn handshake_remaining(&self, channel: ChannelId) -> Result<u64, MccpError> {
+        let ch = self.channel(channel)?;
+        Ok(ch.ready_at.saturating_sub(self.cycle))
+    }
+
+    /// The channel's current key epoch (bumped by every rekey).
+    pub fn epoch_of(&self, channel: ChannelId) -> Result<u32, MccpError> {
+        Ok(self.channel(channel)?.epoch)
     }
 
     /// OPEN a pipeline channel: the channel's transform is the graph's
@@ -139,6 +181,8 @@ impl Mccp {
                             tag_len: graph.tag_len,
                         })),
                         fused_two_core: false,
+                        epoch: 0,
+                        ready_at: 0,
                     },
                 );
                 Ok(ChannelId(id))
@@ -171,10 +215,60 @@ impl Mccp {
         match self.channels.get_mut(&channel.0) {
             Some(c) => {
                 c.key = new_key;
+                c.epoch += 1;
                 Ok(())
             }
             None => Err(MccpError::BadChannel),
         }
+    }
+
+    /// Marks a session key for retirement: the Key Memory slot is zeroized
+    /// (and any per-core Key Cache expansion of it wiped) as soon as no
+    /// live channel and no undrained request references it. Until then the
+    /// key stays resident so in-flight packets submitted under the old
+    /// epoch finish on the key they started with.
+    pub fn retire_key(&mut self, key: KeyId) {
+        if !self.retiring_keys.contains(&key) {
+            self.retiring_keys.push(key);
+        }
+        self.reap_retired_keys();
+    }
+
+    /// True while a retired key is still awaiting its last old-epoch
+    /// completion (observable drain point for tests and the service plane).
+    pub fn key_retirement_pending(&self, key: KeyId) -> bool {
+        self.retiring_keys.contains(&key)
+    }
+
+    /// Erases every retired key whose last reference has drained. Runs at
+    /// submission/retirement boundaries only — never from `tick()` — so
+    /// the fast-forward cycle identity is untouched.
+    pub(crate) fn reap_retired_keys(&mut self) {
+        if self.retiring_keys.is_empty() {
+            return;
+        }
+        let retiring = std::mem::take(&mut self.retiring_keys);
+        let mut kept = Vec::new();
+        for k in retiring {
+            let channel_ref = self.channels.values().any(|c| {
+                c.key == k
+                    || c.pipeline
+                        .as_ref()
+                        .is_some_and(|pl| pl.stages.iter().any(|s| s.key == k))
+            });
+            let request_ref = self.requests.values().any(|r| r.key == k);
+            if channel_ref || request_ref {
+                kept.push(k);
+                continue;
+            }
+            self.key_memory.erase(k);
+            for core in &mut self.cores {
+                if core.key_cache.cached_id() == Some(k) {
+                    core.key_cache.wipe();
+                }
+            }
+        }
+        self.retiring_keys = kept;
     }
 
     /// CLOSE: releases a channel.
@@ -219,6 +313,9 @@ impl Mccp {
         tag: Option<&[u8]>,
     ) -> Result<RequestId, MccpError> {
         let ch = self.channel(channel)?.clone();
+        if ch.ready_at > self.cycle {
+            return Err(MccpError::HandshakePending);
+        }
         if let Some(pl) = ch.pipeline.clone() {
             // Pipeline channels carry their whole transform in the graph:
             // AAD and caller-side tags have no stage to run on.
@@ -270,6 +367,9 @@ impl Mccp {
         fmt: FormattedRequest,
     ) -> Result<RequestId, MccpError> {
         let ch = self.channel(channel)?.clone();
+        if ch.ready_at > self.cycle {
+            return Err(MccpError::HandshakePending);
+        }
         let n = self.cores.len();
 
         // Core allocation (personality-matched: Twofish channels dispatch
@@ -439,6 +539,8 @@ impl Mccp {
                 deadline,
                 sequence,
                 pipeline: None,
+                epoch: ch.epoch,
+                key: ch.key,
             },
         );
 
@@ -532,6 +634,9 @@ impl Mccp {
             self.cores[c].output.wipe();
         }
         self.crossbar.release();
+        // A drained request may have been the last reference holding a
+        // retired (pre-rekey) key resident.
+        self.reap_retired_keys();
         Ok(())
     }
 
@@ -638,6 +743,8 @@ impl Mccp {
                     tag: None,
                     prev_core: None,
                 }),
+                epoch: ch.epoch,
+                key: ch.key,
             },
         );
         self.packets_submitted += 1;

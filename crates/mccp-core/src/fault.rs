@@ -87,6 +87,27 @@ impl FaultKind {
             FaultKind::KillShard { .. } => "kill_shard",
         }
     }
+
+    /// Number of fault classes the seeded generators draw from.
+    /// [`FaultKind::variant_index`] is the matching exhaustive match:
+    /// adding a variant without teaching the generator about it fails to
+    /// compile there, and the coverage test pins that every class is
+    /// actually reachable from [`FaultPlan::random_with_shards`].
+    pub const VARIANTS: u32 = 6;
+
+    /// Stable index of this fault class in `0..VARIANTS`. The match is
+    /// deliberately wildcard-free so a new variant cannot be added
+    /// without extending the random generators in lock-step.
+    pub fn variant_index(&self) -> u32 {
+        match self {
+            FaultKind::WedgeCore { .. } => 0,
+            FaultKind::StallCore { .. } => 1,
+            FaultKind::FlipFifoBit { .. } => 2,
+            FaultKind::CorruptKeyCache { .. } => 3,
+            FaultKind::DropDmaWord { .. } => 4,
+            FaultKind::KillShard { .. } => 5,
+        }
+    }
 }
 
 /// One scheduled fault.
@@ -122,11 +143,30 @@ impl FaultPlan {
     /// Generates a reproducible engine-level schedule: `faults` entries
     /// spread over `n_cores` cores, cycle triggers drawn from
     /// `1..cycle_horizon` and packet triggers from `1..=packet_horizon`.
-    /// The same arguments always yield the same plan.
+    /// The same arguments always yield the same plan. Every engine-level
+    /// [`FaultKind`] is reachable; shard kills need a shard count, so use
+    /// [`FaultPlan::random_with_shards`] for cluster soaks.
     pub fn random(
         seed: u64,
         faults: usize,
         n_cores: usize,
+        cycle_horizon: u64,
+        packet_horizon: u64,
+    ) -> Self {
+        FaultPlan::random_with_shards(seed, faults, n_cores, 0, cycle_horizon, packet_horizon)
+    }
+
+    /// Like [`FaultPlan::random`] but covering *every* [`FaultKind`],
+    /// including cluster-level shard kills over `n_shards` shards (pass
+    /// `0` to stay engine-level). The draw runs over
+    /// `0..FaultKind::VARIANTS` and the constructor match is kept in sync
+    /// by [`FaultKind::variant_index`]'s exhaustiveness, so a new fault
+    /// class cannot be silently skipped by chaos soaks.
+    pub fn random_with_shards(
+        seed: u64,
+        faults: usize,
+        n_cores: usize,
+        n_shards: usize,
         cycle_horizon: u64,
         packet_horizon: u64,
     ) -> Self {
@@ -135,7 +175,12 @@ impl FaultPlan {
         let mut entries = Vec::with_capacity(faults);
         for _ in 0..faults {
             let core = rng.gen_range(0..n_cores);
-            let kind = match rng.gen_range(0..5u32) {
+            let mut pick = rng.gen_range(0..FaultKind::VARIANTS);
+            if n_shards == 0 && pick == 5 {
+                // No shards to kill: redraw among the engine-level kinds.
+                pick = rng.gen_range(0..FaultKind::VARIANTS - 1);
+            }
+            let kind = match pick {
                 0 => FaultKind::WedgeCore { core },
                 1 => FaultKind::StallCore {
                     core,
@@ -147,12 +192,20 @@ impl FaultPlan {
                     bit: rng.gen_range(0..32u32) as u8,
                 },
                 3 => FaultKind::CorruptKeyCache { core },
-                _ => FaultKind::DropDmaWord { core },
+                4 => FaultKind::DropDmaWord { core },
+                _ => FaultKind::KillShard {
+                    shard: rng.gen_range(0..n_shards),
+                    after_packets: rng.gen_range(1..=packet_horizon.max(1)),
+                },
             };
+            debug_assert!(kind.variant_index() < FaultKind::VARIANTS);
             // Key-cache corruption is only observable at dispatch, so pin
-            // it to a packet trigger; everything else can fire mid-flight.
+            // it to a packet trigger; shard kills carry their own packet
+            // count and the trigger is ignored by the cluster, but keep it
+            // a packet trigger for symmetry. Everything else can fire
+            // mid-flight.
             let trigger = match kind {
-                FaultKind::CorruptKeyCache { .. } => {
+                FaultKind::CorruptKeyCache { .. } | FaultKind::KillShard { .. } => {
                     FaultTrigger::AtPacket(rng.gen_range(1..=packet_horizon.max(1)))
                 }
                 _ => {
@@ -181,6 +234,142 @@ impl FaultPlan {
                 _ => None,
             })
             .collect()
+    }
+}
+
+/// One attacker-shaped mutation of otherwise-legitimate traffic.
+///
+/// Where [`FaultKind`] models the *hardware* misbehaving, `AdversaryKind`
+/// models the *network* misbehaving: frames that arrive tampered,
+/// replayed, resized, or aimed at channels the attacker should not be
+/// able to reach. Every class must be rejected with a typed error (or a
+/// failed authentication with no plaintext released) and must burn no
+/// nonce — the adversary harness in `mccp-sdr` asserts exactly that on
+/// both engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// XORs `xor` (never zero) into ciphertext byte `byte % len`:
+    /// authenticated decryption must fail and release no plaintext.
+    TamperCiphertext { byte: usize, xor: u8 },
+    /// Flips bit `bit % (8 * tag_len)` of the authentication tag.
+    FlipTagBit { bit: u8 },
+    /// Resubmits an already-delivered frame unchanged — a replayed IV the
+    /// receiver's replay window must reject before the engine sees it.
+    ReplayFrame,
+    /// Drops `bytes` (≥ 1) from the end of the ciphertext, keeping the
+    /// original tag: the length is authenticated, so auth must fail.
+    TruncateFrame { bytes: usize },
+    /// Appends `bytes` (≥ 1) of `fill` to the ciphertext, keeping the
+    /// original tag.
+    ExtendFrame { bytes: usize, fill: u8 },
+    /// Submits a frame tagged with the key epoch the channel already
+    /// rotated past — rejected with
+    /// [`MccpError::StaleEpoch`](crate::MccpError::StaleEpoch) before any
+    /// core, IV, or nonce accounting happens.
+    StaleEpochSubmit,
+    /// Aims a frame at a forged or recycled channel id derived from
+    /// `salt` — the generational id check must reject it even when the
+    /// underlying slot has been reused by a new tenant.
+    ForgeChannelId { salt: u64 },
+}
+
+impl AdversaryKind {
+    /// Number of attack classes; [`AdversaryKind::variant_index`] is the
+    /// matching exhaustive match, keeping [`AdversaryPlan::random`] in
+    /// lock-step with the enum the same way [`FaultKind::VARIANTS`] does
+    /// for hardware faults.
+    pub const VARIANTS: u32 = 7;
+
+    /// Stable index of this attack class in `0..VARIANTS` (wildcard-free
+    /// match — extending the enum forces the generator to follow).
+    pub fn variant_index(&self) -> u32 {
+        match self {
+            AdversaryKind::TamperCiphertext { .. } => 0,
+            AdversaryKind::FlipTagBit { .. } => 1,
+            AdversaryKind::ReplayFrame => 2,
+            AdversaryKind::TruncateFrame { .. } => 3,
+            AdversaryKind::ExtendFrame { .. } => 4,
+            AdversaryKind::StaleEpochSubmit => 5,
+            AdversaryKind::ForgeChannelId { .. } => 6,
+        }
+    }
+
+    /// Short label for reports and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdversaryKind::TamperCiphertext { .. } => "tamper_ciphertext",
+            AdversaryKind::FlipTagBit { .. } => "flip_tag_bit",
+            AdversaryKind::ReplayFrame => "replay_frame",
+            AdversaryKind::TruncateFrame { .. } => "truncate_frame",
+            AdversaryKind::ExtendFrame { .. } => "extend_frame",
+            AdversaryKind::StaleEpochSubmit => "stale_epoch_submit",
+            AdversaryKind::ForgeChannelId { .. } => "forge_channel_id",
+        }
+    }
+}
+
+/// A deterministic, seeded schedule of attack traffic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AdversaryPlan {
+    pub attacks: Vec<AdversaryKind>,
+}
+
+impl AdversaryPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        AdversaryPlan::default()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.attacks.is_empty()
+    }
+
+    /// Adds one attack (builder style).
+    pub fn with(mut self, kind: AdversaryKind) -> Self {
+        self.attacks.push(kind);
+        self
+    }
+
+    /// Generates a reproducible attack schedule. The first
+    /// [`AdversaryKind::VARIANTS`] entries walk every attack class once —
+    /// so even a short plan exercises the whole surface — and the
+    /// remainder draws uniformly. The same arguments always yield the
+    /// same plan.
+    pub fn random(seed: u64, attacks: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut list = Vec::with_capacity(attacks);
+        for i in 0..attacks {
+            let pick = if (i as u64) < AdversaryKind::VARIANTS as u64 {
+                i as u32
+            } else {
+                rng.gen_range(0..AdversaryKind::VARIANTS)
+            };
+            let kind = match pick {
+                0 => AdversaryKind::TamperCiphertext {
+                    byte: rng.gen_range(0..4096),
+                    xor: rng.gen_range(1..=255u32) as u8,
+                },
+                1 => AdversaryKind::FlipTagBit {
+                    bit: rng.gen_range(0..128u32) as u8,
+                },
+                2 => AdversaryKind::ReplayFrame,
+                3 => AdversaryKind::TruncateFrame {
+                    bytes: rng.gen_range(1..=16),
+                },
+                4 => AdversaryKind::ExtendFrame {
+                    bytes: rng.gen_range(1..=16),
+                    fill: rng.gen_range(0..=255u32) as u8,
+                },
+                5 => AdversaryKind::StaleEpochSubmit,
+                _ => AdversaryKind::ForgeChannelId {
+                    salt: rng.gen_range(0..u64::MAX),
+                },
+            };
+            debug_assert!(kind.variant_index() < AdversaryKind::VARIANTS);
+            list.push(kind);
+        }
+        AdversaryPlan { attacks: list }
     }
 }
 
@@ -274,6 +463,64 @@ mod tests {
             match e.trigger {
                 FaultTrigger::AtCycle(c) => assert!((1..10_000).contains(&c)),
                 FaultTrigger::AtPacket(p) => assert!((1..=20).contains(&p)),
+            }
+        }
+    }
+
+    #[test]
+    fn random_covers_every_engine_level_kind() {
+        // Satellite contract: the seeded generator must be able to emit
+        // every fault class, so chaos soaks can't silently skip one.
+        let plan = FaultPlan::random(3, 512, 4, 100_000, 64);
+        let mut seen = [false; FaultKind::VARIANTS as usize];
+        for e in &plan.entries {
+            seen[e.kind.variant_index() as usize] = true;
+        }
+        for (i, hit) in seen.iter().enumerate().take(5) {
+            assert!(hit, "engine-level fault class {i} never generated");
+        }
+        assert!(!seen[5], "no shard kills when n_shards == 0");
+    }
+
+    #[test]
+    fn random_with_shards_covers_every_kind() {
+        let plan = FaultPlan::random_with_shards(3, 512, 4, 2, 100_000, 64);
+        let mut seen = [false; FaultKind::VARIANTS as usize];
+        for e in &plan.entries {
+            seen[e.kind.variant_index() as usize] = true;
+            if let FaultKind::KillShard { shard, .. } = e.kind {
+                assert!(shard < 2, "{e:?}");
+            }
+        }
+        for (i, hit) in seen.iter().enumerate() {
+            assert!(hit, "fault class {i} never generated");
+        }
+        assert!(!plan.shard_kills().is_empty());
+    }
+
+    #[test]
+    fn adversary_plans_are_deterministic_and_exhaustive() {
+        let a = AdversaryPlan::random(11, 64);
+        let b = AdversaryPlan::random(11, 64);
+        assert_eq!(a, b);
+        assert_ne!(a, AdversaryPlan::random(12, 64), "seeds diverge");
+        // The leading deck walks every attack class once, so even the
+        // shortest full plan exercises the whole surface.
+        let short = AdversaryPlan::random(0, AdversaryKind::VARIANTS as usize);
+        let mut seen = [false; AdversaryKind::VARIANTS as usize];
+        for k in &short.attacks {
+            seen[k.variant_index() as usize] = true;
+        }
+        for (i, hit) in seen.iter().enumerate() {
+            assert!(hit, "attack class {i} never generated");
+        }
+        // Structural invariants the harness relies on.
+        for k in a.attacks.iter().chain(&short.attacks) {
+            match *k {
+                AdversaryKind::TamperCiphertext { xor, .. } => assert_ne!(xor, 0),
+                AdversaryKind::TruncateFrame { bytes }
+                | AdversaryKind::ExtendFrame { bytes, .. } => assert!(bytes >= 1),
+                _ => {}
             }
         }
     }

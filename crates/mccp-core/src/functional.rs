@@ -261,6 +261,12 @@ struct FunctionalChannel {
     /// Stage-chain transform for pipeline channels (the graph itself is
     /// the datapath here — no cores to map stages onto).
     pipeline: Option<PipelineGraph>,
+    /// Key epoch, bumped by every rekey (mirrors the cycle engine's
+    /// channel epoch; completions are stamped with it at submission).
+    epoch: u32,
+    /// Virtual-clock cycle the channel's modeled establishment completes;
+    /// submissions before it are refused with `HandshakePending`.
+    ready_at: u64,
 }
 
 /// The functional engine behind the [`ChannelBackend`] trait: the same
@@ -343,6 +349,8 @@ impl FunctionalBackend {
                 key: graph.fused_key().unwrap_or_default().to_vec(),
                 tag_len: graph.tag_len,
                 pipeline: None,
+                epoch: 0,
+                ready_at: 0,
             },
             // The algorithm field is bookkeeping only for stage chains
             // (telemetry labels); the graph drives the processing.
@@ -351,6 +359,8 @@ impl FunctionalBackend {
                 key: Vec::new(),
                 tag_len: graph.tag_len,
                 pipeline: Some(graph.clone()),
+                epoch: 0,
+                ready_at: 0,
             },
         };
         self.channels.insert(id, ch);
@@ -410,19 +420,66 @@ impl ChannelBackend for FunctionalBackend {
                 key: key.to_vec(),
                 tag_len,
                 pipeline: None,
+                epoch: 0,
+                ready_at: 0,
             },
         );
         Ok(ChannelId(id))
+    }
+
+    fn open_channel_handshake(
+        &mut self,
+        algorithm: Algorithm,
+        key: &[u8],
+        tag_len: usize,
+        handshake_cycles: u64,
+    ) -> Result<ChannelId, MccpError> {
+        let id = self.open_channel(algorithm, key, tag_len)?;
+        if let Some(ch) = self.channels.get_mut(&id.0) {
+            ch.ready_at = self.now + handshake_cycles;
+        }
+        Ok(id)
+    }
+
+    /// Rotates the channel's key bytes in place: the replaced key is
+    /// zeroized immediately (processing is synchronous here, so nothing
+    /// can still be in flight on it) and its expanded context is dropped
+    /// from the warm set.
+    fn rekey_channel(&mut self, channel: ChannelId, new_key: &[u8]) -> Result<u32, MccpError> {
+        let ch = self
+            .channels
+            .get_mut(&channel.0)
+            .ok_or(MccpError::BadChannel)?;
+        if new_key.len() != ch.algorithm.key_size().key_bytes() {
+            return Err(MccpError::BadKey);
+        }
+        let old = std::mem::replace(&mut ch.key, new_key.to_vec());
+        ch.epoch += 1;
+        let epoch = ch.epoch;
+        self.cache.remove(&old);
+        let mut old = old;
+        old.fill(0);
+        Ok(epoch)
+    }
+
+    fn channel_epoch(&self, channel: ChannelId) -> Result<u32, MccpError> {
+        self.channels
+            .get(&channel.0)
+            .map(|c| c.epoch)
+            .ok_or(MccpError::BadChannel)
     }
 
     fn close_channel(&mut self, channel: ChannelId) -> Result<(), MccpError> {
         if self.completions.iter().any(|(ch, _)| *ch == channel.0) {
             return Err(MccpError::Busy);
         }
-        self.channels
+        let mut ch = self
+            .channels
             .remove(&channel.0)
-            .map(|_| ())
-            .ok_or(MccpError::BadChannel)
+            .ok_or(MccpError::BadChannel)?;
+        self.cache.remove(&ch.key);
+        ch.key.fill(0);
+        Ok(())
     }
 
     fn submit_packet(
@@ -440,6 +497,10 @@ impl ChannelBackend for FunctionalBackend {
         // hash probe; a miss re-expands the schedule and may age out the
         // least-recently-used key.
         let ch = self.channels.get(&channel.0).ok_or(MccpError::BadChannel)?;
+        if ch.ready_at > self.now {
+            return Err(MccpError::HandshakePending);
+        }
+        let epoch = ch.epoch;
         // Pipeline channels carry their whole transform in the graph: AAD
         // and caller-side tags have no stage to run on (mirrors the
         // cycle-accurate engine's pipeline admission).
@@ -495,6 +556,7 @@ impl ChannelBackend for FunctionalBackend {
                     tag: Vec::new(),
                     latency_cycles: 0,
                     fault: Some(error),
+                    epoch,
                 },
             ));
             return Ok(id);
@@ -548,6 +610,7 @@ impl ChannelBackend for FunctionalBackend {
                 tag: out_tag,
                 latency_cycles: 0,
                 fault: None,
+                epoch,
             },
         ));
         Ok(id)

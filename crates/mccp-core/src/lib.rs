@@ -51,7 +51,7 @@ mod scheduler;
 pub mod warmcache;
 
 pub use backend::{ChannelBackend, Completion, CoreHealth, EngineHealth};
-pub use fault::{FaultKind, FaultPlan, FaultTrigger};
+pub use fault::{AdversaryKind, AdversaryPlan, FaultKind, FaultPlan, FaultTrigger};
 pub use format::{Direction, ProcessedPacket};
 pub use functional::FunctionalBackend;
 pub use mccp::{DecryptedPacket, EncryptedPacket, Mccp, MccpConfig};

@@ -32,7 +32,7 @@ use crate::fault::{FaultPlan, FaultState};
 use crate::firmware::FirmwareLibrary;
 use crate::format::Direction;
 use crate::key::{KeyMemory, KeyScheduler};
-use crate::protocol::{ChannelId, MccpError, RequestId};
+use crate::protocol::{ChannelId, KeyId, MccpError, RequestId};
 use crate::reconfig::{PolicyEngine, ReconfigController};
 use crate::scheduler::{ReqState, Request};
 use mccp_telemetry::{metrics, Event, Snapshot, Telemetry};
@@ -120,6 +120,9 @@ pub struct Mccp {
     pub(crate) pending_dma_drops: Vec<usize>,
     /// Accepted submissions, 1-based (drives `FaultTrigger::AtPacket`).
     pub(crate) packets_submitted: u64,
+    /// Rekeyed-away session keys awaiting erase: each is zeroized the
+    /// moment no channel binding and no undrained request names it.
+    pub(crate) retiring_keys: Vec<KeyId>,
     /// Per-channel packet ordinals (1-based), for failure attribution.
     pub(crate) channel_seq: BTreeMap<u8, u64>,
     /// Stage-attribution accumulators for the cycle profiler, per core.
@@ -168,6 +171,7 @@ impl Mccp {
             watchdog_margin: None,
             pending_dma_drops: Vec::new(),
             packets_submitted: 0,
+            retiring_keys: Vec::new(),
             channel_seq: BTreeMap::new(),
             stage_key_expand: vec![0; config.n_cores],
             stage_reconfig_stall: vec![0; config.n_cores],

@@ -88,6 +88,20 @@ pub fn theoretical_mbps(schedule: Schedule, key: KeySize) -> u32 {
     stream_mbps(schedule, key) as u32 * schedule.streams()
 }
 
+/// Modeled cost of one channel establishment: an ECC scalar
+/// multiplication on the platform's asymmetric unit, expressed in MCCP
+/// clock cycles so the scheduler can hide it behind live traffic.
+///
+/// The ECC-on-FPGA evaluation (Agarwal et al., arXiv:1401.3421) places a
+/// GF(2^163) point multiplication at roughly two hundred microseconds on
+/// embedded-class fabric — about 30–50× the MCCP's worst-case 2 KiB
+/// GCM packet service time. At the paper's 190 MHz clock that ratio
+/// lands the handshake at ~40k cycles, which is what we charge: long
+/// enough that serializing establishments would visibly dent throughput,
+/// short enough that a scheduler overlapping them with traffic hides the
+/// cost entirely.
+pub const ECC_SCALAR_MULT_CYCLES: u64 = 40_000;
+
 /// Throughput of a finite packet given a measured per-packet overhead
 /// (pre/post-loop cycles), for analysis and ablation.
 pub fn packet_mbps(

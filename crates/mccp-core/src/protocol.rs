@@ -263,6 +263,8 @@ pub mod ret {
     pub const ERR_DEADLINE: u8 = 0xF6;
     pub const ERR_INTEGRITY: u8 = 0xF7;
     pub const ERR_KEY_CORRUPT: u8 = 0xF8;
+    pub const ERR_STALE_EPOCH: u8 = 0xF9;
+    pub const ERR_HANDSHAKE_PENDING: u8 = 0xFA;
     pub const ERR_BAD_INSTRUCTION: u8 = 0xFF;
 }
 
@@ -298,6 +300,14 @@ pub enum MccpError {
     /// A core's Key Cache failed its integrity check; the cache has been
     /// wiped and a resubmission re-expands from the Key Memory.
     KeyCorrupt,
+    /// The submission was tagged with a key epoch the channel has already
+    /// rotated past. Rejected before any core, IV or nonce accounting is
+    /// touched — a replayed or attacker-delayed frame burns nothing.
+    StaleEpoch,
+    /// The channel's modeled asymmetric establishment (ECC scalar
+    /// multiplication) has not completed yet; resubmit after the engine
+    /// advances past the handshake horizon.
+    HandshakePending,
 }
 
 impl MccpError {
@@ -315,6 +325,8 @@ impl MccpError {
             MccpError::Deadline => ret::ERR_DEADLINE,
             MccpError::DataIntegrity => ret::ERR_INTEGRITY,
             MccpError::KeyCorrupt => ret::ERR_KEY_CORRUPT,
+            MccpError::StaleEpoch => ret::ERR_STALE_EPOCH,
+            MccpError::HandshakePending => ret::ERR_HANDSHAKE_PENDING,
         }
     }
 
@@ -347,6 +359,8 @@ impl fmt::Display for MccpError {
             MccpError::Deadline => "watchdog deadline exceeded",
             MccpError::DataIntegrity => "FIFO parity error: data corrupted in flight",
             MccpError::KeyCorrupt => "key cache integrity check failed",
+            MccpError::StaleEpoch => "submission tagged with a retired key epoch",
+            MccpError::HandshakePending => "channel establishment (handshake) still in progress",
         };
         f.write_str(s)
     }

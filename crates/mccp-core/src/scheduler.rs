@@ -76,6 +76,13 @@ pub(crate) struct Request {
     /// Pipeline-graph progress for multi-stage requests (`None` for the
     /// classic single-transform requests).
     pub(crate) pipeline: Option<crate::pipeline::PipelinePlan>,
+    /// Key epoch the submission was accepted under: the completion is
+    /// tagged with it, and a rekey never touches an in-flight request.
+    pub(crate) epoch: u32,
+    /// The session key the request was bound to at submission — the
+    /// reference that keeps a retired key resident until the last
+    /// old-epoch packet drains.
+    pub(crate) key: crate::protocol::KeyId,
 }
 
 impl Mccp {

@@ -24,6 +24,7 @@
 //!   admission control, and an LRU warm set of engine bindings, so
 //!   100k+ mostly-idle sessions are held open safely and cheaply.
 
+pub mod adversary;
 pub mod channel;
 pub mod cluster;
 pub mod driver;
@@ -34,6 +35,7 @@ pub mod slab;
 pub mod standards;
 pub mod workload;
 
+pub use adversary::{run_adversary_suite, AdversaryReport};
 pub use channel::SecureChannel;
 pub use cluster::{ClusterConfig, ClusterReport, MccpCluster, ShardReport};
 pub use driver::{PacketRecord, RadioDriver, RunReport, VerifyError, VerifyErrorKind};

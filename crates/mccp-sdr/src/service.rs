@@ -22,6 +22,13 @@
 //! * **IV discipline** — every open draws a fresh salt from a monotonic
 //!   sequence, so a recycled slot never re-issues an IV even under an
 //!   identical key; IVs are committed at admission, in queue order.
+//! * **Key lifecycle** — [`MccpService::rekey`] rotates a session key
+//!   live: the rotation is a FIFO marker, so packets admitted before it
+//!   finish under the old key/epoch and packets after it under the new,
+//!   with zero drops and zero nonce reuse (the IV counter runs on).
+//!   Opens can carry a modeled ECC handshake cost
+//!   ([`ServiceConfig::handshake_cycles`]) admitted through the same QoS
+//!   watermarks and overlapped with live traffic by the engine.
 //! * **Delivery** — completions are tagged with the *submit-time*
 //!   [`ServiceChannelId`] carried through the engine, never the slot's
 //!   current occupant, so a drained-and-recycled slot cannot receive
@@ -62,6 +69,13 @@ pub struct ServiceConfig {
     pub admission: AdmissionConfig,
     /// Cycles each shard's engine may advance per pump while it has work.
     pub step_bound: u64,
+    /// Modeled channel-establishment cost in engine cycles (the ECC
+    /// scalar multiplication of [`mccp_core::model::ECC_SCALAR_MULT_CYCLES`]).
+    /// `None` keeps the legacy instant open. When set, every open runs
+    /// through QoS admission (a flash crowd of opens sheds best-effort
+    /// before critical) and the engine overlaps the handshake with live
+    /// traffic instead of stalling it.
+    pub handshake_cycles: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +87,7 @@ impl Default for ServiceConfig {
             warm_set_capacity: 64,
             admission: AdmissionConfig::default(),
             step_bound: 4096,
+            handshake_cycles: None,
         }
     }
 }
@@ -108,6 +123,10 @@ pub struct Delivery {
     /// software oracle need it; it is not secret).
     pub iv: Vec<u8>,
     pub auth_ok: bool,
+    /// The channel key epoch the ciphertext was produced under — callers
+    /// verifying against a software oracle pick the matching key of a
+    /// rotation history with it.
+    pub epoch: u32,
     /// Ciphertext.
     pub body: Vec<u8>,
     /// Authentication tag (empty for unauthenticated modes).
@@ -144,10 +163,37 @@ struct QueuedPacket {
     user_tag: u64,
 }
 
+/// One entry of a shard's FIFO ingestion queue. Lifecycle transitions
+/// ride the same queue as traffic, so their ordering relative to packets
+/// is *exact*: every packet admitted before a [`QueueItem::Rekey`] marker
+/// reaches the engine under the old key and epoch, everything after under
+/// the new — no drops, no ambiguity, no nonce reuse (the IV counter runs
+/// on across the rotation).
+enum QueueItem {
+    Packet(QueuedPacket),
+    /// Key-rotation marker: when it drains, the channel's epoch bumps,
+    /// the old key is zeroized, and a warm engine binding is rekeyed in
+    /// place (in-flight engine work finishes on the old key — the cycle
+    /// engine binds keys at submit).
+    Rekey {
+        id: ServiceChannelId,
+        new_key: Vec<u8>,
+    },
+    /// Establishment marker: when it drains, the engine starts the
+    /// modeled ECC handshake for the channel; packets reaching the engine
+    /// before the handshake horizon passes are requeued, not dropped.
+    Handshake {
+        id: ServiceChannelId,
+    },
+}
+
 /// A packet the engine has accepted; keyed by the engine's [`RequestId`].
 struct InFlight {
     id: ServiceChannelId,
     class: QosClass,
+    /// Channel key epoch at engine-accept time (the key the ciphertext is
+    /// actually produced under).
+    epoch: u32,
     iv: Vec<u8>,
     user_tag: u64,
 }
@@ -155,7 +201,7 @@ struct InFlight {
 struct ServiceShard<B> {
     backend: B,
     slab: ChannelSlab,
-    queue: VecDeque<QueuedPacket>,
+    queue: VecDeque<QueueItem>,
     /// Warm engine bindings: service channel → engine handle.
     bindings: WarmCache<ServiceChannelId, ChannelId>,
     pending: HashMap<RequestId, InFlight>,
@@ -169,6 +215,7 @@ impl<B: ChannelBackend> ServiceShard<B> {
         &mut self,
         id: ServiceChannelId,
         warm_capacity: usize,
+        handshake_cycles: Option<u64>,
         counters: &mut ServiceCounters,
     ) -> Result<ChannelId, MccpError> {
         if self.bindings.peek(&id).is_some() {
@@ -201,9 +248,20 @@ impl<B: ChannelBackend> ServiceShard<B> {
         }
         let live = self.slab.get(id).expect("caller validated id");
         let profile = live.standard.profile();
-        let handle = self
-            .backend
-            .open_channel(profile.algorithm, &live.key, profile.tag_len)?;
+        // An unestablished channel pays the modeled ECC handshake on its
+        // first binding; the engine runs it on the asymmetric unit, off
+        // the crypto cores, so live traffic overlaps with it for free.
+        let handle = match (live.established, handshake_cycles) {
+            (false, Some(hs)) => self.backend.open_channel_handshake(
+                profile.algorithm,
+                &live.key,
+                profile.tag_len,
+                hs,
+            )?,
+            _ => self
+                .backend
+                .open_channel(profile.algorithm, &live.key, profile.tag_len)?,
+        };
         self.bindings.get_or_insert_with(&id, || handle);
         Ok(handle)
     }
@@ -274,6 +332,7 @@ impl<B: ChannelBackend> ServiceShard<B> {
                             user_tag: inf.user_tag,
                             iv: inf.iv,
                             auth_ok: c.auth_ok,
+                            epoch: inf.epoch,
                             body: c.body,
                             tag: c.tag,
                             latency_cycles: c.latency_cycles,
@@ -316,25 +375,67 @@ impl<B: ChannelBackend> ServiceShard<B> {
             .effective_drain_budget(cfg.drain_budget)
             .min(self.queue.len());
         for _ in 0..budget {
-            let pkt = self.queue.pop_front().expect("budget <= len");
+            let pkt = match self.queue.pop_front().expect("budget <= len") {
+                QueueItem::Rekey { id, mut new_key } => {
+                    // FIFO position *is* the epoch boundary: every packet
+                    // ahead of this marker has already reached the engine
+                    // under the old key.
+                    match self.slab.get_mut(id) {
+                        Err(_) => {
+                            // Channel drained away first; the key never
+                            // got installed anywhere, scrub our copy.
+                            new_key.iter_mut().for_each(|b| *b = 0);
+                        }
+                        Ok(live) => {
+                            live.key.iter_mut().for_each(|b| *b = 0);
+                            live.key = new_key;
+                            live.epoch += 1;
+                            let key = live.key.clone();
+                            counters.rekeys += 1;
+                            if let Some(handle) = self.bindings.peek(&id).copied() {
+                                // In-flight engine work still finishes on
+                                // the old key (the engines bind keys at
+                                // submit); only new submissions see this.
+                                let _ = self.backend.rekey_channel(handle, &key);
+                            }
+                        }
+                    }
+                    continue;
+                }
+                QueueItem::Handshake { id } => {
+                    let needs = matches!(self.slab.get(id), Ok(l) if !l.established);
+                    if needs
+                        && self
+                            .bind(id, cfg.warm_set_capacity, cfg.handshake_cycles, counters)
+                            .is_ok()
+                    {
+                        self.slab.get_mut(id).expect("live").established = true;
+                        counters.handshakes += 1;
+                    }
+                    continue;
+                }
+                QueueItem::Packet(pkt) => pkt,
+            };
             // `queued > 0` pins the slot for the whole time the packet is
             // being placed — it only drops once the packet reaches a
             // terminal state (accepted by the engine, or abandoned), so a
             // draining channel can never free underneath us even when
             // `collect` runs inside the backpressure retry loop below.
-            let class = match self.slab.get(pkt.id) {
+            let pid = pkt.id;
+            let class = match self.slab.get(pid) {
                 Err(_) => {
                     counters.stale_drops += 1;
                     continue;
                 }
                 Ok(live) => live.class,
             };
-            let handle = match self.bind(pkt.id, cfg.warm_set_capacity, counters) {
+            let handle = match self.bind(pid, cfg.warm_set_capacity, cfg.handshake_cycles, counters)
+            {
                 Ok(h) => h,
                 Err(_) => {
                     counters.abandoned += 1;
                     slo.record_abandonment(class.index() as u8, self.backend.now());
-                    self.settle_unplaced(pkt.id, counters);
+                    self.settle_unplaced(pid, counters);
                     continue;
                 }
             };
@@ -343,6 +444,7 @@ impl<B: ChannelBackend> ServiceShard<B> {
             // guaranteed while the engine drains; the guard turns a wedged
             // engine into an abandoned packet instead of a hung service.
             let mut accepted = false;
+            let mut requeued = false;
             for _ in 0..100_000 {
                 match self.backend.submit_packet(
                     handle,
@@ -353,16 +455,20 @@ impl<B: ChannelBackend> ServiceShard<B> {
                     None,
                 ) {
                     Ok(req) => {
+                        // Epoch read at accept time: the binding's key was
+                        // rekeyed in lock-step with `live.epoch`, so this
+                        // tag names the key the ciphertext is under.
+                        let live = self.slab.get_mut(pid).expect("queued pins the slot");
                         self.pending.insert(
                             req,
                             InFlight {
-                                id: pkt.id,
+                                id: pid,
                                 class,
+                                epoch: live.epoch,
                                 iv: pkt.iv.clone(),
                                 user_tag: pkt.user_tag,
                             },
                         );
-                        let live = self.slab.get_mut(pkt.id).expect("queued pins the slot");
                         live.queued -= 1;
                         live.in_flight += 1;
                         accepted = true;
@@ -372,13 +478,27 @@ impl<B: ChannelBackend> ServiceShard<B> {
                         self.backend.step(cfg.step_bound);
                         self.collect(counters, slo, out);
                     }
+                    Err(MccpError::HandshakePending) => {
+                        // Establishment still running on the asymmetric
+                        // unit: nudge the clock and requeue behind other
+                        // traffic, which keeps flowing — the handshake is
+                        // overlapped, never a head-of-line stall.
+                        self.collect(counters, slo, out);
+                        self.backend.step(cfg.step_bound);
+                        self.queue.push_back(QueueItem::Packet(pkt));
+                        requeued = true;
+                        break;
+                    }
                     Err(_) => break,
                 }
+            }
+            if requeued {
+                continue;
             }
             if !accepted {
                 counters.abandoned += 1;
                 slo.record_abandonment(class.index() as u8, self.backend.now());
-                self.settle_unplaced(pkt.id, counters);
+                self.settle_unplaced(pid, counters);
             }
         }
         if self.backend.in_flight() > 0 {
@@ -481,13 +601,33 @@ impl<B: ChannelBackend> MccpService<B> {
         key: &[u8],
     ) -> Result<ServiceChannelId, ServiceError> {
         let shard = (self.placed % self.shards.len() as u64) as usize;
+        let class = qos_class(standard);
+        if self.config.handshake_cycles.is_some() {
+            // An establishment costs a modeled ECC scalar multiplication,
+            // so opens are admitted like traffic: a flash crowd of them
+            // sheds best-effort channels first and critical ones last.
+            let s = &self.shards[shard];
+            let cfg_budget = s.effective_drain_budget(self.config.drain_budget);
+            if let Err(AdmitError::Busy { retry_after_pumps }) = self.config.admission.admit(
+                class,
+                s.queue.len(),
+                self.config.queue_capacity,
+                cfg_budget,
+            ) {
+                self.counters.classes[class.index()].shed += 1;
+                self.counters.handshake_sheds += 1;
+                return Err(ServiceError::Busy { retry_after_pumps });
+            }
+        }
         self.salt_seq = self.salt_seq.wrapping_add(1);
         let profile = standard.profile();
         let live = LiveChannel {
             standard,
             chan: SecureChannel::new(profile, KeyId(0), self.salt_seq),
             key: key.to_vec(),
-            class: qos_class(standard),
+            class,
+            epoch: 0,
+            established: self.config.handshake_cycles.is_none(),
             in_flight: 0,
             queued: 0,
             draining: false,
@@ -497,9 +637,47 @@ impl<B: ChannelBackend> MccpService<B> {
             .slab
             .insert(live)
             .map_err(|_| ServiceError::SlabFull)?;
+        if self.config.handshake_cycles.is_some() {
+            // The marker rides the FIFO ahead of any packet this channel
+            // can enqueue, so the engine-side handshake always starts
+            // before its first submission arrives.
+            self.shards[shard]
+                .queue
+                .push_back(QueueItem::Handshake { id });
+        }
         self.placed += 1;
         self.counters.opened += 1;
         Ok(id)
+    }
+
+    /// REKEY: rotates the channel's session key live. The rotation is a
+    /// marker in the shard's FIFO: every packet admitted before this call
+    /// reaches the engine under the old key and epoch, every packet
+    /// admitted after under the new — zero drops, and zero nonce reuse
+    /// because the IV counter runs on across the boundary. The old key is
+    /// zeroized when the marker drains; in-flight engine work finishes on
+    /// the old key (the engines bind keys at submit).
+    pub fn rekey(&mut self, id: ServiceChannelId, new_key: &[u8]) -> Result<(), ServiceError> {
+        let shard = self.shards.get_mut(id.shard()).ok_or(ServiceError::Stale)?;
+        let live = match shard.slab.get(id) {
+            Ok(l) => l,
+            Err(_) => {
+                self.counters.stale_rejects += 1;
+                return Err(ServiceError::Stale);
+            }
+        };
+        if live.draining {
+            return Err(ServiceError::Draining);
+        }
+        let wanted = live.standard.profile().algorithm.key_size().key_bytes();
+        if new_key.len() != wanted {
+            return Err(ServiceError::Backend(MccpError::BadKey));
+        }
+        shard.queue.push_back(QueueItem::Rekey {
+            id,
+            new_key: new_key.to_vec(),
+        });
+        Ok(())
     }
 
     /// CLOSE: marks the channel draining. New submissions are refused
@@ -557,13 +735,13 @@ impl<B: ChannelBackend> MccpService<B> {
         live.queued += 1;
         live.stats.admitted += 1;
         self.counters.classes[class.index()].admitted += 1;
-        shard.queue.push_back(QueuedPacket {
+        shard.queue.push_back(QueueItem::Packet(QueuedPacket {
             id,
             iv,
             aad: aad.to_vec(),
             body: payload.to_vec(),
             user_tag,
-        });
+        }));
         Ok(())
     }
 
@@ -866,6 +1044,107 @@ mod tests {
             .unwrap();
         assert_eq!(crit.packets, 3);
         assert_eq!(crit.target_permille, 999);
+    }
+
+    #[test]
+    fn live_rekey_is_epoch_exact_and_lossless() {
+        // The same rekey sequence on both engines: packets admitted before
+        // the rotation deliver under epoch 0, after under epoch 1, nothing
+        // drops, ciphertext stays byte-identical across engines.
+        let mut f = functional_service(ServiceConfig::default());
+        let mut c = cycle_service(ServiceConfig::default());
+        let k0 = [0x11u8; 16];
+        let k1 = [0x99u8; 16];
+        let fid = f.open(Standard::Wifi, &k0).unwrap();
+        let cid = c.open(Standard::Wifi, &k0).unwrap();
+        for tag in 0..3u64 {
+            f.submit(fid, b"hd", &[7u8; 80], tag).unwrap();
+            c.submit(cid, b"hd", &[7u8; 80], tag).unwrap();
+        }
+        f.rekey(fid, &k1).unwrap();
+        c.rekey(cid, &k1).unwrap();
+        for tag in 3..6u64 {
+            f.submit(fid, b"hd", &[7u8; 80], tag).unwrap();
+            c.submit(cid, b"hd", &[7u8; 80], tag).unwrap();
+        }
+        let mut fo = f.quiesce(1024);
+        let mut co = c.quiesce(1024);
+        fo.sort_by_key(|d| d.user_tag);
+        co.sort_by_key(|d| d.user_tag);
+        assert_eq!(fo.len(), 6, "zero drops across the rotation");
+        assert_eq!(co.len(), 6);
+        for (a, b) in fo.iter().zip(co.iter()) {
+            let want_epoch = if a.user_tag < 3 { 0 } else { 1 };
+            assert_eq!(a.epoch, want_epoch, "tag {}", a.user_tag);
+            assert_eq!(b.epoch, want_epoch);
+            assert_eq!(a.iv, b.iv);
+            assert_eq!(a.body, b.body, "engines diverge at tag {}", a.user_tag);
+            assert_eq!(a.tag, b.tag);
+        }
+        // IVs never repeat across the rotation (the counter runs on).
+        let ivs: std::collections::HashSet<_> = fo.iter().map(|d| d.iv.clone()).collect();
+        assert_eq!(ivs.len(), 6, "zero nonce reuse");
+        assert_eq!(f.counters().rekeys, 1);
+        // Rekey validation: wrong key size and dead channels are refused.
+        assert_eq!(
+            f.rekey(fid, &[1u8; 32]),
+            Err(ServiceError::Backend(MccpError::BadKey))
+        );
+        f.close(fid).unwrap();
+        f.quiesce(64);
+        assert_eq!(f.rekey(fid, &k1), Err(ServiceError::Stale));
+    }
+
+    #[test]
+    fn handshake_flash_crowd_sheds_best_effort_before_critical() {
+        let mut svc = functional_service(ServiceConfig {
+            shards: 1,
+            queue_capacity: 10,
+            drain_budget: 4,
+            handshake_cycles: Some(mccp_core::model::ECC_SCALAR_MULT_CYCLES),
+            ..ServiceConfig::default()
+        });
+        // A flash crowd of best-effort opens: each queues a handshake
+        // marker, so admission pushes back once the watermark is crossed.
+        let mut opened = 0;
+        let mut shed = 0;
+        for _ in 0..9 {
+            match svc.open(Standard::Umts, &[2u8; 16]) {
+                Ok(_) => opened += 1,
+                Err(ServiceError::Busy { .. }) => shed += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(shed > 0, "flash crowd must hit the watermark");
+        assert!(opened >= 5);
+        // Critical voice still establishes through the same full queue.
+        assert!(svc.open(Standard::SecureVoice, &[3u8; 32]).is_ok());
+        let c = svc.counters();
+        assert_eq!(c.handshake_sheds, shed);
+        assert_eq!(c.classes[QosClass::BestEffort.index()].shed, shed);
+        assert_eq!(c.classes[QosClass::Critical.index()].shed, 0);
+        svc.quiesce(64);
+        assert_eq!(svc.counters().handshakes, opened + 1);
+    }
+
+    #[test]
+    fn handshake_overlaps_with_live_traffic() {
+        // One channel pays the modeled ECC establishment while another is
+        // mid-traffic: the handshaking channel's packet is deferred (not
+        // dropped) and other traffic keeps flowing.
+        let mut svc = cycle_service(ServiceConfig {
+            shards: 1,
+            handshake_cycles: Some(20_000),
+            ..ServiceConfig::default()
+        });
+        let a = svc.open(Standard::Wifi, &[5u8; 16]).unwrap();
+        let b = svc.open(Standard::Wifi, &[6u8; 16]).unwrap();
+        svc.submit(a, b"", &[1u8; 64], 1).unwrap();
+        svc.submit(b, b"", &[2u8; 64], 2).unwrap();
+        let out = svc.quiesce(4096);
+        assert_eq!(out.len(), 2, "handshake defers, never drops");
+        assert_eq!(svc.counters().handshakes, 2);
+        assert_eq!(svc.counters().abandoned, 0);
     }
 
     #[test]

@@ -103,6 +103,15 @@ pub struct LiveChannel {
     pub key: Vec<u8>,
     /// Admission class.
     pub class: QosClass,
+    /// Key epoch: bumps once per completed rekey. Deliveries are tagged
+    /// with the epoch their ciphertext was actually produced under, so a
+    /// caller can verify each packet against the right key even across a
+    /// live rotation.
+    pub epoch: u32,
+    /// False while the channel's modeled handshake (ECC scalar
+    /// multiplication on the asymmetric unit) has not yet been started on
+    /// the engine; the engine gates submissions until it completes.
+    pub established: bool,
     /// Packets submitted to an engine and not yet completed.
     pub in_flight: u32,
     /// Packets admitted but still waiting in the shard queue.
@@ -274,6 +283,8 @@ mod tests {
             chan: SecureChannel::new(standard.profile(), KeyId(1), 7),
             key: vec![0u8; 16],
             class: crate::qos::qos_class(standard),
+            epoch: 0,
+            established: true,
             in_flight: 0,
             queued: 0,
             draining: false,

@@ -50,6 +50,13 @@ pub struct ServiceCounters {
     pub binding_evictions: u64,
     /// Packets abandoned by the engine (fault plane) after admission.
     pub abandoned: u64,
+    /// Live key rotations completed (epoch bumps).
+    pub rekeys: u64,
+    /// Modeled channel-establishment handshakes started on an engine.
+    pub handshakes: u64,
+    /// Channel opens refused by admission control during a handshake
+    /// flash crowd (also attributed per class in `classes[..].shed`).
+    pub handshake_sheds: u64,
     /// Per-class admission outcomes.
     pub classes: [ClassCounters; CLASS_NAMES.len()],
 }
@@ -80,6 +87,9 @@ impl ServiceCounters {
             self.binding_evictions,
         );
         registry.counter_set("mccp_service_abandoned_total", self.abandoned);
+        registry.counter_set("mccp_service_rekeys_total", self.rekeys);
+        registry.counter_set("mccp_service_handshakes_total", self.handshakes);
+        registry.counter_set("mccp_service_handshake_sheds_total", self.handshake_sheds);
         for (name, c) in CLASS_NAMES.iter().zip(self.classes.iter()) {
             registry.counter_set(
                 &series("mccp_service_offered_total", "class", name),
@@ -109,6 +119,9 @@ impl ServiceCounters {
         self.stale_drops += other.stale_drops;
         self.binding_evictions += other.binding_evictions;
         self.abandoned += other.abandoned;
+        self.rekeys += other.rekeys;
+        self.handshakes += other.handshakes;
+        self.handshake_sheds += other.handshake_sheds;
         for (a, b) in self.classes.iter_mut().zip(other.classes.iter()) {
             a.offered += b.offered;
             a.admitted += b.admitted;

@@ -57,6 +57,25 @@ stage_perf_smoke() { cargo run --release -p mccp-bench --bin bench_cluster -- --
 # (zero Critical sheds), without rewriting BENCH_reconfig.json.
 stage_bench_reconfig() { cargo run --release -p mccp-bench --bin bench_reconfig -- --quick; }
 
+# bench_keylife --quick drives live rekeying under load on both engines
+# (zero drops, zero nonce reuse, per-epoch oracle match), the handshake
+# flash crowd (zero Critical sheds), the cycle-exact handshake/traffic
+# overlap, and the key-lifecycle integration tests — without rewriting
+# BENCH_keylife.json.
+stage_keylife() {
+  cargo test --test keylife -q
+  cargo run --release -p mccp-bench --bin bench_keylife -- --quick
+}
+
+# The adversarial traffic plane: the seeded attack suite on both engines
+# (100% typed rejection, zero plaintext, zero crypto-state disturbance),
+# the garbage-decrypt proptests, and the exporter key-leak scan.
+stage_adversarial() {
+  cargo test -p mccp-sdr adversary -q
+  cargo test --test security -q
+  cargo test --test key_leak -q
+}
+
 # Every checked-in BENCH_*.json must parse, declare host_parallelism,
 # and keep the fields other gates read (the perf smoke's floor_* values,
 # the reconfig gate's loss/shed invariants).
@@ -98,6 +117,34 @@ for path in files:
             failures.append(f"{path}: stall_cycles must equal expected_stall_cycles")
         if svc.get("critical_sheds_during_swaps") != 0:
             failures.append(f"{path}: critical_sheds_during_swaps must be 0")
+    if path == "BENCH_keylife.json":
+        contract = doc.get("contract", {})
+        for key in (
+            "zero_dropped_packets",
+            "zero_nonce_reuse",
+            "zero_critical_sheds_flash_crowd",
+            "zero_plaintext_leaks",
+            "zero_key_leak_occurrences",
+        ):
+            if contract.get(key) is not True:
+                failures.append(f"{path}: contract.{key} must be true")
+        if contract.get("attacks_rejected_pct") != 100:
+            failures.append(f"{path}: contract.attacks_rejected_pct must be 100")
+        for engine in ("cycle", "functional"):
+            rk = doc.get("rekey_under_load", {}).get(engine, {})
+            if rk.get("submitted") != rk.get("delivered"):
+                failures.append(f"{path}: rekey_under_load.{engine} dropped packets")
+            if rk.get("nonce_reuse") != 0:
+                failures.append(f"{path}: rekey_under_load.{engine}.nonce_reuse must be 0")
+            adv = doc.get("adversarial", {}).get(engine, {})
+            if adv.get("attacks") != adv.get("rejected"):
+                failures.append(f"{path}: adversarial.{engine} must reject every attack")
+            if adv.get("plaintext_leaks") != 0 or adv.get("nonces_burned") != 0:
+                failures.append(f"{path}: adversarial.{engine} leaked state")
+        if doc.get("handshake_flash_crowd", {}).get("sheds", {}).get("critical") != 0:
+            failures.append(f"{path}: flash crowd must shed zero Critical opens")
+        if doc.get("key_leak_scan", {}).get("occurrences") != 0:
+            failures.append(f"{path}: key_leak_scan.occurrences must be 0")
 for f in failures:
     print(f"bench-schema: {f}", file=sys.stderr)
 if failures:
@@ -127,6 +174,8 @@ STAGES=(
   kernel-equivalence
   perf-smoke
   bench-reconfig
+  keylife
+  adversarial
   bench-schema
   benches-compile
   clippy
@@ -136,7 +185,8 @@ STAGES=(
 BUILD_TEST_STAGES=(
   build test cycle-identity backend-equivalence fault-plane service-churn
   pipeline-equivalence service-smoke chaos-smoke obs-overhead
-  kernel-equivalence perf-smoke bench-reconfig bench-schema benches-compile
+  kernel-equivalence perf-smoke bench-reconfig keylife adversarial
+  bench-schema benches-compile
 )
 
 LINT_STAGES=(clippy fmt)
